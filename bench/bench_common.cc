@@ -1,0 +1,137 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "baselines/hynt.h"
+#include "baselines/kga.h"
+#include "baselines/llm_sim.h"
+#include "baselines/mrap.h"
+#include "baselines/nap.h"
+#include "baselines/plm_reg.h"
+#include "baselines/simple.h"
+#include "util/string_util.h"
+
+namespace chainsformer {
+namespace bench {
+
+BenchOptions DefaultOptions() {
+  BenchOptions options;
+  double mult = 1.0;
+  if (const char* env = std::getenv("CF_BENCH_SCALE")) {
+    mult = std::atof(env);
+    if (mult <= 0.0) mult = 1.0;
+  }
+  options.dataset_scale *= mult;
+  options.train_queries = static_cast<int>(options.train_queries * mult);
+  options.eval_queries = static_cast<int>(options.eval_queries * mult);
+  return options;
+}
+
+const kg::Dataset& YagoDataset(const BenchOptions& options) {
+  static std::map<std::pair<double, uint64_t>, std::unique_ptr<kg::Dataset>>* cache =
+      new std::map<std::pair<double, uint64_t>, std::unique_ptr<kg::Dataset>>();
+  auto key = std::make_pair(options.dataset_scale, options.seed);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache->emplace(key, std::make_unique<kg::Dataset>(kg::MakeYago15kLike(
+                                 {.scale = options.dataset_scale,
+                                  .seed = options.seed})))
+             .first;
+  }
+  return *it->second;
+}
+
+const kg::Dataset& FbDataset(const BenchOptions& options) {
+  static std::map<std::pair<double, uint64_t>, std::unique_ptr<kg::Dataset>>* cache =
+      new std::map<std::pair<double, uint64_t>, std::unique_ptr<kg::Dataset>>();
+  auto key = std::make_pair(options.dataset_scale, options.seed);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache->emplace(key, std::make_unique<kg::Dataset>(kg::MakeFb15k237Like(
+                                 {.scale = options.dataset_scale,
+                                  .seed = options.seed})))
+             .first;
+  }
+  return *it->second;
+}
+
+core::ChainsFormerConfig BenchConfig(const BenchOptions& options) {
+  core::ChainsFormerConfig c;
+  c.max_hops = 3;
+  c.num_walks = 128;
+  c.top_k = 16;
+  c.hidden_dim = 32;
+  c.filter_dim = 16;
+  c.encoder_layers = 2;
+  c.reasoner_layers = 2;
+  c.num_heads = 4;
+  c.epochs = options.epochs;
+  c.patience = 5;
+  c.max_train_queries = options.train_queries;
+  c.max_eval_queries = options.eval_queries;
+  c.filter_pretrain_queries = 150;
+  c.filter_pretrain_epochs = 1;
+  c.learning_rate = 3.5e-3f;
+  c.seed = options.seed;
+  return c;
+}
+
+void PrintBanner(const std::string& artifact, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("ChainsFormer reproduction — %s\n", artifact.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("==============================================================\n");
+}
+
+eval::EvalResult RunChainsFormer(const kg::Dataset& dataset,
+                                 const core::ChainsFormerConfig& config,
+                                 const BenchOptions& options,
+                                 core::ChainsFormerModel** model_out) {
+  static std::vector<std::unique_ptr<core::ChainsFormerModel>>* keep_alive =
+      new std::vector<std::unique_ptr<core::ChainsFormerModel>>();
+  auto model = std::make_unique<core::ChainsFormerModel>(dataset, config);
+  model->Train();
+  const auto sample = TestSample(dataset, options.eval_queries);
+  eval::EvalResult result = model->Evaluate(sample);
+  if (model_out != nullptr) {
+    *model_out = model.get();
+    keep_alive->push_back(std::move(model));
+  }
+  return result;
+}
+
+std::vector<std::unique_ptr<baselines::NumericPredictor>> MakeBaselines(
+    const kg::Dataset& dataset, const BenchOptions& options) {
+  baselines::TransEConfig transe;
+  transe.dim = 24;
+  transe.epochs = 8;
+  transe.max_triples_per_epoch = 12000;
+  transe.seed = options.seed;
+
+  std::vector<std::unique_ptr<baselines::NumericPredictor>> methods;
+  methods.push_back(std::make_unique<baselines::NapPlusPlusBaseline>(dataset, 8, transe));
+  methods.push_back(std::make_unique<baselines::MrapBaseline>(dataset));
+  methods.push_back(std::make_unique<baselines::PlmRegBaseline>(dataset));
+  methods.push_back(std::make_unique<baselines::KgaBaseline>(dataset, 24, transe));
+  methods.push_back(std::make_unique<baselines::HyntBaseline>(dataset, 24, 10));
+  methods.push_back(std::make_unique<baselines::TogSimBaseline>(dataset));
+  return methods;
+}
+
+std::vector<kg::NumericalTriple> TestSample(const kg::Dataset& dataset,
+                                            int max_queries, uint64_t seed) {
+  std::vector<kg::NumericalTriple> sample = dataset.split.test;
+  if (max_queries > 0 && static_cast<int>(sample.size()) > max_queries) {
+    Rng rng(seed);
+    rng.Shuffle(sample);
+    sample.resize(static_cast<size_t>(max_queries));
+  }
+  return sample;
+}
+
+std::string Fmt(double v) { return FormatMetric(v, 3); }
+
+}  // namespace bench
+}  // namespace chainsformer

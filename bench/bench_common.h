@@ -1,0 +1,63 @@
+#ifndef CHAINSFORMER_BENCH_BENCH_COMMON_H_
+#define CHAINSFORMER_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "core/chainsformer.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "kg/synthetic.h"
+
+namespace chainsformer {
+namespace bench {
+
+/// Bench-wide knobs. CF_BENCH_SCALE (float, default 1.0) multiplies the
+/// dataset scale and training budgets so the suite can be dialed up toward
+/// paper scale on bigger machines.
+struct BenchOptions {
+  double dataset_scale = 0.15;
+  uint64_t seed = 42;
+  int train_queries = 320;
+  int eval_queries = 400;
+  int epochs = 10;
+};
+
+/// Reads CF_BENCH_SCALE and returns calibrated options.
+BenchOptions DefaultOptions();
+
+/// The two synthetic benchmark datasets (cached per process).
+const kg::Dataset& YagoDataset(const BenchOptions& options);
+const kg::Dataset& FbDataset(const BenchOptions& options);
+
+/// Bench-scale ChainsFormer configuration (paper defaults scaled down).
+core::ChainsFormerConfig BenchConfig(const BenchOptions& options);
+
+/// Prints a standard experiment banner referencing the paper artifact.
+void PrintBanner(const std::string& artifact, const std::string& description);
+
+/// Trains a fresh ChainsFormer with `config` and evaluates on the test split
+/// (subsampled to options.eval_queries). Returns the eval result.
+eval::EvalResult RunChainsFormer(const kg::Dataset& dataset,
+                                 const core::ChainsFormerConfig& config,
+                                 const BenchOptions& options,
+                                 core::ChainsFormerModel** model_out = nullptr);
+
+/// Builds the full baseline roster of Table III (excluding ChainsFormer).
+std::vector<std::unique_ptr<baselines::NumericPredictor>> MakeBaselines(
+    const kg::Dataset& dataset, const BenchOptions& options);
+
+/// Deterministic test-split subsample.
+std::vector<kg::NumericalTriple> TestSample(const kg::Dataset& dataset,
+                                            int max_queries, uint64_t seed = 7);
+
+/// Formats a metric like the paper's tables (native units / normalized).
+std::string Fmt(double v);
+
+}  // namespace bench
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_BENCH_BENCH_COMMON_H_

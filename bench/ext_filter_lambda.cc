@@ -1,0 +1,33 @@
+// Extension experiment: the λ balance of the hyperbolic affinity score
+// (Eq. 9) weighs the intra-score (attribute-pair similarity) against the
+// inter-score (relation-path vs query-attribute proximity). The paper
+// introduces λ but reports no sweep; this bench fills that gap.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace chainsformer;
+
+int main() {
+  bench::PrintBanner("Extension (Eq. 9)",
+                     "Sweep of the affinity-score balance λ between intra- "
+                     "and inter-scores (YAGO15K-like).");
+  auto options = bench::DefaultOptions();
+  options.epochs = std::max(4, options.epochs - 4);
+  const auto& ds = bench::YagoDataset(options);
+
+  eval::TextTable table({"lambda", "Average* MAE", "Average* RMSE"});
+  for (float lambda : {0.0f, 0.25f, 0.5f, 0.75f, 1.0f}) {
+    auto config = bench::BenchConfig(options);
+    config.lambda = lambda;
+    config.epochs = options.epochs;
+    const auto r = bench::RunChainsFormer(ds, config, options);
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.2f", lambda);
+    table.AddRow({buf, bench::Fmt(r.normalized_mae), bench::Fmt(r.normalized_rmse)});
+    std::printf("  lambda=%.2f nmae=%.4f\n", lambda, r.normalized_mae);
+  }
+  std::printf("\n%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Extension experiment: random-walk neighbor-selection strategies in Query
+// Retrieval (§IV-B uses uniform walks). Evidence-biased walks find numeric
+// facts faster; degree-weighted walks chase hubs. This bench measures their
+// end-task effect and the evidence density of the retrieved ToCs.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/query_retrieval.h"
+
+using namespace chainsformer;
+
+int main() {
+  bench::PrintBanner("Extension",
+                     "Retrieval strategies: uniform vs degree-weighted vs "
+                     "evidence-biased random walks (YAGO15K-like).");
+  const auto options = bench::DefaultOptions();
+  const auto& ds = bench::YagoDataset(options);
+
+  struct Strategy {
+    const char* name;
+    core::RetrievalStrategy strategy;
+  };
+  const Strategy strategies[] = {
+      {"uniform (paper)", core::RetrievalStrategy::kUniform},
+      {"degree-weighted", core::RetrievalStrategy::kDegreeWeighted},
+      {"evidence-biased", core::RetrievalStrategy::kEvidenceBiased},
+  };
+
+  // Retrieval-only statistics: chains found per walk budget.
+  kg::NumericIndex train_index(ds.split.train, ds.graph.num_entities());
+  eval::TextTable stats({"strategy", "avg chains / 128 walks", "Average* MAE"});
+  for (const auto& s : strategies) {
+    core::QueryRetrieval retrieval(ds.graph, train_index, 3, 128, s.strategy);
+    Rng rng(5);
+    double total = 0.0;
+    const auto sample = bench::TestSample(ds, 120, 5);
+    for (const auto& q : sample) {
+      total += static_cast<double>(retrieval.Retrieve({q.entity, q.attribute}, rng).size());
+    }
+    const double avg_chains = total / static_cast<double>(sample.size());
+
+    auto config = bench::BenchConfig(options);
+    config.retrieval_strategy = s.strategy;
+    const auto r = bench::RunChainsFormer(ds, config, options);
+    stats.AddRow({s.name, bench::Fmt(avg_chains), bench::Fmt(r.normalized_mae)});
+    std::printf("  %-16s chains/query=%.1f nmae=%.4f\n", s.name, avg_chains,
+                r.normalized_mae);
+  }
+  std::printf("\n%s", stats.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Fig. 2: the average number of logic chains connected to a query
+// grows explosively with hop count, motivating retrieval + filtering.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/query_retrieval.h"
+
+using namespace chainsformer;
+
+namespace {
+
+void CountForDataset(const kg::Dataset& ds, int num_queries) {
+  kg::NumericIndex train_index(ds.split.train, ds.graph.num_entities());
+  const auto sample = bench::TestSample(ds, num_queries, 3);
+  eval::TextTable table({"hops", "avg #chains", "max #chains"});
+  for (int hops = 1; hops <= 3; ++hops) {
+    double total = 0.0;
+    int64_t max_count = 0;
+    for (const auto& q : sample) {
+      const int64_t c = core::QueryRetrieval::CountChains(ds.graph, train_index,
+                                                          q.entity, hops);
+      total += static_cast<double>(c);
+      max_count = std::max(max_count, c);
+    }
+    table.AddRow({std::to_string(hops),
+                  bench::Fmt(total / static_cast<double>(sample.size())),
+                  std::to_string(max_count)});
+  }
+  std::printf("\n--- %s (%zu queries) ---\n%s", ds.name.c_str(), sample.size(),
+              table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner(
+      "Figure 2",
+      "Average number of logic chains per query vs reasoning hops. The paper "
+      "reports 3.2e5 (YAGO15K) / 3.1e6 (FB15K) at 3 hops on the full graphs; "
+      "the synthetic graphs are smaller, but the explosive growth (orders of "
+      "magnitude per hop) is the reproduced shape.");
+  const auto options = bench::DefaultOptions();
+  CountForDataset(bench::YagoDataset(options), 120);
+  CountForDataset(bench::FbDataset(options), 120);
+  return 0;
+}

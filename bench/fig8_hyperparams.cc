@@ -1,0 +1,59 @@
+// Reproduces Fig. 8: hyperparameter sensitivity — retrieval count N_s,
+// filter top-k, Chain Encoder layers L_c, and hidden dimension d. Paper's
+// shape: N_s has little effect; k has a sweet spot; 2-3 layers suffice; low
+// sensitivity to d.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace chainsformer;
+
+namespace {
+
+void Sweep(const kg::Dataset& ds, const bench::BenchOptions& options,
+           const char* param,
+           const std::vector<int>& values,
+           const std::function<void(core::ChainsFormerConfig&, int)>& apply) {
+  eval::TextTable table({param, "Average* MAE", "Average* RMSE"});
+  for (int v : values) {
+    auto config = bench::BenchConfig(options);
+    apply(config, v);
+    const auto r = bench::RunChainsFormer(ds, config, options);
+    table.AddRow({std::to_string(v), bench::Fmt(r.normalized_mae),
+                  bench::Fmt(r.normalized_rmse)});
+    std::printf("  %s=%d nmae=%.4f\n", param, v, r.normalized_mae);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner("Figure 8",
+                     "Hyperparameter study: N_s, k, Transformer layers L_c, "
+                     "hidden dim d (values scaled from the paper's ranges).");
+  auto options = bench::DefaultOptions();
+  options.epochs = std::max(4, options.epochs - 4);
+  const auto& ds = bench::YagoDataset(options);
+
+  std::printf("\n[retrieval count N_s]\n");
+  Sweep(ds, options, "N_s", {32, 64, 128, 256},
+        [](core::ChainsFormerConfig& c, int v) { c.num_walks = v; });
+
+  std::printf("\n[filter top-k]\n");
+  Sweep(ds, options, "k", {4, 8, 16, 32},
+        [](core::ChainsFormerConfig& c, int v) { c.top_k = v; });
+
+  std::printf("\n[encoder layers L_c]\n");
+  Sweep(ds, options, "L_c", {1, 2, 3},
+        [](core::ChainsFormerConfig& c, int v) {
+          c.encoder_layers = v;
+          c.reasoner_layers = v;
+        });
+
+  std::printf("\n[hidden dim d]\n");
+  Sweep(ds, options, "d", {16, 32, 64},
+        [](core::ChainsFormerConfig& c, int v) { c.hidden_dim = v; });
+  return 0;
+}

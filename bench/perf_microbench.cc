@@ -1,0 +1,125 @@
+// Complexity microbenchmarks (§IV-G): the paper analyzes per-query cost
+// O(N_s d + k d^2). These google-benchmark timings expose the scaling of
+// each pipeline stage: retrieval vs N_s, filter scoring vs d, chain encoding
+// vs d, and reasoner weighting vs k.
+
+#include <benchmark/benchmark.h>
+
+#include "core/chain_encoder.h"
+#include "core/chainsformer.h"
+#include "core/hyperbolic_filter.h"
+#include "core/numerical_reasoner.h"
+#include "core/query_retrieval.h"
+#include "kg/synthetic.h"
+#include "tensor/tensor.h"
+
+using namespace chainsformer;
+
+namespace {
+
+const kg::Dataset& Data() {
+  static const kg::Dataset* ds =
+      new kg::Dataset(kg::MakeYago15kLike({.scale = 0.06}));
+  return *ds;
+}
+
+const kg::NumericIndex& TrainIndex() {
+  static const kg::NumericIndex* idx =
+      new kg::NumericIndex(Data().split.train, Data().graph.num_entities());
+  return *idx;
+}
+
+core::Query SomeQuery() {
+  const auto& t = Data().split.test.front();
+  return {t.entity, t.attribute};
+}
+
+void BM_QueryRetrieval(benchmark::State& state) {
+  const int num_walks = static_cast<int>(state.range(0));
+  core::QueryRetrieval retrieval(Data().graph, TrainIndex(), 3, num_walks);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retrieval.Retrieve(SomeQuery(), rng));
+  }
+  state.SetItemsProcessed(state.iterations() * num_walks);
+}
+BENCHMARK(BM_QueryRetrieval)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_HyperbolicFilterScore(benchmark::State& state) {
+  core::ChainsFormerConfig config;
+  config.filter_dim = static_cast<int>(state.range(0));
+  core::HyperbolicFilter filter(Data().graph.num_relation_ids(),
+                                Data().graph.num_attributes(), config);
+  core::QueryRetrieval retrieval(Data().graph, TrainIndex(), 3, 64);
+  Rng rng(2);
+  const auto toc = retrieval.Retrieve(SomeQuery(), rng);
+  for (auto _ : state) {
+    for (const auto& c : toc) benchmark::DoNotOptimize(filter.Score(c));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(toc.size()));
+}
+BENCHMARK(BM_HyperbolicFilterScore)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_ChainEncoderEncode(benchmark::State& state) {
+  core::ChainsFormerConfig config;
+  config.hidden_dim = static_cast<int>(state.range(0));
+  Rng rng(3);
+  core::ChainEncoder encoder(Data().graph.num_relation_ids(),
+                             Data().graph.num_attributes(), config, rng);
+  core::QueryRetrieval retrieval(Data().graph, TrainIndex(), 3, 8);
+  Rng wrng(4);
+  const auto toc = retrieval.Retrieve(SomeQuery(), wrng);
+  tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    for (const auto& c : toc) benchmark::DoNotOptimize(encoder.Encode(c));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(toc.size()));
+}
+BENCHMARK(BM_ChainEncoderEncode)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_NumericalReasonerForward(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  core::ChainsFormerConfig config;
+  config.hidden_dim = 32;
+  Rng rng(5);
+  core::NumericalReasoner reasoner(config, rng);
+  std::vector<tensor::Tensor> reps;
+  std::vector<double> values;
+  std::vector<int64_t> lengths;
+  Rng rrng(6);
+  for (int i = 0; i < k; ++i) {
+    reps.push_back(tensor::Tensor::Randn({32}, rrng, 0.5f));
+    values.push_back(0.5);
+    lengths.push_back(1 + i % 3);
+  }
+  tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reasoner.Forward(reps, values, lengths));
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_NumericalReasonerForward)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_EndToEndPredict(benchmark::State& state) {
+  static core::ChainsFormerModel* model = [] {
+    core::ChainsFormerConfig config;
+    config.num_walks = 64;
+    config.top_k = 8;
+    config.hidden_dim = 16;
+    config.filter_dim = 8;
+    config.epochs = 1;
+    config.max_train_queries = 50;
+    auto* m = new core::ChainsFormerModel(Data(), config);
+    m->Train();
+    return m;
+  }();
+  const auto q = SomeQuery();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->Predict(q));
+  }
+}
+BENCHMARK(BM_EndToEndPredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Reproduces Table III: per-attribute RMSE/MAE of every baseline and
+// ChainsFormer on both datasets, plus the normalized Average* aggregates.
+//
+// Expected shape (paper): ChainsFormer best Average*; MrAP/KGA the strongest
+// baselines; NAP++ weak; ToG-R poor except spatial attributes.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+using namespace chainsformer;
+
+namespace {
+
+struct MethodResult {
+  std::string name;
+  eval::EvalResult result;
+};
+
+void RunDataset(const kg::Dataset& ds, const bench::BenchOptions& options) {
+  std::printf("\n################ %s ################\n", ds.name.c_str());
+  const auto sample = bench::TestSample(ds, options.eval_queries);
+  std::vector<MethodResult> results;
+
+  auto methods = bench::MakeBaselines(ds, options);
+  for (auto& m : methods) {
+    std::printf("training %s...\n", m->name().c_str());
+    m->Train();
+    results.push_back({m->name(), m->Evaluate(sample)});
+  }
+
+  std::printf("training ChainsFormer...\n");
+  const auto cf =
+      bench::RunChainsFormer(ds, bench::BenchConfig(options), options);
+  results.push_back({"ChainsFormer", cf});
+
+  for (const char* metric : {"MAE", "RMSE"}) {
+    std::vector<std::string> header = {std::string("attribute (") + metric + ")"};
+    for (const auto& r : results) header.push_back(r.name);
+    eval::TextTable table(header);
+    for (kg::AttributeId a = 0; a < ds.graph.num_attributes(); ++a) {
+      if (results.front().result.per_attribute[static_cast<size_t>(a)].count == 0) {
+        continue;
+      }
+      std::vector<std::string> row = {ds.graph.AttributeName(a)};
+      for (const auto& r : results) {
+        const auto& m = r.result.per_attribute[static_cast<size_t>(a)];
+        row.push_back(bench::Fmt(std::string(metric) == "MAE" ? m.mae : m.rmse));
+      }
+      table.AddRow(row);
+    }
+    std::vector<std::string> avg = {"Average*"};
+    for (const auto& r : results) {
+      avg.push_back(bench::Fmt(std::string(metric) == "MAE"
+                                   ? r.result.normalized_mae
+                                   : r.result.normalized_rmse));
+    }
+    table.AddRow(avg);
+    std::printf("\n%s\n", table.ToString().c_str());
+  }
+
+  // Winner summary.
+  double best = 1e300;
+  std::string best_name;
+  for (const auto& r : results) {
+    if (r.result.normalized_mae < best) {
+      best = r.result.normalized_mae;
+      best_name = r.name;
+    }
+  }
+  std::printf("best Average* MAE on %s: %s (%.4f)\n", ds.name.c_str(),
+              best_name.c_str(), best);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner("Table III",
+                     "Main performance comparison across all methods.");
+  const auto options = bench::DefaultOptions();
+  RunDataset(bench::YagoDataset(options), options);
+  RunDataset(bench::FbDataset(options), options);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Table IV: reasoning-capability matrix of every method, plus an
+// empirical demonstration that ChainsFormer actually exercises multi-hop and
+// multi-attribute chains (counts over retrieved reasoning chains).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/query_retrieval.h"
+
+using namespace chainsformer;
+
+namespace {
+
+std::string Mark(bool b) { return b ? "yes" : "no"; }
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner("Table IV",
+                     "Method comparison by reasoning capability.");
+  const auto options = bench::DefaultOptions();
+  const auto& ds = bench::YagoDataset(options);
+
+  eval::TextTable table(
+      {"capability", "NAP++", "MrAP", "PLM-reg", "KGA", "HyNT", "Ours"});
+  auto methods = bench::MakeBaselines(ds, options);
+  // methods order: NAP++, MrAP, PLM-reg, KGA, HyNT, ToG (drop ToG for Table IV).
+  baselines::Capabilities ours{.num_aware = true, .one_hop = true,
+                               .multi_hop = true, .same_attr = true,
+                               .multi_attr = true};
+  auto row = [&](const std::string& name,
+                 const std::function<bool(const baselines::Capabilities&)>& get) {
+    std::vector<std::string> cells = {name};
+    for (size_t i = 0; i < 5; ++i) cells.push_back(Mark(get(methods[i]->capabilities())));
+    cells.push_back(Mark(get(ours)));
+    table.AddRow(cells);
+  };
+  row("Num-aware", [](const auto& c) { return c.num_aware; });
+  row("One-hop", [](const auto& c) { return c.one_hop; });
+  row("Multi-hop", [](const auto& c) { return c.multi_hop; });
+  row("Same-attr", [](const auto& c) { return c.same_attr; });
+  row("Multi-attr", [](const auto& c) { return c.multi_attr; });
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Empirical demonstration: the chains ChainsFormer consumes really span
+  // multiple hops and multiple attribute types.
+  kg::NumericIndex train_index(ds.split.train, ds.graph.num_entities());
+  core::QueryRetrieval retrieval(ds.graph, train_index, 3, 128);
+  Rng rng(9);
+  int64_t by_length[4] = {0, 0, 0, 0};
+  int64_t same_attr = 0, cross_attr = 0;
+  const auto sample = bench::TestSample(ds, 100);
+  for (const auto& q : sample) {
+    const auto toc = retrieval.Retrieve({q.entity, q.attribute}, rng);
+    for (const auto& c : toc) {
+      ++by_length[std::min<int64_t>(c.length(), 3)];
+      if (c.source_attribute == q.attribute) {
+        ++same_attr;
+      } else {
+        ++cross_attr;
+      }
+    }
+  }
+  std::printf("retrieved chain profile over %zu queries:\n", sample.size());
+  std::printf("  1-hop: %lld   2-hop: %lld   3-hop: %lld\n",
+              static_cast<long long>(by_length[1]),
+              static_cast<long long>(by_length[2]),
+              static_cast<long long>(by_length[3]));
+  std::printf("  same-attribute: %lld   cross-attribute: %lld\n",
+              static_cast<long long>(same_attr),
+              static_cast<long long>(cross_attr));
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Table VII: numerical projection methods (direct / translation /
+// scaling / combined). Expected shape: scaling best; direct regression from
+// embeddings worst, especially on FB (wider value ranges).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace chainsformer;
+
+int main() {
+  bench::PrintBanner("Table VII",
+                     "Numerical projection methods of the Numerical Reasoner.");
+  const auto options = bench::DefaultOptions();
+
+  struct Mode {
+    const char* name;
+    core::ProjectionMode mode;
+  };
+  const Mode modes[] = {
+      {"Direct", core::ProjectionMode::kDirect},
+      {"Translation", core::ProjectionMode::kTranslation},
+      {"Scaling", core::ProjectionMode::kScaling},
+      {"Combined", core::ProjectionMode::kCombined},
+  };
+
+  eval::TextTable table({"projection", "YAGO nMAE", "YAGO nRMSE", "FB nMAE",
+                         "FB nRMSE"});
+  for (const auto& m : modes) {
+    std::vector<std::string> row = {m.name};
+    for (const kg::Dataset* ds :
+         {&bench::YagoDataset(options), &bench::FbDataset(options)}) {
+      auto config = bench::BenchConfig(options);
+      config.projection = m.mode;
+      const auto r = bench::RunChainsFormer(*ds, config, options);
+      row.push_back(bench::Fmt(r.normalized_mae));
+      row.push_back(bench::Fmt(r.normalized_rmse));
+      std::printf("  %-12s %-14s nmae=%.4f\n", m.name, ds->name.c_str(),
+                  r.normalized_mae);
+    }
+    table.AddRow(row);
+  }
+  std::printf("\n%s", table.ToString().c_str());
+  return 0;
+}

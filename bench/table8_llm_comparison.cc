@@ -1,0 +1,49 @@
+// Reproduces Table VIII: zero-shot LLM numerical reasoning vs ChainsFormer.
+// The LLMs are simulated (see baselines/llm_sim.h): they receive the same
+// de-identified RA-chains and aggregate them untrained. Expected shape:
+// ChainsFormer < GPT-4-sim < GPT-3.5-sim in error.
+
+#include <cstdio>
+
+#include "baselines/llm_sim.h"
+#include "bench/bench_common.h"
+
+using namespace chainsformer;
+
+int main() {
+  bench::PrintBanner("Table VIII",
+                     "Comparison with (simulated) zero-shot LLM reasoners.");
+  const auto options = bench::DefaultOptions();
+
+  eval::TextTable table({"model", "YAGO nMAE", "YAGO nRMSE", "FB nMAE",
+                         "FB nRMSE"});
+  std::vector<std::vector<std::string>> rows(3);
+  rows[0] = {"ChatGPT-3.5-sim"};
+  rows[1] = {"ChatGPT-4.0-sim"};
+  rows[2] = {"ChainsFormer"};
+
+  for (const kg::Dataset* ds :
+       {&bench::YagoDataset(options), &bench::FbDataset(options)}) {
+    const auto sample = bench::TestSample(*ds, options.eval_queries);
+    baselines::LlmSimBaseline g35(*ds, baselines::LlmGrade::kGpt35);
+    baselines::LlmSimBaseline g40(*ds, baselines::LlmGrade::kGpt40);
+    g35.Train();
+    g40.Train();
+    const auto r35 = g35.Evaluate(sample);
+    const auto r40 = g40.Evaluate(sample);
+    const auto rcf =
+        bench::RunChainsFormer(*ds, bench::BenchConfig(options), options);
+    rows[0].push_back(bench::Fmt(r35.normalized_mae));
+    rows[0].push_back(bench::Fmt(r35.normalized_rmse));
+    rows[1].push_back(bench::Fmt(r40.normalized_mae));
+    rows[1].push_back(bench::Fmt(r40.normalized_rmse));
+    rows[2].push_back(bench::Fmt(rcf.normalized_mae));
+    rows[2].push_back(bench::Fmt(rcf.normalized_rmse));
+    std::printf("  %s: gpt35=%.4f gpt40=%.4f chainsformer=%.4f (nMAE)\n",
+                ds->name.c_str(), r35.normalized_mae, r40.normalized_mae,
+                rcf.normalized_mae);
+  }
+  for (auto& row : rows) table.AddRow(row);
+  std::printf("\n%s", table.ToString().c_str());
+  return 0;
+}

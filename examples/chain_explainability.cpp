@@ -1,0 +1,67 @@
+// Reasoning transparency: dump the complete reasoning trace for a batch of
+// queries — retrieved-chain counts per stage, the selected chains, their
+// importance weights and their cumulative contribution (the analysis behind
+// Fig. 5 and Table V).
+//
+//   $ ./build/examples/chain_explainability
+
+#include <cstdio>
+
+#include "core/chainsformer.h"
+#include "core/trace_export.h"
+#include "kg/synthetic.h"
+
+using namespace chainsformer;
+
+int main() {
+  kg::Dataset ds = kg::MakeYago15kLike({.scale = 0.06, .seed = 13});
+
+  core::ChainsFormerConfig config;
+  config.num_walks = 96;
+  config.top_k = 12;
+  config.hidden_dim = 24;
+  config.filter_dim = 12;
+  config.epochs = 6;
+  config.max_train_queries = 250;
+  config.seed = 13;
+
+  core::ChainsFormerModel model(ds, config);
+  model.Train();
+
+  int shown = 0;
+  for (const auto& t : ds.split.test) {
+    const core::Explanation ex = model.Explain({t.entity, t.attribute});
+    if (!ex.has_evidence || ex.weighted_chains.size() < 4) continue;
+    std::printf("query %s(%s):\n",
+                ds.graph.AttributeName(t.attribute).c_str(),
+                ds.graph.EntityName(t.entity).c_str());
+    std::printf("  retrieval:  %4zu chains in the ToC\n", ex.toc_size);
+    std::printf("  filter:     %4zu chains kept (%.1f%%)\n", ex.filtered_size,
+                100.0 * static_cast<double>(ex.filtered_size) /
+                    static_cast<double>(ex.toc_size));
+    std::printf("  prediction: %.2f   (truth %.2f)\n", ex.prediction, t.value);
+    double cumulative = 0.0;
+    int rank = 0;
+    for (const auto& [chain, w] : ex.weighted_chains) {
+      cumulative += w;
+      std::printf("   #%d %-48s via %-12s w=%.3f cum=%.0f%%\n", ++rank,
+                  chain.PatternString(ds.graph).c_str(),
+                  ds.graph.EntityName(chain.source_entity).c_str(), w,
+                  100.0 * cumulative);
+      if (cumulative > 0.8 || rank >= 6) break;
+    }
+    std::printf("  -> %d chains cover %.0f%% of the reasoning weight\n\n", rank,
+                100.0 * cumulative);
+    if (shown == 0) {
+      // Export the first trace as Graphviz for visual inspection:
+      //   dot -Tpng /tmp/chainsformer_trace.dot -o trace.png
+      const std::string dot_path = "/tmp/chainsformer_trace.dot";
+      if (core::WriteExplanationDot(dot_path, ds.graph, {t.entity, t.attribute},
+                                    ex)) {
+        std::printf("  (Graphviz trace written to %s)\n\n", dot_path.c_str());
+      }
+    }
+    if (++shown >= 4) break;
+  }
+  return 0;
+}

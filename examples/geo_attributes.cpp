@@ -1,0 +1,58 @@
+// Spatial attribute completion: predict latitude/longitude of places from
+// their containment / capital / neighborhood structure — the attribute class
+// where the paper reports ChainsFormer's largest gains (§V-B).
+//
+//   $ ./build/examples/geo_attributes
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/mrap.h"
+#include "core/chainsformer.h"
+#include "kg/synthetic.h"
+
+using namespace chainsformer;
+
+int main() {
+  kg::Dataset ds = kg::MakeYago15kLike({.scale = 0.07, .seed = 9});
+
+  core::ChainsFormerConfig config;
+  config.num_walks = 96;
+  config.top_k = 12;
+  config.hidden_dim = 24;
+  config.filter_dim = 12;
+  config.epochs = 8;
+  config.max_train_queries = 300;
+  config.max_eval_queries = 250;
+  config.seed = 9;
+
+  core::ChainsFormerModel model(ds, config);
+  model.Train();
+  baselines::MrapBaseline mrap(ds);
+  mrap.Train();
+
+  const auto lat = ds.graph.FindAttribute("latitude");
+  const auto lon = ds.graph.FindAttribute("longitude");
+  std::vector<kg::NumericalTriple> spatial;
+  for (const auto& t : ds.split.test) {
+    if (t.attribute == lat || t.attribute == lon) spatial.push_back(t);
+  }
+  std::printf("%zu spatial test queries\n", spatial.size());
+
+  const auto cf = model.Evaluate(spatial);
+  const auto mr = mrap.Evaluate(spatial);
+  std::printf("\nMAE (degrees):\n");
+  std::printf("  %-14s lat=%.2f lon=%.2f\n", "ChainsFormer",
+              cf.per_attribute[static_cast<size_t>(lat)].mae,
+              cf.per_attribute[static_cast<size_t>(lon)].mae);
+  std::printf("  %-14s lat=%.2f lon=%.2f\n", "MrAP",
+              mr.per_attribute[static_cast<size_t>(lat)].mae,
+              mr.per_attribute[static_cast<size_t>(lon)].mae);
+
+  // Which chains carry spatial information? (Table V row for latitude.)
+  std::printf("\nkey RA-chains for latitude (aggregated chain weights):\n");
+  for (const auto& [pattern, weight] : model.TopPatterns(lat, 5, 30)) {
+    std::printf("  %-50s total-omega=%.2f\n", pattern.c_str(), weight);
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Movie-world knowledge graph completion (the paper's motivating scenario,
+// Fig. 1): predict a director's missing birth date from film release dates,
+// collaborators, and relatives — multi-hop numerical reasoning.
+//
+//   $ ./build/examples/movie_kg_completion
+//
+// Uses the FB15K-237-like synthetic world and compares ChainsFormer against
+// the LocalMean reference on temporal person attributes, then traces one
+// "Coppola-style" query end to end.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/simple.h"
+#include "core/chainsformer.h"
+#include "kg/synthetic.h"
+
+using namespace chainsformer;
+
+int main() {
+  kg::Dataset ds = kg::MakeFb15k237Like({.scale = 0.07, .seed = 5});
+  std::printf("dataset %s: %lld entities, %lld relations, %lld attributes, "
+              "%zu relational triples, %zu numeric triples\n",
+              ds.name.c_str(), static_cast<long long>(ds.graph.num_entities()),
+              static_cast<long long>(ds.graph.num_relations()),
+              static_cast<long long>(ds.graph.num_attributes()),
+              ds.graph.relational_triples().size(),
+              ds.graph.numerical_triples().size());
+
+  core::ChainsFormerConfig config;
+  config.num_walks = 96;
+  config.top_k = 12;
+  config.hidden_dim = 24;
+  config.filter_dim = 12;
+  config.epochs = 8;
+  config.max_train_queries = 300;
+  config.max_eval_queries = 250;
+  config.seed = 5;
+
+  core::ChainsFormerModel model(ds, config);
+  std::printf("training ChainsFormer (%lld parameters)...\n",
+              static_cast<long long>(model.NumParameters()));
+  model.Train();
+
+  baselines::LocalMeanBaseline local(ds);
+  local.Train();
+
+  // Focus on the temporal person attributes from the paper's Fig. 1 story.
+  const auto birth = ds.graph.FindAttribute("birth");
+  const auto death = ds.graph.FindAttribute("death");
+  std::vector<kg::NumericalTriple> person_queries;
+  for (const auto& t : ds.split.test) {
+    if ((t.attribute == birth || t.attribute == death) &&
+        person_queries.size() < 200) {
+      person_queries.push_back(t);
+    }
+  }
+  const auto cf = model.Evaluate(person_queries);
+  const auto lm = local.Evaluate(person_queries);
+  std::printf("\nbirth/death MAE (years):\n");
+  std::printf("  %-14s birth=%.1f death=%.1f\n", "ChainsFormer",
+              cf.per_attribute[static_cast<size_t>(birth)].mae,
+              cf.per_attribute[static_cast<size_t>(death)].mae);
+  std::printf("  %-14s birth=%.1f death=%.1f\n", "LocalMean",
+              lm.per_attribute[static_cast<size_t>(birth)].mae,
+              lm.per_attribute[static_cast<size_t>(death)].mae);
+
+  // Trace one director-style query: a person with films but an unobserved
+  // birth date (the Coppola example of Fig. 1 / Fig. 5).
+  for (const auto& t : ds.split.test) {
+    if (t.attribute != birth) continue;
+    const core::Explanation ex = model.Explain({t.entity, t.attribute});
+    if (!ex.has_evidence || ex.weighted_chains.size() < 3) continue;
+    std::printf("\ncase study: birth(%s)\n",
+                ds.graph.EntityName(t.entity).c_str());
+    std::printf("  ToC: %zu chains -> filtered to %zu\n", ex.toc_size,
+                ex.filtered_size);
+    std::printf("  predicted %.1f (ground truth %.1f)\n", ex.prediction, t.value);
+    std::printf("  top reasoning chains:\n");
+    for (size_t i = 0; i < 4 && i < ex.weighted_chains.size(); ++i) {
+      const auto& [chain, w] = ex.weighted_chains[i];
+      std::printf("    %-45s evidence=%9.1f  omega=%.3f\n",
+                  chain.PatternString(ds.graph).c_str(), chain.source_value, w);
+    }
+    break;
+  }
+  return 0;
+}

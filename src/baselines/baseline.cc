@@ -1,0 +1,27 @@
+#include "baselines/baseline.h"
+
+namespace chainsformer {
+namespace baselines {
+
+NumericPredictor::NumericPredictor(const kg::Dataset& dataset)
+    : dataset_(dataset),
+      train_stats_(kg::ComputeAttributeStats(dataset.split.train,
+                                             dataset.graph.num_attributes())),
+      train_index_(dataset.split.train, dataset.graph.num_entities()) {}
+
+double NumericPredictor::Fallback(kg::AttributeId attribute) const {
+  const auto& s = train_stats_[static_cast<size_t>(attribute)];
+  return s.count > 0 ? s.mean : 0.0;
+}
+
+eval::EvalResult NumericPredictor::Evaluate(
+    const std::vector<kg::NumericalTriple>& queries) {
+  eval::MetricsAccumulator acc(train_stats_);
+  for (const auto& t : queries) {
+    acc.Add(t.attribute, Predict(t.entity, t.attribute), t.value);
+  }
+  return acc.Finalize();
+}
+
+}  // namespace baselines
+}  // namespace chainsformer

@@ -1,0 +1,55 @@
+#ifndef CHAINSFORMER_BASELINES_BASELINE_H_
+#define CHAINSFORMER_BASELINES_BASELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "kg/dataset.h"
+
+namespace chainsformer {
+namespace baselines {
+
+/// Reasoning capabilities of a method (Table IV).
+struct Capabilities {
+  bool num_aware = false;   // value-conditioned representations
+  bool one_hop = false;     // uses 1-hop neighbor evidence
+  bool multi_hop = false;   // explicit multi-hop reasoning
+  bool same_attr = false;   // same-attribute transfer
+  bool multi_attr = false;  // cross-attribute transfer
+};
+
+/// Common interface of every numerical-reasoning method (baselines and
+/// ChainsFormer adapters). The dataset must outlive the predictor.
+class NumericPredictor {
+ public:
+  virtual ~NumericPredictor() = default;
+
+  virtual std::string name() const = 0;
+  virtual Capabilities capabilities() const = 0;
+
+  /// Fits the model on dataset.split.train.
+  virtual void Train() = 0;
+
+  /// Predicts the value of (entity, attribute). Must fall back to a global
+  /// statistic when no evidence exists — never NaN.
+  virtual double Predict(kg::EntityId entity, kg::AttributeId attribute) = 0;
+
+  /// Default evaluation: loops Predict over `queries`.
+  eval::EvalResult Evaluate(const std::vector<kg::NumericalTriple>& queries);
+
+ protected:
+  explicit NumericPredictor(const kg::Dataset& dataset);
+
+  const kg::Dataset& dataset_;
+  std::vector<kg::AttributeStats> train_stats_;
+  kg::NumericIndex train_index_;
+
+  /// Training-mean fallback for an attribute.
+  double Fallback(kg::AttributeId attribute) const;
+};
+
+}  // namespace baselines
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_BASELINES_BASELINE_H_

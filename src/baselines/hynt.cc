@@ -1,0 +1,78 @@
+#include "baselines/hynt.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chainsformer {
+namespace baselines {
+
+HyntBaseline::HyntBaseline(const kg::Dataset& dataset, int dim, int epochs,
+                           float lr, uint64_t seed)
+    : NumericPredictor(dataset), dim_(dim), epochs_(epochs), lr_(lr), rng_(seed) {}
+
+void HyntBaseline::Train() {
+  const auto& graph = dataset_.graph;
+  const int64_t ne = graph.num_entities();
+  const int64_t nr = graph.num_relation_ids();
+  const int64_t na = graph.num_attributes();
+  entities_.resize(static_cast<size_t>(ne * dim_));
+  relations_.resize(static_cast<size_t>(nr * dim_));
+  heads_.assign(static_cast<size_t>(na * dim_), 0.0f);
+  head_bias_.assign(static_cast<size_t>(na), 0.5f);
+  const float bound = 0.5f / std::sqrt(static_cast<float>(dim_));
+  for (auto& v : entities_) v = static_cast<float>(rng_.Uniform(-bound, bound));
+  for (auto& v : relations_) v = static_cast<float>(rng_.Uniform(-bound, bound));
+
+  std::vector<kg::NumericalTriple> numeric = dataset_.split.train;
+  const auto& relational = graph.relational_triples();
+
+  for (int epoch = 0; epoch < epochs_; ++epoch) {
+    rng_.Shuffle(numeric);
+    const float lr = lr_ / (1.0f + 0.15f * static_cast<float>(epoch));
+    for (const auto& t : numeric) {
+      // Regression step on the normalized value.
+      float* e = Entity(t.entity);
+      float* w = heads_.data() + t.attribute * dim_;
+      float& b = head_bias_[static_cast<size_t>(t.attribute)];
+      const float y = static_cast<float>(
+          train_stats_[static_cast<size_t>(t.attribute)].Normalize(t.value));
+      float pred = b;
+      for (int j = 0; j < dim_; ++j) pred += w[j] * e[j];
+      const float err = pred - y;
+      for (int j = 0; j < dim_; ++j) {
+        const float gw = err * e[j];
+        const float ge = err * w[j];
+        w[j] -= lr * (gw + 1e-4f * w[j]);
+        e[j] -= lr * ge;
+      }
+      b -= lr * err;
+
+      // Relational consistency step on a random triple.
+      const auto& rt =
+          relational[rng_.UniformInt(static_cast<uint64_t>(relational.size()))];
+      float* h = Entity(rt.head);
+      float* r = relations_.data() + rt.relation * dim_;
+      float* tl = Entity(rt.tail);
+      for (int j = 0; j < dim_; ++j) {
+        const float diff = h[j] + r[j] - tl[j];
+        const float g = lr * 0.2f * diff;
+        h[j] -= g;
+        r[j] -= g;
+        tl[j] += g;
+      }
+    }
+  }
+}
+
+double HyntBaseline::Predict(kg::EntityId entity, kg::AttributeId attribute) {
+  if (heads_.empty()) return Fallback(attribute);
+  const float* e = Entity(entity);
+  const float* w = heads_.data() + attribute * dim_;
+  float pred = head_bias_[static_cast<size_t>(attribute)];
+  for (int j = 0; j < dim_; ++j) pred += w[j] * e[j];
+  return train_stats_[static_cast<size_t>(attribute)].Denormalize(
+      std::clamp(static_cast<double>(pred), -0.1, 1.1));
+}
+
+}  // namespace baselines
+}  // namespace chainsformer

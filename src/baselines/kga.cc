@@ -1,0 +1,104 @@
+#include "baselines/kga.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace baselines {
+
+KgaBaseline::KgaBaseline(const kg::Dataset& dataset, int num_bins,
+                         TransEConfig transe_config)
+    : NumericPredictor(dataset),
+      num_bins_(num_bins),
+      transe_config_(transe_config) {}
+
+int KgaBaseline::BinOf(kg::AttributeId a, double value) const {
+  const auto& edges = bin_edges_[static_cast<size_t>(a)];
+  return static_cast<int>(std::upper_bound(edges.begin(), edges.end(), value) -
+                          edges.begin());
+}
+
+void KgaBaseline::Train() {
+  const auto& graph = dataset_.graph;
+  const int64_t num_attrs = graph.num_attributes();
+
+  // Quantile binning per attribute over the training values.
+  bin_edges_.assign(static_cast<size_t>(num_attrs), {});
+  bin_values_.assign(static_cast<size_t>(num_attrs), {});
+  std::vector<std::vector<double>> values(static_cast<size_t>(num_attrs));
+  for (const auto& t : dataset_.split.train) {
+    values[static_cast<size_t>(t.attribute)].push_back(t.value);
+  }
+  for (int64_t a = 0; a < num_attrs; ++a) {
+    auto& vals = values[static_cast<size_t>(a)];
+    std::sort(vals.begin(), vals.end());
+    auto& edges = bin_edges_[static_cast<size_t>(a)];
+    auto& reps = bin_values_[static_cast<size_t>(a)];
+    if (vals.empty()) {
+      reps.assign(static_cast<size_t>(num_bins_), 0.0);
+      continue;
+    }
+    for (int b = 1; b < num_bins_; ++b) {
+      const size_t idx = std::min(vals.size() - 1, b * vals.size() / num_bins_);
+      edges.push_back(vals[idx]);
+    }
+    // Median of each bin as representative (de-binning value).
+    std::vector<std::vector<double>> bucket(static_cast<size_t>(num_bins_));
+    for (double v : vals) {
+      bucket[static_cast<size_t>(std::min(
+          num_bins_ - 1,
+          static_cast<int>(std::upper_bound(edges.begin(), edges.end(), v) -
+                           edges.begin())))]
+          .push_back(v);
+    }
+    reps.resize(static_cast<size_t>(num_bins_));
+    double last = vals[vals.size() / 2];
+    for (int b = 0; b < num_bins_; ++b) {
+      auto& bk = bucket[static_cast<size_t>(b)];
+      if (!bk.empty()) last = bk[bk.size() / 2];
+      reps[static_cast<size_t>(b)] = last;
+    }
+  }
+
+  // Augmented graph: base triples + (entity, has_<attr>, bin entity).
+  bin_entity_base_ = graph.num_entities();
+  attr_relation_base_ = graph.num_relation_ids();
+  const int64_t total_entities = bin_entity_base_ + num_attrs * num_bins_;
+  const int64_t total_relations = attr_relation_base_ + 2 * num_attrs;
+
+  std::vector<kg::RelationalTriple> triples = graph.relational_triples();
+  for (const auto& t : dataset_.split.train) {
+    const int b = std::min(num_bins_ - 1, BinOf(t.attribute, t.value));
+    triples.push_back(kg::RelationalTriple{
+        t.entity,
+        static_cast<kg::RelationId>(attr_relation_base_ + 2 * t.attribute),
+        static_cast<kg::EntityId>(bin_entity_base_ + t.attribute * num_bins_ + b)});
+  }
+  transe_ = std::make_unique<TransE>(total_entities, total_relations, transe_config_);
+  transe_->Train(triples);
+}
+
+double KgaBaseline::Predict(kg::EntityId entity, kg::AttributeId attribute) {
+  if (transe_ == nullptr) return Fallback(attribute);
+  const auto& reps = bin_values_[static_cast<size_t>(attribute)];
+  if (reps.empty()) return Fallback(attribute);
+  const auto rel =
+      static_cast<kg::RelationId>(attr_relation_base_ + 2 * attribute);
+  int best = 0;
+  double best_score = -1e300;
+  for (int b = 0; b < num_bins_; ++b) {
+    const auto bin_entity = static_cast<kg::EntityId>(
+        bin_entity_base_ + attribute * num_bins_ + b);
+    const double s = transe_->Score(entity, rel, bin_entity);
+    if (s > best_score) {
+      best_score = s;
+      best = b;
+    }
+  }
+  return reps[static_cast<size_t>(best)];
+}
+
+}  // namespace baselines
+}  // namespace chainsformer

@@ -1,0 +1,52 @@
+#ifndef CHAINSFORMER_BASELINES_KGA_H_
+#define CHAINSFORMER_BASELINES_KGA_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "baselines/transe.h"
+
+namespace chainsformer {
+namespace baselines {
+
+/// KGA (Wang et al., IJCAI 2022): quantile-bins every attribute into
+/// discrete "value entities", augments the graph with (entity, has_<attr>,
+/// bin) triples, trains link prediction (TransE here), and answers a query
+/// by scoring all bins of the attribute and returning the best bin's median
+/// value. Inherits binning quantization error by construction — the paper's
+/// stated trade-off between classification difficulty and quantization
+/// precision.
+class KgaBaseline : public NumericPredictor {
+ public:
+  KgaBaseline(const kg::Dataset& dataset, int num_bins = 24,
+              TransEConfig transe_config = {});
+
+  std::string name() const override { return "KGA"; }
+  Capabilities capabilities() const override {
+    return {.num_aware = true, .one_hop = true, .multi_hop = true,
+            .same_attr = true, .multi_attr = false};
+  }
+  void Train() override;
+  double Predict(kg::EntityId entity, kg::AttributeId attribute) override;
+
+ private:
+  /// Bin index of a value under the attribute's quantile edges.
+  int BinOf(kg::AttributeId a, double value) const;
+
+  int num_bins_;
+  TransEConfig transe_config_;
+  std::unique_ptr<TransE> transe_;
+  /// Per attribute: ascending bin upper edges (num_bins_-1 of them).
+  std::vector<std::vector<double>> bin_edges_;
+  /// Per attribute: representative (median) value per bin.
+  std::vector<std::vector<double>> bin_values_;
+  /// Augmented-graph ids.
+  int64_t bin_entity_base_ = 0;    // bin entity id = base + a * num_bins_ + b
+  int64_t attr_relation_base_ = 0; // relation id = base + 2 * a (TransE ids)
+};
+
+}  // namespace baselines
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_BASELINES_KGA_H_

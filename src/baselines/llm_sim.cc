@@ -1,0 +1,125 @@
+#include "baselines/llm_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+namespace chainsformer {
+namespace baselines {
+namespace {
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+uint64_t QuerySeed(uint64_t seed, kg::EntityId e, kg::AttributeId a) {
+  return seed ^ (static_cast<uint64_t>(static_cast<uint32_t>(e)) << 20) ^
+         static_cast<uint32_t>(a);
+}
+
+}  // namespace
+
+LlmSimBaseline::LlmSimBaseline(const kg::Dataset& dataset, LlmGrade grade,
+                               int num_walks, int max_hops, uint64_t seed)
+    : NumericPredictor(dataset),
+      grade_(grade),
+      max_hops_(max_hops),
+      num_walks_(num_walks),
+      seed_(seed) {
+  retrieval_ = std::make_unique<core::QueryRetrieval>(dataset.graph, train_index_,
+                                                      max_hops_, num_walks_);
+}
+
+double LlmSimBaseline::Predict(kg::EntityId entity, kg::AttributeId attribute) {
+  Rng rng(QuerySeed(seed_, entity, attribute));
+  const core::TreeOfChains toc = retrieval_->Retrieve({entity, attribute}, rng);
+  if (toc.empty()) return Fallback(attribute);
+  const auto& qs = train_stats_[static_cast<size_t>(attribute)];
+
+  std::vector<double> same_attr;
+  std::vector<double> any_attr_norm;
+  for (const auto& c : toc) {
+    if (c.source_attribute == attribute) same_attr.push_back(c.source_value);
+    const auto& ss = train_stats_[static_cast<size_t>(c.source_attribute)];
+    any_attr_norm.push_back(ss.Normalize(c.source_value));
+  }
+
+  double normalized;
+  double noise_sigma;
+  if (grade_ == LlmGrade::kGpt40) {
+    // GPT-4-grade: keys on exact-attribute evidence, robust median.
+    if (!same_attr.empty()) {
+      normalized = qs.Normalize(Median(same_attr));
+    } else {
+      normalized = Median(any_attr_norm);
+    }
+    noise_sigma = 0.03;
+  } else {
+    // GPT-3.5-grade: averages everything indiscriminately (unit confusion
+    // across attribute types) with higher arithmetic noise.
+    double mean = 0.0;
+    for (double v : any_attr_norm) mean += v;
+    mean /= static_cast<double>(any_attr_norm.size());
+    if (!same_attr.empty()) {
+      // Partially anchors on matching evidence, but dilutes it.
+      mean = 0.5 * mean + 0.5 * qs.Normalize(Median(same_attr));
+    }
+    normalized = mean;
+    noise_sigma = 0.09;
+  }
+  normalized += rng.Normal(0.0, noise_sigma);
+  return qs.Denormalize(std::clamp(normalized, -0.1, 1.1));
+}
+
+TogSimBaseline::TogSimBaseline(const kg::Dataset& dataset, int beam_width,
+                               int depth, uint64_t seed)
+    : NumericPredictor(dataset), beam_width_(beam_width), depth_(depth), seed_(seed) {}
+
+double TogSimBaseline::Predict(kg::EntityId entity, kg::AttributeId attribute) {
+  Rng rng(QuerySeed(seed_, entity, attribute));
+  // Beam search with a noisy relevance heuristic: "the LLM" prefers
+  // neighbors that carry numeric facts but misjudges relation relevance.
+  std::vector<kg::EntityId> frontier{entity};
+  std::unordered_set<kg::EntityId> visited{entity};
+  std::vector<double> evidence;
+  for (int d = 0; d < depth_; ++d) {
+    std::vector<std::pair<double, kg::EntityId>> scored;
+    for (kg::EntityId e : frontier) {
+      for (const auto& edge : dataset_.graph.Neighbors(e)) {
+        if (visited.count(edge.neighbor) != 0) continue;
+        const auto facts = train_index_.Values(edge.neighbor);
+        double score = rng.Normal(0.0, 1.0);  // noisy LLM pruning
+        for (const auto& [a, v] : facts) {
+          score += (a == attribute) ? 2.0 : 0.4;
+        }
+        scored.emplace_back(score, edge.neighbor);
+      }
+    }
+    if (scored.empty()) break;
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    frontier.clear();
+    for (int b = 0; b < beam_width_ && b < static_cast<int>(scored.size()); ++b) {
+      const kg::EntityId next = scored[static_cast<size_t>(b)].second;
+      visited.insert(next);
+      frontier.push_back(next);
+      double v = 0.0;
+      if (train_index_.Get(next, attribute, &v)) evidence.push_back(v);
+    }
+  }
+  if (evidence.empty()) return Fallback(attribute);
+  double mean = 0.0;
+  for (double v : evidence) mean += v;
+  mean /= static_cast<double>(evidence.size());
+  // Zero-shot aggregation noise.
+  const auto& qs = train_stats_[static_cast<size_t>(attribute)];
+  const double normalized =
+      std::clamp(qs.Normalize(mean) + rng.Normal(0.0, 0.05), -0.1, 1.1);
+  return qs.Denormalize(normalized);
+}
+
+}  // namespace baselines
+}  // namespace chainsformer

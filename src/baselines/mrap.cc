@@ -1,0 +1,142 @@
+#include "baselines/mrap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace baselines {
+
+MrapBaseline::MrapBaseline(const kg::Dataset& dataset, int iterations,
+                           int min_support)
+    : NumericPredictor(dataset), iterations_(iterations), min_support_(min_support) {}
+
+void MrapBaseline::Train() {
+  const auto& graph = dataset_.graph;
+  const int64_t num_entities = graph.num_entities();
+  const int64_t num_attrs = graph.num_attributes();
+
+  auto norm = [&](kg::AttributeId a, double v) {
+    return train_stats_[static_cast<size_t>(a)].Normalize(v);
+  };
+
+  // --- Fit per-(relation, src attr, dst attr) linear edge models -------------
+  struct Accum {
+    double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+    int64_t n = 0;
+  };
+  std::unordered_map<uint64_t, Accum> accums;
+  for (kg::EntityId e = 0; e < num_entities; ++e) {
+    const auto facts_e = train_index_.Values(e);
+    if (facts_e.empty()) continue;
+    for (const auto& edge : graph.Neighbors(e)) {
+      const auto facts_n = train_index_.Values(edge.neighbor);
+      for (const auto& [a_src, v_src] : facts_e) {
+        for (const auto& [a_dst, v_dst] : facts_n) {
+          // Message direction: e --edge.relation--> neighbor, i.e. the model
+          // transforms e's attribute into the neighbor's.
+          auto& acc = accums[ModelKey(edge.relation, a_src, a_dst)];
+          const double x = norm(a_src, v_src);
+          const double y = norm(a_dst, v_dst);
+          acc.sx += x;
+          acc.sy += y;
+          acc.sxx += x * x;
+          acc.sxy += x * y;
+          acc.syy += y * y;
+          ++acc.n;
+        }
+      }
+    }
+  }
+  models_.clear();
+  for (const auto& [key, acc] : accums) {
+    if (acc.n < min_support_) continue;
+    const double n = static_cast<double>(acc.n);
+    const double var_x = acc.sxx / n - (acc.sx / n) * (acc.sx / n);
+    const double cov = acc.sxy / n - (acc.sx / n) * (acc.sy / n);
+    const double var_y = acc.syy / n - (acc.sy / n) * (acc.sy / n);
+    EdgeModel m;
+    if (var_x > 1e-8) {
+      m.alpha = cov / var_x;
+      m.beta = acc.sy / n - m.alpha * acc.sx / n;
+    } else {
+      m.alpha = 0.0;
+      m.beta = acc.sy / n;
+    }
+    // Residual variance -> precision weight; require informative models.
+    const double resid = std::max(1e-4, var_y - (var_x > 1e-8 ? cov * cov / var_x : 0.0));
+    const double corr2 = (var_x > 1e-8 && var_y > 1e-8)
+                             ? (cov * cov) / (var_x * var_y)
+                             : 0.0;
+    if (corr2 < 0.05 && std::fabs(m.alpha) > 1e-8) continue;
+    m.weight = std::min(4.0, 1.0 / resid) * std::log1p(static_cast<double>(acc.n));
+    models_.emplace(key, m);
+  }
+
+  // --- Iterative propagation (normalized space) ------------------------------
+  estimate_.assign(static_cast<size_t>(num_attrs),
+                   std::vector<double>(static_cast<size_t>(num_entities), 0.0));
+  has_estimate_.assign(static_cast<size_t>(num_attrs),
+                       std::vector<uint8_t>(static_cast<size_t>(num_entities), 0));
+  std::vector<std::vector<uint8_t>> is_labeled = has_estimate_;
+  for (const auto& t : dataset_.split.train) {
+    estimate_[static_cast<size_t>(t.attribute)][static_cast<size_t>(t.entity)] =
+        norm(t.attribute, t.value);
+    has_estimate_[static_cast<size_t>(t.attribute)][static_cast<size_t>(t.entity)] = 1;
+    is_labeled[static_cast<size_t>(t.attribute)][static_cast<size_t>(t.entity)] = 1;
+  }
+
+  for (int it = 0; it < iterations_; ++it) {
+    auto next_estimate = estimate_;
+    auto next_has = has_estimate_;
+    for (kg::EntityId e = 0; e < num_entities; ++e) {
+      for (int64_t a = 0; a < num_attrs; ++a) {
+        if (is_labeled[static_cast<size_t>(a)][static_cast<size_t>(e)]) continue;
+        double num = 0.0, den = 0.0;
+        // Incoming messages: neighbor u --rel--> e means the model is keyed
+        // on the edge direction u->e, which from e's adjacency appears as
+        // the inverse relation; convert accordingly.
+        for (const auto& edge : graph.Neighbors(e)) {
+          const kg::RelationId incoming =
+              kg::KnowledgeGraph::InverseRelation(edge.relation);
+          for (int64_t a_src = 0; a_src < num_attrs; ++a_src) {
+            if (!has_estimate_[static_cast<size_t>(a_src)]
+                              [static_cast<size_t>(edge.neighbor)]) {
+              continue;
+            }
+            const auto mit = models_.find(ModelKey(
+                incoming, static_cast<kg::AttributeId>(a_src),
+                static_cast<kg::AttributeId>(a)));
+            if (mit == models_.end()) continue;
+            const EdgeModel& m = mit->second;
+            const double x = estimate_[static_cast<size_t>(a_src)]
+                                      [static_cast<size_t>(edge.neighbor)];
+            num += m.weight * (m.alpha * x + m.beta);
+            den += m.weight;
+          }
+        }
+        if (den > 0.0) {
+          next_estimate[static_cast<size_t>(a)][static_cast<size_t>(e)] = num / den;
+          next_has[static_cast<size_t>(a)][static_cast<size_t>(e)] = 1;
+        }
+      }
+    }
+    estimate_.swap(next_estimate);
+    has_estimate_.swap(next_has);
+  }
+}
+
+double MrapBaseline::Predict(kg::EntityId entity, kg::AttributeId attribute) {
+  if (!has_estimate_.empty() &&
+      has_estimate_[static_cast<size_t>(attribute)][static_cast<size_t>(entity)]) {
+    const double normalized =
+        estimate_[static_cast<size_t>(attribute)][static_cast<size_t>(entity)];
+    return train_stats_[static_cast<size_t>(attribute)].Denormalize(
+        std::clamp(normalized, -0.1, 1.1));
+  }
+  return Fallback(attribute);
+}
+
+}  // namespace baselines
+}  // namespace chainsformer

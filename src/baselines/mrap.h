@@ -1,0 +1,60 @@
+#ifndef CHAINSFORMER_BASELINES_MRAP_H_
+#define CHAINSFORMER_BASELINES_MRAP_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/baseline.h"
+
+namespace chainsformer {
+namespace baselines {
+
+/// MrAP (Bayram et al., ICASSP 2021): multi-relational attribute
+/// propagation. For every (relation, source-attribute, target-attribute)
+/// combination with enough co-observed endpoint pairs, a linear edge model
+/// y ≈ α x + β is fit by least squares on normalized values; message passing
+/// then iteratively propagates known attribute values across 1-hop edges,
+/// each unlabeled node taking the confidence-weighted mean of its incoming
+/// transformed messages. Propagation is local per step (the paper's
+/// "confined to local neighbors"), though iteration diffuses information —
+/// faithfully to the original method.
+class MrapBaseline : public NumericPredictor {
+ public:
+  explicit MrapBaseline(const kg::Dataset& dataset, int iterations = 8,
+                        int min_support = 8);
+
+  std::string name() const override { return "MrAP"; }
+  Capabilities capabilities() const override {
+    return {.num_aware = false, .one_hop = true, .multi_hop = false,
+            .same_attr = true, .multi_attr = true};
+  }
+  void Train() override;
+  double Predict(kg::EntityId entity, kg::AttributeId attribute) override;
+
+ private:
+  struct EdgeModel {
+    double alpha = 1.0;
+    double beta = 0.0;
+    double weight = 0.0;  // confidence from support and residual variance
+  };
+
+  /// Model lookup key: (relation id, source attr, target attr).
+  static uint64_t ModelKey(kg::RelationId r, kg::AttributeId src,
+                           kg::AttributeId dst) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(r)) << 32) |
+           (static_cast<uint64_t>(static_cast<uint16_t>(src)) << 16) |
+           static_cast<uint16_t>(dst);
+  }
+
+  int iterations_;
+  int min_support_;
+  std::unordered_map<uint64_t, EdgeModel> models_;
+  /// estimate_[a][e]: propagated normalized value; has_estimate_ parallel.
+  std::vector<std::vector<double>> estimate_;
+  std::vector<std::vector<uint8_t>> has_estimate_;
+};
+
+}  // namespace baselines
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_BASELINES_MRAP_H_

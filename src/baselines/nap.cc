@@ -1,0 +1,45 @@
+#include "baselines/nap.h"
+
+#include <cmath>
+
+namespace chainsformer {
+namespace baselines {
+
+NapPlusPlusBaseline::NapPlusPlusBaseline(const kg::Dataset& dataset,
+                                         int k_neighbors,
+                                         TransEConfig transe_config)
+    : NumericPredictor(dataset),
+      k_neighbors_(k_neighbors),
+      transe_config_(transe_config) {}
+
+void NapPlusPlusBaseline::Train() {
+  transe_ = std::make_unique<TransE>(dataset_.graph.num_entities(),
+                                     dataset_.graph.num_relation_ids(),
+                                     transe_config_);
+  transe_->Train(dataset_.graph.relational_triples());
+  holders_.assign(static_cast<size_t>(dataset_.graph.num_attributes()), {});
+  for (const auto& t : dataset_.split.train) {
+    holders_[static_cast<size_t>(t.attribute)].push_back(t.entity);
+  }
+}
+
+double NapPlusPlusBaseline::Predict(kg::EntityId entity,
+                                    kg::AttributeId attribute) {
+  const auto& holders = holders_[static_cast<size_t>(attribute)];
+  if (holders.empty() || transe_ == nullptr) return Fallback(attribute);
+  const auto nearest = transe_->NearestEntities(entity, k_neighbors_, holders);
+  if (nearest.empty()) return Fallback(attribute);
+  double weighted = 0.0;
+  double total = 0.0;
+  for (kg::EntityId n : nearest) {
+    double v = 0.0;
+    if (!train_index_.Get(n, attribute, &v)) continue;
+    const double w = 1.0 / (1e-6 + std::sqrt(transe_->EntityDistanceSq(entity, n)));
+    weighted += w * v;
+    total += w;
+  }
+  return total > 0.0 ? weighted / total : Fallback(attribute);
+}
+
+}  // namespace baselines
+}  // namespace chainsformer

@@ -1,0 +1,40 @@
+#ifndef CHAINSFORMER_BASELINES_NAP_H_
+#define CHAINSFORMER_BASELINES_NAP_H_
+
+#include <memory>
+
+#include "baselines/baseline.h"
+#include "baselines/transe.h"
+
+namespace chainsformer {
+namespace baselines {
+
+/// NAP++ (Kotnis & García-Durán 2019): trains TransE on the relational
+/// triples, then predicts an attribute as the inverse-distance-weighted mean
+/// of the attribute's values over the k nearest training entities in
+/// embedding space. No value conditioning, no explicit paths (Table IV).
+class NapPlusPlusBaseline : public NumericPredictor {
+ public:
+  NapPlusPlusBaseline(const kg::Dataset& dataset, int k_neighbors = 8,
+                      TransEConfig transe_config = {});
+
+  std::string name() const override { return "NAP++"; }
+  Capabilities capabilities() const override {
+    return {.num_aware = false, .one_hop = true, .multi_hop = false,
+            .same_attr = true, .multi_attr = false};
+  }
+  void Train() override;
+  double Predict(kg::EntityId entity, kg::AttributeId attribute) override;
+
+ private:
+  int k_neighbors_;
+  TransEConfig transe_config_;
+  std::unique_ptr<TransE> transe_;
+  /// Training entities that carry each attribute.
+  std::vector<std::vector<kg::EntityId>> holders_;
+};
+
+}  // namespace baselines
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_BASELINES_NAP_H_

@@ -1,0 +1,154 @@
+#include "baselines/plm_reg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace baselines {
+namespace {
+
+// FNV-1a based deterministic feature hash.
+uint64_t HashString(const std::string& s, uint64_t salt) {
+  uint64_t h = 1469598103934665603ull ^ salt;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+double HashToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+}
+
+}  // namespace
+
+std::vector<double> RidgeSolve(std::vector<double> a, std::vector<double> b,
+                               int n, double l2) {
+  CF_CHECK_EQ(a.size(), static_cast<size_t>(n) * n);
+  CF_CHECK_EQ(b.size(), static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) a[static_cast<size_t>(i * n + i)] += l2;
+  // Cholesky decomposition A = L L^T.
+  std::vector<double> l(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a[static_cast<size_t>(i * n + j)];
+      for (int k = 0; k < j; ++k) {
+        sum -= l[static_cast<size_t>(i * n + k)] * l[static_cast<size_t>(j * n + k)];
+      }
+      if (i == j) {
+        l[static_cast<size_t>(i * n + j)] = std::sqrt(std::max(sum, 1e-10));
+      } else {
+        l[static_cast<size_t>(i * n + j)] = sum / l[static_cast<size_t>(j * n + j)];
+      }
+    }
+  }
+  // Forward solve L y = b.
+  std::vector<double> y(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double sum = b[static_cast<size_t>(i)];
+    for (int k = 0; k < i; ++k) sum -= l[static_cast<size_t>(i * n + k)] * y[static_cast<size_t>(k)];
+    y[static_cast<size_t>(i)] = sum / l[static_cast<size_t>(i * n + i)];
+  }
+  // Backward solve L^T x = y.
+  std::vector<double> x(static_cast<size_t>(n));
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = y[static_cast<size_t>(i)];
+    for (int k = i + 1; k < n; ++k) {
+      sum -= l[static_cast<size_t>(k * n + i)] * x[static_cast<size_t>(k)];
+    }
+    x[static_cast<size_t>(i)] = sum / l[static_cast<size_t>(i * n + i)];
+  }
+  return x;
+}
+
+PlmRegBaseline::PlmRegBaseline(const kg::Dataset& dataset, int text_dim, double l2)
+    : NumericPredictor(dataset), text_dim_(text_dim), l2_(l2) {
+  feature_dim_ = text_dim_ + static_cast<int>(dataset.graph.num_attributes()) + 2;
+}
+
+std::vector<double> PlmRegBaseline::Features(kg::EntityId entity) const {
+  std::vector<double> f(static_cast<size_t>(feature_dim_) + 1, 0.0);
+  // Pseudo text embedding: hash projections of the surface name.
+  const std::string& name = dataset_.graph.EntityName(entity);
+  for (int j = 0; j < text_dim_; ++j) {
+    f[static_cast<size_t>(j)] =
+        HashToUnit(HashString(name, 0x5EEDull + static_cast<uint64_t>(j)));
+  }
+  // 1-hop numeric context: mean normalized neighbor value per attribute
+  // (a textual description would verbalize these facts).
+  const int64_t num_attrs = dataset_.graph.num_attributes();
+  std::vector<double> sum(static_cast<size_t>(num_attrs), 0.0);
+  std::vector<int> cnt(static_cast<size_t>(num_attrs), 0);
+  int degree = 0;
+  for (const auto& e : dataset_.graph.Neighbors(entity)) {
+    ++degree;
+    for (const auto& [a, v] : train_index_.Values(e.neighbor)) {
+      sum[static_cast<size_t>(a)] += train_stats_[static_cast<size_t>(a)].Normalize(v);
+      ++cnt[static_cast<size_t>(a)];
+    }
+  }
+  for (int64_t a = 0; a < num_attrs; ++a) {
+    f[static_cast<size_t>(text_dim_ + a)] =
+        cnt[static_cast<size_t>(a)] > 0
+            ? sum[static_cast<size_t>(a)] / cnt[static_cast<size_t>(a)]
+            : 0.5;
+  }
+  f[static_cast<size_t>(text_dim_) + static_cast<size_t>(num_attrs)] =
+      std::log1p(static_cast<double>(degree)) / 5.0;
+  f[static_cast<size_t>(feature_dim_) - 1] = 0.0;  // reserved
+  f[static_cast<size_t>(feature_dim_)] = 1.0;      // intercept
+  return f;
+}
+
+void PlmRegBaseline::Train() {
+  const int n = feature_dim_ + 1;  // + intercept
+  const int64_t num_attrs = dataset_.graph.num_attributes();
+  weights_.assign(static_cast<size_t>(num_attrs), {});
+
+  std::vector<std::vector<double>> gram(
+      static_cast<size_t>(num_attrs),
+      std::vector<double>(static_cast<size_t>(n) * n, 0.0));
+  std::vector<std::vector<double>> rhs(static_cast<size_t>(num_attrs),
+                                       std::vector<double>(static_cast<size_t>(n), 0.0));
+
+  for (const auto& t : dataset_.split.train) {
+    const std::vector<double> f = Features(t.entity);
+    const double y = train_stats_[static_cast<size_t>(t.attribute)].Normalize(t.value);
+    auto& g = gram[static_cast<size_t>(t.attribute)];
+    auto& b = rhs[static_cast<size_t>(t.attribute)];
+    for (int i = 0; i < n; ++i) {
+      b[static_cast<size_t>(i)] += f[static_cast<size_t>(i)] * y;
+      for (int j = 0; j <= i; ++j) {
+        g[static_cast<size_t>(i * n + j)] += f[static_cast<size_t>(i)] * f[static_cast<size_t>(j)];
+      }
+    }
+  }
+  for (int64_t a = 0; a < num_attrs; ++a) {
+    auto& g = gram[static_cast<size_t>(a)];
+    // Symmetrize the accumulated lower triangle.
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        g[static_cast<size_t>(i * n + j)] = g[static_cast<size_t>(j * n + i)];
+      }
+    }
+    weights_[static_cast<size_t>(a)] =
+        RidgeSolve(g, rhs[static_cast<size_t>(a)], n, l2_);
+  }
+}
+
+double PlmRegBaseline::Predict(kg::EntityId entity, kg::AttributeId attribute) {
+  const auto& w = weights_[static_cast<size_t>(attribute)];
+  if (w.empty()) return Fallback(attribute);
+  const std::vector<double> f = Features(entity);
+  double y = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) y += w[i] * f[i];
+  return train_stats_[static_cast<size_t>(attribute)].Denormalize(
+      std::clamp(y, -0.1, 1.1));
+}
+
+}  // namespace baselines
+}  // namespace chainsformer

@@ -1,0 +1,53 @@
+#ifndef CHAINSFORMER_BASELINES_PLM_REG_H_
+#define CHAINSFORMER_BASELINES_PLM_REG_H_
+
+#include <vector>
+
+#include "baselines/baseline.h"
+
+namespace chainsformer {
+namespace baselines {
+
+/// PLM-reg (Xue et al., ISWC 2022): direct regression on *static* entity
+/// features from a pre-trained language model.
+///
+/// Substitution: no LM is available offline, so each entity gets a
+/// deterministic hash-projected pseudo-embedding of its surface name (the
+/// "frozen text features") concatenated with a 1-hop numeric context vector
+/// (a textual entity description would verbalize neighboring facts, which
+/// is what gives PLM-reg its mid-field signal). A per-attribute ridge
+/// regressor maps features to the normalized value. Like the original, the
+/// method sees no explicit multi-hop structure and cannot adapt its
+/// representation to the queried value (Table IV).
+class PlmRegBaseline : public NumericPredictor {
+ public:
+  explicit PlmRegBaseline(const kg::Dataset& dataset, int text_dim = 24,
+                          double l2 = 1.0);
+
+  std::string name() const override { return "PLM-reg"; }
+  Capabilities capabilities() const override {
+    return {.num_aware = false, .one_hop = true, .multi_hop = false,
+            .same_attr = true, .multi_attr = false};
+  }
+  void Train() override;
+  double Predict(kg::EntityId entity, kg::AttributeId attribute) override;
+
+ private:
+  std::vector<double> Features(kg::EntityId entity) const;
+
+  int text_dim_;
+  double l2_;
+  int feature_dim_ = 0;
+  /// weights_[a]: ridge weights (+ intercept as last element).
+  std::vector<std::vector<double>> weights_;
+};
+
+/// Solves (A + l2*I) x = b for symmetric positive definite A via Cholesky.
+/// Exposed for tests. `a` is row-major n x n and is modified in place.
+std::vector<double> RidgeSolve(std::vector<double> a, std::vector<double> b,
+                               int n, double l2);
+
+}  // namespace baselines
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_BASELINES_PLM_REG_H_

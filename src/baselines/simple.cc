@@ -1,0 +1,25 @@
+#include "baselines/simple.h"
+
+namespace chainsformer {
+namespace baselines {
+
+double GlobalMeanBaseline::Predict(kg::EntityId entity, kg::AttributeId attribute) {
+  (void)entity;
+  return Fallback(attribute);
+}
+
+double LocalMeanBaseline::Predict(kg::EntityId entity, kg::AttributeId attribute) {
+  double sum = 0.0;
+  int64_t count = 0;
+  for (const auto& e : dataset_.graph.Neighbors(entity)) {
+    double v = 0.0;
+    if (train_index_.Get(e.neighbor, attribute, &v)) {
+      sum += v;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : Fallback(attribute);
+}
+
+}  // namespace baselines
+}  // namespace chainsformer

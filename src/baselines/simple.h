@@ -1,0 +1,40 @@
+#ifndef CHAINSFORMER_BASELINES_SIMPLE_H_
+#define CHAINSFORMER_BASELINES_SIMPLE_H_
+
+#include "baselines/baseline.h"
+
+namespace chainsformer {
+namespace baselines {
+
+/// Sanity floor: predicts the training mean of the attribute.
+class GlobalMeanBaseline : public NumericPredictor {
+ public:
+  explicit GlobalMeanBaseline(const kg::Dataset& dataset)
+      : NumericPredictor(dataset) {}
+
+  std::string name() const override { return "GlobalMean"; }
+  Capabilities capabilities() const override { return {}; }
+  void Train() override {}
+  double Predict(kg::EntityId entity, kg::AttributeId attribute) override;
+};
+
+/// Predicts the mean of the same attribute over 1-hop neighbors, falling
+/// back to the global mean; the simplest graph-aware reference point.
+class LocalMeanBaseline : public NumericPredictor {
+ public:
+  explicit LocalMeanBaseline(const kg::Dataset& dataset)
+      : NumericPredictor(dataset) {}
+
+  std::string name() const override { return "LocalMean"; }
+  Capabilities capabilities() const override {
+    return {.num_aware = false, .one_hop = true, .multi_hop = false,
+            .same_attr = true, .multi_attr = false};
+  }
+  void Train() override {}
+  double Predict(kg::EntityId entity, kg::AttributeId attribute) override;
+};
+
+}  // namespace baselines
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_BASELINES_SIMPLE_H_

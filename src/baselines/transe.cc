@@ -1,0 +1,138 @@
+#include "baselines/transe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace baselines {
+
+TransE::TransE(int64_t num_entities, int64_t num_relations,
+               const TransEConfig& config)
+    : num_entities_(num_entities),
+      num_relations_(num_relations),
+      config_(config),
+      rng_(config.seed) {
+  CF_CHECK_GT(num_entities, 0);
+  CF_CHECK_GT(num_relations, 0);
+  const float bound = 6.0f / std::sqrt(static_cast<float>(config_.dim));
+  entities_.resize(static_cast<size_t>(num_entities * config_.dim));
+  relations_.resize(static_cast<size_t>(num_relations * config_.dim));
+  for (auto& v : entities_) v = static_cast<float>(rng_.Uniform(-bound, bound));
+  for (auto& v : relations_) v = static_cast<float>(rng_.Uniform(-bound, bound));
+  for (int64_t e = 0; e < num_entities_; ++e) NormalizeEntity(static_cast<kg::EntityId>(e));
+}
+
+void TransE::NormalizeEntity(kg::EntityId e) {
+  float* v = Entity(e);
+  double norm = 0.0;
+  for (int64_t j = 0; j < config_.dim; ++j) norm += static_cast<double>(v[j]) * v[j];
+  norm = std::sqrt(norm);
+  if (norm > 1.0) {
+    const float inv = static_cast<float>(1.0 / norm);
+    for (int64_t j = 0; j < config_.dim; ++j) v[j] *= inv;
+  }
+}
+
+double TransE::Score(kg::EntityId h, kg::RelationId r, kg::EntityId t) const {
+  const float* hv = Entity(h);
+  const float* rv = Relation(r);
+  const float* tv = Entity(t);
+  double d = 0.0;
+  for (int64_t j = 0; j < config_.dim; ++j) {
+    const double diff = static_cast<double>(hv[j]) + rv[j] - tv[j];
+    d += diff * diff;
+  }
+  return -std::sqrt(d);
+}
+
+double TransE::EntityDistanceSq(kg::EntityId a, kg::EntityId b) const {
+  const float* av = Entity(a);
+  const float* bv = Entity(b);
+  double d = 0.0;
+  for (int64_t j = 0; j < config_.dim; ++j) {
+    const double diff = static_cast<double>(av[j]) - bv[j];
+    d += diff * diff;
+  }
+  return d;
+}
+
+void TransE::Train(const std::vector<kg::RelationalTriple>& triples) {
+  if (triples.empty()) return;
+  std::vector<size_t> order(triples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const int dim = config_.dim;
+  std::vector<float> grad(static_cast<size_t>(dim));
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(order);
+    size_t budget = order.size();
+    if (config_.max_triples_per_epoch > 0) {
+      budget = std::min<size_t>(budget,
+                                static_cast<size_t>(config_.max_triples_per_epoch));
+    }
+    for (size_t i = 0; i < budget; ++i) {
+      const auto& pos = triples[order[i]];
+      // Corrupt head or tail uniformly.
+      kg::RelationalTriple neg = pos;
+      if (rng_.Bernoulli(0.5)) {
+        neg.head = static_cast<kg::EntityId>(
+            rng_.UniformInt(static_cast<uint64_t>(num_entities_)));
+      } else {
+        neg.tail = static_cast<kg::EntityId>(
+            rng_.UniformInt(static_cast<uint64_t>(num_entities_)));
+      }
+      const double d_pos = -Score(pos.head, pos.relation, pos.tail);
+      const double d_neg = -Score(neg.head, neg.relation, neg.tail);
+      if (d_pos + config_.margin <= d_neg) continue;  // margin satisfied
+
+      // Gradient of ||h + r - t||: unit direction of (h + r - t).
+      auto step = [&](const kg::RelationalTriple& t_, float sign) {
+        float* hv = Entity(t_.head);
+        float* rv = Relation(t_.relation);
+        float* tv = Entity(t_.tail);
+        double norm = 0.0;
+        for (int j = 0; j < dim; ++j) {
+          grad[static_cast<size_t>(j)] = hv[j] + rv[j] - tv[j];
+          norm += static_cast<double>(grad[static_cast<size_t>(j)]) *
+                  grad[static_cast<size_t>(j)];
+        }
+        norm = std::sqrt(std::max(norm, 1e-12));
+        const float scale = sign * config_.lr / static_cast<float>(norm);
+        for (int j = 0; j < dim; ++j) {
+          const float g = grad[static_cast<size_t>(j)] * scale;
+          hv[j] -= g;
+          rv[j] -= g;
+          tv[j] += g;
+        }
+      };
+      step(pos, +1.0f);   // decrease positive distance
+      step(neg, -1.0f);   // increase negative distance
+      NormalizeEntity(pos.head);
+      NormalizeEntity(pos.tail);
+      NormalizeEntity(neg.head);
+      NormalizeEntity(neg.tail);
+    }
+  }
+}
+
+std::vector<kg::EntityId> TransE::NearestEntities(
+    kg::EntityId e, int k, const std::vector<kg::EntityId>& candidates) const {
+  std::vector<std::pair<double, kg::EntityId>> scored;
+  scored.reserve(candidates.size());
+  for (kg::EntityId c : candidates) {
+    if (c == e) continue;
+    scored.emplace_back(EntityDistanceSq(e, c), c);
+  }
+  const size_t kk = std::min<size_t>(static_cast<size_t>(k), scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(kk),
+                    scored.end());
+  std::vector<kg::EntityId> out;
+  out.reserve(kk);
+  for (size_t i = 0; i < kk; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace chainsformer

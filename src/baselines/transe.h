@@ -1,0 +1,73 @@
+#ifndef CHAINSFORMER_BASELINES_TRANSE_H_
+#define CHAINSFORMER_BASELINES_TRANSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "util/rng.h"
+
+namespace chainsformer {
+namespace baselines {
+
+/// Configuration of the TransE trainer.
+struct TransEConfig {
+  int dim = 32;
+  int epochs = 15;
+  float lr = 0.05f;
+  float margin = 1.0f;
+  /// Per-epoch triple subsample (0 = all).
+  int max_triples_per_epoch = 20000;
+  uint64_t seed = 99;
+};
+
+/// Classic TransE (Bordes et al. 2013): h + r ≈ t with margin ranking and
+/// uniform negative sampling. Implemented with hand-written SGD (no autograd)
+/// because embedding updates touch only three rows per example.
+///
+/// Substrate for the NAP++ baseline (nearest-neighbor lookup in entity
+/// space) and the KGA baseline (link prediction over bin entities).
+class TransE {
+ public:
+  TransE(int64_t num_entities, int64_t num_relations, const TransEConfig& config);
+
+  /// Margin-ranking training with head/tail corruption.
+  void Train(const std::vector<kg::RelationalTriple>& triples);
+
+  /// Plausibility score of (h, r, t): -||h + r - t||_2 (higher = better).
+  double Score(kg::EntityId h, kg::RelationId r, kg::EntityId t) const;
+
+  /// Squared distance between two entity embeddings.
+  double EntityDistanceSq(kg::EntityId a, kg::EntityId b) const;
+
+  /// The `k` candidates nearest to `e` in embedding space, ordered by
+  /// ascending distance.
+  std::vector<kg::EntityId> NearestEntities(
+      kg::EntityId e, int k, const std::vector<kg::EntityId>& candidates) const;
+
+  int64_t dim() const { return config_.dim; }
+  const std::vector<float>& entity_data() const { return entities_; }
+
+ private:
+  float* Entity(kg::EntityId e) { return entities_.data() + e * config_.dim; }
+  const float* Entity(kg::EntityId e) const {
+    return entities_.data() + e * config_.dim;
+  }
+  float* Relation(kg::RelationId r) { return relations_.data() + r * config_.dim; }
+  const float* Relation(kg::RelationId r) const {
+    return relations_.data() + r * config_.dim;
+  }
+  void NormalizeEntity(kg::EntityId e);
+
+  int64_t num_entities_;
+  int64_t num_relations_;
+  TransEConfig config_;
+  std::vector<float> entities_;
+  std::vector<float> relations_;
+  Rng rng_;
+};
+
+}  // namespace baselines
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_BASELINES_TRANSE_H_

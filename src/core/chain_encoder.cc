@@ -1,0 +1,153 @@
+#include "core/chain_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace core {
+
+namespace ops = chainsformer::tensor;
+using tensor::Tensor;
+
+std::vector<float> EncodeFloat64Bits(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  std::vector<float> out(64);
+  for (int i = 0; i < 64; ++i) {
+    // MSB (sign bit) first.
+    out[static_cast<size_t>(i)] =
+        static_cast<float>((bits >> (63 - i)) & 1ull);
+  }
+  return out;
+}
+
+std::vector<float> EncodeLogFeatures(double value) {
+  std::vector<float> out(64, 0.0f);
+  const double sign = value < 0.0 ? -1.0 : 1.0;
+  const double mag = std::log1p(std::fabs(value));
+  out[0] = static_cast<float>(sign);
+  out[1] = static_cast<float>(mag / 25.0);  // log1p(3.1e9) ≈ 21.9
+  for (int k = 0; k < 31; ++k) {
+    const double freq = std::pow(1.35, k) * 0.1;
+    out[static_cast<size_t>(2 + 2 * k)] = static_cast<float>(std::sin(freq * mag));
+    out[static_cast<size_t>(3 + 2 * k)] = static_cast<float>(std::cos(freq * mag));
+  }
+  return out;
+}
+
+ChainEncoder::ChainEncoder(int64_t num_relation_ids, int64_t num_attributes,
+                           const ChainsFormerConfig& config, Rng& rng)
+    : num_relation_ids_(num_relation_ids),
+      num_attributes_(num_attributes),
+      dim_(config.hidden_dim),
+      encoder_type_(config.encoder_type),
+      use_numerical_aware_(config.use_numerical_aware),
+      numeric_encoding_(config.numeric_encoding) {
+  const int64_t vocab = num_relation_ids + num_attributes + 1;
+  token_emb_ = std::make_unique<tensor::nn::Embedding>(vocab, dim_, rng, 0.1f);
+  RegisterModule(token_emb_.get());
+  // Longest sequence: a_p + max_hops relations + a_q + end.
+  position_emb_ = std::make_unique<tensor::nn::Embedding>(
+      config.max_hops + 3, dim_, rng, 0.05f);
+  RegisterModule(position_emb_.get());
+  if (encoder_type_ == EncoderType::kTransformer) {
+    transformer_ = std::make_unique<tensor::nn::TransformerEncoder>(
+        config.encoder_layers, dim_, config.num_heads, 2 * dim_, rng);
+    RegisterModule(transformer_.get());
+  } else if (encoder_type_ == EncoderType::kLstm) {
+    lstm_ = std::make_unique<tensor::nn::Lstm>(dim_, dim_, rng);
+    RegisterModule(lstm_.get());
+  }
+  if (use_numerical_aware_) {
+    mlp_alpha_ = std::make_unique<tensor::nn::Mlp>(
+        std::vector<int64_t>{64, dim_, dim_ * dim_}, rng);
+    mlp_beta_ = std::make_unique<tensor::nn::Mlp>(
+        std::vector<int64_t>{64, dim_, dim_}, rng);
+    RegisterModule(mlp_alpha_.get());
+    RegisterModule(mlp_beta_.get());
+  }
+}
+
+void ChainEncoder::InitializeFromFilter(const HyperbolicFilter& filter) {
+  auto& table = token_emb_->mutable_table().data();
+  const int64_t copy_dim = std::min<int64_t>(dim_, filter.dim());
+  auto write_row = [&](int64_t row, const std::vector<float>& src) {
+    for (int64_t j = 0; j < copy_dim; ++j) {
+      table[static_cast<size_t>(row * dim_ + j)] = src[static_cast<size_t>(j)];
+    }
+  };
+  for (int64_t r = 0; r < num_relation_ids_; ++r) {
+    write_row(RelationToken(static_cast<kg::RelationId>(r)),
+              filter.LogMappedRelation(static_cast<kg::RelationId>(r)));
+  }
+  for (int64_t a = 0; a < num_attributes_; ++a) {
+    write_row(AttributeToken(static_cast<kg::AttributeId>(a)),
+              filter.LogMappedAttribute(static_cast<kg::AttributeId>(a)));
+  }
+}
+
+Tensor ChainEncoder::EncodeTokens(const RAChain& chain) const {
+  // Eq. 11 token order: [a_p, r_l, ..., r_1, a_q, end].
+  std::vector<int64_t> tokens;
+  tokens.reserve(chain.relations.size() + 3);
+  tokens.push_back(AttributeToken(chain.source_attribute));
+  for (auto it = chain.relations.rbegin(); it != chain.relations.rend(); ++it) {
+    tokens.push_back(RelationToken(*it));
+  }
+  tokens.push_back(AttributeToken(chain.query_attribute));
+  tokens.push_back(EndToken());
+
+  Tensor seq = token_emb_->Forward(tokens);  // [seq, d]
+  switch (encoder_type_) {
+    case EncoderType::kTransformer: {
+      // Add learned positional embeddings so the attention sees the
+      // step-by-step order of the reasoning chain.
+      std::vector<int64_t> positions(tokens.size());
+      const int64_t max_pos = position_emb_->num_embeddings();
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        positions[i] = std::min<int64_t>(static_cast<int64_t>(i), max_pos - 1);
+      }
+      seq = ops::Add(seq, position_emb_->Forward(positions));
+      Tensor encoded = transformer_->Forward(seq);
+      return ops::Row(encoded, static_cast<int64_t>(tokens.size()) - 1);
+    }
+    case EncoderType::kLstm:
+      return lstm_->Forward(seq);
+    case EncoderType::kMean: {
+      // "w/o Chain Encoder": plain average of token embeddings.
+      Tensor summed = ops::MatMul(
+          Tensor::Full({1, static_cast<int64_t>(tokens.size())},
+                       1.0f / static_cast<float>(tokens.size())),
+          seq);
+      return ops::Reshape(summed, {dim_});
+    }
+  }
+  CF_LOG(Fatal) << "unknown encoder type";
+  return Tensor();
+}
+
+Tensor ChainEncoder::Encode(const RAChain& chain) const {
+  Tensor e_c = EncodeTokens(chain);
+  if (!use_numerical_aware_) return e_c;
+  const std::vector<float> encoding =
+      numeric_encoding_ == NumericEncoding::kFloat64Bits
+          ? EncodeFloat64Bits(chain.source_value)
+          : EncodeLogFeatures(chain.source_value);
+  Tensor e_n = Tensor::FromVector({64}, encoding);
+  // Eq. 15-16: value-conditioned affine transform of the chain embedding.
+  // α starts near identity (residual form) so the transfer is a gentle
+  // modulation at initialization.
+  Tensor alpha = ops::Reshape(mlp_alpha_->Forward(e_n), {dim_, dim_});
+  Tensor beta = mlp_beta_->Forward(e_n);
+  Tensor rotated =
+      ops::Reshape(ops::MatMul(ops::Reshape(e_c, {1, dim_}), alpha), {dim_});
+  return ops::Add(ops::Add(e_c, rotated), beta);
+}
+
+}  // namespace core
+}  // namespace chainsformer

@@ -1,0 +1,84 @@
+#ifndef CHAINSFORMER_CORE_CHAIN_ENCODER_H_
+#define CHAINSFORMER_CORE_CHAIN_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/hyperbolic_filter.h"
+#include "core/ra_chain.h"
+#include "tensor/nn.h"
+
+namespace chainsformer {
+namespace core {
+
+/// Encodes a double as the Float64 0-1 bit stream of Eq. 14 (f_n: R -> R^64,
+/// IEEE-754 bits, sign bit first).
+std::vector<float> EncodeFloat64Bits(double value);
+
+/// Alternative log-magnitude encoding ("w Numerical-Aware by Log",
+/// Table VI): sign, log1p magnitude, and Fourier features thereof, padded
+/// to 64 dims so both encodings are interchangeable.
+std::vector<float> EncodeLogFeatures(double value);
+
+/// Chain Encoder (§IV-D): In-Context Chain Representation + Numerical-Aware
+/// Affine Transfer.
+///
+/// Tokenization (Eq. 11): an RA-Chain becomes the sequence
+/// [a_p, r_l, ..., r_1, a_q, end] over a joint vocabulary of relation ids,
+/// attribute ids and one end token. Token embeddings are initialized from
+/// the Hyperbolic Filter's log-mapped embeddings (Eq. 12) and then trained
+/// with the main regression loss (the paper differentiates through the log
+/// map; initializing-then-fine-tuning keeps the same geometry-informed
+/// starting point while decoupling the filter, whose top-k selection is
+/// non-differentiable anyway).
+///
+/// The sequence is read by an encoder-only Transformer (Eq. 13); the end
+/// token's final representation is the chain embedding e_c. The
+/// Numerical-Aware Affine Transfer (Eqs. 14-16) maps n_p to a Float64 bit
+/// stream, generates an affine pair (E^α ∈ R^{d×d}, E^β ∈ R^d) with two
+/// MLPs, and outputs ẽ_c = E^{αT} e_c + E^β.
+class ChainEncoder : public tensor::nn::Module {
+ public:
+  ChainEncoder(int64_t num_relation_ids, int64_t num_attributes,
+               const ChainsFormerConfig& config, Rng& rng);
+
+  /// Copies the filter's log-mapped geometry into the token tables
+  /// (truncating/zero-padding across dimensional mismatch).
+  void InitializeFromFilter(const HyperbolicFilter& filter);
+
+  /// Value-aware chain representation ẽ_c (rank-1, [hidden_dim]).
+  tensor::Tensor Encode(const RAChain& chain) const;
+
+  int64_t hidden_dim() const { return dim_; }
+
+  /// Token id of a relation / attribute / the end token in the joint
+  /// vocabulary (exposed for tests).
+  int64_t RelationToken(kg::RelationId r) const { return r; }
+  int64_t AttributeToken(kg::AttributeId a) const { return num_relation_ids_ + a; }
+  int64_t EndToken() const { return num_relation_ids_ + num_attributes_; }
+
+ private:
+  tensor::Tensor EncodeTokens(const RAChain& chain) const;
+
+  int64_t num_relation_ids_;
+  int64_t num_attributes_;
+  int64_t dim_;
+  EncoderType encoder_type_;
+  bool use_numerical_aware_;
+  NumericEncoding numeric_encoding_;
+
+  std::unique_ptr<tensor::nn::Embedding> token_emb_;
+  /// Learned positional embeddings: the chain is a *sequence* (Eq. 11), so
+  /// the Transformer needs position information to see relation order.
+  std::unique_ptr<tensor::nn::Embedding> position_emb_;
+  std::unique_ptr<tensor::nn::TransformerEncoder> transformer_;
+  std::unique_ptr<tensor::nn::Lstm> lstm_;
+  std::unique_ptr<tensor::nn::Mlp> mlp_alpha_;  // 64 -> d*d
+  std::unique_ptr<tensor::nn::Mlp> mlp_beta_;   // 64 -> d
+};
+
+}  // namespace core
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_CORE_CHAIN_ENCODER_H_

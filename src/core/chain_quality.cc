@@ -1,0 +1,68 @@
+#include "core/chain_quality.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace chainsformer {
+namespace core {
+
+ChainQualityEvaluator::ChainQualityEvaluator(double prior_error, double decay)
+    : prior_error_(prior_error), decay_(decay) {}
+
+uint64_t ChainQualityEvaluator::PatternHash(const RAChain& chain) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<uint64_t>(static_cast<uint32_t>(chain.source_attribute)));
+  for (kg::RelationId r : chain.relations) {
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(r)) | (1ull << 40));
+  }
+  mix(static_cast<uint64_t>(static_cast<uint32_t>(chain.query_attribute)) |
+      (1ull << 41));
+  return h;
+}
+
+void ChainQualityEvaluator::Record(const RAChain& chain, double abs_error) {
+  auto [it, inserted] =
+      stats_.try_emplace(PatternHash(chain), PatternStats{prior_error_, 0});
+  PatternStats& s = it->second;
+  s.ewma = decay_ * s.ewma + (1.0 - decay_) * abs_error;
+  ++s.count;
+}
+
+double ChainQualityEvaluator::ExpectedError(const RAChain& chain) const {
+  auto it = stats_.find(PatternHash(chain));
+  return it == stats_.end() ? prior_error_ : it->second.ewma;
+}
+
+int64_t ChainQualityEvaluator::ObservationCount(const RAChain& chain) const {
+  auto it = stats_.find(PatternHash(chain));
+  return it == stats_.end() ? 0 : it->second.count;
+}
+
+TreeOfChains ChainQualityEvaluator::PruneLowQuality(const TreeOfChains& chains,
+                                                    double max_expected_error,
+                                                    size_t min_keep) const {
+  TreeOfChains kept;
+  for (const RAChain& c : chains) {
+    if (ExpectedError(c) <= max_expected_error) kept.push_back(c);
+  }
+  if (kept.size() >= min_keep || kept.size() == chains.size()) return kept;
+  // Too aggressive: fall back to the min_keep lowest-expected-error chains.
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(chains.size());
+  for (size_t i = 0; i < chains.size(); ++i) {
+    scored.emplace_back(ExpectedError(chains[i]), i);
+  }
+  const size_t n = std::min(min_keep, chains.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(n),
+                    scored.end());
+  TreeOfChains best;
+  best.reserve(n);
+  for (size_t i = 0; i < n; ++i) best.push_back(chains[scored[i].second]);
+  return best;
+}
+
+}  // namespace core
+}  // namespace chainsformer

@@ -1,0 +1,60 @@
+#ifndef CHAINSFORMER_CORE_CHAIN_QUALITY_H_
+#define CHAINSFORMER_CORE_CHAIN_QUALITY_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/ra_chain.h"
+
+namespace chainsformer {
+namespace core {
+
+/// Chain quality evaluation — the extension sketched in the paper's future
+/// work (§VI: "we will introduce a chain quality evaluation mechanism to
+/// address low-quality RA-Chains").
+///
+/// Tracks, per chain *pattern* (a_p, r_1..r_l, a_q), an exponentially
+/// weighted moving average of the standalone per-chain prediction error
+/// observed during training (normalized units). Patterns whose expected
+/// error stays high are pruned from the Enhanced ToC before encoding,
+/// cutting both noise and compute.
+class ChainQualityEvaluator {
+ public:
+  /// `prior_error` is assumed for unseen patterns; `decay` is the EWMA
+  /// retention factor per observation.
+  explicit ChainQualityEvaluator(double prior_error = 0.25, double decay = 0.9);
+
+  /// Records the observed |n̂_chain - n_q| (normalized) of one chain.
+  void Record(const RAChain& chain, double abs_error);
+
+  /// Expected standalone error of this chain's pattern.
+  double ExpectedError(const RAChain& chain) const;
+
+  /// Number of error observations accumulated for this pattern.
+  int64_t ObservationCount(const RAChain& chain) const;
+
+  /// Keeps chains whose expected error is below `max_expected_error`; if
+  /// fewer than `min_keep` survive, returns the `min_keep` best instead, so
+  /// pruning can never leave a query without evidence.
+  TreeOfChains PruneLowQuality(const TreeOfChains& chains,
+                               double max_expected_error, size_t min_keep) const;
+
+  int64_t num_patterns() const { return static_cast<int64_t>(stats_.size()); }
+
+ private:
+  struct PatternStats {
+    double ewma;
+    int64_t count;
+  };
+
+  static uint64_t PatternHash(const RAChain& chain);
+
+  double prior_error_;
+  double decay_;
+  std::unordered_map<uint64_t, PatternStats> stats_;
+};
+
+}  // namespace core
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_CORE_CHAIN_QUALITY_H_

@@ -1,0 +1,143 @@
+#ifndef CHAINSFORMER_CORE_CHAINSFORMER_H_
+#define CHAINSFORMER_CORE_CHAINSFORMER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/chain_encoder.h"
+#include "core/chain_quality.h"
+#include "core/config.h"
+#include "core/hyperbolic_filter.h"
+#include "core/numerical_reasoner.h"
+#include "core/query_retrieval.h"
+#include "core/ra_chain.h"
+#include "eval/metrics.h"
+#include "kg/dataset.h"
+#include "tensor/optim.h"
+#include "util/thread_pool.h"
+
+namespace chainsformer {
+namespace core {
+
+/// Training summary (Algorithm 1 execution trace).
+struct TrainReport {
+  int epochs_run = 0;
+  std::vector<double> train_losses;       // mean per epoch
+  std::vector<double> valid_maes;         // normalized valid MAE per epoch
+  double filter_pretrain_loss = 0.0;
+  int64_t filter_pretrain_pairs = 0;
+  double best_valid_mae = 0.0;
+};
+
+/// Explanation of one prediction: the reasoning trace of Fig. 5.
+struct Explanation {
+  double prediction = 0.0;              // denormalized value
+  bool has_evidence = false;            // false -> fallback (train mean)
+  size_t toc_size = 0;                  // chains retrieved
+  size_t filtered_size = 0;             // chains after the Hyperbolic Filter
+  /// (chain, importance weight ω), sorted by descending weight.
+  std::vector<std::pair<RAChain, double>> weighted_chains;
+};
+
+/// End-to-end ChainsFormer model (Fig. 3): Query Retrieval -> Hyperbolic
+/// Filter -> Chain Encoder -> Numerical Reasoner, trained per Algorithm 1.
+///
+/// The dataset must outlive the model. All stochastic behaviour derives
+/// from config.seed.
+class ChainsFormerModel {
+ public:
+  ChainsFormerModel(const kg::Dataset& dataset, const ChainsFormerConfig& config);
+
+  ChainsFormerModel(const ChainsFormerModel&) = delete;
+  ChainsFormerModel& operator=(const ChainsFormerModel&) = delete;
+
+  /// Pre-trains the filter, then runs the regression training loop with
+  /// early stopping on validation MAE.
+  TrainReport Train();
+
+  /// Evaluates on arbitrary numeric triples (typically the test split).
+  eval::EvalResult Evaluate(const std::vector<kg::NumericalTriple>& queries);
+
+  /// Thread-parallel evaluation. Chain retrieval runs serially (the chain
+  /// cache is not thread-safe); the per-query encoder/reasoner forwards —
+  /// the dominant cost — run on `pool`. The paper's complexity analysis
+  /// (§IV-G) notes this per-query independence explicitly. Results are
+  /// bit-identical to Evaluate().
+  eval::EvalResult EvaluateParallel(const std::vector<kg::NumericalTriple>& queries,
+                                    ThreadPool& pool);
+
+  /// Predicts the (denormalized) value for a query.
+  double Predict(const Query& query);
+
+  /// Full reasoning trace for a query (Fig. 5 / Table V).
+  Explanation Explain(const Query& query);
+
+  /// Aggregates the highest-ω chain patterns for an attribute over a sample
+  /// of queries (Table V). Returns (pattern string, total weight).
+  std::vector<std::pair<std::string, double>> TopPatterns(
+      kg::AttributeId attribute, int num_patterns, int sample_queries);
+
+  /// Saves all trainable parameters (filter + encoder + reasoner) to a
+  /// binary checkpoint. Returns false on I/O failure.
+  bool SaveCheckpoint(const std::string& path) const;
+
+  /// Loads a checkpoint produced by SaveCheckpoint from a model with an
+  /// identical configuration; refreshes the filter snapshot and invalidates
+  /// chain caches. Returns false on I/O failure or shape mismatch.
+  bool LoadCheckpoint(const std::string& path);
+
+  const ChainsFormerConfig& config() const { return config_; }
+  const HyperbolicFilter& filter() const { return *filter_; }
+  /// Chain-quality statistics (populated when config.use_chain_quality).
+  const ChainQualityEvaluator& chain_quality() const { return quality_; }
+  const QueryRetrieval& retrieval() const { return *retrieval_; }
+  const std::vector<kg::AttributeStats>& train_stats() const { return train_stats_; }
+  int64_t NumParameters() const;
+
+ private:
+  struct ForwardState {
+    tensor::Tensor prediction;         // normalized scalar
+    tensor::Tensor weights;            // [k]
+    tensor::Tensor chain_predictions;  // [k], per-chain normalized n̂
+    TreeOfChains used_chains;          // chains that entered the reasoner
+    bool valid = false;
+  };
+
+  /// Retrieves + filters chains for a query, with caching.
+  const TreeOfChains& GetChains(const Query& query);
+
+  /// Differentiable forward pass over the query's chains.
+  ForwardState Forward(const Query& query);
+
+  /// Forward over a pre-fetched chain set; touches no mutable model state,
+  /// so it is safe to call concurrently under NoGradGuard.
+  ForwardState ForwardOnChains(TreeOfChains chains) const;
+
+  /// Fallback prediction (normalized) when a query has no chains: the
+  /// training mean of the attribute.
+  double FallbackNormalized(kg::AttributeId a) const;
+
+  double NormalizedTarget(const kg::NumericalTriple& t) const;
+
+  const kg::Dataset& dataset_;
+  ChainsFormerConfig config_;
+  std::vector<kg::AttributeStats> train_stats_;
+  kg::NumericIndex train_index_;
+  std::unique_ptr<QueryRetrieval> retrieval_;
+  std::unique_ptr<HyperbolicFilter> filter_;
+  std::unique_ptr<ChainEncoder> encoder_;
+  std::unique_ptr<NumericalReasoner> reasoner_;
+  std::unique_ptr<tensor::optim::Adam> optimizer_;
+  Rng rng_;
+  std::unordered_map<uint64_t, TreeOfChains> chain_cache_;
+  ChainQualityEvaluator quality_;
+  bool trained_ = false;
+};
+
+}  // namespace core
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_CORE_CHAINSFORMER_H_

@@ -1,0 +1,115 @@
+#ifndef CHAINSFORMER_CORE_CONFIG_H_
+#define CHAINSFORMER_CORE_CONFIG_H_
+
+#include <cstdint>
+
+namespace chainsformer {
+namespace core {
+
+/// Numerical projection mode of the Numerical Reasoner (Eqs. 17-19 and
+/// Table VII). kScaling is the paper's default.
+enum class ProjectionMode {
+  kDirect,       // n̂ = MLP(ẽ_c)              (ablation "w/o Numerical Projection")
+  kTranslation,  // n̂ = n_p + β               (Eq. 17)
+  kScaling,      // n̂ = α n_p                 (Eq. 18, paper default)
+  kCombined,     // n̂ = α (n_p + β)           (Eq. 19)
+};
+
+/// Chain Encoder variant (Table VI ablations).
+enum class EncoderType {
+  kTransformer,  // paper default: encoder-only Transformer (Eq. 11-13)
+  kLstm,         // ablation "w LSTM as Chain Encoder"
+  kMean,         // ablation "w/o Chain Encoder": average token embedding
+};
+
+/// Random-walk neighbor selection policy of Query Retrieval (§IV-B). The
+/// paper samples uniformly; the alternatives are ablation knobs measured by
+/// bench/ext_retrieval_strategies.
+enum class RetrievalStrategy {
+  kUniform,         // paper default: uniform over adjacent edges
+  kDegreeWeighted,  // prefer high-degree neighbors (hub-seeking)
+  kEvidenceBiased,  // prefer neighbors that carry numeric facts
+};
+
+/// Embedding space used by the chain filter (Fig. 7).
+enum class FilterSpace {
+  kHyperbolic,  // paper default: Poincaré ball affinity (Eqs. 7-10)
+  kEuclidean,   // same scoring with Euclidean embeddings/distances
+  kRandom,      // ablation "w/o Hyperbolic Filter": random chain sampling
+};
+
+/// Encoding of the numeric value n_p inside the Numerical-Aware Affine
+/// Transfer (Eq. 14 and the "w Numerical-Aware by Log" ablation).
+enum class NumericEncoding {
+  kFloat64Bits,  // paper default: IEEE-754 bit stream, f_n : R -> {0,1}^64
+  kLog,          // log-magnitude Fourier features
+};
+
+/// Regression loss on min-max-normalized values. The paper's Eq. 24 states
+/// MSE while §V-A trains with L1; both are provided.
+enum class LossType { kL1, kMse, kSmoothL1 };
+
+/// All hyperparameters of ChainsFormer. Defaults follow the paper (§V-A)
+/// scaled down to CPU size; the paper-scale values are noted inline.
+struct ChainsFormerConfig {
+  // --- Retrieval (§IV-B) ----------------------------------------------------
+  int max_hops = 3;        // random-walk order l (paper: 3)
+  int num_walks = 128;     // N_s (paper: 2048)
+  int top_k = 16;          // Hyperbolic Filter selection k (paper: 256)
+  /// Restrict chains to a_p == a_q ("Same-attr" rows of Fig. 4 / Table IV).
+  bool same_attribute_only = false;
+  RetrievalStrategy retrieval_strategy = RetrievalStrategy::kUniform;
+
+  // --- Model dimensions (§V-A) ----------------------------------------------
+  int hidden_dim = 32;     // d (paper: 256/128)
+  int encoder_layers = 2;  // L_c of the Chain Encoder (paper: 2)
+  int reasoner_layers = 2; // Treeformer layers (paper: 2)
+  int num_heads = 4;       // attention heads (paper: 4)
+  int filter_dim = 16;     // Hyperbolic Filter embedding dim (low-dim works, Fig. 7)
+
+  // --- Components / ablations (Table VI) -------------------------------------
+  FilterSpace filter_space = FilterSpace::kHyperbolic;
+  EncoderType encoder_type = EncoderType::kTransformer;
+  bool use_numerical_aware = true;       // Numerical-Aware Affine Transfer
+  NumericEncoding numeric_encoding = NumericEncoding::kFloat64Bits;
+  ProjectionMode projection = ProjectionMode::kScaling;
+  bool use_chain_weighting = true;       // Treeformer chain weighting (Eq. 20-22)
+
+  // --- Extensions (paper §VI future work) ------------------------------------
+  /// Chain quality evaluation: track per-pattern standalone prediction error
+  /// during training and prune persistently unreliable patterns at inference.
+  bool use_chain_quality = false;
+  /// Expected-error pruning threshold (normalized units).
+  double chain_quality_max_error = 0.3;
+
+  // --- Hyperbolic Filter ------------------------------------------------------
+  float curvature = 1.0f;   // -c of the Poincaré ball
+  float lambda = 0.5f;      // intra/inter balance λ (Eq. 9)
+  int filter_pretrain_queries = 200;
+  int filter_pretrain_epochs = 3;
+  float filter_lr = 5e-3f;
+
+  // --- Optimization (§V-A) ----------------------------------------------------
+  LossType loss = LossType::kL1;
+  float learning_rate = 3e-3f;   // paper uses 1e-4 at 200 epochs; we run fewer
+  int epochs = 12;               // paper: 200 with early stopping
+  int patience = 4;              // early-stopping patience on validation MAE
+  int batch_size = 8;            // queries per optimizer step
+  float grad_clip = 5.0f;
+  int max_train_queries = 320;   // per-epoch training query subsample (0 = all)
+  /// Sample training queries uniformly over attribute classes instead of
+  /// proportionally to triple counts. The evaluation's Average* weighs every
+  /// attribute equally (Eq. 23-24 are computed per class), so rare
+  /// attributes would otherwise be starved of gradient signal.
+  bool balanced_attribute_sampling = true;
+  int max_eval_queries = 0;      // evaluation subsample (0 = all)
+  bool reretrieve_each_epoch = false;  // Algorithm 1 re-retrieves; caching is faster
+
+  uint64_t seed = 1234;
+  bool verbose = false;
+};
+
+}  // namespace core
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_CORE_CONFIG_H_

@@ -1,0 +1,222 @@
+#include "core/hyperbolic_filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "hyperbolic/poincare_ops.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace core {
+
+namespace ops = chainsformer::tensor;
+using tensor::Tensor;
+
+HyperbolicFilter::HyperbolicFilter(int64_t num_relation_ids,
+                                   int64_t num_attributes,
+                                   const ChainsFormerConfig& config)
+    : dim_(config.filter_dim),
+      space_(config.filter_space),
+      curvature_(config.curvature),
+      lambda_(config.lambda),
+      pretrain_queries_(config.filter_pretrain_queries *
+                        std::max(1, config.filter_pretrain_epochs)),
+      pretrain_lr_(config.filter_lr) {
+  Rng rng(config.seed ^ 0xF117E9ull);
+  relation_emb_ =
+      std::make_unique<tensor::nn::Embedding>(num_relation_ids, dim_, rng, 0.2f);
+  attribute_emb_ =
+      std::make_unique<tensor::nn::Embedding>(num_attributes, dim_, rng, 0.2f);
+  RegisterModule(relation_emb_.get());
+  RegisterModule(attribute_emb_.get());
+  SnapshotEmbeddings();
+}
+
+void HyperbolicFilter::SnapshotEmbeddings() {
+  auto snapshot = [&](const tensor::nn::Embedding& emb,
+                      std::vector<hyperbolic::Vec>& out) {
+    const auto& table = emb.table();
+    const int64_t n = table.size(0);
+    out.assign(static_cast<size_t>(n), hyperbolic::Vec());
+    for (int64_t i = 0; i < n; ++i) {
+      hyperbolic::Vec tangent(static_cast<size_t>(dim_));
+      for (int64_t j = 0; j < dim_; ++j) {
+        tangent[static_cast<size_t>(j)] = table.at(i, j);
+      }
+      out[static_cast<size_t>(i)] =
+          space_ == FilterSpace::kHyperbolic
+              ? hyperbolic::ExpMap0(tangent, curvature_)
+              : tangent;  // Euclidean: tangent vectors are the embedding.
+    }
+  };
+  snapshot(*relation_emb_, relation_points_);
+  snapshot(*attribute_emb_, attribute_points_);
+}
+
+double HyperbolicFilter::Score(const RAChain& chain, Rng* random_rng) const {
+  if (space_ == FilterSpace::kRandom) {
+    CF_CHECK(random_rng != nullptr);
+    return random_rng->Uniform();
+  }
+  const auto& aq = attribute_points_[static_cast<size_t>(chain.query_attribute)];
+  const auto& ap = attribute_points_[static_cast<size_t>(chain.source_attribute)];
+  std::vector<hyperbolic::Vec> rels;
+  rels.reserve(chain.relations.size());
+  for (kg::RelationId r : chain.relations) {
+    rels.push_back(relation_points_[static_cast<size_t>(r)]);
+  }
+  double inter, intra;
+  if (space_ == FilterSpace::kHyperbolic) {
+    const hyperbolic::Vec hc = hyperbolic::MobiusAddChain(rels, curvature_);
+    inter = hyperbolic::Distance(hc, aq, curvature_);
+    intra = hyperbolic::Distance(ap, aq, curvature_);
+  } else {
+    hyperbolic::Vec hc(static_cast<size_t>(dim_), 0.0);
+    for (const auto& r : rels) {
+      for (size_t j = 0; j < hc.size(); ++j) hc[j] += r[j];
+    }
+    auto euclid = [](const hyperbolic::Vec& x, const hyperbolic::Vec& y) {
+      double s = 0.0;
+      for (size_t j = 0; j < x.size(); ++j) s += (x[j] - y[j]) * (x[j] - y[j]);
+      return 2.0 * std::sqrt(s);  // c -> 0 limit of Eq. 2
+    };
+    inter = euclid(hc, aq);
+    intra = euclid(ap, aq);
+  }
+  return -(lambda_ * intra + (1.0 - lambda_) * inter);
+}
+
+TreeOfChains HyperbolicFilter::FilterTopK(const TreeOfChains& toc, int k,
+                                          Rng& rng) const {
+  if (static_cast<int>(toc.size()) <= k) return toc;
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(toc.size());
+  for (size_t i = 0; i < toc.size(); ++i) {
+    scored.emplace_back(Score(toc[i], &rng), i);
+  }
+  std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  TreeOfChains out;
+  out.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) out.push_back(toc[scored[static_cast<size_t>(i)].second]);
+  return out;
+}
+
+Tensor HyperbolicFilter::ScoreT(const RAChain& chain) const {
+  const Tensor aq_t = attribute_emb_->ForwardOne(chain.query_attribute);
+  const Tensor ap_t = attribute_emb_->ForwardOne(chain.source_attribute);
+  if (space_ == FilterSpace::kHyperbolic) {
+    const float c = curvature_;
+    Tensor aq = hyperbolic::HExpMap0(aq_t, c);
+    Tensor ap = hyperbolic::HExpMap0(ap_t, c);
+    Tensor hc = hyperbolic::HExpMap0(
+        relation_emb_->ForwardOne(chain.relations[0]), c);
+    for (size_t i = 1; i < chain.relations.size(); ++i) {
+      hc = hyperbolic::HMobiusAdd(
+          hc, hyperbolic::HExpMap0(relation_emb_->ForwardOne(chain.relations[i]), c),
+          c);
+    }
+    Tensor inter = hyperbolic::HDistance(hc, aq, c);
+    Tensor intra = hyperbolic::HDistance(ap, aq, c);
+    return ops::Add(ops::MulScalar(intra, lambda_),
+                    ops::MulScalar(inter, 1.0f - lambda_));
+  }
+  // Euclidean variant.
+  Tensor hc = relation_emb_->ForwardOne(chain.relations[0]);
+  for (size_t i = 1; i < chain.relations.size(); ++i) {
+    hc = ops::Add(hc, relation_emb_->ForwardOne(chain.relations[i]));
+  }
+  Tensor inter = ops::MulScalar(ops::Norm(ops::Sub(hc, aq_t)), 2.0f);
+  Tensor intra = ops::MulScalar(ops::Norm(ops::Sub(ap_t, aq_t)), 2.0f);
+  return ops::Add(ops::MulScalar(intra, lambda_),
+                  ops::MulScalar(inter, 1.0f - lambda_));
+}
+
+HyperbolicFilter::PretrainStats HyperbolicFilter::Pretrain(
+    const QueryRetrieval& retrieval,
+    const std::vector<kg::NumericalTriple>& train_triples,
+    const std::vector<kg::AttributeStats>& attribute_stats, Rng& rng) {
+  PretrainStats stats;
+  if (space_ == FilterSpace::kRandom || train_triples.empty()) return stats;
+
+  // This filter pre-trains with fewer walks than the main retrieval to stay
+  // cheap; relevance structure is the same.
+  constexpr float kMargin = 0.5f;
+  constexpr double kPositiveThreshold = 0.12;
+  constexpr double kNegativeThreshold = 0.30;
+  const int num_queries = pretrain_queries_;  // sampled with replacement
+
+  tensor::optim::Adam adam(Parameters(), pretrain_lr_);
+  double running_loss = 0.0;
+  int64_t loss_count = 0;
+
+  for (int qi = 0; qi < num_queries; ++qi) {
+    const auto& t =
+        train_triples[rng.UniformInt(static_cast<uint64_t>(train_triples.size()))];
+    const Query query{t.entity, t.attribute};
+    TreeOfChains toc = retrieval.Retrieve(query, rng);
+    if (toc.size() < 4) continue;
+
+    const auto& qs = attribute_stats[static_cast<size_t>(t.attribute)];
+    const double target = qs.Normalize(t.value);
+    std::vector<size_t> positives, negatives;
+    for (size_t i = 0; i < toc.size(); ++i) {
+      const auto& ss =
+          attribute_stats[static_cast<size_t>(toc[i].source_attribute)];
+      const double err = std::fabs(ss.Normalize(toc[i].source_value) - target);
+      if (err < kPositiveThreshold) positives.push_back(i);
+      if (err > kNegativeThreshold) negatives.push_back(i);
+    }
+    if (positives.empty() || negatives.empty()) continue;
+
+    // Up to 4 contrastive pairs per query.
+    std::vector<Tensor> pair_losses;
+    const int num_pairs =
+        static_cast<int>(std::min<size_t>(4, std::min(positives.size(), negatives.size())));
+    for (int p = 0; p < num_pairs; ++p) {
+      const auto& pos =
+          toc[positives[rng.UniformInt(static_cast<uint64_t>(positives.size()))]];
+      const auto& neg =
+          toc[negatives[rng.UniformInt(static_cast<uint64_t>(negatives.size()))]];
+      // Hinge: relevant chains should score (distance) lower than noise.
+      Tensor margin_loss = ops::Relu(
+          ops::AddScalar(ops::Sub(ScoreT(pos), ScoreT(neg)), kMargin));
+      pair_losses.push_back(margin_loss);
+      ++stats.pairs;
+    }
+    Tensor loss = pair_losses.size() == 1
+                      ? pair_losses[0]
+                      : ops::Mean(ops::Concat(pair_losses, 0));
+    adam.ZeroGrad();
+    loss.Backward();
+    adam.Step();
+    running_loss += loss.item();
+    ++loss_count;
+    ++stats.steps;
+  }
+  stats.final_loss = loss_count > 0 ? running_loss / loss_count : 0.0;
+  SnapshotEmbeddings();
+  return stats;
+}
+
+std::vector<float> HyperbolicFilter::LogMappedRelation(kg::RelationId r) const {
+  const auto& point = relation_points_[static_cast<size_t>(r)];
+  const hyperbolic::Vec v = space_ == FilterSpace::kHyperbolic
+                                ? hyperbolic::LogMap0(point, curvature_)
+                                : point;
+  return std::vector<float>(v.begin(), v.end());
+}
+
+std::vector<float> HyperbolicFilter::LogMappedAttribute(kg::AttributeId a) const {
+  const auto& point = attribute_points_[static_cast<size_t>(a)];
+  const hyperbolic::Vec v = space_ == FilterSpace::kHyperbolic
+                                ? hyperbolic::LogMap0(point, curvature_)
+                                : point;
+  return std::vector<float>(v.begin(), v.end());
+}
+
+}  // namespace core
+}  // namespace chainsformer

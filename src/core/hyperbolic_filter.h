@@ -1,0 +1,102 @@
+#ifndef CHAINSFORMER_CORE_HYPERBOLIC_FILTER_H_
+#define CHAINSFORMER_CORE_HYPERBOLIC_FILTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/query_retrieval.h"
+#include "core/ra_chain.h"
+#include "hyperbolic/poincare.h"
+#include "kg/knowledge_graph.h"
+#include "tensor/nn.h"
+#include "util/rng.h"
+
+namespace chainsformer {
+namespace core {
+
+/// Hyperbolic Filter (§IV-C): embeds relations and attributes in a Poincaré
+/// ball (tangent-space parameterization), composes RA-Chain embeddings by
+/// Möbius addition (Eq. 7), and ranks chains by the affinity score of Eq. 9:
+///
+///   s_c^H = λ d(h_{a_p}, h_{a_q}) + (1 - λ) d(h_c, h_{a_q}).
+///
+/// Small combined distance means the chain's evidence attribute and relation
+/// path sit close to the query attribute, i.e. the chain is relevant; the
+/// top-k selection of Eq. 10 therefore keeps the k chains with the *lowest*
+/// s_c^H (equivalently the highest affinity -s_c^H).
+///
+/// The embeddings are pre-trained with a self-supervised contrastive
+/// objective: on training queries, a retrieved chain is a positive when its
+/// (min-max normalized) evidence value agrees with the query's ground-truth
+/// value and a negative when it disagrees strongly; a margin loss pulls
+/// positives' scores below negatives'. This replaces the paper's end-to-end
+/// signal (top-k selection is non-differentiable, so the filter must be
+/// trained from a ranking surrogate either way).
+///
+/// FilterSpace::kEuclidean swaps the geometry for flat space (Fig. 7
+/// comparison); kRandom disables scoring entirely (Table VI "w/o Hyperbolic
+/// Filter").
+class HyperbolicFilter : public tensor::nn::Module {
+ public:
+  HyperbolicFilter(int64_t num_relation_ids, int64_t num_attributes,
+                   const ChainsFormerConfig& config);
+
+  struct PretrainStats {
+    int64_t steps = 0;
+    int64_t pairs = 0;
+    double final_loss = 0.0;
+  };
+
+  /// Contrastive pre-training over a sample of training queries.
+  /// `attribute_stats` must be the *training-split* statistics used for
+  /// normalization. No-op for FilterSpace::kRandom.
+  PretrainStats Pretrain(const QueryRetrieval& retrieval,
+                         const std::vector<kg::NumericalTriple>& train_triples,
+                         const std::vector<kg::AttributeStats>& attribute_stats,
+                         Rng& rng);
+
+  /// Rebuilds the double-precision embedding snapshot used by Score().
+  /// Called automatically by Pretrain(); call manually after external
+  /// parameter updates.
+  void SnapshotEmbeddings();
+
+  /// Affinity of a chain: -s_c^H (higher = more relevant). For kRandom the
+  /// score is uniform noise from `random_rng` (must be non-null then).
+  double Score(const RAChain& chain, Rng* random_rng = nullptr) const;
+
+  /// Eq. 10: the k most relevant chains of the ToC (random subset for
+  /// kRandom). Stable ordering: descending affinity.
+  TreeOfChains FilterTopK(const TreeOfChains& toc, int k, Rng& rng) const;
+
+  /// Log-mapped (Eq. 12) relation/attribute embeddings, used to initialize
+  /// the Chain Encoder's token tables so the encoder starts from the
+  /// filter's geometry.
+  std::vector<float> LogMappedRelation(kg::RelationId r) const;
+  std::vector<float> LogMappedAttribute(kg::AttributeId a) const;
+
+  int64_t dim() const { return dim_; }
+  FilterSpace space() const { return space_; }
+
+ private:
+  /// Differentiable score for training (autograd tensors).
+  tensor::Tensor ScoreT(const RAChain& chain) const;
+
+  int64_t dim_;
+  FilterSpace space_;
+  float curvature_;
+  float lambda_;
+  int pretrain_queries_;
+  float pretrain_lr_;
+  std::unique_ptr<tensor::nn::Embedding> relation_emb_;   // tangent vectors
+  std::unique_ptr<tensor::nn::Embedding> attribute_emb_;  // tangent vectors
+
+  // Frozen double-precision snapshot for the scoring hot path.
+  std::vector<hyperbolic::Vec> relation_points_;
+  std::vector<hyperbolic::Vec> attribute_points_;
+};
+
+}  // namespace core
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_CORE_HYPERBOLIC_FILTER_H_

@@ -1,0 +1,107 @@
+#include "core/numerical_reasoner.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace core {
+
+namespace ops = chainsformer::tensor;
+using tensor::Tensor;
+
+namespace {
+// Length ids are clamped to this many buckets (hop counts beyond the bucket
+// range share the last embedding).
+constexpr int64_t kMaxLengthBuckets = 8;
+}  // namespace
+
+NumericalReasoner::NumericalReasoner(const ChainsFormerConfig& config, Rng& rng)
+    : dim_(config.hidden_dim),
+      projection_(config.projection),
+      use_chain_weighting_(config.use_chain_weighting) {
+  const int64_t proj_out = projection_ == ProjectionMode::kCombined ? 2 : 1;
+  projection_mlp_ = std::make_unique<tensor::nn::Mlp>(
+      std::vector<int64_t>{dim_, dim_, proj_out}, rng);
+  RegisterModule(projection_mlp_.get());
+  if (use_chain_weighting_) {
+    length_emb_ =
+        std::make_unique<tensor::nn::Embedding>(kMaxLengthBuckets, dim_, rng, 0.05f);
+    treeformer_ = std::make_unique<tensor::nn::TransformerEncoder>(
+        config.reasoner_layers, dim_, config.num_heads, 2 * dim_, rng);
+    weight_mlp_ = std::make_unique<tensor::nn::Mlp>(
+        std::vector<int64_t>{dim_, dim_, 1}, rng);
+    RegisterModule(length_emb_.get());
+    RegisterModule(treeformer_.get());
+    RegisterModule(weight_mlp_.get());
+  }
+}
+
+NumericalReasoner::Output NumericalReasoner::Forward(
+    const std::vector<Tensor>& chain_reps,
+    const std::vector<double>& normalized_values,
+    const std::vector<int64_t>& lengths) const {
+  const size_t k = chain_reps.size();
+  CF_CHECK_GT(k, 0u);
+  CF_CHECK_EQ(normalized_values.size(), k);
+  CF_CHECK_EQ(lengths.size(), k);
+
+  // --- Numerical Prediction (Eqs. 17-19) -------------------------------------
+  std::vector<Tensor> per_chain;
+  per_chain.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    Tensor raw = projection_mlp_->Forward(chain_reps[i]);  // [1] or [2]
+    const float np = static_cast<float>(normalized_values[i]);
+    Tensor pred;
+    switch (projection_) {
+      case ProjectionMode::kDirect:
+        pred = raw;  // n̂ = MLP(ẽ_c)
+        break;
+      case ProjectionMode::kTranslation:
+        // n̂ = n_p + β
+        pred = ops::AddScalar(raw, np);
+        break;
+      case ProjectionMode::kScaling:
+        // n̂ = α n_p with α = 1 + MLP(ẽ_c)
+        pred = ops::MulScalar(ops::AddScalar(raw, 1.0f), np);
+        break;
+      case ProjectionMode::kCombined: {
+        // n̂ = α (n_p + β)
+        Tensor alpha = ops::AddScalar(ops::SliceRows(raw, 0, 1), 1.0f);
+        Tensor beta = ops::SliceRows(raw, 1, 2);
+        pred = ops::Mul(alpha, ops::AddScalar(beta, np));
+        break;
+      }
+    }
+    per_chain.push_back(pred);  // each [1]
+  }
+  Tensor chain_preds = ops::Concat(per_chain, 0);  // [k]
+
+  // --- Logic Chain Weighting (Eqs. 20-22) -------------------------------------
+  Tensor weights;
+  if (use_chain_weighting_ && k > 1) {
+    std::vector<int64_t> length_ids;
+    length_ids.reserve(k);
+    for (int64_t l : lengths) {
+      length_ids.push_back(std::clamp<int64_t>(l, 0, kMaxLengthBuckets - 1));
+    }
+    Tensor rows = ops::Stack(chain_reps);                       // [k, d]
+    Tensor c0 = ops::Add(rows, length_emb_->Forward(length_ids));  // Eq. 20
+    Tensor tree = treeformer_->Forward(c0);                     // [k, d]
+    Tensor logits = ops::Reshape(weight_mlp_->Forward(tree),
+                                 {static_cast<int64_t>(k)});    // [k]
+    weights = ops::Softmax(logits);                             // Eq. 21
+  } else {
+    weights = Tensor::Full({static_cast<int64_t>(k)}, 1.0f / static_cast<float>(k));
+  }
+
+  Output out;
+  out.chain_predictions = chain_preds;
+  out.weights = weights;
+  out.prediction = ops::Dot(weights, chain_preds);  // Eq. 22
+  return out;
+}
+
+}  // namespace core
+}  // namespace chainsformer

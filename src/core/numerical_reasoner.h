@@ -1,0 +1,55 @@
+#ifndef CHAINSFORMER_CORE_NUMERICAL_REASONER_H_
+#define CHAINSFORMER_CORE_NUMERICAL_REASONER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "tensor/nn.h"
+
+namespace chainsformer {
+namespace core {
+
+/// Numerical Reasoner (§IV-E): per-chain Numerical Prediction (Eqs. 17-19)
+/// plus Treeformer-based Logic Chain Weighting (Eqs. 20-22).
+///
+/// All arithmetic happens in min-max-normalized value space (Eq. 23): the
+/// caller normalizes every evidence value n_p by its *source* attribute's
+/// training statistics and the target by the *query* attribute's, which
+/// makes scaling/translation projections meaningful across heterogeneous
+/// attributes. Projection outputs use a residual parameterization (α = 1 +
+/// MLP(ẽ), β = MLP(ẽ)) so the model starts from the identity mapping
+/// n̂ = n_p.
+class NumericalReasoner : public tensor::nn::Module {
+ public:
+  NumericalReasoner(const ChainsFormerConfig& config, Rng& rng);
+
+  struct Output {
+    tensor::Tensor prediction;        // scalar, normalized query-value estimate
+    tensor::Tensor chain_predictions; // [k], per-chain n̂ (normalized)
+    tensor::Tensor weights;           // [k], importance scores ω (softmax)
+  };
+
+  /// `chain_reps`: value-aware chain representations ẽ_c (each [d]).
+  /// `normalized_values`: evidence values n_p normalized by their source
+  /// attribute. `lengths`: chain hop counts (for the length encoding of
+  /// Eq. 20). All three must have equal size >= 1.
+  Output Forward(const std::vector<tensor::Tensor>& chain_reps,
+                 const std::vector<double>& normalized_values,
+                 const std::vector<int64_t>& lengths) const;
+
+ private:
+  int64_t dim_;
+  ProjectionMode projection_;
+  bool use_chain_weighting_;
+
+  std::unique_ptr<tensor::nn::Mlp> projection_mlp_;  // d -> {1,2}
+  std::unique_ptr<tensor::nn::Embedding> length_emb_;
+  std::unique_ptr<tensor::nn::TransformerEncoder> treeformer_;
+  std::unique_ptr<tensor::nn::Mlp> weight_mlp_;  // d -> 1 per chain row
+};
+
+}  // namespace core
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_CORE_NUMERICAL_REASONER_H_

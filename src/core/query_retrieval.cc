@@ -1,0 +1,176 @@
+#include "core/query_retrieval.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace core {
+
+QueryRetrieval::QueryRetrieval(const kg::KnowledgeGraph& graph,
+                               const kg::NumericIndex& numeric, int max_hops,
+                               int num_walks, RetrievalStrategy strategy)
+    : graph_(graph),
+      numeric_(numeric),
+      max_hops_(max_hops),
+      num_walks_(num_walks),
+      strategy_(strategy) {
+  CF_CHECK(graph.finalized());
+  CF_CHECK_GE(max_hops, 1);
+  CF_CHECK_GE(num_walks, 1);
+}
+
+bool QueryRetrieval::SampleEdge(kg::EntityId current,
+                                const std::unordered_set<kg::EntityId>& on_path,
+                                Rng& rng, kg::Edge* out) const {
+  const auto neighbors = graph_.Neighbors(current);
+  if (neighbors.empty()) return false;
+  // A few tries to find an unvisited neighbor (cycle removal). Strategy
+  // biases happen via weighted proposal, then the cycle check applies.
+  for (int t = 0; t < 4; ++t) {
+    const kg::Edge* proposal = nullptr;
+    switch (strategy_) {
+      case RetrievalStrategy::kUniform:
+        proposal = &neighbors[rng.UniformInt(neighbors.size())];
+        break;
+      case RetrievalStrategy::kDegreeWeighted: {
+        // Two uniform proposals, keep the higher-degree one.
+        const kg::Edge& a = neighbors[rng.UniformInt(neighbors.size())];
+        const kg::Edge& b = neighbors[rng.UniformInt(neighbors.size())];
+        proposal = graph_.Degree(a.neighbor) >= graph_.Degree(b.neighbor) ? &a : &b;
+        break;
+      }
+      case RetrievalStrategy::kEvidenceBiased: {
+        // Two uniform proposals, prefer one carrying numeric facts.
+        const kg::Edge& a = neighbors[rng.UniformInt(neighbors.size())];
+        const kg::Edge& b = neighbors[rng.UniformInt(neighbors.size())];
+        const bool a_has = !numeric_.Values(a.neighbor).empty();
+        const bool b_has = !numeric_.Values(b.neighbor).empty();
+        proposal = (a_has || !b_has) ? &a : &b;
+        break;
+      }
+    }
+    if (proposal != nullptr && on_path.count(proposal->neighbor) == 0) {
+      *out = *proposal;
+      return true;
+    }
+  }
+  return false;
+}
+
+TreeOfChains QueryRetrieval::Retrieve(const Query& query, Rng& rng) const {
+  return RetrieveImpl(query, rng, /*same_attribute_only=*/false);
+}
+
+TreeOfChains QueryRetrieval::RetrieveSameAttribute(const Query& query,
+                                                   Rng& rng) const {
+  return RetrieveImpl(query, rng, /*same_attribute_only=*/true);
+}
+
+TreeOfChains QueryRetrieval::RetrieveImpl(const Query& query, Rng& rng,
+                                          bool same_attribute_only) const {
+  TreeOfChains toc;
+  toc.reserve(static_cast<size_t>(num_walks_));
+  const int max_attempts = num_walks_ * 4;
+  std::vector<kg::RelationId> walk_relations;
+  std::unordered_set<kg::EntityId> on_path;
+  // Duplicate suppression: the same (evidence fact, relation path) reached
+  // by several walks adds no information but would crowd the top-k budget.
+  std::unordered_set<uint64_t> seen;
+  auto chain_key = [](const RAChain& c) {
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+      h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    };
+    mix(static_cast<uint32_t>(c.source_entity));
+    mix(static_cast<uint32_t>(c.source_attribute));
+    for (kg::RelationId r : c.relations) mix(static_cast<uint32_t>(r) | (1u << 30));
+    return h;
+  };
+
+  for (int attempt = 0;
+       attempt < max_attempts && static_cast<int>(toc.size()) < num_walks_;
+       ++attempt) {
+    const int depth = static_cast<int>(rng.UniformInt(1, max_hops_));
+    kg::EntityId cur = query.entity;
+    walk_relations.clear();
+    on_path.clear();
+    on_path.insert(cur);
+
+    for (int step = 0; step < depth; ++step) {
+      kg::Edge edge;
+      if (!SampleEdge(cur, on_path, rng, &edge)) break;
+      cur = edge.neighbor;
+      on_path.insert(cur);
+      walk_relations.push_back(edge.relation);
+    }
+    if (walk_relations.empty()) continue;
+
+    // Collect one (attribute, value) fact at the endpoint.
+    const auto facts = numeric_.Values(cur);
+    if (facts.empty()) continue;
+    // Gather candidates (optionally restricted to the query attribute).
+    size_t num_candidates = 0;
+    std::pair<kg::AttributeId, double> chosen{-1, 0.0};
+    for (const auto& f : facts) {
+      if (same_attribute_only && f.first != query.attribute) continue;
+      ++num_candidates;
+      // Reservoir sampling of one candidate.
+      if (rng.UniformInt(num_candidates) == 0) chosen = f;
+    }
+    if (num_candidates == 0) continue;
+
+    RAChain chain;
+    chain.source_attribute = chosen.first;
+    chain.query_attribute = query.attribute;
+    chain.source_value = chosen.second;
+    chain.source_entity = cur;
+    // Walk edges go query -> source; chain relations are source -> query:
+    // r_j = inverse(e_{l+1-j}).
+    chain.relations.reserve(walk_relations.size());
+    for (auto it = walk_relations.rbegin(); it != walk_relations.rend(); ++it) {
+      chain.relations.push_back(kg::KnowledgeGraph::InverseRelation(*it));
+    }
+    if (seen.insert(chain_key(chain)).second) {
+      toc.push_back(std::move(chain));
+    }
+  }
+  return toc;
+}
+
+namespace {
+
+int64_t CountChainsDfs(const kg::KnowledgeGraph& graph,
+                       const kg::NumericIndex& numeric, kg::EntityId cur,
+                       int remaining_hops, std::unordered_set<kg::EntityId>& on_path,
+                       int64_t cap, int64_t* count) {
+  if (*count >= cap) return *count;
+  for (const auto& e : graph.Neighbors(cur)) {
+    if (on_path.count(e.neighbor) != 0) continue;
+    *count += static_cast<int64_t>(numeric.Values(e.neighbor).size());
+    if (*count >= cap) return *count;
+    if (remaining_hops > 1) {
+      on_path.insert(e.neighbor);
+      CountChainsDfs(graph, numeric, e.neighbor, remaining_hops - 1, on_path, cap,
+                     count);
+      on_path.erase(e.neighbor);
+    }
+  }
+  return *count;
+}
+
+}  // namespace
+
+int64_t QueryRetrieval::CountChains(const kg::KnowledgeGraph& graph,
+                                    const kg::NumericIndex& numeric,
+                                    kg::EntityId entity, int max_hops,
+                                    int64_t cap) {
+  std::unordered_set<kg::EntityId> on_path{entity};
+  int64_t count = 0;
+  CountChainsDfs(graph, numeric, entity, max_hops, on_path, cap, &count);
+  return std::min(count, cap);
+}
+
+}  // namespace core
+}  // namespace chainsformer

@@ -1,0 +1,22 @@
+#include "core/ra_chain.h"
+
+#include <sstream>
+
+namespace chainsformer {
+namespace core {
+
+std::string RAChain::PatternString(const kg::KnowledgeGraph& graph) const {
+  // Table V lists chains as traversed from the query entity toward the
+  // evidence, i.e. inverse relations in reverse order, ending in the source
+  // attribute: "(sibling, birth)".
+  std::ostringstream os;
+  os << "(";
+  for (auto it = relations.rbegin(); it != relations.rend(); ++it) {
+    os << graph.RelationName(kg::KnowledgeGraph::InverseRelation(*it)) << ", ";
+  }
+  os << graph.AttributeName(source_attribute) << ")";
+  return os.str();
+}
+
+}  // namespace core
+}  // namespace chainsformer

@@ -1,0 +1,87 @@
+#include "core/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace chainsformer {
+namespace core {
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string FormatWeight(double w) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", w);
+  return buf;
+}
+
+std::string FormatValue(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ExplanationToDot(const kg::KnowledgeGraph& graph, const Query& query,
+                             const Explanation& explanation, int max_chains) {
+  std::ostringstream os;
+  os << "digraph chainsformer_trace {\n";
+  os << "  rankdir=LR;\n";
+  os << "  node [shape=box, style=rounded];\n";
+  const std::string query_node = Escape(graph.EntityName(query.entity));
+  os << "  \"" << query_node << "\" [style=\"rounded,filled\","
+     << " fillcolor=lightblue, label=\"" << query_node << "\\n"
+     << Escape(graph.AttributeName(query.attribute)) << " = "
+     << FormatValue(explanation.prediction) << " (predicted)\"];\n";
+
+  const int n = std::min<int>(max_chains,
+                              static_cast<int>(explanation.weighted_chains.size()));
+  std::set<std::string> declared;
+  for (int i = 0; i < n; ++i) {
+    const auto& [chain, weight] = explanation.weighted_chains[static_cast<size_t>(i)];
+    const std::string src = Escape(graph.EntityName(chain.source_entity));
+    if (declared.insert(src).second) {
+      os << "  \"" << src << "\" [label=\"" << src << "\\n"
+         << Escape(graph.AttributeName(chain.source_attribute)) << " = "
+         << FormatValue(chain.source_value) << "\"];\n";
+    }
+    // One edge per chain, labeled with the relation path and its weight.
+    // (Intermediate entities are not stored in RAChain — the pattern is the
+    // reasoning-relevant content, per the paper's entity-agnostic chains.)
+    std::string path;
+    for (size_t r = 0; r < chain.relations.size(); ++r) {
+      if (r != 0) path += " / ";
+      path += graph.RelationName(chain.relations[r]);
+    }
+    const double shade = std::min(1.0, 0.25 + 3.0 * weight);
+    os << "  \"" << src << "\" -> \"" << query_node << "\" [label=\""
+       << Escape(path) << "\\nomega=" << FormatWeight(weight)
+       << "\", penwidth=" << (0.5 + 6.0 * weight) << ", color=\"0.6 "
+       << shade << " 0.8\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+bool WriteExplanationDot(const std::string& path, const kg::KnowledgeGraph& graph,
+                         const Query& query, const Explanation& explanation,
+                         int max_chains) {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  out << ExplanationToDot(graph, query, explanation, max_chains);
+  return out.good();
+}
+
+}  // namespace core
+}  // namespace chainsformer

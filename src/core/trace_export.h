@@ -1,0 +1,27 @@
+#ifndef CHAINSFORMER_CORE_TRACE_EXPORT_H_
+#define CHAINSFORMER_CORE_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "core/chainsformer.h"
+
+namespace chainsformer {
+namespace core {
+
+/// Renders an Explanation as a Graphviz DOT digraph (the paper's Fig. 5
+/// visual): the query entity in the center, one colored path per weighted
+/// RA-Chain, edge labels carrying relation names and the chain's evidence
+/// value/weight. `max_chains` bounds the number of rendered chains (highest
+/// weight first).
+std::string ExplanationToDot(const kg::KnowledgeGraph& graph, const Query& query,
+                             const Explanation& explanation, int max_chains = 6);
+
+/// Writes ExplanationToDot output to a file. Returns false on I/O failure.
+bool WriteExplanationDot(const std::string& path, const kg::KnowledgeGraph& graph,
+                         const Query& query, const Explanation& explanation,
+                         int max_chains = 6);
+
+}  // namespace core
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_CORE_TRACE_EXPORT_H_

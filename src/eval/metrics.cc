@@ -1,0 +1,61 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace eval {
+
+MetricsAccumulator::MetricsAccumulator(std::vector<kg::AttributeStats> stats)
+    : stats_(std::move(stats)) {
+  const size_t n = stats_.size();
+  count_.assign(n, 0);
+  abs_sum_.assign(n, 0.0);
+  sq_sum_.assign(n, 0.0);
+  norm_abs_sum_.assign(n, 0.0);
+  norm_sq_sum_.assign(n, 0.0);
+}
+
+void MetricsAccumulator::Add(kg::AttributeId attribute, double predicted,
+                             double actual) {
+  CF_CHECK_GE(attribute, 0);
+  CF_CHECK_LT(static_cast<size_t>(attribute), stats_.size());
+  const size_t a = static_cast<size_t>(attribute);
+  const double err = predicted - actual;
+  ++count_[a];
+  abs_sum_[a] += std::fabs(err);
+  sq_sum_[a] += err * err;
+  const double range = stats_[a].Range();
+  const double norm_err = range > 0.0 ? err / range : err;
+  norm_abs_sum_[a] += std::fabs(norm_err);
+  norm_sq_sum_[a] += norm_err * norm_err;
+}
+
+EvalResult MetricsAccumulator::Finalize() const {
+  EvalResult result;
+  result.per_attribute.resize(stats_.size());
+  double norm_mae_total = 0.0;
+  double norm_rmse_total = 0.0;
+  int64_t attr_classes = 0;
+  for (size_t a = 0; a < stats_.size(); ++a) {
+    auto& m = result.per_attribute[a];
+    m.count = count_[a];
+    if (count_[a] == 0) continue;
+    const double n = static_cast<double>(count_[a]);
+    m.mae = abs_sum_[a] / n;
+    m.rmse = std::sqrt(sq_sum_[a] / n);
+    norm_mae_total += norm_abs_sum_[a] / n;
+    norm_rmse_total += std::sqrt(norm_sq_sum_[a] / n);
+    ++attr_classes;
+    result.total_count += count_[a];
+  }
+  if (attr_classes > 0) {
+    result.normalized_mae = norm_mae_total / static_cast<double>(attr_classes);
+    result.normalized_rmse = norm_rmse_total / static_cast<double>(attr_classes);
+  }
+  return result;
+}
+
+}  // namespace eval
+}  // namespace chainsformer

@@ -1,0 +1,53 @@
+#ifndef CHAINSFORMER_EVAL_METRICS_H_
+#define CHAINSFORMER_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+
+namespace chainsformer {
+namespace eval {
+
+/// Per-attribute regression metrics in the attribute's native unit.
+struct AttributeMetrics {
+  int64_t count = 0;
+  double mae = 0.0;
+  double rmse = 0.0;
+};
+
+/// Evaluation outcome: MAE/RMSE per attribute plus the paper's "Average*"
+/// aggregates — every attribute's errors are min-max normalized to [0, 1]
+/// (with the training statistics) and MAE/RMSE are averaged uniformly over
+/// attribute classes (§V-A, Table III footnote).
+struct EvalResult {
+  std::vector<AttributeMetrics> per_attribute;  // indexed by AttributeId
+  double normalized_mae = 0.0;   // Average* MAE
+  double normalized_rmse = 0.0;  // Average* RMSE
+  int64_t total_count = 0;
+};
+
+/// Streaming accumulator for (prediction, truth) pairs.
+class MetricsAccumulator {
+ public:
+  /// `stats` are the *training-split* attribute statistics used for the
+  /// normalized aggregate.
+  explicit MetricsAccumulator(std::vector<kg::AttributeStats> stats);
+
+  void Add(kg::AttributeId attribute, double predicted, double actual);
+
+  EvalResult Finalize() const;
+
+ private:
+  std::vector<kg::AttributeStats> stats_;
+  std::vector<int64_t> count_;
+  std::vector<double> abs_sum_;
+  std::vector<double> sq_sum_;
+  std::vector<double> norm_abs_sum_;
+  std::vector<double> norm_sq_sum_;
+};
+
+}  // namespace eval
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_EVAL_METRICS_H_

@@ -1,0 +1,58 @@
+#include "eval/significance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace chainsformer {
+namespace eval {
+
+BootstrapResult PairedBootstrap(const std::vector<double>& errors_a,
+                                const std::vector<double>& errors_b,
+                                int resamples, uint64_t seed) {
+  CF_CHECK_EQ(errors_a.size(), errors_b.size());
+  CF_CHECK_GT(errors_a.size(), 0u);
+  CF_CHECK_GT(resamples, 0);
+  const size_t n = errors_a.size();
+
+  std::vector<double> diffs(n);
+  double mean = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    diffs[i] = errors_a[i] - errors_b[i];
+    mean += diffs[i];
+  }
+  mean /= static_cast<double>(n);
+
+  Rng rng(seed);
+  std::vector<double> boot_means(static_cast<size_t>(resamples));
+  int extreme = 0;
+  for (int r = 0; r < resamples; ++r) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      total += diffs[rng.UniformInt(static_cast<uint64_t>(n))];
+    }
+    const double bm = total / static_cast<double>(n);
+    boot_means[static_cast<size_t>(r)] = bm;
+    // Shifted-null p-value: recenter the bootstrap distribution at zero and
+    // count samples at least as extreme as the observed mean.
+    if (std::fabs(bm - mean) >= std::fabs(mean)) ++extreme;
+  }
+  std::sort(boot_means.begin(), boot_means.end());
+
+  BootstrapResult result;
+  result.mean_diff = mean;
+  const auto pct = [&](double q) {
+    const double idx = q * static_cast<double>(resamples - 1);
+    return boot_means[static_cast<size_t>(idx)];
+  };
+  result.ci_low = pct(0.025);
+  result.ci_high = pct(0.975);
+  result.p_value = std::min(
+      1.0, (static_cast<double>(extreme) + 1.0) / (static_cast<double>(resamples) + 1.0));
+  return result;
+}
+
+}  // namespace eval
+}  // namespace chainsformer

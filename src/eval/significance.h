@@ -1,0 +1,30 @@
+#ifndef CHAINSFORMER_EVAL_SIGNIFICANCE_H_
+#define CHAINSFORMER_EVAL_SIGNIFICANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace chainsformer {
+namespace eval {
+
+/// Result of a paired bootstrap comparison between two methods' per-query
+/// errors (method A minus method B; negative mean_diff = A better).
+struct BootstrapResult {
+  double mean_diff = 0.0;  // mean(err_a - err_b)
+  double ci_low = 0.0;     // 2.5th percentile of the bootstrap distribution
+  double ci_high = 0.0;    // 97.5th percentile
+  /// Two-sided bootstrap p-value for H0: mean difference == 0.
+  double p_value = 1.0;
+  bool significant_at_05() const { return p_value < 0.05; }
+};
+
+/// Paired bootstrap over per-query error pairs. `errors_a` and `errors_b`
+/// must be aligned (same queries, same order). Deterministic for a seed.
+BootstrapResult PairedBootstrap(const std::vector<double>& errors_a,
+                                const std::vector<double>& errors_b,
+                                int resamples = 2000, uint64_t seed = 1234);
+
+}  // namespace eval
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_EVAL_SIGNIFICANCE_H_

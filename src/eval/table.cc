@@ -1,0 +1,58 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace eval {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  CF_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit_row(header_);
+  os << "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TextTable::ToMarkdown() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (const auto& cell : row) os << " " << cell << " |";
+    os << "\n";
+  };
+  emit(header_);
+  os << "|";
+  for (size_t c = 0; c < header_.size(); ++c) os << "---|";
+  os << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace eval
+}  // namespace chainsformer

@@ -1,0 +1,34 @@
+#ifndef CHAINSFORMER_EVAL_TABLE_H_
+#define CHAINSFORMER_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace chainsformer {
+namespace eval {
+
+/// Simple console/markdown table builder used by the benchmark binaries to
+/// print paper-style result tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Fixed-width aligned console rendering.
+  std::string ToString() const;
+
+  /// GitHub-flavored markdown rendering.
+  std::string ToMarkdown() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eval
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_EVAL_TABLE_H_

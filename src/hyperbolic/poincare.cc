@@ -1,0 +1,165 @@
+#include "hyperbolic/poincare.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace hyperbolic {
+
+double SqNorm(const Vec& x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return s;
+}
+
+double EuclideanNorm(const Vec& x) { return std::sqrt(SqNorm(x)); }
+
+double DotProduct(const Vec& x, const Vec& y) {
+  CF_CHECK_EQ(x.size(), y.size());
+  double s = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+Vec ProjectToBall(const Vec& x, double c, double eps) {
+  CF_CHECK_GT(c, 0.0);
+  const double max_norm = (1.0 - eps) / std::sqrt(c);
+  const double norm = EuclideanNorm(x);
+  if (norm <= max_norm) return x;
+  Vec out(x.size());
+  const double scale = max_norm / norm;
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] * scale;
+  return out;
+}
+
+Vec MobiusAdd(const Vec& x, const Vec& y, double c) {
+  CF_CHECK_EQ(x.size(), y.size());
+  const double xy = DotProduct(x, y);
+  const double x2 = SqNorm(x);
+  const double y2 = SqNorm(y);
+  const double denom = 1.0 + 2.0 * c * xy + c * c * x2 * y2;
+  const double cx = (1.0 + 2.0 * c * xy + c * y2) / denom;
+  const double cy = (1.0 - c * x2) / denom;
+  Vec out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = cx * x[i] + cy * y[i];
+  return ProjectToBall(out, c);
+}
+
+double Distance(const Vec& x, const Vec& y, double c) {
+  Vec nx(x.size());
+  for (size_t i = 0; i < x.size(); ++i) nx[i] = -x[i];
+  const Vec sum = MobiusAdd(nx, y, c);
+  const double sc = std::sqrt(c);
+  const double arg = std::min(sc * EuclideanNorm(sum), 1.0 - 1e-12);
+  return 2.0 / sc * std::atanh(arg);
+}
+
+double DistanceFromOrigin(const Vec& x, double c) {
+  const double sc = std::sqrt(c);
+  const double arg = std::min(sc * EuclideanNorm(x), 1.0 - 1e-12);
+  return 2.0 / sc * std::atanh(arg);
+}
+
+Vec ExpMap0(const Vec& v, double c) {
+  const double sc = std::sqrt(c);
+  const double norm = EuclideanNorm(v);
+  if (norm < 1e-15) return Vec(v.size(), 0.0);
+  const double scale = std::tanh(sc * norm) / (sc * norm);
+  Vec out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = v[i] * scale;
+  return ProjectToBall(out, c);
+}
+
+Vec LogMap0(const Vec& x, double c) {
+  const double sc = std::sqrt(c);
+  const double norm = EuclideanNorm(x);
+  if (norm < 1e-15) return Vec(x.size(), 0.0);
+  const double arg = std::min(sc * norm, 1.0 - 1e-12);
+  const double scale = std::atanh(arg) / (sc * norm);
+  Vec out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] * scale;
+  return out;
+}
+
+Vec MobiusAddChain(const std::vector<Vec>& points, double c) {
+  CF_CHECK(!points.empty());
+  Vec acc = ProjectToBall(points[0], c);
+  for (size_t i = 1; i < points.size(); ++i) {
+    acc = MobiusAdd(acc, points[i], c);
+  }
+  return acc;
+}
+
+Vec MobiusScalarMul(double r, const Vec& x, double c) {
+  const double norm = EuclideanNorm(x);
+  if (norm < 1e-15) return Vec(x.size(), 0.0);
+  const double sc = std::sqrt(c);
+  const double arg = std::min(sc * norm, 1.0 - 1e-12);
+  const double scaled = std::tanh(r * std::atanh(arg)) / (sc * norm);
+  Vec out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] * scaled;
+  return ProjectToBall(out, c);
+}
+
+double ConformalFactor(const Vec& x, double c) {
+  return 2.0 / std::max(1e-15, 1.0 - c * SqNorm(x));
+}
+
+Vec ExpMap(const Vec& x, const Vec& v, double c) {
+  const double norm = EuclideanNorm(v);
+  if (norm < 1e-15) return ProjectToBall(x, c);
+  const double sc = std::sqrt(c);
+  const double lambda = ConformalFactor(x, c);
+  const double coef = std::tanh(sc * lambda * norm / 2.0) / (sc * norm);
+  Vec step(v.size());
+  for (size_t i = 0; i < v.size(); ++i) step[i] = v[i] * coef;
+  return MobiusAdd(x, step, c);
+}
+
+Vec LogMap(const Vec& x, const Vec& y, double c) {
+  Vec nx(x.size());
+  for (size_t i = 0; i < x.size(); ++i) nx[i] = -x[i];
+  const Vec diff = MobiusAdd(nx, y, c);
+  const double norm = EuclideanNorm(diff);
+  if (norm < 1e-15) return Vec(x.size(), 0.0);
+  const double sc = std::sqrt(c);
+  const double lambda = ConformalFactor(x, c);
+  const double arg = std::min(sc * norm, 1.0 - 1e-12);
+  const double coef = 2.0 / (sc * lambda) * std::atanh(arg) / norm;
+  Vec out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = diff[i] * coef;
+  return out;
+}
+
+Vec Geodesic(const Vec& x, const Vec& y, double t, double c) {
+  Vec nx(x.size());
+  for (size_t i = 0; i < x.size(); ++i) nx[i] = -x[i];
+  const Vec direction = MobiusAdd(nx, y, c);
+  return MobiusAdd(x, MobiusScalarMul(t, direction, c), c);
+}
+
+Vec Gyromidpoint(const std::vector<Vec>& points, const std::vector<double>& weights,
+                 double c) {
+  CF_CHECK(!points.empty());
+  CF_CHECK_EQ(points.size(), weights.size());
+  const size_t d = points[0].size();
+  // Einstein-midpoint style aggregation computed through conformal factors:
+  //   m = 1/2 ⊗ ( Σ w_i λ_i x_i / Σ w_i (λ_i - 1) ).
+  Vec numerator(d, 0.0);
+  double denominator = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    CF_CHECK_GE(weights[i], 0.0);
+    const double lambda = ConformalFactor(points[i], c);
+    for (size_t j = 0; j < d; ++j) numerator[j] += weights[i] * lambda * points[i][j];
+    denominator += weights[i] * (lambda - 1.0);
+  }
+  CF_CHECK_GT(denominator, 0.0) << "Gyromidpoint requires a positive total weight";
+  Vec mean(d);
+  for (size_t j = 0; j < d; ++j) mean[j] = numerator[j] / denominator;
+  return MobiusScalarMul(0.5, ProjectToBall(mean, c), c);
+}
+
+}  // namespace hyperbolic
+}  // namespace chainsformer

@@ -1,0 +1,80 @@
+#ifndef CHAINSFORMER_HYPERBOLIC_POINCARE_H_
+#define CHAINSFORMER_HYPERBOLIC_POINCARE_H_
+
+#include <vector>
+
+namespace chainsformer {
+namespace hyperbolic {
+
+/// Plain (non-autograd) operations on the d-dimensional Poincaré ball
+/// B^{d,c} = { x in R^d : c * ||x||^2 < 1 } with curvature -c (c > 0).
+///
+/// These are the fast double-precision kernels used by the Hyperbolic
+/// Filter's scoring hot path; the autograd twins used during embedding
+/// training live in poincare_ops.h.
+
+using Vec = std::vector<double>;
+
+/// Squared Euclidean norm.
+double SqNorm(const Vec& x);
+
+/// Euclidean norm.
+double EuclideanNorm(const Vec& x);
+
+/// Dot product; requires equal sizes.
+double DotProduct(const Vec& x, const Vec& y);
+
+/// Projects x into the open ball of radius (1 - eps)/sqrt(c) so that
+/// subsequent operations stay numerically valid.
+Vec ProjectToBall(const Vec& x, double c = 1.0, double eps = 1e-5);
+
+/// Möbius addition x ⊕_c y (paper Eq. 1). Inputs must lie inside the ball.
+Vec MobiusAdd(const Vec& x, const Vec& y, double c = 1.0);
+
+/// Hyperbolic distance d(x, y) = (2/sqrt(c)) artanh(sqrt(c) ||(-x) ⊕_c y||)
+/// (paper Eq. 2). For c = 1 this equals the arcosh form of Eq. 3.
+double Distance(const Vec& x, const Vec& y, double c = 1.0);
+
+/// Distance to the origin: (2/sqrt(c)) artanh(sqrt(c) ||x||).
+double DistanceFromOrigin(const Vec& x, double c = 1.0);
+
+/// Exponential map at the origin: tangent vector v -> point on the ball,
+/// exp_0(v) = tanh(sqrt(c)||v||) * v / (sqrt(c)||v||).
+Vec ExpMap0(const Vec& v, double c = 1.0);
+
+/// Logarithmic map at the origin (paper Eq. 12 for c = 1):
+/// log_0(x) = artanh(sqrt(c)||x||) * x / (sqrt(c)||x||).
+Vec LogMap0(const Vec& x, double c = 1.0);
+
+/// Left fold of Möbius addition over a sequence of points (Eq. 7):
+/// h_{r_1} ⊕ h_{r_2} ⊕ ... ⊕ h_{r_l}, associated left-to-right.
+Vec MobiusAddChain(const std::vector<Vec>& points, double c = 1.0);
+
+/// Möbius scalar multiplication r ⊗_c x = exp_0(r * log_0(x)); the
+/// hyperbolic analogue of scaling, satisfying 1 ⊗ x = x and
+/// (r+s) ⊗ x = (r ⊗ x) ⊕ (s ⊗ x) along the same geodesic ray.
+Vec MobiusScalarMul(double r, const Vec& x, double c = 1.0);
+
+/// Conformal (λ) factor at x: λ_x = 2 / (1 - c ||x||²).
+double ConformalFactor(const Vec& x, double c = 1.0);
+
+/// Exponential map at base point x: exp_x(v) = x ⊕_c exp-scaled direction.
+Vec ExpMap(const Vec& x, const Vec& v, double c = 1.0);
+
+/// Logarithmic map at base point x; inverse of ExpMap.
+Vec LogMap(const Vec& x, const Vec& y, double c = 1.0);
+
+/// Geodesic from x to y at parameter t ∈ [0, 1]:
+/// γ(t) = x ⊕_c (t ⊗_c ((-x) ⊕_c y)).
+Vec Geodesic(const Vec& x, const Vec& y, double t, double c = 1.0);
+
+/// Gyromidpoint (weighted hyperbolic centroid) of points with non-negative
+/// weights; the Möbius analogue of a weighted mean, used by hyperbolic
+/// attention/aggregation layers. Weights need not be normalized.
+Vec Gyromidpoint(const std::vector<Vec>& points, const std::vector<double>& weights,
+                 double c = 1.0);
+
+}  // namespace hyperbolic
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_HYPERBOLIC_POINCARE_H_

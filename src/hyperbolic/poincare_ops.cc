@@ -1,0 +1,69 @@
+#include "hyperbolic/poincare_ops.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace hyperbolic {
+
+using tensor::Tensor;
+namespace ops = chainsformer::tensor;
+
+Tensor HExpMap0(const Tensor& v, float c) {
+  CF_CHECK_GT(c, 0.0f);
+  const float sc = std::sqrt(c);
+  Tensor norm = ops::Norm(v);                       // scalar
+  Tensor scaled = ops::MulScalar(norm, sc);
+  Tensor coef = ops::Div(ops::Tanh(scaled), ops::Clamp(scaled, 1e-7f, 1e30f));
+  return HProject(ops::Mul(v, coef), c);
+}
+
+Tensor HLogMap0(const Tensor& x, float c) {
+  CF_CHECK_GT(c, 0.0f);
+  const float sc = std::sqrt(c);
+  Tensor xp = HProject(x, c);
+  Tensor norm = ops::Norm(xp);
+  Tensor scaled = ops::MulScalar(norm, sc);
+  Tensor coef = ops::Div(ops::Atanh(scaled), ops::Clamp(scaled, 1e-7f, 1e30f));
+  return ops::Mul(xp, coef);
+}
+
+Tensor HMobiusAdd(const Tensor& x, const Tensor& y, float c) {
+  CF_CHECK_EQ(x.numel(), y.numel());
+  Tensor xy = ops::Dot(x, y);
+  Tensor x2 = ops::Sum(ops::Square(x));
+  Tensor y2 = ops::Sum(ops::Square(y));
+  // denom = 1 + 2c<x,y> + c^2 ||x||^2 ||y||^2
+  Tensor denom = ops::AddScalar(
+      ops::Add(ops::MulScalar(xy, 2.0f * c),
+               ops::MulScalar(ops::Mul(x2, y2), c * c)),
+      1.0f);
+  denom = ops::Clamp(denom, 1e-7f, 1e30f);
+  // cx = (1 + 2c<x,y> + c||y||^2) / denom ;  cy = (1 - c||x||^2) / denom
+  Tensor cx = ops::Div(ops::AddScalar(ops::Add(ops::MulScalar(xy, 2.0f * c),
+                                               ops::MulScalar(y2, c)),
+                                      1.0f),
+                       denom);
+  Tensor cy = ops::Div(ops::AddScalar(ops::MulScalar(x2, -c), 1.0f), denom);
+  return HProject(ops::Add(ops::Mul(x, cx), ops::Mul(y, cy)), c);
+}
+
+Tensor HDistance(const Tensor& x, const Tensor& y, float c) {
+  const float sc = std::sqrt(c);
+  Tensor sum = HMobiusAdd(ops::Neg(x), y, c);
+  Tensor arg = ops::MulScalar(ops::Norm(sum), sc);
+  return ops::MulScalar(ops::Atanh(arg), 2.0f / sc);
+}
+
+Tensor HProject(const Tensor& x, float c, float eps) {
+  const float max_norm = (1.0f - eps) / std::sqrt(c);
+  Tensor norm = ops::Clamp(ops::Norm(x), 1e-12f, 1e30f);
+  // scale = min(1, max_norm / ||x||) implemented as clamp on the ratio.
+  Tensor ratio = ops::Div(ops::Clamp(norm, 0.0f, max_norm), norm);
+  return ops::Mul(x, ratio);
+}
+
+}  // namespace hyperbolic
+}  // namespace chainsformer

@@ -1,0 +1,40 @@
+#ifndef CHAINSFORMER_HYPERBOLIC_POINCARE_OPS_H_
+#define CHAINSFORMER_HYPERBOLIC_POINCARE_OPS_H_
+
+#include "tensor/tensor.h"
+
+namespace chainsformer {
+namespace hyperbolic {
+
+// Autograd-compatible Poincaré-ball operations on rank-1 tensors, composed
+// from tensor primitives so gradients flow into trainable hyperbolic
+// embeddings (used when pre-training the Hyperbolic Filter and when the
+// Chain Encoder log-maps relation embeddings, Eq. 12).
+//
+// Convention: trainable hyperbolic parameters are stored as *tangent*
+// vectors at the origin; HExpMap0 maps them onto the ball before use. This
+// keeps optimization Euclidean (standard Adam) while the geometry stays
+// hyperbolic — the usual tangent-space parameterization of hyperbolic NNs.
+
+/// exp_0(v): tangent vector -> ball point, differentiable.
+tensor::Tensor HExpMap0(const tensor::Tensor& v, float c = 1.0f);
+
+/// log_0(x): ball point -> tangent vector, differentiable (Eq. 12).
+tensor::Tensor HLogMap0(const tensor::Tensor& x, float c = 1.0f);
+
+/// Möbius addition x ⊕_c y, differentiable (Eq. 1).
+tensor::Tensor HMobiusAdd(const tensor::Tensor& x, const tensor::Tensor& y,
+                          float c = 1.0f);
+
+/// Hyperbolic distance d_c(x, y), differentiable (Eq. 2).
+tensor::Tensor HDistance(const tensor::Tensor& x, const tensor::Tensor& y,
+                         float c = 1.0f);
+
+/// Differentiable radial rescale keeping x strictly inside the ball.
+tensor::Tensor HProject(const tensor::Tensor& x, float c = 1.0f,
+                        float eps = 1e-4f);
+
+}  // namespace hyperbolic
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_HYPERBOLIC_POINCARE_OPS_H_

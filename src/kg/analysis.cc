@@ -1,0 +1,147 @@
+#include "kg/analysis.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace chainsformer {
+namespace kg {
+
+GraphAnalysis AnalyzeGraph(const KnowledgeGraph& graph) {
+  CF_CHECK(graph.finalized());
+  GraphAnalysis a;
+  a.num_entities = graph.num_entities();
+  a.num_relational_triples = static_cast<int64_t>(graph.relational_triples().size());
+  a.num_numerical_triples = static_cast<int64_t>(graph.numerical_triples().size());
+
+  // Degrees.
+  int64_t degree_sum = 0;
+  for (EntityId e = 0; e < a.num_entities; ++e) {
+    const int64_t d = graph.Degree(e);
+    degree_sum += d;
+    a.max_degree = std::max(a.max_degree, d);
+    if (d == 0) ++a.isolated_entities;
+    // Power-of-two bucket: 0 -> 0, 1 -> 1, 2-3 -> 2, 4-7 -> 3, ...
+    size_t bucket = 0;
+    if (d > 0) {
+      bucket = 1;
+      for (int64_t x = d; x > 1; x >>= 1) ++bucket;
+    }
+    if (a.degree_histogram.size() <= bucket) a.degree_histogram.resize(bucket + 1, 0);
+    ++a.degree_histogram[bucket];
+  }
+  a.avg_degree = a.num_entities > 0
+                     ? static_cast<double>(degree_sum) / static_cast<double>(a.num_entities)
+                     : 0.0;
+
+  // Connected components via BFS.
+  std::vector<uint8_t> visited(static_cast<size_t>(a.num_entities), 0);
+  for (EntityId e = 0; e < a.num_entities; ++e) {
+    if (visited[static_cast<size_t>(e)]) continue;
+    ++a.connected_components;
+    int64_t size = 0;
+    std::queue<EntityId> frontier;
+    frontier.push(e);
+    visited[static_cast<size_t>(e)] = 1;
+    while (!frontier.empty()) {
+      const EntityId cur = frontier.front();
+      frontier.pop();
+      ++size;
+      for (const auto& edge : graph.Neighbors(cur)) {
+        if (!visited[static_cast<size_t>(edge.neighbor)]) {
+          visited[static_cast<size_t>(edge.neighbor)] = 1;
+          frontier.push(edge.neighbor);
+        }
+      }
+    }
+    a.largest_component_size = std::max(a.largest_component_size, size);
+  }
+
+  // Numeric coverage.
+  for (EntityId e = 0; e < a.num_entities; ++e) {
+    if (!graph.EntityAttributes(e).empty()) ++a.entities_with_numeric;
+  }
+  a.numeric_density = a.num_entities > 0
+                          ? static_cast<double>(a.num_numerical_triples) /
+                                static_cast<double>(a.num_entities)
+                          : 0.0;
+
+  // Relation usage.
+  a.relation_counts.assign(static_cast<size_t>(graph.num_relations()), 0);
+  for (const auto& t : graph.relational_triples()) {
+    ++a.relation_counts[static_cast<size_t>(t.relation / 2)];
+  }
+  return a;
+}
+
+double AverageReachableEntities(const KnowledgeGraph& graph, int hops,
+                                int sample_size, uint64_t seed) {
+  CF_CHECK(graph.finalized());
+  CF_CHECK_GE(hops, 0);
+  if (graph.num_entities() == 0 || sample_size <= 0) return 0.0;
+  Rng rng(seed);
+  double total = 0.0;
+  for (int s = 0; s < sample_size; ++s) {
+    const auto start = static_cast<EntityId>(
+        rng.UniformInt(static_cast<uint64_t>(graph.num_entities())));
+    std::unordered_set<EntityId> visited{start};
+    std::vector<EntityId> frontier{start};
+    for (int h = 0; h < hops && !frontier.empty(); ++h) {
+      std::vector<EntityId> next;
+      for (EntityId e : frontier) {
+        for (const auto& edge : graph.Neighbors(e)) {
+          if (visited.insert(edge.neighbor).second) next.push_back(edge.neighbor);
+        }
+      }
+      frontier.swap(next);
+    }
+    total += static_cast<double>(visited.size() - 1);
+  }
+  return total / static_cast<double>(sample_size);
+}
+
+std::string AnalysisReport(const KnowledgeGraph& graph, const GraphAnalysis& a) {
+  std::ostringstream os;
+  os << "entities: " << a.num_entities
+     << "  relational triples: " << a.num_relational_triples
+     << "  numeric triples: " << a.num_numerical_triples << "\n";
+  os << "avg degree: " << a.avg_degree << "  max degree: " << a.max_degree
+     << "  isolated: " << a.isolated_entities << "\n";
+  os << "components: " << a.connected_components
+     << "  largest: " << a.largest_component_size << " ("
+     << (a.num_entities > 0
+             ? 100.0 * static_cast<double>(a.largest_component_size) /
+                   static_cast<double>(a.num_entities)
+             : 0.0)
+     << "%)\n";
+  os << "entities with numeric facts: " << a.entities_with_numeric << " ("
+     << (a.num_entities > 0
+             ? 100.0 * static_cast<double>(a.entities_with_numeric) /
+                   static_cast<double>(a.num_entities)
+             : 0.0)
+     << "%), numeric density: " << a.numeric_density << "\n";
+  os << "degree histogram (power-of-two buckets):";
+  for (size_t b = 0; b < a.degree_histogram.size(); ++b) {
+    os << " [" << (b == 0 ? 0 : (1 << (b - 1))) << "+]=" << a.degree_histogram[b];
+  }
+  os << "\n";
+  os << "top relations:";
+  std::vector<std::pair<int64_t, size_t>> sorted;
+  for (size_t r = 0; r < a.relation_counts.size(); ++r) {
+    sorted.emplace_back(a.relation_counts[r], r);
+  }
+  std::sort(sorted.rbegin(), sorted.rend());
+  for (size_t i = 0; i < sorted.size() && i < 6; ++i) {
+    os << " " << graph.RelationName(static_cast<RelationId>(sorted[i].second * 2))
+       << "=" << sorted[i].first;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace kg
+}  // namespace chainsformer

@@ -1,0 +1,54 @@
+#ifndef CHAINSFORMER_KG_ANALYSIS_H_
+#define CHAINSFORMER_KG_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+
+namespace chainsformer {
+namespace kg {
+
+/// Structural summary of a knowledge graph, used by dataset reports and by
+/// experiment sanity checks (retrieval depends on connectivity and evidence
+/// density).
+struct GraphAnalysis {
+  int64_t num_entities = 0;
+  int64_t num_relational_triples = 0;
+  int64_t num_numerical_triples = 0;
+
+  double avg_degree = 0.0;
+  int64_t max_degree = 0;
+  int64_t isolated_entities = 0;      // degree 0
+
+  /// Degree histogram with power-of-two buckets: [0], [1], [2-3], [4-7], ...
+  std::vector<int64_t> degree_histogram;
+
+  int64_t connected_components = 0;
+  int64_t largest_component_size = 0;
+
+  /// Entities carrying at least one numeric fact.
+  int64_t entities_with_numeric = 0;
+  /// Numeric facts per entity (|E_a| / |V|).
+  double numeric_density = 0.0;
+  /// Per-relation triple counts, indexed by base relation id / 2.
+  std::vector<int64_t> relation_counts;
+};
+
+/// Computes the full structural summary (O(V + E)).
+GraphAnalysis AnalyzeGraph(const KnowledgeGraph& graph);
+
+/// Average number of entities reachable within `hops` from a sample of
+/// `sample_size` entities — the reachable-evidence measure underlying the
+/// paper's Fig. 2 chain counts. Deterministic for a given seed.
+double AverageReachableEntities(const KnowledgeGraph& graph, int hops,
+                                int sample_size, uint64_t seed = 17);
+
+/// Multi-line human-readable report.
+std::string AnalysisReport(const KnowledgeGraph& graph, const GraphAnalysis& a);
+
+}  // namespace kg
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_KG_ANALYSIS_H_

@@ -1,0 +1,43 @@
+#include "kg/dataset.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace kg {
+
+DataSplit SplitNumericTriples(const std::vector<NumericalTriple>& triples,
+                              int64_t num_attributes, Rng& rng,
+                              double train_frac, double valid_frac) {
+  CF_CHECK_GT(train_frac, 0.0);
+  CF_CHECK_GE(valid_frac, 0.0);
+  CF_CHECK_LE(train_frac + valid_frac, 1.0);
+
+  std::vector<std::vector<NumericalTriple>> by_attr(
+      static_cast<size_t>(num_attributes));
+  for (const auto& t : triples) {
+    by_attr[static_cast<size_t>(t.attribute)].push_back(t);
+  }
+
+  DataSplit split;
+  for (auto& bucket : by_attr) {
+    rng.Shuffle(bucket);
+    const size_t n = bucket.size();
+    const size_t n_train = static_cast<size_t>(train_frac * static_cast<double>(n));
+    const size_t n_valid = static_cast<size_t>(valid_frac * static_cast<double>(n));
+    for (size_t i = 0; i < n; ++i) {
+      if (i < n_train) {
+        split.train.push_back(bucket[i]);
+      } else if (i < n_train + n_valid) {
+        split.valid.push_back(bucket[i]);
+      } else {
+        split.test.push_back(bucket[i]);
+      }
+    }
+  }
+  return split;
+}
+
+}  // namespace kg
+}  // namespace chainsformer

@@ -1,0 +1,38 @@
+#ifndef CHAINSFORMER_KG_DATASET_H_
+#define CHAINSFORMER_KG_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "util/rng.h"
+
+namespace chainsformer {
+namespace kg {
+
+/// Train/valid/test partition of the numerical triples. The relational
+/// triples are always fully visible (the task is attribute regression, not
+/// link prediction), mirroring the paper's setup.
+struct DataSplit {
+  std::vector<NumericalTriple> train;
+  std::vector<NumericalTriple> valid;
+  std::vector<NumericalTriple> test;
+};
+
+/// A benchmark dataset: a finalized graph plus its 8:1:1 numeric split.
+struct Dataset {
+  std::string name;
+  KnowledgeGraph graph;
+  DataSplit split;
+};
+
+/// Splits numerical triples 8:1:1 (paper §V-A), stratified per attribute so
+/// every attribute appears in every partition. Deterministic given the rng.
+DataSplit SplitNumericTriples(const std::vector<NumericalTriple>& triples,
+                              int64_t num_attributes, Rng& rng,
+                              double train_frac = 0.8, double valid_frac = 0.1);
+
+}  // namespace kg
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_KG_DATASET_H_

@@ -1,0 +1,227 @@
+#include "kg/knowledge_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace kg {
+
+EntityId KnowledgeGraph::AddEntity(const std::string& name) {
+  CF_CHECK(!finalized_);
+  auto it = entity_index_.find(name);
+  if (it != entity_index_.end()) return it->second;
+  const EntityId id = static_cast<EntityId>(entity_names_.size());
+  entity_names_.push_back(name);
+  entity_index_.emplace(name, id);
+  return id;
+}
+
+RelationId KnowledgeGraph::AddRelation(const std::string& name) {
+  CF_CHECK(!finalized_);
+  auto it = relation_index_.find(name);
+  if (it != relation_index_.end()) return it->second;
+  const RelationId id = static_cast<RelationId>(relation_names_.size());
+  relation_names_.push_back(name);
+  relation_names_.push_back(name + "_inv");
+  relation_index_.emplace(name, id);
+  relation_index_.emplace(name + "_inv", id + 1);
+  return id;
+}
+
+AttributeId KnowledgeGraph::AddAttribute(const std::string& name,
+                                         AttributeCategory category) {
+  CF_CHECK(!finalized_);
+  auto it = attribute_index_.find(name);
+  if (it != attribute_index_.end()) return it->second;
+  const AttributeId id = static_cast<AttributeId>(attribute_names_.size());
+  attribute_names_.push_back(name);
+  attribute_categories_.push_back(category);
+  attribute_index_.emplace(name, id);
+  return id;
+}
+
+void KnowledgeGraph::AddTriple(EntityId head, RelationId relation, EntityId tail) {
+  CF_CHECK(!finalized_);
+  CF_CHECK_GE(head, 0);
+  CF_CHECK_LT(head, num_entities());
+  CF_CHECK_GE(tail, 0);
+  CF_CHECK_LT(tail, num_entities());
+  CF_CHECK(!IsInverseRelation(relation))
+      << "AddTriple takes base relation ids; inverses are implicit";
+  CF_CHECK_LT(relation, num_relation_ids());
+  relational_triples_.push_back({head, relation, tail});
+}
+
+void KnowledgeGraph::AddNumeric(EntityId entity, AttributeId attribute, double value) {
+  CF_CHECK(!finalized_);
+  CF_CHECK_GE(entity, 0);
+  CF_CHECK_LT(entity, num_entities());
+  CF_CHECK_GE(attribute, 0);
+  CF_CHECK_LT(attribute, num_attributes());
+  CF_CHECK(std::isfinite(value));
+  numerical_triples_.push_back({entity, attribute, value});
+}
+
+void KnowledgeGraph::Finalize() {
+  CF_CHECK(!finalized_);
+  const int64_t n = num_entities();
+
+  // Adjacency CSR: every triple contributes a forward and an inverse edge.
+  std::vector<int64_t> degree(static_cast<size_t>(n) + 1, 0);
+  for (const auto& t : relational_triples_) {
+    ++degree[static_cast<size_t>(t.head) + 1];
+    ++degree[static_cast<size_t>(t.tail) + 1];
+  }
+  adj_offsets_.assign(degree.begin(), degree.end());
+  for (size_t i = 1; i < adj_offsets_.size(); ++i) adj_offsets_[i] += adj_offsets_[i - 1];
+  adj_edges_.resize(static_cast<size_t>(adj_offsets_.back()));
+  std::vector<int64_t> cursor(adj_offsets_.begin(), adj_offsets_.end() - 1);
+  for (const auto& t : relational_triples_) {
+    adj_edges_[static_cast<size_t>(cursor[static_cast<size_t>(t.head)]++)] =
+        Edge{t.tail, t.relation};
+    adj_edges_[static_cast<size_t>(cursor[static_cast<size_t>(t.tail)]++)] =
+        Edge{t.head, InverseRelation(t.relation)};
+  }
+
+  // Per-entity attribute CSR.
+  std::vector<int64_t> acount(static_cast<size_t>(n) + 1, 0);
+  for (const auto& t : numerical_triples_) ++acount[static_cast<size_t>(t.entity) + 1];
+  attr_offsets_.assign(acount.begin(), acount.end());
+  for (size_t i = 1; i < attr_offsets_.size(); ++i) attr_offsets_[i] += attr_offsets_[i - 1];
+  attr_values_.resize(static_cast<size_t>(attr_offsets_.back()));
+  std::vector<int64_t> acursor(attr_offsets_.begin(), attr_offsets_.end() - 1);
+  for (const auto& t : numerical_triples_) {
+    attr_values_[static_cast<size_t>(acursor[static_cast<size_t>(t.entity)]++)] = {
+        t.attribute, t.value};
+  }
+
+  attribute_stats_ = ComputeAttributeStats(numerical_triples_, num_attributes());
+  finalized_ = true;
+}
+
+const std::string& KnowledgeGraph::EntityName(EntityId e) const {
+  return entity_names_.at(static_cast<size_t>(e));
+}
+
+const std::string& KnowledgeGraph::RelationName(RelationId r) const {
+  return relation_names_.at(static_cast<size_t>(r));
+}
+
+const std::string& KnowledgeGraph::AttributeName(AttributeId a) const {
+  return attribute_names_.at(static_cast<size_t>(a));
+}
+
+AttributeCategory KnowledgeGraph::AttributeCategoryOf(AttributeId a) const {
+  return attribute_categories_.at(static_cast<size_t>(a));
+}
+
+EntityId KnowledgeGraph::FindEntity(const std::string& name) const {
+  auto it = entity_index_.find(name);
+  return it == entity_index_.end() ? -1 : it->second;
+}
+
+RelationId KnowledgeGraph::FindRelation(const std::string& name) const {
+  auto it = relation_index_.find(name);
+  return it == relation_index_.end() ? -1 : it->second;
+}
+
+AttributeId KnowledgeGraph::FindAttribute(const std::string& name) const {
+  auto it = attribute_index_.find(name);
+  return it == attribute_index_.end() ? -1 : it->second;
+}
+
+std::span<const Edge> KnowledgeGraph::Neighbors(EntityId e) const {
+  CF_CHECK(finalized_);
+  CF_CHECK_GE(e, 0);
+  CF_CHECK_LT(e, num_entities());
+  const int64_t b = adj_offsets_[static_cast<size_t>(e)];
+  const int64_t f = adj_offsets_[static_cast<size_t>(e) + 1];
+  return {adj_edges_.data() + b, static_cast<size_t>(f - b)};
+}
+
+int64_t KnowledgeGraph::Degree(EntityId e) const {
+  return static_cast<int64_t>(Neighbors(e).size());
+}
+
+std::span<const std::pair<AttributeId, double>> KnowledgeGraph::EntityAttributes(
+    EntityId e) const {
+  CF_CHECK(finalized_);
+  const int64_t b = attr_offsets_[static_cast<size_t>(e)];
+  const int64_t f = attr_offsets_[static_cast<size_t>(e) + 1];
+  return {attr_values_.data() + b, static_cast<size_t>(f - b)};
+}
+
+bool KnowledgeGraph::GetAttribute(EntityId e, AttributeId a, double* value) const {
+  for (const auto& [attr, v] : EntityAttributes(e)) {
+    if (attr == a) {
+      if (value != nullptr) *value = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<AttributeStats> ComputeAttributeStats(
+    const std::vector<NumericalTriple>& triples, int64_t num_attributes) {
+  std::vector<AttributeStats> stats(static_cast<size_t>(num_attributes));
+  std::vector<double> sum(static_cast<size_t>(num_attributes), 0.0);
+  std::vector<double> sum_sq(static_cast<size_t>(num_attributes), 0.0);
+  for (const auto& t : triples) {
+    auto& s = stats[static_cast<size_t>(t.attribute)];
+    ++s.count;
+    s.min = std::min(s.min, t.value);
+    s.max = std::max(s.max, t.value);
+    sum[static_cast<size_t>(t.attribute)] += t.value;
+    sum_sq[static_cast<size_t>(t.attribute)] += t.value * t.value;
+  }
+  for (size_t a = 0; a < stats.size(); ++a) {
+    auto& s = stats[a];
+    if (s.count == 0) {
+      s.min = 0.0;
+      s.max = 0.0;
+      continue;
+    }
+    s.mean = sum[a] / static_cast<double>(s.count);
+    const double var =
+        std::max(0.0, sum_sq[a] / static_cast<double>(s.count) - s.mean * s.mean);
+    s.stddev = std::sqrt(var);
+  }
+  return stats;
+}
+
+NumericIndex::NumericIndex(const std::vector<NumericalTriple>& triples,
+                           int64_t num_entities) {
+  std::vector<int64_t> count(static_cast<size_t>(num_entities) + 1, 0);
+  for (const auto& t : triples) ++count[static_cast<size_t>(t.entity) + 1];
+  offsets_.assign(count.begin(), count.end());
+  for (size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+  values_.resize(static_cast<size_t>(offsets_.back()));
+  std::vector<int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& t : triples) {
+    values_[static_cast<size_t>(cursor[static_cast<size_t>(t.entity)]++)] = {
+        t.attribute, t.value};
+  }
+}
+
+std::span<const std::pair<AttributeId, double>> NumericIndex::Values(EntityId e) const {
+  CF_CHECK_GE(e, 0);
+  CF_CHECK_LT(static_cast<size_t>(e) + 1, offsets_.size());
+  const int64_t b = offsets_[static_cast<size_t>(e)];
+  const int64_t f = offsets_[static_cast<size_t>(e) + 1];
+  return {values_.data() + b, static_cast<size_t>(f - b)};
+}
+
+bool NumericIndex::Get(EntityId e, AttributeId a, double* value) const {
+  for (const auto& [attr, v] : Values(e)) {
+    if (attr == a) {
+      if (value != nullptr) *value = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace kg
+}  // namespace chainsformer

@@ -1,0 +1,203 @@
+#ifndef CHAINSFORMER_KG_KNOWLEDGE_GRAPH_H_
+#define CHAINSFORMER_KG_KNOWLEDGE_GRAPH_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace chainsformer {
+namespace kg {
+
+using EntityId = int32_t;
+using RelationId = int32_t;
+using AttributeId = int32_t;
+
+inline constexpr EntityId kInvalidEntity = -1;
+
+/// Relational fact (v_h, r, v_t) ∈ E_r ⊂ V × R × V.
+struct RelationalTriple {
+  EntityId head;
+  RelationId relation;
+  EntityId tail;
+};
+
+/// Numerical fact (v, a, n) ∈ E_a ⊂ V × A × N.
+struct NumericalTriple {
+  EntityId entity;
+  AttributeId attribute;
+  double value;
+};
+
+/// Outgoing edge in the adjacency index. Relations are stored in
+/// forward/inverse pairs: a base relation gets an even id 2k and its inverse
+/// (named "<base>_inv") gets 2k + 1, so chains can traverse edges in either
+/// direction — the paper's key chains (Table V) use inverse relations such
+/// as `capital_inv` heavily.
+struct Edge {
+  EntityId neighbor;
+  RelationId relation;
+};
+
+/// Semantic category of a numerical attribute, used by the evaluation
+/// breakdowns (the paper groups attributes into temporal / spatial /
+/// quantity classes).
+enum class AttributeCategory { kTemporal, kSpatial, kQuantity };
+
+/// Summary statistics of one attribute over a triple set (Table II;
+/// min/max also drive the min-max normalization of Eq. 23).
+struct AttributeStats {
+  int64_t count = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  double mean = 0.0;
+  double stddev = 0.0;
+
+  double Range() const { return max - min; }
+  /// Min-max normalization (Eq. 23); degenerate ranges normalize to 0.
+  double Normalize(double v) const {
+    const double r = Range();
+    return r > 0.0 ? (v - min) / r : 0.0;
+  }
+  double Denormalize(double v) const { return min + v * Range(); }
+};
+
+/// In-memory multi-relational knowledge graph with numerical attributes:
+/// G = (V, R, A, N). Construction is two-phase: add vocab + triples, then
+/// Finalize() to build the CSR adjacency and per-entity attribute indexes.
+class KnowledgeGraph {
+ public:
+  KnowledgeGraph() = default;
+  KnowledgeGraph(KnowledgeGraph&&) = default;
+  KnowledgeGraph& operator=(KnowledgeGraph&&) = default;
+
+  // --- Construction --------------------------------------------------------
+
+  /// Adds (or returns an existing) entity by name.
+  EntityId AddEntity(const std::string& name);
+
+  /// Adds a base relation; returns its (even) id. The inverse relation
+  /// "<name>_inv" is created implicitly with id + 1.
+  RelationId AddRelation(const std::string& name);
+
+  /// Adds a numerical attribute type.
+  AttributeId AddAttribute(const std::string& name,
+                           AttributeCategory category = AttributeCategory::kQuantity);
+
+  /// Adds a relational triple; both directions become edges after Finalize().
+  /// `relation` must be a base (even) id.
+  void AddTriple(EntityId head, RelationId relation, EntityId tail);
+
+  /// Adds a numerical triple.
+  void AddNumeric(EntityId entity, AttributeId attribute, double value);
+
+  /// Builds adjacency/attribute indexes. Must be called once after
+  /// construction; mutation is not allowed afterwards.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  // --- Vocabulary -----------------------------------------------------------
+
+  int64_t num_entities() const { return static_cast<int64_t>(entity_names_.size()); }
+  /// Number of base relation types (|R|, as reported in Table I).
+  int64_t num_relations() const { return static_cast<int64_t>(relation_names_.size()) / 2; }
+  /// Number of relation ids including inverses (= 2 |R|).
+  int64_t num_relation_ids() const { return static_cast<int64_t>(relation_names_.size()); }
+  int64_t num_attributes() const { return static_cast<int64_t>(attribute_names_.size()); }
+
+  const std::string& EntityName(EntityId e) const;
+  const std::string& RelationName(RelationId r) const;
+  const std::string& AttributeName(AttributeId a) const;
+  AttributeCategory AttributeCategoryOf(AttributeId a) const;
+
+  /// Inverse of a relation id (pairs 2k <-> 2k+1).
+  static RelationId InverseRelation(RelationId r) { return r ^ 1; }
+  static bool IsInverseRelation(RelationId r) { return (r & 1) != 0; }
+
+  /// Id lookups; return -1 when absent.
+  EntityId FindEntity(const std::string& name) const;
+  RelationId FindRelation(const std::string& name) const;
+  AttributeId FindAttribute(const std::string& name) const;
+
+  // --- Topology -------------------------------------------------------------
+
+  const std::vector<RelationalTriple>& relational_triples() const {
+    return relational_triples_;
+  }
+  const std::vector<NumericalTriple>& numerical_triples() const {
+    return numerical_triples_;
+  }
+
+  /// Outgoing edges of `e` (includes inverse-relation edges). Requires
+  /// Finalize().
+  std::span<const Edge> Neighbors(EntityId e) const;
+
+  /// Degree of `e` in the (bidirectional) adjacency.
+  int64_t Degree(EntityId e) const;
+
+  // --- Numerical attribute access -------------------------------------------
+
+  /// All (attribute, value) pairs observed on `e`. Requires Finalize().
+  std::span<const std::pair<AttributeId, double>> EntityAttributes(EntityId e) const;
+
+  /// True if (e, a, ·) exists; writes the value to *value when non-null.
+  bool GetAttribute(EntityId e, AttributeId a, double* value = nullptr) const;
+
+  /// Statistics of each attribute over all numerical triples in this graph.
+  const std::vector<AttributeStats>& attribute_stats() const { return attribute_stats_; }
+
+ private:
+  bool finalized_ = false;
+
+  std::vector<std::string> entity_names_;
+  std::vector<std::string> relation_names_;   // includes inverses at odd ids
+  std::vector<std::string> attribute_names_;
+  std::vector<AttributeCategory> attribute_categories_;
+  std::unordered_map<std::string, EntityId> entity_index_;
+  std::unordered_map<std::string, RelationId> relation_index_;
+  std::unordered_map<std::string, AttributeId> attribute_index_;
+
+  std::vector<RelationalTriple> relational_triples_;
+  std::vector<NumericalTriple> numerical_triples_;
+
+  // CSR adjacency over both edge directions.
+  std::vector<int64_t> adj_offsets_;
+  std::vector<Edge> adj_edges_;
+
+  // CSR per-entity attribute lists.
+  std::vector<int64_t> attr_offsets_;
+  std::vector<std::pair<AttributeId, double>> attr_values_;
+
+  std::vector<AttributeStats> attribute_stats_;
+};
+
+/// Computes per-attribute statistics over an arbitrary triple subset (e.g.
+/// the training split, which is what normalization must be fit on).
+std::vector<AttributeStats> ComputeAttributeStats(
+    const std::vector<NumericalTriple>& triples, int64_t num_attributes);
+
+/// Fast lookup from entity to the numeric facts *visible* to a model. The
+/// paper's retrieval pairs chains with known attribute values; building the
+/// index from the training split only prevents test-label leakage.
+class NumericIndex {
+ public:
+  NumericIndex(const std::vector<NumericalTriple>& triples, int64_t num_entities);
+
+  /// (attribute, value) pairs known for entity `e`.
+  std::span<const std::pair<AttributeId, double>> Values(EntityId e) const;
+
+  bool Get(EntityId e, AttributeId a, double* value) const;
+
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+
+ private:
+  std::vector<int64_t> offsets_;
+  std::vector<std::pair<AttributeId, double>> values_;
+};
+
+}  // namespace kg
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_KG_KNOWLEDGE_GRAPH_H_

@@ -1,0 +1,86 @@
+#include "kg/loader.h"
+
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace chainsformer {
+namespace kg {
+namespace {
+
+AttributeCategory InferCategory(const std::string& name) {
+  static const std::set<std::string> kTemporal = {
+      "birth",       "death",       "created",     "destroyed",
+      "happened",    "film_release", "org_founded", "loc_founded",
+      "date", "year"};
+  static const std::set<std::string> kSpatial = {"latitude", "longitude"};
+  if (kTemporal.count(name) != 0) return AttributeCategory::kTemporal;
+  if (kSpatial.count(name) != 0) return AttributeCategory::kSpatial;
+  return AttributeCategory::kQuantity;
+}
+
+bool SkipLine(const std::string& line) {
+  const std::string s = Strip(line);
+  return s.empty() || s[0] == '#';
+}
+
+}  // namespace
+
+Dataset LoadTsvDataset(const std::string& name, const std::string& triples_path,
+                       const std::string& numeric_path, uint64_t split_seed) {
+  Dataset ds;
+  ds.name = name;
+  KnowledgeGraph& g = ds.graph;
+
+  std::ifstream triples(triples_path);
+  CF_CHECK(triples.good()) << "cannot open " << triples_path;
+  std::string line;
+  while (std::getline(triples, line)) {
+    if (SkipLine(line)) continue;
+    const auto fields = Split(Strip(line), '\t');
+    CF_CHECK_EQ(fields.size(), 3u) << "bad triple line: " << line;
+    const EntityId h = g.AddEntity(fields[0]);
+    const RelationId r = g.AddRelation(fields[1]);
+    const EntityId t = g.AddEntity(fields[2]);
+    g.AddTriple(h, r, t);
+  }
+
+  std::ifstream numeric(numeric_path);
+  CF_CHECK(numeric.good()) << "cannot open " << numeric_path;
+  while (std::getline(numeric, line)) {
+    if (SkipLine(line)) continue;
+    const auto fields = Split(Strip(line), '\t');
+    CF_CHECK_EQ(fields.size(), 3u) << "bad numeric line: " << line;
+    const EntityId e = g.AddEntity(fields[0]);
+    const AttributeId a = g.AddAttribute(fields[1], InferCategory(fields[1]));
+    g.AddNumeric(e, a, std::stod(fields[2]));
+  }
+
+  g.Finalize();
+  Rng rng(split_seed);
+  ds.split = SplitNumericTriples(g.numerical_triples(), g.num_attributes(), rng);
+  return ds;
+}
+
+void SaveTsvDataset(const Dataset& dataset, const std::string& triples_path,
+                    const std::string& numeric_path) {
+  const KnowledgeGraph& g = dataset.graph;
+  std::ofstream triples(triples_path);
+  CF_CHECK(triples.good()) << "cannot write " << triples_path;
+  for (const auto& t : g.relational_triples()) {
+    triples << g.EntityName(t.head) << '\t' << g.RelationName(t.relation) << '\t'
+            << g.EntityName(t.tail) << '\n';
+  }
+  std::ofstream numeric(numeric_path);
+  CF_CHECK(numeric.good()) << "cannot write " << numeric_path;
+  for (const auto& t : g.numerical_triples()) {
+    numeric << g.EntityName(t.entity) << '\t' << g.AttributeName(t.attribute)
+            << '\t' << t.value << '\n';
+  }
+}
+
+}  // namespace kg
+}  // namespace chainsformer

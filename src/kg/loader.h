@@ -1,0 +1,30 @@
+#ifndef CHAINSFORMER_KG_LOADER_H_
+#define CHAINSFORMER_KG_LOADER_H_
+
+#include <string>
+
+#include "kg/dataset.h"
+
+namespace chainsformer {
+namespace kg {
+
+/// Loads a dataset from TSV files, for users who have the real FB15K-237 /
+/// YAGO15K dumps (MMKG format):
+///   * `triples_path`: one relational triple per line, "head\trelation\ttail".
+///   * `numeric_path`: one numeric triple per line, "entity\tattribute\tvalue".
+/// Attribute categories are inferred from well-known attribute names
+/// (birth/death/... -> temporal, latitude/longitude -> spatial, else
+/// quantity). Lines starting with '#' and blank lines are skipped.
+/// Returns a finalized dataset with a seeded 8:1:1 split.
+Dataset LoadTsvDataset(const std::string& name, const std::string& triples_path,
+                       const std::string& numeric_path, uint64_t split_seed = 42);
+
+/// Writes a dataset back to the two-file TSV format (used by tests and by
+/// the examples to show the on-disk format round-trips).
+void SaveTsvDataset(const Dataset& dataset, const std::string& triples_path,
+                    const std::string& numeric_path);
+
+}  // namespace kg
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_KG_LOADER_H_

@@ -1,0 +1,551 @@
+#include "kg/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace kg {
+namespace {
+
+// Latent world used by both generators. Attribute values derive from shared
+// latent factors (family era, region geography, team body cluster, ...) so
+// that relational paths carry real information about numeric attributes.
+
+struct Region {
+  double lat_center;
+  double lon_center;
+  double founding_era;    // mean founding year of settlements
+  double density;         // population density multiplier
+};
+
+struct PersonL {
+  EntityId id = kInvalidEntity;
+  int family;
+  int team;       // -1 when not an athlete
+  int ethnicity;  // FB only
+  EntityId city = kInvalidEntity;
+  double birth, death, height, weight;
+};
+
+struct PlaceL {
+  EntityId id = kInvalidEntity;
+  int region;
+  int level;  // 0 = country, 1 = state, 2 = city
+  EntityId parent = kInvalidEntity;
+  double lat, lon, area, population, founded;
+};
+
+struct WorkL {
+  EntityId id = kInvalidEntity;
+  int creator;  // person index, -1 for buildings
+  bool building;
+  double created, destroyed;
+};
+
+struct EventL {
+  EntityId id = kInvalidEntity;
+  int participant;  // person index
+  int place;        // place index
+  double happened;
+};
+
+struct OrgL {
+  EntityId id = kInvalidEntity;
+  int founder;  // person index
+  int hq;       // place index
+  double founded;
+};
+
+double Clip(double v, double lo, double hi) { return std::clamp(v, lo, hi); }
+
+// Observation helper: emit the numeric triple with probability rate.
+void MaybeObserve(KnowledgeGraph& g, Rng& rng, double rate, EntityId e,
+                  AttributeId a, double v) {
+  if (rng.Bernoulli(rate)) g.AddNumeric(e, a, v);
+}
+
+struct WorldSizes {
+  int num_people;
+  int num_places;
+  int num_works;
+  int num_events;
+  int num_orgs;
+  int num_teams;
+  int num_ethnicities;
+  int num_regions;
+};
+
+WorldSizes SizesFor(double scale, bool yago) {
+  WorldSizes s;
+  const double base = 15000.0 * scale;
+  s.num_people = static_cast<int>(base * 0.45);
+  s.num_places = static_cast<int>(base * 0.22);
+  s.num_works = static_cast<int>(base * (yago ? 0.22 : 0.18));
+  s.num_events = yago ? static_cast<int>(base * 0.06) : 0;
+  s.num_orgs = static_cast<int>(base * (yago ? 0.05 : 0.09));
+  s.num_teams = yago ? 0 : std::max(8, static_cast<int>(base * 0.01));
+  s.num_ethnicities = yago ? 0 : std::max(6, static_cast<int>(base * 0.004));
+  s.num_regions = std::max(8, static_cast<int>(12 * std::sqrt(scale / 0.12)));
+  return s;
+}
+
+Dataset GenerateWorld(const SyntheticOptions& options, bool yago) {
+  Rng rng(options.seed);
+  Dataset ds;
+  ds.name = yago ? "YAGO15K-syn" : "FB15K-237-syn";
+  KnowledgeGraph& g = ds.graph;
+  const double obs = options.observation_rate;
+  const WorldSizes sz = SizesFor(options.scale, yago);
+
+  // --- Attributes -----------------------------------------------------------
+  const AttributeId kBirth = g.AddAttribute("birth", AttributeCategory::kTemporal);
+  const AttributeId kDeath = g.AddAttribute("death", AttributeCategory::kTemporal);
+  const AttributeId kLat = g.AddAttribute("latitude", AttributeCategory::kSpatial);
+  const AttributeId kLon = g.AddAttribute("longitude", AttributeCategory::kSpatial);
+  AttributeId kCreated = -1, kDestroyed = -1, kHappened = -1;
+  AttributeId kFilmRelease = -1, kOrgFounded = -1, kLocFounded = -1;
+  AttributeId kArea = -1, kPopulation = -1, kHeight = -1, kWeight = -1;
+  if (yago) {
+    kCreated = g.AddAttribute("created", AttributeCategory::kTemporal);
+    kDestroyed = g.AddAttribute("destroyed", AttributeCategory::kTemporal);
+    kHappened = g.AddAttribute("happened", AttributeCategory::kTemporal);
+  } else {
+    kFilmRelease = g.AddAttribute("film_release", AttributeCategory::kTemporal);
+    kOrgFounded = g.AddAttribute("org_founded", AttributeCategory::kTemporal);
+    kLocFounded = g.AddAttribute("loc_founded", AttributeCategory::kTemporal);
+    kArea = g.AddAttribute("area", AttributeCategory::kQuantity);
+    kPopulation = g.AddAttribute("population", AttributeCategory::kQuantity);
+    kHeight = g.AddAttribute("height", AttributeCategory::kQuantity);
+    kWeight = g.AddAttribute("weight", AttributeCategory::kQuantity);
+  }
+
+  // --- Relations ------------------------------------------------------------
+  const RelationId rSibling = g.AddRelation("sibling");
+  const RelationId rSpouse = g.AddRelation("spouse");
+  const RelationId rInfluencedBy = g.AddRelation("influenced_by");
+  const RelationId rBornIn = g.AddRelation("born_in");
+  const RelationId rLocatedIn = g.AddRelation("located_in");
+  const RelationId rHasCapital = g.AddRelation("has_capital");
+  const RelationId rHasNeighbor = g.AddRelation("has_neighbor");
+  const RelationId rCreatedWork = g.AddRelation(yago ? "created" : "film");
+  RelationId rMusicFor = -1, rParticipatedIn = -1, rHappenedIn = -1,
+             rCitizenOf = -1;
+  RelationId rTeam = -1, rEthnicity = -1, rActorIn = -1, rNationality = -1,
+             rCounty = -1, rStateProvince = -1, rMemberStates = -1,
+             rFoundedBy = -1, rHeadquarters = -1, rAthlete = -1;
+  if (yago) {
+    rMusicFor = g.AddRelation("music_for");
+    rParticipatedIn = g.AddRelation("participated_in");
+    rHappenedIn = g.AddRelation("happened_in");
+    rCitizenOf = g.AddRelation("citizen_of");
+  } else {
+    rTeam = g.AddRelation("team");
+    rEthnicity = g.AddRelation("ethnicity");
+    rActorIn = g.AddRelation("actor_in");
+    rNationality = g.AddRelation("nationality");
+    rCounty = g.AddRelation("county");
+    rStateProvince = g.AddRelation("state_province");
+    rMemberStates = g.AddRelation("member_states");
+    rFoundedBy = g.AddRelation("founded_by");
+    rHeadquarters = g.AddRelation("headquarters");
+    rAthlete = g.AddRelation("athlete");
+  }
+
+  // --- Regions and latent clusters -------------------------------------------
+  std::vector<Region> regions(static_cast<size_t>(sz.num_regions));
+  for (auto& r : regions) {
+    r.lat_center = rng.Uniform(-45.0, 68.0);
+    r.lon_center = rng.Uniform(-170.0, 175.0);
+    r.founding_era = rng.Uniform(600.0, 1900.0);
+    r.density = std::exp(rng.Normal(3.0, 0.8));
+  }
+
+  // Team body clusters (FB): sport type shifts height/weight jointly.
+  std::vector<std::pair<double, double>> team_body(
+      static_cast<size_t>(std::max(1, sz.num_teams)));
+  for (auto& [h, w] : team_body) {
+    h = rng.Uniform(1.62, 2.02);
+    w = 60.0 + (h - 1.6) * 130.0 + rng.Normal(0.0, 6.0);
+  }
+  std::vector<std::pair<double, double>> eth_body(
+      static_cast<size_t>(std::max(1, sz.num_ethnicities)));
+  for (auto& [h, w] : eth_body) {
+    h = rng.Uniform(1.66, 1.86);
+    w = 58.0 + (h - 1.6) * 120.0 + rng.Normal(0.0, 5.0);
+  }
+
+  // --- Places ----------------------------------------------------------------
+  std::vector<PlaceL> places(static_cast<size_t>(sz.num_places));
+  // Levels: ~8% countries, 22% states, 70% cities.
+  std::vector<int> countries, states;
+  for (size_t i = 0; i < places.size(); ++i) {
+    PlaceL& p = places[i];
+    p.region = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(sz.num_regions)));
+    const double u = rng.Uniform();
+    p.level = u < 0.08 ? 0 : (u < 0.30 ? 1 : 2);
+    if (p.level == 0) countries.push_back(static_cast<int>(i));
+    if (p.level == 1) states.push_back(static_cast<int>(i));
+    p.id = g.AddEntity("place_" + std::to_string(i));
+  }
+  if (countries.empty()) {
+    places[0].level = 0;
+    countries.push_back(0);
+  }
+  if (states.empty()) {
+    places[places.size() > 1 ? 1 : 0].level = 1;
+    states.push_back(places.size() > 1 ? 1 : 0);
+  }
+  // Pick a per-region country/state when available so containment respects
+  // geography (chains like (located_in, latitude) then carry signal).
+  auto pick_in_region = [&](const std::vector<int>& pool, int region) -> int {
+    std::vector<int> same;
+    for (int idx : pool) {
+      if (places[static_cast<size_t>(idx)].region == region) same.push_back(idx);
+    }
+    const auto& src = same.empty() ? pool : same;
+    return src[rng.UniformInt(static_cast<uint64_t>(src.size()))];
+  };
+  for (size_t i = 0; i < places.size(); ++i) {
+    PlaceL& p = places[i];
+    const Region& reg = regions[static_cast<size_t>(p.region)];
+    p.lat = Clip(reg.lat_center + rng.Normal(0.0, 2.2), -51.7, 73.0);
+    p.lon = Clip(reg.lon_center + rng.Normal(0.0, 3.0), -175.0, 179.0);
+    p.founded = Clip(reg.founding_era + rng.Normal(0.0, 160.0), -2999.0, 2012.0);
+    const double area_mu = p.level == 0 ? 13.0 : (p.level == 1 ? 10.5 : 6.5);
+    p.area = Clip(std::exp(rng.Normal(area_mu, 1.0)), 1.0, 1.7e8);
+    p.population = Clip(p.area * reg.density * std::exp(rng.Normal(0.0, 0.5)),
+                        1.0, 3.1e9);
+    if (p.level == 1) {
+      p.parent = places[static_cast<size_t>(pick_in_region(countries, p.region))].id;
+    } else if (p.level == 2) {
+      p.parent = places[static_cast<size_t>(pick_in_region(states, p.region))].id;
+    }
+  }
+  // Containment, capitals, neighbors.
+  std::vector<int> cities;
+  for (size_t i = 0; i < places.size(); ++i) {
+    const PlaceL& p = places[i];
+    if (p.level == 2) cities.push_back(static_cast<int>(i));
+    if (p.parent != kInvalidEntity) {
+      g.AddTriple(p.id, p.level == 2 && !yago ? rCounty : rLocatedIn, p.parent);
+      if (!yago && p.level == 1) g.AddTriple(p.id, rStateProvince, p.parent);
+    }
+  }
+  if (cities.empty()) cities.push_back(0);
+  for (int c : countries) {
+    const int cap = pick_in_region(cities, places[static_cast<size_t>(c)].region);
+    g.AddTriple(places[static_cast<size_t>(c)].id, rHasCapital,
+                places[static_cast<size_t>(cap)].id);
+  }
+  // Neighbor edges inside a region: every place links to ~2 region peers,
+  // planting the (has_neighbor, latitude/longitude) key chain of Table V.
+  {
+    std::vector<std::vector<int>> by_region(static_cast<size_t>(sz.num_regions));
+    for (size_t i = 0; i < places.size(); ++i) {
+      by_region[static_cast<size_t>(places[i].region)].push_back(static_cast<int>(i));
+    }
+    for (const auto& members : by_region) {
+      if (members.size() < 2) continue;
+      for (int idx : members) {
+        for (int t = 0; t < 2; ++t) {
+          const int j = members[rng.UniformInt(static_cast<uint64_t>(members.size()))];
+          if (j != idx) {
+            g.AddTriple(places[static_cast<size_t>(idx)].id, rHasNeighbor,
+                        places[static_cast<size_t>(j)].id);
+          }
+        }
+      }
+    }
+  }
+
+  // --- People ----------------------------------------------------------------
+  std::vector<PersonL> people(static_cast<size_t>(sz.num_people));
+  int family_counter = 0;
+  std::vector<double> family_birth;
+  for (size_t i = 0; i < people.size(); ++i) {
+    PersonL& p = people[i];
+    // New family with prob 0.42, otherwise join the latest family.
+    if (family_birth.empty() || rng.Bernoulli(0.42)) {
+      family_birth.push_back(yago ? rng.Uniform(360.0, 1995.0)
+                                  : rng.Normal(1890.0, 70.0));
+      family_counter = static_cast<int>(family_birth.size()) - 1;
+    }
+    p.family = family_counter;
+    p.birth = family_birth[static_cast<size_t>(p.family)] + rng.Normal(0.0, 5.0);
+    p.birth = yago ? Clip(p.birth, 354.9, 2014.0) : Clip(p.birth, -383.0, 1999.9);
+    p.death = p.birth + std::max(18.0, rng.Normal(72.0, 11.0));
+    p.death = yago ? Clip(p.death, 348.0, 2161.1) : Clip(p.death, -322.0, 2015.6);
+    p.team = (!yago && rng.Bernoulli(0.35))
+                 ? static_cast<int>(rng.UniformInt(static_cast<uint64_t>(sz.num_teams)))
+                 : -1;
+    p.ethnicity = yago ? -1
+                       : static_cast<int>(rng.UniformInt(
+                             static_cast<uint64_t>(sz.num_ethnicities)));
+    if (!yago) {
+      double h_mu = 1.74, w_mu = 74.0;
+      if (p.team >= 0) {
+        h_mu = team_body[static_cast<size_t>(p.team)].first;
+        w_mu = team_body[static_cast<size_t>(p.team)].second;
+      } else {
+        h_mu = 0.5 * (h_mu + eth_body[static_cast<size_t>(p.ethnicity)].first);
+        w_mu = 0.5 * (w_mu + eth_body[static_cast<size_t>(p.ethnicity)].second);
+      }
+      p.height = Clip(h_mu + rng.Normal(0.0, 0.035), 1.34, 2.18);
+      p.weight = Clip(w_mu + rng.Normal(0.0, 5.0), 44.0, 147.0);
+    }
+    const int city = cities[rng.UniformInt(static_cast<uint64_t>(cities.size()))];
+    p.city = places[static_cast<size_t>(city)].id;
+    p.id = g.AddEntity("person_" + std::to_string(i));
+  }
+  // Family / social edges.
+  std::vector<std::vector<int>> families(family_birth.size());
+  for (size_t i = 0; i < people.size(); ++i) {
+    families[static_cast<size_t>(people[i].family)].push_back(static_cast<int>(i));
+  }
+  for (const auto& fam : families) {
+    for (size_t a = 0; a + 1 < fam.size(); ++a) {
+      g.AddTriple(people[static_cast<size_t>(fam[a])].id, rSibling,
+                  people[static_cast<size_t>(fam[a + 1])].id);
+    }
+  }
+  for (size_t i = 0; i < people.size(); ++i) {
+    const PersonL& p = people[i];
+    g.AddTriple(p.id, rBornIn, p.city);
+    if (yago && rng.Bernoulli(0.5)) {
+      // citizen_of: the country containing the birth city's region.
+      const int ctry = pick_in_region(
+          countries,
+          places[static_cast<size_t>(rng.UniformInt(
+                     static_cast<uint64_t>(places.size())))].region);
+      g.AddTriple(p.id, rCitizenOf, places[static_cast<size_t>(ctry)].id);
+    }
+    // (Era-dependent social edges are added below via a birth-sorted index —
+    // rejection sampling over uniform eras almost never finds a match.)
+    if (!yago) {
+      g.AddTriple(p.id, rEthnicity,
+                  g.AddEntity("ethnicity_" + std::to_string(p.ethnicity)));
+      g.AddTriple(p.id, rNationality, p.city);
+      if (p.team >= 0) {
+        const EntityId team_e = g.AddEntity("team_" + std::to_string(p.team));
+        g.AddTriple(p.id, rTeam, team_e);
+        g.AddTriple(team_e, rAthlete, p.id);
+      }
+    }
+  }
+
+  // Era-dependent social edges via a birth-sorted index: spouses are birth
+  // contemporaries, influencers are 15-60 years older. These plant the
+  // (spouse, birth) and (influenced_by, death/birth) key chains of Table V.
+  {
+    std::vector<int> by_birth(people.size());
+    for (size_t i = 0; i < by_birth.size(); ++i) by_birth[i] = static_cast<int>(i);
+    std::sort(by_birth.begin(), by_birth.end(), [&](int a, int b) {
+      return people[static_cast<size_t>(a)].birth < people[static_cast<size_t>(b)].birth;
+    });
+    const int n = static_cast<int>(by_birth.size());
+    for (int r = 0; r < n; ++r) {
+      const PersonL& p = people[static_cast<size_t>(by_birth[static_cast<size_t>(r)])];
+      if (rng.Bernoulli(0.5)) {
+        // Spouse among close birth ranks (same era).
+        const int off = static_cast<int>(rng.UniformInt(1, 6));
+        const int j = (r + off) % n;
+        const PersonL& q = people[static_cast<size_t>(by_birth[static_cast<size_t>(j)])];
+        if (std::fabs(q.birth - p.birth) < 15.0 && q.id != p.id) {
+          g.AddTriple(p.id, rSpouse, q.id);
+        }
+      }
+      if (rng.Bernoulli(0.7)) {
+        // Influencer: scan backwards in birth order for a 15-60 year gap.
+        for (int back = r - 1, tries = 0; back >= 0 && tries < 40; --back, ++tries) {
+          const PersonL& q =
+              people[static_cast<size_t>(by_birth[static_cast<size_t>(back)])];
+          const double gap = p.birth - q.birth;
+          if (gap > 60.0) break;
+          if (gap > 15.0) {
+            g.AddTriple(p.id, rInfluencedBy, q.id);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // --- Works (films for FB, works/buildings for YAGO) -------------------------
+  std::vector<WorkL> works(static_cast<size_t>(sz.num_works));
+  for (size_t i = 0; i < works.size(); ++i) {
+    WorkL& w = works[i];
+    w.building = yago && rng.Bernoulli(0.35);
+    if (w.building) {
+      w.creator = -1;
+      const size_t pi = rng.UniformInt(static_cast<uint64_t>(places.size()));
+      w.created = Clip(places[pi].founded + rng.Normal(150.0, 60.0), 100.0, 2018.7);
+      w.id = g.AddEntity("work_" + std::to_string(i));
+      g.AddTriple(w.id, rLocatedIn, places[pi].id);
+    } else {
+      w.creator = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(people.size())));
+      if (!yago) {
+        // Film directors are people from the film era; without this, the
+        // clip to [1927.1, 2013.5] would decouple release from birth.
+        for (int t = 0; t < 12; ++t) {
+          if (people[static_cast<size_t>(w.creator)].birth >= 1880.0) break;
+          w.creator = static_cast<int>(
+              rng.UniformInt(static_cast<uint64_t>(people.size())));
+        }
+      }
+      const PersonL& c = people[static_cast<size_t>(w.creator)];
+      w.created = c.birth + rng.Normal(38.0, 7.0);
+      w.created = yago ? Clip(w.created, 100.0, 2018.7) : Clip(w.created, 1927.1, 2013.5);
+      w.id = g.AddEntity("work_" + std::to_string(i));
+      g.AddTriple(c.id, rCreatedWork, w.id);
+      if (yago && rng.Bernoulli(0.25)) {
+        const size_t j = rng.UniformInt(static_cast<uint64_t>(people.size()));
+        if (std::fabs(people[j].birth - c.birth) < 25.0) {
+          g.AddTriple(people[j].id, rMusicFor, w.id);
+        }
+      }
+      if (!yago) {
+        // A couple of actors per film, from the director's generation.
+        for (int t = 0; t < 5; ++t) {
+          const size_t j = rng.UniformInt(static_cast<uint64_t>(people.size()));
+          if (std::fabs(people[j].birth - c.birth) < 20.0) {
+            g.AddTriple(people[j].id, rActorIn, w.id);
+            if (rng.Bernoulli(0.5)) break;
+          }
+        }
+      }
+    }
+    w.destroyed = w.created + std::fabs(rng.Normal(220.0, 120.0));
+  }
+
+  // --- Events (YAGO only) ------------------------------------------------------
+  std::vector<EventL> events(static_cast<size_t>(sz.num_events));
+  for (size_t i = 0; i < events.size(); ++i) {
+    EventL& e = events[i];
+    e.participant =
+        static_cast<int>(rng.UniformInt(static_cast<uint64_t>(people.size())));
+    e.place = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(places.size())));
+    const PersonL& p = people[static_cast<size_t>(e.participant)];
+    e.happened = Clip(p.birth + rng.Uniform(20.0, 60.0), 218.0, 2018.2);
+    e.id = g.AddEntity("event_" + std::to_string(i));
+    g.AddTriple(p.id, rParticipatedIn, e.id);
+    g.AddTriple(e.id, rHappenedIn, places[static_cast<size_t>(e.place)].id);
+  }
+
+  // --- Organisations ------------------------------------------------------------
+  std::vector<OrgL> orgs(static_cast<size_t>(sz.num_orgs));
+  for (size_t i = 0; i < orgs.size(); ++i) {
+    OrgL& o = orgs[i];
+    o.founder = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(people.size())));
+    o.hq = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(places.size())));
+    const PersonL& f = people[static_cast<size_t>(o.founder)];
+    o.founded = Clip(f.birth + rng.Normal(36.0, 8.0), 1088.0, 2013.0);
+    o.id = g.AddEntity("org_" + std::to_string(i));
+    if (!yago) {
+      g.AddTriple(o.id, rFoundedBy, f.id);
+      g.AddTriple(o.id, rHeadquarters, places[static_cast<size_t>(o.hq)].id);
+      if (rng.Bernoulli(0.4)) {
+        const int ctry = countries[rng.UniformInt(static_cast<uint64_t>(countries.size()))];
+        g.AddTriple(o.id, rMemberStates, places[static_cast<size_t>(ctry)].id);
+      }
+    } else {
+      g.AddTriple(o.id, rLocatedIn, places[static_cast<size_t>(o.hq)].id);
+    }
+  }
+
+  // --- Observed numeric triples ---------------------------------------------
+  for (const PersonL& p : people) {
+    MaybeObserve(g, rng, obs, p.id, kBirth, p.birth);
+    MaybeObserve(g, rng, obs * 0.35, p.id, kDeath, p.death);
+    if (!yago) {
+      MaybeObserve(g, rng, obs * 0.7, p.id, kHeight, p.height);
+      MaybeObserve(g, rng, obs * 0.12, p.id, kWeight, p.weight);
+    }
+  }
+  for (const PlaceL& p : places) {
+    MaybeObserve(g, rng, obs, p.id, kLat, p.lat);
+    MaybeObserve(g, rng, obs, p.id, kLon, p.lon);
+    if (!yago) {
+      MaybeObserve(g, rng, obs * 0.8, p.id, kArea, p.area);
+      MaybeObserve(g, rng, obs * 0.7, p.id, kPopulation, p.population);
+      MaybeObserve(g, rng, obs * 0.35, p.id, kLocFounded, p.founded);
+    }
+  }
+  for (const WorkL& w : works) {
+    if (yago) {
+      MaybeObserve(g, rng, obs, w.id, kCreated, w.created);
+      if (w.building) {
+        MaybeObserve(g, rng, obs * 0.3, w.id, kDestroyed,
+                     Clip(w.destroyed, 476.0, 2017.2));
+      }
+    } else if (!w.building) {
+      MaybeObserve(g, rng, obs * 0.6, w.id, kFilmRelease, w.created);
+    }
+  }
+  for (const EventL& e : events) {
+    MaybeObserve(g, rng, obs * 0.6, e.id, kHappened, e.happened);
+  }
+  for (const OrgL& o : orgs) {
+    if (!yago) MaybeObserve(g, rng, obs, o.id, kOrgFounded, o.founded);
+  }
+
+  g.Finalize();
+
+  Rng split_rng(options.seed ^ 0xD1CEBEEFull);
+  ds.split = SplitNumericTriples(g.numerical_triples(), g.num_attributes(), split_rng);
+  return ds;
+}
+
+}  // namespace
+
+Dataset MakeYago15kLike(const SyntheticOptions& options) {
+  return GenerateWorld(options, /*yago=*/true);
+}
+
+Dataset MakeFb15k237Like(const SyntheticOptions& options) {
+  return GenerateWorld(options, /*yago=*/false);
+}
+
+Dataset MakeToyDataset(uint64_t seed) {
+  Dataset ds;
+  ds.name = "toy";
+  KnowledgeGraph& g = ds.graph;
+  const AttributeId birth = g.AddAttribute("birth", AttributeCategory::kTemporal);
+  const AttributeId lat = g.AddAttribute("latitude", AttributeCategory::kSpatial);
+  const RelationId sibling = g.AddRelation("sibling");
+  const RelationId born_in = g.AddRelation("born_in");
+  const RelationId near = g.AddRelation("near");
+
+  const EntityId alice = g.AddEntity("alice");
+  const EntityId bob = g.AddEntity("bob");
+  const EntityId carol = g.AddEntity("carol");
+  const EntityId dave = g.AddEntity("dave");
+  const EntityId rome = g.AddEntity("rome");
+  const EntityId milan = g.AddEntity("milan");
+
+  g.AddTriple(alice, sibling, bob);
+  g.AddTriple(bob, sibling, carol);
+  g.AddTriple(carol, sibling, dave);
+  g.AddTriple(alice, born_in, rome);
+  g.AddTriple(dave, born_in, milan);
+  g.AddTriple(rome, near, milan);
+
+  g.AddNumeric(alice, birth, 1960.0);
+  g.AddNumeric(bob, birth, 1962.0);
+  g.AddNumeric(carol, birth, 1965.0);
+  g.AddNumeric(dave, birth, 1967.0);
+  g.AddNumeric(rome, lat, 41.9);
+  g.AddNumeric(milan, lat, 45.5);
+  g.Finalize();
+
+  Rng rng(seed);
+  ds.split = SplitNumericTriples(g.numerical_triples(), g.num_attributes(), rng,
+                                 0.8, 0.0);
+  return ds;
+}
+
+}  // namespace kg
+}  // namespace chainsformer

@@ -1,0 +1,49 @@
+#include "tensor/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace tensor {
+
+GradCheckResult CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, double eps, double tolerance) {
+  GradCheckResult result;
+
+  // Analytic pass.
+  for (Tensor& t : inputs) t.ZeroGrad();
+  Tensor loss = fn(inputs);
+  CF_CHECK_EQ(loss.numel(), 1);
+  loss.Backward();
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(inputs.size());
+  for (Tensor& t : inputs) analytic.push_back(t.grad());
+
+  // Numeric pass: central differences per element.
+  for (size_t ti = 0; ti < inputs.size(); ++ti) {
+    auto& data = inputs[ti].data();
+    for (size_t j = 0; j < data.size(); ++j) {
+      const float orig = data[j];
+      data[j] = orig + static_cast<float>(eps);
+      const double fp = fn(inputs).item();
+      data[j] = orig - static_cast<float>(eps);
+      const double fm = fn(inputs).item();
+      data[j] = orig;
+      const double numeric = (fp - fm) / (2.0 * eps);
+      const double a = analytic[ti][j];
+      const double abs_err = std::fabs(a - numeric);
+      const double denom = std::max({std::fabs(a), std::fabs(numeric), 1.0});
+      const double rel_err = abs_err / denom;
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      if (rel_err > tolerance) result.ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace tensor
+}  // namespace chainsformer

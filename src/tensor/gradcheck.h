@@ -1,0 +1,30 @@
+#ifndef CHAINSFORMER_TENSOR_GRADCHECK_H_
+#define CHAINSFORMER_TENSOR_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace chainsformer {
+namespace tensor {
+
+/// Result of a finite-difference gradient check.
+struct GradCheckResult {
+  bool ok = true;
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+};
+
+/// Verifies analytic gradients of `fn` (a scalar-valued function of `inputs`)
+/// against central finite differences. The inputs must already have
+/// requires_grad set. `fn` must be deterministic and re-entrant: it is called
+/// once per perturbed element plus once for the analytic pass.
+GradCheckResult CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, double eps = 1e-3, double tolerance = 5e-2);
+
+}  // namespace tensor
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_TENSOR_GRADCHECK_H_

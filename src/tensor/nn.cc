@@ -1,0 +1,196 @@
+#include "tensor/nn.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace tensor {
+namespace nn {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out = params_;
+  for (const Module* child : children_) {
+    auto sub = child->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (Tensor& t : Parameters()) t.ZeroGrad();
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const Tensor& t : Parameters()) n += t.numel();
+  return n;
+}
+
+Tensor Module::RegisterParameter(Tensor t) {
+  t.set_requires_grad(true);
+  params_.push_back(t);
+  return t;
+}
+
+void Module::RegisterModule(Module* child) { children_.push_back(child); }
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  const float stddev =
+      std::sqrt(2.0f / static_cast<float>(in_features + out_features));
+  weight_ = RegisterParameter(Tensor::Randn({in_features, out_features}, rng, stddev));
+  if (bias) {
+    bias_ = RegisterParameter(Tensor::Zeros({out_features}));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  const bool vector_input = x.dim() == 1;
+  Tensor x2 = vector_input ? Reshape(x, {1, in_features_}) : x;
+  CF_CHECK_EQ(x2.size(1), in_features_);
+  Tensor y = MatMul(x2, weight_);
+  if (bias_.defined()) y = Add(y, bias_);
+  return vector_input ? Reshape(y, {out_features_}) : y;
+}
+
+LayerNorm::LayerNorm(int64_t dim) {
+  gamma_ = RegisterParameter(Tensor::Ones({dim}));
+  beta_ = RegisterParameter(Tensor::Zeros({dim}));
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  return LayerNormOp(x, gamma_, beta_);
+}
+
+Mlp::Mlp(std::vector<int64_t> dims, Rng& rng) {
+  CF_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterModule(layers_.back().get());
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) h = Gelu(h);
+  }
+  return h;
+}
+
+MultiHeadAttention::MultiHeadAttention(int64_t dim, int64_t num_heads, Rng& rng)
+    : dim_(dim), num_heads_(num_heads), head_dim_(dim / num_heads) {
+  CF_CHECK_EQ(head_dim_ * num_heads, dim) << "dim must be divisible by heads";
+  q_proj_ = std::make_unique<Linear>(dim, dim, rng);
+  k_proj_ = std::make_unique<Linear>(dim, dim, rng);
+  v_proj_ = std::make_unique<Linear>(dim, dim, rng);
+  out_proj_ = std::make_unique<Linear>(dim, dim, rng);
+  RegisterModule(q_proj_.get());
+  RegisterModule(k_proj_.get());
+  RegisterModule(v_proj_.get());
+  RegisterModule(out_proj_.get());
+}
+
+Tensor MultiHeadAttention::Forward(const Tensor& x) const {
+  CF_CHECK_EQ(x.dim(), 2);
+  const int64_t seq = x.size(0);
+  CF_CHECK_EQ(x.size(1), dim_);
+  auto split_heads = [&](const Tensor& t) {
+    // [seq, d] -> [seq, heads, hd] -> [heads, seq, hd]
+    return Permute3(Reshape(t, {seq, num_heads_, head_dim_}), 1, 0, 2);
+  };
+  Tensor q = split_heads(q_proj_->Forward(x));
+  Tensor k = split_heads(k_proj_->Forward(x));
+  Tensor v = split_heads(v_proj_->Forward(x));
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  Tensor scores = MulScalar(BatchMatMul(q, Permute3(k, 0, 2, 1)), scale);
+  Tensor attn = Softmax(scores);            // [heads, seq, seq]
+  Tensor ctx = BatchMatMul(attn, v);        // [heads, seq, hd]
+  Tensor merged = Reshape(Permute3(ctx, 1, 0, 2), {seq, dim_});
+  return out_proj_->Forward(merged);
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(int64_t dim, int64_t num_heads,
+                                                 int64_t ff_dim, Rng& rng) {
+  attention_ = std::make_unique<MultiHeadAttention>(dim, num_heads, rng);
+  ff1_ = std::make_unique<Linear>(dim, ff_dim, rng);
+  ff2_ = std::make_unique<Linear>(ff_dim, dim, rng);
+  norm1_ = std::make_unique<LayerNorm>(dim);
+  norm2_ = std::make_unique<LayerNorm>(dim);
+  RegisterModule(attention_.get());
+  RegisterModule(ff1_.get());
+  RegisterModule(ff2_.get());
+  RegisterModule(norm1_.get());
+  RegisterModule(norm2_.get());
+}
+
+Tensor TransformerEncoderLayer::Forward(const Tensor& x) const {
+  Tensor h = norm1_->Forward(Add(x, attention_->Forward(x)));
+  Tensor ff = ff2_->Forward(Gelu(ff1_->Forward(h)));
+  return norm2_->Forward(Add(h, ff));
+}
+
+TransformerEncoder::TransformerEncoder(int64_t num_layers, int64_t dim,
+                                       int64_t num_heads, int64_t ff_dim,
+                                       Rng& rng) {
+  for (int64_t i = 0; i < num_layers; ++i) {
+    layers_.push_back(
+        std::make_unique<TransformerEncoderLayer>(dim, num_heads, ff_dim, rng));
+    RegisterModule(layers_.back().get());
+  }
+}
+
+Tensor TransformerEncoder::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (const auto& layer : layers_) h = layer->Forward(h);
+  return h;
+}
+
+Embedding::Embedding(int64_t num_embeddings, int64_t dim, Rng& rng, float stddev) {
+  table_ = RegisterParameter(Tensor::Randn({num_embeddings, dim}, rng, stddev));
+}
+
+Tensor Embedding::Forward(const std::vector<int64_t>& indices) const {
+  return Gather(table_, indices);
+}
+
+Tensor Embedding::ForwardOne(int64_t index) const {
+  return Reshape(Gather(table_, {index}), {table_.size(1)});
+}
+
+Lstm::Lstm(int64_t input_dim, int64_t hidden_dim, Rng& rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  const float stddev =
+      std::sqrt(1.0f / static_cast<float>(std::max<int64_t>(1, hidden_dim)));
+  w_x_ = RegisterParameter(
+      Tensor::Randn({input_dim, 4 * hidden_dim}, rng, stddev));
+  w_h_ = RegisterParameter(
+      Tensor::Randn({hidden_dim, 4 * hidden_dim}, rng, stddev));
+  bias_ = RegisterParameter(Tensor::Zeros({4 * hidden_dim}));
+}
+
+Tensor Lstm::Forward(const Tensor& x) const {
+  CF_CHECK_EQ(x.dim(), 2);
+  CF_CHECK_EQ(x.size(1), input_dim_);
+  const int64_t seq = x.size(0);
+  const int64_t h = hidden_dim_;
+  Tensor hidden = Tensor::Zeros({1, h});
+  Tensor cell = Tensor::Zeros({1, h});
+  for (int64_t t = 0; t < seq; ++t) {
+    Tensor xt = SliceRows(x, t, t + 1);  // [1, in]
+    Tensor gates = Add(Add(MatMul(xt, w_x_), MatMul(hidden, w_h_)), bias_);
+    Tensor i_g = Sigmoid(SliceCols(gates, 0, h));
+    Tensor f_g = Sigmoid(SliceCols(gates, h, 2 * h));
+    Tensor g_g = Tanh(SliceCols(gates, 2 * h, 3 * h));
+    Tensor o_g = Sigmoid(SliceCols(gates, 3 * h, 4 * h));
+    cell = Add(Mul(f_g, cell), Mul(i_g, g_g));
+    hidden = Mul(o_g, Tanh(cell));
+  }
+  return Reshape(hidden, {h});
+}
+
+}  // namespace nn
+}  // namespace tensor
+}  // namespace chainsformer

@@ -1,0 +1,179 @@
+#ifndef CHAINSFORMER_TENSOR_NN_H_
+#define CHAINSFORMER_TENSOR_NN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace chainsformer {
+namespace tensor {
+namespace nn {
+
+/// Base class for parameterized layers. Parameters registered by a module
+/// (and by registered child modules) are collected by Parameters(), which is
+/// what optimizers consume.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters, including children's, in registration order.
+  std::vector<Tensor> Parameters() const;
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+  /// Total number of trainable scalars.
+  int64_t NumParameters() const;
+
+ protected:
+  Module() = default;
+
+  /// Marks `t` trainable and records it; returns the registered tensor.
+  Tensor RegisterParameter(Tensor t);
+
+  /// Records a child module (not owned).
+  void RegisterModule(Module* child);
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<Module*> children_;
+};
+
+/// Fully connected layer: y = x W + b with W of shape [in, out].
+/// Accepts rank-1 [in] or rank-2 [n, in] inputs.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias = true);
+
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out] (undefined when bias = false)
+};
+
+/// Layer normalization over the last dimension, with learnable gamma/beta.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Tensor gamma_;
+  Tensor beta_;
+};
+
+/// Multilayer perceptron with GELU activations between layers and a linear
+/// final layer.
+class Mlp : public Module {
+ public:
+  /// `dims` = {in, hidden..., out}; requires at least {in, out}.
+  Mlp(std::vector<int64_t> dims, Rng& rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+/// Standard multi-head self-attention over a [seq, d] input (Eq. 13).
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int64_t dim, int64_t num_heads, Rng& rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  int64_t dim_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  std::unique_ptr<Linear> q_proj_;
+  std::unique_ptr<Linear> k_proj_;
+  std::unique_ptr<Linear> v_proj_;
+  std::unique_ptr<Linear> out_proj_;
+};
+
+/// Post-LN transformer encoder layer: x = LN(x + MHA(x)); x = LN(x + FFN(x)).
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(int64_t dim, int64_t num_heads, int64_t ff_dim,
+                          Rng& rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  std::unique_ptr<MultiHeadAttention> attention_;
+  std::unique_ptr<Linear> ff1_;
+  std::unique_ptr<Linear> ff2_;
+  std::unique_ptr<LayerNorm> norm1_;
+  std::unique_ptr<LayerNorm> norm2_;
+};
+
+/// Stack of encoder layers (the paper's encoder-only Transformer).
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(int64_t num_layers, int64_t dim, int64_t num_heads,
+                     int64_t ff_dim, Rng& rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+};
+
+/// Embedding table [num_embeddings, dim]; Forward gathers rows.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t num_embeddings, int64_t dim, Rng& rng, float stddev = 0.1f);
+
+  Tensor Forward(const std::vector<int64_t>& indices) const;
+  /// Single row lookup as a rank-1 tensor.
+  Tensor ForwardOne(int64_t index) const;
+
+  const Tensor& table() const { return table_; }
+  /// Mutable handle, e.g. for warm-starting the table from another model.
+  Tensor& mutable_table() { return table_; }
+  int64_t num_embeddings() const { return table_.size(0); }
+  int64_t dim() const { return table_.size(1); }
+
+ private:
+  Tensor table_;
+};
+
+/// Single-layer LSTM; Forward runs the cell over a [seq, in] input and
+/// returns the final hidden state [hidden]. Used by the "w LSTM as Chain
+/// Encoder" ablation (Table VI).
+class Lstm : public Module {
+ public:
+  Lstm(int64_t input_dim, int64_t hidden_dim, Rng& rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+  Tensor w_x_;   // [in, 4h] gate order: i, f, g, o
+  Tensor w_h_;   // [h, 4h]
+  Tensor bias_;  // [4h]
+};
+
+}  // namespace nn
+}  // namespace tensor
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_TENSOR_NN_H_

@@ -1,0 +1,809 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace tensor {
+namespace {
+
+using ImplPtr = std::shared_ptr<TensorImpl>;
+
+ImplPtr NewImpl(std::vector<int64_t> shape) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data.assign(static_cast<size_t>(impl->numel()), 0.0f);
+  return impl;
+}
+
+bool ShouldRecord(std::initializer_list<const Tensor*> inputs) {
+  if (!GradModeEnabled()) return false;
+  for (const Tensor* t : inputs) {
+    if (t->requires_grad()) return true;
+  }
+  return false;
+}
+
+void Attach(const ImplPtr& out, std::initializer_list<ImplPtr> parents,
+            std::function<void()> backward) {
+  out->requires_grad = true;
+  out->parents.assign(parents.begin(), parents.end());
+  out->backward_fn = std::move(backward);
+}
+
+// Broadcast form of an elementwise binary op.
+enum class Broadcast { kSame, kScalar, kLastDim };
+
+Broadcast BroadcastKind(const Tensor& a, const Tensor& b) {
+  if (a.shape() == b.shape()) return Broadcast::kSame;
+  if (b.numel() == 1) return Broadcast::kScalar;
+  if (b.dim() == 1 && b.size(0) == a.size(-1)) return Broadcast::kLastDim;
+  CF_LOG(Fatal) << "Incompatible elementwise shapes: " << a.DebugString(0)
+                << " vs " << b.DebugString(0);
+  return Broadcast::kSame;
+}
+
+// Elementwise binary with forward fn and partial derivatives. dfa/dfb take
+// (a_value, b_value) and return d(out)/d(a or b).
+template <typename F, typename Da, typename Db>
+Tensor EwBinary(const Tensor& a, const Tensor& b, F f, Da dfa, Db dfb) {
+  const Broadcast kind = BroadcastKind(a, b);
+  auto out = NewImpl(a.shape());
+  const auto& ad = a.data();
+  const auto& bd = b.data();
+  const int64_t last = a.size(-1);
+  auto bindex = [kind, last](size_t i) -> size_t {
+    switch (kind) {
+      case Broadcast::kSame:
+        return i;
+      case Broadcast::kScalar:
+        return 0;
+      case Broadcast::kLastDim:
+        return i % static_cast<size_t>(last);
+    }
+    return 0;
+  };
+  for (size_t i = 0; i < ad.size(); ++i) {
+    out->data[i] = f(ad[i], bd[bindex(i)]);
+  }
+  if (ShouldRecord({&a, &b})) {
+    ImplPtr ai = a.impl(), bi = b.impl();
+    TensorImpl* self = out.get();
+    Attach(out, {ai, bi}, [ai, bi, self, bindex, dfa, dfb]() {
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (size_t i = 0; i < self->data.size(); ++i) {
+          ai->grad[i] += self->grad[i] * dfa(ai->data[i], bi->data[bindex(i)]);
+        }
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        for (size_t i = 0; i < self->data.size(); ++i) {
+          bi->grad[bindex(i)] +=
+              self->grad[i] * dfb(ai->data[i], bi->data[bindex(i)]);
+        }
+      }
+    });
+  }
+  return Tensor::FromImpl(out);
+}
+
+// Elementwise unary. dfx receives (x, y) with y = f(x).
+template <typename F, typename Dx>
+Tensor EwUnary(const Tensor& a, F f, Dx dfx) {
+  auto out = NewImpl(a.shape());
+  const auto& ad = a.data();
+  for (size_t i = 0; i < ad.size(); ++i) out->data[i] = f(ad[i]);
+  if (ShouldRecord({&a})) {
+    ImplPtr ai = a.impl();
+    TensorImpl* self = out.get();
+    Attach(out, {ai}, [ai, self, dfx]() {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < self->data.size(); ++i) {
+        ai->grad[i] += self->grad[i] * dfx(ai->data[i], self->data[i]);
+      }
+    });
+  }
+  return Tensor::FromImpl(out);
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return EwBinary(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return EwBinary(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return EwBinary(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y) { return y; }, [](float x, float) { return x; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return EwBinary(
+      a, b, [](float x, float y) { return x / y; },
+      [](float, float y) { return 1.0f / y; },
+      [](float x, float y) { return -x / (y * y); });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return EwUnary(
+      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return EwUnary(
+      a, [s](float x) { return x * s; }, [s](float, float) { return s; });
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+Tensor Relu(const Tensor& a) {
+  return EwUnary(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Gelu(const Tensor& a) {
+  constexpr float kInvSqrt2 = 0.70710678118654752f;
+  constexpr float kInvSqrt2Pi = 0.39894228040143267f;
+  return EwUnary(
+      a,
+      [](float x) {
+        return 0.5f * x * (1.0f + std::erf(x * kInvSqrt2));
+      },
+      [](float x, float) {
+        const float phi = 0.5f * (1.0f + std::erf(x * kInvSqrt2));
+        const float pdf = kInvSqrt2Pi * std::exp(-0.5f * x * x);
+        return phi + x * pdf;
+      });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return EwUnary(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return EwUnary(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Exp(const Tensor& a) {
+  return EwUnary(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a, float eps) {
+  return EwUnary(
+      a, [eps](float x) { return std::log(std::max(x, eps)); },
+      [eps](float x, float) { return 1.0f / std::max(x, eps); });
+}
+
+Tensor Sqrt(const Tensor& a, float eps) {
+  return EwUnary(
+      a, [eps](float x) { return std::sqrt(std::max(x, eps)); },
+      [eps](float x, float y) {
+        (void)x;
+        return 0.5f / std::max(y, std::sqrt(eps));
+      });
+}
+
+Tensor Square(const Tensor& a) {
+  return EwUnary(
+      a, [](float x) { return x * x; },
+      [](float x, float) { return 2.0f * x; });
+}
+
+Tensor Abs(const Tensor& a) {
+  return EwUnary(
+      a, [](float x) { return std::fabs(x); },
+      [](float x, float) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
+}
+
+Tensor Atanh(const Tensor& a, float eps) {
+  return EwUnary(
+      a,
+      [eps](float x) {
+        const float c = std::clamp(x, -1.0f + eps, 1.0f - eps);
+        return std::atanh(c);
+      },
+      [eps](float x, float) {
+        const float c = std::clamp(x, -1.0f + eps, 1.0f - eps);
+        return 1.0f / (1.0f - c * c);
+      });
+}
+
+Tensor Acosh(const Tensor& a, float eps) {
+  return EwUnary(
+      a,
+      [eps](float x) { return std::acosh(std::max(x, 1.0f + eps)); },
+      [eps](float x, float) {
+        const float c = std::max(x, 1.0f + eps);
+        return 1.0f / std::sqrt(c * c - 1.0f);
+      });
+}
+
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  return EwUnary(
+      a, [lo, hi](float x) { return std::clamp(x, lo, hi); },
+      [lo, hi](float x, float) {
+        return (x >= lo && x <= hi) ? 1.0f : 0.0f;
+      });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CF_CHECK_EQ(a.dim(), 2);
+  CF_CHECK_EQ(b.dim(), 2);
+  const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  CF_CHECK_EQ(k, b.size(0));
+  auto out = NewImpl({m, n});
+  const float* ad = a.data().data();
+  const float* bd = b.data().data();
+  float* od = out->data.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = ad[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = bd + kk * n;
+      float* orow = od + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  if (ShouldRecord({&a, &b})) {
+    ImplPtr ai = a.impl(), bi = b.impl();
+    TensorImpl* self = out.get();
+    Attach(out, {ai, bi}, [ai, bi, self, m, k, n]() {
+      const float* g = self->grad.data();
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        // dA = G * B^T
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = 0; j < n; ++j) {
+            const float gv = g[i * n + j];
+            if (gv == 0.0f) continue;
+            const float* brow = bi->data.data();
+            for (int64_t kk = 0; kk < k; ++kk) {
+              ai->grad[i * k + kk] += gv * brow[kk * n + j];
+            }
+          }
+        }
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        // dB = A^T * G
+        for (int64_t kk = 0; kk < k; ++kk) {
+          for (int64_t i = 0; i < m; ++i) {
+            const float av = ai->data[i * k + kk];
+            if (av == 0.0f) continue;
+            for (int64_t j = 0; j < n; ++j) {
+              bi->grad[kk * n + j] += av * g[i * n + j];
+            }
+          }
+        }
+      }
+    });
+  }
+  return Tensor::FromImpl(out);
+}
+
+Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
+  CF_CHECK_EQ(a.dim(), 3);
+  CF_CHECK_EQ(b.dim(), 3);
+  const int64_t bs = a.size(0), m = a.size(1), k = a.size(2), n = b.size(2);
+  CF_CHECK_EQ(bs, b.size(0));
+  CF_CHECK_EQ(k, b.size(1));
+  auto out = NewImpl({bs, m, n});
+  for (int64_t bb = 0; bb < bs; ++bb) {
+    const float* ad = a.data().data() + bb * m * k;
+    const float* bd = b.data().data() + bb * k * n;
+    float* od = out->data.data() + bb * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = ad[i * k + kk];
+        if (av == 0.0f) continue;
+        for (int64_t j = 0; j < n; ++j) od[i * n + j] += av * bd[kk * n + j];
+      }
+    }
+  }
+  if (ShouldRecord({&a, &b})) {
+    ImplPtr ai = a.impl(), bi = b.impl();
+    TensorImpl* self = out.get();
+    Attach(out, {ai, bi}, [ai, bi, self, bs, m, k, n]() {
+      for (int64_t bb = 0; bb < bs; ++bb) {
+        const float* g = self->grad.data() + bb * m * n;
+        const float* ad = ai->data.data() + bb * m * k;
+        const float* bd = bi->data.data() + bb * k * n;
+        if (ai->requires_grad) {
+          ai->EnsureGrad();
+          float* ag = ai->grad.data() + bb * m * k;
+          for (int64_t i = 0; i < m; ++i) {
+            for (int64_t j = 0; j < n; ++j) {
+              const float gv = g[i * n + j];
+              if (gv == 0.0f) continue;
+              for (int64_t kk = 0; kk < k; ++kk) {
+                ag[i * k + kk] += gv * bd[kk * n + j];
+              }
+            }
+          }
+        }
+        if (bi->requires_grad) {
+          bi->EnsureGrad();
+          float* bg = bi->grad.data() + bb * k * n;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            for (int64_t i = 0; i < m; ++i) {
+              const float av = ad[i * k + kk];
+              if (av == 0.0f) continue;
+              for (int64_t j = 0; j < n; ++j) {
+                bg[kk * n + j] += av * g[i * n + j];
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+  return Tensor::FromImpl(out);
+}
+
+Tensor Reshape(const Tensor& a, std::vector<int64_t> shape) {
+  auto out = NewImpl(std::move(shape));
+  CF_CHECK_EQ(out->numel(), a.numel());
+  out->data = a.data();
+  if (ShouldRecord({&a})) {
+    ImplPtr ai = a.impl();
+    TensorImpl* self = out.get();
+    Attach(out, {ai}, [ai, self]() {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < self->grad.size(); ++i) ai->grad[i] += self->grad[i];
+    });
+  }
+  return Tensor::FromImpl(out);
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  CF_CHECK_EQ(a.dim(), 2);
+  const int64_t m = a.size(0), n = a.size(1);
+  auto out = NewImpl({n, m});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out->data[j * m + i] = a.data()[i * n + j];
+  }
+  if (ShouldRecord({&a})) {
+    ImplPtr ai = a.impl();
+    TensorImpl* self = out.get();
+    Attach(out, {ai}, [ai, self, m, n]() {
+      ai->EnsureGrad();
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          ai->grad[i * n + j] += self->grad[j * m + i];
+        }
+      }
+    });
+  }
+  return Tensor::FromImpl(out);
+}
+
+Tensor Permute3(const Tensor& a, int p0, int p1, int p2) {
+  CF_CHECK_EQ(a.dim(), 3);
+  const int perm[3] = {p0, p1, p2};
+  CF_CHECK_EQ(p0 + p1 + p2, 3);
+  const int64_t in_shape[3] = {a.size(0), a.size(1), a.size(2)};
+  std::vector<int64_t> out_shape = {in_shape[perm[0]], in_shape[perm[1]],
+                                    in_shape[perm[2]]};
+  auto out = NewImpl(out_shape);
+  const int64_t in_stride[3] = {in_shape[1] * in_shape[2], in_shape[2], 1};
+  // For out index (i,j,k), the source index places i on axis perm[0], etc.
+  auto src_offset = [&](int64_t i, int64_t j, int64_t k) {
+    return i * in_stride[perm[0]] + j * in_stride[perm[1]] + k * in_stride[perm[2]];
+  };
+  int64_t idx = 0;
+  for (int64_t i = 0; i < out_shape[0]; ++i) {
+    for (int64_t j = 0; j < out_shape[1]; ++j) {
+      for (int64_t k = 0; k < out_shape[2]; ++k) {
+        out->data[idx++] = a.data()[src_offset(i, j, k)];
+      }
+    }
+  }
+  if (ShouldRecord({&a})) {
+    ImplPtr ai = a.impl();
+    TensorImpl* self = out.get();
+    std::vector<int64_t> os = out_shape;
+    int q0 = perm[0], q1 = perm[1], q2 = perm[2];
+    int64_t is0 = in_stride[0], is1 = in_stride[1], is2 = in_stride[2];
+    Attach(out, {ai}, [ai, self, os, q0, q1, q2, is0, is1, is2]() {
+      ai->EnsureGrad();
+      const int64_t strides[3] = {is0, is1, is2};
+      const int perm2[3] = {q0, q1, q2};
+      int64_t idx2 = 0;
+      for (int64_t i = 0; i < os[0]; ++i) {
+        for (int64_t j = 0; j < os[1]; ++j) {
+          for (int64_t k = 0; k < os[2]; ++k) {
+            ai->grad[i * strides[perm2[0]] + j * strides[perm2[1]] +
+                     k * strides[perm2[2]]] += self->grad[idx2++];
+          }
+        }
+      }
+    });
+  }
+  return Tensor::FromImpl(out);
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int axis) {
+  CF_CHECK(!parts.empty());
+  const int64_t rank = parts[0].dim();
+  if (axis < 0) axis += static_cast<int>(rank);
+  CF_CHECK_GE(axis, 0);
+  CF_CHECK_LT(axis, rank);
+  std::vector<int64_t> shape = parts[0].shape();
+  int64_t axis_total = 0;
+  for (const Tensor& p : parts) {
+    CF_CHECK_EQ(p.dim(), rank);
+    for (int64_t d = 0; d < rank; ++d) {
+      if (d != axis) CF_CHECK_EQ(p.size(d), shape[static_cast<size_t>(d)]);
+    }
+    axis_total += p.size(axis);
+  }
+  shape[static_cast<size_t>(axis)] = axis_total;
+  auto out = NewImpl(shape);
+
+  int64_t outer = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= shape[static_cast<size_t>(d)];
+  int64_t inner = 1;
+  for (int64_t d = axis + 1; d < rank; ++d) inner *= shape[static_cast<size_t>(d)];
+
+  // Offsets (in elements of the axis) where each part begins.
+  std::vector<int64_t> axis_offsets(parts.size());
+  {
+    int64_t off = 0;
+    for (size_t p = 0; p < parts.size(); ++p) {
+      axis_offsets[p] = off;
+      off += parts[p].size(axis);
+    }
+  }
+  for (size_t p = 0; p < parts.size(); ++p) {
+    const int64_t pa = parts[p].size(axis);
+    const auto& pd = parts[p].data();
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* src = pd.data() + o * pa * inner;
+      float* dst = out->data.data() + (o * axis_total + axis_offsets[p]) * inner;
+      std::copy(src, src + pa * inner, dst);
+    }
+  }
+
+  bool record = GradModeEnabled();
+  if (record) {
+    bool any = false;
+    for (const Tensor& p : parts) any = any || p.requires_grad();
+    record = any;
+  }
+  if (record) {
+    std::vector<ImplPtr> impls;
+    impls.reserve(parts.size());
+    for (const Tensor& p : parts) impls.push_back(p.impl());
+    TensorImpl* self = out.get();
+    std::vector<int64_t> sizes;
+    for (const Tensor& p : parts) sizes.push_back(p.size(axis));
+    out->requires_grad = true;
+    out->parents = impls;
+    out->backward_fn = [impls, self, sizes, axis_offsets, outer, inner,
+                        axis_total]() {
+      for (size_t p = 0; p < impls.size(); ++p) {
+        if (!impls[p]->requires_grad) continue;
+        impls[p]->EnsureGrad();
+        const int64_t pa = sizes[p];
+        for (int64_t o = 0; o < outer; ++o) {
+          const float* src =
+              self->grad.data() + (o * axis_total + axis_offsets[p]) * inner;
+          float* dst = impls[p]->grad.data() + o * pa * inner;
+          for (int64_t i = 0; i < pa * inner; ++i) dst[i] += src[i];
+        }
+      }
+    };
+  }
+  return Tensor::FromImpl(out);
+}
+
+Tensor Stack(const std::vector<Tensor>& rows) {
+  CF_CHECK(!rows.empty());
+  const int64_t d = rows[0].numel();
+  std::vector<Tensor> reshaped;
+  reshaped.reserve(rows.size());
+  for (const Tensor& r : rows) {
+    CF_CHECK_EQ(r.numel(), d);
+    reshaped.push_back(Reshape(r, {1, d}));
+  }
+  return Concat(reshaped, 0);
+}
+
+Tensor SliceRows(const Tensor& a, int64_t begin, int64_t end) {
+  CF_CHECK_GE(a.dim(), 1);
+  CF_CHECK_GE(begin, 0);
+  CF_CHECK_LE(begin, end);
+  CF_CHECK_LE(end, a.size(0));
+  std::vector<int64_t> shape = a.shape();
+  shape[0] = end - begin;
+  int64_t inner = 1;
+  for (size_t d = 1; d < shape.size(); ++d) inner *= shape[d];
+  auto out = NewImpl(shape);
+  std::copy(a.data().begin() + begin * inner, a.data().begin() + end * inner,
+            out->data.begin());
+  if (ShouldRecord({&a})) {
+    ImplPtr ai = a.impl();
+    TensorImpl* self = out.get();
+    Attach(out, {ai}, [ai, self, begin, inner]() {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < self->grad.size(); ++i) {
+        ai->grad[static_cast<size_t>(begin * inner) + i] += self->grad[i];
+      }
+    });
+  }
+  return Tensor::FromImpl(out);
+}
+
+Tensor SliceCols(const Tensor& a, int64_t begin, int64_t end) {
+  CF_CHECK_GE(begin, 0);
+  CF_CHECK_LE(begin, end);
+  if (a.dim() == 1) return SliceRows(a, begin, end);
+  CF_CHECK_EQ(a.dim(), 2);
+  const int64_t m = a.size(0), n = a.size(1), w = end - begin;
+  CF_CHECK_LE(end, n);
+  auto out = NewImpl({m, w});
+  for (int64_t i = 0; i < m; ++i) {
+    std::copy(a.data().begin() + i * n + begin, a.data().begin() + i * n + end,
+              out->data.begin() + i * w);
+  }
+  if (ShouldRecord({&a})) {
+    ImplPtr ai = a.impl();
+    TensorImpl* self = out.get();
+    Attach(out, {ai}, [ai, self, m, n, w, begin]() {
+      ai->EnsureGrad();
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < w; ++j) {
+          ai->grad[i * n + begin + j] += self->grad[i * w + j];
+        }
+      }
+    });
+  }
+  return Tensor::FromImpl(out);
+}
+
+Tensor Row(const Tensor& a, int64_t i) {
+  CF_CHECK_EQ(a.dim(), 2);
+  return Reshape(SliceRows(a, i, i + 1), {a.size(1)});
+}
+
+Tensor Gather(const Tensor& table, const std::vector<int64_t>& indices) {
+  CF_CHECK_EQ(table.dim(), 2);
+  const int64_t num = table.size(0), d = table.size(1);
+  auto out = NewImpl({static_cast<int64_t>(indices.size()), d});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    CF_CHECK_GE(indices[i], 0);
+    CF_CHECK_LT(indices[i], num);
+    std::copy(table.data().begin() + indices[i] * d,
+              table.data().begin() + (indices[i] + 1) * d,
+              out->data.begin() + static_cast<int64_t>(i) * d);
+  }
+  if (ShouldRecord({&table})) {
+    ImplPtr ti = table.impl();
+    TensorImpl* self = out.get();
+    std::vector<int64_t> idx = indices;
+    Attach(out, {ti}, [ti, self, idx, d]() {
+      ti->EnsureGrad();
+      for (size_t i = 0; i < idx.size(); ++i) {
+        for (int64_t j = 0; j < d; ++j) {
+          ti->grad[idx[i] * d + j] += self->grad[static_cast<int64_t>(i) * d + j];
+        }
+      }
+    });
+  }
+  return Tensor::FromImpl(out);
+}
+
+Tensor Sum(const Tensor& a) {
+  auto out = NewImpl({1});
+  double acc = 0.0;
+  for (float v : a.data()) acc += v;
+  out->data[0] = static_cast<float>(acc);
+  if (ShouldRecord({&a})) {
+    ImplPtr ai = a.impl();
+    TensorImpl* self = out.get();
+    Attach(out, {ai}, [ai, self]() {
+      ai->EnsureGrad();
+      for (auto& g : ai->grad) g += self->grad[0];
+    });
+  }
+  return Tensor::FromImpl(out);
+}
+
+Tensor Mean(const Tensor& a) {
+  const float inv = 1.0f / static_cast<float>(a.numel());
+  return MulScalar(Sum(a), inv);
+}
+
+Tensor SumLastDim(const Tensor& a) {
+  CF_CHECK_GE(a.dim(), 1);
+  const int64_t n = a.size(-1);
+  const int64_t rows = a.numel() / n;
+  std::vector<int64_t> shape(a.shape().begin(), a.shape().end() - 1);
+  if (shape.empty()) shape = {1};
+  auto out = NewImpl(shape);
+  for (int64_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < n; ++j) acc += a.data()[r * n + j];
+    out->data[static_cast<size_t>(r)] = static_cast<float>(acc);
+  }
+  if (ShouldRecord({&a})) {
+    ImplPtr ai = a.impl();
+    TensorImpl* self = out.get();
+    Attach(out, {ai}, [ai, self, rows, n]() {
+      ai->EnsureGrad();
+      for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t j = 0; j < n; ++j) {
+          ai->grad[r * n + j] += self->grad[static_cast<size_t>(r)];
+        }
+      }
+    });
+  }
+  return Tensor::FromImpl(out);
+}
+
+Tensor Dot(const Tensor& a, const Tensor& b) {
+  CF_CHECK_EQ(a.dim(), 1);
+  CF_CHECK_EQ(b.dim(), 1);
+  CF_CHECK_EQ(a.numel(), b.numel());
+  return Sum(Mul(a, b));
+}
+
+Tensor Norm(const Tensor& a, float eps) {
+  return Sqrt(Sum(Square(a)), eps);
+}
+
+Tensor Softmax(const Tensor& a) {
+  const int64_t n = a.size(-1);
+  const int64_t rows = a.numel() / n;
+  auto out = NewImpl(a.shape());
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = a.data().data() + r * n;
+    float* y = out->data.data() + r * n;
+    float mx = x[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, x[j]);
+    double z = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      y[j] = std::exp(x[j] - mx);
+      z += y[j];
+    }
+    const float invz = static_cast<float>(1.0 / z);
+    for (int64_t j = 0; j < n; ++j) y[j] *= invz;
+  }
+  if (ShouldRecord({&a})) {
+    ImplPtr ai = a.impl();
+    TensorImpl* self = out.get();
+    Attach(out, {ai}, [ai, self, rows, n]() {
+      ai->EnsureGrad();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* y = self->data.data() + r * n;
+        const float* g = self->grad.data() + r * n;
+        double dot = 0.0;
+        for (int64_t j = 0; j < n; ++j) dot += static_cast<double>(y[j]) * g[j];
+        for (int64_t j = 0; j < n; ++j) {
+          ai->grad[r * n + j] += y[j] * (g[j] - static_cast<float>(dot));
+        }
+      }
+    });
+  }
+  return Tensor::FromImpl(out);
+}
+
+Tensor LayerNormOp(const Tensor& a, const Tensor& gamma, const Tensor& beta,
+                   float eps) {
+  const int64_t n = a.size(-1);
+  CF_CHECK_EQ(gamma.numel(), n);
+  CF_CHECK_EQ(beta.numel(), n);
+  const int64_t rows = a.numel() / n;
+  auto out = NewImpl(a.shape());
+  // Cache per-row statistics for the backward pass.
+  auto xhat = std::make_shared<std::vector<float>>(a.data().size());
+  auto inv_std = std::make_shared<std::vector<float>>(rows);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = a.data().data() + r * n;
+    double mu = 0.0;
+    for (int64_t j = 0; j < n; ++j) mu += x[j];
+    mu /= n;
+    double var = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      const double d = x[j] - mu;
+      var += d * d;
+    }
+    var /= n;
+    const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
+    (*inv_std)[static_cast<size_t>(r)] = istd;
+    for (int64_t j = 0; j < n; ++j) {
+      const float xh = (x[j] - static_cast<float>(mu)) * istd;
+      (*xhat)[static_cast<size_t>(r * n + j)] = xh;
+      out->data[static_cast<size_t>(r * n + j)] =
+          xh * gamma.data()[static_cast<size_t>(j)] +
+          beta.data()[static_cast<size_t>(j)];
+    }
+  }
+  if (ShouldRecord({&a, &gamma, &beta})) {
+    ImplPtr ai = a.impl(), gi = gamma.impl(), bi = beta.impl();
+    TensorImpl* self = out.get();
+    Attach(out, {ai, gi, bi}, [ai, gi, bi, self, xhat, inv_std, rows, n]() {
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* g = self->grad.data() + r * n;
+        const float* xh = xhat->data() + r * n;
+        const float istd = (*inv_std)[static_cast<size_t>(r)];
+        if (gi->requires_grad) {
+          gi->EnsureGrad();
+          for (int64_t j = 0; j < n; ++j) gi->grad[j] += g[j] * xh[j];
+        }
+        if (bi->requires_grad) {
+          bi->EnsureGrad();
+          for (int64_t j = 0; j < n; ++j) bi->grad[j] += g[j];
+        }
+        if (ai->requires_grad) {
+          ai->EnsureGrad();
+          // dxhat = g * gamma; dx = istd/n * (n*dxhat - sum(dxhat)
+          //                                   - xhat * sum(dxhat*xhat))
+          double s1 = 0.0, s2 = 0.0;
+          for (int64_t j = 0; j < n; ++j) {
+            const double dxh = static_cast<double>(g[j]) * gi->data[j];
+            s1 += dxh;
+            s2 += dxh * xh[j];
+          }
+          for (int64_t j = 0; j < n; ++j) {
+            const double dxh = static_cast<double>(g[j]) * gi->data[j];
+            ai->grad[r * n + j] += static_cast<float>(
+                istd * (dxh - s1 / n - static_cast<double>(xh[j]) * s2 / n));
+          }
+        }
+      }
+    });
+  }
+  return Tensor::FromImpl(out);
+}
+
+Tensor MseLoss(const Tensor& pred, const Tensor& target) {
+  CF_CHECK_EQ(pred.numel(), target.numel());
+  return Mean(Square(Sub(pred, target)));
+}
+
+Tensor L1Loss(const Tensor& pred, const Tensor& target) {
+  CF_CHECK_EQ(pred.numel(), target.numel());
+  return Mean(Abs(Sub(pred, target)));
+}
+
+Tensor SmoothL1Loss(const Tensor& pred, const Tensor& target, float delta) {
+  CF_CHECK_EQ(pred.numel(), target.numel());
+  Tensor diff = Sub(pred, target);
+  Tensor absd = Abs(diff);
+  // Branch-free Huber: for |d| <= delta -> 0.5 d^2 / delta; else |d| - delta/2.
+  // Implemented via clamped quadratic part.
+  Tensor clamped = Clamp(absd, 0.0f, delta);
+  Tensor quadratic = MulScalar(Square(clamped), 0.5f / delta);
+  Tensor linear = Sub(absd, clamped);
+  return Mean(Add(quadratic, linear));
+}
+
+Tensor Detach(const Tensor& a) {
+  auto out = NewImpl(a.shape());
+  out->data = a.data();
+  return Tensor::FromImpl(out);
+}
+
+}  // namespace tensor
+}  // namespace chainsformer

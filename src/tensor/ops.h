@@ -1,0 +1,105 @@
+#ifndef CHAINSFORMER_TENSOR_OPS_H_
+#define CHAINSFORMER_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace chainsformer {
+namespace tensor {
+
+// Differentiable tensor operations. Every function returns a fresh tensor;
+// when grad mode is on and an input requires grad, the result carries a
+// backward closure that accumulates into the inputs' gradients.
+//
+// Elementwise binary ops support three broadcast forms:
+//   * identical shapes,
+//   * rhs a 1-element tensor (scalar broadcast),
+//   * rhs a rank-1 tensor matching lhs's last dimension (bias broadcast).
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+Tensor Neg(const Tensor& a);
+
+Tensor Relu(const Tensor& a);
+/// Exact GELU: x * Phi(x).
+Tensor Gelu(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Exp(const Tensor& a);
+/// Natural log; inputs are clamped to >= eps for numerical safety.
+Tensor Log(const Tensor& a, float eps = 1e-12f);
+Tensor Sqrt(const Tensor& a, float eps = 1e-12f);
+Tensor Square(const Tensor& a);
+Tensor Abs(const Tensor& a);
+/// Inverse hyperbolic tangent; inputs clamped to |x| <= 1 - eps.
+Tensor Atanh(const Tensor& a, float eps = 1e-6f);
+/// Inverse hyperbolic cosine; inputs clamped to >= 1 + eps.
+Tensor Acosh(const Tensor& a, float eps = 1e-7f);
+/// Clamp with zero gradient outside [lo, hi].
+Tensor Clamp(const Tensor& a, float lo, float hi);
+
+/// [m,k] x [k,n] -> [m,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// [b,m,k] x [b,k,n] -> [b,m,n].
+Tensor BatchMatMul(const Tensor& a, const Tensor& b);
+
+/// Copy-reshape preserving element order. -1 is not supported; sizes must
+/// multiply to the input's numel.
+Tensor Reshape(const Tensor& a, std::vector<int64_t> shape);
+/// [m,n] -> [n,m].
+Tensor Transpose2D(const Tensor& a);
+/// Rank-3 axis permutation; (p0,p1,p2) is a permutation of (0,1,2).
+Tensor Permute3(const Tensor& a, int p0, int p1, int p2);
+
+/// Concatenation along `axis` (tensors must match on all other axes).
+Tensor Concat(const std::vector<Tensor>& parts, int axis);
+/// Stacks n rank-1 tensors of size d into an [n, d] matrix.
+Tensor Stack(const std::vector<Tensor>& rows);
+/// First-dimension slice [begin, end) of a rank-1/2/3 tensor.
+Tensor SliceRows(const Tensor& a, int64_t begin, int64_t end);
+/// Last-dimension slice [begin, end) of a rank-1/2 tensor.
+Tensor SliceCols(const Tensor& a, int64_t begin, int64_t end);
+/// Row `i` of a rank-2 tensor as a rank-1 tensor.
+Tensor Row(const Tensor& a, int64_t i);
+/// Gathers rows of a [num, d] table: result[i] = table[indices[i]].
+Tensor Gather(const Tensor& table, const std::vector<int64_t>& indices);
+
+/// Sum of all elements -> scalar.
+Tensor Sum(const Tensor& a);
+/// Mean of all elements -> scalar.
+Tensor Mean(const Tensor& a);
+/// Sum over the last dimension (rank-2 [m,n] -> [m], rank-1 -> scalar).
+Tensor SumLastDim(const Tensor& a);
+/// Rank-1 dot product -> scalar.
+Tensor Dot(const Tensor& a, const Tensor& b);
+/// Euclidean norm of a rank-1 tensor -> scalar (safe at 0).
+Tensor Norm(const Tensor& a, float eps = 1e-12f);
+
+/// Softmax over the last dimension (rank 1-3).
+Tensor Softmax(const Tensor& a);
+/// Layer normalization over the last dimension with affine params
+/// gamma/beta of shape [d].
+Tensor LayerNormOp(const Tensor& a, const Tensor& gamma, const Tensor& beta,
+                   float eps = 1e-5f);
+
+/// Mean squared error between same-shaped tensors -> scalar.
+Tensor MseLoss(const Tensor& pred, const Tensor& target);
+/// Mean absolute error between same-shaped tensors -> scalar.
+Tensor L1Loss(const Tensor& pred, const Tensor& target);
+/// Smooth L1 (Huber) loss with threshold delta -> scalar.
+Tensor SmoothL1Loss(const Tensor& pred, const Tensor& target, float delta = 1.0f);
+
+/// Returns a detached copy: same data, no autograd history.
+Tensor Detach(const Tensor& a);
+
+}  // namespace tensor
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_TENSOR_OPS_H_

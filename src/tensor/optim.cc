@@ -1,0 +1,95 @@
+#include "tensor/optim.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace tensor {
+namespace optim {
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].data().size(), 0.0f);
+    v_[i].assign(params_[i].data().size(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& data = params_[i].data();
+    auto& grad = params_[i].grad();
+    CF_CHECK_EQ(data.size(), grad.size());
+    for (size_t j = 0; j < data.size(); ++j) {
+      float g = grad[j];
+      if (weight_decay_ != 0.0f) g += weight_decay_ * data[j];
+      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g;
+      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g * g;
+      const float mh = m_[i][j] / bc1;
+      const float vh = v_[i][j] / bc2;
+      data[j] -= lr_ * mh / (std::sqrt(vh) + eps_);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    velocity_[i].assign(params_[i].data().size(), 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& data = params_[i].data();
+    auto& grad = params_[i].grad();
+    for (size_t j = 0; j < data.size(); ++j) {
+      if (momentum_ != 0.0f) {
+        velocity_[i][j] = momentum_ * velocity_[i][j] + grad[j];
+        data[j] -= lr_ * velocity_[i][j];
+      } else {
+        data[j] -= lr_ * grad[j];
+      }
+    }
+  }
+}
+
+void Sgd::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+float ClipGradNorm(std::vector<Tensor>& params, float max_norm) {
+  double total = 0.0;
+  for (Tensor& p : params) {
+    for (float g : p.grad()) total += static_cast<double>(g) * g;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Tensor& p : params) {
+      for (float& g : p.grad()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace optim
+}  // namespace tensor
+}  // namespace chainsformer

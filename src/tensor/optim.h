@@ -1,0 +1,68 @@
+#ifndef CHAINSFORMER_TENSOR_OPTIM_H_
+#define CHAINSFORMER_TENSOR_OPTIM_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace chainsformer {
+namespace tensor {
+namespace optim {
+
+/// Adam optimizer (Kingma & Ba). The paper trains with Adam, lr = 1e-4; we
+/// default to that learning rate.
+class Adam {
+ public:
+  explicit Adam(std::vector<Tensor> params, float lr = 1e-4f,
+                float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f,
+                float weight_decay = 0.0f);
+
+  /// Applies one update using the parameters' accumulated gradients.
+  void Step();
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+};
+
+/// Plain SGD with optional momentum, used by baseline trainers.
+class Sgd {
+ public:
+  explicit Sgd(std::vector<Tensor> params, float lr = 1e-2f,
+               float momentum = 0.0f);
+
+  void Step();
+  void ZeroGrad();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::vector<float>> velocity_;
+  float lr_;
+  float momentum_;
+};
+
+/// Clips the global L2 norm of the gradients of `params` to `max_norm`.
+/// Returns the pre-clip norm.
+float ClipGradNorm(std::vector<Tensor>& params, float max_norm);
+
+}  // namespace optim
+}  // namespace tensor
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_TENSOR_OPTIM_H_

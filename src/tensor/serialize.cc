@@ -1,0 +1,67 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace chainsformer {
+namespace tensor {
+namespace {
+
+constexpr char kMagic[4] = {'C', 'F', 'T', 'N'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+bool SaveTensors(const std::string& path, const std::vector<Tensor>& tensors) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) return false;
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint64_t>(tensors.size()));
+  for (const Tensor& t : tensors) {
+    WritePod(out, static_cast<uint32_t>(t.dim()));
+    for (int64_t d : t.shape()) WritePod(out, d);
+    out.write(reinterpret_cast<const char*>(t.data().data()),
+              static_cast<std::streamsize>(t.data().size() * sizeof(float)));
+  }
+  return out.good();
+}
+
+bool LoadTensors(const std::string& path, std::vector<Tensor>& tensors) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) return false;
+  uint64_t count = 0;
+  if (!ReadPod(in, &count) || count != tensors.size()) return false;
+  for (Tensor& t : tensors) {
+    uint32_t rank = 0;
+    if (!ReadPod(in, &rank) || rank != static_cast<uint32_t>(t.dim())) return false;
+    for (int64_t expected : t.shape()) {
+      int64_t d = 0;
+      if (!ReadPod(in, &d) || d != expected) return false;
+    }
+    in.read(reinterpret_cast<char*>(t.data().data()),
+            static_cast<std::streamsize>(t.data().size() * sizeof(float)));
+    if (!in.good()) return false;
+  }
+  return true;
+}
+
+}  // namespace tensor
+}  // namespace chainsformer

@@ -1,0 +1,26 @@
+#ifndef CHAINSFORMER_TENSOR_SERIALIZE_H_
+#define CHAINSFORMER_TENSOR_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace chainsformer {
+namespace tensor {
+
+/// Writes `tensors` to a binary checkpoint file. Format: magic "CFTN",
+/// uint32 version, uint64 tensor count, then per tensor uint32 rank,
+/// int64 dims, raw float32 data. Returns false on I/O failure.
+bool SaveTensors(const std::string& path, const std::vector<Tensor>& tensors);
+
+/// Loads a checkpoint into existing tensors *in place*: count and shapes
+/// must match exactly (this guards against loading a checkpoint produced by
+/// a differently-configured model). Returns false on I/O failure or any
+/// mismatch, leaving the tensors unspecified-but-valid.
+bool LoadTensors(const std::string& path, std::vector<Tensor>& tensors);
+
+}  // namespace tensor
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_TENSOR_SERIALIZE_H_

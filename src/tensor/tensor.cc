@@ -1,0 +1,217 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace tensor {
+
+namespace {
+thread_local int g_no_grad_depth = 0;
+}  // namespace
+
+NoGradGuard::NoGradGuard() { ++g_no_grad_depth; }
+NoGradGuard::~NoGradGuard() { --g_no_grad_depth; }
+
+bool GradModeEnabled() { return g_no_grad_depth == 0; }
+
+Tensor::Tensor(std::vector<int64_t> shape) {
+  impl_ = std::make_shared<TensorImpl>();
+  impl_->shape = std::move(shape);
+  int64_t n = 1;
+  for (int64_t d : impl_->shape) {
+    CF_CHECK_GE(d, 0);
+    n *= d;
+  }
+  impl_->data.assign(static_cast<size_t>(n), 0.0f);
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(std::vector<int64_t> shape) {
+  return Full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  std::fill(t.data().begin(), t.data().end(), value);
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape, std::vector<float> values) {
+  Tensor t(std::move(shape));
+  CF_CHECK_EQ(static_cast<size_t>(t.numel()), values.size());
+  t.impl_->data = std::move(values);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) { return Full({1}, value); }
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data()) v = static_cast<float>(rng.Normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::Rand(std::vector<int64_t> shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data()) v = static_cast<float>(rng.Uniform(lo, hi));
+  return t;
+}
+
+const std::vector<int64_t>& Tensor::shape() const {
+  CF_CHECK(impl_ != nullptr);
+  return impl_->shape;
+}
+
+int64_t Tensor::dim() const { return static_cast<int64_t>(shape().size()); }
+
+int64_t Tensor::size(int64_t axis) const {
+  const auto& s = shape();
+  if (axis < 0) axis += static_cast<int64_t>(s.size());
+  CF_CHECK_GE(axis, 0);
+  CF_CHECK_LT(axis, static_cast<int64_t>(s.size()));
+  return s[static_cast<size_t>(axis)];
+}
+
+int64_t Tensor::numel() const {
+  CF_CHECK(impl_ != nullptr);
+  return impl_->numel();
+}
+
+std::vector<float>& Tensor::data() {
+  CF_CHECK(impl_ != nullptr);
+  return impl_->data;
+}
+
+const std::vector<float>& Tensor::data() const {
+  CF_CHECK(impl_ != nullptr);
+  return impl_->data;
+}
+
+std::vector<float>& Tensor::grad() {
+  CF_CHECK(impl_ != nullptr);
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+const std::vector<float>& Tensor::grad() const {
+  CF_CHECK(impl_ != nullptr);
+  return impl_->grad;
+}
+
+float Tensor::at(int64_t i) const {
+  CF_CHECK_EQ(dim(), 1);
+  return data()[static_cast<size_t>(i)];
+}
+
+float Tensor::at(int64_t i, int64_t j) const {
+  CF_CHECK_EQ(dim(), 2);
+  return data()[static_cast<size_t>(i * shape()[1] + j)];
+}
+
+float Tensor::at(int64_t i, int64_t j, int64_t k) const {
+  CF_CHECK_EQ(dim(), 3);
+  return data()[static_cast<size_t>((i * shape()[1] + j) * shape()[2] + k)];
+}
+
+void Tensor::set(int64_t i, float v) {
+  CF_CHECK_EQ(dim(), 1);
+  data()[static_cast<size_t>(i)] = v;
+}
+
+void Tensor::set(int64_t i, int64_t j, float v) {
+  CF_CHECK_EQ(dim(), 2);
+  data()[static_cast<size_t>(i * shape()[1] + j)] = v;
+}
+
+float Tensor::item() const {
+  CF_CHECK_EQ(numel(), 1);
+  return data()[0];
+}
+
+bool Tensor::requires_grad() const {
+  CF_CHECK(impl_ != nullptr);
+  return impl_->requires_grad;
+}
+
+Tensor& Tensor::set_requires_grad(bool value) {
+  CF_CHECK(impl_ != nullptr);
+  impl_->requires_grad = value;
+  if (value) impl_->EnsureGrad();
+  return *this;
+}
+
+void Tensor::ZeroGrad() {
+  CF_CHECK(impl_ != nullptr);
+  impl_->EnsureGrad();
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+void Tensor::Backward() {
+  CF_CHECK(impl_ != nullptr);
+  CF_CHECK_EQ(numel(), 1) << "Backward() requires a scalar loss tensor";
+  CF_CHECK(impl_->requires_grad)
+      << "Backward() on a tensor that does not require grad";
+
+  // Iterative post-order DFS to get a topological order of the tape.
+  std::vector<TensorImpl*> topo;
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<std::pair<TensorImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      TensorImpl* child = node->parents[next_child].get();
+      ++next_child;
+      if (child->requires_grad && visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      topo.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  for (TensorImpl* node : topo) node->EnsureGrad();
+  impl_->grad[0] = 1.0f;
+
+  // topo is post-order, so reverse iteration visits consumers before
+  // producers — exactly the order reverse-mode needs.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn();
+  }
+}
+
+Tensor Tensor::FromImpl(std::shared_ptr<TensorImpl> impl) {
+  Tensor t;
+  t.impl_ = std::move(impl);
+  return t;
+}
+
+std::string Tensor::DebugString(int max_values) const {
+  if (!defined()) return "Tensor(undefined)";
+  std::ostringstream os;
+  os << "Tensor([";
+  for (size_t i = 0; i < shape().size(); ++i) {
+    if (i) os << ",";
+    os << shape()[i];
+  }
+  os << "], {";
+  const auto& d = data();
+  for (size_t i = 0; i < d.size() && i < static_cast<size_t>(max_values); ++i) {
+    if (i) os << ", ";
+    os << d[i];
+  }
+  if (d.size() > static_cast<size_t>(max_values)) os << ", ...";
+  os << "})";
+  return os.str();
+}
+
+}  // namespace tensor
+}  // namespace chainsformer

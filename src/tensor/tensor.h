@@ -1,0 +1,125 @@
+#ifndef CHAINSFORMER_TENSOR_TENSOR_H_
+#define CHAINSFORMER_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace chainsformer {
+namespace tensor {
+
+class Tensor;
+
+/// Shared storage + autograd bookkeeping behind a Tensor handle.
+///
+/// Every differentiable op allocates a fresh TensorImpl whose `backward_fn`
+/// scatters the node's gradient into its parents' gradients. The tape is the
+/// implicit DAG formed by `parents`; Tensor::Backward() topologically sorts
+/// it and runs the closures in reverse order.
+struct TensorImpl {
+  std::vector<int64_t> shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // same size as data once EnsureGrad() ran
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void()> backward_fn;  // empty for leaves
+
+  int64_t numel() const {
+    int64_t n = 1;
+    for (int64_t d : shape) n *= d;
+    return n;
+  }
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+/// Scoped switch that disables tape recording (inference mode). While a
+/// NoGradGuard is alive on the current thread, ops produce constant tensors
+/// with no parents, which keeps evaluation cheap.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+};
+
+/// True when gradients are currently being recorded on this thread.
+bool GradModeEnabled();
+
+/// Value-semantic handle to a (possibly autograd-tracked) dense float
+/// tensor of rank 0-3, stored row-major.
+class Tensor {
+ public:
+  /// Empty (null) tensor; most APIs require a non-null tensor.
+  Tensor() = default;
+
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  // --- Factories -----------------------------------------------------------
+
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Ones(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  static Tensor FromVector(std::vector<int64_t> shape, std::vector<float> values);
+  static Tensor Scalar(float value);
+  /// Gaussian init with the given stddev.
+  static Tensor Randn(std::vector<int64_t> shape, Rng& rng, float stddev = 1.0f);
+  /// Uniform init in [lo, hi].
+  static Tensor Rand(std::vector<int64_t> shape, Rng& rng, float lo, float hi);
+
+  // --- Introspection -------------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const std::vector<int64_t>& shape() const;
+  int64_t dim() const;
+  int64_t size(int64_t axis) const;
+  int64_t numel() const;
+
+  std::vector<float>& data();
+  const std::vector<float>& data() const;
+  std::vector<float>& grad();
+  const std::vector<float>& grad() const;
+
+  /// Element access for rank-1/2/3 tensors.
+  float at(int64_t i) const;
+  float at(int64_t i, int64_t j) const;
+  float at(int64_t i, int64_t j, int64_t k) const;
+  void set(int64_t i, float v);
+  void set(int64_t i, int64_t j, float v);
+
+  /// Value of a 1-element tensor.
+  float item() const;
+
+  bool requires_grad() const;
+  /// Marks a leaf tensor as trainable. Must be called before the tensor is
+  /// used in any op whose gradient should flow into it.
+  Tensor& set_requires_grad(bool value);
+
+  /// Zeroes the gradient buffer (allocating it if needed).
+  void ZeroGrad();
+
+  /// Runs reverse-mode autodiff from this scalar tensor.
+  void Backward();
+
+  std::shared_ptr<TensorImpl> impl() const { return impl_; }
+  static Tensor FromImpl(std::shared_ptr<TensorImpl> impl);
+
+  /// Debug string: shape + first few values.
+  std::string DebugString(int max_values = 8) const;
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+}  // namespace tensor
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_TENSOR_TENSOR_H_

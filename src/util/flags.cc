@@ -1,0 +1,68 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace chainsformer {
+
+FlagParser::FlagParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool FlagParser::Has(const std::string& key) const {
+  read_[key] = true;
+  return flags_.count(key) != 0;
+}
+
+std::string FlagParser::GetString(const std::string& key,
+                                  const std::string& def) const {
+  read_[key] = true;
+  auto it = flags_.find(key);
+  return it == flags_.end() ? def : it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& key, int64_t def) const {
+  read_[key] = true;
+  auto it = flags_.find(key);
+  return it == flags_.end() ? def : std::atoll(it->second.c_str());
+}
+
+double FlagParser::GetDouble(const std::string& key, double def) const {
+  read_[key] = true;
+  auto it = flags_.find(key);
+  return it == flags_.end() ? def : std::atof(it->second.c_str());
+}
+
+bool FlagParser::GetBool(const std::string& key, bool def) const {
+  read_[key] = true;
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> FlagParser::UnreadKeys() const {
+  std::vector<std::string> unread;
+  for (const auto& [key, value] : flags_) {
+    auto it = read_.find(key);
+    if (it == read_.end() || !it->second) unread.push_back(key);
+  }
+  return unread;
+}
+
+}  // namespace chainsformer

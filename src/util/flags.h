@@ -1,0 +1,37 @@
+#ifndef CHAINSFORMER_UTIL_FLAGS_H_
+#define CHAINSFORMER_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace chainsformer {
+
+/// Minimal command-line parser for the CLI tool: positional arguments plus
+/// `--key=value` / `--key value` / boolean `--key` flags.
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv);
+
+  /// Positional arguments in order (argv[0] excluded).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key, const std::string& def = "") const;
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+  /// Keys that were provided but never read (typo detection).
+  std::vector<std::string> UnreadKeys() const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> read_;
+};
+
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_UTIL_FLAGS_H_

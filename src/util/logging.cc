@@ -1,0 +1,50 @@
+#include "util/logging.h"
+
+#include <cstdlib>
+
+namespace chainsformer {
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+LogLevel& MutableMinLogLevel() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+}  // namespace
+
+LogLevel MinLogLevel() { return MutableMinLogLevel(); }
+
+void SetMinLogLevel(LogLevel level) { MutableMinLogLevel() = level; }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= MinLogLevel() || level_ == LogLevel::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace chainsformer

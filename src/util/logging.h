@@ -1,0 +1,57 @@
+#ifndef CHAINSFORMER_UTIL_LOGGING_H_
+#define CHAINSFORMER_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace chainsformer {
+
+/// Severity levels for LogMessage.
+enum class LogLevel { kInfo, kWarning, kError, kFatal };
+
+/// Minimal streaming logger. A kFatal message aborts the process after the
+/// message is flushed, which is how precondition violations are surfaced
+/// (the library does not throw exceptions across its public API).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Returns/sets the minimum level that is actually printed. Fatal messages
+/// always print and abort regardless of this threshold.
+LogLevel MinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+}  // namespace chainsformer
+
+#define CF_LOG(level)                                              \
+  ::chainsformer::LogMessage(::chainsformer::LogLevel::k##level,   \
+                             __FILE__, __LINE__)                   \
+      .stream()
+
+#define CF_CHECK(cond)                                                \
+  if (!(cond))                                                        \
+  ::chainsformer::LogMessage(::chainsformer::LogLevel::kFatal,        \
+                             __FILE__, __LINE__)                      \
+          .stream()                                                   \
+      << "Check failed: " #cond " "
+
+#define CF_CHECK_EQ(a, b) CF_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CF_CHECK_NE(a, b) CF_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CF_CHECK_LT(a, b) CF_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CF_CHECK_LE(a, b) CF_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CF_CHECK_GT(a, b) CF_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CF_CHECK_GE(a, b) CF_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // CHAINSFORMER_UTIL_LOGGING_H_

@@ -1,0 +1,31 @@
+#ifndef CHAINSFORMER_UTIL_STOPWATCH_H_
+#define CHAINSFORMER_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace chainsformer {
+
+/// Wall-clock stopwatch for coarse experiment timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_UTIL_STOPWATCH_H_

@@ -1,0 +1,27 @@
+#ifndef CHAINSFORMER_UTIL_STRING_UTIL_H_
+#define CHAINSFORMER_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace chainsformer {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string Strip(const std::string& s);
+
+/// Formats a double compactly for table output: fixed for moderate
+/// magnitudes, scientific (e.g. "1.7e+08") for very large/small values.
+std::string FormatMetric(double v, int precision = 3);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_UTIL_STRING_UTIL_H_

@@ -1,0 +1,51 @@
+#ifndef CHAINSFORMER_UTIL_THREAD_POOL_H_
+#define CHAINSFORMER_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace chainsformer {
+
+/// Fixed-size worker pool used to parallelize per-query work (retrieval,
+/// filtering, evaluation). ChainsFormer's sequence-based design makes every
+/// query independent, so queries distribute trivially (paper §IV-G).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `fn` for execution.
+  void Schedule(std::function<void()> fn);
+
+  /// Blocks until every scheduled task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(i) for i in [0, n), spread across the pool, and waits.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  size_t pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_UTIL_THREAD_POOL_H_

@@ -1,0 +1,98 @@
+#include "kg/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "kg/synthetic.h"
+
+namespace chainsformer {
+namespace kg {
+namespace {
+
+KnowledgeGraph TwoComponentGraph() {
+  KnowledgeGraph g;
+  const auto r = g.AddRelation("r");
+  const auto a = g.AddAttribute("a");
+  const auto e0 = g.AddEntity("e0");
+  const auto e1 = g.AddEntity("e1");
+  const auto e2 = g.AddEntity("e2");
+  const auto e3 = g.AddEntity("e3");
+  g.AddEntity("isolated");
+  g.AddTriple(e0, r, e1);
+  g.AddTriple(e1, r, e2);
+  g.AddTriple(e3, r, e3);  // self-loop component
+  g.AddNumeric(e0, a, 1.0);
+  g.AddNumeric(e0, a, 2.0);  // two facts, one entity
+  g.Finalize();
+  return g;
+}
+
+TEST(AnalysisTest, BasicCounts) {
+  const KnowledgeGraph g = TwoComponentGraph();
+  const GraphAnalysis a = AnalyzeGraph(g);
+  EXPECT_EQ(a.num_entities, 5);
+  EXPECT_EQ(a.num_relational_triples, 3);
+  EXPECT_EQ(a.num_numerical_triples, 2);
+  EXPECT_EQ(a.isolated_entities, 1);
+  EXPECT_EQ(a.entities_with_numeric, 1);
+  EXPECT_DOUBLE_EQ(a.numeric_density, 2.0 / 5.0);
+}
+
+TEST(AnalysisTest, ComponentsDetected) {
+  const KnowledgeGraph g = TwoComponentGraph();
+  const GraphAnalysis a = AnalyzeGraph(g);
+  // {e0,e1,e2}, {e3}, {isolated} -> 3 components, largest 3.
+  EXPECT_EQ(a.connected_components, 3);
+  EXPECT_EQ(a.largest_component_size, 3);
+}
+
+TEST(AnalysisTest, DegreeHistogramSumsToEntities) {
+  const KnowledgeGraph g = TwoComponentGraph();
+  const GraphAnalysis a = AnalyzeGraph(g);
+  int64_t total = 0;
+  for (int64_t c : a.degree_histogram) total += c;
+  EXPECT_EQ(total, a.num_entities);
+  EXPECT_EQ(a.degree_histogram[0], 1);  // the isolated entity
+}
+
+TEST(AnalysisTest, RelationCounts) {
+  const KnowledgeGraph g = TwoComponentGraph();
+  const GraphAnalysis a = AnalyzeGraph(g);
+  ASSERT_EQ(a.relation_counts.size(), 1u);
+  EXPECT_EQ(a.relation_counts[0], 3);
+}
+
+TEST(AnalysisTest, ReachabilityGrowsWithHops) {
+  const Dataset ds = MakeYago15kLike({.scale = 0.05});
+  const double r1 = AverageReachableEntities(ds.graph, 1, 50);
+  const double r2 = AverageReachableEntities(ds.graph, 2, 50);
+  const double r3 = AverageReachableEntities(ds.graph, 3, 50);
+  EXPECT_GT(r1, 0.0);
+  EXPECT_GE(r2, r1);
+  EXPECT_GE(r3, r2);
+}
+
+TEST(AnalysisTest, ZeroHopsReachesNothing) {
+  const Dataset ds = MakeToyDataset();
+  EXPECT_DOUBLE_EQ(AverageReachableEntities(ds.graph, 0, 10), 0.0);
+}
+
+TEST(AnalysisTest, ReportMentionsKeyNumbers) {
+  const KnowledgeGraph g = TwoComponentGraph();
+  const GraphAnalysis a = AnalyzeGraph(g);
+  const std::string report = AnalysisReport(g, a);
+  EXPECT_NE(report.find("entities: 5"), std::string::npos);
+  EXPECT_NE(report.find("components: 3"), std::string::npos);
+  EXPECT_NE(report.find("r="), std::string::npos);
+}
+
+TEST(AnalysisTest, SyntheticGraphsAreWellConnected) {
+  const Dataset ds = MakeFb15k237Like({.scale = 0.08});
+  const GraphAnalysis a = AnalyzeGraph(ds.graph);
+  // Retrieval needs a dominant connected component.
+  EXPECT_GT(a.largest_component_size, a.num_entities * 8 / 10);
+  EXPECT_GT(a.avg_degree, 3.0);
+}
+
+}  // namespace
+}  // namespace kg
+}  // namespace chainsformer

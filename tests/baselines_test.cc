@@ -1,0 +1,237 @@
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/hynt.h"
+#include "baselines/kga.h"
+#include "baselines/llm_sim.h"
+#include "baselines/mrap.h"
+#include "baselines/nap.h"
+#include "baselines/plm_reg.h"
+#include "baselines/simple.h"
+#include "baselines/transe.h"
+#include "kg/synthetic.h"
+
+namespace chainsformer {
+namespace baselines {
+namespace {
+
+const kg::Dataset& Data() {
+  static const kg::Dataset* ds =
+      new kg::Dataset(kg::MakeFb15k237Like({.scale = 0.09}));
+  return *ds;
+}
+
+std::vector<kg::NumericalTriple> TestSample(size_t n) {
+  const auto& t = Data().split.test;
+  return std::vector<kg::NumericalTriple>(t.begin(),
+                                          t.begin() + std::min(n, t.size()));
+}
+
+TransEConfig FastTransE() {
+  TransEConfig c;
+  c.dim = 16;
+  c.epochs = 5;
+  c.max_triples_per_epoch = 5000;
+  return c;
+}
+
+TEST(RidgeSolveTest, SolvesKnownSystem) {
+  // A = [[2, 0], [0, 4]], b = [2, 8], l2 = 0 -> x = [1, 2].
+  const auto x = RidgeSolve({2, 0, 0, 4}, {2, 8}, 2, 0.0);
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(RidgeSolveTest, RegularizationShrinks) {
+  const auto x0 = RidgeSolve({1, 0, 0, 1}, {1, 1}, 2, 0.0);
+  const auto x1 = RidgeSolve({1, 0, 0, 1}, {1, 1}, 2, 1.0);
+  EXPECT_GT(x0[0], x1[0]);
+  EXPECT_NEAR(x1[0], 0.5, 1e-9);
+}
+
+TEST(TransETest, TrainingImprovesPositiveTripleScores) {
+  const auto& ds = Data();
+  TransE before(ds.graph.num_entities(), ds.graph.num_relation_ids(), FastTransE());
+  TransE after(ds.graph.num_entities(), ds.graph.num_relation_ids(), FastTransE());
+  after.Train(ds.graph.relational_triples());
+
+  // Margin between positive and random-corrupted triples should widen.
+  Rng rng(4);
+  auto margin = [&](const TransE& model) {
+    double total = 0.0;
+    const auto& triples = ds.graph.relational_triples();
+    for (int i = 0; i < 300; ++i) {
+      const auto& t = triples[rng.UniformInt(static_cast<uint64_t>(triples.size()))];
+      const auto corrupt = static_cast<kg::EntityId>(
+          rng.UniformInt(static_cast<uint64_t>(ds.graph.num_entities())));
+      total += model.Score(t.head, t.relation, t.tail) -
+               model.Score(t.head, t.relation, corrupt);
+    }
+    return total / 300.0;
+  };
+  Rng rng_reset(4);
+  rng = rng_reset;
+  const double margin_before = margin(before);
+  rng = rng_reset;
+  const double margin_after = margin(after);
+  EXPECT_GT(margin_after, margin_before + 0.05);
+}
+
+TEST(TransETest, NearestEntitiesExcludesSelfAndSorted) {
+  TransE model(50, 4, FastTransE());
+  std::vector<kg::EntityId> candidates;
+  for (int i = 0; i < 50; ++i) candidates.push_back(static_cast<kg::EntityId>(i));
+  const auto nearest = model.NearestEntities(7, 5, candidates);
+  ASSERT_EQ(nearest.size(), 5u);
+  double prev = -1.0;
+  for (kg::EntityId e : nearest) {
+    EXPECT_NE(e, 7);
+    const double d = model.EntityDistanceSq(7, e);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+template <typename T>
+void ExpectTrainsAndPredictsFinite(T& model) {
+  model.Train();
+  const auto& test = Data().split.test;
+  for (size_t i = 0; i < 30 && i < test.size(); ++i) {
+    const double pred = model.Predict(test[i].entity, test[i].attribute);
+    EXPECT_TRUE(std::isfinite(pred)) << model.name();
+  }
+  const auto r = model.Evaluate(TestSample(50));
+  EXPECT_TRUE(std::isfinite(r.normalized_mae)) << model.name();
+  EXPECT_GT(r.total_count, 0) << model.name();
+}
+
+TEST(GlobalMeanTest, PredictsTrainMean) {
+  GlobalMeanBaseline model(Data());
+  model.Train();
+  const auto height = Data().graph.FindAttribute("height");
+  const double pred = model.Predict(0, height);
+  EXPECT_NEAR(pred, 1.75, 0.15);
+}
+
+TEST(LocalMeanTest, BeatsGlobalMeanOnStructuredData) {
+  GlobalMeanBaseline global(Data());
+  LocalMeanBaseline local(Data());
+  global.Train();
+  local.Train();
+  const auto sample = TestSample(400);
+  const auto rg = global.Evaluate(sample);
+  const auto rl = local.Evaluate(sample);
+  EXPECT_LT(rl.normalized_mae, rg.normalized_mae);
+}
+
+TEST(NapPlusPlusTest, TrainsAndPredicts) {
+  NapPlusPlusBaseline model(Data(), 8, FastTransE());
+  ExpectTrainsAndPredictsFinite(model);
+}
+
+TEST(MrapTest, TrainsAndPredicts) {
+  MrapBaseline model(Data(), /*iterations=*/4);
+  ExpectTrainsAndPredictsFinite(model);
+}
+
+TEST(MrapTest, RecoversLinearEdgeRelation) {
+  // Film release ≈ director birth + constant: MrAP's fitted edge model must
+  // propagate birth into film_release better than the global mean does.
+  MrapBaseline mrap(Data(), 6);
+  GlobalMeanBaseline global(Data());
+  mrap.Train();
+  global.Train();
+  const auto release = Data().graph.FindAttribute("film_release");
+  std::vector<kg::NumericalTriple> queries;
+  for (const auto& t : Data().split.test) {
+    if (t.attribute == release) queries.push_back(t);
+  }
+  ASSERT_GT(queries.size(), 5u);
+  const auto rm = mrap.Evaluate(queries);
+  const auto rg = global.Evaluate(queries);
+  EXPECT_LT(rm.per_attribute[static_cast<size_t>(release)].mae,
+            rg.per_attribute[static_cast<size_t>(release)].mae);
+}
+
+TEST(KgaTest, TrainsAndPredicts) {
+  KgaBaseline model(Data(), 16, FastTransE());
+  ExpectTrainsAndPredictsFinite(model);
+}
+
+TEST(KgaTest, PredictionsAreBinRepresentatives) {
+  KgaBaseline model(Data(), 16, FastTransE());
+  model.Train();
+  // Quantization: predictions take at most num_bins distinct values per attr.
+  const auto birth = Data().graph.FindAttribute("birth");
+  std::set<double> distinct;
+  for (size_t i = 0; i < 100 && i < Data().split.test.size(); ++i) {
+    distinct.insert(model.Predict(Data().split.test[i].entity, birth));
+  }
+  EXPECT_LE(distinct.size(), 16u);
+}
+
+TEST(PlmRegTest, TrainsAndPredicts) {
+  PlmRegBaseline model(Data());
+  ExpectTrainsAndPredictsFinite(model);
+}
+
+TEST(HyntTest, TrainsAndPredicts) {
+  HyntBaseline model(Data(), 16, 6);
+  ExpectTrainsAndPredictsFinite(model);
+}
+
+TEST(LlmSimTest, BothGradesPredictFinite) {
+  LlmSimBaseline g35(Data(), LlmGrade::kGpt35, 32);
+  LlmSimBaseline g40(Data(), LlmGrade::kGpt40, 32);
+  ExpectTrainsAndPredictsFinite(g35);
+  ExpectTrainsAndPredictsFinite(g40);
+}
+
+TEST(LlmSimTest, Gpt4BeatsGpt35) {
+  LlmSimBaseline g35(Data(), LlmGrade::kGpt35, 32);
+  LlmSimBaseline g40(Data(), LlmGrade::kGpt40, 32);
+  g35.Train();
+  g40.Train();
+  const auto sample = TestSample(400);
+  EXPECT_LT(g40.Evaluate(sample).normalized_mae,
+            g35.Evaluate(sample).normalized_mae);
+}
+
+TEST(LlmSimTest, DeterministicPerQuery) {
+  LlmSimBaseline model(Data(), LlmGrade::kGpt40, 32);
+  model.Train();
+  const auto& t = Data().split.test.front();
+  EXPECT_DOUBLE_EQ(model.Predict(t.entity, t.attribute),
+                   model.Predict(t.entity, t.attribute));
+}
+
+TEST(TogSimTest, TrainsAndPredicts) {
+  TogSimBaseline model(Data());
+  ExpectTrainsAndPredictsFinite(model);
+}
+
+TEST(CapabilitiesTest, MatchTableIV) {
+  // Table IV: NAP++ / PLM-reg lack multi-hop and multi-attr; MrAP gains
+  // multi-attr; KGA gains multi-hop; HyNT gains num-aware + multi-attr.
+  NapPlusPlusBaseline nap(Data());
+  MrapBaseline mrap(Data());
+  KgaBaseline kga(Data());
+  HyntBaseline hynt(Data());
+  PlmRegBaseline plm(Data());
+  EXPECT_FALSE(nap.capabilities().multi_hop);
+  EXPECT_FALSE(nap.capabilities().multi_attr);
+  EXPECT_TRUE(mrap.capabilities().multi_attr);
+  EXPECT_FALSE(mrap.capabilities().multi_hop);
+  EXPECT_TRUE(kga.capabilities().multi_hop);
+  EXPECT_TRUE(kga.capabilities().num_aware);
+  EXPECT_TRUE(hynt.capabilities().num_aware);
+  EXPECT_TRUE(hynt.capabilities().multi_attr);
+  EXPECT_FALSE(plm.capabilities().multi_hop);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace chainsformer

@@ -1,0 +1,100 @@
+#include "core/chain_quality.h"
+
+#include <gtest/gtest.h>
+
+namespace chainsformer {
+namespace core {
+namespace {
+
+RAChain MakeChain(kg::AttributeId src, std::vector<kg::RelationId> rels,
+                  kg::AttributeId dst) {
+  RAChain c;
+  c.source_attribute = src;
+  c.relations = std::move(rels);
+  c.query_attribute = dst;
+  c.source_value = 1.0;
+  c.source_entity = 0;
+  return c;
+}
+
+TEST(ChainQualityTest, UnseenPatternUsesPrior) {
+  ChainQualityEvaluator eval(0.25);
+  EXPECT_DOUBLE_EQ(eval.ExpectedError(MakeChain(0, {2}, 1)), 0.25);
+  EXPECT_EQ(eval.ObservationCount(MakeChain(0, {2}, 1)), 0);
+}
+
+TEST(ChainQualityTest, EwmaConvergesToObservedError) {
+  ChainQualityEvaluator eval(0.25, /*decay=*/0.5);
+  const RAChain c = MakeChain(0, {2}, 1);
+  for (int i = 0; i < 30; ++i) eval.Record(c, 0.02);
+  EXPECT_NEAR(eval.ExpectedError(c), 0.02, 1e-6);
+  EXPECT_EQ(eval.ObservationCount(c), 30);
+}
+
+TEST(ChainQualityTest, PatternsAreDistinguished) {
+  ChainQualityEvaluator eval(0.25, 0.5);
+  const RAChain good = MakeChain(0, {2}, 1);
+  const RAChain bad = MakeChain(0, {4}, 1);       // different relation
+  const RAChain other = MakeChain(1, {2}, 1);     // different source attr
+  const RAChain longer = MakeChain(0, {2, 2}, 1); // different length
+  for (int i = 0; i < 20; ++i) {
+    eval.Record(good, 0.01);
+    eval.Record(bad, 0.5);
+  }
+  EXPECT_LT(eval.ExpectedError(good), 0.05);
+  EXPECT_GT(eval.ExpectedError(bad), 0.3);
+  EXPECT_DOUBLE_EQ(eval.ExpectedError(other), 0.25);   // untouched
+  EXPECT_DOUBLE_EQ(eval.ExpectedError(longer), 0.25);  // untouched
+  EXPECT_EQ(eval.num_patterns(), 2);
+}
+
+TEST(ChainQualityTest, ValueDoesNotAffectPattern) {
+  ChainQualityEvaluator eval(0.25, 0.5);
+  RAChain a = MakeChain(0, {2}, 1);
+  RAChain b = MakeChain(0, {2}, 1);
+  b.source_value = 999.0;
+  b.source_entity = 42;
+  eval.Record(a, 0.1);
+  EXPECT_EQ(eval.ObservationCount(b), 1);  // same pattern
+}
+
+TEST(ChainQualityTest, PruneKeepsReliableChains) {
+  ChainQualityEvaluator eval(0.25, 0.5);
+  const RAChain good = MakeChain(0, {2}, 1);
+  const RAChain bad = MakeChain(0, {4}, 1);
+  for (int i = 0; i < 20; ++i) {
+    eval.Record(good, 0.01);
+    eval.Record(bad, 0.6);
+  }
+  TreeOfChains toc = {good, bad, good, bad, good, good, good};
+  const TreeOfChains kept = eval.PruneLowQuality(toc, 0.3, 2);
+  EXPECT_EQ(kept.size(), 5u);
+  for (const auto& c : kept) EXPECT_EQ(c.relations[0], 2);
+}
+
+TEST(ChainQualityTest, PruneRespectsMinKeep) {
+  ChainQualityEvaluator eval(0.25, 0.5);
+  const RAChain bad1 = MakeChain(0, {2}, 1);
+  const RAChain bad2 = MakeChain(0, {4}, 1);
+  for (int i = 0; i < 20; ++i) {
+    eval.Record(bad1, 0.5);
+    eval.Record(bad2, 0.9);
+  }
+  TreeOfChains toc = {bad1, bad2, bad1, bad2};
+  const TreeOfChains kept = eval.PruneLowQuality(toc, 0.3, 3);
+  ASSERT_EQ(kept.size(), 3u);
+  // The min-keep fallback prefers the lower-error pattern.
+  int bad1_count = 0;
+  for (const auto& c : kept) bad1_count += (c.relations[0] == 2);
+  EXPECT_EQ(bad1_count, 2);
+}
+
+TEST(ChainQualityTest, PruneWithoutDataKeepsEverything) {
+  ChainQualityEvaluator eval(0.25, 0.9);
+  TreeOfChains toc = {MakeChain(0, {2}, 1), MakeChain(0, {4}, 1)};
+  EXPECT_EQ(eval.PruneLowQuality(toc, 0.3, 1).size(), 2u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace chainsformer

@@ -1,0 +1,296 @@
+#include "core/chainsformer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "kg/synthetic.h"
+
+namespace chainsformer {
+namespace core {
+namespace {
+
+ChainsFormerConfig TinyConfig() {
+  ChainsFormerConfig c;
+  c.max_hops = 3;
+  c.num_walks = 48;
+  c.top_k = 8;
+  c.hidden_dim = 16;
+  c.filter_dim = 8;
+  c.encoder_layers = 1;
+  c.reasoner_layers = 1;
+  c.num_heads = 2;
+  c.epochs = 4;
+  c.patience = 4;
+  c.max_train_queries = 120;
+  c.max_eval_queries = 80;
+  c.filter_pretrain_queries = 60;
+  c.filter_pretrain_epochs = 1;
+  c.learning_rate = 5e-3f;
+  c.seed = 11;
+  return c;
+}
+
+class ChainsFormerModelTest : public ::testing::Test {
+ protected:
+  static const kg::Dataset& Data() {
+    static const kg::Dataset* ds =
+        new kg::Dataset(kg::MakeYago15kLike({.scale = 0.05}));
+    return *ds;
+  }
+};
+
+TEST_F(ChainsFormerModelTest, TrainingReducesLoss) {
+  ChainsFormerModel model(Data(), TinyConfig());
+  const TrainReport report = model.Train();
+  ASSERT_GE(report.epochs_run, 2);
+  EXPECT_LT(report.train_losses.back(), report.train_losses.front());
+  EXPECT_GT(report.filter_pretrain_pairs, 0);
+}
+
+TEST_F(ChainsFormerModelTest, EvaluateReturnsFiniteMetrics) {
+  ChainsFormerModel model(Data(), TinyConfig());
+  model.Train();
+  const eval::EvalResult r = model.Evaluate(Data().split.test);
+  EXPECT_GT(r.total_count, 0);
+  EXPECT_TRUE(std::isfinite(r.normalized_mae));
+  EXPECT_TRUE(std::isfinite(r.normalized_rmse));
+  EXPECT_GE(r.normalized_rmse, r.normalized_mae);
+}
+
+TEST_F(ChainsFormerModelTest, PredictionsWithinPlausibleRange) {
+  ChainsFormerModel model(Data(), TinyConfig());
+  model.Train();
+  for (int i = 0; i < 20; ++i) {
+    const auto& t = Data().split.test[static_cast<size_t>(i)];
+    const double pred = model.Predict({t.entity, t.attribute});
+    const auto& s = model.train_stats()[static_cast<size_t>(t.attribute)];
+    EXPECT_TRUE(std::isfinite(pred));
+    EXPECT_GE(pred, s.min - 0.2 * s.Range() - 1e-9);
+    EXPECT_LE(pred, s.max + 0.2 * s.Range() + 1e-9);
+  }
+}
+
+TEST_F(ChainsFormerModelTest, ExplainProducesWeightedChains) {
+  ChainsFormerModel model(Data(), TinyConfig());
+  model.Train();
+  const auto& t = Data().split.test.front();
+  const Explanation ex = model.Explain({t.entity, t.attribute});
+  EXPECT_TRUE(std::isfinite(ex.prediction));
+  if (ex.has_evidence) {
+    EXPECT_GT(ex.toc_size, 0u);
+    EXPECT_GE(ex.toc_size, ex.filtered_size);
+    ASSERT_FALSE(ex.weighted_chains.empty());
+    double total = 0.0;
+    double prev = 1.0;
+    for (const auto& [chain, w] : ex.weighted_chains) {
+      EXPECT_LE(w, prev + 1e-6);  // sorted descending
+      prev = w;
+      total += w;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-4);
+  }
+}
+
+TEST_F(ChainsFormerModelTest, DeterministicAcrossRuns) {
+  ChainsFormerModel a(Data(), TinyConfig());
+  ChainsFormerModel b(Data(), TinyConfig());
+  a.Train();
+  b.Train();
+  const auto& t = Data().split.test.front();
+  EXPECT_DOUBLE_EQ(a.Predict({t.entity, t.attribute}),
+                   b.Predict({t.entity, t.attribute}));
+}
+
+TEST_F(ChainsFormerModelTest, TopPatternsReturnsTableVStyleStrings) {
+  ChainsFormerModel model(Data(), TinyConfig());
+  model.Train();
+  const auto lat = Data().graph.FindAttribute("latitude");
+  const auto patterns = model.TopPatterns(lat, 5, 10);
+  ASSERT_FALSE(patterns.empty());
+  for (const auto& [pattern, weight] : patterns) {
+    EXPECT_EQ(pattern.front(), '(');
+    EXPECT_EQ(pattern.back(), ')');
+    EXPECT_GT(weight, 0.0);
+  }
+}
+
+TEST_F(ChainsFormerModelTest, AblationConfigsAllTrain) {
+  // Every Table VI variant must run end to end.
+  std::vector<ChainsFormerConfig> variants;
+  {
+    auto c = TinyConfig();
+    c.filter_space = FilterSpace::kRandom;
+    variants.push_back(c);
+  }
+  {
+    auto c = TinyConfig();
+    c.encoder_type = EncoderType::kMean;
+    variants.push_back(c);
+  }
+  {
+    auto c = TinyConfig();
+    c.encoder_type = EncoderType::kLstm;
+    variants.push_back(c);
+  }
+  {
+    auto c = TinyConfig();
+    c.use_numerical_aware = false;
+    variants.push_back(c);
+  }
+  {
+    auto c = TinyConfig();
+    c.numeric_encoding = NumericEncoding::kLog;
+    variants.push_back(c);
+  }
+  {
+    auto c = TinyConfig();
+    c.projection = ProjectionMode::kDirect;
+    variants.push_back(c);
+  }
+  {
+    auto c = TinyConfig();
+    c.use_chain_weighting = false;
+    variants.push_back(c);
+  }
+  {
+    auto c = TinyConfig();
+    c.balanced_attribute_sampling = false;
+    variants.push_back(c);
+  }
+  {
+    auto c = TinyConfig();
+    c.reretrieve_each_epoch = true;
+    variants.push_back(c);
+  }
+  {
+    auto c = TinyConfig();
+    c.loss = core::LossType::kMse;
+    variants.push_back(c);
+  }
+  {
+    auto c = TinyConfig();
+    c.loss = core::LossType::kSmoothL1;
+    variants.push_back(c);
+  }
+  {
+    auto c = TinyConfig();
+    c.use_chain_quality = true;
+    variants.push_back(c);
+  }
+  for (auto& c : variants) {
+    c.epochs = 2;
+    c.max_train_queries = 60;
+    c.max_eval_queries = 40;
+    ChainsFormerModel model(Data(), c);
+    model.Train();
+    const auto r = model.Evaluate(Data().split.valid);
+    EXPECT_TRUE(std::isfinite(r.normalized_mae));
+  }
+}
+
+TEST_F(ChainsFormerModelTest, ParallelEvaluationMatchesSerial) {
+  ChainsFormerModel model(Data(), TinyConfig());
+  model.Train();
+  std::vector<kg::NumericalTriple> sample(
+      Data().split.test.begin(),
+      Data().split.test.begin() +
+          std::min<size_t>(60, Data().split.test.size()));
+  const auto serial = model.Evaluate(sample);
+  ThreadPool pool(4);
+  const auto parallel = model.EvaluateParallel(sample, pool);
+  EXPECT_DOUBLE_EQ(serial.normalized_mae, parallel.normalized_mae);
+  EXPECT_DOUBLE_EQ(serial.normalized_rmse, parallel.normalized_rmse);
+  EXPECT_EQ(serial.total_count, parallel.total_count);
+}
+
+TEST_F(ChainsFormerModelTest, ChainQualityExtensionTracksPatterns) {
+  auto config = TinyConfig();
+  config.use_chain_quality = true;
+  ChainsFormerModel model(Data(), config);
+  model.Train();
+  // Training must have populated the evaluator with per-pattern statistics.
+  EXPECT_GT(model.chain_quality().num_patterns(), 5);
+  // Predictions still work with pruning active.
+  const auto& t = Data().split.test.front();
+  EXPECT_TRUE(std::isfinite(model.Predict({t.entity, t.attribute})));
+}
+
+TEST_F(ChainsFormerModelTest, PredictBeforeTrainFallsBackGracefully) {
+  // An untrained model must still produce finite values (random-init forward
+  // or fallback), never crash or NaN.
+  ChainsFormerModel model(Data(), TinyConfig());
+  for (int i = 0; i < 5; ++i) {
+    const auto& t = Data().split.test[static_cast<size_t>(i)];
+    EXPECT_TRUE(std::isfinite(model.Predict({t.entity, t.attribute})));
+  }
+}
+
+TEST_F(ChainsFormerModelTest, IsolatedEntityUsesFallback) {
+  // Build a dataset with an isolated query entity: no chains can exist, so
+  // the model must fall back to the training mean.
+  static kg::Dataset* ds = [] {
+    auto* d = new kg::Dataset();
+    d->name = "isolated";
+    auto& g = d->graph;
+    const auto age = g.AddAttribute("age");
+    const auto knows = g.AddRelation("knows");
+    const auto a = g.AddEntity("a");
+    const auto b = g.AddEntity("b");
+    const auto island = g.AddEntity("island");
+    g.AddTriple(a, knows, b);
+    g.AddNumeric(a, age, 30.0);
+    g.AddNumeric(b, age, 50.0);
+    g.AddNumeric(island, age, 70.0);
+    g.Finalize();
+    d->split.train = {{a, age, 30.0}, {b, age, 50.0}};
+    d->split.test = {{island, age, 70.0}};
+    return d;
+  }();
+  ChainsFormerModel model(*ds, TinyConfig());
+  model.Train();
+  // No chains reach "island": prediction equals the train mean (40).
+  EXPECT_DOUBLE_EQ(model.Predict({ds->graph.FindEntity("island"), 0}), 40.0);
+  const auto ex = model.Explain({ds->graph.FindEntity("island"), 0});
+  EXPECT_FALSE(ex.has_evidence);
+}
+
+TEST_F(ChainsFormerModelTest, CheckpointRoundTripReproducesPredictions) {
+  ChainsFormerModel trained(Data(), TinyConfig());
+  trained.Train();
+  const std::string path = "/tmp/cf_checkpoint_test.bin";
+  ASSERT_TRUE(trained.SaveCheckpoint(path));
+
+  // A freshly constructed (untrained) model with the same config must
+  // reproduce the trained model's predictions after loading.
+  ChainsFormerModel loaded(Data(), TinyConfig());
+  ASSERT_TRUE(loaded.LoadCheckpoint(path));
+  for (int i = 0; i < 10; ++i) {
+    const auto& t = Data().split.test[static_cast<size_t>(i)];
+    EXPECT_DOUBLE_EQ(trained.Predict({t.entity, t.attribute}),
+                     loaded.Predict({t.entity, t.attribute}));
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ChainsFormerModelTest, CheckpointRejectsWrongConfig) {
+  ChainsFormerModel trained(Data(), TinyConfig());
+  trained.Train();
+  const std::string path = "/tmp/cf_checkpoint_wrong.bin";
+  ASSERT_TRUE(trained.SaveCheckpoint(path));
+  auto other = TinyConfig();
+  other.hidden_dim = 24;  // different parameter shapes
+  ChainsFormerModel incompatible(Data(), other);
+  EXPECT_FALSE(incompatible.LoadCheckpoint(path));
+  std::remove(path.c_str());
+}
+
+TEST_F(ChainsFormerModelTest, ParameterCountPositive) {
+  ChainsFormerModel model(Data(), TinyConfig());
+  EXPECT_GT(model.NumParameters(), 1000);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace chainsformer

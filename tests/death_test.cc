@@ -1,0 +1,100 @@
+// Precondition-violation tests: the library aborts with a clear message on
+// API misuse (the documented CF_CHECK contract) rather than corrupting
+// state or returning garbage.
+
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kg/knowledge_graph.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace chainsformer {
+namespace {
+
+using DeathTest = ::testing::Test;
+
+TEST(DeathTest, TensorItemRequiresSingleElement) {
+  tensor::Tensor t = tensor::Tensor::Zeros({2, 2});
+  EXPECT_DEATH(t.item(), "Check failed");
+}
+
+TEST(DeathTest, BackwardRequiresScalar) {
+  tensor::Tensor t = tensor::Tensor::Zeros({3}).set_requires_grad(true);
+  EXPECT_DEATH(t.Backward(), "scalar");
+}
+
+TEST(DeathTest, BackwardRequiresGradTracking) {
+  tensor::Tensor t = tensor::Tensor::Zeros({1});
+  EXPECT_DEATH(t.Backward(), "require");
+}
+
+TEST(DeathTest, MatMulShapeMismatch) {
+  tensor::Tensor a = tensor::Tensor::Zeros({2, 3});
+  tensor::Tensor b = tensor::Tensor::Zeros({4, 2});
+  EXPECT_DEATH(tensor::MatMul(a, b), "Check failed");
+}
+
+TEST(DeathTest, ElementwiseShapeMismatch) {
+  tensor::Tensor a = tensor::Tensor::Zeros({2, 3});
+  tensor::Tensor b = tensor::Tensor::Zeros({3, 2});
+  EXPECT_DEATH(tensor::Add(a, b), "Incompatible");
+}
+
+TEST(DeathTest, GatherIndexOutOfRange) {
+  tensor::Tensor table = tensor::Tensor::Zeros({3, 2});
+  EXPECT_DEATH(tensor::Gather(table, {5}), "Check failed");
+}
+
+TEST(DeathTest, ReshapeNumelMismatch) {
+  tensor::Tensor t = tensor::Tensor::Zeros({2, 3});
+  EXPECT_DEATH(tensor::Reshape(t, {4, 2}), "Check failed");
+}
+
+TEST(DeathTest, GraphRejectsInverseRelationInAddTriple) {
+  kg::KnowledgeGraph g;
+  const auto e = g.AddEntity("a");
+  const auto r = g.AddRelation("rel");
+  EXPECT_DEATH(g.AddTriple(e, kg::KnowledgeGraph::InverseRelation(r), e),
+               "base relation");
+}
+
+TEST(DeathTest, GraphRejectsUnknownEntity) {
+  kg::KnowledgeGraph g;
+  g.AddEntity("a");
+  const auto r = g.AddRelation("rel");
+  EXPECT_DEATH(g.AddTriple(0, r, 7), "Check failed");
+}
+
+TEST(DeathTest, GraphRejectsNonFiniteValue) {
+  kg::KnowledgeGraph g;
+  const auto e = g.AddEntity("a");
+  const auto a = g.AddAttribute("x");
+  EXPECT_DEATH(g.AddNumeric(e, a, std::numeric_limits<double>::infinity()),
+               "Check failed");
+}
+
+TEST(DeathTest, GraphMutationAfterFinalize) {
+  kg::KnowledgeGraph g;
+  g.AddEntity("a");
+  g.Finalize();
+  EXPECT_DEATH(g.AddEntity("b"), "Check failed");
+}
+
+TEST(DeathTest, NeighborsBeforeFinalize) {
+  kg::KnowledgeGraph g;
+  g.AddEntity("a");
+  EXPECT_DEATH(g.Neighbors(0), "Check failed");
+}
+
+TEST(DeathTest, RngCategoricalRequiresPositiveWeight) {
+  Rng rng(1);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_DEATH(rng.Categorical(weights), "positive total weight");
+}
+
+}  // namespace
+}  // namespace chainsformer

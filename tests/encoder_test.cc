@@ -1,0 +1,175 @@
+#include "core/chain_encoder.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace chainsformer {
+namespace core {
+namespace {
+
+TEST(Float64BitsTest, KnownPatterns) {
+  // 0.0 is the all-zero bit pattern.
+  const auto zero = EncodeFloat64Bits(0.0);
+  ASSERT_EQ(zero.size(), 64u);
+  for (float b : zero) EXPECT_EQ(b, 0.0f);
+
+  // -0.0 sets only the sign bit (MSB first).
+  const auto neg_zero = EncodeFloat64Bits(-0.0);
+  EXPECT_EQ(neg_zero[0], 1.0f);
+  for (size_t i = 1; i < 64; ++i) EXPECT_EQ(neg_zero[i], 0.0f);
+
+  // 1.0 = 0x3FF0000000000000: sign 0, exponent 0b01111111111.
+  const auto one = EncodeFloat64Bits(1.0);
+  EXPECT_EQ(one[0], 0.0f);
+  EXPECT_EQ(one[1], 0.0f);
+  for (size_t i = 2; i <= 11; ++i) EXPECT_EQ(one[i], 1.0f) << i;
+  for (size_t i = 12; i < 64; ++i) EXPECT_EQ(one[i], 0.0f) << i;
+}
+
+TEST(Float64BitsTest, SignBitTracksSign) {
+  EXPECT_EQ(EncodeFloat64Bits(3.75)[0], 0.0f);
+  EXPECT_EQ(EncodeFloat64Bits(-3.75)[0], 1.0f);
+}
+
+TEST(Float64BitsTest, AllBitsBinary) {
+  for (double v : {1.81, -123456.789, 3.1e9, 1e-12}) {
+    for (float b : EncodeFloat64Bits(v)) {
+      EXPECT_TRUE(b == 0.0f || b == 1.0f);
+    }
+  }
+}
+
+TEST(LogFeaturesTest, StructureAndBounds) {
+  const auto f = EncodeLogFeatures(-100.0);
+  ASSERT_EQ(f.size(), 64u);
+  EXPECT_EQ(f[0], -1.0f);  // sign
+  EXPECT_GT(f[1], 0.0f);   // log magnitude
+  for (size_t i = 2; i < 64; ++i) {
+    EXPECT_GE(f[i], -1.0f);
+    EXPECT_LE(f[i], 1.0f);
+  }
+}
+
+TEST(LogFeaturesTest, DistinguishesMagnitudes) {
+  const auto a = EncodeLogFeatures(1.81);
+  const auto b = EncodeLogFeatures(3.1e9);
+  double diff = 0.0;
+  for (size_t i = 0; i < 64; ++i) diff += std::fabs(a[i] - b[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+class ChainEncoderTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kNumRelIds = 10;
+  static constexpr int64_t kNumAttrs = 4;
+
+  static ChainsFormerConfig Config(EncoderType type, bool numerical_aware) {
+    ChainsFormerConfig c;
+    c.hidden_dim = 16;
+    c.encoder_layers = 1;
+    c.num_heads = 2;
+    c.encoder_type = type;
+    c.use_numerical_aware = numerical_aware;
+    return c;
+  }
+
+  static RAChain SomeChain() {
+    RAChain c;
+    c.source_attribute = 1;
+    c.query_attribute = 2;
+    c.relations = {3, 5};
+    c.source_value = 1975.0;
+    c.source_entity = 0;
+    return c;
+  }
+};
+
+TEST_F(ChainEncoderTest, TokenVocabularyLayout) {
+  Rng rng(1);
+  ChainEncoder enc(kNumRelIds, kNumAttrs, Config(EncoderType::kTransformer, true),
+                   rng);
+  EXPECT_EQ(enc.RelationToken(3), 3);
+  EXPECT_EQ(enc.AttributeToken(1), kNumRelIds + 1);
+  EXPECT_EQ(enc.EndToken(), kNumRelIds + kNumAttrs);
+}
+
+TEST_F(ChainEncoderTest, EncodeShapeAndDeterminism) {
+  Rng rng(2);
+  ChainEncoder enc(kNumRelIds, kNumAttrs, Config(EncoderType::kTransformer, true),
+                   rng);
+  const RAChain c = SomeChain();
+  tensor::Tensor a = enc.Encode(c);
+  tensor::Tensor b = enc.Encode(c);
+  EXPECT_EQ(a.numel(), 16);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST_F(ChainEncoderTest, ValueChangesRepresentationWhenNumericalAware) {
+  Rng rng(3);
+  ChainEncoder enc(kNumRelIds, kNumAttrs, Config(EncoderType::kTransformer, true),
+                   rng);
+  RAChain c = SomeChain();
+  tensor::Tensor a = enc.Encode(c);
+  c.source_value = 42.0;
+  tensor::Tensor b = enc.Encode(c);
+  double diff = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) diff += std::fabs(a.at(i) - b.at(i));
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST_F(ChainEncoderTest, ValueIgnoredWithoutNumericalAware) {
+  Rng rng(4);
+  ChainEncoder enc(kNumRelIds, kNumAttrs, Config(EncoderType::kTransformer, false),
+                   rng);
+  RAChain c = SomeChain();
+  tensor::Tensor a = enc.Encode(c);
+  c.source_value = 42.0;
+  tensor::Tensor b = enc.Encode(c);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST_F(ChainEncoderTest, AllEncoderVariantsProduceFiniteOutput) {
+  for (EncoderType type :
+       {EncoderType::kTransformer, EncoderType::kLstm, EncoderType::kMean}) {
+    Rng rng(5);
+    ChainEncoder enc(kNumRelIds, kNumAttrs, Config(type, true), rng);
+    tensor::Tensor out = enc.Encode(SomeChain());
+    EXPECT_EQ(out.numel(), 16);
+    for (float v : out.data()) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_F(ChainEncoderTest, DifferentChainsDifferentEncodings) {
+  Rng rng(6);
+  ChainEncoder enc(kNumRelIds, kNumAttrs, Config(EncoderType::kTransformer, true),
+                   rng);
+  RAChain a = SomeChain();
+  RAChain b = SomeChain();
+  b.relations = {5, 3};  // order matters for sequential reasoning
+  tensor::Tensor ea = enc.Encode(a);
+  tensor::Tensor eb = enc.Encode(b);
+  double diff = 0.0;
+  for (int64_t i = 0; i < ea.numel(); ++i) diff += std::fabs(ea.at(i) - eb.at(i));
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST_F(ChainEncoderTest, GradientsFlowToTokenTable) {
+  Rng rng(7);
+  ChainEncoder enc(kNumRelIds, kNumAttrs, Config(EncoderType::kTransformer, true),
+                   rng);
+  tensor::Tensor out = enc.Encode(SomeChain());
+  tensor::Tensor loss = tensor::Sum(tensor::Square(out));
+  loss.Backward();
+  double total = 0.0;
+  for (const auto& p : enc.Parameters()) {
+    for (float g : p.grad()) total += std::fabs(g);
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace chainsformer

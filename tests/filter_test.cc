@@ -1,0 +1,179 @@
+#include "core/hyperbolic_filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "kg/synthetic.h"
+
+namespace chainsformer {
+namespace core {
+namespace {
+
+class FilterTest : public ::testing::Test {
+ protected:
+  static const kg::Dataset& Data() {
+    static const kg::Dataset* ds =
+        new kg::Dataset(kg::MakeYago15kLike({.scale = 0.05}));
+    return *ds;
+  }
+  static const kg::NumericIndex& TrainIndex() {
+    static const kg::NumericIndex* idx =
+        new kg::NumericIndex(Data().split.train, Data().graph.num_entities());
+    return *idx;
+  }
+  static ChainsFormerConfig Config(FilterSpace space) {
+    ChainsFormerConfig c;
+    c.filter_space = space;
+    c.filter_dim = 8;
+    c.filter_pretrain_queries = 60;
+    c.filter_pretrain_epochs = 1;
+    c.seed = 7;
+    return c;
+  }
+  static TreeOfChains SampleChains(int n) {
+    QueryRetrieval retrieval(Data().graph, TrainIndex(), 3, n);
+    Rng rng(3);
+    const auto& t = Data().split.test.front();
+    return retrieval.Retrieve({t.entity, t.attribute}, rng);
+  }
+};
+
+TEST_F(FilterTest, TopKEqualsExhaustiveSortByScore) {
+  HyperbolicFilter filter(Data().graph.num_relation_ids(),
+                          Data().graph.num_attributes(),
+                          Config(FilterSpace::kHyperbolic));
+  const TreeOfChains toc = SampleChains(48);
+  ASSERT_GT(toc.size(), 8u);
+  Rng rng(1);
+  const TreeOfChains top = filter.FilterTopK(toc, 8, rng);
+  ASSERT_EQ(top.size(), 8u);
+  // Every selected chain must score >= every rejected chain.
+  double min_selected = 1e300;
+  for (const auto& c : top) min_selected = std::min(min_selected, filter.Score(c));
+  int better_rejected = 0;
+  for (const auto& c : toc) {
+    if (filter.Score(c) > min_selected + 1e-12) ++better_rejected;
+  }
+  EXPECT_LE(better_rejected, 7);  // only chains inside the top-k may beat it
+}
+
+TEST_F(FilterTest, TopKReturnsAllWhenFewer) {
+  HyperbolicFilter filter(Data().graph.num_relation_ids(),
+                          Data().graph.num_attributes(),
+                          Config(FilterSpace::kHyperbolic));
+  const TreeOfChains toc = SampleChains(4);
+  Rng rng(2);
+  EXPECT_EQ(filter.FilterTopK(toc, 16, rng).size(), toc.size());
+}
+
+TEST_F(FilterTest, ScoreIsDeterministicForGeometricSpaces) {
+  HyperbolicFilter filter(Data().graph.num_relation_ids(),
+                          Data().graph.num_attributes(),
+                          Config(FilterSpace::kHyperbolic));
+  const TreeOfChains toc = SampleChains(8);
+  for (const auto& c : toc) {
+    EXPECT_DOUBLE_EQ(filter.Score(c), filter.Score(c));
+  }
+}
+
+TEST_F(FilterTest, RandomSpaceSelectsSubset) {
+  HyperbolicFilter filter(Data().graph.num_relation_ids(),
+                          Data().graph.num_attributes(),
+                          Config(FilterSpace::kRandom));
+  const TreeOfChains toc = SampleChains(32);
+  Rng rng(3);
+  const TreeOfChains top = filter.FilterTopK(toc, 8, rng);
+  EXPECT_EQ(top.size(), 8u);
+}
+
+TEST_F(FilterTest, PretrainImprovesRelevantChainRanking) {
+  // After contrastive pre-training, chains whose source attribute matches
+  // the query attribute should outrank mismatched ones more often than at
+  // initialization.
+  auto rank_quality = [&](HyperbolicFilter& filter) {
+    QueryRetrieval retrieval(Data().graph, TrainIndex(), 3, 48);
+    Rng rng(11);
+    int same_selected = 0, same_total = 0, selected_total = 0, total = 0;
+    for (int qi = 0; qi < 20; ++qi) {
+      const auto& t = Data().split.valid[static_cast<size_t>(qi) %
+                                         Data().split.valid.size()];
+      const TreeOfChains toc = retrieval.Retrieve({t.entity, t.attribute}, rng);
+      if (toc.size() < 10) continue;
+      const TreeOfChains top =
+          filter.FilterTopK(toc, static_cast<int>(toc.size() / 2), rng);
+      for (const auto& c : toc) {
+        total++;
+        if (c.source_attribute == t.attribute) same_total++;
+      }
+      for (const auto& c : top) {
+        selected_total++;
+        if (c.source_attribute == t.attribute) same_selected++;
+      }
+    }
+    const double base = same_total / std::max(1.0, static_cast<double>(total));
+    const double sel =
+        same_selected / std::max(1.0, static_cast<double>(selected_total));
+    return sel - base;  // lift of same-attribute share after filtering
+  };
+
+  HyperbolicFilter filter(Data().graph.num_relation_ids(),
+                          Data().graph.num_attributes(),
+                          Config(FilterSpace::kHyperbolic));
+  QueryRetrieval retrieval(Data().graph, TrainIndex(), 3, 48);
+  Rng prng(5);
+  const auto stats = filter.Pretrain(retrieval, Data().split.train,
+                                     kg::ComputeAttributeStats(
+                                         Data().split.train,
+                                         Data().graph.num_attributes()),
+                                     prng);
+  EXPECT_GT(stats.pairs, 0);
+  // Pretrained filter must concentrate same/related attributes (Fig. 6).
+  EXPECT_GT(rank_quality(filter), 0.02);
+}
+
+TEST_F(FilterTest, EuclideanSpacePretrainsToo) {
+  HyperbolicFilter filter(Data().graph.num_relation_ids(),
+                          Data().graph.num_attributes(),
+                          Config(FilterSpace::kEuclidean));
+  QueryRetrieval retrieval(Data().graph, TrainIndex(), 3, 32);
+  Rng prng(6);
+  const auto stats = filter.Pretrain(retrieval, Data().split.train,
+                                     kg::ComputeAttributeStats(
+                                         Data().split.train,
+                                         Data().graph.num_attributes()),
+                                     prng);
+  EXPECT_GT(stats.pairs, 0);
+  const TreeOfChains toc = SampleChains(16);
+  for (const auto& c : toc) {
+    EXPECT_TRUE(std::isfinite(filter.Score(c)));
+  }
+}
+
+TEST_F(FilterTest, RandomSpacePretrainIsNoop) {
+  HyperbolicFilter filter(Data().graph.num_relation_ids(),
+                          Data().graph.num_attributes(),
+                          Config(FilterSpace::kRandom));
+  QueryRetrieval retrieval(Data().graph, TrainIndex(), 3, 32);
+  Rng prng(7);
+  const auto stats = filter.Pretrain(retrieval, Data().split.train,
+                                     kg::ComputeAttributeStats(
+                                         Data().split.train,
+                                         Data().graph.num_attributes()),
+                                     prng);
+  EXPECT_EQ(stats.pairs, 0);
+}
+
+TEST_F(FilterTest, LogMappedEmbeddingsHaveFilterDim) {
+  HyperbolicFilter filter(Data().graph.num_relation_ids(),
+                          Data().graph.num_attributes(),
+                          Config(FilterSpace::kHyperbolic));
+  EXPECT_EQ(filter.LogMappedRelation(0).size(), 8u);
+  EXPECT_EQ(filter.LogMappedAttribute(0).size(), 8u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace chainsformer

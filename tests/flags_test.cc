@@ -1,0 +1,58 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace chainsformer {
+namespace {
+
+FlagParser Parse(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return FlagParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  auto flags = Parse({"train", "extra"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "train");
+  EXPECT_EQ(flags.positional()[1], "extra");
+}
+
+TEST(FlagParserTest, KeyEqualsValue) {
+  auto flags = Parse({"--epochs=20", "--lr=0.5"});
+  EXPECT_EQ(flags.GetInt("epochs", 0), 20);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr", 0.0), 0.5);
+}
+
+TEST(FlagParserTest, KeySpaceValue) {
+  auto flags = Parse({"--checkpoint", "/tmp/x.bin"});
+  EXPECT_EQ(flags.GetString("checkpoint"), "/tmp/x.bin");
+}
+
+TEST(FlagParserTest, BooleanFlags) {
+  auto flags = Parse({"--verbose", "--quiet=false"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_FALSE(flags.GetBool("quiet", true));
+  EXPECT_TRUE(flags.GetBool("absent", true));
+}
+
+TEST(FlagParserTest, DefaultsWhenMissing) {
+  auto flags = Parse({});
+  EXPECT_EQ(flags.GetInt("n", 7), 7);
+  EXPECT_EQ(flags.GetString("s", "d"), "d");
+  EXPECT_FALSE(flags.Has("anything"));
+}
+
+TEST(FlagParserTest, UnreadKeyDetection) {
+  auto flags = Parse({"--used=1", "--typo=2"});
+  EXPECT_EQ(flags.GetInt("used", 0), 1);
+  const auto unread = flags.UnreadKeys();
+  ASSERT_EQ(unread.size(), 1u);
+  EXPECT_EQ(unread[0], "typo");
+}
+
+}  // namespace
+}  // namespace chainsformer

@@ -1,0 +1,277 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hyperbolic/poincare.h"
+#include "hyperbolic/poincare_ops.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace chainsformer {
+namespace hyperbolic {
+namespace {
+
+Vec RandomBallPoint(Rng& rng, size_t dim, double max_norm = 0.7) {
+  Vec v(dim);
+  for (auto& x : v) x = rng.Normal();
+  const double norm = EuclideanNorm(v);
+  const double target = rng.Uniform(0.05, max_norm);
+  for (auto& x : v) x *= target / norm;
+  return v;
+}
+
+class PoincarePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PoincarePropertyTest, MobiusAddIdentityElement) {
+  Rng rng(GetParam());
+  const Vec x = RandomBallPoint(rng, 6);
+  const Vec zero(6, 0.0);
+  const Vec a = MobiusAdd(x, zero);
+  const Vec b = MobiusAdd(zero, x);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(a[i], x[i], 1e-9);
+    EXPECT_NEAR(b[i], x[i], 1e-9);
+  }
+}
+
+TEST_P(PoincarePropertyTest, MobiusAddLeftInverse) {
+  Rng rng(GetParam() ^ 0x11);
+  const Vec x = RandomBallPoint(rng, 5);
+  Vec nx(x.size());
+  for (size_t i = 0; i < x.size(); ++i) nx[i] = -x[i];
+  const Vec sum = MobiusAdd(nx, x);
+  EXPECT_LT(EuclideanNorm(sum), 1e-8);
+}
+
+TEST_P(PoincarePropertyTest, MobiusAddStaysInBall) {
+  Rng rng(GetParam() ^ 0x22);
+  const Vec x = RandomBallPoint(rng, 4, 0.95);
+  const Vec y = RandomBallPoint(rng, 4, 0.95);
+  EXPECT_LT(EuclideanNorm(MobiusAdd(x, y)), 1.0);
+}
+
+TEST_P(PoincarePropertyTest, DistanceAxioms) {
+  Rng rng(GetParam() ^ 0x33);
+  const Vec x = RandomBallPoint(rng, 5);
+  const Vec y = RandomBallPoint(rng, 5);
+  const Vec z = RandomBallPoint(rng, 5);
+  EXPECT_NEAR(Distance(x, x), 0.0, 1e-6);
+  EXPECT_NEAR(Distance(x, y), Distance(y, x), 1e-8);        // symmetry
+  EXPECT_GT(Distance(x, y), 0.0);                           // positivity
+  EXPECT_LE(Distance(x, z), Distance(x, y) + Distance(y, z) + 1e-8);  // triangle
+}
+
+TEST_P(PoincarePropertyTest, ExpLogInverse) {
+  Rng rng(GetParam() ^ 0x44);
+  const Vec x = RandomBallPoint(rng, 6);
+  const Vec v = LogMap0(x);
+  const Vec back = ExpMap0(v);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-8);
+}
+
+TEST_P(PoincarePropertyTest, DistanceFromOriginMatchesLogNorm) {
+  Rng rng(GetParam() ^ 0x55);
+  const Vec x = RandomBallPoint(rng, 4);
+  // d(0, x) = 2 artanh(||x||) = 2 ||log_0(x)||.
+  EXPECT_NEAR(DistanceFromOrigin(x), 2.0 * EuclideanNorm(LogMap0(x)), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoincarePropertyTest,
+                         ::testing::Values(1ull, 2ull, 3ull, 7ull, 1337ull));
+
+TEST(PoincareTest, Eq3MatchesEq2AtCurvatureOne) {
+  Rng rng(99);
+  const Vec x = RandomBallPoint(rng, 5);
+  const Vec y = RandomBallPoint(rng, 5);
+  // Eq. 3 arcosh form.
+  double diff_sq = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) diff_sq += (x[i] - y[i]) * (x[i] - y[i]);
+  const double arg =
+      1.0 + 2.0 * diff_sq / ((1.0 - SqNorm(x)) * (1.0 - SqNorm(y)));
+  EXPECT_NEAR(Distance(x, y, 1.0), std::acosh(arg), 1e-7);
+}
+
+TEST(PoincareTest, SmallCurvatureApproachesEuclidean) {
+  Rng rng(5);
+  const Vec x = RandomBallPoint(rng, 4, 0.1);
+  const Vec y = RandomBallPoint(rng, 4, 0.1);
+  double euclid = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) euclid += (x[i] - y[i]) * (x[i] - y[i]);
+  euclid = 2.0 * std::sqrt(euclid);
+  // As c -> 0, d_c -> 2 ||x - y|| (paper §III-B).
+  EXPECT_NEAR(Distance(x, y, 1e-6), euclid, euclid * 0.01);
+}
+
+TEST(PoincareTest, VariableResolutionGrowth) {
+  // Distances explode near the boundary: moving the same Euclidean step is
+  // "longer" far from the origin — the property the filter exploits.
+  const Vec a1 = {0.0, 0.0};
+  const Vec a2 = {0.1, 0.0};
+  const Vec b1 = {0.85, 0.0};
+  const Vec b2 = {0.95, 0.0};
+  EXPECT_GT(Distance(b1, b2), 4.0 * Distance(a1, a2));
+}
+
+TEST(PoincareTest, ProjectToBallClipsOnlyOutsiders) {
+  const Vec inside = {0.1, 0.2};
+  const Vec projected = ProjectToBall(inside);
+  EXPECT_EQ(projected, inside);
+  const Vec outside = {2.0, 0.0};
+  EXPECT_LT(EuclideanNorm(ProjectToBall(outside)), 1.0);
+}
+
+TEST(PoincareTest, MobiusAddChainFold) {
+  Rng rng(12);
+  const Vec a = RandomBallPoint(rng, 3);
+  const Vec b = RandomBallPoint(rng, 3);
+  const Vec c = RandomBallPoint(rng, 3);
+  const Vec chained = MobiusAddChain({a, b, c});
+  const Vec manual = MobiusAdd(MobiusAdd(a, b), c);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(chained[i], manual[i], 1e-10);
+}
+
+// --- Extended geometry: scalar mult, base-point maps, geodesics -------------
+
+TEST_P(PoincarePropertyTest, MobiusScalarMulScalesOriginDistance) {
+  Rng rng(GetParam() ^ 0x66);
+  const Vec x = RandomBallPoint(rng, 4);
+  // d(0, r ⊗ x) = |r| d(0, x) along the same geodesic ray.
+  EXPECT_NEAR(DistanceFromOrigin(MobiusScalarMul(0.5, x)),
+              0.5 * DistanceFromOrigin(x), 1e-8);
+  EXPECT_NEAR(DistanceFromOrigin(MobiusScalarMul(2.0, x)),
+              2.0 * DistanceFromOrigin(x), 1e-6);
+  const Vec one = MobiusScalarMul(1.0, x);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(one[i], x[i], 1e-10);
+}
+
+TEST_P(PoincarePropertyTest, ExpLogInverseAtBasePoint) {
+  Rng rng(GetParam() ^ 0x77);
+  const Vec x = RandomBallPoint(rng, 5);
+  const Vec y = RandomBallPoint(rng, 5);
+  const Vec v = LogMap(x, y);
+  const Vec back = ExpMap(x, v);
+  for (size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(back[i], y[i], 1e-7);
+}
+
+TEST_P(PoincarePropertyTest, LogMapNormIsDistance) {
+  Rng rng(GetParam() ^ 0x88);
+  const Vec x = RandomBallPoint(rng, 4);
+  const Vec y = RandomBallPoint(rng, 4);
+  // ||log_x(y)|| equals the geodesic distance d(x, y) (unit-speed geodesics
+  // in the Riemannian metric at x... up to the conformal factor λ_x):
+  // d(x,y) = λ_x ||log_x(y)||? For the Poincaré ball, d = λ_x * ||v|| / 1?
+  // The standard identity: ||log_x(y)|| = (2/(sqrt(c) λ_x)) artanh(...) so
+  // λ_x ||log_x(y)|| * sqrt(c)/2 * 2/sqrt(c) = d. Check numerically:
+  EXPECT_NEAR(ConformalFactor(x) * EuclideanNorm(LogMap(x, y)), Distance(x, y),
+              1e-7);
+}
+
+TEST_P(PoincarePropertyTest, GeodesicEndpointsAndProportionality) {
+  Rng rng(GetParam() ^ 0x99);
+  const Vec x = RandomBallPoint(rng, 4);
+  const Vec y = RandomBallPoint(rng, 4);
+  const Vec g0 = Geodesic(x, y, 0.0);
+  const Vec g1 = Geodesic(x, y, 1.0);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(g0[i], x[i], 1e-9);
+    EXPECT_NEAR(g1[i], y[i], 1e-7);
+  }
+  // Constant-speed parameterization: d(x, γ(t)) = t d(x, y).
+  const Vec mid = Geodesic(x, y, 0.5);
+  EXPECT_NEAR(Distance(x, mid), 0.5 * Distance(x, y), 1e-7);
+}
+
+TEST(GyromidpointTest, SinglePointIsIdentity) {
+  Rng rng(3);
+  const Vec x = RandomBallPoint(rng, 4);
+  const Vec m = Gyromidpoint({x}, {1.0});
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(m[i], x[i], 1e-9);
+}
+
+TEST(GyromidpointTest, SymmetricPairAveragesToOrigin) {
+  Rng rng(4);
+  const Vec x = RandomBallPoint(rng, 4);
+  Vec nx(x.size());
+  for (size_t i = 0; i < x.size(); ++i) nx[i] = -x[i];
+  const Vec m = Gyromidpoint({x, nx}, {1.0, 1.0});
+  EXPECT_LT(EuclideanNorm(m), 1e-9);
+}
+
+TEST(GyromidpointTest, WeightsSkewTowardHeavyPoint) {
+  Rng rng(5);
+  const Vec x = RandomBallPoint(rng, 3);
+  const Vec y = RandomBallPoint(rng, 3);
+  const Vec toward_x = Gyromidpoint({x, y}, {10.0, 1.0});
+  const Vec balanced = Gyromidpoint({x, y}, {1.0, 1.0});
+  EXPECT_LT(Distance(toward_x, x), Distance(balanced, x));
+}
+
+// --- Autograd twins match the plain kernels ---------------------------------
+
+tensor::Tensor ToTensor(const Vec& v) {
+  std::vector<float> f(v.begin(), v.end());
+  return tensor::Tensor::FromVector({static_cast<int64_t>(v.size())}, f);
+}
+
+TEST(PoincareOpsTest, HMobiusAddMatchesPlain) {
+  Rng rng(21);
+  const Vec x = RandomBallPoint(rng, 5);
+  const Vec y = RandomBallPoint(rng, 5);
+  const Vec expected = MobiusAdd(x, y);
+  const tensor::Tensor got = HMobiusAdd(ToTensor(x), ToTensor(y));
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(got.at(static_cast<int64_t>(i)), expected[i], 1e-4);
+  }
+}
+
+TEST(PoincareOpsTest, HDistanceMatchesPlain) {
+  Rng rng(22);
+  const Vec x = RandomBallPoint(rng, 5);
+  const Vec y = RandomBallPoint(rng, 5);
+  EXPECT_NEAR(HDistance(ToTensor(x), ToTensor(y)).item(), Distance(x, y), 1e-3);
+}
+
+TEST(PoincareOpsTest, HExpHLogMatchPlain) {
+  Rng rng(23);
+  const Vec v = RandomBallPoint(rng, 4);  // small tangent vector
+  const Vec expected = ExpMap0(v);
+  const tensor::Tensor mapped = HExpMap0(ToTensor(v));
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(mapped.at(static_cast<int64_t>(i)), expected[i], 1e-4);
+  }
+  const Vec x = RandomBallPoint(rng, 4);
+  const Vec lg = LogMap0(x);
+  const tensor::Tensor lgt = HLogMap0(ToTensor(x));
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(lgt.at(static_cast<int64_t>(i)), lg[i], 1e-4);
+  }
+}
+
+TEST(PoincareOpsTest, HDistanceGradcheck) {
+  Rng rng(24);
+  const Vec xv = RandomBallPoint(rng, 4, 0.5);
+  const Vec yv = RandomBallPoint(rng, 4, 0.5);
+  tensor::Tensor x = ToTensor(xv).set_requires_grad(true);
+  tensor::Tensor y = ToTensor(yv).set_requires_grad(true);
+  auto fn = [](const std::vector<tensor::Tensor>& in) {
+    return HDistance(in[0], in[1]);
+  };
+  const auto result = tensor::CheckGradients(fn, {x, y}, 1e-3, 8e-2);
+  EXPECT_TRUE(result.ok) << "max_rel_error=" << result.max_rel_error;
+}
+
+TEST(PoincareOpsTest, HExpMap0Gradcheck) {
+  Rng rng(25);
+  const Vec v = RandomBallPoint(rng, 4, 0.5);
+  tensor::Tensor x = ToTensor(v).set_requires_grad(true);
+  auto fn = [](const std::vector<tensor::Tensor>& in) {
+    return tensor::Sum(tensor::Square(HExpMap0(in[0])));
+  };
+  EXPECT_TRUE(tensor::CheckGradients(fn, {x}, 1e-3, 8e-2).ok);
+}
+
+}  // namespace
+}  // namespace hyperbolic
+}  // namespace chainsformer

@@ -1,0 +1,148 @@
+// Additional knowledge-graph coverage: index behavior under duplicates,
+// split determinism, stats on extreme distributions, and generator scaling.
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kg/dataset.h"
+#include "kg/knowledge_graph.h"
+#include "kg/synthetic.h"
+
+namespace chainsformer {
+namespace kg {
+namespace {
+
+TEST(KgExtraTest, MultipleValuesPerEntityAttribute) {
+  // Numeric triples are a multiset: an entity may carry several values of
+  // the same attribute (e.g. disputed birth years); all are indexed.
+  KnowledgeGraph g;
+  const auto e = g.AddEntity("e");
+  const auto a = g.AddAttribute("a");
+  g.AddNumeric(e, a, 1.0);
+  g.AddNumeric(e, a, 2.0);
+  g.Finalize();
+  EXPECT_EQ(g.EntityAttributes(e).size(), 2u);
+  double v = 0.0;
+  EXPECT_TRUE(g.GetAttribute(e, a, &v));  // first match wins
+}
+
+TEST(KgExtraTest, ParallelEdgesPreserved) {
+  KnowledgeGraph g;
+  const auto x = g.AddEntity("x");
+  const auto y = g.AddEntity("y");
+  const auto r1 = g.AddRelation("r1");
+  const auto r2 = g.AddRelation("r2");
+  g.AddTriple(x, r1, y);
+  g.AddTriple(x, r2, y);
+  g.AddTriple(x, r1, y);  // duplicate triple
+  g.Finalize();
+  EXPECT_EQ(g.Degree(x), 3);
+  EXPECT_EQ(g.Degree(y), 3);
+}
+
+TEST(KgExtraTest, SplitDeterministicAcrossRuns) {
+  std::vector<NumericalTriple> triples;
+  for (int i = 0; i < 300; ++i) {
+    triples.push_back({static_cast<EntityId>(i), 0, static_cast<double>(i)});
+  }
+  Rng r1(9), r2(9);
+  const DataSplit a = SplitNumericTriples(triples, 1, r1);
+  const DataSplit b = SplitNumericTriples(triples, 1, r2);
+  ASSERT_EQ(a.test.size(), b.test.size());
+  for (size_t i = 0; i < a.test.size(); ++i) {
+    EXPECT_EQ(a.test[i].entity, b.test[i].entity);
+  }
+}
+
+TEST(KgExtraTest, SplitWithZeroValidFraction) {
+  std::vector<NumericalTriple> triples;
+  for (int i = 0; i < 100; ++i) {
+    triples.push_back({static_cast<EntityId>(i), 0, 1.0});
+  }
+  Rng rng(1);
+  const DataSplit s = SplitNumericTriples(triples, 1, rng, 0.9, 0.0);
+  EXPECT_EQ(s.valid.size(), 0u);
+  EXPECT_EQ(s.train.size() + s.test.size(), 100u);
+}
+
+TEST(KgExtraTest, StatsHandleNegativeAndHugeValues) {
+  std::vector<NumericalTriple> triples = {
+      {0, 0, -2999.0}, {1, 0, 2011.6}, {2, 1, 1.0}, {3, 1, 3.1e9}};
+  const auto stats = ComputeAttributeStats(triples, 2);
+  EXPECT_DOUBLE_EQ(stats[0].min, -2999.0);
+  EXPECT_DOUBLE_EQ(stats[0].Range(), 5010.6);
+  EXPECT_DOUBLE_EQ(stats[1].max, 3.1e9);
+  EXPECT_NEAR(stats[1].Normalize(3.1e9), 1.0, 1e-12);
+  EXPECT_NEAR(stats[1].Normalize(1.0), 0.0, 1e-12);
+}
+
+TEST(KgExtraTest, InverseRelationNamesFollowConvention) {
+  KnowledgeGraph g;
+  const auto r = g.AddRelation("located_in");
+  EXPECT_EQ(g.RelationName(r), "located_in");
+  EXPECT_EQ(g.RelationName(KnowledgeGraph::InverseRelation(r)), "located_in_inv");
+}
+
+TEST(KgExtraTest, GeneratorScalesRoughlyLinearly) {
+  const Dataset small = MakeFb15k237Like({.scale = 0.04, .seed = 2});
+  const Dataset large = MakeFb15k237Like({.scale = 0.08, .seed = 2});
+  const double ratio = static_cast<double>(large.graph.num_entities()) /
+                       static_cast<double>(small.graph.num_entities());
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.4);
+}
+
+TEST(KgExtraTest, GeneratorAttributeCategoriesConsistent) {
+  const Dataset ds = MakeFb15k237Like({.scale = 0.04});
+  const auto& g = ds.graph;
+  EXPECT_EQ(g.AttributeCategoryOf(g.FindAttribute("birth")),
+            AttributeCategory::kTemporal);
+  EXPECT_EQ(g.AttributeCategoryOf(g.FindAttribute("longitude")),
+            AttributeCategory::kSpatial);
+  EXPECT_EQ(g.AttributeCategoryOf(g.FindAttribute("population")),
+            AttributeCategory::kQuantity);
+}
+
+TEST(KgExtraTest, TeamMembersShareBodyCluster) {
+  // The (team, athlete, weight) key chain requires teammates to cluster:
+  // within-team weight variance must undercut global variance.
+  const Dataset ds = MakeFb15k237Like({.scale = 0.1, .seed = 3});
+  const auto& g = ds.graph;
+  const auto weight = g.FindAttribute("weight");
+  const auto team_rel = g.FindRelation("team");
+  // Map team entity -> member weights.
+  std::map<EntityId, std::vector<double>> teams;
+  for (const auto& t : g.relational_triples()) {
+    if (t.relation != team_rel) continue;
+    double w = 0.0;
+    if (g.GetAttribute(t.head, weight, &w)) teams[t.tail].push_back(w);
+  }
+  double within_var = 0.0;
+  int within_n = 0;
+  std::vector<double> all;
+  for (const auto& [team, weights] : teams) {
+    all.insert(all.end(), weights.begin(), weights.end());
+    if (weights.size() < 2) continue;
+    double mean = 0.0;
+    for (double w : weights) mean += w;
+    mean /= static_cast<double>(weights.size());
+    for (double w : weights) within_var += (w - mean) * (w - mean);
+    within_n += static_cast<int>(weights.size());
+  }
+  ASSERT_GT(within_n, 10);
+  within_var /= within_n;
+  double gmean = 0.0;
+  for (double w : all) gmean += w;
+  gmean /= static_cast<double>(all.size());
+  double gvar = 0.0;
+  for (double w : all) gvar += (w - gmean) * (w - gmean);
+  gvar /= static_cast<double>(all.size());
+  EXPECT_LT(within_var, gvar * 0.6);
+}
+
+}  // namespace
+}  // namespace kg
+}  // namespace chainsformer

@@ -1,0 +1,239 @@
+#include "kg/knowledge_graph.h"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "kg/dataset.h"
+#include "kg/loader.h"
+#include "kg/synthetic.h"
+#include "util/rng.h"
+
+namespace chainsformer {
+namespace kg {
+namespace {
+
+KnowledgeGraph SmallGraph() {
+  KnowledgeGraph g;
+  const EntityId a = g.AddEntity("a");
+  const EntityId b = g.AddEntity("b");
+  const EntityId c = g.AddEntity("c");
+  const RelationId knows = g.AddRelation("knows");
+  const RelationId likes = g.AddRelation("likes");
+  const AttributeId age = g.AddAttribute("age", AttributeCategory::kTemporal);
+  g.AddTriple(a, knows, b);
+  g.AddTriple(b, likes, c);
+  g.AddNumeric(a, age, 30.0);
+  g.AddNumeric(c, age, 50.0);
+  g.Finalize();
+  return g;
+}
+
+TEST(KnowledgeGraphTest, VocabularyCounts) {
+  KnowledgeGraph g = SmallGraph();
+  EXPECT_EQ(g.num_entities(), 3);
+  EXPECT_EQ(g.num_relations(), 2);
+  EXPECT_EQ(g.num_relation_ids(), 4);
+  EXPECT_EQ(g.num_attributes(), 1);
+}
+
+TEST(KnowledgeGraphTest, AddEntityIsIdempotent) {
+  KnowledgeGraph g;
+  EXPECT_EQ(g.AddEntity("x"), g.AddEntity("x"));
+  EXPECT_EQ(g.num_entities(), 1);
+}
+
+TEST(KnowledgeGraphTest, InverseRelationPairing) {
+  KnowledgeGraph g = SmallGraph();
+  const RelationId knows = g.FindRelation("knows");
+  EXPECT_EQ(knows % 2, 0);
+  EXPECT_EQ(g.FindRelation("knows_inv"), KnowledgeGraph::InverseRelation(knows));
+  EXPECT_EQ(KnowledgeGraph::InverseRelation(KnowledgeGraph::InverseRelation(knows)),
+            knows);
+  EXPECT_FALSE(KnowledgeGraph::IsInverseRelation(knows));
+  EXPECT_TRUE(KnowledgeGraph::IsInverseRelation(knows + 1));
+}
+
+TEST(KnowledgeGraphTest, AdjacencyIsBidirectional) {
+  KnowledgeGraph g = SmallGraph();
+  const EntityId a = g.FindEntity("a");
+  const EntityId b = g.FindEntity("b");
+  const RelationId knows = g.FindRelation("knows");
+
+  bool a_to_b = false;
+  for (const auto& e : g.Neighbors(a)) {
+    if (e.neighbor == b && e.relation == knows) a_to_b = true;
+  }
+  EXPECT_TRUE(a_to_b);
+
+  bool b_to_a_inverse = false;
+  for (const auto& e : g.Neighbors(b)) {
+    if (e.neighbor == a && e.relation == KnowledgeGraph::InverseRelation(knows)) {
+      b_to_a_inverse = true;
+    }
+  }
+  EXPECT_TRUE(b_to_a_inverse);
+}
+
+TEST(KnowledgeGraphTest, DegreeCountsBothDirections) {
+  KnowledgeGraph g = SmallGraph();
+  EXPECT_EQ(g.Degree(g.FindEntity("b")), 2);  // knows_inv from a, likes to c
+  EXPECT_EQ(g.Degree(g.FindEntity("a")), 1);
+}
+
+TEST(KnowledgeGraphTest, EntityAttributesAndLookup) {
+  KnowledgeGraph g = SmallGraph();
+  const EntityId a = g.FindEntity("a");
+  const AttributeId age = g.FindAttribute("age");
+  double v = 0.0;
+  EXPECT_TRUE(g.GetAttribute(a, age, &v));
+  EXPECT_DOUBLE_EQ(v, 30.0);
+  EXPECT_FALSE(g.GetAttribute(g.FindEntity("b"), age, &v));
+  EXPECT_EQ(g.EntityAttributes(a).size(), 1u);
+}
+
+TEST(KnowledgeGraphTest, AttributeStatsComputed) {
+  KnowledgeGraph g = SmallGraph();
+  const auto& s = g.attribute_stats()[0];
+  EXPECT_EQ(s.count, 2);
+  EXPECT_DOUBLE_EQ(s.min, 30.0);
+  EXPECT_DOUBLE_EQ(s.max, 50.0);
+  EXPECT_DOUBLE_EQ(s.mean, 40.0);
+  EXPECT_NEAR(s.stddev, 10.0, 1e-9);
+}
+
+TEST(AttributeStatsTest, NormalizeDenormalizeRoundTrip) {
+  AttributeStats s;
+  s.count = 2;
+  s.min = 10.0;
+  s.max = 30.0;
+  EXPECT_DOUBLE_EQ(s.Normalize(20.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.Denormalize(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(s.Denormalize(s.Normalize(17.0)), 17.0);
+}
+
+TEST(AttributeStatsTest, DegenerateRangeIsSafe) {
+  AttributeStats s;
+  s.count = 1;
+  s.min = 5.0;
+  s.max = 5.0;
+  EXPECT_DOUBLE_EQ(s.Normalize(5.0), 0.0);
+}
+
+TEST(NumericIndexTest, IndexesSubset) {
+  KnowledgeGraph g = SmallGraph();
+  std::vector<NumericalTriple> subset = {{g.FindEntity("a"), 0, 30.0}};
+  NumericIndex idx(subset, g.num_entities());
+  EXPECT_EQ(idx.size(), 1);
+  double v = 0.0;
+  EXPECT_TRUE(idx.Get(g.FindEntity("a"), 0, &v));
+  EXPECT_FALSE(idx.Get(g.FindEntity("c"), 0, &v));  // excluded from subset
+}
+
+TEST(ComputeAttributeStatsTest, EmptyTriples) {
+  const auto stats = ComputeAttributeStats({}, 3);
+  ASSERT_EQ(stats.size(), 3u);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.count, 0);
+    EXPECT_EQ(s.Range(), 0.0);
+  }
+}
+
+TEST(SplitTest, RatiosAndDisjointness) {
+  std::vector<NumericalTriple> triples;
+  for (int i = 0; i < 1000; ++i) {
+    triples.push_back({static_cast<EntityId>(i), static_cast<AttributeId>(i % 2),
+                       static_cast<double>(i)});
+  }
+  Rng rng(3);
+  const DataSplit split = SplitNumericTriples(triples, 2, rng);
+  EXPECT_EQ(split.train.size() + split.valid.size() + split.test.size(), 1000u);
+  EXPECT_NEAR(static_cast<double>(split.train.size()), 800.0, 5.0);
+  EXPECT_NEAR(static_cast<double>(split.valid.size()), 100.0, 5.0);
+
+  std::set<EntityId> train_entities, test_entities;
+  for (const auto& t : split.train) train_entities.insert(t.entity);
+  for (const auto& t : split.test) test_entities.insert(t.entity);
+  for (EntityId e : test_entities) {
+    EXPECT_EQ(train_entities.count(e), 0u);  // entity ids unique per triple here
+  }
+}
+
+TEST(SplitTest, StratifiedPerAttribute) {
+  std::vector<NumericalTriple> triples;
+  for (int i = 0; i < 200; ++i) triples.push_back({static_cast<EntityId>(i), 0, 1.0});
+  for (int i = 0; i < 40; ++i) {
+    triples.push_back({static_cast<EntityId>(1000 + i), 1, 2.0});
+  }
+  Rng rng(5);
+  const DataSplit split = SplitNumericTriples(triples, 2, rng);
+  int test_attr1 = 0;
+  for (const auto& t : split.test) test_attr1 += (t.attribute == 1);
+  EXPECT_GT(test_attr1, 0);  // small attribute still present in test
+}
+
+TEST(LoaderTest, TsvRoundTrip) {
+  Dataset ds = MakeToyDataset();
+  const std::string triples_path = "/tmp/cf_test_triples.tsv";
+  const std::string numeric_path = "/tmp/cf_test_numeric.tsv";
+  SaveTsvDataset(ds, triples_path, numeric_path);
+  Dataset loaded = LoadTsvDataset("toy2", triples_path, numeric_path);
+  EXPECT_EQ(loaded.graph.num_entities(), ds.graph.num_entities());
+  EXPECT_EQ(loaded.graph.num_relations(), ds.graph.num_relations());
+  EXPECT_EQ(loaded.graph.num_attributes(), ds.graph.num_attributes());
+  EXPECT_EQ(loaded.graph.relational_triples().size(),
+            ds.graph.relational_triples().size());
+  EXPECT_EQ(loaded.graph.numerical_triples().size(),
+            ds.graph.numerical_triples().size());
+  double v = 0.0;
+  EXPECT_TRUE(loaded.graph.GetAttribute(loaded.graph.FindEntity("alice"),
+                                        loaded.graph.FindAttribute("birth"), &v));
+  EXPECT_DOUBLE_EQ(v, 1960.0);
+  std::remove(triples_path.c_str());
+  std::remove(numeric_path.c_str());
+}
+
+TEST(LoaderTest, SkipsCommentsAndBlankLines) {
+  const std::string triples_path = "/tmp/cf_test_triples3.tsv";
+  const std::string numeric_path = "/tmp/cf_test_numeric3.tsv";
+  {
+    std::ofstream t(triples_path);
+    t << "# a comment line\n\n"
+      << "a\tknows\tb\n"
+      << "  \n"
+      << "b\tknows\tc\n";
+    std::ofstream n(numeric_path);
+    n << "# numeric facts\n"
+      << "a\tage\t42.5\n";
+  }
+  Dataset loaded = LoadTsvDataset("mini", triples_path, numeric_path);
+  EXPECT_EQ(loaded.graph.num_entities(), 3);
+  EXPECT_EQ(loaded.graph.relational_triples().size(), 2u);
+  EXPECT_EQ(loaded.graph.numerical_triples().size(), 1u);
+  double v = 0.0;
+  EXPECT_TRUE(loaded.graph.GetAttribute(loaded.graph.FindEntity("a"),
+                                        loaded.graph.FindAttribute("age"), &v));
+  EXPECT_DOUBLE_EQ(v, 42.5);
+  std::remove(triples_path.c_str());
+  std::remove(numeric_path.c_str());
+}
+
+TEST(LoaderTest, InfersAttributeCategories) {
+  Dataset ds = MakeToyDataset();
+  const std::string triples_path = "/tmp/cf_test_triples2.tsv";
+  const std::string numeric_path = "/tmp/cf_test_numeric2.tsv";
+  SaveTsvDataset(ds, triples_path, numeric_path);
+  Dataset loaded = LoadTsvDataset("toy3", triples_path, numeric_path);
+  EXPECT_EQ(loaded.graph.AttributeCategoryOf(loaded.graph.FindAttribute("birth")),
+            AttributeCategory::kTemporal);
+  EXPECT_EQ(loaded.graph.AttributeCategoryOf(loaded.graph.FindAttribute("latitude")),
+            AttributeCategory::kSpatial);
+  std::remove(triples_path.c_str());
+  std::remove(numeric_path.c_str());
+}
+
+}  // namespace
+}  // namespace kg
+}  // namespace chainsformer

@@ -1,0 +1,94 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/table.h"
+
+namespace chainsformer {
+namespace eval {
+namespace {
+
+std::vector<kg::AttributeStats> TwoAttrStats() {
+  std::vector<kg::AttributeStats> stats(2);
+  stats[0].count = 10;
+  stats[0].min = 0.0;
+  stats[0].max = 100.0;
+  stats[1].count = 10;
+  stats[1].min = 0.0;
+  stats[1].max = 10.0;
+  return stats;
+}
+
+TEST(MetricsTest, MaeAndRmsePerAttribute) {
+  MetricsAccumulator acc(TwoAttrStats());
+  acc.Add(0, 10.0, 20.0);  // err -10
+  acc.Add(0, 50.0, 40.0);  // err +10
+  const EvalResult r = acc.Finalize();
+  EXPECT_EQ(r.per_attribute[0].count, 2);
+  EXPECT_DOUBLE_EQ(r.per_attribute[0].mae, 10.0);
+  EXPECT_DOUBLE_EQ(r.per_attribute[0].rmse, 10.0);
+  EXPECT_EQ(r.per_attribute[1].count, 0);
+}
+
+TEST(MetricsTest, RmseExceedsMaeForUnequalErrors) {
+  MetricsAccumulator acc(TwoAttrStats());
+  acc.Add(0, 0.0, 1.0);
+  acc.Add(0, 0.0, 3.0);
+  const EvalResult r = acc.Finalize();
+  EXPECT_GT(r.per_attribute[0].rmse, r.per_attribute[0].mae);
+}
+
+TEST(MetricsTest, NormalizedAverageUsesRange) {
+  MetricsAccumulator acc(TwoAttrStats());
+  // attr 0: error 10 over range 100 -> normalized 0.1.
+  acc.Add(0, 10.0, 20.0);
+  // attr 1: error 1 over range 10 -> normalized 0.1.
+  acc.Add(1, 5.0, 4.0);
+  const EvalResult r = acc.Finalize();
+  EXPECT_NEAR(r.normalized_mae, 0.1, 1e-12);
+  EXPECT_NEAR(r.normalized_rmse, 0.1, 1e-12);
+}
+
+TEST(MetricsTest, AverageIsUniformOverAttributeClasses) {
+  MetricsAccumulator acc(TwoAttrStats());
+  // attr 0 has many samples at normalized error 0.0; attr 1 one sample at 0.2.
+  for (int i = 0; i < 100; ++i) acc.Add(0, 50.0, 50.0);
+  acc.Add(1, 2.0, 0.0);
+  const EvalResult r = acc.Finalize();
+  // Class-uniform average: (0.0 + 0.2) / 2, NOT sample-weighted.
+  EXPECT_NEAR(r.normalized_mae, 0.1, 1e-12);
+}
+
+TEST(MetricsTest, TotalCount) {
+  MetricsAccumulator acc(TwoAttrStats());
+  acc.Add(0, 1.0, 1.0);
+  acc.Add(1, 1.0, 1.0);
+  acc.Add(1, 1.0, 1.0);
+  EXPECT_EQ(acc.Finalize().total_count, 3);
+}
+
+TEST(TextTableTest, AlignedRendering) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22222"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22222"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTableTest, MarkdownRendering) {
+  TextTable t({"a", "b"});
+  t.AddRow({"1", "2"});
+  const std::string md = t.ToMarkdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | 2 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace chainsformer

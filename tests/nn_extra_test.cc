@@ -1,0 +1,160 @@
+// Additional neural-network layer coverage: residual structure, optimizer
+// math, embedding determinism, and edge-case shapes.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/nn.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace chainsformer {
+namespace tensor {
+namespace nn {
+namespace {
+
+namespace ops = chainsformer::tensor;
+
+TEST(TransformerLayerTest, OutputIsRowWiseNormalized) {
+  // Post-LN architecture: every output row has ~zero mean / unit variance
+  // (gamma=1, beta=0 at init).
+  Rng rng(1);
+  TransformerEncoderLayer layer(8, 2, 16, rng);
+  Tensor x = Tensor::Randn({5, 8}, rng, 2.0f);
+  Tensor y = layer.Forward(x);
+  for (int64_t i = 0; i < 5; ++i) {
+    double mean = 0.0;
+    for (int64_t j = 0; j < 8; ++j) mean += y.at(i, j);
+    EXPECT_NEAR(mean / 8.0, 0.0, 1e-4);
+  }
+}
+
+TEST(TransformerEncoderTest, ZeroLayersIsIdentity) {
+  Rng rng(2);
+  TransformerEncoder enc(0, 8, 2, 16, rng);
+  Tensor x = Tensor::Randn({3, 8}, rng);
+  Tensor y = enc.Forward(x);
+  EXPECT_EQ(y.data(), x.data());
+  EXPECT_EQ(enc.NumParameters(), 0);
+}
+
+TEST(MlpTest, DeepStackParameterCount) {
+  Rng rng(3);
+  Mlp mlp({4, 8, 8, 2}, rng);
+  // (4*8+8) + (8*8+8) + (8*2+2) = 40 + 72 + 18.
+  EXPECT_EQ(mlp.NumParameters(), 130);
+}
+
+TEST(EmbeddingTest, SameSeedSameTable) {
+  Rng a(5), b(5);
+  Embedding e1(6, 4, a);
+  Embedding e2(6, 4, b);
+  EXPECT_EQ(e1.table().data(), e2.table().data());
+}
+
+TEST(EmbeddingTest, ForwardOneMatchesForward) {
+  Rng rng(6);
+  Embedding emb(5, 3, rng);
+  Tensor one = emb.ForwardOne(2);
+  Tensor many = emb.Forward({2});
+  EXPECT_EQ(one.dim(), 1);
+  for (int64_t j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(one.at(j), many.at(0, j));
+}
+
+TEST(AdamTest, FirstStepIsSignedLearningRate) {
+  // With bias correction, Adam's first update is ≈ lr * sign(grad).
+  Tensor x = Tensor::FromVector({2}, {0.0f, 0.0f}).set_requires_grad(true);
+  optim::Adam adam({x}, /*lr=*/0.1f);
+  Tensor loss = ops::Sum(ops::Mul(x, Tensor::FromVector({2}, {3.0f, -7.0f})));
+  adam.ZeroGrad();
+  loss.Backward();
+  adam.Step();
+  EXPECT_NEAR(x.at(0), -0.1f, 1e-5);  // grad +3 -> step -lr
+  EXPECT_NEAR(x.at(1), +0.1f, 1e-5);  // grad -7 -> step +lr
+}
+
+TEST(AdamTest, WeightDecayShrinksParameters) {
+  Tensor x = Tensor::FromVector({1}, {1.0f}).set_requires_grad(true);
+  optim::Adam with_decay({x}, 0.01f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/1.0f);
+  // Zero-gradient step: only decay acts.
+  x.ZeroGrad();
+  with_decay.Step();
+  EXPECT_LT(x.at(0), 1.0f);
+}
+
+TEST(SgdTest, MomentumAcceleratesDescent) {
+  auto run = [](float momentum) {
+    Tensor x = Tensor::FromVector({1}, {10.0f}).set_requires_grad(true);
+    optim::Sgd sgd({x}, 0.01f, momentum);
+    for (int i = 0; i < 30; ++i) {
+      Tensor loss = ops::Square(x);
+      sgd.ZeroGrad();
+      loss.Backward();
+      sgd.Step();
+    }
+    return std::fabs(x.at(0));
+  };
+  EXPECT_LT(run(0.9f), run(0.0f));
+}
+
+TEST(ClipGradNormTest, NoopBelowThreshold) {
+  Tensor x = Tensor::FromVector({2}, {1.0f, 1.0f}).set_requires_grad(true);
+  Tensor loss = ops::Sum(x);
+  loss.Backward();
+  std::vector<Tensor> params = {x};
+  const float norm = optim::ClipGradNorm(params, 100.0f);
+  EXPECT_NEAR(norm, std::sqrt(2.0f), 1e-5);
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);  // unchanged
+}
+
+TEST(LinearTest, NoGradModeProducesSameValues) {
+  Rng rng(7);
+  Linear layer(4, 3, rng);
+  Tensor x = Tensor::Ones({4});
+  Tensor with_grad = layer.Forward(x);
+  NoGradGuard guard;
+  Tensor without_grad = layer.Forward(x);
+  EXPECT_EQ(with_grad.data(), without_grad.data());
+  EXPECT_FALSE(without_grad.requires_grad());
+}
+
+TEST(LstmTest, SequenceLengthOneWorks) {
+  Rng rng(8);
+  Lstm lstm(4, 3, rng);
+  Tensor h = lstm.Forward(Tensor::Ones({1, 4}));
+  EXPECT_EQ(h.numel(), 3);
+  for (float v : h.data()) {
+    EXPECT_GT(v, -1.0f);
+    EXPECT_LT(v, 1.0f);  // tanh-bounded
+  }
+}
+
+TEST(LstmTest, DifferentOrderDifferentState) {
+  Rng rng(9);
+  Lstm lstm(2, 4, rng);
+  Tensor ab = Tensor::FromVector({2, 2}, {1, 0, 0, 1});
+  Tensor ba = Tensor::FromVector({2, 2}, {0, 1, 1, 0});
+  Tensor ha = lstm.Forward(ab);
+  Tensor hb = lstm.Forward(ba);
+  double diff = 0.0;
+  for (int64_t i = 0; i < 4; ++i) diff += std::fabs(ha.at(i) - hb.at(i));
+  EXPECT_GT(diff, 1e-5);
+}
+
+TEST(ModuleTest, ParametersAreSharedHandles) {
+  Rng rng(10);
+  Linear layer(2, 2, rng);
+  auto params = layer.Parameters();
+  // Mutating through the returned handle changes the layer's behavior.
+  std::fill(params[0].data().begin(), params[0].data().end(), 0.0f);
+  std::fill(params[1].data().begin(), params[1].data().end(), 0.0f);
+  Tensor y = layer.Forward(Tensor::Ones({2}));
+  EXPECT_FLOAT_EQ(y.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 0.0f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace tensor
+}  // namespace chainsformer

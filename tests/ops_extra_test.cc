@@ -1,0 +1,152 @@
+// Additional tensor-op coverage: rank-3 slicing/concat, broadcast corners,
+// numerical identities, and grad-accumulation across shared subgraphs.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace chainsformer {
+namespace tensor {
+namespace {
+
+TEST(OpsExtraTest, ConcatRank3LastAxis) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({2, 2, 3}, rng);
+  Tensor b = Tensor::Randn({2, 2, 1}, rng);
+  Tensor c = Concat({a, b}, 2);
+  EXPECT_EQ(c.size(2), 4);
+  EXPECT_FLOAT_EQ(c.at(1, 1, 3), b.at(1, 1, 0));
+  EXPECT_FLOAT_EQ(c.at(0, 1, 2), a.at(0, 1, 2));
+}
+
+TEST(OpsExtraTest, ConcatRank3MiddleAxis) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn({2, 1, 3}, rng);
+  Tensor b = Tensor::Randn({2, 2, 3}, rng);
+  Tensor c = Concat({a, b}, 1);
+  EXPECT_EQ(c.size(1), 3);
+  EXPECT_FLOAT_EQ(c.at(1, 0, 2), a.at(1, 0, 2));
+  EXPECT_FLOAT_EQ(c.at(1, 2, 0), b.at(1, 1, 0));
+}
+
+TEST(OpsExtraTest, SliceRowsRank3) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({4, 2, 3}, rng);
+  Tensor s = SliceRows(a, 1, 3);
+  EXPECT_EQ(s.size(0), 2);
+  EXPECT_FLOAT_EQ(s.at(0, 1, 2), a.at(1, 1, 2));
+}
+
+TEST(OpsExtraTest, EmptySliceIsValid) {
+  Tensor a = Tensor::Zeros({3, 2});
+  Tensor s = SliceRows(a, 1, 1);
+  EXPECT_EQ(s.size(0), 0);
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(OpsExtraTest, ExpLogRoundTrip) {
+  Rng rng(4);
+  Tensor x = Tensor::Rand({8}, rng, 0.1f, 3.0f);
+  Tensor y = Exp(Log(x));
+  for (int64_t i = 0; i < 8; ++i) EXPECT_NEAR(y.at(i), x.at(i), 1e-4);
+}
+
+TEST(OpsExtraTest, AtanhTanhRoundTrip) {
+  Rng rng(5);
+  Tensor x = Tensor::Rand({8}, rng, -0.9f, 0.9f);
+  Tensor y = Tanh(Atanh(x));
+  for (int64_t i = 0; i < 8; ++i) EXPECT_NEAR(y.at(i), x.at(i), 1e-5);
+}
+
+TEST(OpsExtraTest, SoftmaxRank1AndRank3) {
+  Rng rng(6);
+  Tensor v = Tensor::Randn({5}, rng);
+  Tensor sv = Softmax(v);
+  double total = 0.0;
+  for (int64_t i = 0; i < 5; ++i) total += sv.at(i);
+  EXPECT_NEAR(total, 1.0, 1e-5);
+
+  Tensor t = Tensor::Randn({2, 3, 4}, rng);
+  Tensor st = Softmax(t);
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t i = 0; i < 3; ++i) {
+      double row = 0.0;
+      for (int64_t j = 0; j < 4; ++j) row += st.at(b, i, j);
+      EXPECT_NEAR(row, 1.0, 1e-5);
+    }
+  }
+}
+
+TEST(OpsExtraTest, DivBroadcastScalarGrad) {
+  Tensor a = Tensor::FromVector({2}, {4.0f, 8.0f}).set_requires_grad(true);
+  Tensor s = Tensor::Scalar(2.0f).set_requires_grad(true);
+  Tensor y = Sum(Div(a, s));
+  EXPECT_FLOAT_EQ(y.item(), 6.0f);
+  y.Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 0.5f);
+  EXPECT_FLOAT_EQ(a.grad()[1], 0.5f);
+  // d/ds (a/s) = -a/s^2 summed: -(4+8)/4 = -3.
+  EXPECT_FLOAT_EQ(s.grad()[0], -3.0f);
+}
+
+TEST(OpsExtraTest, SumLastDimRank3) {
+  Tensor t = Tensor::FromVector({2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor s = SumLastDim(t);
+  EXPECT_EQ(s.dim(), 2);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(s.at(1, 1), 15.0f);
+}
+
+TEST(OpsExtraTest, GradAccumulatesThroughSharedSubgraph) {
+  // z = relu(x)^2 + relu(x): shared intermediate relu(x).
+  Tensor x = Tensor::FromVector({1}, {3.0f}).set_requires_grad(true);
+  Tensor r = Relu(x);
+  Tensor z = Add(Square(r), r);
+  z.Backward();
+  // dz/dx = 2*r + 1 = 7 at x=3.
+  EXPECT_FLOAT_EQ(x.grad()[0], 7.0f);
+}
+
+TEST(OpsExtraTest, StackOfOneRow) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor s = Stack({a});
+  EXPECT_EQ(s.size(0), 1);
+  EXPECT_EQ(s.size(1), 3);
+}
+
+TEST(OpsExtraTest, TransposeTwiceIsIdentity) {
+  Rng rng(7);
+  Tensor a = Tensor::Randn({3, 5}, rng);
+  Tensor b = Transpose2D(Transpose2D(a));
+  EXPECT_EQ(b.data(), a.data());
+}
+
+TEST(OpsExtraTest, NormOfZeroVectorIsSafe) {
+  Tensor z = Tensor::Zeros({4}).set_requires_grad(true);
+  Tensor n = Norm(z);
+  EXPECT_NEAR(n.item(), 0.0f, 1e-5);
+  n.Backward();  // must not produce NaN
+  for (float g : z.grad()) EXPECT_FALSE(std::isnan(g));
+}
+
+TEST(OpsExtraTest, MeanOfSingleElement) {
+  Tensor t = Tensor::Scalar(42.0f);
+  EXPECT_FLOAT_EQ(Mean(t).item(), 42.0f);
+}
+
+TEST(OpsExtraTest, DetachedBranchReceivesNoGradient) {
+  Tensor x = Tensor::FromVector({1}, {2.0f}).set_requires_grad(true);
+  Tensor straight = Square(x);             // tracked path
+  Tensor blocked = Square(Detach(x));      // detached path
+  Tensor y = Add(straight, blocked);
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f);  // only the tracked path contributes
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace chainsformer

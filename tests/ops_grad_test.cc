@@ -1,0 +1,267 @@
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace chainsformer {
+namespace tensor {
+namespace {
+
+using UnaryFn = std::function<Tensor(const Tensor&)>;
+
+struct UnaryCase {
+  std::string name;
+  UnaryFn fn;
+  float lo;
+  float hi;
+};
+
+class UnaryGradCheck : public ::testing::TestWithParam<UnaryCase> {};
+
+TEST_P(UnaryGradCheck, MatchesFiniteDifferences) {
+  const UnaryCase& c = GetParam();
+  Rng rng(1234);
+  Tensor x = Tensor::Rand({2, 3}, rng, c.lo, c.hi).set_requires_grad(true);
+  auto fn = [&c](const std::vector<Tensor>& in) { return Sum(c.fn(in[0])); };
+  const auto result = CheckGradients(fn, {x});
+  EXPECT_TRUE(result.ok) << c.name << " max_rel_error=" << result.max_rel_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllUnaryOps, UnaryGradCheck,
+    ::testing::Values(
+        UnaryCase{"relu", [](const Tensor& x) { return Relu(x); }, 0.2f, 2.0f},
+        UnaryCase{"gelu", [](const Tensor& x) { return Gelu(x); }, -2.0f, 2.0f},
+        UnaryCase{"tanh", [](const Tensor& x) { return Tanh(x); }, -2.0f, 2.0f},
+        UnaryCase{"sigmoid", [](const Tensor& x) { return Sigmoid(x); }, -2.0f, 2.0f},
+        UnaryCase{"exp", [](const Tensor& x) { return Exp(x); }, -1.0f, 1.0f},
+        UnaryCase{"log", [](const Tensor& x) { return Log(x); }, 0.5f, 3.0f},
+        UnaryCase{"sqrt", [](const Tensor& x) { return Sqrt(x); }, 0.5f, 3.0f},
+        UnaryCase{"square", [](const Tensor& x) { return Square(x); }, -2.0f, 2.0f},
+        UnaryCase{"abs", [](const Tensor& x) { return Abs(x); }, 0.3f, 2.0f},
+        UnaryCase{"atanh", [](const Tensor& x) { return Atanh(x); }, -0.7f, 0.7f},
+        UnaryCase{"acosh", [](const Tensor& x) { return Acosh(x); }, 1.3f, 3.0f},
+        UnaryCase{"neg", [](const Tensor& x) { return Neg(x); }, -2.0f, 2.0f},
+        UnaryCase{"addscalar",
+                  [](const Tensor& x) { return AddScalar(x, 1.7f); }, -2.0f, 2.0f},
+        UnaryCase{"mulscalar",
+                  [](const Tensor& x) { return MulScalar(x, -0.6f); }, -2.0f, 2.0f},
+        UnaryCase{"softmax", [](const Tensor& x) { return Square(Softmax(x)); },
+                  -2.0f, 2.0f}),
+    [](const ::testing::TestParamInfo<UnaryCase>& info) {
+      return info.param.name;
+    });
+
+TEST(BinaryGradCheck, AddSubMulDivSameShape) {
+  Rng rng(7);
+  for (int which = 0; which < 4; ++which) {
+    Tensor a = Tensor::Rand({2, 2}, rng, 0.5f, 2.0f).set_requires_grad(true);
+    Tensor b = Tensor::Rand({2, 2}, rng, 0.5f, 2.0f).set_requires_grad(true);
+    auto fn = [which](const std::vector<Tensor>& in) {
+      switch (which) {
+        case 0: return Sum(Add(in[0], in[1]));
+        case 1: return Sum(Sub(in[0], in[1]));
+        case 2: return Sum(Mul(in[0], in[1]));
+        default: return Sum(Div(in[0], in[1]));
+      }
+    };
+    const auto result = CheckGradients(fn, {a, b});
+    EXPECT_TRUE(result.ok) << "binary op " << which
+                           << " max_rel_error=" << result.max_rel_error;
+  }
+}
+
+TEST(BinaryGradCheck, BroadcastLastDim) {
+  Rng rng(11);
+  Tensor a = Tensor::Rand({3, 4}, rng, -1.0f, 1.0f).set_requires_grad(true);
+  Tensor b = Tensor::Rand({4}, rng, 0.5f, 1.5f).set_requires_grad(true);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return Sum(Square(Mul(in[0], in[1])));
+  };
+  EXPECT_TRUE(CheckGradients(fn, {a, b}).ok);
+}
+
+TEST(BinaryGradCheck, BroadcastScalar) {
+  Rng rng(13);
+  Tensor a = Tensor::Rand({2, 3}, rng, -1.0f, 1.0f).set_requires_grad(true);
+  Tensor s = Tensor::Rand({1}, rng, 0.5f, 1.5f).set_requires_grad(true);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return Sum(Square(Add(in[0], in[1])));
+  };
+  EXPECT_TRUE(CheckGradients(fn, {a, s}).ok);
+}
+
+TEST(MatMulGradCheck, TwoDee) {
+  Rng rng(17);
+  Tensor a = Tensor::Rand({3, 4}, rng, -1.0f, 1.0f).set_requires_grad(true);
+  Tensor b = Tensor::Rand({4, 2}, rng, -1.0f, 1.0f).set_requires_grad(true);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return Sum(Square(MatMul(in[0], in[1])));
+  };
+  EXPECT_TRUE(CheckGradients(fn, {a, b}).ok);
+}
+
+TEST(MatMulGradCheck, Batched) {
+  Rng rng(19);
+  Tensor a = Tensor::Rand({2, 2, 3}, rng, -1.0f, 1.0f).set_requires_grad(true);
+  Tensor b = Tensor::Rand({2, 3, 2}, rng, -1.0f, 1.0f).set_requires_grad(true);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return Sum(Square(BatchMatMul(in[0], in[1])));
+  };
+  EXPECT_TRUE(CheckGradients(fn, {a, b}).ok);
+}
+
+TEST(ShapeOpsGradCheck, ReshapeTransposePermute) {
+  Rng rng(23);
+  Tensor a = Tensor::Rand({2, 3, 4}, rng, -1.0f, 1.0f).set_requires_grad(true);
+  auto fn = [](const std::vector<Tensor>& in) {
+    Tensor p = Permute3(in[0], 2, 0, 1);        // [4,2,3]
+    Tensor r = Reshape(p, {4, 6});
+    Tensor t = Transpose2D(r);                  // [6,4]
+    return Sum(Square(t));
+  };
+  EXPECT_TRUE(CheckGradients(fn, {a}).ok);
+}
+
+TEST(ShapeOpsGradCheck, ConcatSliceGather) {
+  Rng rng(29);
+  Tensor a = Tensor::Rand({2, 3}, rng, -1.0f, 1.0f).set_requires_grad(true);
+  Tensor b = Tensor::Rand({2, 3}, rng, -1.0f, 1.0f).set_requires_grad(true);
+  auto fn = [](const std::vector<Tensor>& in) {
+    Tensor c = Concat({in[0], in[1]}, 0);       // [4,3]
+    Tensor g = Gather(c, {0, 3, 3});            // duplicated row exercises scatter-add
+    Tensor s = SliceCols(g, 1, 3);
+    return Sum(Square(s));
+  };
+  EXPECT_TRUE(CheckGradients(fn, {a, b}).ok);
+}
+
+TEST(LayerNormGradCheck, InputGammaBeta) {
+  Rng rng(31);
+  Tensor x = Tensor::Rand({3, 4}, rng, -1.0f, 1.0f).set_requires_grad(true);
+  Tensor gamma = Tensor::Rand({4}, rng, 0.5f, 1.5f).set_requires_grad(true);
+  Tensor beta = Tensor::Rand({4}, rng, -0.5f, 0.5f).set_requires_grad(true);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return Sum(Square(LayerNormOp(in[0], in[1], in[2])));
+  };
+  const auto result = CheckGradients(fn, {x, gamma, beta}, 1e-2, 8e-2);
+  EXPECT_TRUE(result.ok) << "max_rel_error=" << result.max_rel_error;
+}
+
+TEST(LossGradCheck, AllLosses) {
+  Rng rng(37);
+  Tensor p = Tensor::Rand({4}, rng, -1.0f, 1.0f).set_requires_grad(true);
+  Tensor t = Tensor::Rand({4}, rng, -1.0f, 1.0f);
+  for (int which = 0; which < 3; ++which) {
+    auto fn = [which, &t](const std::vector<Tensor>& in) {
+      switch (which) {
+        case 0: return MseLoss(in[0], t);
+        case 1: return L1Loss(in[0], t);
+        default: return SmoothL1Loss(in[0], t, 0.5f);
+      }
+    };
+    EXPECT_TRUE(CheckGradients(fn, {p}).ok) << "loss " << which;
+  }
+}
+
+// --- Shape sweeps: the same gradchecks across a grid of tensor shapes -------
+
+struct ShapeCase {
+  std::string name;
+  std::vector<int64_t> shape;
+};
+
+class ShapeSweepGradCheck : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(ShapeSweepGradCheck, SoftmaxAndLayerNorm) {
+  Rng rng(101);
+  const auto& shape = GetParam().shape;
+  Tensor x = Tensor::Rand(shape, rng, -1.5f, 1.5f).set_requires_grad(true);
+  auto softmax_fn = [](const std::vector<Tensor>& in) {
+    return Sum(Square(Softmax(in[0])));
+  };
+  EXPECT_TRUE(CheckGradients(softmax_fn, {x}).ok) << "softmax " << GetParam().name;
+
+  const int64_t last = shape.back();
+  Tensor x2 = Tensor::Rand(shape, rng, -1.5f, 1.5f).set_requires_grad(true);
+  Tensor gamma = Tensor::Rand({last}, rng, 0.5f, 1.5f).set_requires_grad(true);
+  Tensor beta = Tensor::Rand({last}, rng, -0.5f, 0.5f).set_requires_grad(true);
+  auto ln_fn = [](const std::vector<Tensor>& in) {
+    return Sum(Square(LayerNormOp(in[0], in[1], in[2])));
+  };
+  EXPECT_TRUE(CheckGradients(ln_fn, {x2, gamma, beta}, 1e-2, 1e-1).ok)
+      << "layernorm " << GetParam().name;
+}
+
+TEST_P(ShapeSweepGradCheck, ElementwiseChain) {
+  Rng rng(102);
+  Tensor x = Tensor::Rand(GetParam().shape, rng, 0.2f, 1.2f).set_requires_grad(true);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return Mean(Mul(Tanh(in[0]), Sigmoid(Sqrt(in[0]))));
+  };
+  EXPECT_TRUE(CheckGradients(fn, {x}).ok) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeSweepGradCheck,
+    ::testing::Values(ShapeCase{"vec3", {3}}, ShapeCase{"vec8", {8}},
+                      ShapeCase{"mat1x4", {1, 4}}, ShapeCase{"mat4x1", {4, 1}},
+                      ShapeCase{"mat3x5", {3, 5}},
+                      ShapeCase{"cube2x3x2", {2, 3, 2}},
+                      ShapeCase{"cube1x1x6", {1, 1, 6}}),
+    [](const ::testing::TestParamInfo<ShapeCase>& info) {
+      return info.param.name;
+    });
+
+struct MatShapeCase {
+  std::string name;
+  int64_t m, k, n;
+};
+
+class MatMulShapeSweep : public ::testing::TestWithParam<MatShapeCase> {};
+
+TEST_P(MatMulShapeSweep, Gradcheck) {
+  Rng rng(103);
+  const auto& p = GetParam();
+  Tensor a = Tensor::Rand({p.m, p.k}, rng, -1.0f, 1.0f).set_requires_grad(true);
+  Tensor b = Tensor::Rand({p.k, p.n}, rng, -1.0f, 1.0f).set_requires_grad(true);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return Sum(Square(MatMul(in[0], in[1])));
+  };
+  EXPECT_TRUE(CheckGradients(fn, {a, b}).ok) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulShapeSweep,
+    ::testing::Values(MatShapeCase{"square2", 2, 2, 2},
+                      MatShapeCase{"tall", 5, 2, 3},
+                      MatShapeCase{"wide", 2, 5, 2},
+                      MatShapeCase{"rowvec", 1, 4, 3},
+                      MatShapeCase{"colvec", 3, 4, 1},
+                      MatShapeCase{"inner1", 3, 1, 3}),
+    [](const ::testing::TestParamInfo<MatShapeCase>& info) {
+      return info.param.name;
+    });
+
+TEST(CompositeGradCheck, SmallMlpLikeGraph) {
+  Rng rng(41);
+  Tensor x = Tensor::Rand({2, 3}, rng, -1.0f, 1.0f);
+  Tensor w1 = Tensor::Rand({3, 4}, rng, -0.5f, 0.5f).set_requires_grad(true);
+  Tensor b1 = Tensor::Rand({4}, rng, -0.1f, 0.1f).set_requires_grad(true);
+  Tensor w2 = Tensor::Rand({4, 1}, rng, -0.5f, 0.5f).set_requires_grad(true);
+  auto fn = [&x](const std::vector<Tensor>& in) {
+    Tensor h = Gelu(Add(MatMul(x, in[0]), in[1]));
+    return Sum(Square(MatMul(h, in[2])));
+  };
+  EXPECT_TRUE(CheckGradients(fn, {w1, b1, w2}).ok);
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace chainsformer

@@ -1,0 +1,181 @@
+#include "core/numerical_reasoner.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace chainsformer {
+namespace core {
+namespace {
+
+ChainsFormerConfig Config(ProjectionMode mode, bool weighting = true) {
+  ChainsFormerConfig c;
+  c.hidden_dim = 8;
+  c.reasoner_layers = 1;
+  c.num_heads = 2;
+  c.projection = mode;
+  c.use_chain_weighting = weighting;
+  return c;
+}
+
+std::vector<tensor::Tensor> SomeReps(int k, int d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<tensor::Tensor> reps;
+  for (int i = 0; i < k; ++i) {
+    reps.push_back(tensor::Tensor::Randn({d}, rng, 0.5f));
+  }
+  return reps;
+}
+
+TEST(NumericalReasonerTest, WeightsFormDistribution) {
+  Rng rng(1);
+  NumericalReasoner reasoner(Config(ProjectionMode::kScaling), rng);
+  const auto reps = SomeReps(5, 8, 2);
+  const auto out = reasoner.Forward(reps, {0.1, 0.2, 0.3, 0.4, 0.5},
+                                    {1, 2, 3, 1, 2});
+  ASSERT_EQ(out.weights.numel(), 5);
+  double total = 0.0;
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_GT(out.weights.at(i), 0.0f);
+    total += out.weights.at(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-5);
+}
+
+TEST(NumericalReasonerTest, PredictionIsWeightedSumOfChainPredictions) {
+  Rng rng(3);
+  NumericalReasoner reasoner(Config(ProjectionMode::kScaling), rng);
+  const auto reps = SomeReps(4, 8, 4);
+  const auto out = reasoner.Forward(reps, {0.2, 0.4, 0.6, 0.8}, {1, 1, 2, 3});
+  double manual = 0.0;
+  for (int64_t i = 0; i < 4; ++i) {
+    manual += static_cast<double>(out.weights.at(i)) * out.chain_predictions.at(i);
+  }
+  EXPECT_NEAR(out.prediction.item(), manual, 1e-5);
+}
+
+TEST(NumericalReasonerTest, UniformWeightsWhenWeightingDisabled) {
+  Rng rng(5);
+  NumericalReasoner reasoner(Config(ProjectionMode::kScaling, false), rng);
+  const auto reps = SomeReps(4, 8, 6);
+  const auto out = reasoner.Forward(reps, {0.2, 0.4, 0.6, 0.8}, {1, 1, 2, 3});
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(out.weights.at(i), 0.25f);
+}
+
+TEST(NumericalReasonerTest, SingleChainGetsFullWeight) {
+  Rng rng(7);
+  NumericalReasoner reasoner(Config(ProjectionMode::kScaling), rng);
+  const auto reps = SomeReps(1, 8, 8);
+  const auto out = reasoner.Forward(reps, {0.5}, {2});
+  EXPECT_FLOAT_EQ(out.weights.at(0), 1.0f);
+}
+
+TEST(NumericalReasonerTest, ScalingProjectionProportionalToValue) {
+  // n̂ = α(ẽ) * n_p: doubling the evidence value doubles the chain prediction
+  // because α depends only on the representation.
+  Rng rng(9);
+  NumericalReasoner reasoner(Config(ProjectionMode::kScaling), rng);
+  const auto reps = SomeReps(1, 8, 10);
+  const auto out1 = reasoner.Forward(reps, {0.3}, {1});
+  const auto out2 = reasoner.Forward(reps, {0.6}, {1});
+  EXPECT_NEAR(out2.chain_predictions.at(0), 2.0f * out1.chain_predictions.at(0),
+              1e-5);
+}
+
+TEST(NumericalReasonerTest, TranslationProjectionShiftInvariant) {
+  // n̂ = n_p + β(ẽ): shifting the evidence shifts the prediction equally.
+  Rng rng(11);
+  NumericalReasoner reasoner(Config(ProjectionMode::kTranslation), rng);
+  const auto reps = SomeReps(1, 8, 12);
+  const auto out1 = reasoner.Forward(reps, {0.3}, {1});
+  const auto out2 = reasoner.Forward(reps, {0.5}, {1});
+  EXPECT_NEAR(out2.chain_predictions.at(0) - out1.chain_predictions.at(0), 0.2f,
+              1e-5);
+}
+
+TEST(NumericalReasonerTest, DirectProjectionIgnoresValue) {
+  Rng rng(13);
+  NumericalReasoner reasoner(Config(ProjectionMode::kDirect), rng);
+  const auto reps = SomeReps(1, 8, 14);
+  const auto out1 = reasoner.Forward(reps, {0.3}, {1});
+  const auto out2 = reasoner.Forward(reps, {0.9}, {1});
+  EXPECT_FLOAT_EQ(out1.chain_predictions.at(0), out2.chain_predictions.at(0));
+}
+
+TEST(NumericalReasonerTest, CombinedProjectionFiniteAndValueSensitive) {
+  Rng rng(15);
+  NumericalReasoner reasoner(Config(ProjectionMode::kCombined), rng);
+  const auto reps = SomeReps(3, 8, 16);
+  const auto out = reasoner.Forward(reps, {0.1, 0.5, 0.9}, {1, 2, 3});
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isfinite(out.chain_predictions.at(i)));
+  }
+  const auto out2 = reasoner.Forward(reps, {0.2, 0.6, 1.0}, {1, 2, 3});
+  EXPECT_NE(out.prediction.item(), out2.prediction.item());
+}
+
+TEST(NumericalReasonerTest, LengthEncodingInfluencesWeights) {
+  Rng rng(17);
+  NumericalReasoner reasoner(Config(ProjectionMode::kScaling), rng);
+  const auto reps = SomeReps(3, 8, 18);
+  const auto out1 = reasoner.Forward(reps, {0.5, 0.5, 0.5}, {1, 1, 1});
+  const auto out2 = reasoner.Forward(reps, {0.5, 0.5, 0.5}, {1, 2, 3});
+  double diff = 0.0;
+  for (int64_t i = 0; i < 3; ++i) {
+    diff += std::fabs(out1.weights.at(i) - out2.weights.at(i));
+  }
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(NumericalReasonerTest, ChainOrderIrrelevance) {
+  // Paper §IV-E: "Positional encoding is omitted as the order of logic
+  // chains is not crucial." Permuting the chains must permute the weights
+  // and leave the aggregated prediction unchanged.
+  Rng rng(23);
+  NumericalReasoner reasoner(Config(ProjectionMode::kScaling), rng);
+  auto reps = SomeReps(4, 8, 24);
+  std::vector<double> values = {0.1, 0.3, 0.5, 0.7};
+  std::vector<int64_t> lengths = {1, 2, 3, 1};
+  const auto out = reasoner.Forward(reps, values, lengths);
+
+  // Reverse the chain order.
+  std::vector<tensor::Tensor> r_reps(reps.rbegin(), reps.rend());
+  std::vector<double> r_values(values.rbegin(), values.rend());
+  std::vector<int64_t> r_lengths(lengths.rbegin(), lengths.rend());
+  const auto r_out = reasoner.Forward(r_reps, r_values, r_lengths);
+
+  EXPECT_NEAR(out.prediction.item(), r_out.prediction.item(), 1e-4);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(out.weights.at(i), r_out.weights.at(3 - i), 1e-4);
+  }
+}
+
+TEST(NumericalReasonerTest, GradientsReachAllParameters) {
+  Rng rng(19);
+  NumericalReasoner reasoner(Config(ProjectionMode::kCombined), rng);
+  std::vector<tensor::Tensor> reps;
+  Rng rrng(20);
+  for (int i = 0; i < 3; ++i) {
+    reps.push_back(tensor::Tensor::Randn({8}, rrng, 0.5f).set_requires_grad(true));
+  }
+  const auto out = reasoner.Forward(reps, {0.2, 0.5, 0.7}, {1, 2, 2});
+  tensor::Tensor loss = tensor::Square(out.prediction);
+  loss.Backward();
+  double total = 0.0;
+  for (const auto& p : reasoner.Parameters()) {
+    for (float g : p.grad()) total += std::fabs(g);
+  }
+  EXPECT_GT(total, 0.0);
+  // Gradients also reach the chain representations (and hence the encoder).
+  double rep_grad = 0.0;
+  for (const auto& r : reps) {
+    for (float g : r.grad()) rep_grad += std::fabs(g);
+  }
+  EXPECT_GT(rep_grad, 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace chainsformer

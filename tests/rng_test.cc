@@ -1,0 +1,146 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace chainsformer {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, UniformIntWithinRange) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(7u), 7u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(23);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(5u));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(29);
+  int heads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) heads += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<size_t>(i)] = i;
+  auto shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(37);
+  std::vector<double> w = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, ForkIndependentOfParentContinuation) {
+  Rng a(41);
+  Rng fork = a.Fork();
+  // The fork's stream must not simply mirror the parent's.
+  int same = 0;
+  for (int i = 0; i < 50; ++i) same += (a.Next() == fork.Next());
+  EXPECT_LT(same, 2);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformStaysInRangeForAnySeed) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ull, 1ull, 42ull, 0xFFFFFFFFFFFFFFFFull,
+                                           0xDEADBEEFull));
+
+}  // namespace
+}  // namespace chainsformer

@@ -1,0 +1,74 @@
+#include "tensor/serialize.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "tensor/nn.h"
+#include "util/rng.h"
+
+namespace chainsformer {
+namespace tensor {
+namespace {
+
+TEST(SerializeTest, RoundTripPreservesData) {
+  Rng rng(1);
+  std::vector<Tensor> original = {Tensor::Randn({3, 4}, rng),
+                                  Tensor::Randn({7}, rng),
+                                  Tensor::Randn({2, 2, 2}, rng)};
+  const std::string path = "/tmp/cf_serialize_test.bin";
+  ASSERT_TRUE(SaveTensors(path, original));
+
+  std::vector<Tensor> loaded = {Tensor::Zeros({3, 4}), Tensor::Zeros({7}),
+                                Tensor::Zeros({2, 2, 2})};
+  ASSERT_TRUE(LoadTensors(path, loaded));
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].data(), original[i].data());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsShapeMismatch) {
+  Rng rng(2);
+  std::vector<Tensor> original = {Tensor::Randn({3, 4}, rng)};
+  const std::string path = "/tmp/cf_serialize_mismatch.bin";
+  ASSERT_TRUE(SaveTensors(path, original));
+  std::vector<Tensor> wrong_shape = {Tensor::Zeros({4, 3})};
+  EXPECT_FALSE(LoadTensors(path, wrong_shape));
+  std::vector<Tensor> wrong_count = {Tensor::Zeros({3, 4}), Tensor::Zeros({1})};
+  EXPECT_FALSE(LoadTensors(path, wrong_count));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsMissingOrCorruptFile) {
+  std::vector<Tensor> t = {Tensor::Zeros({2})};
+  EXPECT_FALSE(LoadTensors("/tmp/cf_does_not_exist.bin", t));
+  const std::string path = "/tmp/cf_corrupt.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("garbage", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadTensors(path, t));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ModuleParametersRoundTrip) {
+  Rng rng(3);
+  nn::Mlp source({4, 8, 2}, rng);
+  nn::Mlp target({4, 8, 2}, rng);  // different init
+  const std::string path = "/tmp/cf_module_roundtrip.bin";
+  ASSERT_TRUE(SaveTensors(path, source.Parameters()));
+  auto target_params = target.Parameters();
+  ASSERT_TRUE(LoadTensors(path, target_params));
+  // Loading in place mutates the module's shared parameter storage.
+  Tensor x = Tensor::Ones({4});
+  Tensor ys = source.Forward(x);
+  Tensor yt = target.Forward(x);
+  EXPECT_EQ(ys.data(), yt.data());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace chainsformer

@@ -1,0 +1,77 @@
+#include "eval/significance.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace chainsformer {
+namespace eval {
+namespace {
+
+TEST(SignificanceTest, IdenticalErrorsNotSignificant) {
+  std::vector<double> errs(100, 1.0);
+  const BootstrapResult r = PairedBootstrap(errs, errs);
+  EXPECT_DOUBLE_EQ(r.mean_diff, 0.0);
+  EXPECT_FALSE(r.significant_at_05());
+}
+
+TEST(SignificanceTest, ClearlySeparatedMethodsSignificant) {
+  Rng rng(1);
+  std::vector<double> a(200), b(200);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = 1.0 + rng.Normal(0.0, 0.1);   // worse method
+    b[i] = 0.5 + rng.Normal(0.0, 0.1);   // better method
+  }
+  const BootstrapResult r = PairedBootstrap(a, b);
+  EXPECT_GT(r.mean_diff, 0.4);
+  EXPECT_TRUE(r.significant_at_05());
+  EXPECT_GT(r.ci_low, 0.0);  // CI excludes zero
+}
+
+TEST(SignificanceTest, NoisyEqualMethodsNotSignificant) {
+  Rng rng(2);
+  std::vector<double> a(100), b(100);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = 1.0 + rng.Normal(0.0, 0.5);
+    b[i] = 1.0 + rng.Normal(0.0, 0.5);
+  }
+  const BootstrapResult r = PairedBootstrap(a, b);
+  EXPECT_FALSE(r.significant_at_05());
+  EXPECT_LE(r.ci_low, 0.0);
+  EXPECT_GE(r.ci_high, 0.0);
+}
+
+TEST(SignificanceTest, ConfidenceIntervalBracketsMean) {
+  Rng rng(3);
+  std::vector<double> a(150), b(150);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Uniform(0.0, 2.0);
+    b[i] = rng.Uniform(0.0, 2.0);
+  }
+  const BootstrapResult r = PairedBootstrap(a, b);
+  EXPECT_LE(r.ci_low, r.mean_diff);
+  EXPECT_GE(r.ci_high, r.mean_diff);
+}
+
+TEST(SignificanceTest, DeterministicForSeed) {
+  Rng rng(4);
+  std::vector<double> a(50), b(50);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Uniform();
+    b[i] = rng.Uniform();
+  }
+  const BootstrapResult r1 = PairedBootstrap(a, b, 500, 42);
+  const BootstrapResult r2 = PairedBootstrap(a, b, 500, 42);
+  EXPECT_DOUBLE_EQ(r1.p_value, r2.p_value);
+  EXPECT_DOUBLE_EQ(r1.ci_low, r2.ci_low);
+}
+
+TEST(SignificanceTest, SingleSampleEdgeCase) {
+  const BootstrapResult r = PairedBootstrap({1.0}, {0.5}, 100);
+  EXPECT_DOUBLE_EQ(r.mean_diff, 0.5);
+  EXPECT_DOUBLE_EQ(r.ci_low, r.ci_high);  // only one possible resample
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace chainsformer

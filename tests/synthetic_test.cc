@@ -1,0 +1,194 @@
+#include "kg/synthetic.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace chainsformer {
+namespace kg {
+namespace {
+
+double PearsonCorrelation(const std::vector<std::pair<double, double>>& pairs) {
+  const double n = static_cast<double>(pairs.size());
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (const auto& [x, y] : pairs) {
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+  }
+  const double cov = sxy / n - sx / n * sy / n;
+  const double vx = sxx / n - sx / n * sx / n;
+  const double vy = syy / n - sy / n * sy / n;
+  return cov / std::sqrt(std::max(vx * vy, 1e-12));
+}
+
+class SyntheticDatasetTest : public ::testing::Test {
+ protected:
+  static const Dataset& Yago() {
+    static const Dataset* ds = new Dataset(MakeYago15kLike({.scale = 0.06}));
+    return *ds;
+  }
+  static const Dataset& Fb() {
+    static const Dataset* ds = new Dataset(MakeFb15k237Like({.scale = 0.06}));
+    return *ds;
+  }
+};
+
+TEST_F(SyntheticDatasetTest, YagoHasPaperAttributeSchema) {
+  const auto& g = Yago().graph;
+  EXPECT_EQ(g.num_attributes(), 7);
+  for (const char* name : {"birth", "death", "created", "destroyed", "happened",
+                           "latitude", "longitude"}) {
+    EXPECT_GE(g.FindAttribute(name), 0) << name;
+  }
+}
+
+TEST_F(SyntheticDatasetTest, FbHasPaperAttributeSchema) {
+  const auto& g = Fb().graph;
+  EXPECT_EQ(g.num_attributes(), 11);
+  for (const char* name :
+       {"birth", "death", "film_release", "org_founded", "loc_founded",
+        "latitude", "longitude", "area", "population", "height", "weight"}) {
+    EXPECT_GE(g.FindAttribute(name), 0) << name;
+  }
+}
+
+TEST_F(SyntheticDatasetTest, ScaleControlsSize) {
+  const Dataset small = MakeYago15kLike({.scale = 0.03});
+  EXPECT_GT(Yago().graph.num_entities(), small.graph.num_entities());
+  EXPECT_GT(small.graph.num_entities(), 100);
+}
+
+TEST_F(SyntheticDatasetTest, ValueRangesWithinTableII) {
+  const auto& g = Fb().graph;
+  const auto& stats = g.attribute_stats();
+  const auto height = g.FindAttribute("height");
+  EXPECT_GE(stats[static_cast<size_t>(height)].min, 1.34);
+  EXPECT_LE(stats[static_cast<size_t>(height)].max, 2.18);
+  const auto pop = g.FindAttribute("population");
+  EXPECT_LE(stats[static_cast<size_t>(pop)].max, 3.1e9);
+  EXPECT_GE(stats[static_cast<size_t>(pop)].min, 1.0);
+  const auto lat = g.FindAttribute("latitude");
+  EXPECT_GE(stats[static_cast<size_t>(lat)].min, -90.0);
+  EXPECT_LE(stats[static_cast<size_t>(lat)].max, 90.0);
+}
+
+TEST_F(SyntheticDatasetTest, EveryEntityConnected) {
+  const auto& g = Yago().graph;
+  int isolated = 0;
+  for (EntityId e = 0; e < g.num_entities(); ++e) {
+    if (g.Degree(e) == 0) ++isolated;
+  }
+  // The generator links every person/place/work/org by construction; a tiny
+  // number of isolates would break retrieval silently.
+  EXPECT_LT(isolated, g.num_entities() / 50);
+}
+
+TEST_F(SyntheticDatasetTest, SplitsAreProper) {
+  const auto& ds = Fb();
+  const size_t total = ds.graph.numerical_triples().size();
+  EXPECT_EQ(ds.split.train.size() + ds.split.valid.size() + ds.split.test.size(),
+            total);
+  EXPECT_GT(ds.split.train.size(), total * 7 / 10);
+  EXPECT_GT(ds.split.test.size(), 0u);
+}
+
+TEST_F(SyntheticDatasetTest, SiblingBirthCorrelationPlanted) {
+  // The paper's key chain (sibling, birth) must carry real signal.
+  const auto& g = Fb().graph;
+  const auto birth = g.FindAttribute("birth");
+  const auto sibling = g.FindRelation("sibling");
+  std::vector<std::pair<double, double>> pairs;
+  for (const auto& t : g.relational_triples()) {
+    if (t.relation != sibling) continue;
+    double vh = 0.0, vt = 0.0;
+    if (g.GetAttribute(t.head, birth, &vh) && g.GetAttribute(t.tail, birth, &vt)) {
+      pairs.emplace_back(vh, vt);
+    }
+  }
+  ASSERT_GT(pairs.size(), 20u);
+  EXPECT_GT(PearsonCorrelation(pairs), 0.8);
+}
+
+TEST_F(SyntheticDatasetTest, RegionGeographyCorrelationPlanted) {
+  // (has_neighbor, latitude): neighbors share regional coordinates.
+  const auto& g = Yago().graph;
+  const auto lat = g.FindAttribute("latitude");
+  const auto neighbor = g.FindRelation("has_neighbor");
+  std::vector<std::pair<double, double>> pairs;
+  for (const auto& t : g.relational_triples()) {
+    if (t.relation != neighbor) continue;
+    double vh = 0.0, vt = 0.0;
+    if (g.GetAttribute(t.head, lat, &vh) && g.GetAttribute(t.tail, lat, &vt)) {
+      pairs.emplace_back(vh, vt);
+    }
+  }
+  ASSERT_GT(pairs.size(), 20u);
+  EXPECT_GT(PearsonCorrelation(pairs), 0.8);
+}
+
+TEST_F(SyntheticDatasetTest, FilmReleaseTracksDirectorBirth) {
+  // (film, birth) shifted by a generation: release ≈ birth + ~38.
+  const auto& g = Fb().graph;
+  const auto birth = g.FindAttribute("birth");
+  const auto release = g.FindAttribute("film_release");
+  const auto film = g.FindRelation("film");
+  std::vector<std::pair<double, double>> pairs;
+  for (const auto& t : g.relational_triples()) {
+    if (t.relation != film) continue;
+    double b = 0.0, r = 0.0;
+    if (g.GetAttribute(t.head, birth, &b) && g.GetAttribute(t.tail, release, &r)) {
+      pairs.emplace_back(b, r);
+    }
+  }
+  ASSERT_GT(pairs.size(), 10u);
+  double mean_gap = 0.0;
+  for (const auto& [b, r] : pairs) mean_gap += r - b;
+  mean_gap /= static_cast<double>(pairs.size());
+  EXPECT_GT(mean_gap, 15.0);
+  EXPECT_LT(mean_gap, 60.0);
+}
+
+TEST_F(SyntheticDatasetTest, DeterministicGivenSeed) {
+  const Dataset a = MakeYago15kLike({.scale = 0.03, .seed = 9});
+  const Dataset b = MakeYago15kLike({.scale = 0.03, .seed = 9});
+  EXPECT_EQ(a.graph.num_entities(), b.graph.num_entities());
+  EXPECT_EQ(a.graph.relational_triples().size(), b.graph.relational_triples().size());
+  ASSERT_EQ(a.graph.numerical_triples().size(), b.graph.numerical_triples().size());
+  for (size_t i = 0; i < a.graph.numerical_triples().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.graph.numerical_triples()[i].value,
+                     b.graph.numerical_triples()[i].value);
+  }
+}
+
+TEST_F(SyntheticDatasetTest, DifferentSeedsDiffer) {
+  const Dataset a = MakeYago15kLike({.scale = 0.03, .seed = 1});
+  const Dataset b = MakeYago15kLike({.scale = 0.03, .seed = 2});
+  bool any_diff = a.graph.numerical_triples().size() !=
+                  b.graph.numerical_triples().size();
+  if (!any_diff) {
+    for (size_t i = 0; i < a.graph.numerical_triples().size(); ++i) {
+      if (a.graph.numerical_triples()[i].value !=
+          b.graph.numerical_triples()[i].value) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ToyDatasetTest, StructureAsDocumented) {
+  const Dataset ds = MakeToyDataset();
+  EXPECT_EQ(ds.graph.num_entities(), 6);
+  EXPECT_EQ(ds.graph.num_attributes(), 2);
+  EXPECT_EQ(ds.graph.numerical_triples().size(), 6u);
+  EXPECT_TRUE(ds.graph.finalized());
+}
+
+}  // namespace
+}  // namespace kg
+}  // namespace chainsformer

@@ -1,0 +1,284 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace chainsformer {
+namespace tensor {
+namespace {
+
+TEST(TensorTest, ZerosShapeAndValues) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.dim(), 2);
+  EXPECT_EQ(t.numel(), 6);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, FullAndScalar) {
+  Tensor t = Tensor::Full({4}, 2.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 2.5f);
+  EXPECT_FLOAT_EQ(Tensor::Scalar(7.0f).item(), 7.0f);
+}
+
+TEST(TensorTest, FromVectorAndAccessors) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 1), 4.0f);
+  t.set(1, 0, 9.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 9.0f);
+}
+
+TEST(TensorTest, Rank3Access) {
+  Tensor t = Tensor::FromVector({2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_FLOAT_EQ(t.at(1, 0, 1), 5.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 1, 0), 2.0f);
+}
+
+TEST(TensorTest, RandnDeterministicBySeed) {
+  Rng a(5), b(5);
+  Tensor x = Tensor::Randn({3, 3}, a);
+  Tensor y = Tensor::Randn({3, 3}, b);
+  EXPECT_EQ(x.data(), y.data());
+}
+
+TEST(TensorTest, SizeNegativeAxis) {
+  Tensor t = Tensor::Zeros({2, 5});
+  EXPECT_EQ(t.size(-1), 5);
+  EXPECT_EQ(t.size(-2), 2);
+}
+
+TEST(TensorTest, BackwardOnSimpleGraph) {
+  // y = sum(x * x); dy/dx = 2x.
+  Tensor x = Tensor::FromVector({3}, {1, 2, 3}).set_requires_grad(true);
+  Tensor y = Sum(Square(x));
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 4.0f);
+  EXPECT_FLOAT_EQ(x.grad()[2], 6.0f);
+}
+
+TEST(TensorTest, BackwardAccumulatesAcrossCalls) {
+  Tensor x = Tensor::FromVector({1}, {2.0f}).set_requires_grad(true);
+  Tensor y1 = Square(x);
+  y1.Backward();
+  Tensor y2 = Square(x);
+  y2.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 8.0f);  // 4 + 4
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(TensorTest, DiamondGraphGradient) {
+  // y = a*b + a; dy/da = b + 1, dy/db = a — the node `a` feeds two paths.
+  Tensor a = Tensor::FromVector({1}, {3.0f}).set_requires_grad(true);
+  Tensor b = Tensor::FromVector({1}, {5.0f}).set_requires_grad(true);
+  Tensor y = Add(Mul(a, b), a);
+  y.Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 6.0f);
+  EXPECT_FLOAT_EQ(b.grad()[0], 3.0f);
+}
+
+TEST(TensorTest, NoGradGuardDisablesTape) {
+  Tensor x = Tensor::FromVector({2}, {1, 2}).set_requires_grad(true);
+  NoGradGuard guard;
+  Tensor y = Square(x);
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_TRUE(y.impl()->parents.empty());
+}
+
+TEST(TensorTest, DetachCutsHistory) {
+  Tensor x = Tensor::FromVector({2}, {1, 2}).set_requires_grad(true);
+  Tensor y = Detach(Square(x));
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_FLOAT_EQ(y.at(1), 4.0f);
+}
+
+TEST(TensorTest, DebugStringMentionsShape) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_NE(t.DebugString().find("[2,3]"), std::string::npos);
+}
+
+TEST(TensorOpsTest, ReshapePreservesOrder) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Reshape(t, {3, 2});
+  EXPECT_FLOAT_EQ(r.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(r.at(2, 1), 6.0f);
+}
+
+TEST(TensorOpsTest, Transpose2D) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor tt = Transpose2D(t);
+  EXPECT_EQ(tt.size(0), 3);
+  EXPECT_EQ(tt.size(1), 2);
+  EXPECT_FLOAT_EQ(tt.at(2, 0), 3.0f);
+  EXPECT_FLOAT_EQ(tt.at(0, 1), 4.0f);
+}
+
+TEST(TensorOpsTest, MatMulKnownValues) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {5, 6, 7, 8});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(TensorOpsTest, BatchMatMulMatchesPerBatchMatMul) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({2, 3, 4}, rng);
+  Tensor b = Tensor::Randn({2, 4, 5}, rng);
+  Tensor c = BatchMatMul(a, b);
+  for (int64_t bb = 0; bb < 2; ++bb) {
+    Tensor a2 = Reshape(SliceRows(a, bb, bb + 1), {3, 4});
+    Tensor b2 = Reshape(SliceRows(b, bb, bb + 1), {4, 5});
+    Tensor c2 = MatMul(a2, b2);
+    for (int64_t i = 0; i < 3; ++i) {
+      for (int64_t j = 0; j < 5; ++j) {
+        EXPECT_NEAR(c.at(bb, i, j), c2.at(i, j), 1e-5);
+      }
+    }
+  }
+}
+
+TEST(TensorOpsTest, Permute3Roundtrip) {
+  Rng rng(9);
+  Tensor a = Tensor::Randn({2, 3, 4}, rng);
+  Tensor p = Permute3(a, 2, 0, 1);  // [4, 2, 3]
+  EXPECT_EQ(p.size(0), 4);
+  EXPECT_EQ(p.size(1), 2);
+  EXPECT_EQ(p.size(2), 3);
+  EXPECT_FLOAT_EQ(p.at(1, 0, 2), a.at(0, 2, 1));
+  // Inverse permutation restores the original.
+  Tensor back = Permute3(p, 1, 2, 0);
+  EXPECT_EQ(back.data(), a.data());
+}
+
+TEST(TensorOpsTest, ConcatAxis0And1) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({1, 2}, {3, 4});
+  Tensor c0 = Concat({a, b}, 0);
+  EXPECT_EQ(c0.size(0), 2);
+  EXPECT_FLOAT_EQ(c0.at(1, 0), 3.0f);
+  Tensor c1 = Concat({a, b}, 1);
+  EXPECT_EQ(c1.size(1), 4);
+  EXPECT_FLOAT_EQ(c1.at(0, 2), 3.0f);
+}
+
+TEST(TensorOpsTest, StackRows) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  Tensor b = Tensor::FromVector({2}, {3, 4});
+  Tensor s = Stack({a, b});
+  EXPECT_EQ(s.size(0), 2);
+  EXPECT_EQ(s.size(1), 2);
+  EXPECT_FLOAT_EQ(s.at(1, 1), 4.0f);
+}
+
+TEST(TensorOpsTest, SliceRowsAndCols) {
+  Tensor t = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor r = SliceRows(t, 1, 3);
+  EXPECT_EQ(r.size(0), 2);
+  EXPECT_FLOAT_EQ(r.at(0, 0), 3.0f);
+  Tensor c = SliceCols(t, 1, 2);
+  EXPECT_EQ(c.size(1), 1);
+  EXPECT_FLOAT_EQ(c.at(2, 0), 6.0f);
+}
+
+TEST(TensorOpsTest, RowExtraction) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Row(t, 1);
+  EXPECT_EQ(r.dim(), 1);
+  EXPECT_FLOAT_EQ(r.at(2), 6.0f);
+}
+
+TEST(TensorOpsTest, GatherRows) {
+  Tensor table = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = Gather(table, {2, 0, 2});
+  EXPECT_EQ(g.size(0), 3);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(g.at(1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(g.at(2, 1), 6.0f);
+}
+
+TEST(TensorOpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(4);
+  Tensor t = Tensor::Randn({3, 5}, rng, 2.0f);
+  Tensor s = Softmax(t);
+  for (int64_t i = 0; i < 3; ++i) {
+    double total = 0.0;
+    for (int64_t j = 0; j < 5; ++j) {
+      EXPECT_GT(s.at(i, j), 0.0f);
+      total += s.at(i, j);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST(TensorOpsTest, SoftmaxNumericallyStableForLargeInputs) {
+  Tensor t = Tensor::FromVector({1, 3}, {1000.0f, 1000.0f, 1000.0f});
+  Tensor s = Softmax(t);
+  for (int64_t j = 0; j < 3; ++j) EXPECT_NEAR(s.at(0, j), 1.0f / 3.0f, 1e-5);
+}
+
+TEST(TensorOpsTest, BroadcastLastDim) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor bias = Tensor::FromVector({3}, {10, 20, 30});
+  Tensor c = Add(a, bias);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 2), 36.0f);
+}
+
+TEST(TensorOpsTest, BroadcastScalar) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor s = Tensor::Scalar(10.0f);
+  Tensor c = Mul(a, s);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 40.0f);
+}
+
+TEST(TensorOpsTest, ReductionOps) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(Sum(t).item(), 10.0f);
+  EXPECT_FLOAT_EQ(Mean(t).item(), 2.5f);
+  Tensor sl = SumLastDim(t);
+  EXPECT_FLOAT_EQ(sl.at(0), 3.0f);
+  EXPECT_FLOAT_EQ(sl.at(1), 7.0f);
+}
+
+TEST(TensorOpsTest, DotAndNorm) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3}, {4, 5, 6});
+  EXPECT_FLOAT_EQ(Dot(a, b).item(), 32.0f);
+  EXPECT_NEAR(Norm(Tensor::FromVector({2}, {3, 4})).item(), 5.0f, 1e-5);
+}
+
+TEST(TensorOpsTest, Losses) {
+  Tensor p = Tensor::FromVector({2}, {1.0f, 3.0f});
+  Tensor t = Tensor::FromVector({2}, {2.0f, 1.0f});
+  EXPECT_FLOAT_EQ(MseLoss(p, t).item(), 2.5f);   // (1 + 4) / 2
+  EXPECT_FLOAT_EQ(L1Loss(p, t).item(), 1.5f);    // (1 + 2) / 2
+}
+
+TEST(TensorOpsTest, SmoothL1MatchesRegimes) {
+  // |d| = 0.5 < delta=1: 0.5 * 0.25 = 0.125 ; |d| = 2 > 1: 2 - 0.5 = 1.5.
+  Tensor p = Tensor::FromVector({2}, {0.5f, 2.0f});
+  Tensor t = Tensor::Zeros({2});
+  EXPECT_NEAR(SmoothL1Loss(p, t, 1.0f).item(), (0.125f + 1.5f) / 2.0f, 1e-5);
+}
+
+TEST(TensorOpsTest, ClampValuesAndGradMask) {
+  Tensor x = Tensor::FromVector({3}, {-2.0f, 0.5f, 2.0f}).set_requires_grad(true);
+  Tensor y = Sum(Clamp(x, -1.0f, 1.0f));
+  EXPECT_FLOAT_EQ(y.item(), -1.0f + 0.5f + 1.0f);
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[2], 0.0f);
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace chainsformer

@@ -1,0 +1,97 @@
+#include "core/trace_export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "kg/synthetic.h"
+
+namespace chainsformer {
+namespace core {
+namespace {
+
+class TraceExportTest : public ::testing::Test {
+ protected:
+  static kg::Dataset MakeData() { return kg::MakeToyDataset(); }
+
+  static Explanation MakeExplanation(const kg::Dataset& ds) {
+    Explanation ex;
+    ex.prediction = 1963.5;
+    ex.has_evidence = true;
+    ex.toc_size = 10;
+    ex.filtered_size = 2;
+    RAChain c1;
+    c1.source_attribute = ds.graph.FindAttribute("birth");
+    c1.query_attribute = ds.graph.FindAttribute("birth");
+    c1.relations = {ds.graph.FindRelation("sibling")};
+    c1.source_value = 1962.0;
+    c1.source_entity = ds.graph.FindEntity("bob");
+    RAChain c2 = c1;
+    c2.source_value = 1965.0;
+    c2.source_entity = ds.graph.FindEntity("carol");
+    ex.weighted_chains = {{c1, 0.7}, {c2, 0.3}};
+    return ex;
+  }
+};
+
+TEST_F(TraceExportTest, DotContainsQueryAndEvidence) {
+  const kg::Dataset ds = MakeData();
+  const Query q{ds.graph.FindEntity("alice"), ds.graph.FindAttribute("birth")};
+  const std::string dot = ExplanationToDot(ds.graph, q, MakeExplanation(ds));
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"alice\""), std::string::npos);
+  EXPECT_NE(dot.find("\"bob\""), std::string::npos);
+  EXPECT_NE(dot.find("\"carol\""), std::string::npos);
+  EXPECT_NE(dot.find("sibling"), std::string::npos);
+  EXPECT_NE(dot.find("omega=0.700"), std::string::npos);
+  EXPECT_NE(dot.find("1963.50 (predicted)"), std::string::npos);
+}
+
+TEST_F(TraceExportTest, MaxChainsLimitsEdges) {
+  const kg::Dataset ds = MakeData();
+  const Query q{ds.graph.FindEntity("alice"), ds.graph.FindAttribute("birth")};
+  const std::string dot = ExplanationToDot(ds.graph, q, MakeExplanation(ds), 1);
+  EXPECT_NE(dot.find("\"bob\""), std::string::npos);
+  EXPECT_EQ(dot.find("\"carol\""), std::string::npos);
+}
+
+TEST_F(TraceExportTest, WritesFile) {
+  const kg::Dataset ds = MakeData();
+  const Query q{ds.graph.FindEntity("alice"), ds.graph.FindAttribute("birth")};
+  const std::string path = "/tmp/cf_trace_test.dot";
+  ASSERT_TRUE(WriteExplanationDot(path, ds.graph, q, MakeExplanation(ds)));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("digraph"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceExportTest, EscapesQuotes) {
+  kg::KnowledgeGraph g;
+  const auto e = g.AddEntity("weird\"name");
+  const auto other = g.AddEntity("x");
+  const auto rel = g.AddRelation("r");
+  const auto a = g.AddAttribute("a");
+  g.AddTriple(e, rel, other);
+  g.AddNumeric(other, a, 1.0);
+  g.Finalize();
+  Explanation ex;
+  ex.has_evidence = true;
+  ex.prediction = 1.0;
+  RAChain c;
+  c.source_attribute = a;
+  c.query_attribute = a;
+  c.relations = {rel};
+  c.source_value = 1.0;
+  c.source_entity = other;
+  ex.weighted_chains = {{c, 1.0}};
+  const std::string dot = ExplanationToDot(g, {e, a}, ex);
+  EXPECT_NE(dot.find("weird\\\"name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace chainsformer

@@ -1,0 +1,100 @@
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace chainsformer {
+namespace {
+
+TEST(StringUtilTest, SplitBasic) {
+  const auto parts = Split("a\tb\tc", '\t');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "-"), "x-y-z");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StringUtilTest, Strip) {
+  EXPECT_EQ(Strip("  hi \n"), "hi");
+  EXPECT_EQ(Strip(""), "");
+  EXPECT_EQ(Strip("   "), "");
+  EXPECT_EQ(Strip("a b"), "a b");
+}
+
+TEST(StringUtilTest, FormatMetricFixedForModerate) {
+  EXPECT_EQ(FormatMetric(3.14159, 3), "3.142");
+  EXPECT_EQ(FormatMetric(0.0, 3), "0.000");
+}
+
+TEST(StringUtilTest, FormatMetricScientificForExtremes) {
+  const std::string big = FormatMetric(1.7e8, 3);
+  EXPECT_NE(big.find('e'), std::string::npos);
+  const std::string small = FormatMetric(1e-6, 3);
+  EXPECT_NE(small.find('e'), std::string::npos);
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("chain_former", "chain"));
+  EXPECT_FALSE(StartsWith("chain", "chain_former"));
+}
+
+TEST(StopwatchTest, ElapsedMonotone) {
+  Stopwatch sw;
+  const double a = sw.ElapsedSeconds();
+  const double b = sw.ElapsedSeconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(ThreadPoolTest, RunsAllScheduledTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(64, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, WaitIsReentrant) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace chainsformer
