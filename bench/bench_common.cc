@@ -11,6 +11,7 @@
 #include "baselines/nap.h"
 #include "baselines/plm_reg.h"
 #include "baselines/simple.h"
+#include "tensor/kernels.h"
 #include "util/string_util.h"
 
 namespace chainsformer {
@@ -26,6 +27,10 @@ BenchOptions DefaultOptions() {
   options.dataset_scale *= mult;
   options.train_queries = static_cast<int>(options.train_queries * mult);
   options.eval_queries = static_cast<int>(options.eval_queries * mult);
+  if (const char* env = std::getenv("CF_KERNEL_THREADS")) {
+    options.kernel_threads = std::atoi(env);
+  }
+  tensor::kernels::SetKernelThreads(options.kernel_threads);
   return options;
 }
 
@@ -74,6 +79,7 @@ core::ChainsFormerConfig BenchConfig(const BenchOptions& options) {
   c.filter_pretrain_queries = 150;
   c.filter_pretrain_epochs = 1;
   c.learning_rate = 3.5e-3f;
+  c.kernel_threads = options.kernel_threads;
   c.seed = options.seed;
   return c;
 }

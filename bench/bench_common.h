@@ -24,9 +24,13 @@ struct BenchOptions {
   int train_queries = 320;
   int eval_queries = 400;
   int epochs = 10;
+  /// Dense-kernel worker threads (CF_KERNEL_THREADS; 0 = all cores).
+  int kernel_threads = 1;
 };
 
-/// Reads CF_BENCH_SCALE and returns calibrated options.
+/// Reads CF_BENCH_SCALE / CF_KERNEL_THREADS and returns calibrated options.
+/// Also applies kernel_threads process-wide so every bench target (including
+/// baselines that bypass ChainsFormerConfig) runs on the same kernel setup.
 BenchOptions DefaultOptions();
 
 /// The two synthetic benchmark datasets (cached per process).

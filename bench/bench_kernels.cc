@@ -1,0 +1,172 @@
+// Kernel-layer perf recorder. Times the blocked GEMM forward/backward
+// kernels against a replica of the seed's naive single-threaded MatMul loop
+// and writes the measurements to a JSON file so the perf trajectory of the
+// tensor engine is tracked across PRs.
+//
+// Usage:
+//   bench_kernels [--out=BENCH_kernels.json] [--sizes=64,128,256,512]
+//                 [--threads=1,2,4] [--min-seconds=0.15]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "tensor/kernels.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace chainsformer {
+namespace {
+
+// The seed implementation of tensor::MatMul, kept verbatim as the speedup
+// baseline: single-threaded i-k-j with a zero-skip branch.
+void SeedMatMul(int64_t m, int64_t k, int64_t n, const float* ad,
+                const float* bd, float* od) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = ad[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = bd + kk * n;
+      float* orow = od + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return v;
+}
+
+// Median seconds per call, timed in batches until `min_seconds` total.
+template <typename Fn>
+double TimePerCall(double min_seconds, const Fn& fn) {
+  fn();  // warmup
+  std::vector<double> samples;
+  double total = 0.0;
+  while (total < min_seconds || samples.size() < 3) {
+    Stopwatch sw;
+    fn();
+    const double s = sw.ElapsedSeconds();
+    samples.push_back(s);
+    total += s;
+    if (samples.size() > 200) break;
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+struct Record {
+  std::string op;
+  int64_t size = 0;
+  int threads = 0;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double speedup_vs_seed = 0.0;
+};
+
+std::vector<int64_t> ParseIntList(const std::string& csv, const char* flag) {
+  std::vector<int64_t> out;
+  for (const auto& tok : Split(csv, ',')) {
+    if (tok.empty()) continue;
+    char* end = nullptr;
+    const long long v = std::strtoll(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0' || v <= 0) {
+      std::fprintf(stderr, "bench_kernels: invalid value '%s' in --%s\n",
+                   tok.c_str(), flag);
+      std::exit(1);
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const std::string out_path = flags.GetString("out", "BENCH_kernels.json");
+  const std::vector<int64_t> sizes =
+      ParseIntList(flags.GetString("sizes", "64,128,256,512"), "sizes");
+  const std::vector<int64_t> threads_list =
+      ParseIntList(flags.GetString("threads", "1,2,4"), "threads");
+  const double min_seconds = flags.GetDouble("min-seconds", 0.15);
+
+  std::vector<Record> records;
+  for (const int64_t d : sizes) {
+    const auto a = RandomVec(static_cast<size_t>(d * d), 1);
+    const auto b = RandomVec(static_cast<size_t>(d * d), 2);
+    std::vector<float> c(static_cast<size_t>(d * d), 0.0f);
+    const double flops = 2.0 * static_cast<double>(d) * d * d;
+
+    tensor::kernels::SetKernelThreads(1);
+    const double seed_s = TimePerCall(min_seconds, [&] {
+      std::fill(c.begin(), c.end(), 0.0f);
+      SeedMatMul(d, d, d, a.data(), b.data(), c.data());
+    });
+    records.push_back({"seed_matmul", d, 1, seed_s, flops / seed_s * 1e-9, 1.0});
+    std::printf("seed_matmul      d=%-4lld threads=1  %8.3f ms  %6.2f GFLOP/s\n",
+                static_cast<long long>(d), seed_s * 1e3,
+                flops / seed_s * 1e-9);
+
+    for (const int64_t t : threads_list) {
+      tensor::kernels::SetKernelThreads(static_cast<int>(t));
+      const double fwd_s = TimePerCall(min_seconds, [&] {
+        std::fill(c.begin(), c.end(), 0.0f);
+        tensor::kernels::GemmAcc(d, d, d, a.data(), b.data(), c.data());
+      });
+      records.push_back({"gemm_forward", d, static_cast<int>(t), fwd_s,
+                         flops / fwd_s * 1e-9, seed_s / fwd_s});
+      std::printf(
+          "gemm_forward     d=%-4lld threads=%-2lld %7.3f ms  %6.2f GFLOP/s  "
+          "%5.2fx vs seed\n",
+          static_cast<long long>(d), static_cast<long long>(t), fwd_s * 1e3,
+          flops / fwd_s * 1e-9, seed_s / fwd_s);
+
+      std::vector<float> da(static_cast<size_t>(d * d), 0.0f);
+      std::vector<float> db(static_cast<size_t>(d * d), 0.0f);
+      const double bwd_s = TimePerCall(min_seconds, [&] {
+        tensor::kernels::GemmBtAcc(d, d, d, c.data(), b.data(), da.data());
+        tensor::kernels::GemmAtAcc(d, d, d, a.data(), c.data(), db.data());
+      });
+      records.push_back({"gemm_backward", d, static_cast<int>(t), bwd_s,
+                         2.0 * flops / bwd_s * 1e-9, 0.0});
+      std::printf(
+          "gemm_backward    d=%-4lld threads=%-2lld %7.3f ms  %6.2f GFLOP/s\n",
+          static_cast<long long>(d), static_cast<long long>(t), bwd_s * 1e3,
+          2.0 * flops / bwd_s * 1e-9);
+    }
+  }
+  tensor::kernels::SetKernelThreads(1);
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"kernels\",\n  \"results\": [\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(f,
+                 "    {\"op\": \"%s\", \"size\": %lld, \"threads\": %d, "
+                 "\"seconds_per_call\": %.6e, \"gflops\": %.3f, "
+                 "\"speedup_vs_seed\": %.3f}%s\n",
+                 r.op.c_str(), static_cast<long long>(r.size), r.threads,
+                 r.seconds, r.gflops, r.speedup_vs_seed,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %zu records to %s\n", records.size(), out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace chainsformer
+
+int main(int argc, char** argv) { return chainsformer::Main(argc, argv); }

@@ -11,6 +11,8 @@
 #include "core/numerical_reasoner.h"
 #include "core/query_retrieval.h"
 #include "kg/synthetic.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
 #include "tensor/tensor.h"
 
 using namespace chainsformer;
@@ -99,6 +101,54 @@ void BM_NumericalReasonerForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * k);
 }
 BENCHMARK(BM_NumericalReasonerForward)->Arg(4)->Arg(16)->Arg(64);
+
+// GEMM kernel-layer throughput: args are {size, kernel_threads}. Items
+// processed = multiply-accumulates, so google-benchmark's items/s column
+// reads as MAC/s (2x for flop/s).
+void BM_GemmForward(benchmark::State& state) {
+  const int64_t d = state.range(0);
+  tensor::kernels::SetKernelThreads(static_cast<int>(state.range(1)));
+  Rng rng(7);
+  const tensor::Tensor a = tensor::Tensor::Randn({d, d}, rng, 0.5f);
+  const tensor::Tensor b = tensor::Tensor::Randn({d, d}, rng, 0.5f);
+  tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * d * d * d);
+  tensor::kernels::SetKernelThreads(1);
+}
+BENCHMARK(BM_GemmForward)
+    ->Args({64, 1})->Args({64, 2})->Args({64, 4})
+    ->Args({128, 1})->Args({128, 2})->Args({128, 4})
+    ->Args({256, 1})->Args({256, 2})->Args({256, 4})
+    ->Args({512, 1})->Args({512, 2})->Args({512, 4});
+
+void BM_GemmBackward(benchmark::State& state) {
+  const int64_t d = state.range(0);
+  tensor::kernels::SetKernelThreads(static_cast<int>(state.range(1)));
+  Rng rng(8);
+  const tensor::Tensor a = tensor::Tensor::Randn({d, d}, rng, 0.5f);
+  const tensor::Tensor b = tensor::Tensor::Randn({d, d}, rng, 0.5f);
+  const tensor::Tensor g = tensor::Tensor::Randn({d, d}, rng, 0.5f);
+  std::vector<float> da(static_cast<size_t>(d * d));
+  std::vector<float> db(static_cast<size_t>(d * d));
+  for (auto _ : state) {
+    tensor::kernels::GemmBtAcc(d, d, d, g.data().data(), b.data().data(),
+                               da.data());
+    tensor::kernels::GemmAtAcc(d, d, d, a.data().data(), g.data().data(),
+                               db.data());
+    benchmark::DoNotOptimize(da.data());
+    benchmark::DoNotOptimize(db.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * d * d * d);
+  tensor::kernels::SetKernelThreads(1);
+}
+BENCHMARK(BM_GemmBackward)
+    ->Args({64, 1})->Args({64, 4})
+    ->Args({128, 1})->Args({128, 4})
+    ->Args({256, 1})->Args({256, 2})->Args({256, 4})
+    ->Args({512, 1})->Args({512, 4});
 
 void BM_EndToEndPredict(benchmark::State& state) {
   static core::ChainsFormerModel* model = [] {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/serialize.h"
 #include "util/logging.h"
@@ -31,6 +32,7 @@ ChainsFormerModel::ChainsFormerModel(const kg::Dataset& dataset,
                                              dataset.graph.num_attributes())),
       train_index_(dataset.split.train, dataset.graph.num_entities()),
       rng_(config.seed) {
+  tensor::kernels::SetKernelThreads(config.kernel_threads);
   retrieval_ = std::make_unique<QueryRetrieval>(dataset.graph, train_index_,
                                                 config.max_hops, config.num_walks,
                                                 config.retrieval_strategy);

@@ -105,6 +105,13 @@ struct ChainsFormerConfig {
   int max_eval_queries = 0;      // evaluation subsample (0 = all)
   bool reretrieve_each_epoch = false;  // Algorithm 1 re-retrieves; caching is faster
 
+  // --- Execution ---------------------------------------------------------------
+  /// Worker threads for the dense kernel layer (tensor::kernels): GEMM,
+  /// batched GEMM and large elementwise/softmax/layernorm loops. 1 keeps
+  /// every kernel on the calling thread; 0 means hardware concurrency.
+  /// Output is bitwise identical for any value (row-partitioned kernels).
+  int kernel_threads = 1;
+
   uint64_t seed = 1234;
   bool verbose = false;
 };

@@ -1,0 +1,197 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace chainsformer {
+namespace tensor {
+namespace kernels {
+namespace {
+
+// Cache blocking: a packed B panel is kKC x kNC floats (128 KiB), sized to
+// stay L2-resident while it is streamed over a strip of A rows; the four
+// C-row accumulators of a strip (4 x kNC floats) stay in L1.
+constexpr int64_t kNC = 256;
+constexpr int64_t kKC = 128;
+
+// Minimum multiply-accumulate count per worker task. Below twice this total
+// the whole kernel runs inline on the calling thread, so the small matrices
+// that dominate chain encoding at d=32 never pay dispatch overhead.
+constexpr int64_t kGrainWork = 1 << 18;
+
+std::mutex g_pool_mu;
+int g_threads = 1;
+std::unique_ptr<ThreadPool> g_pool;
+
+ThreadPool* Pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool || g_pool->num_threads() != static_cast<size_t>(g_threads)) {
+    g_pool = std::make_unique<ThreadPool>(static_cast<size_t>(g_threads));
+  }
+  return g_pool.get();
+}
+
+// C[i0:i1, :] += A[i0:i1, :] * B for row-major A[.,k], B[k,n], C[.,n].
+// Branch-free blocked loops over (jc, pc) with B packed per panel; every
+// row's accumulation order over (jc, pc, kk, j) is fixed and independent of
+// the strip decomposition, which is what makes threaded output bitwise
+// equal to single-threaded output.
+void GemmCoreRows(int64_t i0, int64_t i1, int64_t k, int64_t n, const float* a,
+                  const float* b, float* c) {
+  thread_local std::vector<float> pack;
+  for (int64_t jc = 0; jc < n; jc += kNC) {
+    const int64_t nc = std::min(kNC, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kKC) {
+      const int64_t kc = std::min(kKC, k - pc);
+      pack.resize(static_cast<size_t>(kc * nc));
+      float* pb = pack.data();
+      for (int64_t kk = 0; kk < kc; ++kk) {
+        const float* src = b + (pc + kk) * n + jc;
+        std::copy(src, src + nc, pb + kk * nc);
+      }
+      int64_t i = i0;
+      for (; i + 4 <= i1; i += 4) {
+        const float* __restrict a0 = a + (i + 0) * k + pc;
+        const float* __restrict a1 = a + (i + 1) * k + pc;
+        const float* __restrict a2 = a + (i + 2) * k + pc;
+        const float* __restrict a3 = a + (i + 3) * k + pc;
+        float* __restrict c0 = c + (i + 0) * n + jc;
+        float* __restrict c1 = c + (i + 1) * n + jc;
+        float* __restrict c2 = c + (i + 2) * n + jc;
+        float* __restrict c3 = c + (i + 3) * n + jc;
+        for (int64_t kk = 0; kk < kc; ++kk) {
+          const float* __restrict bp = pb + kk * nc;
+          const float av0 = a0[kk], av1 = a1[kk], av2 = a2[kk], av3 = a3[kk];
+          for (int64_t j = 0; j < nc; ++j) {
+            c0[j] += av0 * bp[j];
+            c1[j] += av1 * bp[j];
+            c2[j] += av2 * bp[j];
+            c3[j] += av3 * bp[j];
+          }
+        }
+      }
+      for (; i < i1; ++i) {
+        const float* __restrict ar = a + i * k + pc;
+        float* __restrict cr = c + i * n + jc;
+        for (int64_t kk = 0; kk < kc; ++kk) {
+          const float* __restrict bp = pb + kk * nc;
+          const float av = ar[kk];
+          for (int64_t j = 0; j < nc; ++j) cr[j] += av * bp[j];
+        }
+      }
+    }
+  }
+}
+
+// dst[cols, rows] = src[rows, cols]^T, blocked for cache locality.
+void TransposeInto(const float* src, int64_t rows, int64_t cols, float* dst) {
+  constexpr int64_t kB = 32;
+  for (int64_t i0 = 0; i0 < rows; i0 += kB) {
+    const int64_t i1 = std::min(rows, i0 + kB);
+    for (int64_t j0 = 0; j0 < cols; j0 += kB) {
+      const int64_t j1 = std::min(cols, j0 + kB);
+      for (int64_t i = i0; i < i1; ++i) {
+        for (int64_t j = j0; j < j1; ++j) dst[j * rows + i] = src[i * cols + j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void SetKernelThreads(int n) {
+  if (n <= 0) {
+    n = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_threads = n;
+}
+
+int KernelThreads() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  return g_threads;
+}
+
+void ParallelRanges(int64_t n, int64_t cost_per_item,
+                    const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  const int64_t cost = std::max<int64_t>(cost_per_item, 1);
+  const int threads = KernelThreads();
+  const double total = static_cast<double>(n) * static_cast<double>(cost);
+  if (threads <= 1 || total < 2.0 * static_cast<double>(kGrainWork)) {
+    fn(0, n);
+    return;
+  }
+  int64_t num_ranges = std::min<int64_t>(
+      threads, static_cast<int64_t>(total / static_cast<double>(kGrainWork)));
+  num_ranges = std::clamp<int64_t>(num_ranges, 1, n);
+  if (num_ranges <= 1) {
+    fn(0, n);
+    return;
+  }
+  const size_t grain =
+      static_cast<size_t>((n + num_ranges - 1) / num_ranges);
+  Pool()->ParallelForRanges(
+      static_cast<size_t>(n), grain, [&fn](size_t begin, size_t end) {
+        fn(static_cast<int64_t>(begin), static_cast<int64_t>(end));
+      });
+}
+
+void GemmAcc(int64_t m, int64_t k, int64_t n, const float* a, const float* b,
+             float* c) {
+  ParallelRanges(m, k * n, [=](int64_t i0, int64_t i1) {
+    GemmCoreRows(i0, i1, k, n, a, b, c);
+  });
+}
+
+void GemmAccSerial(int64_t m, int64_t k, int64_t n, const float* a,
+                   const float* b, float* c) {
+  GemmCoreRows(0, m, k, n, a, b, c);
+}
+
+void GemmBtAcc(int64_t m, int64_t k, int64_t n, const float* g, const float* b,
+               float* c) {
+  // C[m,k] += G[m,n] * B[k,n]^T == G[m,n] * Bt[n,k] with Bt row-major, so
+  // one explicit transpose turns both backward products into the forward
+  // core (contiguous inner loops instead of strided column walks).
+  std::vector<float> bt(static_cast<size_t>(n * k));
+  TransposeInto(b, k, n, bt.data());
+  const float* btp = bt.data();
+  ParallelRanges(m, n * k, [=](int64_t i0, int64_t i1) {
+    GemmCoreRows(i0, i1, n, k, g, btp, c);
+  });
+}
+
+void GemmBtAccSerial(int64_t m, int64_t k, int64_t n, const float* g,
+                     const float* b, float* c) {
+  std::vector<float> bt(static_cast<size_t>(n * k));
+  TransposeInto(b, k, n, bt.data());
+  GemmCoreRows(0, m, n, k, g, bt.data(), c);
+}
+
+void GemmAtAcc(int64_t m, int64_t k, int64_t n, const float* a, const float* g,
+               float* c) {
+  // C[k,n] += A[m,k]^T * G[m,n] == At[k,m] * G[m,n].
+  std::vector<float> at(static_cast<size_t>(k * m));
+  TransposeInto(a, m, k, at.data());
+  const float* atp = at.data();
+  ParallelRanges(k, m * n, [=](int64_t k0, int64_t k1) {
+    GemmCoreRows(k0, k1, m, n, atp, g, c);
+  });
+}
+
+void GemmAtAccSerial(int64_t m, int64_t k, int64_t n, const float* a,
+                     const float* g, float* c) {
+  std::vector<float> at(static_cast<size_t>(k * m));
+  TransposeInto(a, m, k, at.data());
+  GemmCoreRows(0, k, m, n, at.data(), g, c);
+}
+
+}  // namespace kernels
+}  // namespace tensor
+}  // namespace chainsformer

@@ -1,0 +1,65 @@
+#ifndef CHAINSFORMER_TENSOR_KERNELS_H_
+#define CHAINSFORMER_TENSOR_KERNELS_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace chainsformer {
+namespace tensor {
+namespace kernels {
+
+// Dense float32 kernel layer behind tensor/ops.cc. All GEMM variants are
+// row-major and accumulate into the output (`C += ...`), which serves both
+// the forward pass (outputs start zeroed) and gradient accumulation.
+//
+// Threading model: work is partitioned by output row over a process-wide
+// worker pool; every output row is produced by exactly one thread with a
+// fixed k-traversal order, so results are bitwise identical for any thread
+// count. Matrices below a flop threshold are computed inline on the calling
+// thread. Worker tasks never launch nested parallel sections, so the layer
+// is safe to call from other thread pools (e.g. the per-query eval pool).
+
+/// Sets the process-wide kernel thread count. 1 (the default) keeps every
+/// kernel on the calling thread; 0 means std::thread::hardware_concurrency.
+/// Not thread-safe against concurrently running kernels — call it at
+/// startup / model construction, not mid-training-step.
+void SetKernelThreads(int n);
+
+/// Currently configured kernel thread count (>= 1).
+int KernelThreads();
+
+/// C[m,n] += A[m,k] * B[k,n].
+void GemmAcc(int64_t m, int64_t k, int64_t n, const float* a, const float* b,
+             float* c);
+
+/// C[m,k] += G[m,n] * B[k,n]^T — the dA product of a matmul backward.
+void GemmBtAcc(int64_t m, int64_t k, int64_t n, const float* g, const float* b,
+               float* c);
+
+/// C[k,n] += A[m,k]^T * G[m,n] — the dB product of a matmul backward.
+void GemmAtAcc(int64_t m, int64_t k, int64_t n, const float* a, const float* g,
+               float* c);
+
+/// Single-threaded variants, for callers that already parallelized at an
+/// outer level (e.g. BatchMatMul over the batch dimension). Bitwise
+/// identical to the parallel variants.
+void GemmAccSerial(int64_t m, int64_t k, int64_t n, const float* a,
+                   const float* b, float* c);
+void GemmBtAccSerial(int64_t m, int64_t k, int64_t n, const float* g,
+                     const float* b, float* c);
+void GemmAtAccSerial(int64_t m, int64_t k, int64_t n, const float* a,
+                     const float* g, float* c);
+
+/// Runs fn(begin, end) over disjoint sub-ranges of [0, n). `cost_per_item`
+/// is a rough flop/byte weight per index used against the grain threshold:
+/// small totals run inline as a single fn(0, n) call. Ranges are disjoint,
+/// so any fn writing only to its own indices is race-free and (being the
+/// same per-index arithmetic regardless of partition) deterministic.
+void ParallelRanges(int64_t n, int64_t cost_per_item,
+                    const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace kernels
+}  // namespace tensor
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_TENSOR_KERNELS_H_

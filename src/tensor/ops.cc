@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "tensor/kernels.h"
 #include "util/logging.h"
 
 namespace chainsformer {
@@ -66,9 +67,16 @@ Tensor EwBinary(const Tensor& a, const Tensor& b, F f, Da dfa, Db dfb) {
     }
     return 0;
   };
-  for (size_t i = 0; i < ad.size(); ++i) {
-    out->data[i] = f(ad[i], bd[bindex(i)]);
-  }
+  const float* adp = ad.data();
+  const float* bdp = bd.data();
+  float* odp = out->data.data();
+  kernels::ParallelRanges(
+      static_cast<int64_t>(ad.size()), 1,
+      [=](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          odp[i] = f(adp[i], bdp[bindex(static_cast<size_t>(i))]);
+        }
+      });
   if (ShouldRecord({&a, &b})) {
     ImplPtr ai = a.impl(), bi = b.impl();
     TensorImpl* self = out.get();
@@ -96,7 +104,14 @@ template <typename F, typename Dx>
 Tensor EwUnary(const Tensor& a, F f, Dx dfx) {
   auto out = NewImpl(a.shape());
   const auto& ad = a.data();
-  for (size_t i = 0; i < ad.size(); ++i) out->data[i] = f(ad[i]);
+  const float* adp = ad.data();
+  float* odp = out->data.data();
+  kernels::ParallelRanges(static_cast<int64_t>(ad.size()), 1,
+                          [=](int64_t begin, int64_t end) {
+                            for (int64_t i = begin; i < end; ++i) {
+                              odp[i] = f(adp[i]);
+                            }
+                          });
   if (ShouldRecord({&a})) {
     ImplPtr ai = a.impl();
     TensorImpl* self = out.get();
@@ -252,18 +267,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
   CF_CHECK_EQ(k, b.size(0));
   auto out = NewImpl({m, n});
-  const float* ad = a.data().data();
-  const float* bd = b.data().data();
-  float* od = out->data.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = ad[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = bd + kk * n;
-      float* orow = od + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  kernels::GemmAcc(m, k, n, a.data().data(), b.data().data(),
+                   out->data.data());
   if (ShouldRecord({&a, &b})) {
     ImplPtr ai = a.impl(), bi = b.impl();
     TensorImpl* self = out.get();
@@ -271,30 +276,11 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       const float* g = self->grad.data();
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        // dA = G * B^T
-        for (int64_t i = 0; i < m; ++i) {
-          for (int64_t j = 0; j < n; ++j) {
-            const float gv = g[i * n + j];
-            if (gv == 0.0f) continue;
-            const float* brow = bi->data.data();
-            for (int64_t kk = 0; kk < k; ++kk) {
-              ai->grad[i * k + kk] += gv * brow[kk * n + j];
-            }
-          }
-        }
+        kernels::GemmBtAcc(m, k, n, g, bi->data.data(), ai->grad.data());
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        // dB = A^T * G
-        for (int64_t kk = 0; kk < k; ++kk) {
-          for (int64_t i = 0; i < m; ++i) {
-            const float av = ai->data[i * k + kk];
-            if (av == 0.0f) continue;
-            for (int64_t j = 0; j < n; ++j) {
-              bi->grad[kk * n + j] += av * g[i * n + j];
-            }
-          }
-        }
+        kernels::GemmAtAcc(m, k, n, ai->data.data(), g, bi->grad.data());
       }
     });
   }
@@ -308,53 +294,51 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
   CF_CHECK_EQ(bs, b.size(0));
   CF_CHECK_EQ(k, b.size(1));
   auto out = NewImpl({bs, m, n});
-  for (int64_t bb = 0; bb < bs; ++bb) {
-    const float* ad = a.data().data() + bb * m * k;
-    const float* bd = b.data().data() + bb * k * n;
-    float* od = out->data.data() + bb * m * n;
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = ad[i * k + kk];
-        if (av == 0.0f) continue;
-        for (int64_t j = 0; j < n; ++j) od[i * n + j] += av * bd[kk * n + j];
+  {
+    // Parallelize over the flattened (batch, row) space so a few large
+    // batches and many small ones both load every worker; each output row
+    // is still produced by exactly one thread (deterministic).
+    const float* ad = a.data().data();
+    const float* bd = b.data().data();
+    float* od = out->data.data();
+    kernels::ParallelRanges(bs * m, k * n, [=](int64_t r0, int64_t r1) {
+      int64_t r = r0;
+      while (r < r1) {
+        const int64_t bb = r / m;
+        const int64_t i0 = r % m;
+        const int64_t i1 = std::min(m, i0 + (r1 - r));
+        kernels::GemmAccSerial(i1 - i0, k, n, ad + (bb * m + i0) * k,
+                               bd + bb * k * n, od + (bb * m + i0) * n);
+        r += i1 - i0;
       }
-    }
+    });
   }
   if (ShouldRecord({&a, &b})) {
     ImplPtr ai = a.impl(), bi = b.impl();
     TensorImpl* self = out.get();
     Attach(out, {ai, bi}, [ai, bi, self, bs, m, k, n]() {
-      for (int64_t bb = 0; bb < bs; ++bb) {
-        const float* g = self->grad.data() + bb * m * n;
-        const float* ad = ai->data.data() + bb * m * k;
-        const float* bd = bi->data.data() + bb * k * n;
-        if (ai->requires_grad) {
-          ai->EnsureGrad();
-          float* ag = ai->grad.data() + bb * m * k;
-          for (int64_t i = 0; i < m; ++i) {
-            for (int64_t j = 0; j < n; ++j) {
-              const float gv = g[i * n + j];
-              if (gv == 0.0f) continue;
-              for (int64_t kk = 0; kk < k; ++kk) {
-                ag[i * k + kk] += gv * bd[kk * n + j];
-              }
-            }
+      const bool need_a = ai->requires_grad;
+      const bool need_b = bi->requires_grad;
+      if (need_a) ai->EnsureGrad();
+      if (need_b) bi->EnsureGrad();
+      const float* g = self->grad.data();
+      const float* ad = ai->data.data();
+      const float* bd = bi->data.data();
+      float* ag = need_a ? ai->grad.data() : nullptr;
+      float* bg = need_b ? bi->grad.data() : nullptr;
+      kernels::ParallelRanges(bs, 2 * m * k * n, [=](int64_t b0, int64_t b1) {
+        for (int64_t bb = b0; bb < b1; ++bb) {
+          const float* gb = g + bb * m * n;
+          if (need_a) {
+            kernels::GemmBtAccSerial(m, k, n, gb, bd + bb * k * n,
+                                     ag + bb * m * k);
+          }
+          if (need_b) {
+            kernels::GemmAtAccSerial(m, k, n, ad + bb * m * k, gb,
+                                     bg + bb * k * n);
           }
         }
-        if (bi->requires_grad) {
-          bi->EnsureGrad();
-          float* bg = bi->grad.data() + bb * k * n;
-          for (int64_t kk = 0; kk < k; ++kk) {
-            for (int64_t i = 0; i < m; ++i) {
-              const float av = ad[i * k + kk];
-              if (av == 0.0f) continue;
-              for (int64_t j = 0; j < n; ++j) {
-                bg[kk * n + j] += av * g[i * n + j];
-              }
-            }
-          }
-        }
-      }
+      });
     });
   }
   return Tensor::FromImpl(out);
@@ -676,33 +660,46 @@ Tensor Softmax(const Tensor& a) {
   const int64_t n = a.size(-1);
   const int64_t rows = a.numel() / n;
   auto out = NewImpl(a.shape());
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* x = a.data().data() + r * n;
-    float* y = out->data.data() + r * n;
-    float mx = x[0];
-    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, x[j]);
-    double z = 0.0;
-    for (int64_t j = 0; j < n; ++j) {
-      y[j] = std::exp(x[j] - mx);
-      z += y[j];
-    }
-    const float invz = static_cast<float>(1.0 / z);
-    for (int64_t j = 0; j < n; ++j) y[j] *= invz;
+  {
+    const float* xd = a.data().data();
+    float* yd = out->data.data();
+    kernels::ParallelRanges(rows, n, [=](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* x = xd + r * n;
+        float* y = yd + r * n;
+        float mx = x[0];
+        for (int64_t j = 1; j < n; ++j) mx = std::max(mx, x[j]);
+        double z = 0.0;
+        for (int64_t j = 0; j < n; ++j) {
+          y[j] = std::exp(x[j] - mx);
+          z += y[j];
+        }
+        const float invz = static_cast<float>(1.0 / z);
+        for (int64_t j = 0; j < n; ++j) y[j] *= invz;
+      }
+    });
   }
   if (ShouldRecord({&a})) {
     ImplPtr ai = a.impl();
     TensorImpl* self = out.get();
     Attach(out, {ai}, [ai, self, rows, n]() {
       ai->EnsureGrad();
-      for (int64_t r = 0; r < rows; ++r) {
-        const float* y = self->data.data() + r * n;
-        const float* g = self->grad.data() + r * n;
-        double dot = 0.0;
-        for (int64_t j = 0; j < n; ++j) dot += static_cast<double>(y[j]) * g[j];
-        for (int64_t j = 0; j < n; ++j) {
-          ai->grad[r * n + j] += y[j] * (g[j] - static_cast<float>(dot));
+      float* agrad = ai->grad.data();
+      const float* yd = self->data.data();
+      const float* gd = self->grad.data();
+      kernels::ParallelRanges(rows, n, [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float* y = yd + r * n;
+          const float* g = gd + r * n;
+          double dot = 0.0;
+          for (int64_t j = 0; j < n; ++j) {
+            dot += static_cast<double>(y[j]) * g[j];
+          }
+          for (int64_t j = 0; j < n; ++j) {
+            agrad[r * n + j] += y[j] * (g[j] - static_cast<float>(dot));
+          }
         }
-      }
+      });
     });
   }
   return Tensor::FromImpl(out);
@@ -718,59 +715,83 @@ Tensor LayerNormOp(const Tensor& a, const Tensor& gamma, const Tensor& beta,
   // Cache per-row statistics for the backward pass.
   auto xhat = std::make_shared<std::vector<float>>(a.data().size());
   auto inv_std = std::make_shared<std::vector<float>>(rows);
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* x = a.data().data() + r * n;
-    double mu = 0.0;
-    for (int64_t j = 0; j < n; ++j) mu += x[j];
-    mu /= n;
-    double var = 0.0;
-    for (int64_t j = 0; j < n; ++j) {
-      const double d = x[j] - mu;
-      var += d * d;
-    }
-    var /= n;
-    const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
-    (*inv_std)[static_cast<size_t>(r)] = istd;
-    for (int64_t j = 0; j < n; ++j) {
-      const float xh = (x[j] - static_cast<float>(mu)) * istd;
-      (*xhat)[static_cast<size_t>(r * n + j)] = xh;
-      out->data[static_cast<size_t>(r * n + j)] =
-          xh * gamma.data()[static_cast<size_t>(j)] +
-          beta.data()[static_cast<size_t>(j)];
-    }
+  {
+    const float* xd = a.data().data();
+    const float* gd = gamma.data().data();
+    const float* bd = beta.data().data();
+    float* od = out->data.data();
+    float* xhd = xhat->data();
+    float* isd = inv_std->data();
+    kernels::ParallelRanges(rows, 2 * n, [=](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* x = xd + r * n;
+        double mu = 0.0;
+        for (int64_t j = 0; j < n; ++j) mu += x[j];
+        mu /= n;
+        double var = 0.0;
+        for (int64_t j = 0; j < n; ++j) {
+          const double d = x[j] - mu;
+          var += d * d;
+        }
+        var /= n;
+        const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
+        isd[r] = istd;
+        for (int64_t j = 0; j < n; ++j) {
+          const float xh = (x[j] - static_cast<float>(mu)) * istd;
+          xhd[r * n + j] = xh;
+          od[r * n + j] = xh * gd[j] + bd[j];
+        }
+      }
+    });
   }
   if (ShouldRecord({&a, &gamma, &beta})) {
     ImplPtr ai = a.impl(), gi = gamma.impl(), bi = beta.impl();
     TensorImpl* self = out.get();
     Attach(out, {ai, gi, bi}, [ai, gi, bi, self, xhat, inv_std, rows, n]() {
-      for (int64_t r = 0; r < rows; ++r) {
-        const float* g = self->grad.data() + r * n;
-        const float* xh = xhat->data() + r * n;
-        const float istd = (*inv_std)[static_cast<size_t>(r)];
-        if (gi->requires_grad) {
-          gi->EnsureGrad();
+      // gamma/beta grads reduce across rows into shared [n] buffers, so
+      // they stay serial; the input grad is row-disjoint and parallelizes.
+      if (gi->requires_grad) {
+        gi->EnsureGrad();
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* g = self->grad.data() + r * n;
+          const float* xh = xhat->data() + r * n;
           for (int64_t j = 0; j < n; ++j) gi->grad[j] += g[j] * xh[j];
         }
-        if (bi->requires_grad) {
-          bi->EnsureGrad();
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* g = self->grad.data() + r * n;
           for (int64_t j = 0; j < n; ++j) bi->grad[j] += g[j];
         }
-        if (ai->requires_grad) {
-          ai->EnsureGrad();
-          // dxhat = g * gamma; dx = istd/n * (n*dxhat - sum(dxhat)
-          //                                   - xhat * sum(dxhat*xhat))
-          double s1 = 0.0, s2 = 0.0;
-          for (int64_t j = 0; j < n; ++j) {
-            const double dxh = static_cast<double>(g[j]) * gi->data[j];
-            s1 += dxh;
-            s2 += dxh * xh[j];
+      }
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        float* agrad = ai->grad.data();
+        const float* gd = self->grad.data();
+        const float* xhd = xhat->data();
+        const float* isd = inv_std->data();
+        const float* gamma_d = gi->data.data();
+        kernels::ParallelRanges(rows, 2 * n, [=](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            const float* g = gd + r * n;
+            const float* xh = xhd + r * n;
+            const float istd = isd[r];
+            // dxhat = g * gamma; dx = istd/n * (n*dxhat - sum(dxhat)
+            //                                   - xhat * sum(dxhat*xhat))
+            double s1 = 0.0, s2 = 0.0;
+            for (int64_t j = 0; j < n; ++j) {
+              const double dxh = static_cast<double>(g[j]) * gamma_d[j];
+              s1 += dxh;
+              s2 += dxh * xh[j];
+            }
+            for (int64_t j = 0; j < n; ++j) {
+              const double dxh = static_cast<double>(g[j]) * gamma_d[j];
+              agrad[r * n + j] += static_cast<float>(
+                  istd * (dxh - s1 / n - static_cast<double>(xh[j]) * s2 / n));
+            }
           }
-          for (int64_t j = 0; j < n; ++j) {
-            const double dxh = static_cast<double>(g[j]) * gi->data[j];
-            ai->grad[r * n + j] += static_cast<float>(
-                istd * (dxh - s1 / n - static_cast<double>(xh[j]) * s2 / n));
-          }
-        }
+        });
       }
     });
   }

@@ -38,19 +38,28 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  const size_t workers = std::min(n, threads_.size());
-  if (workers <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+  const size_t workers = std::max<size_t>(threads_.size(), 1);
+  ParallelFor(n, (n + workers - 1) / workers, fn);
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t grain,
+                             const std::function<void(size_t)>& fn) {
+  ParallelForRanges(n, grain, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForRanges(
+    size_t n, size_t grain, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (threads_.size() <= 1 || n <= grain) {
+    fn(0, n);
     return;
   }
-  const size_t chunk = (n + workers - 1) / workers;
-  for (size_t w = 0; w < workers; ++w) {
-    const size_t begin = w * chunk;
-    const size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    Schedule([begin, end, &fn] {
-      for (size_t i = begin; i < end; ++i) fn(i);
-    });
+  for (size_t begin = 0; begin < n; begin += grain) {
+    const size_t end = std::min(n, begin + grain);
+    Schedule([begin, end, &fn] { fn(begin, end); });
   }
   Wait();
 }

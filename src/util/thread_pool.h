@@ -32,7 +32,20 @@ class ThreadPool {
   size_t num_threads() const { return threads_.size(); }
 
   /// Runs fn(i) for i in [0, n), spread across the pool, and waits.
+  /// One chunk per worker; use the grain overload to control chunking.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Chunked variant: schedules one task per chunk of at most `grain`
+  /// indices (grain 0 is treated as 1). More chunks than workers gives
+  /// dynamic load balancing for irregular per-index cost. Safe with n == 0
+  /// (no-op) and on a pool of size 1 (runs inline on the caller).
+  void ParallelFor(size_t n, size_t grain, const std::function<void(size_t)>& fn);
+
+  /// Range form of the chunked variant: fn(begin, end) is called once per
+  /// chunk with disjoint [begin, end) sub-ranges of [0, n). Avoids the
+  /// per-index std::function call on hot numeric loops.
+  void ParallelForRanges(size_t n, size_t grain,
+                         const std::function<void(size_t, size_t)>& fn);
 
  private:
   void WorkerLoop();

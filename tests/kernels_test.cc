@@ -1,0 +1,262 @@
+// Tests for the blocked, multithreaded GEMM kernel layer (tensor/kernels).
+//
+// The determinism tests assert the layer's core guarantee: threaded output
+// is BITWISE equal to single-threaded output, because work is partitioned
+// by output row with a fixed k-traversal order. Shapes deliberately include
+// non-multiples of the kernel tile sizes (256/128) and of the 4-row strip.
+
+#include "tensor/kernels.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace chainsformer {
+namespace tensor {
+namespace {
+
+// RAII guard so a failing test cannot leak a nonstandard thread setting
+// into later tests in the same process.
+struct KernelThreadsGuard {
+  explicit KernelThreadsGuard(int n) { kernels::SetKernelThreads(n); }
+  ~KernelThreadsGuard() { kernels::SetKernelThreads(1); }
+};
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return v;
+}
+
+// Seed-style reference: plain i-k-j triple loop.
+void NaiveGemm(int64_t m, int64_t k, int64_t n, const float* a, const float* b,
+               float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = a[i * k + kk];
+      for (int64_t j = 0; j < n; ++j) c[i * n + j] += av * b[kk * n + j];
+    }
+  }
+}
+
+struct GemmShape {
+  int64_t m, k, n;
+};
+
+const GemmShape kShapes[] = {
+    {4, 4, 4},       // below every tile
+    {64, 64, 64},    // strip-aligned
+    {33, 47, 29},    // nothing aligned
+    {257, 129, 65},  // just past the k/n tiles, odd rows
+    {100, 256, 3},   // skinny output
+    {5, 300, 130},   // k spans multiple kKC blocks
+};
+
+TEST(KernelsTest, GemmAccMatchesNaive) {
+  for (const auto& s : kShapes) {
+    const auto a = RandomVec(static_cast<size_t>(s.m * s.k), 1);
+    const auto b = RandomVec(static_cast<size_t>(s.k * s.n), 2);
+    std::vector<float> got(static_cast<size_t>(s.m * s.n), 0.0f);
+    std::vector<float> want = got;
+    kernels::GemmAcc(s.m, s.k, s.n, a.data(), b.data(), got.data());
+    NaiveGemm(s.m, s.k, s.n, a.data(), b.data(), want.data());
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_NEAR(got[i], want[i], 1e-3f) << "shape " << s.m << "x" << s.k
+                                          << "x" << s.n << " index " << i;
+    }
+  }
+}
+
+TEST(KernelsTest, BackwardProductsMatchNaiveTransposes) {
+  const int64_t m = 21, k = 34, n = 17;
+  const auto g = RandomVec(static_cast<size_t>(m * n), 3);
+  const auto a = RandomVec(static_cast<size_t>(m * k), 4);
+  const auto b = RandomVec(static_cast<size_t>(k * n), 5);
+
+  // dA = G * B^T.
+  std::vector<float> da(static_cast<size_t>(m * k), 0.0f);
+  kernels::GemmBtAcc(m, k, n, g.data(), b.data(), da.data());
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float want = 0.0f;
+      for (int64_t j = 0; j < n; ++j) want += g[i * n + j] * b[kk * n + j];
+      ASSERT_NEAR(da[i * k + kk], want, 1e-3f);
+    }
+  }
+
+  // dB = A^T * G.
+  std::vector<float> db(static_cast<size_t>(k * n), 0.0f);
+  kernels::GemmAtAcc(m, k, n, a.data(), g.data(), db.data());
+  for (int64_t kk = 0; kk < k; ++kk) {
+    for (int64_t j = 0; j < n; ++j) {
+      float want = 0.0f;
+      for (int64_t i = 0; i < m; ++i) want += a[i * k + kk] * g[i * n + j];
+      ASSERT_NEAR(db[kk * n + j], want, 1e-3f);
+    }
+  }
+}
+
+TEST(KernelsTest, ThreadedGemmIsBitwiseDeterministic) {
+  for (const auto& s : kShapes) {
+    const auto a = RandomVec(static_cast<size_t>(s.m * s.k), 6);
+    const auto b = RandomVec(static_cast<size_t>(s.k * s.n), 7);
+    std::vector<float> serial(static_cast<size_t>(s.m * s.n), 0.0f);
+    kernels::SetKernelThreads(1);
+    kernels::GemmAcc(s.m, s.k, s.n, a.data(), b.data(), serial.data());
+    for (int threads : {2, 4, 7}) {
+      KernelThreadsGuard guard(threads);
+      std::vector<float> threaded(serial.size(), 0.0f);
+      kernels::GemmAcc(s.m, s.k, s.n, a.data(), b.data(), threaded.data());
+      ASSERT_EQ(std::memcmp(serial.data(), threaded.data(),
+                            serial.size() * sizeof(float)),
+                0)
+          << "forward mismatch at " << threads << " threads, shape " << s.m
+          << "x" << s.k << "x" << s.n;
+    }
+  }
+}
+
+TEST(KernelsTest, ThreadedBackwardIsBitwiseDeterministic) {
+  const GemmShape big[] = {{160, 96, 112}, {257, 129, 65}};
+  for (const auto& s : big) {
+    const auto g = RandomVec(static_cast<size_t>(s.m * s.n), 8);
+    const auto a = RandomVec(static_cast<size_t>(s.m * s.k), 9);
+    const auto b = RandomVec(static_cast<size_t>(s.k * s.n), 10);
+    std::vector<float> da1(static_cast<size_t>(s.m * s.k), 0.0f);
+    std::vector<float> db1(static_cast<size_t>(s.k * s.n), 0.0f);
+    kernels::SetKernelThreads(1);
+    kernels::GemmBtAcc(s.m, s.k, s.n, g.data(), b.data(), da1.data());
+    kernels::GemmAtAcc(s.m, s.k, s.n, a.data(), g.data(), db1.data());
+    KernelThreadsGuard guard(4);
+    std::vector<float> da4(da1.size(), 0.0f), db4(db1.size(), 0.0f);
+    kernels::GemmBtAcc(s.m, s.k, s.n, g.data(), b.data(), da4.data());
+    kernels::GemmAtAcc(s.m, s.k, s.n, a.data(), g.data(), db4.data());
+    ASSERT_EQ(
+        std::memcmp(da1.data(), da4.data(), da1.size() * sizeof(float)), 0);
+    ASSERT_EQ(
+        std::memcmp(db1.data(), db4.data(), db1.size() * sizeof(float)), 0);
+  }
+}
+
+// End-to-end determinism through the autograd ops: forward values and both
+// input gradients of a threaded MatMul/BatchMatMul step must be bitwise
+// equal to the single-threaded run. Shapes are large enough to cross the
+// kernel layer's parallel threshold.
+TEST(KernelsTest, OpsForwardBackwardBitwiseDeterministic) {
+  auto run = [](int threads, std::vector<float>* out, std::vector<float>* ga,
+                std::vector<float>* gb) {
+    kernels::SetKernelThreads(threads);
+    Rng rng(11);
+    Tensor a = Tensor::Randn({160, 96}, rng, 0.5f).set_requires_grad(true);
+    Tensor b = Tensor::Randn({96, 112}, rng, 0.5f).set_requires_grad(true);
+    Tensor y = MatMul(a, b);
+    Sum(y).Backward();
+    *out = y.data();
+    *ga = a.grad();
+    *gb = b.grad();
+  };
+  std::vector<float> out1, ga1, gb1, out4, ga4, gb4;
+  run(1, &out1, &ga1, &gb1);
+  {
+    KernelThreadsGuard guard(4);
+    run(4, &out4, &ga4, &gb4);
+  }
+  ASSERT_EQ(std::memcmp(out1.data(), out4.data(), out1.size() * sizeof(float)),
+            0);
+  ASSERT_EQ(std::memcmp(ga1.data(), ga4.data(), ga1.size() * sizeof(float)), 0);
+  ASSERT_EQ(std::memcmp(gb1.data(), gb4.data(), gb1.size() * sizeof(float)), 0);
+}
+
+TEST(KernelsTest, BatchMatMulThreadedBitwiseDeterministic) {
+  auto run = [](int threads) {
+    kernels::SetKernelThreads(threads);
+    Rng rng(12);
+    Tensor a = Tensor::Randn({6, 70, 48}, rng, 0.5f).set_requires_grad(true);
+    Tensor b = Tensor::Randn({6, 48, 52}, rng, 0.5f).set_requires_grad(true);
+    Tensor y = BatchMatMul(a, b);
+    Sum(y).Backward();
+    return std::make_tuple(y.data(), a.grad(), b.grad());
+  };
+  const auto [out1, ga1, gb1] = run(1);
+  KernelThreadsGuard guard(4);
+  const auto [out4, ga4, gb4] = run(4);
+  ASSERT_EQ(std::memcmp(out1.data(), out4.data(), out1.size() * sizeof(float)),
+            0);
+  ASSERT_EQ(std::memcmp(ga1.data(), ga4.data(), ga1.size() * sizeof(float)), 0);
+  ASSERT_EQ(std::memcmp(gb1.data(), gb4.data(), gb1.size() * sizeof(float)), 0);
+}
+
+TEST(KernelsTest, SoftmaxAndLayerNormThreadedBitwiseDeterministic) {
+  auto run = [](int threads) {
+    kernels::SetKernelThreads(threads);
+    Rng rng(13);
+    Tensor x = Tensor::Randn({1024, 512}, rng, 1.0f);
+    Tensor gamma = Tensor::Ones({512});
+    Tensor beta = Tensor::Zeros({512});
+    NoGradGuard no_grad;
+    return std::make_pair(Softmax(x).data(),
+                          LayerNormOp(x, gamma, beta).data());
+  };
+  const auto [sm1, ln1] = run(1);
+  KernelThreadsGuard guard(4);
+  const auto [sm4, ln4] = run(4);
+  ASSERT_EQ(std::memcmp(sm1.data(), sm4.data(), sm1.size() * sizeof(float)), 0);
+  ASSERT_EQ(std::memcmp(ln1.data(), ln4.data(), ln1.size() * sizeof(float)), 0);
+}
+
+// Gradient checks under the new kernels (threads > 1 set globally so the
+// dispatch path, not just the serial core, carries the op).
+TEST(KernelsGradCheck, BatchMatMul) {
+  KernelThreadsGuard guard(4);
+  Rng rng(14);
+  Tensor a = Tensor::Rand({3, 4, 5}, rng, -1.0f, 1.0f).set_requires_grad(true);
+  Tensor b = Tensor::Rand({3, 5, 2}, rng, -1.0f, 1.0f).set_requires_grad(true);
+  auto fn = [](const std::vector<Tensor>& in) {
+    return Sum(Square(BatchMatMul(in[0], in[1])));
+  };
+  EXPECT_TRUE(CheckGradients(fn, {a, b}).ok);
+}
+
+TEST(KernelsGradCheck, Permute3) {
+  KernelThreadsGuard guard(4);
+  Rng rng(15);
+  Tensor a = Tensor::Rand({4, 3, 5}, rng, -1.0f, 1.0f).set_requires_grad(true);
+  auto fn = [](const std::vector<Tensor>& in) {
+    Tensor p = Permute3(in[0], 1, 2, 0);  // [3,5,4]
+    return Sum(Square(BatchMatMul(p, Permute3(in[0], 1, 0, 2))));  // [3,5,5]
+  };
+  EXPECT_TRUE(CheckGradients(fn, {a}).ok);
+}
+
+TEST(KernelsTest, SetKernelThreadsZeroMeansHardware) {
+  KernelThreadsGuard guard(0);
+  EXPECT_GE(kernels::KernelThreads(), 1);
+}
+
+TEST(KernelsTest, ParallelRangesCoversDisjointly) {
+  KernelThreadsGuard guard(4);
+  std::vector<int> hits(10000, 0);
+  // High cost forces the parallel path; ranges must be disjoint and total.
+  kernels::ParallelRanges(static_cast<int64_t>(hits.size()), 1 << 12,
+                          [&hits](int64_t b, int64_t e) {
+                            for (int64_t i = b; i < e; ++i) hits[i] += 1;
+                          });
+  for (int h : hits) ASSERT_EQ(h, 1);
+}
+
+TEST(KernelsTest, ParallelRangesEmptyIsNoop) {
+  kernels::ParallelRanges(0, 1, [](int64_t, int64_t) {
+    FAIL() << "must not be called";
+  });
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace chainsformer

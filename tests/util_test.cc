@@ -86,6 +86,46 @@ TEST(ThreadPoolTest, ParallelForEmptyIsNoop) {
   pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
 }
 
+TEST(ThreadPoolTest, ChunkedParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  // grain 7 -> 15 chunks on 3 workers: more tasks than threads.
+  pool.ParallelFor(100, 7, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ChunkedParallelForGrainZeroAndOversized) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(16);
+  pool.ParallelFor(16, 0, [&hits](size_t i) { hits[i].fetch_add(1); });
+  pool.ParallelFor(16, 1000, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 2);
+}
+
+TEST(ThreadPoolTest, ChunkedParallelForEmptyIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, 4, [](size_t) { FAIL() << "must not be called"; });
+  pool.ParallelForRanges(0, 4,
+                         [](size_t, size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, ChunkedParallelForOnSizeOnePoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> hits(64, 0);  // no atomics needed: must run on the caller
+  pool.ParallelFor(64, 8, [&hits](size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRangesDisjointAndTotal) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(101);
+  pool.ParallelForRanges(101, 13, [&hits](size_t begin, size_t end) {
+    ASSERT_LT(begin, end);
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPoolTest, WaitIsReentrant) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};

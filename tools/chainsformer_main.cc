@@ -35,6 +35,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: chainsformer <generate|analyze|train|eval|explain> [--flags]\n"
                "  common flags: --triples=PATH --numeric=PATH --seed=N\n"
+               "                --kernel-threads=N (dense kernel workers; 0 = all cores)\n"
                "  generate: --dataset=yago|fb --scale=F\n"
                "  train:    --checkpoint=PATH --epochs=N --hidden-dim=N\n"
                "            --num-walks=N --top-k=N --max-hops=N --lr=F\n"
@@ -53,6 +54,7 @@ core::ChainsFormerConfig ConfigFromFlags(const FlagParser& flags) {
   config.max_hops = static_cast<int>(flags.GetInt("max-hops", 3));
   config.learning_rate = static_cast<float>(flags.GetDouble("lr", 4e-3));
   config.max_train_queries = static_cast<int>(flags.GetInt("train-queries", 400));
+  config.kernel_threads = static_cast<int>(flags.GetInt("kernel-threads", 1));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   config.verbose = flags.GetBool("verbose", true);
   return config;
