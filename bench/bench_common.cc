@@ -12,12 +12,51 @@
 #include "baselines/plm_reg.h"
 #include "baselines/simple.h"
 #include "tensor/kernels.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace chainsformer {
 namespace bench {
 
+namespace {
+
+/// Installs the CF_METRICS_JSON / CF_TRACE_JSON / CF_STATS exit hooks so
+/// every bench binary gets the CLI's observability surface without each
+/// main() opting in. Returns true (the value is only used for call-once).
+bool InstallObservabilityHooks() {
+  static const char* metrics_path = std::getenv("CF_METRICS_JSON");
+  static const char* trace_path = std::getenv("CF_TRACE_JSON");
+  static const char* stats = std::getenv("CF_STATS");
+  if (trace_path != nullptr && trace_path[0] != '\0') {
+    trace::SetEnabled(true);
+  }
+  if ((metrics_path != nullptr && metrics_path[0] != '\0') ||
+      (trace_path != nullptr && trace_path[0] != '\0') ||
+      (stats != nullptr && stats[0] != '\0')) {
+    std::atexit([] {
+      if (metrics_path != nullptr && metrics_path[0] != '\0') {
+        metrics::WriteJsonFile(metrics_path,
+                               metrics::MetricsRegistry::Global().Snapshot());
+      }
+      if (stats != nullptr && stats[0] != '\0') {
+        std::printf("%s", metrics::SummaryTable(
+                              metrics::MetricsRegistry::Global().Snapshot())
+                              .c_str());
+      }
+      if (trace_path != nullptr && trace_path[0] != '\0') {
+        trace::WriteChromeTrace(trace_path);
+      }
+    });
+  }
+  return true;
+}
+
+}  // namespace
+
 BenchOptions DefaultOptions() {
+  static const bool hooks_installed = InstallObservabilityHooks();
+  (void)hooks_installed;
   BenchOptions options;
   double mult = 1.0;
   if (const char* env = std::getenv("CF_BENCH_SCALE")) {

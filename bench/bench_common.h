@@ -31,6 +31,11 @@ struct BenchOptions {
 /// Reads CF_BENCH_SCALE / CF_KERNEL_THREADS and returns calibrated options.
 /// Also applies kernel_threads process-wide so every bench target (including
 /// baselines that bypass ChainsFormerConfig) runs on the same kernel setup.
+///
+/// Observability hooks (applied once per process, on first call):
+///   CF_TRACE_JSON=PATH    enable span tracing; write a Chrome trace at exit
+///   CF_METRICS_JSON=PATH  write the metrics registry as JSON at exit
+///   CF_STATS=1            print the metrics summary table at exit
 BenchOptions DefaultOptions();
 
 /// The two synthetic benchmark datasets (cached per process).

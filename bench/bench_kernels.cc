@@ -54,7 +54,10 @@ double TimePerCall(double min_seconds, const Fn& fn) {
   while (total < min_seconds || samples.size() < 3) {
     Stopwatch sw;
     fn();
-    const double s = sw.ElapsedSeconds();
+    // Integer microseconds from the monotonic clock; per-call times here are
+    // well above 1 us, so this loses no precision and avoids hand-converting
+    // fractional seconds.
+    const double s = static_cast<double>(sw.ElapsedMicros()) * 1e-6;
     samples.push_back(s);
     total += s;
     if (samples.size() > 200) break;

@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+
 #include "core/chain_encoder.h"
 #include "core/chainsformer.h"
 #include "core/hyperbolic_filter.h"
@@ -14,6 +17,10 @@
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/stopwatch.h"
+#include "util/trace.h"
 
 using namespace chainsformer;
 
@@ -150,6 +157,49 @@ BENCHMARK(BM_GemmBackward)
     ->Args({256, 1})->Args({256, 2})->Args({256, 4})
     ->Args({512, 1})->Args({512, 4});
 
+// Observability layer overhead: the disabled tracer path (one relaxed atomic
+// load + branch), the enabled path (clock reads + ring write), and a
+// counter/histogram update.
+void BM_TraceScopeDisabled(benchmark::State& state) {
+  trace::SetEnabled(false);
+  for (auto _ : state) {
+    CF_TRACE_SCOPE("bench.disabled");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceScopeDisabled);
+
+void BM_TraceScopeEnabled(benchmark::State& state) {
+  trace::SetEnabled(true);
+  for (auto _ : state) {
+    CF_TRACE_SCOPE("bench.enabled");
+    benchmark::ClobberMemory();
+  }
+  trace::SetEnabled(false);
+  trace::Clear();
+}
+BENCHMARK(BM_TraceScopeEnabled);
+
+void BM_MetricsCounterIncrement(benchmark::State& state) {
+  auto* counter =
+      metrics::MetricsRegistry::Global().GetCounter("bench.counter");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+}
+BENCHMARK(BM_MetricsCounterIncrement);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  auto* hist =
+      metrics::MetricsRegistry::Global().GetHistogram("bench.histogram");
+  double v = 1.0;
+  for (auto _ : state) {
+    hist->Observe(v);
+    v = v < 1e6 ? v * 1.1 : 1.0;
+  }
+}
+BENCHMARK(BM_MetricsHistogramObserve);
+
 void BM_EndToEndPredict(benchmark::State& state) {
   static core::ChainsFormerModel* model = [] {
     core::ChainsFormerConfig config;
@@ -170,6 +220,41 @@ void BM_EndToEndPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndPredict);
 
+// Guardrail for "instrumentation stays free when off": measures the cost of
+// a disabled CF_TRACE_SCOPE and aborts if the median exceeds a generous
+// budget. The disabled path is one relaxed atomic load plus a branch
+// (single-digit nanoseconds everywhere); the threshold leaves ~10x headroom
+// for slow/emulated CI machines while still catching an accidental clock
+// read or lock on the fast path.
+void VerifyTracerDisabledOverhead() {
+  constexpr int kTrials = 7;
+  constexpr int kIters = 1'000'000;
+  constexpr double kMaxNanosPerScope = 50.0;
+  trace::SetEnabled(false);
+  double trials[kTrials];
+  for (int t = 0; t < kTrials; ++t) {
+    Stopwatch sw;
+    for (int i = 0; i < kIters; ++i) {
+      CF_TRACE_SCOPE("overhead.check");
+      benchmark::ClobberMemory();
+    }
+    trials[t] = static_cast<double>(sw.ElapsedMicros()) * 1e3 / kIters;
+  }
+  std::sort(trials, trials + kTrials);
+  const double median = trials[kTrials / 2];
+  std::printf("tracer disabled-path overhead: %.2f ns/scope (budget %.0f)\n",
+              median, kMaxNanosPerScope);
+  CF_CHECK_LE(median, kMaxNanosPerScope)
+      << "disabled CF_TRACE_SCOPE is no longer (nearly) free";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  VerifyTracerDisabledOverhead();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,8 @@
 
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace chainsformer {
 namespace core {
@@ -132,6 +134,17 @@ Tensor ChainEncoder::EncodeTokens(const RAChain& chain) const {
 }
 
 Tensor ChainEncoder::Encode(const RAChain& chain) const {
+  // Stage 3 of the pipeline.
+  static auto& reg = metrics::MetricsRegistry::Global();
+  static auto* stage_micros = reg.GetCounter("pipeline.encode.micros");
+  static auto* stage_calls = reg.GetCounter("pipeline.encode.calls");
+  static auto* chains_encoded = reg.GetCounter("encode.chains_encoded");
+  static auto* chain_length = reg.GetHistogram("encode.chain_length");
+  CF_TRACE_SCOPE("encode");
+  metrics::ScopedTimer timer(stage_micros, stage_calls);
+  chains_encoded->Increment();
+  chain_length->Observe(static_cast<double>(chain.relations.size()));
+
   Tensor e_c = EncodeTokens(chain);
   if (!use_numerical_aware_) return e_c;
   const std::vector<float> encoding =

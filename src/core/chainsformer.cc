@@ -8,6 +8,9 @@
 #include "tensor/ops.h"
 #include "tensor/serialize.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/stopwatch.h"
+#include "util/trace.h"
 
 namespace chainsformer {
 namespace core {
@@ -20,6 +23,20 @@ namespace {
 uint64_t QueryKey(const Query& q) {
   return (static_cast<uint64_t>(static_cast<uint32_t>(q.entity)) << 32) |
          static_cast<uint32_t>(q.attribute);
+}
+
+/// The five instrumented pipeline stages, in execution order. Each has a
+/// "pipeline.<stage>.micros" counter accumulated by the stage itself.
+constexpr const char* kPipelineStages[] = {"retrieval", "filter", "encode",
+                                           "project", "aggregate"};
+
+/// Sum of all five per-stage micros counters in `snap`.
+int64_t TotalStageMicros(const metrics::MetricsSnapshot& snap) {
+  int64_t total = 0;
+  for (const char* stage : kPipelineStages) {
+    total += snap.CounterValue(std::string("pipeline.") + stage + ".micros");
+  }
+  return total;
 }
 
 }  // namespace
@@ -118,6 +135,15 @@ ChainsFormerModel::ForwardState ChainsFormerModel::ForwardOnChains(
 }
 
 TrainReport ChainsFormerModel::Train() {
+  static auto& metric_reg = metrics::MetricsRegistry::Global();
+  static auto* epochs_counter = metric_reg.GetCounter("train.epochs");
+  static auto* queries_counter = metric_reg.GetCounter("train.queries");
+  static auto* skipped_counter = metric_reg.GetCounter("train.queries_skipped");
+  static auto* last_loss_gauge = metric_reg.GetGauge("train.last_loss");
+  static auto* last_valid_gauge = metric_reg.GetGauge("train.last_valid_nmae");
+  static auto* epoch_millis_hist = metric_reg.GetHistogram("train.epoch_millis");
+  CF_TRACE_SCOPE("train");
+
   TrainReport report;
 
   // Stage 1: Hyperbolic Filter pre-training (frozen afterwards; its top-k
@@ -174,6 +200,11 @@ TrainReport ChainsFormerModel::Train() {
   }
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    CF_TRACE_SCOPE("train.epoch");
+    // Stage-time bookkeeping: the per-stage micros counters are cumulative,
+    // so an epoch's share is the delta across the epoch.
+    const metrics::MetricsSnapshot epoch_begin = metric_reg.Snapshot();
+    Stopwatch epoch_sw;
     rng_.Shuffle(train);
     const size_t budget =
         config_.max_train_queries > 0
@@ -208,7 +239,11 @@ TrainReport ChainsFormerModel::Train() {
     for (size_t i = 0; i < budget; ++i) {
       const auto& t = train[i];
       ForwardState state = Forward({t.entity, t.attribute});
-      if (!state.valid) continue;
+      if (!state.valid) {
+        skipped_counter->Increment();
+        continue;
+      }
+      queries_counter->Increment();
       Tensor target = Tensor::Scalar(static_cast<float>(NormalizedTarget(t)));
       Tensor loss;
       switch (config_.loss) {
@@ -241,9 +276,33 @@ TrainReport ChainsFormerModel::Train() {
     report.train_losses.push_back(loss_count > 0 ? epoch_loss / loss_count : 0.0);
 
     // Early stopping on normalized validation MAE.
-    const eval::EvalResult vres = Evaluate(valid);
+    const metrics::MetricsSnapshot valid_begin = metric_reg.Snapshot();
+    eval::EvalResult vres;
+    {
+      CF_TRACE_SCOPE("train.valid_eval");
+      vres = Evaluate(valid);
+    }
     report.valid_maes.push_back(vres.normalized_mae);
     ++report.epochs_run;
+    epochs_counter->Increment();
+    last_loss_gauge->Set(report.train_losses.back());
+    last_valid_gauge->Set(vres.normalized_mae);
+    const double epoch_millis = epoch_sw.ElapsedMicros() / 1000.0;
+    epoch_millis_hist->Observe(epoch_millis);
+    {
+      const metrics::MetricsSnapshot epoch_end = metric_reg.Snapshot();
+      std::map<std::string, double> stage_millis;
+      for (const char* stage : kPipelineStages) {
+        const std::string key = std::string("pipeline.") + stage + ".micros";
+        stage_millis[stage] =
+            (epoch_end.CounterValue(key) - epoch_begin.CounterValue(key)) /
+            1000.0;
+      }
+      stage_millis["valid_eval"] =
+          (TotalStageMicros(epoch_end) - TotalStageMicros(valid_begin)) / 1000.0;
+      stage_millis["total"] = epoch_millis;
+      report.epoch_stage_millis.push_back(std::move(stage_millis));
+    }
     if (config_.verbose) {
       CF_LOG(Info) << dataset_.name << " epoch " << epoch << ": train_loss="
                    << report.train_losses.back()
@@ -293,6 +352,11 @@ bool ChainsFormerModel::LoadCheckpoint(const std::string& path) {
 
 eval::EvalResult ChainsFormerModel::EvaluateParallel(
     const std::vector<kg::NumericalTriple>& queries, ThreadPool& pool) {
+  static auto* eval_queries =
+      metrics::MetricsRegistry::Global().GetCounter("eval.queries");
+  static auto* eval_fallbacks =
+      metrics::MetricsRegistry::Global().GetCounter("eval.fallbacks");
+  CF_TRACE_SCOPE("evaluate_parallel");
   size_t limit = queries.size();
   if (config_.max_eval_queries > 0) {
     limit = std::min<size_t>(limit, static_cast<size_t>(config_.max_eval_queries));
@@ -310,9 +374,12 @@ eval::EvalResult ChainsFormerModel::EvaluateParallel(
   // Phase 2 (parallel): per-query forwards over frozen parameters.
   std::vector<double> predictions(limit, 0.0);
   pool.ParallelFor(limit, [&](size_t i) {
+    CF_TRACE_SCOPE("eval.query");
     tensor::NoGradGuard no_grad;  // grad mode is thread-local
     const auto& s = train_stats_[static_cast<size_t>(queries[i].attribute)];
     ForwardState state = ForwardOnChains(chain_sets[i]);
+    eval_queries->Increment();
+    if (!state.valid) eval_fallbacks->Increment();
     const double normalized =
         state.valid ? std::clamp(static_cast<double>(state.prediction.item()),
                                  -0.1, 1.1)
@@ -342,8 +409,15 @@ eval::EvalResult ChainsFormerModel::Evaluate(
 }
 
 double ChainsFormerModel::Predict(const Query& query) {
+  static auto* eval_queries =
+      metrics::MetricsRegistry::Global().GetCounter("eval.queries");
+  static auto* eval_fallbacks =
+      metrics::MetricsRegistry::Global().GetCounter("eval.fallbacks");
+  CF_TRACE_SCOPE("predict");
   tensor::NoGradGuard no_grad;
   ForwardState state = Forward(query);
+  eval_queries->Increment();
+  if (!state.valid) eval_fallbacks->Increment();
   const auto& s = train_stats_[static_cast<size_t>(query.attribute)];
   double normalized = state.valid
                           ? static_cast<double>(state.prediction.item())
@@ -355,6 +429,7 @@ double ChainsFormerModel::Predict(const Query& query) {
 }
 
 Explanation ChainsFormerModel::Explain(const Query& query) {
+  CF_TRACE_SCOPE("explain");
   tensor::NoGradGuard no_grad;
   Explanation ex;
   // Measure ToC size before filtering for the trace.

@@ -1,6 +1,7 @@
 #ifndef CHAINSFORMER_CORE_CHAINSFORMER_H_
 #define CHAINSFORMER_CORE_CHAINSFORMER_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -30,6 +31,11 @@ struct TrainReport {
   double filter_pretrain_loss = 0.0;
   int64_t filter_pretrain_pairs = 0;
   double best_valid_mae = 0.0;
+  /// Per-epoch wall time (ms) spent in each pipeline stage, computed from
+  /// registry deltas: keys "retrieval", "filter", "encode", "project",
+  /// "aggregate" (training + validation work combined), plus "valid_eval"
+  /// (the validation pass, all stages) and "total" (the whole epoch).
+  std::vector<std::map<std::string, double>> epoch_stage_millis;
 };
 
 /// Explanation of one prediction: the reasoning trace of Fig. 5.

@@ -8,6 +8,8 @@
 #include "tensor/ops.h"
 #include "tensor/optim.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace chainsformer {
 namespace core {
@@ -91,7 +93,25 @@ double HyperbolicFilter::Score(const RAChain& chain, Rng* random_rng) const {
 
 TreeOfChains HyperbolicFilter::FilterTopK(const TreeOfChains& toc, int k,
                                           Rng& rng) const {
-  if (static_cast<int>(toc.size()) <= k) return toc;
+  // Stage 2 of the pipeline. Score() returns a negated distance (higher is
+  // better); the histograms record the positive distance s_c^H so bucket
+  // boundaries line up with Eq. 3's geometry.
+  static auto& reg = metrics::MetricsRegistry::Global();
+  static auto* stage_micros = reg.GetCounter("pipeline.filter.micros");
+  static auto* stage_calls = reg.GetCounter("pipeline.filter.calls");
+  static auto* chains_in = reg.GetCounter("filter.chains_in");
+  static auto* chains_kept = reg.GetCounter("filter.chains_kept");
+  static auto* chains_dropped = reg.GetCounter("filter.chains_dropped");
+  static auto* score_kept = reg.GetHistogram("filter.distance_kept");
+  static auto* score_dropped = reg.GetHistogram("filter.distance_dropped");
+  CF_TRACE_SCOPE("filter");
+  metrics::ScopedTimer timer(stage_micros, stage_calls);
+
+  chains_in->Increment(static_cast<int64_t>(toc.size()));
+  if (static_cast<int>(toc.size()) <= k) {
+    chains_kept->Increment(static_cast<int64_t>(toc.size()));
+    return toc;
+  }
   std::vector<std::pair<double, size_t>> scored;
   scored.reserve(toc.size());
   for (size_t i = 0; i < toc.size(); ++i) {
@@ -99,6 +119,12 @@ TreeOfChains HyperbolicFilter::FilterTopK(const TreeOfChains& toc, int k,
   }
   std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
                     [](const auto& a, const auto& b) { return a.first > b.first; });
+  chains_kept->Increment(k);
+  chains_dropped->Increment(static_cast<int64_t>(scored.size()) - k);
+  for (size_t i = 0; i < scored.size(); ++i) {
+    (static_cast<int>(i) < k ? score_kept : score_dropped)
+        ->Observe(-scored[i].first);
+  }
   TreeOfChains out;
   out.reserve(static_cast<size_t>(k));
   for (int i = 0; i < k; ++i) out.push_back(toc[scored[static_cast<size_t>(i)].second]);
@@ -139,6 +165,7 @@ HyperbolicFilter::PretrainStats HyperbolicFilter::Pretrain(
     const QueryRetrieval& retrieval,
     const std::vector<kg::NumericalTriple>& train_triples,
     const std::vector<kg::AttributeStats>& attribute_stats, Rng& rng) {
+  CF_TRACE_SCOPE("filter.pretrain");
   PretrainStats stats;
   if (space_ == FilterSpace::kRandom || train_triples.empty()) return stats;
 

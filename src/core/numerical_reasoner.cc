@@ -4,6 +4,8 @@
 
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace chainsformer {
 namespace core {
@@ -42,43 +44,62 @@ NumericalReasoner::Output NumericalReasoner::Forward(
     const std::vector<Tensor>& chain_reps,
     const std::vector<double>& normalized_values,
     const std::vector<int64_t>& lengths) const {
+  // Stages 4 (projection) and 5 (aggregation) of the pipeline.
+  static auto& reg = metrics::MetricsRegistry::Global();
+  static auto* project_micros = reg.GetCounter("pipeline.project.micros");
+  static auto* project_calls = reg.GetCounter("pipeline.project.calls");
+  static auto* aggregate_micros = reg.GetCounter("pipeline.aggregate.micros");
+  static auto* aggregate_calls = reg.GetCounter("pipeline.aggregate.calls");
+  static auto* forwards = reg.GetCounter("reasoner.forwards");
+  static auto* chains_per_forward =
+      reg.GetHistogram("reasoner.chains_per_forward");
+
   const size_t k = chain_reps.size();
   CF_CHECK_GT(k, 0u);
   CF_CHECK_EQ(normalized_values.size(), k);
   CF_CHECK_EQ(lengths.size(), k);
+  forwards->Increment();
+  chains_per_forward->Observe(static_cast<double>(k));
 
   // --- Numerical Prediction (Eqs. 17-19) -------------------------------------
-  std::vector<Tensor> per_chain;
-  per_chain.reserve(k);
-  for (size_t i = 0; i < k; ++i) {
-    Tensor raw = projection_mlp_->Forward(chain_reps[i]);  // [1] or [2]
-    const float np = static_cast<float>(normalized_values[i]);
-    Tensor pred;
-    switch (projection_) {
-      case ProjectionMode::kDirect:
-        pred = raw;  // n̂ = MLP(ẽ_c)
-        break;
-      case ProjectionMode::kTranslation:
-        // n̂ = n_p + β
-        pred = ops::AddScalar(raw, np);
-        break;
-      case ProjectionMode::kScaling:
-        // n̂ = α n_p with α = 1 + MLP(ẽ_c)
-        pred = ops::MulScalar(ops::AddScalar(raw, 1.0f), np);
-        break;
-      case ProjectionMode::kCombined: {
-        // n̂ = α (n_p + β)
-        Tensor alpha = ops::AddScalar(ops::SliceRows(raw, 0, 1), 1.0f);
-        Tensor beta = ops::SliceRows(raw, 1, 2);
-        pred = ops::Mul(alpha, ops::AddScalar(beta, np));
-        break;
+  Tensor chain_preds;
+  {
+    CF_TRACE_SCOPE("project");
+    metrics::ScopedTimer project_timer(project_micros, project_calls);
+    std::vector<Tensor> per_chain;
+    per_chain.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      Tensor raw = projection_mlp_->Forward(chain_reps[i]);  // [1] or [2]
+      const float np = static_cast<float>(normalized_values[i]);
+      Tensor pred;
+      switch (projection_) {
+        case ProjectionMode::kDirect:
+          pred = raw;  // n̂ = MLP(ẽ_c)
+          break;
+        case ProjectionMode::kTranslation:
+          // n̂ = n_p + β
+          pred = ops::AddScalar(raw, np);
+          break;
+        case ProjectionMode::kScaling:
+          // n̂ = α n_p with α = 1 + MLP(ẽ_c)
+          pred = ops::MulScalar(ops::AddScalar(raw, 1.0f), np);
+          break;
+        case ProjectionMode::kCombined: {
+          // n̂ = α (n_p + β)
+          Tensor alpha = ops::AddScalar(ops::SliceRows(raw, 0, 1), 1.0f);
+          Tensor beta = ops::SliceRows(raw, 1, 2);
+          pred = ops::Mul(alpha, ops::AddScalar(beta, np));
+          break;
+        }
       }
+      per_chain.push_back(pred);  // each [1]
     }
-    per_chain.push_back(pred);  // each [1]
+    chain_preds = ops::Concat(per_chain, 0);  // [k]
   }
-  Tensor chain_preds = ops::Concat(per_chain, 0);  // [k]
 
   // --- Logic Chain Weighting (Eqs. 20-22) -------------------------------------
+  CF_TRACE_SCOPE("aggregate");
+  metrics::ScopedTimer aggregate_timer(aggregate_micros, aggregate_calls);
   Tensor weights;
   if (use_chain_weighting_ && k > 1) {
     std::vector<int64_t> length_ids;

@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace chainsformer {
 namespace core {
@@ -70,6 +72,19 @@ TreeOfChains QueryRetrieval::RetrieveSameAttribute(const Query& query,
 
 TreeOfChains QueryRetrieval::RetrieveImpl(const Query& query, Rng& rng,
                                           bool same_attribute_only) const {
+  // Stage 1 of the pipeline. pipeline.retrieval.micros accumulates wall time
+  // so the training loop can report per-stage epoch deltas.
+  static auto& reg = metrics::MetricsRegistry::Global();
+  static auto* stage_micros = reg.GetCounter("pipeline.retrieval.micros");
+  static auto* stage_calls = reg.GetCounter("pipeline.retrieval.calls");
+  static auto* walks_taken = reg.GetCounter("retrieval.walks_taken");
+  static auto* walks_empty = reg.GetCounter("retrieval.walks_empty");
+  static auto* chains_generated = reg.GetCounter("retrieval.chains_generated");
+  static auto* duplicates = reg.GetCounter("retrieval.duplicates_suppressed");
+  static auto* toc_size = reg.GetHistogram("retrieval.toc_size");
+  CF_TRACE_SCOPE("retrieval");
+  metrics::ScopedTimer timer(stage_micros, stage_calls);
+
   TreeOfChains toc;
   toc.reserve(static_cast<size_t>(num_walks_));
   const int max_attempts = num_walks_ * 4;
@@ -92,6 +107,7 @@ TreeOfChains QueryRetrieval::RetrieveImpl(const Query& query, Rng& rng,
   for (int attempt = 0;
        attempt < max_attempts && static_cast<int>(toc.size()) < num_walks_;
        ++attempt) {
+    walks_taken->Increment();
     const int depth = static_cast<int>(rng.UniformInt(1, max_hops_));
     kg::EntityId cur = query.entity;
     walk_relations.clear();
@@ -105,7 +121,10 @@ TreeOfChains QueryRetrieval::RetrieveImpl(const Query& query, Rng& rng,
       on_path.insert(cur);
       walk_relations.push_back(edge.relation);
     }
-    if (walk_relations.empty()) continue;
+    if (walk_relations.empty()) {
+      walks_empty->Increment();
+      continue;
+    }
 
     // Collect one (attribute, value) fact at the endpoint.
     const auto facts = numeric_.Values(cur);
@@ -133,9 +152,13 @@ TreeOfChains QueryRetrieval::RetrieveImpl(const Query& query, Rng& rng,
       chain.relations.push_back(kg::KnowledgeGraph::InverseRelation(*it));
     }
     if (seen.insert(chain_key(chain)).second) {
+      chains_generated->Increment();
       toc.push_back(std::move(chain));
+    } else {
+      duplicates->Increment();
     }
   }
+  toc_size->Observe(static_cast<double>(toc.size()));
   return toc;
 }
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
+
+#include "util/logging.h"
 
 namespace chainsformer {
 namespace core {
@@ -77,8 +80,18 @@ std::string ExplanationToDot(const kg::KnowledgeGraph& graph, const Query& query
 bool WriteExplanationDot(const std::string& path, const kg::KnowledgeGraph& graph,
                          const Query& query, const Explanation& explanation,
                          int max_chains) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+    // A failure here (e.g. the parent exists as a regular file) surfaces as
+    // the open failure below, which logs the offending path.
+  }
   std::ofstream out(path);
-  if (!out.good()) return false;
+  if (!out.good()) {
+    CF_LOG(Error) << "trace_export: cannot open " << path << " for writing";
+    return false;
+  }
   out << ExplanationToDot(graph, query, explanation, max_chains);
   return out.good();
 }

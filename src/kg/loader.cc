@@ -5,7 +5,9 @@
 #include <string>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace chainsformer {
 namespace kg {
@@ -31,6 +33,14 @@ bool SkipLine(const std::string& line) {
 
 Dataset LoadTsvDataset(const std::string& name, const std::string& triples_path,
                        const std::string& numeric_path, uint64_t split_seed) {
+  static auto& reg = metrics::MetricsRegistry::Global();
+  static auto* load_micros = reg.GetCounter("kg.load.micros");
+  static auto* load_calls = reg.GetCounter("kg.load.calls");
+  static auto* triples_loaded = reg.GetCounter("kg.load.relational_triples");
+  static auto* numeric_loaded = reg.GetCounter("kg.load.numerical_triples");
+  CF_TRACE_SCOPE("kg.load");
+  metrics::ScopedTimer timer(load_micros, load_calls);
+
   Dataset ds;
   ds.name = name;
   KnowledgeGraph& g = ds.graph;
@@ -46,6 +56,7 @@ Dataset LoadTsvDataset(const std::string& name, const std::string& triples_path,
     const RelationId r = g.AddRelation(fields[1]);
     const EntityId t = g.AddEntity(fields[2]);
     g.AddTriple(h, r, t);
+    triples_loaded->Increment();
   }
 
   std::ifstream numeric(numeric_path);
@@ -57,6 +68,7 @@ Dataset LoadTsvDataset(const std::string& name, const std::string& triples_path,
     const EntityId e = g.AddEntity(fields[0]);
     const AttributeId a = g.AddAttribute(fields[1], InferCategory(fields[1]));
     g.AddNumeric(e, a, std::stod(fields[2]));
+    numeric_loaded->Increment();
   }
 
   g.Finalize();

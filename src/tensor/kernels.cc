@@ -6,7 +6,9 @@
 #include <thread>
 #include <vector>
 
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace chainsformer {
 namespace tensor {
@@ -119,11 +121,23 @@ int KernelThreads() {
 
 void ParallelRanges(int64_t n, int64_t cost_per_item,
                     const std::function<void(int64_t, int64_t)>& fn) {
+  // Dispatch-decision metrics for the kernel layer: how often a GEMM ran
+  // inline vs. was sliced onto the pool, and how coarse the slices were.
+  static auto* inline_dispatches =
+      metrics::MetricsRegistry::Global().GetCounter("kernels.dispatch_inline");
+  static auto* pooled_dispatches =
+      metrics::MetricsRegistry::Global().GetCounter("kernels.dispatch_pooled");
+  static auto* tasks_dispatched =
+      metrics::MetricsRegistry::Global().GetCounter("kernels.tasks_dispatched");
+  static auto* rows_per_dispatch =
+      metrics::MetricsRegistry::Global().GetHistogram(
+          "kernels.rows_per_dispatch");
   if (n <= 0) return;
   const int64_t cost = std::max<int64_t>(cost_per_item, 1);
   const int threads = KernelThreads();
   const double total = static_cast<double>(n) * static_cast<double>(cost);
   if (threads <= 1 || total < 2.0 * static_cast<double>(kGrainWork)) {
+    inline_dispatches->Increment();
     fn(0, n);
     return;
   }
@@ -131,9 +145,14 @@ void ParallelRanges(int64_t n, int64_t cost_per_item,
       threads, static_cast<int64_t>(total / static_cast<double>(kGrainWork)));
   num_ranges = std::clamp<int64_t>(num_ranges, 1, n);
   if (num_ranges <= 1) {
+    inline_dispatches->Increment();
     fn(0, n);
     return;
   }
+  pooled_dispatches->Increment();
+  tasks_dispatched->Increment(num_ranges);
+  rows_per_dispatch->Observe(static_cast<double>(n));
+  CF_TRACE_SCOPE("kernels.gemm_pooled");
   const size_t grain =
       static_cast<size_t>((n + num_ranges - 1) / num_ranges);
   Pool()->ParallelForRanges(

@@ -1,6 +1,13 @@
 #include "util/logging.h"
 
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <mutex>
+#include <utility>
 
 namespace chainsformer {
 namespace {
@@ -19,9 +26,56 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// ANSI color for the severity tag; empty when the level has no color.
+const char* LevelColor(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo:
+      return "\x1b[32m";  // green
+    case LogLevel::kWarning:
+      return "\x1b[33m";  // yellow
+    case LogLevel::kError:
+    case LogLevel::kFatal:
+      return "\x1b[31m";  // red
+  }
+  return "";
+}
+
 LogLevel& MutableMinLogLevel() {
   static LogLevel level = LogLevel::kInfo;
   return level;
+}
+
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex();  // leaked: usable at teardown
+  return *mu;
+}
+
+LogSink& MutableSink() {
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
+
+bool StderrIsTty() {
+  static const bool is_tty = isatty(fileno(stderr)) != 0;
+  return is_tty;
+}
+
+/// "YYYY-MM-DD HH:MM:SS.mmm" in local time.
+std::string WallClockNow() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm_buf;
+  localtime_r(&secs, &tm_buf);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                tm_buf.tm_year + 1900, tm_buf.tm_mon + 1, tm_buf.tm_mday,
+                tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec, millis);
+  return buf;
 }
 
 }  // namespace
@@ -30,17 +84,38 @@ LogLevel MinLogLevel() { return MutableMinLogLevel(); }
 
 void SetMinLogLevel(LogLevel level) { MutableMinLogLevel() = level; }
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutableSink() = std::move(sink);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
   const char* base = file;
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  std::ostringstream header;
+  header << "[" << LevelName(level) << " " << WallClockNow() << " " << base
+         << ":" << line << "] ";
+  header_ = header.str();
 }
 
 LogMessage::~LogMessage() {
   if (level_ >= MinLogLevel() || level_ == LogLevel::kFatal) {
-    std::cerr << stream_.str() << std::endl;
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    const LogSink& sink = MutableSink();
+    if (sink) {
+      sink(level_, header_ + stream_.str());
+    } else if (StderrIsTty()) {
+      // Color only the "[LEVEL" tag so the rest stays grep-friendly.
+      const size_t tag_end = header_.find(' ');
+      std::cerr << LevelColor(level_) << header_.substr(0, tag_end)
+                << "\x1b[0m" << header_.substr(tag_end) << stream_.str()
+                << std::endl;
+    } else {
+      std::cerr << header_ << stream_.str() << std::endl;
+    }
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

@@ -1,6 +1,7 @@
 #ifndef CHAINSFORMER_UTIL_LOGGING_H_
 #define CHAINSFORMER_UTIL_LOGGING_H_
 
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -13,6 +14,9 @@ enum class LogLevel { kInfo, kWarning, kError, kFatal };
 /// Minimal streaming logger. A kFatal message aborts the process after the
 /// message is flushed, which is how precondition violations are surfaced
 /// (the library does not throw exceptions across its public API).
+///
+/// Messages carry a wall-clock timestamp and, when stderr is a TTY, a
+/// severity-colored tag. Tests can intercept output with SetLogSink().
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -25,6 +29,7 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  std::string header_;  // "[LEVEL timestamp file:line] " (uncolored)
   std::ostringstream stream_;
 };
 
@@ -32,6 +37,15 @@ class LogMessage {
 /// always print and abort regardless of this threshold.
 LogLevel MinLogLevel();
 void SetMinLogLevel(LogLevel level);
+
+/// Receives every emitted message (threshold already applied) as the plain,
+/// uncolored "[LEVEL timestamp file:line] body" string.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Redirects log output to `sink` instead of stderr — tests capture log
+/// lines with this instead of scraping stderr. Pass an empty function to
+/// restore stderr output. kFatal still aborts after the sink runs.
+void SetLogSink(LogSink sink);
 
 }  // namespace chainsformer
 

@@ -1,0 +1,249 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace metrics {
+namespace {
+
+void AtomicAdd(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// %g prints integers without a decimal point and strips trailing zeros,
+/// which keeps the JSON stable across platforms for the values we emit.
+std::string FormatNumber(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int Histogram::BucketIndex(double v) {
+  if (!(v > 1.0)) return 0;  // v <= 1, non-finite negatives, NaN
+  const int e = std::ilogb(v);  // floor(log2 v); v > 1 implies e >= 0
+  // v lies in [2^e, 2^(e+1)); bucket i covers (2^(i-1), 2^i], so an exact
+  // power of two belongs to bucket e and everything above it to e + 1.
+  const int idx = v == std::ldexp(1.0, e) ? e : e + 1;
+  return std::min(idx, kNumBuckets - 1);
+}
+
+double Histogram::UpperBound(int i) { return std::ldexp(1.0, i); }
+
+void Histogram::Observe(double v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, v);
+  AtomicMin(min_, v);
+  AtomicMax(max_, v);
+}
+
+int64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked intentionally: instrumented code caches metric pointers in
+  // function-local statics, and worker threads may still touch them during
+  // static teardown.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CF_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0)
+      << "metric '" << name << "' already registered with a different kind";
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CF_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0)
+      << "metric '" << name << "' already registered with a different kind";
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name))).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CF_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0)
+      << "metric '" << name << "' already registered with a different kind";
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(new Histogram(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = h->count_.load(std::memory_order_relaxed);
+    hs.sum = h->sum_.load(std::memory_order_relaxed);
+    hs.min = hs.count > 0 ? h->min_.load(std::memory_order_relaxed) : 0.0;
+    hs.max = hs.count > 0 ? h->max_.load(std::memory_order_relaxed) : 0.0;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      const int64_t n = h->buckets_[i].load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      hs.buckets.push_back(
+          {i == Histogram::kNumBuckets - 1
+               ? std::numeric_limits<double>::infinity()
+               : Histogram::UpperBound(i),
+           n});
+    }
+    snap.histograms.push_back(std::move(hs));
+  }
+  // std::map iteration is already name-sorted; keep that as the contract.
+  return snap;
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \""
+       << EscapeJson(snapshot.counters[i].first)
+       << "\": " << snapshot.counters[i].second;
+  }
+  os << (snapshot.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \""
+       << EscapeJson(snapshot.gauges[i].first)
+       << "\": " << FormatNumber(snapshot.gauges[i].second);
+  }
+  os << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << EscapeJson(h.name)
+       << "\": {\"count\": " << h.count << ", \"sum\": " << FormatNumber(h.sum)
+       << ", \"min\": " << FormatNumber(h.min)
+       << ", \"max\": " << FormatNumber(h.max) << ", \"buckets\": [";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b != 0) os << ", ";
+      os << "{\"le\": ";
+      if (std::isinf(h.buckets[b].upper_bound)) {
+        os << "\"+Inf\"";
+      } else {
+        os << FormatNumber(h.buckets[b].upper_bound);
+      }
+      os << ", \"count\": " << h.buckets[b].count << "}";
+    }
+    os << "]}";
+  }
+  os << (snapshot.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+bool WriteJsonFile(const std::string& path, const MetricsSnapshot& snapshot) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+    // An error here surfaces as the open failure below, with the path.
+  }
+  std::ofstream out(path);
+  if (!out.good()) {
+    CF_LOG(Error) << "metrics: cannot open " << path << " for writing";
+    return false;
+  }
+  out << ToJson(snapshot);
+  return out.good();
+}
+
+std::string SummaryTable(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  char line[160];
+  if (!snapshot.counters.empty()) {
+    os << "-- counters -------------------------------------------------\n";
+    for (const auto& [name, v] : snapshot.counters) {
+      std::snprintf(line, sizeof(line), "%-44s %14lld\n", name.c_str(),
+                    static_cast<long long>(v));
+      os << line;
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    os << "-- gauges ---------------------------------------------------\n";
+    for (const auto& [name, v] : snapshot.gauges) {
+      std::snprintf(line, sizeof(line), "%-44s %14.6g\n", name.c_str(), v);
+      os << line;
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    os << "-- histograms -----------------------------------------------\n";
+    std::snprintf(line, sizeof(line), "%-32s %10s %10s %10s %10s\n", "name",
+                  "count", "mean", "min", "max");
+    os << line;
+    for (const auto& h : snapshot.histograms) {
+      const double mean = h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+      std::snprintf(line, sizeof(line), "%-32s %10lld %10.4g %10.4g %10.4g\n",
+                    h.name.c_str(), static_cast<long long>(h.count), mean,
+                    h.min, h.max);
+      os << line;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace metrics
+}  // namespace chainsformer

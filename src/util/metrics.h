@@ -1,0 +1,180 @@
+#ifndef CHAINSFORMER_UTIL_METRICS_H_
+#define CHAINSFORMER_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace chainsformer {
+namespace metrics {
+
+/// Process-wide counters, gauges and histograms for the ChainsFormer
+/// pipeline (retrieval / filter / encoder / reasoner), the training loop and
+/// the kernel layer. Registration takes a mutex once; after that every
+/// update is a handful of relaxed atomic operations, so instrumented hot
+/// paths stay lock-free. The idiom in instrumented code is a cached static
+/// pointer:
+///
+///   static auto* walks = metrics::MetricsRegistry::Global().GetCounter(
+///       "retrieval.walks");
+///   walks->Increment();
+///
+/// Metric objects live for the process lifetime (the registry is never
+/// destroyed), so cached pointers stay valid even during static teardown of
+/// worker pools.
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins floating-point metric (e.g. current loss).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Exponential histogram with power-of-two buckets: bucket 0 collects
+/// v <= 1, bucket i (0 < i < kNumBuckets-1) collects 2^(i-1) < v <= 2^i,
+/// and the last bucket is the +Inf overflow. Observe() is a few relaxed
+/// atomics (one fetch_add, CAS loops for sum/min/max).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Observe(double v);
+
+  /// Bucket index v falls into (exposed for tests).
+  static int BucketIndex(double v);
+  /// Inclusive upper bound of bucket i; the last bucket has no finite bound.
+  static double UpperBound(int i);
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // +/-infinity sentinels make concurrent first observations race-free; the
+  // snapshot reports 0 for both while the histogram is empty.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Point-in-time copy of one histogram, with only non-empty buckets.
+struct HistogramSnapshot {
+  struct Bucket {
+    double upper_bound = 0.0;  // inclusive; +infinity for the overflow bucket
+    int64_t count = 0;
+  };
+  std::string name;
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<Bucket> buckets;
+};
+
+/// Stable point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Counter value by name; 0 when absent. Convenience for stage-delta math.
+  int64_t CounterValue(const std::string& name) const;
+};
+
+/// Thread-safe name -> metric registry. Get* registers on first use and
+/// returns a pointer that stays valid for the registry's lifetime; repeated
+/// calls with the same name return the same object. A name identifies one
+/// metric kind — requesting it as a different kind is a fatal error.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-global registry (never destroyed).
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Serializes a snapshot as {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {count, sum, min, max, buckets: [{le, count}]}}}.
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+/// Writes ToJson() to `path`, creating missing parent directories. Returns
+/// false (and logs the path) on I/O failure.
+bool WriteJsonFile(const std::string& path, const MetricsSnapshot& snapshot);
+
+/// Human-readable fixed-width dump of a snapshot (the CLI's --stats table).
+std::string SummaryTable(const MetricsSnapshot& snapshot);
+
+/// RAII stage timer: on destruction adds the elapsed microseconds to
+/// `micros` and 1 to `calls` (either may be null). The pipeline stages use
+/// one of these per call so per-stage wall time accumulates in the registry
+/// (and epoch deltas can be read back by the training loop).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Counter* micros, Counter* calls = nullptr)
+      : micros_(micros), calls_(calls) {}
+  ~ScopedTimer() {
+    if (micros_ != nullptr) micros_->Increment(sw_.ElapsedMicros());
+    if (calls_ != nullptr) calls_->Increment();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Counter* micros_;
+  Counter* calls_;
+  Stopwatch sw_;
+};
+
+}  // namespace metrics
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_UTIL_METRICS_H_

@@ -2,6 +2,7 @@
 #define CHAINSFORMER_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace chainsformer {
 
@@ -20,6 +21,13 @@ class Stopwatch {
 
   /// Elapsed milliseconds since construction or last Reset().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed whole microseconds since construction or last Reset().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

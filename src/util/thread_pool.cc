@@ -2,7 +2,31 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace chainsformer {
+namespace {
+
+metrics::Counter* TasksScheduledCounter() {
+  static auto* c =
+      metrics::MetricsRegistry::Global().GetCounter("threadpool.tasks_scheduled");
+  return c;
+}
+
+metrics::Counter* InlineRunsCounter() {
+  static auto* c =
+      metrics::MetricsRegistry::Global().GetCounter("threadpool.inline_runs");
+  return c;
+}
+
+metrics::Counter* RangeTasksCounter() {
+  static auto* c =
+      metrics::MetricsRegistry::Global().GetCounter("threadpool.range_tasks");
+  return c;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -24,6 +48,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Schedule(std::function<void()> fn) {
+  TasksScheduledCounter()->Increment();
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push(std::move(fn));
@@ -54,12 +79,17 @@ void ThreadPool::ParallelForRanges(
   if (n == 0) return;
   if (grain == 0) grain = 1;
   if (threads_.size() <= 1 || n <= grain) {
+    InlineRunsCounter()->Increment();
     fn(0, n);
     return;
   }
   for (size_t begin = 0; begin < n; begin += grain) {
     const size_t end = std::min(n, begin + grain);
-    Schedule([begin, end, &fn] { fn(begin, end); });
+    RangeTasksCounter()->Increment();
+    Schedule([begin, end, &fn] {
+      CF_TRACE_SCOPE("threadpool.range_task");
+      fn(begin, end);
+    });
   }
   Wait();
 }

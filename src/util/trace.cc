@@ -1,0 +1,213 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace trace {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+struct Span {
+  const char* name;
+  uint64_t start_ns;
+  uint64_t end_ns;
+  int depth;
+};
+
+/// One ring per traced thread. The owning thread appends under `mu`
+/// (uncontended except while a drain is in progress); the registry keeps a
+/// shared_ptr so spans survive the owning thread's exit.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<Span> ring;
+  size_t next = 0;      // next write slot
+  size_t size = 0;      // valid spans (<= kRingCapacity)
+  uint64_t dropped = 0; // spans overwritten by wraparound
+  int tid = 0;          // stable display id (registration order)
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: see metrics.cc
+  return *registry;
+}
+
+uint64_t NowNs() {
+  // Steady-clock ticks relative to a process-global base, so Chrome's
+  // timeline starts near zero.
+  static const std::chrono::steady_clock::time_point base =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - base)
+          .count());
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    b->ring.resize(kRingCapacity);
+    Registry& reg = GetRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    b->tid = static_cast<int>(reg.buffers.size());
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+thread_local int t_depth = 0;
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace internal {
+
+void BeginSpan(const char* name, uint64_t* start_ns, int* depth) {
+  (void)name;
+  *depth = t_depth++;
+  *start_ns = NowNs();
+}
+
+void EndSpan(const char* name, uint64_t start_ns, int depth) {
+  const uint64_t end_ns = NowNs();
+  t_depth = depth;  // robust even if enabling raced with scope entry
+  ThreadBuffer& buf = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.ring[buf.next] = {name, start_ns, end_ns, depth};
+  buf.next = (buf.next + 1) % kRingCapacity;
+  if (buf.size < kRingCapacity) {
+    ++buf.size;
+  } else {
+    ++buf.dropped;  // overwrote the oldest span
+  }
+}
+
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+size_t BufferedSpans() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  size_t total = 0;
+  for (const auto& b : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(b->mu);
+    total += b->size;
+  }
+  return total;
+}
+
+uint64_t DroppedSpans() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  uint64_t total = 0;
+  for (const auto& b : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(b->mu);
+    total += b->dropped;
+  }
+  return total;
+}
+
+void Clear() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& b : reg.buffers) {
+    std::lock_guard<std::mutex> buf_lock(b->mu);
+    b->next = 0;
+    b->size = 0;
+    b->dropped = 0;
+  }
+}
+
+std::string DrainChromeTraceJson() {
+  struct Drained {
+    Span span;
+    int tid;
+  };
+  std::vector<Drained> spans;
+  {
+    Registry& reg = GetRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (const auto& b : reg.buffers) {
+      std::lock_guard<std::mutex> buf_lock(b->mu);
+      // Oldest-first: the ring's oldest entry sits at `next` once wrapped.
+      const size_t start = b->size == kRingCapacity ? b->next : 0;
+      for (size_t i = 0; i < b->size; ++i) {
+        spans.push_back({b->ring[(start + i) % kRingCapacity], b->tid});
+      }
+      b->next = 0;
+      b->size = 0;
+    }
+  }
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const Drained& a, const Drained& b) {
+                     return a.span.start_ns < b.span.start_ns;
+                   });
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const Drained& d : spans) {
+    if (!first) os << ",";
+    first = false;
+    // Complete ("X") events; ts/dur are microseconds (Chrome's unit).
+    char head[64];
+    std::snprintf(head, sizeof(head), "%.3f", d.span.start_ns / 1e3);
+    char dur[64];
+    std::snprintf(dur, sizeof(dur), "%.3f",
+                  (d.span.end_ns - d.span.start_ns) / 1e3);
+    os << "\n  {\"ph\": \"X\", \"pid\": 1, \"tid\": " << d.tid << ", \"name\": \""
+       << EscapeJson(d.span.name) << "\", \"ts\": " << head
+       << ", \"dur\": " << dur << ", \"args\": {\"depth\": " << d.span.depth
+       << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out.good()) {
+    CF_LOG(Error) << "trace: cannot open " << path << " for writing";
+    return false;
+  }
+  out << DrainChromeTraceJson();
+  return out.good();
+}
+
+}  // namespace trace
+}  // namespace chainsformer

@@ -1,0 +1,91 @@
+#ifndef CHAINSFORMER_UTIL_TRACE_H_
+#define CHAINSFORMER_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace chainsformer {
+namespace trace {
+
+/// Low-overhead span tracer for the prediction/training pipeline. Scopes are
+/// annotated with CF_TRACE_SCOPE("stage"); completed spans land in
+/// per-thread ring buffers (steady-clock ticks, thread id, nesting depth)
+/// and are drained on demand into Chrome trace-event JSON that loads in
+/// chrome://tracing or Perfetto.
+///
+/// Tracing is OFF by default. While disabled, an instrumented scope costs
+/// one relaxed atomic load and a branch — no clock reads, no locks, no
+/// allocation — so hot paths can stay instrumented permanently
+/// (bench/perf_microbench asserts this stays below a nanosecond budget).
+
+/// Spans each thread can buffer before the oldest are overwritten.
+constexpr size_t kRingCapacity = 1 << 14;
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+
+/// Out-of-line slow path used only while tracing is enabled.
+void BeginSpan(const char* name, uint64_t* start_ns, int* depth);
+void EndSpan(const char* name, uint64_t start_ns, int depth);
+}  // namespace internal
+
+/// Turns span collection on/off process-wide. Already-buffered spans are
+/// kept; use Clear() to drop them.
+void SetEnabled(bool enabled);
+
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// RAII span. `name` must outlive the tracer (string literals only — the
+/// CF_TRACE_SCOPE macro enforces the idiom).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : name_(name), active_(Enabled()) {
+    if (active_) internal::BeginSpan(name_, &start_ns_, &depth_);
+  }
+  ~ScopedSpan() {
+    if (active_) internal::EndSpan(name_, start_ns_, depth_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_ns_ = 0;
+  int depth_ = 0;
+  bool active_;
+};
+
+/// Total spans currently buffered across all threads (completed, undrained).
+size_t BufferedSpans();
+
+/// Spans dropped so far to ring-buffer wraparound (oldest-first eviction).
+uint64_t DroppedSpans();
+
+/// Discards every buffered span (and the drop counter) without emitting.
+void Clear();
+
+/// Moves every buffered span out of the ring buffers and serializes them as
+/// a Chrome trace-event JSON object ({"traceEvents": [...]}, "X" complete
+/// events with microsecond timestamps, one tid per traced thread).
+std::string DrainChromeTraceJson();
+
+/// Writes DrainChromeTraceJson() to `path`, creating missing parent
+/// directories. Returns false (and logs the path) on I/O failure.
+bool WriteChromeTrace(const std::string& path);
+
+}  // namespace trace
+}  // namespace chainsformer
+
+#define CF_TRACE_CONCAT_INNER_(a, b) a##b
+#define CF_TRACE_CONCAT_(a, b) CF_TRACE_CONCAT_INNER_(a, b)
+
+/// Traces the enclosing scope as a span named `name` (a string literal).
+#define CF_TRACE_SCOPE(name) \
+  ::chainsformer::trace::ScopedSpan CF_TRACE_CONCAT_(cf_trace_span_, \
+                                                     __LINE__)(name)
+
+#endif  // CHAINSFORMER_UTIL_TRACE_H_

@@ -1,15 +1,18 @@
 // End-to-end test of the `chainsformer` CLI's cheap subcommands (generate +
-// analyze). Training subcommands are covered by the library tests; here we
-// verify the tool wiring: flags, TSV output, and graph reload.
+// analyze) and the observability surface of a tiny train run. Full training
+// subcommands are covered by the library tests; here we verify the tool
+// wiring: flags, TSV output, graph reload, and metrics/trace export.
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
 
 #include "kg/loader.h"
+#include "test_json.h"
 
 namespace chainsformer {
 namespace {
@@ -64,6 +67,61 @@ TEST(CliTest, AnalyzeReportsStructure) {
   EXPECT_NE(out.find("reachable in 3 hops"), std::string::npos);
   std::remove(triples.c_str());
   std::remove(numeric.c_str());
+}
+
+TEST(CliTest, TrainWritesMetricsAndTraceJson) {
+  if (!CliAvailable()) GTEST_SKIP() << "CLI binary not found";
+  const std::string triples = "/tmp/cf_cli_triples3.tsv";
+  const std::string numeric = "/tmp/cf_cli_numeric3.tsv";
+  const std::string metrics_path = "/tmp/cf_cli_metrics.json";
+  const std::string trace_path = "/tmp/cf_cli_trace.json";
+  RunCommand(CliPath() + " generate --dataset=yago --scale=0.03 --triples=" +
+             triples + " --numeric=" + numeric);
+  const std::string out = RunCommand(
+      CliPath() + " train --triples=" + triples + " --numeric=" + numeric +
+      " --epochs=1 --train-queries=30 --num-walks=24 --top-k=6"
+      " --hidden-dim=16 --filter-dim=8 --eval-threads=2 --verbose=false"
+      " --metrics-json=" + metrics_path + " --trace-json=" + trace_path +
+      " --stats");
+  EXPECT_NE(out.find("trained"), std::string::npos) << out;
+  EXPECT_NE(out.find("-- counters --"), std::string::npos) << out;  // --stats
+
+  // Metrics JSON: parseable, with nonzero train.epochs and stage counters.
+  std::ifstream mf(metrics_path);
+  ASSERT_TRUE(mf.good()) << "metrics JSON missing: " << out;
+  std::stringstream ms;
+  ms << mf.rdbuf();
+  const std::string metrics_json = ms.str();
+  EXPECT_TRUE(test_json::IsValidJson(metrics_json)) << metrics_json;
+  double v = 0.0;
+  ASSERT_TRUE(test_json::FindNumberAfterKey(metrics_json, "train.epochs", &v));
+  EXPECT_GT(v, 0.0) << metrics_json;
+  for (const char* stage :
+       {"pipeline.retrieval.calls", "pipeline.filter.calls",
+        "pipeline.encode.calls", "pipeline.project.calls",
+        "pipeline.aggregate.calls", "kg.load.calls", "eval.queries"}) {
+    ASSERT_TRUE(test_json::FindNumberAfterKey(metrics_json, stage, &v))
+        << stage << " missing from " << metrics_json;
+    EXPECT_GT(v, 0.0) << stage;
+  }
+
+  // Trace JSON: parseable Chrome trace with pipeline spans.
+  std::ifstream tf(trace_path);
+  ASSERT_TRUE(tf.good()) << "trace JSON missing: " << out;
+  std::stringstream ts;
+  ts << tf.rdbuf();
+  const std::string trace_json = ts.str();
+  EXPECT_TRUE(test_json::IsValidJson(trace_json));
+  EXPECT_NE(trace_json.find("\"traceEvents\""), std::string::npos);
+  for (const char* span : {"retrieval", "filter", "encode", "train.epoch"}) {
+    EXPECT_NE(trace_json.find(std::string("\"name\": \"") + span + "\""),
+              std::string::npos)
+        << span << " span missing";
+  }
+  std::remove(triples.c_str());
+  std::remove(numeric.c_str());
+  std::remove(metrics_path.c_str());
+  std::remove(trace_path.c_str());
 }
 
 TEST(CliTest, UsageOnUnknownCommand) {

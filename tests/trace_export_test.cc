@@ -1,6 +1,7 @@
 #include "core/trace_export.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -67,6 +68,32 @@ TEST_F(TraceExportTest, WritesFile) {
   buffer << in.rdbuf();
   EXPECT_NE(buffer.str().find("digraph"), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST_F(TraceExportTest, CreatesMissingParentDirectories) {
+  const kg::Dataset ds = MakeData();
+  const Query q{ds.graph.FindEntity("alice"), ds.graph.FindAttribute("birth")};
+  std::filesystem::remove_all("/tmp/cf_trace_export_dirs");
+  const std::string path = "/tmp/cf_trace_export_dirs/a/b/trace.dot";
+  ASSERT_TRUE(WriteExplanationDot(path, ds.graph, q, MakeExplanation(ds)));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("digraph"), std::string::npos);
+  std::filesystem::remove_all("/tmp/cf_trace_export_dirs");
+}
+
+TEST_F(TraceExportTest, ReturnsFalseOnUnwritablePath) {
+  const kg::Dataset ds = MakeData();
+  const Query q{ds.graph.FindEntity("alice"), ds.graph.FindAttribute("birth")};
+  // The would-be parent directory is a regular file, so directory creation
+  // and the subsequent open both fail; WriteExplanationDot must report it.
+  const std::string blocker = "/tmp/cf_trace_export_blocker";
+  std::ofstream(blocker) << "x";
+  EXPECT_FALSE(WriteExplanationDot(blocker + "/trace.dot", ds.graph, q,
+                                   MakeExplanation(ds)));
+  std::remove(blocker.c_str());
 }
 
 TEST_F(TraceExportTest, EscapesQuotes) {

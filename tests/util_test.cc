@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -62,6 +63,36 @@ TEST(StopwatchTest, ElapsedMonotone) {
   const double b = sw.ElapsedSeconds();
   EXPECT_GE(b, a);
   EXPECT_GE(a, 0.0);
+}
+
+TEST(StopwatchTest, ElapsedMicrosMatchesSeconds) {
+  Stopwatch sw;
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  const int64_t us = sw.ElapsedMicros();
+  const double s = sw.ElapsedSeconds();
+  EXPECT_GE(us, 0);
+  // The second reading happens after the first, so seconds >= micros.
+  EXPECT_GE(s * 1e6, static_cast<double>(us));
+  EXPECT_GE(sw.ElapsedMicros(), us);
+}
+
+TEST(LoggingTest, SetLogSinkCapturesMessages) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  SetLogSink([&captured](LogLevel level, const std::string& line) {
+    captured.emplace_back(level, line);
+  });
+  CF_LOG(Info) << "hello sink " << 42;
+  CF_LOG(Warning) << "careful";
+  SetLogSink(nullptr);  // restore stderr output
+  CF_LOG(Info) << "back to stderr (expected in test output)";
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_NE(captured[0].second.find("[INFO"), std::string::npos);
+  EXPECT_NE(captured[0].second.find("hello sink 42"), std::string::npos);
+  EXPECT_NE(captured[0].second.find("util_test.cc"), std::string::npos);
+  EXPECT_EQ(captured[1].first, LogLevel::kWarning);
+  EXPECT_NE(captured[1].second.find("careful"), std::string::npos);
 }
 
 TEST(ThreadPoolTest, RunsAllScheduledTasks) {

@@ -26,7 +26,10 @@
 #include "kg/synthetic.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace chainsformer {
 namespace {
@@ -36,6 +39,10 @@ int Usage() {
                "usage: chainsformer <generate|analyze|train|eval|explain> [--flags]\n"
                "  common flags: --triples=PATH --numeric=PATH --seed=N\n"
                "                --kernel-threads=N (dense kernel workers; 0 = all cores)\n"
+               "                --metrics-json=PATH (dump pipeline metrics as JSON)\n"
+               "                --trace-json=PATH (record a chrome://tracing span file)\n"
+               "                --stats (print a metrics summary table on exit)\n"
+               "                --eval-threads=N (parallel final evaluation; bit-identical)\n"
                "  generate: --dataset=yago|fb --scale=F\n"
                "  train:    --checkpoint=PATH --epochs=N --hidden-dim=N\n"
                "            --num-walks=N --top-k=N --max-hops=N --lr=F\n"
@@ -98,6 +105,17 @@ int RunAnalyze(const FlagParser& flags) {
   return 0;
 }
 
+/// Final evaluation used by train/eval: parallel (bit-identical to serial,
+/// see ChainsFormerModel::EvaluateParallel) when --eval-threads > 1.
+eval::EvalResult FinalEvaluate(core::ChainsFormerModel& model,
+                               const std::vector<kg::NumericalTriple>& queries,
+                               const FlagParser& flags) {
+  const int eval_threads = static_cast<int>(flags.GetInt("eval-threads", 2));
+  if (eval_threads <= 1) return model.Evaluate(queries);
+  ThreadPool pool(static_cast<size_t>(eval_threads));
+  return model.EvaluateParallel(queries, pool);
+}
+
 int RunTrain(const FlagParser& flags) {
   const kg::Dataset ds = LoadFromFlags(flags);
   core::ChainsFormerModel model(ds, ConfigFromFlags(flags));
@@ -107,6 +125,15 @@ int RunTrain(const FlagParser& flags) {
   const auto report = model.Train();
   std::printf("trained %d epochs; best validation nMAE %.4f\n",
               report.epochs_run, report.best_valid_mae);
+  if (!report.epoch_stage_millis.empty()) {
+    const auto& last = report.epoch_stage_millis.back();
+    std::printf(
+        "last epoch stage times (ms): retrieval %.1f, filter %.1f, encode %.1f, "
+        "project %.1f, aggregate %.1f (valid eval %.1f of %.1f total)\n",
+        last.at("retrieval"), last.at("filter"), last.at("encode"),
+        last.at("project"), last.at("aggregate"), last.at("valid_eval"),
+        last.at("total"));
+  }
   const std::string checkpoint = flags.GetString("checkpoint");
   if (!checkpoint.empty()) {
     if (!model.SaveCheckpoint(checkpoint)) {
@@ -115,7 +142,7 @@ int RunTrain(const FlagParser& flags) {
     }
     std::printf("checkpoint saved to %s\n", checkpoint.c_str());
   }
-  const auto result = model.Evaluate(ds.split.test);
+  const auto result = FinalEvaluate(model, ds.split.test, flags);
   std::printf("test Average* MAE %.4f, RMSE %.4f over %lld queries\n",
               result.normalized_mae, result.normalized_rmse,
               static_cast<long long>(result.total_count));
@@ -135,7 +162,7 @@ int RunEval(const FlagParser& flags) {
     std::printf("no --checkpoint given; training from scratch\n");
     model.Train();
   }
-  const auto result = model.Evaluate(ds.split.test);
+  const auto result = FinalEvaluate(model, ds.split.test, flags);
   eval::TextTable table({"attribute", "count", "MAE", "RMSE"});
   for (kg::AttributeId a = 0; a < ds.graph.num_attributes(); ++a) {
     const auto& m = result.per_attribute[static_cast<size_t>(a)];
@@ -192,6 +219,15 @@ int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   if (flags.positional().empty()) return Usage();
   const std::string& command = flags.positional()[0];
+  // Observability flags are common to every subcommand. Tracing must be
+  // switched on before any pipeline work runs.
+  const std::string metrics_json = flags.GetString("metrics-json");
+  const std::string trace_json = flags.GetString("trace-json");
+  const bool print_stats = flags.GetBool("stats", false);
+  // --eval-threads is only consumed by train/eval; touch it here so the
+  // unused-flag warning stays quiet for the other subcommands.
+  (void)flags.GetInt("eval-threads", 2);
+  if (!trace_json.empty()) trace::SetEnabled(true);
   int rc;
   if (command == "generate") {
     rc = RunGenerate(flags);
@@ -205,6 +241,17 @@ int Main(int argc, char** argv) {
     rc = RunExplain(flags);
   } else {
     return Usage();
+  }
+  if (!metrics_json.empty() || print_stats) {
+    const metrics::MetricsSnapshot snap =
+        metrics::MetricsRegistry::Global().Snapshot();
+    if (!metrics_json.empty() && !metrics::WriteJsonFile(metrics_json, snap)) {
+      rc = rc == 0 ? 1 : rc;
+    }
+    if (print_stats) std::printf("%s", metrics::SummaryTable(snap).c_str());
+  }
+  if (!trace_json.empty() && !trace::WriteChromeTrace(trace_json)) {
+    rc = rc == 0 ? 1 : rc;
   }
   for (const auto& key : flags.UnreadKeys()) {
     std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
