@@ -93,7 +93,7 @@ void ChainEncoder::InitializeFromFilter(const HyperbolicFilter& filter) {
   }
 }
 
-Tensor ChainEncoder::EncodeTokens(const RAChain& chain) const {
+std::vector<int64_t> ChainEncoder::Tokenize(const RAChain& chain) const {
   // Eq. 11 token order: [a_p, r_l, ..., r_1, a_q, end].
   std::vector<int64_t> tokens;
   tokens.reserve(chain.relations.size() + 3);
@@ -103,7 +103,11 @@ Tensor ChainEncoder::EncodeTokens(const RAChain& chain) const {
   }
   tokens.push_back(AttributeToken(chain.query_attribute));
   tokens.push_back(EndToken());
+  return tokens;
+}
 
+Tensor ChainEncoder::EncodeTokens(const RAChain& chain) const {
+  const std::vector<int64_t> tokens = Tokenize(chain);
   Tensor seq = token_emb_->Forward(tokens);  // [seq, d]
   switch (encoder_type_) {
     case EncoderType::kTransformer: {
@@ -160,6 +164,106 @@ Tensor ChainEncoder::Encode(const RAChain& chain) const {
   Tensor rotated =
       ops::Reshape(ops::MatMul(ops::Reshape(e_c, {1, dim_}), alpha), {dim_});
   return ops::Add(ops::Add(e_c, rotated), beta);
+}
+
+Tensor ChainEncoder::AffineTransfer(const Tensor& e_c,
+                                    const std::vector<double>& values) const {
+  const int64_t k = e_c.size(0);
+  // Both MLPs run once on the stacked [k, 64] bit-stream matrix (Eq. 14-16)
+  // instead of k separate rank-1 passes; rows match the per-chain results
+  // bit-for-bit (row-partitioned GEMMs).
+  std::vector<float> bits;
+  bits.reserve(static_cast<size_t>(k) * 64);
+  for (double v : values) {
+    const std::vector<float> encoding =
+        numeric_encoding_ == NumericEncoding::kFloat64Bits
+            ? EncodeFloat64Bits(v)
+            : EncodeLogFeatures(v);
+    bits.insert(bits.end(), encoding.begin(), encoding.end());
+  }
+  Tensor e_n = Tensor::FromVector({k, 64}, std::move(bits));
+  Tensor alpha = ops::Reshape(mlp_alpha_->Forward(e_n), {k, dim_, dim_});
+  Tensor beta = mlp_beta_->Forward(e_n);  // [k, d]
+  Tensor rotated = ops::Reshape(
+      ops::BatchMatMul(ops::Reshape(e_c, {k, 1, dim_}), alpha), {k, dim_});
+  return ops::Add(ops::Add(e_c, rotated), beta);
+}
+
+Tensor ChainEncoder::EncodeBatch(const TreeOfChains& chains) const {
+  const int64_t k = static_cast<int64_t>(chains.size());
+  CF_CHECK_GT(k, 0);
+  if (encoder_type_ != EncoderType::kTransformer) {
+    // LSTM / mean ablations have no batched formulation; stack the
+    // per-chain reference encodings instead.
+    std::vector<Tensor> reps;
+    reps.reserve(chains.size());
+    for (const RAChain& c : chains) reps.push_back(Encode(c));
+    return ops::Stack(reps);
+  }
+
+  static auto& reg = metrics::MetricsRegistry::Global();
+  static auto* stage_micros = reg.GetCounter("pipeline.encode.micros");
+  static auto* stage_calls = reg.GetCounter("pipeline.encode.calls");
+  static auto* chains_encoded = reg.GetCounter("encode.chains_encoded");
+  static auto* batched_passes = reg.GetCounter("encode.batched_passes");
+  static auto* chain_length = reg.GetHistogram("encode.chain_length");
+  static auto* pad_waste = reg.GetHistogram("encode.batch_pad_fraction_pct");
+  CF_TRACE_SCOPE("encode");
+  metrics::ScopedTimer timer(stage_micros, stage_calls);
+  batched_passes->Increment();
+  chains_encoded->Increment(k);
+
+  // Tokenize every chain and pad to the longest sequence.
+  std::vector<std::vector<int64_t>> tokens(chains.size());
+  int64_t max_len = 0;
+  for (size_t i = 0; i < chains.size(); ++i) {
+    tokens[i] = Tokenize(chains[i]);
+    max_len = std::max<int64_t>(max_len, static_cast<int64_t>(tokens[i].size()));
+    chain_length->Observe(static_cast<double>(chains[i].relations.size()));
+  }
+  const int64_t max_pos = position_emb_->num_embeddings();
+  // Padding reuses the end token; the mask keeps those rows out of every
+  // attention sum, and nothing downstream reads them, so no gradient flows
+  // into the reused embedding row from padding.
+  std::vector<int64_t> flat_tokens(static_cast<size_t>(k * max_len), EndToken());
+  std::vector<int64_t> flat_positions(static_cast<size_t>(k * max_len), 0);
+  std::vector<float> mask_values(static_cast<size_t>(k * max_len), 0.0f);
+  int64_t total_tokens = 0;
+  for (int64_t i = 0; i < k; ++i) {
+    const auto& toks = tokens[static_cast<size_t>(i)];
+    total_tokens += static_cast<int64_t>(toks.size());
+    for (size_t p = 0; p < toks.size(); ++p) {
+      const size_t flat = static_cast<size_t>(i * max_len) + p;
+      flat_tokens[flat] = toks[p];
+      flat_positions[flat] =
+          std::min<int64_t>(static_cast<int64_t>(p), max_pos - 1);
+      mask_values[flat] = 1.0f;
+    }
+  }
+  pad_waste->Observe(100.0 * (1.0 - static_cast<double>(total_tokens) /
+                                        static_cast<double>(k * max_len)));
+
+  // Gathered embeddings + positions in one shot: [k*max_len, d].
+  Tensor seq = ops::Add(token_emb_->Forward(flat_tokens),
+                        position_emb_->Forward(flat_positions));
+  Tensor mask = Tensor::FromVector({k, max_len}, std::move(mask_values));
+  Tensor encoded =
+      transformer_->Forward(ops::Reshape(seq, {k, max_len, dim_}), mask);
+  // Each chain's embedding e_c is its end token's final representation
+  // (Eq. 13); Gather's scatter-add backward routes gradients to exactly
+  // those rows.
+  std::vector<int64_t> end_rows(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    end_rows[static_cast<size_t>(i)] =
+        i * max_len + static_cast<int64_t>(tokens[static_cast<size_t>(i)].size()) - 1;
+  }
+  Tensor e_c =
+      ops::Gather(ops::Reshape(encoded, {k * max_len, dim_}), end_rows);
+  if (!use_numerical_aware_) return e_c;
+  std::vector<double> values;
+  values.reserve(chains.size());
+  for (const RAChain& c : chains) values.push_back(c.source_value);
+  return AffineTransfer(e_c, values);
 }
 
 }  // namespace core

@@ -50,6 +50,17 @@ class ChainEncoder : public tensor::nn::Module {
   /// Value-aware chain representation ẽ_c (rank-1, [hidden_dim]).
   tensor::Tensor Encode(const RAChain& chain) const;
 
+  /// Encodes a whole Tree of Chains in one masked Transformer pass and
+  /// returns the stacked representations [k, hidden_dim] (row i = ẽ_c of
+  /// chains[i]). The k token sequences are padded to the longest length
+  /// behind a key-padding mask, so every row matches the per-chain Encode
+  /// result bit-for-bit while the tensor stack sees [k·max_len, d]-sized
+  /// GEMMs instead of k tiny ones; the Numerical-Aware Affine Transfer MLPs
+  /// likewise run once on the stacked [k, 64] bit-stream matrix. Non-
+  /// Transformer encoder types fall back to per-chain encoding internally.
+  /// Requires a non-empty chain set.
+  tensor::Tensor EncodeBatch(const TreeOfChains& chains) const;
+
   int64_t hidden_dim() const { return dim_; }
 
   /// Token id of a relation / attribute / the end token in the joint
@@ -60,6 +71,12 @@ class ChainEncoder : public tensor::nn::Module {
 
  private:
   tensor::Tensor EncodeTokens(const RAChain& chain) const;
+  /// Eq. 11 token sequence [a_p, r_l, ..., r_1, a_q, end] of a chain.
+  std::vector<int64_t> Tokenize(const RAChain& chain) const;
+  /// Numerical-Aware Affine Transfer (Eqs. 14-16) applied to stacked chain
+  /// embeddings e_c [k, d] with per-chain evidence values.
+  tensor::Tensor AffineTransfer(const tensor::Tensor& e_c,
+                                const std::vector<double>& values) const;
 
   int64_t num_relation_ids_;
   int64_t num_attributes_;

@@ -100,36 +100,53 @@ const TreeOfChains& ChainsFormerModel::GetChains(const Query& query) {
   return it->second;
 }
 
-ChainsFormerModel::ForwardState ChainsFormerModel::Forward(const Query& query) {
-  TreeOfChains chains = GetChains(query);
+ChainsFormerModel::ForwardState ChainsFormerModel::Forward(const Query& query,
+                                                           bool keep_chains) {
+  // Borrow the cached ToC; it is only copied when chain-quality pruning
+  // actually rewrites it or the caller asked to keep the chains.
+  const TreeOfChains& cached = GetChains(query);
   if (config_.use_chain_quality && quality_.num_patterns() > 0) {
-    chains = quality_.PruneLowQuality(chains, config_.chain_quality_max_error,
-                                      /*min_keep=*/4);
+    TreeOfChains pruned = quality_.PruneLowQuality(
+        cached, config_.chain_quality_max_error, /*min_keep=*/4);
+    ForwardState state = ForwardOnChains(pruned);
+    if (keep_chains && state.valid) state.used_chains = std::move(pruned);
+    return state;
   }
-  return ForwardOnChains(std::move(chains));
+  ForwardState state = ForwardOnChains(cached);
+  if (keep_chains && state.valid) state.used_chains = cached;
+  return state;
 }
 
 ChainsFormerModel::ForwardState ChainsFormerModel::ForwardOnChains(
-    TreeOfChains chains) const {
+    const TreeOfChains& chains) const {
   ForwardState state;
   if (chains.empty()) return state;
 
-  std::vector<Tensor> reps;
   std::vector<double> values;
   std::vector<int64_t> lengths;
-  reps.reserve(chains.size());
+  values.reserve(chains.size());
+  lengths.reserve(chains.size());
   for (const RAChain& c : chains) {
-    reps.push_back(encoder_->Encode(c));
     values.push_back(
         train_stats_[static_cast<size_t>(c.source_attribute)].Normalize(
             c.source_value));
     lengths.push_back(c.length());
   }
-  NumericalReasoner::Output out = reasoner_->Forward(reps, values, lengths);
+  NumericalReasoner::Output out;
+  if (config_.batched_encoder) {
+    // One masked Transformer pass over the whole ToC: the tensor stack sees
+    // [k·max_len, d] GEMMs instead of k tiny per-chain products.
+    out = reasoner_->Forward(encoder_->EncodeBatch(chains), values, lengths);
+  } else {
+    // Reference path: encode each chain separately.
+    std::vector<Tensor> reps;
+    reps.reserve(chains.size());
+    for (const RAChain& c : chains) reps.push_back(encoder_->Encode(c));
+    out = reasoner_->Forward(reps, values, lengths);
+  }
   state.prediction = out.prediction;
   state.weights = out.weights;
   state.chain_predictions = out.chain_predictions;
-  state.used_chains = std::move(chains);
   state.valid = true;
   return state;
 }
@@ -187,6 +204,13 @@ TrainReport ChainsFormerModel::Train() {
     vrng.Shuffle(valid);
     valid.resize(200);
   }
+  // Per-epoch validation runs through EvaluateParallel (bit-identical to
+  // Evaluate) when the config asks for more than one eval thread.
+  std::unique_ptr<ThreadPool> valid_pool;
+  if (config_.eval_threads != 1) {
+    valid_pool = std::make_unique<ThreadPool>(
+        config_.eval_threads > 1 ? static_cast<size_t>(config_.eval_threads) : 0);
+  }
 
   // Per-attribute pools for balanced sampling.
   std::vector<std::vector<kg::NumericalTriple>> by_attr(
@@ -228,17 +252,17 @@ TrainReport ChainsFormerModel::Train() {
                         : ops::Mean(ops::Concat(batch_losses, 0));
       optimizer_->ZeroGrad();
       loss.Backward();
-      auto params = encoder_->Parameters();
-      auto rp = reasoner_->Parameters();
-      params.insert(params.end(), rp.begin(), rp.end());
-      tensor::optim::ClipGradNorm(params, config_.grad_clip);
+      // live_params is the same encoder+reasoner parameter list, assembled
+      // once before the epoch loop; no need to rebuild it every step.
+      tensor::optim::ClipGradNorm(live_params, config_.grad_clip);
       optimizer_->Step();
       batch_losses.clear();
     };
 
     for (size_t i = 0; i < budget; ++i) {
       const auto& t = train[i];
-      ForwardState state = Forward({t.entity, t.attribute});
+      ForwardState state =
+          Forward({t.entity, t.attribute}, /*keep_chains=*/config_.use_chain_quality);
       if (!state.valid) {
         skipped_counter->Increment();
         continue;
@@ -280,7 +304,7 @@ TrainReport ChainsFormerModel::Train() {
     eval::EvalResult vres;
     {
       CF_TRACE_SCOPE("train.valid_eval");
-      vres = Evaluate(valid);
+      vres = valid_pool ? EvaluateParallel(valid, *valid_pool) : Evaluate(valid);
     }
     report.valid_maes.push_back(vres.normalized_mae);
     ++report.epochs_run;
@@ -300,6 +324,8 @@ TrainReport ChainsFormerModel::Train() {
       }
       stage_millis["valid_eval"] =
           (TotalStageMicros(epoch_end) - TotalStageMicros(valid_begin)) / 1000.0;
+      stage_millis["valid_eval_threads"] =
+          valid_pool ? static_cast<double>(valid_pool->num_threads()) : 1.0;
       stage_millis["total"] = epoch_millis;
       report.epoch_stage_millis.push_back(std::move(stage_millis));
     }
@@ -439,7 +465,7 @@ Explanation ChainsFormerModel::Explain(const Query& query) {
                          : retrieval_->Retrieve(query, probe_rng);
   ex.toc_size = raw.size();
 
-  ForwardState state = Forward(query);
+  ForwardState state = Forward(query, /*keep_chains=*/true);
   const TreeOfChains& chains = state.used_chains;
   ex.filtered_size = chains.size();
   ex.has_evidence = state.valid;

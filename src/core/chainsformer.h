@@ -34,7 +34,9 @@ struct TrainReport {
   /// Per-epoch wall time (ms) spent in each pipeline stage, computed from
   /// registry deltas: keys "retrieval", "filter", "encode", "project",
   /// "aggregate" (training + validation work combined), plus "valid_eval"
-  /// (the validation pass, all stages) and "total" (the whole epoch).
+  /// (the validation pass, all stages), "valid_eval_threads" (worker count
+  /// the validation pass ran with; 1 = serial Evaluate) and "total" (the
+  /// whole epoch).
   std::vector<std::map<std::string, double>> epoch_stage_millis;
 };
 
@@ -108,19 +110,25 @@ class ChainsFormerModel {
     tensor::Tensor prediction;         // normalized scalar
     tensor::Tensor weights;            // [k]
     tensor::Tensor chain_predictions;  // [k], per-chain normalized n̂
-    TreeOfChains used_chains;          // chains that entered the reasoner
+    /// Chains that entered the reasoner; populated only when the caller
+    /// requested them (Forward's keep_chains) — the common Predict/Evaluate
+    /// path borrows the cached ToC without copying it.
+    TreeOfChains used_chains;
     bool valid = false;
   };
 
   /// Retrieves + filters chains for a query, with caching.
   const TreeOfChains& GetChains(const Query& query);
 
-  /// Differentiable forward pass over the query's chains.
-  ForwardState Forward(const Query& query);
+  /// Differentiable forward pass over the query's chains. `keep_chains`
+  /// copies the chain set into ForwardState::used_chains (needed by Explain
+  /// and chain-quality recording; skipped otherwise).
+  ForwardState Forward(const Query& query, bool keep_chains = false);
 
-  /// Forward over a pre-fetched chain set; touches no mutable model state,
-  /// so it is safe to call concurrently under NoGradGuard.
-  ForwardState ForwardOnChains(TreeOfChains chains) const;
+  /// Forward over a pre-fetched chain set (borrowed; not copied into the
+  /// returned state). Touches no mutable model state, so it is safe to call
+  /// concurrently under NoGradGuard.
+  ForwardState ForwardOnChains(const TreeOfChains& chains) const;
 
   /// Fallback prediction (normalized) when a query has no chains: the
   /// training mean of the attribute.

@@ -111,6 +111,16 @@ struct ChainsFormerConfig {
   /// every kernel on the calling thread; 0 means hardware concurrency.
   /// Output is bitwise identical for any value (row-partitioned kernels).
   int kernel_threads = 1;
+  /// Encode a query's whole Tree of Chains in one masked Transformer pass
+  /// (ChainEncoder::EncodeBatch) instead of one pass per chain. Same results
+  /// to float precision; the per-chain path is kept as the reference
+  /// implementation and as an escape hatch (CLI --no-batched-encoder).
+  bool batched_encoder = true;
+  /// Worker threads for evaluation passes, including the per-epoch early-
+  /// stopping validation inside Train(). 1 = serial Evaluate; > 1 routes
+  /// through EvaluateParallel (bit-identical results); 0 = hardware
+  /// concurrency.
+  int eval_threads = 1;
 
   uint64_t seed = 1234;
   bool verbose = false;

@@ -44,6 +44,13 @@ NumericalReasoner::Output NumericalReasoner::Forward(
     const std::vector<Tensor>& chain_reps,
     const std::vector<double>& normalized_values,
     const std::vector<int64_t>& lengths) const {
+  CF_CHECK_GT(chain_reps.size(), 0u);
+  return Forward(ops::Stack(chain_reps), normalized_values, lengths);
+}
+
+NumericalReasoner::Output NumericalReasoner::Forward(
+    const Tensor& chain_reps, const std::vector<double>& normalized_values,
+    const std::vector<int64_t>& lengths) const {
   // Stages 4 (projection) and 5 (aggregation) of the pipeline.
   static auto& reg = metrics::MetricsRegistry::Global();
   static auto* project_micros = reg.GetCounter("pipeline.project.micros");
@@ -54,10 +61,12 @@ NumericalReasoner::Output NumericalReasoner::Forward(
   static auto* chains_per_forward =
       reg.GetHistogram("reasoner.chains_per_forward");
 
-  const size_t k = chain_reps.size();
-  CF_CHECK_GT(k, 0u);
-  CF_CHECK_EQ(normalized_values.size(), k);
-  CF_CHECK_EQ(lengths.size(), k);
+  CF_CHECK_EQ(chain_reps.dim(), 2);
+  CF_CHECK_EQ(chain_reps.size(1), dim_);
+  const int64_t k = chain_reps.size(0);
+  CF_CHECK_GT(k, 0);
+  CF_CHECK_EQ(static_cast<int64_t>(normalized_values.size()), k);
+  CF_CHECK_EQ(static_cast<int64_t>(lengths.size()), k);
   forwards->Increment();
   chains_per_forward->Observe(static_cast<double>(k));
 
@@ -66,35 +75,35 @@ NumericalReasoner::Output NumericalReasoner::Forward(
   {
     CF_TRACE_SCOPE("project");
     metrics::ScopedTimer project_timer(project_micros, project_calls);
-    std::vector<Tensor> per_chain;
-    per_chain.reserve(k);
-    for (size_t i = 0; i < k; ++i) {
-      Tensor raw = projection_mlp_->Forward(chain_reps[i]);  // [1] or [2]
-      const float np = static_cast<float>(normalized_values[i]);
-      Tensor pred;
-      switch (projection_) {
-        case ProjectionMode::kDirect:
-          pred = raw;  // n̂ = MLP(ẽ_c)
-          break;
-        case ProjectionMode::kTranslation:
-          // n̂ = n_p + β
-          pred = ops::AddScalar(raw, np);
-          break;
-        case ProjectionMode::kScaling:
-          // n̂ = α n_p with α = 1 + MLP(ẽ_c)
-          pred = ops::MulScalar(ops::AddScalar(raw, 1.0f), np);
-          break;
-        case ProjectionMode::kCombined: {
-          // n̂ = α (n_p + β)
-          Tensor alpha = ops::AddScalar(ops::SliceRows(raw, 0, 1), 1.0f);
-          Tensor beta = ops::SliceRows(raw, 1, 2);
-          pred = ops::Mul(alpha, ops::AddScalar(beta, np));
-          break;
-        }
-      }
-      per_chain.push_back(pred);  // each [1]
+    Tensor raw = projection_mlp_->Forward(chain_reps);  // [k, 1] or [k, 2]
+    std::vector<float> np(static_cast<size_t>(k));
+    for (int64_t i = 0; i < k; ++i) {
+      np[static_cast<size_t>(i)] =
+          static_cast<float>(normalized_values[static_cast<size_t>(i)]);
     }
-    chain_preds = ops::Concat(per_chain, 0);  // [k]
+    Tensor vn = Tensor::FromVector({k, 1}, std::move(np));  // constant
+    Tensor pred;
+    switch (projection_) {
+      case ProjectionMode::kDirect:
+        pred = raw;  // n̂ = MLP(ẽ_c)
+        break;
+      case ProjectionMode::kTranslation:
+        // n̂ = n_p + β
+        pred = ops::Add(raw, vn);
+        break;
+      case ProjectionMode::kScaling:
+        // n̂ = α n_p with α = 1 + MLP(ẽ_c)
+        pred = ops::Mul(ops::AddScalar(raw, 1.0f), vn);
+        break;
+      case ProjectionMode::kCombined: {
+        // n̂ = α (n_p + β)
+        Tensor alpha = ops::AddScalar(ops::SliceCols(raw, 0, 1), 1.0f);
+        Tensor beta = ops::SliceCols(raw, 1, 2);
+        pred = ops::Mul(alpha, ops::Add(beta, vn));
+        break;
+      }
+    }
+    chain_preds = ops::Reshape(pred, {k});
   }
 
   // --- Logic Chain Weighting (Eqs. 20-22) -------------------------------------
@@ -103,18 +112,17 @@ NumericalReasoner::Output NumericalReasoner::Forward(
   Tensor weights;
   if (use_chain_weighting_ && k > 1) {
     std::vector<int64_t> length_ids;
-    length_ids.reserve(k);
+    length_ids.reserve(static_cast<size_t>(k));
     for (int64_t l : lengths) {
       length_ids.push_back(std::clamp<int64_t>(l, 0, kMaxLengthBuckets - 1));
     }
-    Tensor rows = ops::Stack(chain_reps);                       // [k, d]
-    Tensor c0 = ops::Add(rows, length_emb_->Forward(length_ids));  // Eq. 20
-    Tensor tree = treeformer_->Forward(c0);                     // [k, d]
-    Tensor logits = ops::Reshape(weight_mlp_->Forward(tree),
-                                 {static_cast<int64_t>(k)});    // [k]
-    weights = ops::Softmax(logits);                             // Eq. 21
+    Tensor c0 =
+        ops::Add(chain_reps, length_emb_->Forward(length_ids));  // Eq. 20
+    Tensor tree = treeformer_->Forward(c0);                      // [k, d]
+    Tensor logits = ops::Reshape(weight_mlp_->Forward(tree), {k});  // [k]
+    weights = ops::Softmax(logits);                              // Eq. 21
   } else {
-    weights = Tensor::Full({static_cast<int64_t>(k)}, 1.0f / static_cast<float>(k));
+    weights = Tensor::Full({k}, 1.0f / static_cast<float>(k));
   }
 
   Output out;

@@ -33,8 +33,16 @@ class NumericalReasoner : public tensor::nn::Module {
   /// `chain_reps`: value-aware chain representations ẽ_c (each [d]).
   /// `normalized_values`: evidence values n_p normalized by their source
   /// attribute. `lengths`: chain hop counts (for the length encoding of
-  /// Eq. 20). All three must have equal size >= 1.
+  /// Eq. 20). All three must have equal size >= 1. Stacks the reps and
+  /// delegates to the matrix overload below (row-wise identical results).
   Output Forward(const std::vector<tensor::Tensor>& chain_reps,
+                 const std::vector<double>& normalized_values,
+                 const std::vector<int64_t>& lengths) const;
+
+  /// Matrix form: `chain_reps` is the stacked [k, d] representation matrix
+  /// (e.g. straight from ChainEncoder::EncodeBatch). The projection MLP and
+  /// per-chain arithmetic of Eqs. 17-19 run once on all k rows.
+  Output Forward(const tensor::Tensor& chain_reps,
                  const std::vector<double>& normalized_values,
                  const std::vector<int64_t>& lengths) const;
 

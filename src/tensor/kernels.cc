@@ -1,10 +1,16 @@
 #include "tensor/kernels.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define CF_GEMM_X86 1
+#include <immintrin.h>
+#endif
 
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -38,54 +44,212 @@ ThreadPool* Pool() {
   return g_pool.get();
 }
 
+// Scalar strip kernel: C[i0:i1, jc:jc+nc] += A[i0:i1, pc:pc+kc] * panel.
+// Four C-row accumulators walk the packed panel with a fixed (kk, j) order.
+void StripScalar(int64_t i0, int64_t i1, int64_t k, int64_t n, int64_t pc,
+                 int64_t jc, int64_t kc, int64_t nc, const float* a,
+                 const float* pb, float* c) {
+  int64_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const float* __restrict a0 = a + (i + 0) * k + pc;
+    const float* __restrict a1 = a + (i + 1) * k + pc;
+    const float* __restrict a2 = a + (i + 2) * k + pc;
+    const float* __restrict a3 = a + (i + 3) * k + pc;
+    float* __restrict c0 = c + (i + 0) * n + jc;
+    float* __restrict c1 = c + (i + 1) * n + jc;
+    float* __restrict c2 = c + (i + 2) * n + jc;
+    float* __restrict c3 = c + (i + 3) * n + jc;
+    for (int64_t kk = 0; kk < kc; ++kk) {
+      const float* __restrict bp = pb + kk * nc;
+      const float av0 = a0[kk], av1 = a1[kk], av2 = a2[kk], av3 = a3[kk];
+      for (int64_t j = 0; j < nc; ++j) {
+        c0[j] += av0 * bp[j];
+        c1[j] += av1 * bp[j];
+        c2[j] += av2 * bp[j];
+        c3[j] += av3 * bp[j];
+      }
+    }
+  }
+  for (; i < i1; ++i) {
+    const float* __restrict ar = a + i * k + pc;
+    float* __restrict cr = c + i * n + jc;
+    for (int64_t kk = 0; kk < kc; ++kk) {
+      const float* __restrict bp = pb + kk * nc;
+      const float av = ar[kk];
+      for (int64_t j = 0; j < nc; ++j) cr[j] += av * bp[j];
+    }
+  }
+}
+
+#ifdef CF_GEMM_X86
+bool HasAvx2Fma() {
+  static const bool has =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return has;
+}
+
+// AVX2 + FMA register-blocked strip kernel (6-row x 16-column tiles, plus
+// 8-wide, 4-wide, and scalar-fmaf tails). Every C element is produced by the same
+// arithmetic regardless of which tile or tail it falls into: a zeroed
+// accumulator, one fused multiply-add per kk in ascending order, then a
+// single add into C per panel. fmaf() rounds exactly like one _mm256_fmadd
+// lane, so results are invariant to the strip decomposition (threads) and
+// to the row count m (a batched GEMM row equals the same row of a smaller
+// per-sequence GEMM bit-for-bit).
+__attribute__((target("avx2,fma"))) void StripAvx2(
+    int64_t i0, int64_t i1, int64_t k, int64_t n, int64_t pc, int64_t jc,
+    int64_t kc, int64_t nc, const float* a, const float* pb, float* c) {
+  int64_t i = i0;
+  for (; i + 6 <= i1; i += 6) {
+    int64_t j = 0;
+    for (; j + 16 <= nc; j += 16) {
+      __m256 acc[12];
+      for (auto& v : acc) v = _mm256_setzero_ps();
+      for (int64_t kk = 0; kk < kc; ++kk) {
+        const float* __restrict bp = pb + kk * nc + j;
+        const __m256 b0 = _mm256_loadu_ps(bp);
+        const __m256 b1 = _mm256_loadu_ps(bp + 8);
+        for (int r = 0; r < 6; ++r) {
+          const __m256 av = _mm256_set1_ps(a[(i + r) * k + pc + kk]);
+          acc[2 * r] = _mm256_fmadd_ps(av, b0, acc[2 * r]);
+          acc[2 * r + 1] = _mm256_fmadd_ps(av, b1, acc[2 * r + 1]);
+        }
+      }
+      for (int r = 0; r < 6; ++r) {
+        float* __restrict cr = c + (i + r) * n + jc + j;
+        _mm256_storeu_ps(cr, _mm256_add_ps(_mm256_loadu_ps(cr), acc[2 * r]));
+        _mm256_storeu_ps(
+            cr + 8, _mm256_add_ps(_mm256_loadu_ps(cr + 8), acc[2 * r + 1]));
+      }
+    }
+    for (; j + 8 <= nc; j += 8) {
+      for (int r = 0; r < 6; ++r) {
+        __m256 acc = _mm256_setzero_ps();
+        const float* __restrict ar = a + (i + r) * k + pc;
+        for (int64_t kk = 0; kk < kc; ++kk) {
+          acc = _mm256_fmadd_ps(_mm256_set1_ps(ar[kk]),
+                                _mm256_loadu_ps(pb + kk * nc + j), acc);
+        }
+        float* __restrict cr = c + (i + r) * n + jc + j;
+        _mm256_storeu_ps(cr, _mm256_add_ps(_mm256_loadu_ps(cr), acc));
+      }
+    }
+    // Tail tiles interleave the six independent row chains inside one kk
+    // loop so the FMA latency of one row hides behind the other five; each
+    // row's own chain is unchanged, so results stay bit-identical.
+    for (; j + 4 <= nc; j += 4) {
+      __m128 acc[6];
+      for (auto& v : acc) v = _mm_setzero_ps();
+      for (int64_t kk = 0; kk < kc; ++kk) {
+        const __m128 bv = _mm_loadu_ps(pb + kk * nc + j);
+        for (int r = 0; r < 6; ++r) {
+          acc[r] = _mm_fmadd_ps(_mm_set1_ps(a[(i + r) * k + pc + kk]), bv,
+                                acc[r]);
+        }
+      }
+      for (int r = 0; r < 6; ++r) {
+        float* __restrict cr = c + (i + r) * n + jc + j;
+        _mm_storeu_ps(cr, _mm_add_ps(_mm_loadu_ps(cr), acc[r]));
+      }
+    }
+    for (; j < nc; ++j) {
+      float acc[6] = {};
+      for (int64_t kk = 0; kk < kc; ++kk) {
+        const float bv = pb[kk * nc + j];
+        for (int r = 0; r < 6; ++r) {
+          acc[r] = std::fmaf(a[(i + r) * k + pc + kk], bv, acc[r]);
+        }
+      }
+      for (int r = 0; r < 6; ++r) c[(i + r) * n + jc + j] += acc[r];
+    }
+  }
+  for (; i < i1; ++i) {
+    int64_t j = 0;
+    for (; j + 16 <= nc; j += 16) {
+      __m256 lo = _mm256_setzero_ps();
+      __m256 hi = _mm256_setzero_ps();
+      const float* __restrict ar = a + i * k + pc;
+      for (int64_t kk = 0; kk < kc; ++kk) {
+        const __m256 av = _mm256_set1_ps(ar[kk]);
+        const float* __restrict bp = pb + kk * nc + j;
+        lo = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp), lo);
+        hi = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp + 8), hi);
+      }
+      float* __restrict cr = c + i * n + jc + j;
+      _mm256_storeu_ps(cr, _mm256_add_ps(_mm256_loadu_ps(cr), lo));
+      _mm256_storeu_ps(cr + 8, _mm256_add_ps(_mm256_loadu_ps(cr + 8), hi));
+    }
+    for (; j + 8 <= nc; j += 8) {
+      __m256 acc = _mm256_setzero_ps();
+      const float* __restrict ar = a + i * k + pc;
+      for (int64_t kk = 0; kk < kc; ++kk) {
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(ar[kk]),
+                              _mm256_loadu_ps(pb + kk * nc + j), acc);
+      }
+      float* __restrict cr = c + i * n + jc + j;
+      _mm256_storeu_ps(cr, _mm256_add_ps(_mm256_loadu_ps(cr), acc));
+    }
+    for (; j + 4 <= nc; j += 4) {
+      __m128 acc = _mm_setzero_ps();
+      const float* __restrict ar = a + i * k + pc;
+      for (int64_t kk = 0; kk < kc; ++kk) {
+        acc = _mm_fmadd_ps(_mm_set1_ps(ar[kk]),
+                           _mm_loadu_ps(pb + kk * nc + j), acc);
+      }
+      float* __restrict cr = c + i * n + jc + j;
+      _mm_storeu_ps(cr, _mm_add_ps(_mm_loadu_ps(cr), acc));
+    }
+    for (; j < nc; ++j) {
+      float acc = 0.0f;
+      const float* __restrict ar = a + i * k + pc;
+      for (int64_t kk = 0; kk < kc; ++kk) {
+        acc = std::fmaf(ar[kk], pb[kk * nc + j], acc);
+      }
+      c[i * n + jc + j] += acc;
+    }
+  }
+}
+#endif  // CF_GEMM_X86
+
 // C[i0:i1, :] += A[i0:i1, :] * B for row-major A[.,k], B[k,n], C[.,n].
-// Branch-free blocked loops over (jc, pc) with B packed per panel; every
-// row's accumulation order over (jc, pc, kk, j) is fixed and independent of
-// the strip decomposition, which is what makes threaded output bitwise
-// equal to single-threaded output.
+// Blocked loops over (jc, pc) with B packed per panel; within one build,
+// every row's accumulation order is fixed and independent of the strip
+// decomposition, which is what makes threaded output bitwise equal to
+// single-threaded output — and batched rows bitwise equal to the same rows
+// of a smaller GEMM. The compute strip dispatches to the AVX2+FMA
+// microkernel when the CPU supports it, with the portable scalar strip as
+// the fallback.
 void GemmCoreRows(int64_t i0, int64_t i1, int64_t k, int64_t n, const float* a,
                   const float* b, float* c) {
   thread_local std::vector<float> pack;
+#ifdef CF_GEMM_X86
+  const bool avx2 = HasAvx2Fma();
+#endif
+  // When n fits in one column block the B panel's natural row stride already
+  // equals the packed stride (nc == n), so the strips can read B in place
+  // and the packing copy is skipped. Same values, same order — bit-identical.
+  const bool pack_needed = n > kNC;
   for (int64_t jc = 0; jc < n; jc += kNC) {
     const int64_t nc = std::min(kNC, n - jc);
     for (int64_t pc = 0; pc < k; pc += kKC) {
       const int64_t kc = std::min(kKC, k - pc);
-      pack.resize(static_cast<size_t>(kc * nc));
-      float* pb = pack.data();
-      for (int64_t kk = 0; kk < kc; ++kk) {
-        const float* src = b + (pc + kk) * n + jc;
-        std::copy(src, src + nc, pb + kk * nc);
-      }
-      int64_t i = i0;
-      for (; i + 4 <= i1; i += 4) {
-        const float* __restrict a0 = a + (i + 0) * k + pc;
-        const float* __restrict a1 = a + (i + 1) * k + pc;
-        const float* __restrict a2 = a + (i + 2) * k + pc;
-        const float* __restrict a3 = a + (i + 3) * k + pc;
-        float* __restrict c0 = c + (i + 0) * n + jc;
-        float* __restrict c1 = c + (i + 1) * n + jc;
-        float* __restrict c2 = c + (i + 2) * n + jc;
-        float* __restrict c3 = c + (i + 3) * n + jc;
+      const float* pb = b + pc * n + jc;
+      if (pack_needed) {
+        pack.resize(static_cast<size_t>(kc * nc));
+        float* dst = pack.data();
         for (int64_t kk = 0; kk < kc; ++kk) {
-          const float* __restrict bp = pb + kk * nc;
-          const float av0 = a0[kk], av1 = a1[kk], av2 = a2[kk], av3 = a3[kk];
-          for (int64_t j = 0; j < nc; ++j) {
-            c0[j] += av0 * bp[j];
-            c1[j] += av1 * bp[j];
-            c2[j] += av2 * bp[j];
-            c3[j] += av3 * bp[j];
-          }
+          const float* src = b + (pc + kk) * n + jc;
+          std::copy(src, src + nc, dst + kk * nc);
         }
+        pb = dst;
       }
-      for (; i < i1; ++i) {
-        const float* __restrict ar = a + i * k + pc;
-        float* __restrict cr = c + i * n + jc;
-        for (int64_t kk = 0; kk < kc; ++kk) {
-          const float* __restrict bp = pb + kk * nc;
-          const float av = ar[kk];
-          for (int64_t j = 0; j < nc; ++j) cr[j] += av * bp[j];
-        }
+#ifdef CF_GEMM_X86
+      if (avx2) {
+        StripAvx2(i0, i1, k, n, pc, jc, kc, nc, a, pb, c);
+        continue;
       }
+#endif
+      StripScalar(i0, i1, k, n, pc, jc, kc, nc, a, pb, c);
     }
   }
 }

@@ -46,6 +46,12 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
 }
 
 Tensor Linear::Forward(const Tensor& x) const {
+  if (x.dim() == 3) {
+    // One [b*s, in] GEMM instead of b separate [s, in] products; the rows
+    // are computed identically either way (row-partitioned kernels).
+    Tensor y = Forward(Reshape(x, {x.size(0) * x.size(1), in_features_}));
+    return Reshape(y, {x.size(0), x.size(1), out_features_});
+  }
   const bool vector_input = x.dim() == 1;
   Tensor x2 = vector_input ? Reshape(x, {1, in_features_}) : x;
   CF_CHECK_EQ(x2.size(1), in_features_);
@@ -112,6 +118,27 @@ Tensor MultiHeadAttention::Forward(const Tensor& x) const {
   return out_proj_->Forward(merged);
 }
 
+Tensor MultiHeadAttention::Forward(const Tensor& x, const Tensor& mask) const {
+  CF_CHECK_EQ(x.dim(), 3);
+  const int64_t batch = x.size(0), seq = x.size(1);
+  CF_CHECK_EQ(x.size(2), dim_);
+  if (mask.defined()) {
+    CF_CHECK_EQ(mask.size(0), batch);
+    CF_CHECK_EQ(mask.size(-1), seq);
+  }
+  // Projections run as single [batch*seq, d] GEMMs (rank-3 Linear), then the
+  // heads split batch-major to [batch*heads, seq, hd] so a [batch, seq] mask
+  // row serves all of a sequence's heads.
+  Tensor q = SplitHeads(q_proj_->Forward(x), num_heads_);
+  Tensor k = SplitHeads(k_proj_->Forward(x), num_heads_);
+  Tensor v = SplitHeads(v_proj_->Forward(x), num_heads_);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  Tensor scores = MulScalar(BatchMatMul(q, Permute3(k, 0, 2, 1)), scale);
+  Tensor attn = mask.defined() ? MaskedSoftmax(scores, mask) : Softmax(scores);
+  Tensor ctx = BatchMatMul(attn, v);  // [batch*heads, seq, hd]
+  return out_proj_->Forward(MergeHeads(ctx, num_heads_));
+}
+
 TransformerEncoderLayer::TransformerEncoderLayer(int64_t dim, int64_t num_heads,
                                                  int64_t ff_dim, Rng& rng) {
   attention_ = std::make_unique<MultiHeadAttention>(dim, num_heads, rng);
@@ -132,6 +159,16 @@ Tensor TransformerEncoderLayer::Forward(const Tensor& x) const {
   return norm2_->Forward(Add(h, ff));
 }
 
+Tensor TransformerEncoderLayer::Forward(const Tensor& x,
+                                        const Tensor& mask) const {
+  // LayerNorm, the FFN and the residual adds are all per-position, so only
+  // the attention needs the mask; padded positions carry garbage values that
+  // never reach valid positions.
+  Tensor h = norm1_->Forward(Add(x, attention_->Forward(x, mask)));
+  Tensor ff = ff2_->Forward(Gelu(ff1_->Forward(h)));
+  return norm2_->Forward(Add(h, ff));
+}
+
 TransformerEncoder::TransformerEncoder(int64_t num_layers, int64_t dim,
                                        int64_t num_heads, int64_t ff_dim,
                                        Rng& rng) {
@@ -145,6 +182,12 @@ TransformerEncoder::TransformerEncoder(int64_t num_layers, int64_t dim,
 Tensor TransformerEncoder::Forward(const Tensor& x) const {
   Tensor h = x;
   for (const auto& layer : layers_) h = layer->Forward(h);
+  return h;
+}
+
+Tensor TransformerEncoder::Forward(const Tensor& x, const Tensor& mask) const {
+  Tensor h = x;
+  for (const auto& layer : layers_) h = layer->Forward(h, mask);
   return h;
 }
 

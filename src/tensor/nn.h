@@ -47,7 +47,9 @@ class Module {
 };
 
 /// Fully connected layer: y = x W + b with W of shape [in, out].
-/// Accepts rank-1 [in] or rank-2 [n, in] inputs.
+/// Accepts rank-1 [in], rank-2 [n, in] or rank-3 [b, s, in] inputs; rank-3
+/// inputs are flattened to one [b*s, in] GEMM so batched sequences feed the
+/// blocked kernel layer a single large product.
 class Linear : public Module {
  public:
   Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias = true);
@@ -96,6 +98,13 @@ class MultiHeadAttention : public Module {
 
   Tensor Forward(const Tensor& x) const;
 
+  /// Batched self-attention over a [b, s, d] input with a [b, s] key-padding
+  /// mask (1 = valid, 0 = padded; undefined mask -> no masking). Padded keys
+  /// receive exactly zero attention weight and zero gradient (MaskedSoftmax
+  /// treats them as a -inf score bias), so per-batch results match the
+  /// rank-2 Forward run on each unpadded sequence bit-for-bit.
+  Tensor Forward(const Tensor& x, const Tensor& mask) const;
+
  private:
   int64_t dim_;
   int64_t num_heads_;
@@ -113,6 +122,8 @@ class TransformerEncoderLayer : public Module {
                           Rng& rng);
 
   Tensor Forward(const Tensor& x) const;
+  /// Batched variant over [b, s, d] with a [b, s] key-padding mask.
+  Tensor Forward(const Tensor& x, const Tensor& mask) const;
 
  private:
   std::unique_ptr<MultiHeadAttention> attention_;
@@ -129,6 +140,9 @@ class TransformerEncoder : public Module {
                      int64_t ff_dim, Rng& rng);
 
   Tensor Forward(const Tensor& x) const;
+  /// Batched variant: encodes b padded sequences in one pass. `x` is
+  /// [b, s, d]; `mask` is a [b, s] key-padding mask (1 = valid).
+  Tensor Forward(const Tensor& x, const Tensor& mask) const;
 
  private:
   std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "tensor/kernels.h"
@@ -56,42 +57,88 @@ Tensor EwBinary(const Tensor& a, const Tensor& b, F f, Da dfa, Db dfb) {
   const auto& ad = a.data();
   const auto& bd = b.data();
   const int64_t last = a.size(-1);
-  auto bindex = [kind, last](size_t i) -> size_t {
-    switch (kind) {
-      case Broadcast::kSame:
-        return i;
-      case Broadcast::kScalar:
-        return 0;
-      case Broadcast::kLastDim:
-        return i % static_cast<size_t>(last);
-    }
-    return 0;
-  };
   const float* adp = ad.data();
   const float* bdp = bd.data();
   float* odp = out->data.data();
+  // kLastDim loops track the broadcast column with a wrap counter instead of
+  // a per-element modulo; the hot path here is the row-vector bias add.
+  // Each broadcast form gets its own loop: kSame with a direct index (the
+  // per-element switch in bindex defeats vectorization), kLastDim with a
+  // wrap counter instead of a per-element modulo, kScalar with b hoisted.
   kernels::ParallelRanges(
       static_cast<int64_t>(ad.size()), 1,
       [=](int64_t begin, int64_t end) {
-        for (int64_t i = begin; i < end; ++i) {
-          odp[i] = f(adp[i], bdp[bindex(static_cast<size_t>(i))]);
+        switch (kind) {
+          case Broadcast::kSame:
+            for (int64_t i = begin; i < end; ++i) odp[i] = f(adp[i], bdp[i]);
+            return;
+          case Broadcast::kScalar: {
+            const float bv = bdp[0];
+            for (int64_t i = begin; i < end; ++i) odp[i] = f(adp[i], bv);
+            return;
+          }
+          case Broadcast::kLastDim: {
+            // Row-blocked so the inner loop has a fixed b row and no wrap
+            // branch; prefix/suffix cover ranges that start or end mid-row.
+            const int64_t wrap = last;
+            int64_t i = begin;
+            for (int64_t j = begin % wrap; i < end && j != 0;
+                 j = (j + 1) % wrap, ++i) {
+              odp[i] = f(adp[i], bdp[j]);
+            }
+            for (; i + wrap <= end; i += wrap) {
+              for (int64_t j = 0; j < wrap; ++j) {
+                odp[i + j] = f(adp[i + j], bdp[j]);
+              }
+            }
+            for (int64_t j = 0; i < end; ++i, ++j) odp[i] = f(adp[i], bdp[j]);
+            return;
+          }
         }
       });
   if (ShouldRecord({&a, &b})) {
     ImplPtr ai = a.impl(), bi = b.impl();
     TensorImpl* self = out.get();
-    Attach(out, {ai, bi}, [ai, bi, self, bindex, dfa, dfb]() {
+    Attach(out, {ai, bi}, [ai, bi, self, kind, last, dfa, dfb]() {
+      const size_t wrap = static_cast<size_t>(last);
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        for (size_t i = 0; i < self->data.size(); ++i) {
-          ai->grad[i] += self->grad[i] * dfa(ai->data[i], bi->data[bindex(i)]);
+        if (kind == Broadcast::kSame) {
+          for (size_t i = 0; i < self->data.size(); ++i) {
+            ai->grad[i] += self->grad[i] * dfa(ai->data[i], bi->data[i]);
+          }
+        } else if (kind == Broadcast::kLastDim) {
+          for (size_t base = 0; base < self->data.size(); base += wrap) {
+            for (size_t j = 0; j < wrap; ++j) {
+              ai->grad[base + j] +=
+                  self->grad[base + j] * dfa(ai->data[base + j], bi->data[j]);
+            }
+          }
+        } else {
+          const float bv = bi->data[0];
+          for (size_t i = 0; i < self->data.size(); ++i) {
+            ai->grad[i] += self->grad[i] * dfa(ai->data[i], bv);
+          }
         }
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        for (size_t i = 0; i < self->data.size(); ++i) {
-          bi->grad[bindex(i)] +=
-              self->grad[i] * dfb(ai->data[i], bi->data[bindex(i)]);
+        if (kind == Broadcast::kSame) {
+          for (size_t i = 0; i < self->data.size(); ++i) {
+            bi->grad[i] += self->grad[i] * dfb(ai->data[i], bi->data[i]);
+          }
+        } else if (kind == Broadcast::kLastDim) {
+          for (size_t base = 0; base < self->data.size(); base += wrap) {
+            for (size_t j = 0; j < wrap; ++j) {
+              bi->grad[j] +=
+                  self->grad[base + j] * dfb(ai->data[base + j], bi->data[j]);
+            }
+          }
+        } else {
+          const float bv = bi->data[0];
+          for (size_t i = 0; i < self->data.size(); ++i) {
+            bi->grad[0] += self->grad[i] * dfb(ai->data[i], bv);
+          }
         }
       }
     });
@@ -699,6 +746,158 @@ Tensor Softmax(const Tensor& a) {
             agrad[r * n + j] += y[j] * (g[j] - static_cast<float>(dot));
           }
         }
+      });
+    });
+  }
+  return Tensor::FromImpl(out);
+}
+
+Tensor MaskedSoftmax(const Tensor& a, const Tensor& mask) {
+  const int64_t n = a.size(-1);
+  const int64_t rows = a.numel() / n;
+  CF_CHECK(!mask.requires_grad()) << "the key-padding mask is a constant";
+  CF_CHECK(mask.dim() == 1 || mask.dim() == 2);
+  CF_CHECK_EQ(mask.size(-1), n);
+  const int64_t mask_rows = mask.dim() == 2 ? mask.size(0) : 1;
+  CF_CHECK_EQ(rows % mask_rows, 0)
+      << "row count must be a multiple of the mask batch";
+  // Contiguous groups of `group` rows share one mask row (batch-major heads).
+  const int64_t group = rows / mask_rows;
+  auto out = NewImpl(a.shape());
+  // Snapshot the mask so the backward closure does not depend on the mask
+  // tensor staying alive / unmodified.
+  auto valid = std::make_shared<std::vector<float>>(mask.data());
+  {
+    const float* xd = a.data().data();
+    const float* md = valid->data();
+    float* yd = out->data.data();
+    kernels::ParallelRanges(rows, n, [=](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* x = xd + r * n;
+        const float* m = md + (r / group) * n;
+        float* y = yd + r * n;
+        float mx = -std::numeric_limits<float>::infinity();
+        for (int64_t j = 0; j < n; ++j) {
+          if (m[j] != 0.0f) mx = std::max(mx, x[j]);
+        }
+        if (mx == -std::numeric_limits<float>::infinity()) {
+          // Fully masked row: defined as all-zero (no key to attend to).
+          for (int64_t j = 0; j < n; ++j) y[j] = 0.0f;
+          continue;
+        }
+        double z = 0.0;
+        for (int64_t j = 0; j < n; ++j) {
+          if (m[j] != 0.0f) {
+            y[j] = std::exp(x[j] - mx);
+            z += y[j];
+          } else {
+            y[j] = 0.0f;
+          }
+        }
+        const float invz = static_cast<float>(1.0 / z);
+        for (int64_t j = 0; j < n; ++j) y[j] *= invz;
+      }
+    });
+  }
+  if (ShouldRecord({&a})) {
+    ImplPtr ai = a.impl();
+    TensorImpl* self = out.get();
+    Attach(out, {ai}, [ai, self, rows, n]() {
+      // Identical to the Softmax backward: masked entries have y == 0, so
+      // y * (g - dot) vanishes there and no gradient leaks through padding.
+      ai->EnsureGrad();
+      float* agrad = ai->grad.data();
+      const float* yd = self->data.data();
+      const float* gd = self->grad.data();
+      kernels::ParallelRanges(rows, n, [=](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float* y = yd + r * n;
+          const float* g = gd + r * n;
+          double dot = 0.0;
+          for (int64_t j = 0; j < n; ++j) {
+            dot += static_cast<double>(y[j]) * g[j];
+          }
+          for (int64_t j = 0; j < n; ++j) {
+            agrad[r * n + j] += y[j] * (g[j] - static_cast<float>(dot));
+          }
+        }
+      });
+    });
+  }
+  return Tensor::FromImpl(out);
+}
+
+namespace {
+
+// Visits every (merged_offset, split_offset) contiguous run of `hd` elements
+// linking the [b, s, h*hd] and [b*h, s, hd] layouts, parallel over the b*h
+// output batches. Runs are disjoint on both sides across (bb, hh) pairs, so
+// either direction of copy/accumulate is race-free and deterministic.
+template <typename Apply>
+void ForEachHeadRun(int64_t b, int64_t s, int64_t h, int64_t hd,
+                    const Apply& apply) {
+  kernels::ParallelRanges(b * h, s * hd, [=](int64_t g0, int64_t g1) {
+    for (int64_t g = g0; g < g1; ++g) {
+      const int64_t bb = g / h, hh = g % h;
+      for (int64_t i = 0; i < s; ++i) {
+        apply((bb * s + i) * h * hd + hh * hd, (g * s + i) * hd);
+      }
+    }
+  });
+}
+
+}  // namespace
+
+Tensor SplitHeads(const Tensor& a, int64_t num_heads) {
+  CF_CHECK_EQ(a.dim(), 3);
+  const int64_t b = a.size(0), s = a.size(1), d = a.size(2);
+  CF_CHECK_EQ(d % num_heads, 0);
+  const int64_t hd = d / num_heads;
+  auto out = NewImpl({b * num_heads, s, hd});
+  {
+    const float* in = a.data().data();
+    float* dst = out->data.data();
+    ForEachHeadRun(b, s, num_heads, hd, [=](int64_t mo, int64_t so) {
+      std::copy(in + mo, in + mo + hd, dst + so);
+    });
+  }
+  if (ShouldRecord({&a})) {
+    ImplPtr ai = a.impl();
+    TensorImpl* self = out.get();
+    Attach(out, {ai}, [ai, self, b, s, num_heads, hd]() {
+      ai->EnsureGrad();
+      float* ag = ai->grad.data();
+      const float* g = self->grad.data();
+      ForEachHeadRun(b, s, num_heads, hd, [=](int64_t mo, int64_t so) {
+        for (int64_t j = 0; j < hd; ++j) ag[mo + j] += g[so + j];
+      });
+    });
+  }
+  return Tensor::FromImpl(out);
+}
+
+Tensor MergeHeads(const Tensor& a, int64_t num_heads) {
+  CF_CHECK_EQ(a.dim(), 3);
+  const int64_t bh = a.size(0), s = a.size(1), hd = a.size(2);
+  CF_CHECK_EQ(bh % num_heads, 0);
+  const int64_t b = bh / num_heads;
+  auto out = NewImpl({b, s, num_heads * hd});
+  {
+    const float* in = a.data().data();
+    float* dst = out->data.data();
+    ForEachHeadRun(b, s, num_heads, hd, [=](int64_t mo, int64_t so) {
+      std::copy(in + so, in + so + hd, dst + mo);
+    });
+  }
+  if (ShouldRecord({&a})) {
+    ImplPtr ai = a.impl();
+    TensorImpl* self = out.get();
+    Attach(out, {ai}, [ai, self, b, s, num_heads, hd]() {
+      ai->EnsureGrad();
+      float* ag = ai->grad.data();
+      const float* g = self->grad.data();
+      ForEachHeadRun(b, s, num_heads, hd, [=](int64_t mo, int64_t so) {
+        for (int64_t j = 0; j < hd; ++j) ag[so + j] += g[mo + j];
       });
     });
   }

@@ -84,6 +84,21 @@ Tensor Norm(const Tensor& a, float eps = 1e-12f);
 
 /// Softmax over the last dimension (rank 1-3).
 Tensor Softmax(const Tensor& a);
+/// Softmax over the last dimension with a key-padding mask (1 = valid,
+/// 0 = padded; masked entries behave as a -inf bias: they get probability
+/// exactly 0 in the forward pass and contribute exactly zero gradient).
+/// `mask` is rank-1 [n] (shared by every row) or rank-2 [b, n] where the
+/// flattened row count of `a` is a multiple of b: contiguous groups of
+/// rows/b rows share a mask row, which matches batch-major head grouping
+/// ([batch*heads, q, n] scores against a [batch, n] mask). The mask is a
+/// constant: it must not require grad. Rows whose mask is all zero produce
+/// an all-zero output row.
+Tensor MaskedSoftmax(const Tensor& a, const Tensor& mask);
+/// Head split for batched attention: [b, s, h*hd] -> [b*h, s, hd], laid out
+/// batch-major (output batch index = b_idx * h + head_idx).
+Tensor SplitHeads(const Tensor& a, int64_t num_heads);
+/// Inverse of SplitHeads: [b*h, s, hd] -> [b, s, h*hd].
+Tensor MergeHeads(const Tensor& a, int64_t num_heads);
 /// Layer normalization over the last dimension with affine params
 /// gamma/beta of shape [d].
 Tensor LayerNormOp(const Tensor& a, const Tensor& gamma, const Tensor& beta,

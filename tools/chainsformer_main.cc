@@ -42,7 +42,8 @@ int Usage() {
                "                --metrics-json=PATH (dump pipeline metrics as JSON)\n"
                "                --trace-json=PATH (record a chrome://tracing span file)\n"
                "                --stats (print a metrics summary table on exit)\n"
-               "                --eval-threads=N (parallel final evaluation; bit-identical)\n"
+               "                --eval-threads=N (parallel evaluation passes; bit-identical)\n"
+               "                --no-batched-encoder (per-chain reference encoder path)\n"
                "  generate: --dataset=yago|fb --scale=F\n"
                "  train:    --checkpoint=PATH --epochs=N --hidden-dim=N\n"
                "            --num-walks=N --top-k=N --max-hops=N --lr=F\n"
@@ -62,6 +63,8 @@ core::ChainsFormerConfig ConfigFromFlags(const FlagParser& flags) {
   config.learning_rate = static_cast<float>(flags.GetDouble("lr", 4e-3));
   config.max_train_queries = static_cast<int>(flags.GetInt("train-queries", 400));
   config.kernel_threads = static_cast<int>(flags.GetInt("kernel-threads", 1));
+  config.batched_encoder = !flags.GetBool("no-batched-encoder", false);
+  config.eval_threads = static_cast<int>(flags.GetInt("eval-threads", 2));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   config.verbose = flags.GetBool("verbose", true);
   return config;
@@ -108,11 +111,10 @@ int RunAnalyze(const FlagParser& flags) {
 /// Final evaluation used by train/eval: parallel (bit-identical to serial,
 /// see ChainsFormerModel::EvaluateParallel) when --eval-threads > 1.
 eval::EvalResult FinalEvaluate(core::ChainsFormerModel& model,
-                               const std::vector<kg::NumericalTriple>& queries,
-                               const FlagParser& flags) {
-  const int eval_threads = static_cast<int>(flags.GetInt("eval-threads", 2));
-  if (eval_threads <= 1) return model.Evaluate(queries);
-  ThreadPool pool(static_cast<size_t>(eval_threads));
+                               const std::vector<kg::NumericalTriple>& queries) {
+  const int eval_threads = model.config().eval_threads;
+  if (eval_threads == 1) return model.Evaluate(queries);
+  ThreadPool pool(eval_threads > 0 ? static_cast<size_t>(eval_threads) : 0);
   return model.EvaluateParallel(queries, pool);
 }
 
@@ -142,7 +144,7 @@ int RunTrain(const FlagParser& flags) {
     }
     std::printf("checkpoint saved to %s\n", checkpoint.c_str());
   }
-  const auto result = FinalEvaluate(model, ds.split.test, flags);
+  const auto result = FinalEvaluate(model, ds.split.test);
   std::printf("test Average* MAE %.4f, RMSE %.4f over %lld queries\n",
               result.normalized_mae, result.normalized_rmse,
               static_cast<long long>(result.total_count));
@@ -162,7 +164,7 @@ int RunEval(const FlagParser& flags) {
     std::printf("no --checkpoint given; training from scratch\n");
     model.Train();
   }
-  const auto result = FinalEvaluate(model, ds.split.test, flags);
+  const auto result = FinalEvaluate(model, ds.split.test);
   eval::TextTable table({"attribute", "count", "MAE", "RMSE"});
   for (kg::AttributeId a = 0; a < ds.graph.num_attributes(); ++a) {
     const auto& m = result.per_attribute[static_cast<size_t>(a)];
@@ -224,9 +226,11 @@ int Main(int argc, char** argv) {
   const std::string metrics_json = flags.GetString("metrics-json");
   const std::string trace_json = flags.GetString("trace-json");
   const bool print_stats = flags.GetBool("stats", false);
-  // --eval-threads is only consumed by train/eval; touch it here so the
-  // unused-flag warning stays quiet for the other subcommands.
+  // --eval-threads / --no-batched-encoder are only consumed by the model
+  // subcommands; touch them here so the unused-flag warning stays quiet for
+  // generate/analyze.
   (void)flags.GetInt("eval-threads", 2);
+  (void)flags.GetBool("no-batched-encoder", false);
   if (!trace_json.empty()) trace::SetEnabled(true);
   int rc;
   if (command == "generate") {
