@@ -11,6 +11,7 @@
 #include "baselines/nap.h"
 #include "baselines/plm_reg.h"
 #include "baselines/simple.h"
+#include "tensor/checks.h"
 #include "tensor/kernels.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
@@ -70,6 +71,9 @@ BenchOptions DefaultOptions() {
     options.kernel_threads = std::atoi(env);
   }
   tensor::kernels::SetKernelThreads(options.kernel_threads);
+  // Benches honor CF_CHECK_MODE so sanitizer overhead can be measured with
+  // the same binaries; default is off (the perf numbers of record).
+  tensor::SetCheckMode(tensor::CheckModeFromEnv());
   return options;
 }
 

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <unordered_set>
+#include <vector>
 
 #include "core/chain_encoder.h"
 #include "core/chainsformer.h"
@@ -14,6 +16,7 @@
 #include "core/numerical_reasoner.h"
 #include "core/query_retrieval.h"
 #include "kg/synthetic.h"
+#include "tensor/checks.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
@@ -248,10 +251,114 @@ void VerifyTracerDisabledOverhead() {
       << "disabled CF_TRACE_SCOPE is no longer (nearly) free";
 }
 
+// Check-mode dispatch cost: the entire per-op price of --check-mode=off is
+// (at most) two of these relaxed loads, one at the Attach record site and
+// one in the FinishOp poison gate.
+void BM_CheckModeDispatchOff(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::GetCheckMode());
+  }
+}
+BENCHMARK(BM_CheckModeDispatchOff);
+
+/// Recorded autograd ops reachable from `t` — the number of times the
+/// check-mode dispatch was paid while building this tape.
+int64_t CountTapeOps(const tensor::Tensor& t) {
+  std::vector<tensor::TensorImpl*> stack = {t.impl().get()};
+  std::unordered_set<tensor::TensorImpl*> seen = {t.impl().get()};
+  int64_t ops = 0;
+  while (!stack.empty()) {
+    tensor::TensorImpl* node = stack.back();
+    stack.pop_back();
+    if (node->backward_fn) ++ops;
+    for (const auto& p : node->parents) {
+      if (seen.insert(p.get()).second) stack.push_back(p.get());
+    }
+  }
+  return ops;
+}
+
+// Guardrail for "--check-mode=off is free": the sanitizer's whole per-op
+// cost when off is two relaxed atomic loads (Attach + FinishOp). Measures
+// that dispatch cost directly, then bounds the resulting overhead fraction
+// against two representative workloads — a single 256x256 GEMM op and one
+// Chain Encoder forward (whose op count is taken from its own tape, not
+// guessed) — and aborts above 1%.
+void VerifyCheckModeOffOverhead() {
+  if (tensor::GetCheckMode() != tensor::CheckMode::kOff) {
+    std::printf("check-mode overhead guardrail skipped (CF_CHECK_MODE=%s)\n",
+                tensor::CheckModeName(tensor::GetCheckMode()));
+    return;
+  }
+  constexpr double kMaxOverheadFraction = 0.01;
+  constexpr int kTrials = 7;
+
+  // Per-dispatch cost (ns) of GetCheckMode(): relaxed load + branch.
+  double dispatch_trials[kTrials];
+  for (int t = 0; t < kTrials; ++t) {
+    constexpr int kIters = 1'000'000;
+    Stopwatch sw;
+    for (int i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(tensor::GetCheckMode());
+    }
+    dispatch_trials[t] = static_cast<double>(sw.ElapsedMicros()) * 1e3 / kIters;
+  }
+  std::sort(dispatch_trials, dispatch_trials + kTrials);
+  const double dispatch_ns = dispatch_trials[kTrials / 2];
+  const double per_op_ns = 2.0 * dispatch_ns;
+
+  // GEMM: one recorded op per MatMul call.
+  Rng rng(17);
+  const tensor::Tensor a = tensor::Tensor::Randn({256, 256}, rng, 0.5f);
+  const tensor::Tensor b = tensor::Tensor::Randn({256, 256}, rng, 0.5f);
+  double gemm_trials[kTrials];
+  for (int t = 0; t < kTrials; ++t) {
+    tensor::NoGradGuard no_grad;
+    Stopwatch sw;
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+    gemm_trials[t] = static_cast<double>(sw.ElapsedMicros()) * 1e3;
+  }
+  std::sort(gemm_trials, gemm_trials + kTrials);
+  const double gemm_fraction = per_op_ns / gemm_trials[kTrials / 2];
+
+  // Chain Encoder forward: op count read off the recorded tape.
+  core::ChainsFormerConfig config;
+  config.hidden_dim = 32;
+  Rng erng(18);
+  core::ChainEncoder encoder(Data().graph.num_relation_ids(),
+                             Data().graph.num_attributes(), config, erng);
+  core::QueryRetrieval retrieval(Data().graph, TrainIndex(), 3, 8);
+  Rng wrng(19);
+  const auto toc = retrieval.Retrieve(SomeQuery(), wrng);
+  CF_CHECK(!toc.empty());
+  const int64_t encode_ops = CountTapeOps(encoder.Encode(toc.front()));
+  double encode_trials[kTrials];
+  for (int t = 0; t < kTrials; ++t) {
+    Stopwatch sw;
+    benchmark::DoNotOptimize(encoder.Encode(toc.front()));
+    encode_trials[t] = static_cast<double>(sw.ElapsedMicros()) * 1e3;
+  }
+  std::sort(encode_trials, encode_trials + kTrials);
+  const double encode_fraction =
+      static_cast<double>(encode_ops) * per_op_ns / encode_trials[kTrials / 2];
+
+  std::printf(
+      "check-mode-off overhead: %.2f ns/op dispatch; GEMM-256 %.4f%%, "
+      "encoder forward (%lld ops) %.4f%% (budget %.0f%%)\n",
+      per_op_ns, 100.0 * gemm_fraction,
+      static_cast<long long>(encode_ops), 100.0 * encode_fraction,
+      100.0 * kMaxOverheadFraction);
+  CF_CHECK_LE(gemm_fraction, kMaxOverheadFraction)
+      << "check-mode-off dispatch is no longer (nearly) free on GEMM";
+  CF_CHECK_LE(encode_fraction, kMaxOverheadFraction)
+      << "check-mode-off dispatch is no longer (nearly) free on the encoder";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   VerifyTracerDisabledOverhead();
+  VerifyCheckModeOffOverhead();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "tensor/checks.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/serialize.h"
@@ -50,6 +51,7 @@ ChainsFormerModel::ChainsFormerModel(const kg::Dataset& dataset,
       train_index_(dataset.split.train, dataset.graph.num_entities()),
       rng_(config.seed) {
   tensor::kernels::SetKernelThreads(config.kernel_threads);
+  tensor::SetCheckMode(config.check_mode);
   retrieval_ = std::make_unique<QueryRetrieval>(dataset.graph, train_index_,
                                                 config.max_hops, config.num_walks,
                                                 config.retrieval_strategy);
@@ -252,6 +254,9 @@ TrainReport ChainsFormerModel::Train() {
                         : ops::Mean(ops::Concat(batch_losses, 0));
       optimizer_->ZeroGrad();
       loss.Backward();
+      if (tensor::GetCheckMode() == tensor::CheckMode::kFull) {
+        tensor::DebugCheckRootsReceivedGrad(live_params);
+      }
       // live_params is the same encoder+reasoner parameter list, assembled
       // once before the epoch loop; no need to rebuild it every step.
       tensor::optim::ClipGradNorm(live_params, config_.grad_clip);

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "tensor/checks.h"
+
 namespace chainsformer {
 namespace core {
 
@@ -121,6 +123,11 @@ struct ChainsFormerConfig {
   /// through EvaluateParallel (bit-identical results); 0 = hardware
   /// concurrency.
   int eval_threads = 1;
+  /// Autograd tape sanitizer level (tensor/checks.h): off (default, zero-cost
+  /// training), shapes (structural tape checks) or full (adds NaN/Inf poison
+  /// tracking and leaked-root accounting). CLI --check-mode; the CF_CHECK_MODE
+  /// environment variable sets the CLI default.
+  tensor::CheckMode check_mode = tensor::CheckMode::kOff;
 
   uint64_t seed = 1234;
   bool verbose = false;

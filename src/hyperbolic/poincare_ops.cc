@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/checks.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -11,8 +12,15 @@ namespace hyperbolic {
 using tensor::Tensor;
 namespace ops = chainsformer::tensor;
 
+// Every entry point asserts its manifold-space input is finite under
+// --check-mode=full. The clamp sites below (Atanh/Clamp epsilons) keep the
+// *outputs* on the ball, but they silently absorb a poisoned input — Atanh
+// of NaN clamps to NaN — so without these asserts a NaN born upstream would
+// first surface many ops later with the wrong op blamed.
+
 Tensor HExpMap0(const Tensor& v, float c) {
   CF_CHECK_GT(c, 0.0f);
+  tensor::DebugAssertFinite("HExpMap0 input", v);
   const float sc = std::sqrt(c);
   Tensor norm = ops::Norm(v);                       // scalar
   Tensor scaled = ops::MulScalar(norm, sc);
@@ -22,6 +30,7 @@ Tensor HExpMap0(const Tensor& v, float c) {
 
 Tensor HLogMap0(const Tensor& x, float c) {
   CF_CHECK_GT(c, 0.0f);
+  tensor::DebugAssertFinite("HLogMap0 input", x);
   const float sc = std::sqrt(c);
   Tensor xp = HProject(x, c);
   Tensor norm = ops::Norm(xp);
@@ -32,6 +41,8 @@ Tensor HLogMap0(const Tensor& x, float c) {
 
 Tensor HMobiusAdd(const Tensor& x, const Tensor& y, float c) {
   CF_CHECK_EQ(x.numel(), y.numel());
+  tensor::DebugAssertFinite("HMobiusAdd input x", x);
+  tensor::DebugAssertFinite("HMobiusAdd input y", y);
   Tensor xy = ops::Dot(x, y);
   Tensor x2 = ops::Sum(ops::Square(x));
   Tensor y2 = ops::Sum(ops::Square(y));
@@ -52,6 +63,8 @@ Tensor HMobiusAdd(const Tensor& x, const Tensor& y, float c) {
 
 Tensor HDistance(const Tensor& x, const Tensor& y, float c) {
   const float sc = std::sqrt(c);
+  tensor::DebugAssertFinite("HDistance input x", x);
+  tensor::DebugAssertFinite("HDistance input y", y);
   Tensor sum = HMobiusAdd(ops::Neg(x), y, c);
   Tensor arg = ops::MulScalar(ops::Norm(sum), sc);
   return ops::MulScalar(ops::Atanh(arg), 2.0f / sc);
@@ -59,6 +72,7 @@ Tensor HDistance(const Tensor& x, const Tensor& y, float c) {
 
 Tensor HProject(const Tensor& x, float c, float eps) {
   const float max_norm = (1.0f - eps) / std::sqrt(c);
+  tensor::DebugAssertFinite("HProject input", x);
   Tensor norm = ops::Clamp(ops::Norm(x), 1e-12f, 1e30f);
   // scale = min(1, max_norm / ||x||) implemented as clamp on the ratio.
   Tensor ratio = ops::Div(ops::Clamp(norm, 0.0f, max_norm), norm);

@@ -1,0 +1,99 @@
+#include "tensor/checks.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "tensor/kernels.h"
+#include "tensor/tensor.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace chainsformer {
+namespace tensor {
+
+namespace {
+
+std::atomic<int> g_check_mode{static_cast<int>(CheckMode::kOff)};
+
+}  // namespace
+
+void SetCheckMode(CheckMode mode) {
+  g_check_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+CheckMode GetCheckMode() {
+  return static_cast<CheckMode>(g_check_mode.load(std::memory_order_relaxed));
+}
+
+const char* CheckModeName(CheckMode mode) {
+  switch (mode) {
+    case CheckMode::kOff:
+      return "off";
+    case CheckMode::kShapes:
+      return "shapes";
+    case CheckMode::kFull:
+      return "full";
+  }
+  return "off";
+}
+
+CheckMode CheckModeFromString(const std::string& name) {
+  if (name == "off") return CheckMode::kOff;
+  if (name == "shapes") return CheckMode::kShapes;
+  if (name == "full") return CheckMode::kFull;
+  CF_LOG(Fatal) << "unknown check mode \"" << name
+                << "\" (expected off, shapes or full)";
+  return CheckMode::kOff;
+}
+
+CheckMode CheckModeFromEnv() {
+  const char* env = std::getenv("CF_CHECK_MODE");
+  if (env == nullptr || env[0] == '\0') return CheckMode::kOff;
+  return CheckModeFromString(env);
+}
+
+void DebugAssertFinite(const char* where, const Tensor& t) {
+  if (GetCheckMode() != CheckMode::kFull || !t.defined()) return;
+  const auto& d = t.data();
+  const int64_t bad =
+      kernels::CountNonFinite(d.data(), static_cast<int64_t>(d.size()));
+  if (bad == 0) return;
+  metrics::MetricsRegistry::Global()
+      .GetCounter("tape.poison_events")
+      ->Increment();
+  CF_LOG(Fatal) << "numeric poison: " << where << " received " << bad
+                << " non-finite value(s) in input " << t.DebugString();
+}
+
+int DebugCheckRootsReceivedGrad(const std::vector<Tensor>& roots) {
+  if (!CheckModeEnabled()) return 0;
+  int leaked = 0;
+  for (const Tensor& root : roots) {
+    if (!root.defined() || !root.requires_grad()) continue;
+    const auto& g = root.impl()->grad;
+    bool any_nonzero = false;
+    for (float v : g) {
+      if (v != 0.0f) {
+        any_nonzero = true;
+        break;
+      }
+    }
+    if (g.empty() || !any_nonzero) ++leaked;
+  }
+  if (leaked > 0) {
+    metrics::MetricsRegistry::Global()
+        .GetCounter("tape.leaked_roots")
+        ->Increment(leaked);
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      CF_LOG(Warning)
+          << "tape sanitizer: " << leaked << " of " << roots.size()
+          << " requires_grad roots never received a gradient this step "
+          << "(counted in tape.leaked_roots; reported once per process)";
+    }
+  }
+  return leaked;
+}
+
+}  // namespace tensor
+}  // namespace chainsformer

@@ -1,0 +1,91 @@
+#ifndef CHAINSFORMER_TENSOR_CHECKS_H_
+#define CHAINSFORMER_TENSOR_CHECKS_H_
+
+#include <string>
+#include <vector>
+
+namespace chainsformer {
+namespace tensor {
+
+class Tensor;
+
+/// Correctness-analysis level of the autograd tape sanitizer. The levels are
+/// strictly cumulative:
+///
+///   kOff    — no checking beyond the always-on CF_CHECK shape preconditions.
+///             Recording and Backward() are bitwise identical to a build
+///             without the sanitizer; the per-op cost is one relaxed atomic
+///             load and a branch.
+///   kShapes — structural tape checks. Every recorded op snapshots the
+///             version counter of each input; Backward() fails with the op
+///             name and a tape backtrace if a saved input was mutated after
+///             recording, if a freed tape is backpropagated again
+///             (double-backward / use-after-backward), or if a gradient
+///             buffer's shape diverges from its tensor at an accumulation
+///             site. (All tensors are float32, so dtype mismatches reduce to
+///             size mismatches.)
+///   kFull   — kShapes plus numeric poison tracking: every op forward scans
+///             its output for NaN/Inf and reports the *first* poisoned op
+///             together with per-input statistics, and leaked
+///             requires_grad roots (roots that never receive gradients) are
+///             counted and logged after Backward().
+///
+/// Violations abort through CF_LOG(Fatal) after incrementing the matching
+/// metrics counter (`tape.version_violations`, `tape.poison_events`,
+/// `tape.leaked_roots` — the last one warns instead of aborting).
+enum class CheckMode { kOff = 0, kShapes = 1, kFull = 2 };
+
+/// Process-wide sanitizer level. Like SetKernelThreads, this is meant to be
+/// configured at startup / model construction, not mid-training-step; reads
+/// on the op hot path are relaxed atomics.
+void SetCheckMode(CheckMode mode);
+CheckMode GetCheckMode();
+
+/// True when any sanitizer level is active (mode != kOff).
+inline bool CheckModeEnabled() { return GetCheckMode() != CheckMode::kOff; }
+
+/// "off" / "shapes" / "full".
+const char* CheckModeName(CheckMode mode);
+
+/// Parses "off" / "shapes" / "full" (the CLI --check-mode values). Fatal on
+/// any other string, naming the accepted values.
+CheckMode CheckModeFromString(const std::string& name);
+
+/// Reads the CF_CHECK_MODE environment variable; returns kOff when unset or
+/// empty, otherwise parses it with CheckModeFromString.
+CheckMode CheckModeFromEnv();
+
+/// In kFull mode, aborts (naming `where`) if `t` contains NaN/Inf; no-op at
+/// lower levels. Entry points with known numeric hazards — the Poincaré
+/// artanh/Möbius clamp sites — call this so a poisoned *input* is blamed on
+/// the hyperbolic op that received it rather than on the first primitive op
+/// inside its expansion.
+void DebugAssertFinite(const char* where, const Tensor& t);
+
+/// In kShapes/kFull mode, checks that every root in `roots` (typically the
+/// trainable parameters of the step that just ran Backward()) has a
+/// non-empty, not-all-zero gradient buffer. Roots that never received a
+/// gradient are counted in `tape.leaked_roots` and reported with a
+/// CF_LOG(Warning) (once per process, to keep training logs readable).
+/// Returns the number of leaked roots found. No-op (returns 0) in kOff.
+int DebugCheckRootsReceivedGrad(const std::vector<Tensor>& roots);
+
+/// RAII override of the process-wide check mode, restoring the previous
+/// level on destruction. Test and bench scaffolding.
+class CheckModeGuard {
+ public:
+  explicit CheckModeGuard(CheckMode mode) : prev_(GetCheckMode()) {
+    SetCheckMode(mode);
+  }
+  ~CheckModeGuard() { SetCheckMode(prev_); }
+  CheckModeGuard(const CheckModeGuard&) = delete;
+  CheckModeGuard& operator=(const CheckModeGuard&) = delete;
+
+ private:
+  CheckMode prev_;
+};
+
+}  // namespace tensor
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_TENSOR_CHECKS_H_

@@ -1,7 +1,9 @@
 #include "tensor/kernels.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -323,6 +325,23 @@ void ParallelRanges(int64_t n, int64_t cost_per_item,
       static_cast<size_t>(n), grain, [&fn](size_t begin, size_t end) {
         fn(static_cast<int64_t>(begin), static_cast<int64_t>(end));
       });
+}
+
+int64_t CountNonFinite(const float* x, int64_t n) {
+  std::atomic<int64_t> total{0};
+  // A float is non-finite iff its exponent field is all ones; comparing the
+  // masked bits keeps the inner loop branch-free (auto-vectorizable) and,
+  // unlike std::isfinite, immune to -ffast-math surprises.
+  ParallelRanges(n, 1, [&total, x](int64_t begin, int64_t end) {
+    int64_t local = 0;
+    for (int64_t i = begin; i < end; ++i) {
+      uint32_t bits;
+      std::memcpy(&bits, &x[i], sizeof(bits));
+      local += static_cast<int64_t>((bits & 0x7F800000u) == 0x7F800000u);
+    }
+    total.fetch_add(local, std::memory_order_relaxed);
+  });
+  return total.load(std::memory_order_relaxed);
 }
 
 void GemmAcc(int64_t m, int64_t k, int64_t n, const float* a, const float* b,

@@ -50,6 +50,13 @@ void GemmBtAccSerial(int64_t m, int64_t k, int64_t n, const float* g,
 void GemmAtAccSerial(int64_t m, int64_t k, int64_t n, const float* a,
                      const float* g, float* c);
 
+/// Number of non-finite (NaN or +/-Inf) values among x[0..n). Uses the same
+/// ParallelRanges dispatch as the GEMM kernels — large scans are partitioned
+/// over the worker pool with per-range partial counts — and a branch-free
+/// exponent-mask inner loop that vectorizes under -O3. The tape sanitizer's
+/// full-mode poison scan is built on this.
+int64_t CountNonFinite(const float* x, int64_t n);
+
 /// Runs fn(begin, end) over disjoint sub-ranges of [0, n). `cost_per_item`
 /// is a rough flop/byte weight per index used against the grain threshold:
 /// small totals run inline as a single fn(0, n) call. Ranges are disjoint,

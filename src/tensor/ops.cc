@@ -4,9 +4,12 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <sstream>
 
+#include "tensor/checks.h"
 #include "tensor/kernels.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace chainsformer {
 namespace tensor {
@@ -29,11 +32,94 @@ bool ShouldRecord(std::initializer_list<const Tensor*> inputs) {
   return false;
 }
 
-void Attach(const ImplPtr& out, std::initializer_list<ImplPtr> parents,
+/// Records `out` on the tape. Under a check mode this also captures the
+/// sanitizer state of the new node: the op name and each parent's version
+/// counter (validated again at Backward() time), and fails immediately if a
+/// parent's tape was already freed by an earlier Backward().
+void Attach(const char* op, const ImplPtr& out, std::vector<ImplPtr> parents,
             std::function<void()> backward) {
   out->requires_grad = true;
-  out->parents.assign(parents.begin(), parents.end());
+  out->parents = std::move(parents);
   out->backward_fn = std::move(backward);
+  if (CheckModeEnabled()) {
+    auto debug = std::make_unique<TensorImpl::TapeDebug>();
+    debug->op_name = op;
+    debug->parent_versions.reserve(out->parents.size());
+    for (const ImplPtr& p : out->parents) {
+      if (p->backward_consumed) {
+        CF_LOG(Fatal) << "tape sanitizer: use-after-backward — op " << op
+                      << " consumes the output of op "
+                      << (p->debug != nullptr ? p->debug->op_name
+                                              : "<unnamed op>")
+                      << ", whose tape was already freed by Backward()";
+      }
+      debug->parent_versions.push_back(p->version);
+    }
+    out->debug = std::move(debug);
+  }
+}
+
+void Attach(const char* op, const ImplPtr& out,
+            std::initializer_list<ImplPtr> parents,
+            std::function<void()> backward) {
+  Attach(op, out, std::vector<ImplPtr>(parents.begin(), parents.end()),
+         std::move(backward));
+}
+
+/// Cold path of the full-mode poison scan: `out` of op `op` holds `bad`
+/// non-finite values. Reports the op together with summary statistics of
+/// each input, then aborts. Because every op scans its own output before
+/// returning, the op reported here is the *first* one in execution order to
+/// produce a NaN/Inf — its inputs were scanned clean when they were made
+/// (or are shown poisoned here if they are unscanned leaves).
+[[noreturn]] void ReportPoison(const char* op, const ImplPtr& out, int64_t bad,
+                               std::initializer_list<const Tensor*> inputs) {
+  metrics::MetricsRegistry::Global()
+      .GetCounter("tape.poison_events")
+      ->Increment();
+  std::ostringstream os;
+  int index = 0;
+  for (const Tensor* t : inputs) {
+    const auto& d = t->data();
+    float mn = std::numeric_limits<float>::infinity();
+    float mx = -std::numeric_limits<float>::infinity();
+    double sum = 0.0;
+    int64_t nonfinite = 0;
+    for (float v : d) {
+      if (std::isfinite(v)) {
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+        sum += v;
+      } else {
+        ++nonfinite;
+      }
+    }
+    const int64_t finite = static_cast<int64_t>(d.size()) - nonfinite;
+    os << "\n  input " << index++ << " " << t->DebugString(0) << ": ";
+    if (finite > 0) {
+      os << "finite min " << mn << ", max " << mx << ", mean "
+         << sum / static_cast<double>(finite) << ", ";
+    }
+    os << nonfinite << " non-finite of " << d.size();
+  }
+  CF_LOG(Fatal) << "numeric poison: op " << op << " produced " << bad
+                << " non-finite value(s) in output "
+                << Tensor::FromImpl(out).DebugString(0)
+                << "; input stats:" << os.str();
+}
+
+/// Every op returns through here. In kFull mode the output is scanned for
+/// NaN/Inf (vectorized, kernels::CountNonFinite) so poison is pinned to the
+/// first op that produced it; in lower modes this is a relaxed atomic load
+/// and a branch.
+Tensor FinishOp(const char* op, const ImplPtr& out,
+                std::initializer_list<const Tensor*> inputs) {
+  if (GetCheckMode() == CheckMode::kFull) {
+    const int64_t bad = kernels::CountNonFinite(
+        out->data.data(), static_cast<int64_t>(out->data.size()));
+    if (bad != 0) ReportPoison(op, out, bad, inputs);
+  }
+  return Tensor::FromImpl(out);
 }
 
 // Broadcast form of an elementwise binary op.
@@ -51,7 +137,8 @@ Broadcast BroadcastKind(const Tensor& a, const Tensor& b) {
 // Elementwise binary with forward fn and partial derivatives. dfa/dfb take
 // (a_value, b_value) and return d(out)/d(a or b).
 template <typename F, typename Da, typename Db>
-Tensor EwBinary(const Tensor& a, const Tensor& b, F f, Da dfa, Db dfb) {
+Tensor EwBinary(const char* op, const Tensor& a, const Tensor& b, F f, Da dfa,
+                Db dfb) {
   const Broadcast kind = BroadcastKind(a, b);
   auto out = NewImpl(a.shape());
   const auto& ad = a.data();
@@ -99,7 +186,7 @@ Tensor EwBinary(const Tensor& a, const Tensor& b, F f, Da dfa, Db dfb) {
   if (ShouldRecord({&a, &b})) {
     ImplPtr ai = a.impl(), bi = b.impl();
     TensorImpl* self = out.get();
-    Attach(out, {ai, bi}, [ai, bi, self, kind, last, dfa, dfb]() {
+    Attach(op, out, {ai, bi}, [ai, bi, self, kind, last, dfa, dfb]() {
       const size_t wrap = static_cast<size_t>(last);
       if (ai->requires_grad) {
         ai->EnsureGrad();
@@ -143,12 +230,12 @@ Tensor EwBinary(const Tensor& a, const Tensor& b, F f, Da dfa, Db dfb) {
       }
     });
   }
-  return Tensor::FromImpl(out);
+  return FinishOp(op, out, {&a, &b});
 }
 
 // Elementwise unary. dfx receives (x, y) with y = f(x).
 template <typename F, typename Dx>
-Tensor EwUnary(const Tensor& a, F f, Dx dfx) {
+Tensor EwUnary(const char* op, const Tensor& a, F f, Dx dfx) {
   auto out = NewImpl(a.shape());
   const auto& ad = a.data();
   const float* adp = ad.data();
@@ -162,58 +249,58 @@ Tensor EwUnary(const Tensor& a, F f, Dx dfx) {
   if (ShouldRecord({&a})) {
     ImplPtr ai = a.impl();
     TensorImpl* self = out.get();
-    Attach(out, {ai}, [ai, self, dfx]() {
+    Attach(op, out, {ai}, [ai, self, dfx]() {
       ai->EnsureGrad();
       for (size_t i = 0; i < self->data.size(); ++i) {
         ai->grad[i] += self->grad[i] * dfx(ai->data[i], self->data[i]);
       }
     });
   }
-  return Tensor::FromImpl(out);
+  return FinishOp(op, out, {&a});
 }
 
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   return EwBinary(
-      a, b, [](float x, float y) { return x + y; },
+      "Add", a, b, [](float x, float y) { return x + y; },
       [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   return EwBinary(
-      a, b, [](float x, float y) { return x - y; },
+      "Sub", a, b, [](float x, float y) { return x - y; },
       [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   return EwBinary(
-      a, b, [](float x, float y) { return x * y; },
+      "Mul", a, b, [](float x, float y) { return x * y; },
       [](float, float y) { return y; }, [](float x, float) { return x; });
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
   return EwBinary(
-      a, b, [](float x, float y) { return x / y; },
+      "Div", a, b, [](float x, float y) { return x / y; },
       [](float, float y) { return 1.0f / y; },
       [](float x, float y) { return -x / (y * y); });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
   return EwUnary(
-      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+      "AddScalar", a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
   return EwUnary(
-      a, [s](float x) { return x * s; }, [s](float, float) { return s; });
+      "MulScalar", a, [s](float x) { return x * s; }, [s](float, float) { return s; });
 }
 
 Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
 
 Tensor Relu(const Tensor& a) {
   return EwUnary(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      "Relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
       [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
 }
 
@@ -221,7 +308,7 @@ Tensor Gelu(const Tensor& a) {
   constexpr float kInvSqrt2 = 0.70710678118654752f;
   constexpr float kInvSqrt2Pi = 0.39894228040143267f;
   return EwUnary(
-      a,
+      "Gelu", a,
       [](float x) {
         return 0.5f * x * (1.0f + std::erf(x * kInvSqrt2));
       },
@@ -234,31 +321,31 @@ Tensor Gelu(const Tensor& a) {
 
 Tensor Tanh(const Tensor& a) {
   return EwUnary(
-      a, [](float x) { return std::tanh(x); },
+      "Tanh", a, [](float x) { return std::tanh(x); },
       [](float, float y) { return 1.0f - y * y; });
 }
 
 Tensor Sigmoid(const Tensor& a) {
   return EwUnary(
-      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      "Sigmoid", a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
       [](float, float y) { return y * (1.0f - y); });
 }
 
 Tensor Exp(const Tensor& a) {
   return EwUnary(
-      a, [](float x) { return std::exp(x); },
+      "Exp", a, [](float x) { return std::exp(x); },
       [](float, float y) { return y; });
 }
 
 Tensor Log(const Tensor& a, float eps) {
   return EwUnary(
-      a, [eps](float x) { return std::log(std::max(x, eps)); },
+      "Log", a, [eps](float x) { return std::log(std::max(x, eps)); },
       [eps](float x, float) { return 1.0f / std::max(x, eps); });
 }
 
 Tensor Sqrt(const Tensor& a, float eps) {
   return EwUnary(
-      a, [eps](float x) { return std::sqrt(std::max(x, eps)); },
+      "Sqrt", a, [eps](float x) { return std::sqrt(std::max(x, eps)); },
       [eps](float x, float y) {
         (void)x;
         return 0.5f / std::max(y, std::sqrt(eps));
@@ -267,19 +354,19 @@ Tensor Sqrt(const Tensor& a, float eps) {
 
 Tensor Square(const Tensor& a) {
   return EwUnary(
-      a, [](float x) { return x * x; },
+      "Square", a, [](float x) { return x * x; },
       [](float x, float) { return 2.0f * x; });
 }
 
 Tensor Abs(const Tensor& a) {
   return EwUnary(
-      a, [](float x) { return std::fabs(x); },
+      "Abs", a, [](float x) { return std::fabs(x); },
       [](float x, float) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
 }
 
 Tensor Atanh(const Tensor& a, float eps) {
   return EwUnary(
-      a,
+      "Atanh", a,
       [eps](float x) {
         const float c = std::clamp(x, -1.0f + eps, 1.0f - eps);
         return std::atanh(c);
@@ -292,7 +379,7 @@ Tensor Atanh(const Tensor& a, float eps) {
 
 Tensor Acosh(const Tensor& a, float eps) {
   return EwUnary(
-      a,
+      "Acosh", a,
       [eps](float x) { return std::acosh(std::max(x, 1.0f + eps)); },
       [eps](float x, float) {
         const float c = std::max(x, 1.0f + eps);
@@ -302,7 +389,7 @@ Tensor Acosh(const Tensor& a, float eps) {
 
 Tensor Clamp(const Tensor& a, float lo, float hi) {
   return EwUnary(
-      a, [lo, hi](float x) { return std::clamp(x, lo, hi); },
+      "Clamp", a, [lo, hi](float x) { return std::clamp(x, lo, hi); },
       [lo, hi](float x, float) {
         return (x >= lo && x <= hi) ? 1.0f : 0.0f;
       });
@@ -319,7 +406,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   if (ShouldRecord({&a, &b})) {
     ImplPtr ai = a.impl(), bi = b.impl();
     TensorImpl* self = out.get();
-    Attach(out, {ai, bi}, [ai, bi, self, m, k, n]() {
+    Attach("MatMul", out, {ai, bi}, [ai, bi, self, m, k, n]() {
       const float* g = self->grad.data();
       if (ai->requires_grad) {
         ai->EnsureGrad();
@@ -331,7 +418,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       }
     });
   }
-  return Tensor::FromImpl(out);
+  return FinishOp("MatMul", out, {&a, &b});
 }
 
 Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
@@ -363,7 +450,7 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
   if (ShouldRecord({&a, &b})) {
     ImplPtr ai = a.impl(), bi = b.impl();
     TensorImpl* self = out.get();
-    Attach(out, {ai, bi}, [ai, bi, self, bs, m, k, n]() {
+    Attach("BatchMatMul", out, {ai, bi}, [ai, bi, self, bs, m, k, n]() {
       const bool need_a = ai->requires_grad;
       const bool need_b = bi->requires_grad;
       if (need_a) ai->EnsureGrad();
@@ -388,7 +475,7 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
       });
     });
   }
-  return Tensor::FromImpl(out);
+  return FinishOp("BatchMatMul", out, {&a, &b});
 }
 
 Tensor Reshape(const Tensor& a, std::vector<int64_t> shape) {
@@ -398,12 +485,12 @@ Tensor Reshape(const Tensor& a, std::vector<int64_t> shape) {
   if (ShouldRecord({&a})) {
     ImplPtr ai = a.impl();
     TensorImpl* self = out.get();
-    Attach(out, {ai}, [ai, self]() {
+    Attach("Reshape", out, {ai}, [ai, self]() {
       ai->EnsureGrad();
       for (size_t i = 0; i < self->grad.size(); ++i) ai->grad[i] += self->grad[i];
     });
   }
-  return Tensor::FromImpl(out);
+  return FinishOp("Reshape", out, {&a});
 }
 
 Tensor Transpose2D(const Tensor& a) {
@@ -416,7 +503,7 @@ Tensor Transpose2D(const Tensor& a) {
   if (ShouldRecord({&a})) {
     ImplPtr ai = a.impl();
     TensorImpl* self = out.get();
-    Attach(out, {ai}, [ai, self, m, n]() {
+    Attach("Transpose2D", out, {ai}, [ai, self, m, n]() {
       ai->EnsureGrad();
       for (int64_t i = 0; i < m; ++i) {
         for (int64_t j = 0; j < n; ++j) {
@@ -425,7 +512,7 @@ Tensor Transpose2D(const Tensor& a) {
       }
     });
   }
-  return Tensor::FromImpl(out);
+  return FinishOp("Transpose2D", out, {&a});
 }
 
 Tensor Permute3(const Tensor& a, int p0, int p1, int p2) {
@@ -455,7 +542,7 @@ Tensor Permute3(const Tensor& a, int p0, int p1, int p2) {
     std::vector<int64_t> os = out_shape;
     int q0 = perm[0], q1 = perm[1], q2 = perm[2];
     int64_t is0 = in_stride[0], is1 = in_stride[1], is2 = in_stride[2];
-    Attach(out, {ai}, [ai, self, os, q0, q1, q2, is0, is1, is2]() {
+    Attach("Permute3", out, {ai}, [ai, self, os, q0, q1, q2, is0, is1, is2]() {
       ai->EnsureGrad();
       const int64_t strides[3] = {is0, is1, is2};
       const int perm2[3] = {q0, q1, q2};
@@ -470,7 +557,7 @@ Tensor Permute3(const Tensor& a, int p0, int p1, int p2) {
       }
     });
   }
-  return Tensor::FromImpl(out);
+  return FinishOp("Permute3", out, {&a});
 }
 
 Tensor Concat(const std::vector<Tensor>& parts, int axis) {
@@ -528,24 +615,22 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
     TensorImpl* self = out.get();
     std::vector<int64_t> sizes;
     for (const Tensor& p : parts) sizes.push_back(p.size(axis));
-    out->requires_grad = true;
-    out->parents = impls;
-    out->backward_fn = [impls, self, sizes, axis_offsets, outer, inner,
-                        axis_total]() {
-      for (size_t p = 0; p < impls.size(); ++p) {
-        if (!impls[p]->requires_grad) continue;
-        impls[p]->EnsureGrad();
-        const int64_t pa = sizes[p];
-        for (int64_t o = 0; o < outer; ++o) {
-          const float* src =
-              self->grad.data() + (o * axis_total + axis_offsets[p]) * inner;
-          float* dst = impls[p]->grad.data() + o * pa * inner;
-          for (int64_t i = 0; i < pa * inner; ++i) dst[i] += src[i];
-        }
-      }
-    };
+    Attach("Concat", out, impls,
+           [impls, self, sizes, axis_offsets, outer, inner, axis_total]() {
+             for (size_t p = 0; p < impls.size(); ++p) {
+               if (!impls[p]->requires_grad) continue;
+               impls[p]->EnsureGrad();
+               const int64_t pa = sizes[p];
+               for (int64_t o = 0; o < outer; ++o) {
+                 const float* src = self->grad.data() +
+                                    (o * axis_total + axis_offsets[p]) * inner;
+                 float* dst = impls[p]->grad.data() + o * pa * inner;
+                 for (int64_t i = 0; i < pa * inner; ++i) dst[i] += src[i];
+               }
+             }
+           });
   }
-  return Tensor::FromImpl(out);
+  return FinishOp("Concat", out, {});
 }
 
 Tensor Stack(const std::vector<Tensor>& rows) {
@@ -575,14 +660,14 @@ Tensor SliceRows(const Tensor& a, int64_t begin, int64_t end) {
   if (ShouldRecord({&a})) {
     ImplPtr ai = a.impl();
     TensorImpl* self = out.get();
-    Attach(out, {ai}, [ai, self, begin, inner]() {
+    Attach("SliceRows", out, {ai}, [ai, self, begin, inner]() {
       ai->EnsureGrad();
       for (size_t i = 0; i < self->grad.size(); ++i) {
         ai->grad[static_cast<size_t>(begin * inner) + i] += self->grad[i];
       }
     });
   }
-  return Tensor::FromImpl(out);
+  return FinishOp("SliceRows", out, {&a});
 }
 
 Tensor SliceCols(const Tensor& a, int64_t begin, int64_t end) {
@@ -600,7 +685,7 @@ Tensor SliceCols(const Tensor& a, int64_t begin, int64_t end) {
   if (ShouldRecord({&a})) {
     ImplPtr ai = a.impl();
     TensorImpl* self = out.get();
-    Attach(out, {ai}, [ai, self, m, n, w, begin]() {
+    Attach("SliceCols", out, {ai}, [ai, self, m, n, w, begin]() {
       ai->EnsureGrad();
       for (int64_t i = 0; i < m; ++i) {
         for (int64_t j = 0; j < w; ++j) {
@@ -609,7 +694,7 @@ Tensor SliceCols(const Tensor& a, int64_t begin, int64_t end) {
       }
     });
   }
-  return Tensor::FromImpl(out);
+  return FinishOp("SliceCols", out, {&a});
 }
 
 Tensor Row(const Tensor& a, int64_t i) {
@@ -632,7 +717,7 @@ Tensor Gather(const Tensor& table, const std::vector<int64_t>& indices) {
     ImplPtr ti = table.impl();
     TensorImpl* self = out.get();
     std::vector<int64_t> idx = indices;
-    Attach(out, {ti}, [ti, self, idx, d]() {
+    Attach("Gather", out, {ti}, [ti, self, idx, d]() {
       ti->EnsureGrad();
       for (size_t i = 0; i < idx.size(); ++i) {
         for (int64_t j = 0; j < d; ++j) {
@@ -641,7 +726,7 @@ Tensor Gather(const Tensor& table, const std::vector<int64_t>& indices) {
       }
     });
   }
-  return Tensor::FromImpl(out);
+  return FinishOp("Gather", out, {&table});
 }
 
 Tensor Sum(const Tensor& a) {
@@ -652,12 +737,12 @@ Tensor Sum(const Tensor& a) {
   if (ShouldRecord({&a})) {
     ImplPtr ai = a.impl();
     TensorImpl* self = out.get();
-    Attach(out, {ai}, [ai, self]() {
+    Attach("Sum", out, {ai}, [ai, self]() {
       ai->EnsureGrad();
       for (auto& g : ai->grad) g += self->grad[0];
     });
   }
-  return Tensor::FromImpl(out);
+  return FinishOp("Sum", out, {&a});
 }
 
 Tensor Mean(const Tensor& a) {
@@ -680,7 +765,7 @@ Tensor SumLastDim(const Tensor& a) {
   if (ShouldRecord({&a})) {
     ImplPtr ai = a.impl();
     TensorImpl* self = out.get();
-    Attach(out, {ai}, [ai, self, rows, n]() {
+    Attach("SumLastDim", out, {ai}, [ai, self, rows, n]() {
       ai->EnsureGrad();
       for (int64_t r = 0; r < rows; ++r) {
         for (int64_t j = 0; j < n; ++j) {
@@ -689,7 +774,7 @@ Tensor SumLastDim(const Tensor& a) {
       }
     });
   }
-  return Tensor::FromImpl(out);
+  return FinishOp("SumLastDim", out, {&a});
 }
 
 Tensor Dot(const Tensor& a, const Tensor& b) {
@@ -729,7 +814,7 @@ Tensor Softmax(const Tensor& a) {
   if (ShouldRecord({&a})) {
     ImplPtr ai = a.impl();
     TensorImpl* self = out.get();
-    Attach(out, {ai}, [ai, self, rows, n]() {
+    Attach("Softmax", out, {ai}, [ai, self, rows, n]() {
       ai->EnsureGrad();
       float* agrad = ai->grad.data();
       const float* yd = self->data.data();
@@ -749,7 +834,7 @@ Tensor Softmax(const Tensor& a) {
       });
     });
   }
-  return Tensor::FromImpl(out);
+  return FinishOp("Softmax", out, {&a});
 }
 
 Tensor MaskedSoftmax(const Tensor& a, const Tensor& mask) {
@@ -802,7 +887,7 @@ Tensor MaskedSoftmax(const Tensor& a, const Tensor& mask) {
   if (ShouldRecord({&a})) {
     ImplPtr ai = a.impl();
     TensorImpl* self = out.get();
-    Attach(out, {ai}, [ai, self, rows, n]() {
+    Attach("MaskedSoftmax", out, {ai}, [ai, self, rows, n]() {
       // Identical to the Softmax backward: masked entries have y == 0, so
       // y * (g - dot) vanishes there and no gradient leaks through padding.
       ai->EnsureGrad();
@@ -824,7 +909,7 @@ Tensor MaskedSoftmax(const Tensor& a, const Tensor& mask) {
       });
     });
   }
-  return Tensor::FromImpl(out);
+  return FinishOp("MaskedSoftmax", out, {&a});
 }
 
 namespace {
@@ -864,7 +949,7 @@ Tensor SplitHeads(const Tensor& a, int64_t num_heads) {
   if (ShouldRecord({&a})) {
     ImplPtr ai = a.impl();
     TensorImpl* self = out.get();
-    Attach(out, {ai}, [ai, self, b, s, num_heads, hd]() {
+    Attach("SplitHeads", out, {ai}, [ai, self, b, s, num_heads, hd]() {
       ai->EnsureGrad();
       float* ag = ai->grad.data();
       const float* g = self->grad.data();
@@ -873,7 +958,7 @@ Tensor SplitHeads(const Tensor& a, int64_t num_heads) {
       });
     });
   }
-  return Tensor::FromImpl(out);
+  return FinishOp("SplitHeads", out, {&a});
 }
 
 Tensor MergeHeads(const Tensor& a, int64_t num_heads) {
@@ -892,7 +977,7 @@ Tensor MergeHeads(const Tensor& a, int64_t num_heads) {
   if (ShouldRecord({&a})) {
     ImplPtr ai = a.impl();
     TensorImpl* self = out.get();
-    Attach(out, {ai}, [ai, self, b, s, num_heads, hd]() {
+    Attach("MergeHeads", out, {ai}, [ai, self, b, s, num_heads, hd]() {
       ai->EnsureGrad();
       float* ag = ai->grad.data();
       const float* g = self->grad.data();
@@ -901,7 +986,7 @@ Tensor MergeHeads(const Tensor& a, int64_t num_heads) {
       });
     });
   }
-  return Tensor::FromImpl(out);
+  return FinishOp("MergeHeads", out, {&a});
 }
 
 Tensor LayerNormOp(const Tensor& a, const Tensor& gamma, const Tensor& beta,
@@ -946,7 +1031,8 @@ Tensor LayerNormOp(const Tensor& a, const Tensor& gamma, const Tensor& beta,
   if (ShouldRecord({&a, &gamma, &beta})) {
     ImplPtr ai = a.impl(), gi = gamma.impl(), bi = beta.impl();
     TensorImpl* self = out.get();
-    Attach(out, {ai, gi, bi}, [ai, gi, bi, self, xhat, inv_std, rows, n]() {
+    Attach("LayerNorm", out, {ai, gi, bi},
+           [ai, gi, bi, self, xhat, inv_std, rows, n]() {
       // gamma/beta grads reduce across rows into shared [n] buffers, so
       // they stay serial; the input grad is row-disjoint and parallelizes.
       if (gi->requires_grad) {
@@ -994,7 +1080,7 @@ Tensor LayerNormOp(const Tensor& a, const Tensor& gamma, const Tensor& beta,
       }
     });
   }
-  return Tensor::FromImpl(out);
+  return FinishOp("LayerNorm", out, {&a, &gamma, &beta});
 }
 
 Tensor MseLoss(const Tensor& pred, const Tensor& target) {
@@ -1022,7 +1108,7 @@ Tensor SmoothL1Loss(const Tensor& pred, const Tensor& target, float delta) {
 Tensor Detach(const Tensor& a) {
   auto out = NewImpl(a.shape());
   out->data = a.data();
-  return Tensor::FromImpl(out);
+  return FinishOp("Detach", out, {&a});
 }
 
 }  // namespace tensor

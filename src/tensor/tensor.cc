@@ -1,23 +1,28 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <sstream>
 #include <unordered_set>
 
+#include "tensor/checks.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace chainsformer {
 namespace tensor {
 
 namespace {
-thread_local int g_no_grad_depth = 0;
+thread_local bool g_grad_enabled = true;
 }  // namespace
 
-NoGradGuard::NoGradGuard() { ++g_no_grad_depth; }
-NoGradGuard::~NoGradGuard() { --g_no_grad_depth; }
+NoGradGuard::NoGradGuard() : prev_enabled_(g_grad_enabled) {
+  g_grad_enabled = false;
+}
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_enabled_; }
 
-bool GradModeEnabled() { return g_no_grad_depth == 0; }
+bool GradModeEnabled() { return g_grad_enabled; }
 
 Tensor::Tensor(std::vector<int64_t> shape) {
   impl_ = std::make_shared<TensorImpl>();
@@ -85,6 +90,10 @@ int64_t Tensor::numel() const {
 
 std::vector<float>& Tensor::data() {
   CF_CHECK(impl_ != nullptr);
+  // Any mutable access counts as a mutation for the tape sanitizer's
+  // version-counter protocol (tensor/checks.h). Read-only call sites go
+  // through the const overload, which does not bump.
+  impl_->BumpVersion();
   return impl_->data;
 }
 
@@ -152,11 +161,55 @@ void Tensor::ZeroGrad() {
   std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
 }
 
+namespace {
+
+const char* OpName(const TensorImpl* node) {
+  return node->debug != nullptr ? node->debug->op_name : "<leaf or unnamed op>";
+}
+
+std::string ShapeString(const TensorImpl* node) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < node->shape.size(); ++i) {
+    if (i) os << ",";
+    os << node->shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+/// The ops whose backward closures already ran this sweep, most recent
+/// first — the "tape backtrace" printed with every sanitizer diagnostic.
+/// Reverse-mode runs consumers before producers, so this reads as the chain
+/// of ops between the loss and the failure site.
+std::string TapeBacktrace(const std::vector<const char*>& executed) {
+  constexpr size_t kMaxFrames = 12;
+  std::ostringstream os;
+  os << "tape backtrace (most recent op first):";
+  if (executed.empty()) os << " <none run yet>";
+  const size_t n = std::min(executed.size(), kMaxFrames);
+  for (size_t i = 0; i < n; ++i) {
+    os << "\n  #" << i << " " << executed[executed.size() - 1 - i];
+  }
+  if (executed.size() > kMaxFrames) {
+    os << "\n  ... " << (executed.size() - kMaxFrames) << " more";
+  }
+  return os.str();
+}
+
+}  // namespace
+
 void Tensor::Backward() {
   CF_CHECK(impl_ != nullptr);
   CF_CHECK_EQ(numel(), 1) << "Backward() requires a scalar loss tensor";
   CF_CHECK(impl_->requires_grad)
       << "Backward() on a tensor that does not require grad";
+  const CheckMode mode = GetCheckMode();
+  if (mode != CheckMode::kOff && impl_->backward_consumed) {
+    CF_LOG(Fatal) << "tape sanitizer: double Backward() on a freed tape "
+                  << "(root op " << OpName(impl_.get())
+                  << " was already backpropagated)";
+  }
 
   // Iterative post-order DFS to get a topological order of the tape.
   std::vector<TensorImpl*> topo;
@@ -183,8 +236,94 @@ void Tensor::Backward() {
 
   // topo is post-order, so reverse iteration visits consumers before
   // producers — exactly the order reverse-mode needs.
+  if (mode == CheckMode::kOff) {
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      if ((*it)->backward_fn) (*it)->backward_fn();
+    }
+    return;
+  }
+
+  // Checked sweep (kShapes / kFull). Cached counter pointers keep the
+  // per-node overhead to plain loads; see util/metrics.h for the idiom.
+  static auto* version_violations = metrics::MetricsRegistry::Global()
+                                        .GetCounter("tape.version_violations");
+  static auto* leaked_roots =
+      metrics::MetricsRegistry::Global().GetCounter("tape.leaked_roots");
+  std::vector<const char*> executed;
+  executed.reserve(topo.size());
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    if ((*it)->backward_fn) (*it)->backward_fn();
+    TensorImpl* node = *it;
+    if (!node->backward_fn) continue;
+    if (node->backward_consumed) {
+      CF_LOG(Fatal) << "tape sanitizer: use-after-backward — op "
+                    << OpName(node) << " " << ShapeString(node)
+                    << " was already backpropagated by an earlier Backward() "
+                    << "and its tape is freed. "
+                    << TapeBacktrace(executed);
+    }
+    if (node->debug != nullptr) {
+      const auto& saved = node->debug->parent_versions;
+      for (size_t p = 0; p < node->parents.size() && p < saved.size(); ++p) {
+        const TensorImpl* parent = node->parents[p].get();
+        if (parent->version != saved[p]) {
+          version_violations->Increment();
+          CF_LOG(Fatal)
+              << "tape sanitizer: input " << p << " " << ShapeString(parent)
+              << " of op " << OpName(node)
+              << " was mutated after it was recorded (version "
+              << saved[p] << " at record time, " << parent->version
+              << " now); its saved value is stale and the gradient would be "
+              << "silently wrong. " << TapeBacktrace(executed);
+        }
+      }
+    }
+    node->backward_fn();
+    node->backward_consumed = true;
+    executed.push_back(OpName(node));
+    // Accumulation-site shape check: a consumer that grew or shrank a
+    // parent's gradient buffer wrote through a stale size assumption.
+    // (All tensors are float32, so a dtype mismatch shows up as a size
+    // mismatch too.)
+    for (const auto& parent : node->parents) {
+      if (!parent->requires_grad || parent->grad.empty()) continue;
+      if (parent->grad.size() != parent->data.size()) {
+        CF_LOG(Fatal) << "tape sanitizer: op " << OpName(node)
+                      << " accumulated a gradient of " << parent->grad.size()
+                      << " elements into an input of "
+                      << parent->data.size() << " elements "
+                      << ShapeString(parent.get()) << ". "
+                      << TapeBacktrace(executed);
+      }
+    }
+  }
+
+  if (mode == CheckMode::kFull) {
+    // Leaked-root detection: a requires_grad leaf that is reachable from the
+    // loss but whose gradient stayed exactly zero. Legitimate zeros exist
+    // (dead ReLUs, fully masked rows), so this counts and warns rather than
+    // aborting; tape.leaked_roots stays 0 on a healthy model.
+    int leaked = 0;
+    for (TensorImpl* node : topo) {
+      if (node->backward_fn || !node->requires_grad) continue;
+      bool any_nonzero = false;
+      for (float g : node->grad) {
+        if (g != 0.0f) {
+          any_nonzero = true;
+          break;
+        }
+      }
+      if (!any_nonzero) ++leaked;
+    }
+    if (leaked > 0) {
+      leaked_roots->Increment(leaked);
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        CF_LOG(Warning)
+            << "tape sanitizer: " << leaked << " requires_grad leaf root(s) "
+            << "on this tape received an all-zero gradient (counted in "
+            << "tape.leaked_roots; reported once per process)";
+      }
+    }
   }
 }
 

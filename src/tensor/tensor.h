@@ -29,6 +29,26 @@ struct TensorImpl {
   std::vector<std::shared_ptr<TensorImpl>> parents;
   std::function<void()> backward_fn;  // empty for leaves
 
+  /// Mutation counter (the PyTorch version-counter protocol): bumped by
+  /// every mutating access — non-const Tensor::data(), set(), checkpoint
+  /// restore, optimizer steps. Ops recorded under a check mode (see
+  /// tensor/checks.h) snapshot their inputs' versions; Backward() fails with
+  /// the op name if a saved input was mutated after recording. Maintained in
+  /// every mode (a single increment) so flipping the mode on needs no warmup.
+  uint64_t version = 0;
+  /// Set once this node's backward_fn has run under a check mode. A freed
+  /// node reached by another Backward() — double-backward, or a new op
+  /// consuming a stale intermediate — is a fatal sanitizer diagnostic.
+  bool backward_consumed = false;
+  /// Sanitizer record, allocated by the op layer only when a check mode is
+  /// active at recording time: the op's name and the version snapshot of
+  /// each entry of `parents` (parallel arrays).
+  struct TapeDebug {
+    const char* op_name = "";
+    std::vector<uint64_t> parent_versions;
+  };
+  std::unique_ptr<TapeDebug> debug;
+
   int64_t numel() const {
     int64_t n = 1;
     for (int64_t d : shape) n *= d;
@@ -37,17 +57,25 @@ struct TensorImpl {
   void EnsureGrad() {
     if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
   }
+  void BumpVersion() { ++version; }
 };
 
 /// Scoped switch that disables tape recording (inference mode). While a
 /// NoGradGuard is alive on the current thread, ops produce constant tensors
 /// with no parents, which keeps evaluation cheap.
+///
+/// The destructor restores the grad-mode state saved at construction rather
+/// than unconditionally re-enabling recording, so guards nest correctly and
+/// a guard created while recording was already disabled leaves it disabled.
 class NoGradGuard {
  public:
   NoGradGuard();
   ~NoGradGuard();
   NoGradGuard(const NoGradGuard&) = delete;
   NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_enabled_;
 };
 
 /// True when gradients are currently being recorded on this thread.

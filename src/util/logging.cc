@@ -110,11 +110,12 @@ LogMessage::~LogMessage() {
     } else if (StderrIsTty()) {
       // Color only the "[LEVEL" tag so the rest stays grep-friendly.
       const size_t tag_end = header_.find(' ');
-      std::cerr << LevelColor(level_) << header_.substr(0, tag_end)
-                << "\x1b[0m" << header_.substr(tag_end) << stream_.str()
-                << std::endl;
+      std::cerr << LevelColor(level_)  // cf-lint: allow(no-cout)
+                << header_.substr(0, tag_end) << "\x1b[0m"
+                << header_.substr(tag_end) << stream_.str() << std::endl;
     } else {
-      std::cerr << header_ << stream_.str() << std::endl;
+      // The logger is the stderr sink itself.
+      std::cerr << header_ << stream_.str() << std::endl;  // cf-lint: allow(no-cout)
     }
   }
   if (level_ == LogLevel::kFatal) {

@@ -3,11 +3,14 @@
 // state or returning garbage.
 
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "hyperbolic/poincare_ops.h"
 #include "kg/knowledge_graph.h"
+#include "tensor/checks.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
@@ -94,6 +97,87 @@ TEST(DeathTest, RngCategoricalRequiresPositiveWeight) {
   Rng rng(1);
   std::vector<double> weights = {0.0, 0.0};
   EXPECT_DEATH(rng.Categorical(weights), "positive total weight");
+}
+
+// --- Tape sanitizer diagnostics (tensor/checks.h) --------------------------
+// Each violation must abort with the *exact op name* so the message is
+// actionable; the regexes below pin the names, not just the category.
+
+TEST(DeathTest, SanitizerNamesMutatedOpInShapesMode) {
+  tensor::CheckModeGuard guard(tensor::CheckMode::kShapes);
+  tensor::Tensor x =
+      tensor::Tensor::FromVector({2}, {1.0f, 2.0f}).set_requires_grad(true);
+  tensor::Tensor y =
+      tensor::Tensor::FromVector({2}, {3.0f, 4.0f}).set_requires_grad(true);
+  tensor::Tensor loss = tensor::Sum(tensor::Mul(x, y));
+  x.data()[0] = 9.0f;  // in-place mutation between record and backward
+  EXPECT_DEATH(loss.Backward(), "of op Mul was mutated after it was recorded");
+}
+
+TEST(DeathTest, SanitizerCatchesInjectedMutationInFullMode) {
+  tensor::CheckModeGuard guard(tensor::CheckMode::kFull);
+  tensor::Tensor x =
+      tensor::Tensor::FromVector({3}, {1.0f, 2.0f, 3.0f}).set_requires_grad(true);
+  tensor::Tensor loss = tensor::Sum(tensor::Exp(x));
+  x.set(1, -5.0f);
+  EXPECT_DEATH(loss.Backward(), "of op Exp was mutated");
+}
+
+TEST(DeathTest, PoisonScanNamesOffendingOp) {
+  tensor::CheckModeGuard guard(tensor::CheckMode::kFull);
+  tensor::Tensor a = tensor::Tensor::FromVector({2}, {1.0f, 2.0f});
+  tensor::Tensor b = tensor::Tensor::FromVector({2}, {0.0f, 1.0f});
+  EXPECT_DEATH(tensor::Div(a, b), "numeric poison: op Div");
+}
+
+TEST(DeathTest, HyperbolicEntryNamesPoisonedInput) {
+  tensor::CheckModeGuard guard(tensor::CheckMode::kFull);
+  tensor::Tensor v = tensor::Tensor::FromVector({3}, {0.1f, 0.2f, 0.3f});
+  v.data()[1] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_DEATH(hyperbolic::HExpMap0(v, 1.0f),
+               "numeric poison: HExpMap0 input");
+}
+
+TEST(DeathTest, DoubleBackwardOnFreedTape) {
+  tensor::CheckModeGuard guard(tensor::CheckMode::kShapes);
+  tensor::Tensor x =
+      tensor::Tensor::FromVector({2}, {1.0f, 2.0f}).set_requires_grad(true);
+  tensor::Tensor loss = tensor::Sum(tensor::Mul(x, x));
+  loss.Backward();
+  EXPECT_DEATH(loss.Backward(), "double Backward\\(\\) on a freed tape");
+}
+
+TEST(DeathTest, RecordingAgainstFreedTapeIsUseAfterBackward) {
+  tensor::CheckModeGuard guard(tensor::CheckMode::kShapes);
+  tensor::Tensor x =
+      tensor::Tensor::FromVector({2}, {1.0f, 2.0f}).set_requires_grad(true);
+  tensor::Tensor y = tensor::Sum(tensor::Mul(x, x));
+  y.Backward();
+  EXPECT_DEATH(tensor::Mul(y, y), "use-after-backward");
+}
+
+TEST(DeathTest, GradShapeMismatchAtAccumulationSite) {
+  tensor::CheckModeGuard guard(tensor::CheckMode::kShapes);
+  // Hand-built node whose backward closure accumulates a wrong-sized
+  // gradient — the bug class the accumulation-site check exists for (every
+  // library op goes through EnsureGrad and cannot trip it).
+  auto parent = std::make_shared<tensor::TensorImpl>();
+  parent->shape = {2};
+  parent->data = {1.0f, 2.0f};
+  parent->requires_grad = true;
+  auto node = std::make_shared<tensor::TensorImpl>();
+  node->shape = {1};
+  node->data = {3.0f};
+  node->requires_grad = true;
+  node->parents = {parent};
+  node->backward_fn = [parent]() { parent->grad.assign(3, 1.0f); };
+  tensor::Tensor loss = tensor::Tensor::FromImpl(node);
+  EXPECT_DEATH(loss.Backward(),
+               "accumulated a gradient of 3 elements into an input of 2");
+}
+
+TEST(DeathTest, CheckModeFromStringRejectsUnknown) {
+  EXPECT_DEATH(tensor::CheckModeFromString("verbose"), "unknown check mode");
 }
 
 }  // namespace

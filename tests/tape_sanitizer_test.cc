@@ -1,0 +1,229 @@
+// Tape sanitizer (tensor/checks.h) behavior tests: version-counter
+// semantics, check-mode plumbing, NoGradGuard nesting, off/shapes parity,
+// and the zero-false-positive guarantee on healthy workloads (gradcheck and
+// a full model train under --check-mode=full). The abort paths themselves
+// are covered by death_test.cc.
+
+#include "tensor/checks.h"
+
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/chainsformer.h"
+#include "kg/synthetic.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+
+namespace chainsformer {
+namespace tensor {
+namespace {
+
+int64_t CounterValue(const char* name) {
+  return metrics::MetricsRegistry::Global().GetCounter(name)->Value();
+}
+
+TEST(CheckModeTest, ParsesAndNames) {
+  EXPECT_EQ(CheckModeFromString("off"), CheckMode::kOff);
+  EXPECT_EQ(CheckModeFromString("shapes"), CheckMode::kShapes);
+  EXPECT_EQ(CheckModeFromString("full"), CheckMode::kFull);
+  EXPECT_STREQ(CheckModeName(CheckMode::kOff), "off");
+  EXPECT_STREQ(CheckModeName(CheckMode::kShapes), "shapes");
+  EXPECT_STREQ(CheckModeName(CheckMode::kFull), "full");
+}
+
+TEST(CheckModeTest, EnvDefaultsToOffAndParses) {
+  unsetenv("CF_CHECK_MODE");
+  EXPECT_EQ(CheckModeFromEnv(), CheckMode::kOff);
+  setenv("CF_CHECK_MODE", "full", 1);
+  EXPECT_EQ(CheckModeFromEnv(), CheckMode::kFull);
+  unsetenv("CF_CHECK_MODE");
+}
+
+TEST(CheckModeTest, GuardSavesAndRestores) {
+  ASSERT_EQ(GetCheckMode(), CheckMode::kOff);
+  {
+    CheckModeGuard outer(CheckMode::kShapes);
+    EXPECT_EQ(GetCheckMode(), CheckMode::kShapes);
+    {
+      CheckModeGuard inner(CheckMode::kFull);
+      EXPECT_EQ(GetCheckMode(), CheckMode::kFull);
+    }
+    EXPECT_EQ(GetCheckMode(), CheckMode::kShapes);
+  }
+  EXPECT_EQ(GetCheckMode(), CheckMode::kOff);
+}
+
+TEST(VersionCounterTest, MutableAccessBumpsConstDoesNot) {
+  Tensor t = Tensor::FromVector({2}, {1.0f, 2.0f});
+  const uint64_t v0 = t.impl()->version;
+  const Tensor& ct = t;
+  (void)ct.data();     // const overload: a read, not a mutation
+  (void)ct.at(0);
+  EXPECT_EQ(t.impl()->version, v0);
+  t.data()[0] = 5.0f;  // mutable overload counts as a write
+  EXPECT_EQ(t.impl()->version, v0 + 1);
+  t.set(1, 7.0f);
+  EXPECT_EQ(t.impl()->version, v0 + 2);
+}
+
+// Regression: the guard must restore the state saved at construction, not
+// unconditionally re-enable recording — otherwise the inner guard's
+// destructor turns the tape back on inside the outer no-grad scope.
+TEST(NoGradGuardTest, NestedGuardsRestoreCorrectly) {
+  ASSERT_TRUE(GradModeEnabled());
+  {
+    NoGradGuard outer;
+    EXPECT_FALSE(GradModeEnabled());
+    {
+      NoGradGuard inner;
+      EXPECT_FALSE(GradModeEnabled());
+    }
+    EXPECT_FALSE(GradModeEnabled()) << "inner guard re-enabled recording";
+    Tensor x = Tensor::FromVector({2}, {1.0f, 2.0f}).set_requires_grad(true);
+    Tensor y = Mul(x, x);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  EXPECT_TRUE(GradModeEnabled());
+}
+
+TEST(TapeSanitizerTest, OffModeToleratesPostRecordMutation) {
+  ASSERT_EQ(GetCheckMode(), CheckMode::kOff);
+  const int64_t violations0 = CounterValue("tape.version_violations");
+  Tensor x = Tensor::FromVector({2}, {1.0f, 2.0f}).set_requires_grad(true);
+  Tensor loss = Sum(Mul(x, x));
+  x.data()[0] = 3.0f;  // stale-input hazard, deliberately unchecked in kOff
+  loss.Backward();
+  EXPECT_EQ(CounterValue("tape.version_violations"), violations0);
+}
+
+TEST(TapeSanitizerTest, ShapesModeCleanChainBackpropagates) {
+  CheckModeGuard guard(CheckMode::kShapes);
+  const int64_t violations0 = CounterValue("tape.version_violations");
+  Rng rng(7);
+  Tensor x = Tensor::Randn({4, 3}, rng).set_requires_grad(true);
+  Tensor w = Tensor::Randn({3, 2}, rng).set_requires_grad(true);
+  Tensor loss = Mean(Square(Tanh(MatMul(x, w))));
+  loss.Backward();
+  EXPECT_EQ(CounterValue("tape.version_violations"), violations0);
+  bool any = false;
+  for (float g : w.grad()) any = any || g != 0.0f;
+  EXPECT_TRUE(any);
+}
+
+// The sanitizer must be an observer: enabling kShapes may not change a
+// single bit of the forward values or the gradients.
+TEST(TapeSanitizerTest, OffAndShapesAreBitwiseIdentical) {
+  auto run = [](CheckMode mode) {
+    CheckModeGuard guard(mode);
+    Rng rng(123);
+    Tensor x = Tensor::Randn({5, 4}, rng).set_requires_grad(true);
+    Tensor w = Tensor::Randn({4, 4}, rng).set_requires_grad(true);
+    Tensor b = Tensor::Randn({4}, rng).set_requires_grad(true);
+    Tensor h = Gelu(Add(MatMul(x, w), b));
+    Tensor loss = Mean(Square(h));
+    loss.Backward();
+    std::vector<float> out = loss.data();
+    out.insert(out.end(), x.grad().begin(), x.grad().end());
+    out.insert(out.end(), w.grad().begin(), w.grad().end());
+    out.insert(out.end(), b.grad().begin(), b.grad().end());
+    return out;
+  };
+  EXPECT_EQ(run(CheckMode::kOff), run(CheckMode::kShapes));
+}
+
+// Gradcheck perturbs inputs between tapes (never inside one), so a correct
+// sanitizer must stay silent through hundreds of perturb/record/backward
+// cycles — the zero-false-positive guarantee on the optimizer-style
+// mutation pattern.
+TEST(TapeSanitizerTest, FullModeGradcheckHasNoFalsePositives) {
+  CheckModeGuard guard(CheckMode::kFull);
+  const int64_t violations0 = CounterValue("tape.version_violations");
+  const int64_t poison0 = CounterValue("tape.poison_events");
+  Rng rng(31);
+  Tensor a = Tensor::Rand({3, 3}, rng, 0.1f, 1.0f).set_requires_grad(true);
+  Tensor b = Tensor::Rand({3, 3}, rng, 0.1f, 1.0f).set_requires_grad(true);
+  const GradCheckResult r = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        return Mean(Square(Sigmoid(MatMul(in[0], in[1]))));
+      },
+      {a, b});
+  EXPECT_TRUE(r.ok) << "max_rel_error=" << r.max_rel_error;
+  EXPECT_EQ(CounterValue("tape.version_violations"), violations0);
+  EXPECT_EQ(CounterValue("tape.poison_events"), poison0);
+}
+
+TEST(TapeSanitizerTest, FullModeCountsLeakedRoots) {
+  CheckModeGuard guard(CheckMode::kFull);
+  const int64_t leaked0 = CounterValue("tape.leaked_roots");
+  Tensor x = Tensor::FromVector({2}, {1.0f, 2.0f}).set_requires_grad(true);
+  Tensor z = Tensor::FromVector({2}, {3.0f, 4.0f}).set_requires_grad(true);
+  // z is on the tape but its gradient path is multiplied by zero, so it
+  // receives an exactly-zero gradient: a leaked root.
+  Tensor loss = Sum(Add(Mul(x, x), MulScalar(Mul(z, z), 0.0f)));
+  loss.Backward();
+  EXPECT_GE(CounterValue("tape.leaked_roots"), leaked0 + 1);
+}
+
+TEST(TapeSanitizerTest, DebugCheckRootsReportsMissingGrads) {
+  CheckModeGuard guard(CheckMode::kFull);
+  Tensor used = Tensor::FromVector({2}, {1.0f, 2.0f}).set_requires_grad(true);
+  Tensor unused = Tensor::FromVector({2}, {1.0f, 1.0f}).set_requires_grad(true);
+  Tensor loss = Sum(Mul(used, used));
+  loss.Backward();
+  EXPECT_EQ(DebugCheckRootsReceivedGrad({used}), 0);
+  EXPECT_EQ(DebugCheckRootsReceivedGrad({used, unused}), 1);
+}
+
+TEST(TapeSanitizerTest, DebugAssertFiniteIsNoopBelowFull) {
+  Tensor t = Tensor::FromVector({2}, {1.0f, 2.0f});
+  t.data()[0] = std::numeric_limits<float>::quiet_NaN();
+  {
+    CheckModeGuard guard(CheckMode::kShapes);
+    DebugAssertFinite("test", t);  // must not abort below kFull
+  }
+  DebugAssertFinite("test", t);  // nor in kOff
+}
+
+// End-to-end zero-false-positive proof: a full model forward/backward/step
+// loop under --check-mode=full — tape recording, batched encoder, Adam
+// mutations between tapes, checkpoint-style parameter reads — must finish
+// with zero violations and zero poison events.
+TEST(TapeSanitizerTest, FullModeModelTrainingIsClean) {
+  const int64_t violations0 = CounterValue("tape.version_violations");
+  const int64_t poison0 = CounterValue("tape.poison_events");
+  const kg::Dataset dataset = kg::MakeYago15kLike({.scale = 0.02});
+  core::ChainsFormerConfig config;
+  config.num_walks = 24;
+  config.top_k = 4;
+  config.hidden_dim = 8;
+  config.filter_dim = 4;
+  config.encoder_layers = 1;
+  config.reasoner_layers = 1;
+  config.num_heads = 2;
+  config.epochs = 1;
+  config.max_train_queries = 24;
+  config.max_eval_queries = 16;
+  config.filter_pretrain_queries = 12;
+  config.filter_pretrain_epochs = 1;
+  config.seed = 5;
+  config.verbose = false;
+  config.check_mode = CheckMode::kFull;
+  {
+    core::ChainsFormerModel model(dataset, config);
+    const core::TrainReport report = model.Train();
+    EXPECT_GE(report.epochs_run, 1);
+  }
+  SetCheckMode(CheckMode::kOff);  // the model ctor set the global level
+  EXPECT_EQ(CounterValue("tape.version_violations"), violations0);
+  EXPECT_EQ(CounterValue("tape.poison_events"), poison0);
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace chainsformer

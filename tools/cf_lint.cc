@@ -1,0 +1,294 @@
+// cf_lint — project-specific static lint for the ChainsFormer sources.
+//
+// Usage: cf_lint <dir> [<dir>...]
+//
+// Walks every .h/.cc file under the given directories and enforces the
+// repo's coding invariants that the compiler cannot:
+//
+//   no-rand              libc rand()/srand() — all randomness must go through
+//                        util/rng.h so runs are seedable and reproducible.
+//   no-cout              std::cout/std::cerr in library code — the library
+//                        logs through CF_LOG and returns data; only tools/,
+//                        tests/ and bench/ own stdout.
+//   no-naked-new-array   naked `new T[n]` — raw array news leak on every
+//                        early return; use std::vector or std::unique_ptr.
+//   unchecked-data-index raw `.data()[i]` indexing with no CF_CHECK* in the
+//                        preceding window (20 lines) — pointer indexing
+//                        bypasses the debug bounds of at()/set(), so the
+//                        bounds must be established nearby.
+//   include-cycle        #include cycles among project headers (quoted
+//                        includes), found by DFS over the include graph.
+//
+// A finding on a line carrying the comment `// cf-lint: allow(<rule>)` is
+// suppressed; the suppression names exactly one rule and documents itself at
+// the offending site. Exit status is 1 if any finding survives, 0 otherwise,
+// 2 on usage/IO errors — so the binary doubles as a ctest test (label
+// `lint`).
+//
+// The lint is line-based on purpose: the rules target idioms that are
+// textually stable in this codebase, and a lexer-free checker stays fast
+// enough to run on every ctest invocation.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based; 0 for file-level findings (cycles)
+  std::string rule;
+  std::string message;
+};
+
+/// True when line[pos] starts an identifier-boundary occurrence of `word`
+/// (no [A-Za-z0-9_] immediately before or after).
+bool IsWordAt(const std::string& line, size_t pos, const std::string& word) {
+  if (pos > 0) {
+    const char before = line[pos - 1];
+    if (std::isalnum(static_cast<unsigned char>(before)) || before == '_') {
+      return false;
+    }
+  }
+  const size_t end = pos + word.size();
+  if (end < line.size()) {
+    const char after = line[end];
+    if (std::isalnum(static_cast<unsigned char>(after)) || after == '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// First identifier-boundary occurrence of `word`, or npos.
+size_t FindWord(const std::string& line, const std::string& word) {
+  size_t pos = line.find(word);
+  while (pos != std::string::npos) {
+    if (IsWordAt(line, pos, word)) return pos;
+    pos = line.find(word, pos + 1);
+  }
+  return std::string::npos;
+}
+
+/// Strips a trailing // comment (naive: does not parse string literals, which
+/// is fine for the idioms linted here) and returns the code part.
+std::string CodePart(const std::string& line) {
+  const size_t pos = line.find("//");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+/// True when the line carries `// cf-lint: allow(<rule>)` for this rule.
+bool Suppressed(const std::string& line, const std::string& rule) {
+  const size_t pos = line.find("cf-lint: allow(");
+  if (pos == std::string::npos) return false;
+  const size_t open = line.find('(', pos);
+  const size_t close = line.find(')', open);
+  if (close == std::string::npos) return false;
+  return line.substr(open + 1, close - open - 1) == rule;
+}
+
+/// `new <type>[` — a naked array new. Placement/array forms through smart
+/// pointers don't match because they don't spell `new T[`.
+bool HasNakedNewArray(const std::string& code) {
+  size_t pos = code.find("new");
+  while (pos != std::string::npos) {
+    if (IsWordAt(code, pos, "new")) {
+      size_t i = pos + 3;
+      while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i]))) ++i;
+      // Consume a type-ish token: identifiers, ::, <>, spaces between them.
+      size_t j = i;
+      while (j < code.size() &&
+             (std::isalnum(static_cast<unsigned char>(code[j])) ||
+              code[j] == '_' || code[j] == ':' || code[j] == '<' ||
+              code[j] == '>' || code[j] == ',' || code[j] == ' ')) {
+        ++j;
+      }
+      if (j > i && j < code.size() && code[j] == '[') return true;
+    }
+    pos = code.find("new", pos + 1);
+  }
+  return false;
+}
+
+/// Path of a quoted #include directive, or "" if the line is not one.
+std::string QuotedInclude(const std::string& line) {
+  size_t i = 0;
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+  if (i >= line.size() || line[i] != '#') return "";
+  ++i;
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+  if (line.compare(i, 7, "include") != 0) return "";
+  const size_t open = line.find('"', i + 7);
+  if (open == std::string::npos) return "";
+  const size_t close = line.find('"', open + 1);
+  if (close == std::string::npos) return "";
+  return line.substr(open + 1, close - open - 1);
+}
+
+class Linter {
+ public:
+  void LintFile(const fs::path& path, const fs::path& root) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cf_lint: cannot read " << path.string() << "\n";
+      io_error_ = true;
+      return;
+    }
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);) lines.push_back(line);
+
+    // Key headers by their include path (path relative to the lint root's
+    // parent, e.g. "tensor/ops.h" for src/tensor/ops.h) so the include graph
+    // edges match the quoted #include spellings.
+    const std::string rel = fs::relative(path, root).generic_string();
+    const std::string display = path.generic_string();
+    if (path.extension() == ".h") {
+      header_lines_[rel] = display;
+    }
+
+    // Most recent line index (0-based) holding a CF_CHECK*/CF_LOG guard, for
+    // the unchecked-data-index window.
+    int last_check = -1000;
+    for (size_t n = 0; n < lines.size(); ++n) {
+      const std::string& raw = lines[n];
+      const std::string code = CodePart(raw);
+      const int lineno = static_cast<int>(n) + 1;
+
+      if (code.find("CF_CHECK") != std::string::npos) {
+        last_check = static_cast<int>(n);
+      }
+
+      const std::string inc = QuotedInclude(code);
+      if (!inc.empty()) includes_[rel].push_back(inc);
+
+      auto report = [&](const std::string& rule, const std::string& message) {
+        if (Suppressed(raw, rule)) return;
+        findings_.push_back({display, lineno, rule, message});
+      };
+
+      if (FindWord(code, "rand") != std::string::npos &&
+          code.find("rand()") != std::string::npos) {
+        report("no-rand",
+               "libc rand() is not seedable per-run; use util/rng.h");
+      }
+      if (FindWord(code, "srand") != std::string::npos) {
+        report("no-rand", "srand() seeds global libc state; use util/rng.h");
+      }
+      if (code.find("std::cout") != std::string::npos ||
+          code.find("std::cerr") != std::string::npos) {
+        report("no-cout",
+               "library code must log via CF_LOG, not std::cout/std::cerr");
+      }
+      if (HasNakedNewArray(code)) {
+        report("no-naked-new-array",
+               "naked new[] leaks on early return; use std::vector");
+      }
+      if (code.find(".data()[") != std::string::npos &&
+          static_cast<int>(n) - last_check > kCheckWindow) {
+        std::ostringstream os;
+        os << "raw .data()[...] indexing with no CF_CHECK in the preceding "
+           << kCheckWindow << " lines";
+        report("unchecked-data-index", os.str());
+      }
+    }
+  }
+
+  /// DFS over the quoted-include graph restricted to headers seen under the
+  /// lint roots; any back edge is a cycle.
+  void CheckIncludeCycles() {
+    std::map<std::string, int> state;  // 0 unvisited, 1 on stack, 2 done
+    std::vector<std::string> stack;
+    for (const auto& entry : header_lines_) {
+      if (state[entry.first] == 0) Dfs(entry.first, state, stack);
+    }
+  }
+
+  int Report() const {
+    for (const Finding& f : findings_) {
+      std::cerr << f.file;
+      if (f.line > 0) std::cerr << ":" << f.line;
+      std::cerr << ": [" << f.rule << "] " << f.message << "\n";
+    }
+    if (io_error_) return 2;
+    if (!findings_.empty()) {
+      std::cerr << "cf_lint: " << findings_.size() << " finding(s)\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  bool io_error() const { return io_error_; }
+
+ private:
+  static constexpr int kCheckWindow = 20;
+
+  void Dfs(const std::string& node, std::map<std::string, int>& state,
+           std::vector<std::string>& stack) {
+    state[node] = 1;
+    stack.push_back(node);
+    auto it = includes_.find(node);
+    if (it != includes_.end()) {
+      for (const std::string& dep : it->second) {
+        if (header_lines_.count(dep) == 0) continue;  // outside the lint roots
+        if (state[dep] == 1) {
+          std::ostringstream os;
+          os << "include cycle: ";
+          const auto pos = std::find(stack.begin(), stack.end(), dep);
+          for (auto p = pos; p != stack.end(); ++p) os << *p << " -> ";
+          os << dep;
+          findings_.push_back(
+              {header_lines_.at(dep), 0, "include-cycle", os.str()});
+        } else if (state[dep] == 0) {
+          Dfs(dep, state, stack);
+        }
+      }
+    }
+    stack.pop_back();
+    state[node] = 2;
+  }
+
+  std::map<std::string, std::vector<std::string>> includes_;
+  std::map<std::string, std::string> header_lines_;  // include path -> display
+  std::vector<Finding> findings_;
+  bool io_error_ = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: cf_lint <dir> [<dir>...]\n";
+    return 2;
+  }
+  Linter linter;
+  int files = 0;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path root(argv[i]);
+    std::error_code ec;
+    if (!fs::is_directory(root, ec)) {
+      std::cerr << "cf_lint: not a directory: " << root.string() << "\n";
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path& p = entry.path();
+      if (p.extension() != ".h" && p.extension() != ".cc") continue;
+      linter.LintFile(p, root);
+      ++files;
+    }
+  }
+  linter.CheckIncludeCycles();
+  const int rc = linter.Report();
+  if (rc == 0) std::cout << "cf_lint: " << files << " files clean\n";
+  return rc;
+}

@@ -24,6 +24,7 @@
 #include "kg/analysis.h"
 #include "kg/loader.h"
 #include "kg/synthetic.h"
+#include "tensor/checks.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -44,6 +45,8 @@ int Usage() {
                "                --stats (print a metrics summary table on exit)\n"
                "                --eval-threads=N (parallel evaluation passes; bit-identical)\n"
                "                --no-batched-encoder (per-chain reference encoder path)\n"
+               "                --check-mode=off|shapes|full (autograd tape sanitizer;\n"
+               "                  default from CF_CHECK_MODE, else off)\n"
                "  generate: --dataset=yago|fb --scale=F\n"
                "  train:    --checkpoint=PATH --epochs=N --hidden-dim=N\n"
                "            --num-walks=N --top-k=N --max-hops=N --lr=F\n"
@@ -63,6 +66,8 @@ core::ChainsFormerConfig ConfigFromFlags(const FlagParser& flags) {
   config.learning_rate = static_cast<float>(flags.GetDouble("lr", 4e-3));
   config.max_train_queries = static_cast<int>(flags.GetInt("train-queries", 400));
   config.kernel_threads = static_cast<int>(flags.GetInt("kernel-threads", 1));
+  config.check_mode = tensor::CheckModeFromString(flags.GetString(
+      "check-mode", tensor::CheckModeName(tensor::CheckModeFromEnv())));
   config.batched_encoder = !flags.GetBool("no-batched-encoder", false);
   config.eval_threads = static_cast<int>(flags.GetInt("eval-threads", 2));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
@@ -231,6 +236,10 @@ int Main(int argc, char** argv) {
   // generate/analyze.
   (void)flags.GetInt("eval-threads", 2);
   (void)flags.GetBool("no-batched-encoder", false);
+  // Activate the tape sanitizer before any tensor work runs; the model
+  // constructor re-applies the same level from the parsed config.
+  tensor::SetCheckMode(tensor::CheckModeFromString(flags.GetString(
+      "check-mode", tensor::CheckModeName(tensor::CheckModeFromEnv()))));
   if (!trace_json.empty()) trace::SetEnabled(true);
   int rc;
   if (command == "generate") {

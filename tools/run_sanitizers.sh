@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds the Asan (address+undefined) and Tsan build types and runs the
+# test suites that exercise memory- and thread-hazardous paths under each:
+#
+#   - label `threaded`  — thread pool, threaded kernel dispatch, lock-free
+#                         metrics/tracer paths
+#   - label `sanitizer` — tape sanitizer behavior + death tests
+#
+# Usage: tools/run_sanitizers.sh [build-dir-prefix]
+#
+# Build trees default to <repo>/build-asan and <repo>/build-tsan (or
+# <prefix>-asan / <prefix>-tsan when a prefix is given) and are reused
+# incrementally across runs. Exits non-zero on the first failing suite.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+prefix="${1:-${repo_root}/build}"
+
+run_config() {
+  local name="$1" build_type="$2" build_dir="${prefix}-$1"
+  echo "=== ${name}: configure + build (${build_dir}) ==="
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE="${build_type}" \
+    -DCF_KERNELS_NATIVE_ARCH=OFF
+  cmake --build "${build_dir}" -j
+  echo "=== ${name}: ctest -L 'threaded|sanitizer' ==="
+  ctest --test-dir "${build_dir}" -L 'threaded|sanitizer' --output-on-failure
+}
+
+run_config asan Asan
+run_config tsan Tsan
+
+echo "=== sanitizers clean ==="
