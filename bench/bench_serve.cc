@@ -1,0 +1,277 @@
+// Serving throughput/latency recorder. Trains a bench-scale model, stands up
+// an InferenceService, and drives it with N concurrent client threads in two
+// modes — single-request-at-a-time (max_batch=1, the no-batching baseline)
+// and micro-batched (duplicate requests coalesce, unique forwards share a
+// dispatch, DESIGN §6e) — plus a batch-window sweep at the highest client
+// count. Each (mode, clients) cell runs two workloads:
+//
+//   uniform — every request strides over the full working set. Measures raw
+//             dispatch overhead; on a single hardware thread batched and
+//             single throughput are expected to be close, since the model
+//             work is linear in requests and there is nothing to coalesce.
+//   hotspot — all clients hammer a small set of trending queries (a flash
+//             crowd). Micro-batches then contain mostly duplicates, which
+//             the dispatcher collapses into one forward each
+//             (serve.batch_dedup); single-request dispatch cannot coalesce
+//             by construction, so this is where batching pulls ahead.
+//
+// Writes throughput and latency percentiles to a JSON file.
+//
+// Usage:
+//   bench_serve [--out=BENCH_serve.json] [--client-threads=1,2,4,8]
+//               [--batch-windows-us=50,200,1000] [--requests-per-client=300]
+//               [--hidden-dim=64] [--epochs=1] [--working-set=64]
+//               [--hot-set=3] [--compute-threads=0]
+//
+// Honors the CF_* environment hooks of bench_common (CF_KERNEL_THREADS,
+// CF_TRACE_JSON, CF_METRICS_JSON, CF_STATS).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serve/service.h"
+#include "util/flags.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace chainsformer {
+namespace {
+
+struct LoadResult {
+  double throughput_qps = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_batch_size = 0.0;
+  int degraded = 0;
+};
+
+double Percentile(std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted.size() - 1)));
+  return static_cast<double>(sorted[idx]);
+}
+
+/// Drives `client_threads` concurrent clients over a shared working set of
+/// queries (cache-warm steady state, where the model pass dominates and
+/// batching has to earn its keep). `hot_set` > 0 restricts every request to
+/// the first `hot_set` queries (the flash-crowd workload); 0 strides over
+/// the whole set. Returns aggregate throughput + latency.
+LoadResult RunLoad(const core::ChainsFormerModel& model,
+                   const serve::ServeOptions& options,
+                   const std::vector<core::Query>& working_set,
+                   int client_threads, int requests_per_client, int hot_set) {
+  serve::InferenceService service(model, options);
+  const size_t span = hot_set > 0
+                          ? std::min<size_t>(static_cast<size_t>(hot_set),
+                                             working_set.size())
+                          : working_set.size();
+
+  // Warmup: touch every query once so the ToC cache is hot and the first
+  // timed request does not pay the retrieval cost.
+  for (const core::Query& q : working_set) (void)service.Predict(q);
+
+  std::vector<std::vector<int64_t>> latencies(
+      static_cast<size_t>(client_threads));
+  std::atomic<int64_t> batch_size_sum{0};
+  std::atomic<int> degraded{0};
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(client_threads));
+  Stopwatch wall;
+  for (int c = 0; c < client_threads; ++c) {
+    clients.emplace_back([&, c] {
+      auto& lat = latencies[static_cast<size_t>(c)];
+      lat.reserve(static_cast<size_t>(requests_per_client));
+      // Deterministic per-client request stream.
+      Rng rng(static_cast<uint64_t>(1000 + c));
+      for (int i = 0; i < requests_per_client; ++i) {
+        const size_t qi =
+            hot_set > 0
+                ? static_cast<size_t>(rng.UniformInt(
+                      0, static_cast<int64_t>(span) - 1))
+                : static_cast<size_t>(c * 41 + i * 13) % span;
+        const serve::ServeResponse r = service.Predict(working_set[qi]);
+        lat.push_back(r.latency_us);
+        batch_size_sum.fetch_add(r.batch_size, std::memory_order_relaxed);
+        if (r.degraded) degraded.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall_seconds = static_cast<double>(wall.ElapsedMicros()) * 1e-6;
+
+  std::vector<int64_t> all;
+  for (const auto& lat : latencies) all.insert(all.end(), lat.begin(), lat.end());
+  std::sort(all.begin(), all.end());
+  const int total = client_threads * requests_per_client;
+  LoadResult result;
+  result.throughput_qps = static_cast<double>(total) / wall_seconds;
+  result.p50_us = Percentile(all, 0.50);
+  result.p95_us = Percentile(all, 0.95);
+  result.p99_us = Percentile(all, 0.99);
+  result.mean_batch_size =
+      static_cast<double>(batch_size_sum.load()) / static_cast<double>(total);
+  result.degraded = degraded.load();
+  return result;
+}
+
+struct Record {
+  std::string mode;      // "single" or "batched"
+  std::string workload;  // "uniform" or "hotspot"
+  int client_threads = 0;
+  int64_t batch_window_us = 0;
+  int max_batch = 0;
+  int64_t coalesced = 0;  // serve.batch_dedup delta for this run
+  LoadResult load;
+};
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const bench::BenchOptions options = bench::DefaultOptions();
+  const std::string out_path = flags.GetString("out", "BENCH_serve.json");
+  const int requests_per_client =
+      static_cast<int>(flags.GetInt("requests-per-client", 300));
+  const int working_set_size = static_cast<int>(flags.GetInt("working-set", 64));
+  const int hot_set = static_cast<int>(flags.GetInt("hot-set", 3));
+  const int compute_threads =
+      static_cast<int>(flags.GetInt("compute-threads", 0));
+  std::vector<int> client_thread_counts;
+  for (const auto& tok : Split(flags.GetString("client-threads", "1,2,4,8"), ',')) {
+    if (!tok.empty()) {
+      client_thread_counts.push_back(
+          static_cast<int>(std::strtol(tok.c_str(), nullptr, 10)));
+    }
+  }
+  std::vector<int64_t> batch_windows;
+  for (const auto& tok :
+       Split(flags.GetString("batch-windows-us", "50,200,1000"), ',')) {
+    if (!tok.empty()) {
+      batch_windows.push_back(std::strtoll(tok.c_str(), nullptr, 10));
+    }
+  }
+
+  bench::PrintBanner("serving",
+                     "micro-batched inference service vs single-request");
+
+  // Throughput is weight-shape-dependent, not accuracy-dependent: one quick
+  // epoch produces a realistic serving model without bench-dominating
+  // training time. hidden_dim defaults above test scale (the batching win
+  // grows with GEMM width; see bench_encoder).
+  core::ChainsFormerConfig config = bench::BenchConfig(options);
+  config.hidden_dim = static_cast<int>(flags.GetInt("hidden-dim", 64));
+  config.epochs = static_cast<int>(flags.GetInt("epochs", 1));
+  config.verbose = false;
+  const kg::Dataset& dataset = bench::YagoDataset(options);
+  core::ChainsFormerModel model(dataset, config);
+  model.Train();
+
+  // Hot working set drawn from held-out queries.
+  std::vector<core::Query> working_set;
+  for (const auto& t : bench::TestSample(dataset, working_set_size)) {
+    working_set.push_back({t.entity, t.attribute});
+  }
+
+  auto* dedup_counter =
+      metrics::MetricsRegistry::Global().GetCounter("serve.batch_dedup");
+  std::vector<Record> records;
+  auto run = [&](const std::string& mode, const std::string& workload,
+                 int threads, int64_t window_us, int max_batch) {
+    serve::ServeOptions so;
+    so.batch_window_us = window_us;
+    so.max_batch = max_batch;
+    so.deadline_ms = 0;  // throughput run: measure the model path, not timeouts
+    so.compute_threads = compute_threads;
+    Record r;
+    r.mode = mode;
+    r.workload = workload;
+    r.client_threads = threads;
+    r.batch_window_us = window_us;
+    r.max_batch = max_batch;
+    const int64_t dedup_before = dedup_counter->Value();
+    r.load = RunLoad(model, so, working_set, threads, requests_per_client,
+                     workload == "hotspot" ? hot_set : 0);
+    r.coalesced = dedup_counter->Value() - dedup_before;
+    records.push_back(r);
+    std::printf(
+        "%-8s %-8s clients=%d window=%5lldus max_batch=%-3d  %8.0f q/s  "
+        "p50 %6.0fus  p95 %6.0fus  p99 %6.0fus  mean_batch %.2f  "
+        "coalesced %lld\n",
+        mode.c_str(), workload.c_str(), threads,
+        static_cast<long long>(window_us), max_batch, r.load.throughput_qps,
+        r.load.p50_us, r.load.p95_us, r.load.p99_us, r.load.mean_batch_size,
+        static_cast<long long>(r.coalesced));
+    return r.load.throughput_qps;
+  };
+
+  const int64_t default_window = 200;
+  double single_hot_at_max = 0.0, batched_hot_at_max = 0.0;
+  for (const int threads : client_thread_counts) {
+    run("single", "uniform", threads, 0, 1);
+    run("batched", "uniform", threads, default_window, 32);
+    single_hot_at_max = run("single", "hotspot", threads, 0, 1);
+    batched_hot_at_max = run("batched", "hotspot", threads, default_window, 32);
+  }
+  // Batch-window sweep at the highest client count.
+  const int max_threads = client_thread_counts.back();
+  for (const int64_t window : batch_windows) {
+    if (window == default_window) continue;  // already measured above
+    run("batched", "hotspot", max_threads, window, 32);
+  }
+
+  std::printf("batched vs single (hotspot) at %d clients: %.2fx\n", max_threads,
+              batched_hot_at_max / single_hot_at_max);
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serve\",\n");
+  std::fprintf(f, "  \"hidden_dim\": %d,\n  \"kernel_threads\": %d,\n",
+               config.hidden_dim, options.kernel_threads);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n  \"compute_threads\": %d,\n",
+               std::thread::hardware_concurrency(), compute_threads);
+  std::fprintf(f, "  \"working_set\": %zu,\n  \"hot_set\": %d,\n",
+               working_set.size(), hot_set);
+  std::fprintf(f, "  \"requests_per_client\": %d,\n", requests_per_client);
+  std::fprintf(f,
+               "  \"batched_vs_single_hotspot_at_%d_clients\": %.3f,\n",
+               max_threads, batched_hot_at_max / single_hot_at_max);
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"workload\": \"%s\", "
+                 "\"client_threads\": %d, "
+                 "\"batch_window_us\": %lld, \"max_batch\": %d, "
+                 "\"throughput_qps\": %.1f, \"p50_us\": %.0f, "
+                 "\"p95_us\": %.0f, \"p99_us\": %.0f, "
+                 "\"mean_batch_size\": %.2f, \"coalesced\": %lld, "
+                 "\"degraded\": %d}%s\n",
+                 r.mode.c_str(), r.workload.c_str(), r.client_threads,
+                 static_cast<long long>(r.batch_window_us), r.max_batch,
+                 r.load.throughput_qps, r.load.p50_us, r.load.p95_us,
+                 r.load.p99_us, r.load.mean_batch_size,
+                 static_cast<long long>(r.coalesced), r.load.degraded,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %zu records to %s\n", records.size(), out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace chainsformer
+
+int main(int argc, char** argv) { return chainsformer::Main(argc, argv); }

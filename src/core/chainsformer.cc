@@ -372,6 +372,11 @@ bool ChainsFormerModel::SaveCheckpoint(const std::string& path) const {
   return tensor::SaveTensors(path, AllParameters(*filter_, *encoder_, *reasoner_));
 }
 
+bool ChainsFormerModel::SaveCheckpoint(std::ostream& out) const {
+  return tensor::SaveTensorsToStream(out,
+                                     AllParameters(*filter_, *encoder_, *reasoner_));
+}
+
 bool ChainsFormerModel::LoadCheckpoint(const std::string& path) {
   std::vector<Tensor> params = AllParameters(*filter_, *encoder_, *reasoner_);
   if (!tensor::LoadTensors(path, params)) return false;
@@ -379,6 +384,147 @@ bool ChainsFormerModel::LoadCheckpoint(const std::string& path) {
   chain_cache_.clear();
   trained_ = true;
   return true;
+}
+
+bool ChainsFormerModel::LoadCheckpoint(std::istream& in) {
+  std::vector<Tensor> params = AllParameters(*filter_, *encoder_, *reasoner_);
+  if (!tensor::LoadTensorsFromStream(in, params)) return false;
+  filter_->SnapshotEmbeddings();
+  chain_cache_.clear();
+  trained_ = true;
+  return true;
+}
+
+void ChainsFormerModel::OverrideTrainStats(std::vector<kg::AttributeStats> stats) {
+  CF_CHECK(stats.size() == train_stats_.size())
+      << "OverrideTrainStats: got " << stats.size() << " attributes, model has "
+      << train_stats_.size();
+  train_stats_ = std::move(stats);
+}
+
+TreeOfChains ChainsFormerModel::RetrieveChains(const Query& query) const {
+  CF_TRACE_SCOPE("serve.retrieve");
+  // Mirror GetChains' deterministic (non-reretrieve) branch exactly so a
+  // served prediction is bitwise-reproducible against Predict().
+  Rng walk_rng(config_.seed ^ (QueryKey(query) * 0x9E3779B97F4A7C15ull));
+  TreeOfChains toc = config_.same_attribute_only
+                         ? retrieval_->RetrieveSameAttribute(query, walk_rng)
+                         : retrieval_->Retrieve(query, walk_rng);
+  TreeOfChains filtered = filter_->FilterTopK(toc, config_.top_k, walk_rng);
+  if (config_.use_chain_quality && quality_.num_patterns() > 0) {
+    return quality_.PruneLowQuality(filtered, config_.chain_quality_max_error,
+                                    /*min_keep=*/4);
+  }
+  return filtered;
+}
+
+std::vector<BatchPrediction> ChainsFormerModel::PredictOnChainSets(
+    const std::vector<Query>& queries,
+    const std::vector<const TreeOfChains*>& chain_sets,
+    ThreadPool* pool) const {
+  CF_CHECK(queries.size() == chain_sets.size())
+      << "PredictOnChainSets: " << queries.size() << " queries vs "
+      << chain_sets.size() << " chain sets";
+  CF_TRACE_SCOPE("serve.predict_batch");
+  tensor::NoGradGuard no_grad;
+  std::vector<BatchPrediction> out(queries.size());
+
+  // Queries with evidence participate in the shared encoder pass; the rest
+  // resolve immediately to the train-mean fallback.
+  std::vector<size_t> live;
+  live.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    CF_CHECK(chain_sets[i] != nullptr) << "PredictOnChainSets: null chain set " << i;
+    if (chain_sets[i]->empty()) {
+      const auto& s = train_stats_[static_cast<size_t>(queries[i].attribute)];
+      out[i].value = s.Denormalize(std::clamp(
+          FallbackNormalized(queries[i].attribute), -0.1, 1.1));
+      out[i].has_evidence = false;
+    } else {
+      live.push_back(i);
+    }
+  }
+  if (live.empty()) return out;
+
+  if (pool != nullptr && live.size() > 1) {
+    // Throughput path: per-query forwards fan out across the pool, exactly
+    // like EvaluateParallel — parameters are frozen, grad mode is
+    // thread-local, and each worker runs the same compute Predict() would,
+    // so every entry stays bitwise-identical to the serial answer.
+    pool->ParallelFor(live.size(), [&](size_t j) {
+      CF_TRACE_SCOPE("serve.batch_query");
+      tensor::NoGradGuard worker_no_grad;
+      const size_t i = live[j];
+      ForwardState state = ForwardOnChains(*chain_sets[i]);
+      const auto& s = train_stats_[static_cast<size_t>(queries[i].attribute)];
+      const double normalized =
+          state.valid ? static_cast<double>(state.prediction.item())
+                      : FallbackNormalized(queries[i].attribute);
+      out[i].value = s.Denormalize(std::clamp(normalized, -0.1, 1.1));
+      out[i].has_evidence = state.valid;
+    });
+    return out;
+  }
+
+  auto finish = [&](size_t i, const NumericalReasoner::Output& r) {
+    const auto& s = train_stats_[static_cast<size_t>(queries[i].attribute)];
+    const double normalized =
+        std::clamp(static_cast<double>(r.prediction.item()), -0.1, 1.1);
+    out[i].value = s.Denormalize(normalized);
+    out[i].has_evidence = true;
+  };
+
+  auto chain_inputs = [&](const TreeOfChains& chains, std::vector<double>& values,
+                          std::vector<int64_t>& lengths) {
+    values.reserve(chains.size());
+    lengths.reserve(chains.size());
+    for (const RAChain& c : chains) {
+      values.push_back(
+          train_stats_[static_cast<size_t>(c.source_attribute)].Normalize(
+              c.source_value));
+      lengths.push_back(c.length());
+    }
+  };
+
+  if (config_.batched_encoder) {
+    // Cross-request micro-batch: concatenate every live query's chains into
+    // ONE masked EncodeBatch pass. DESIGN §6c guarantees each output row is
+    // bit-identical to encoding that chain alone, so slicing the rows back
+    // out per query reproduces Predict() exactly while the tensor stack sees
+    // a single large GEMM workload instead of one dispatch per request.
+    TreeOfChains merged;
+    size_t total = 0;
+    for (size_t i : live) total += chain_sets[i]->size();
+    merged.reserve(total);
+    for (size_t i : live) {
+      merged.insert(merged.end(), chain_sets[i]->begin(), chain_sets[i]->end());
+    }
+    const Tensor reps = encoder_->EncodeBatch(merged);
+    int64_t row = 0;
+    for (size_t i : live) {
+      const TreeOfChains& chains = *chain_sets[i];
+      const int64_t k = static_cast<int64_t>(chains.size());
+      std::vector<double> values;
+      std::vector<int64_t> lengths;
+      chain_inputs(chains, values, lengths);
+      finish(i, reasoner_->Forward(ops::SliceRows(reps, row, row + k), values,
+                                   lengths));
+      row += k;
+    }
+  } else {
+    // Reference path: per-chain encoding, no cross-request batching.
+    for (size_t i : live) {
+      const TreeOfChains& chains = *chain_sets[i];
+      std::vector<Tensor> reps;
+      reps.reserve(chains.size());
+      for (const RAChain& c : chains) reps.push_back(encoder_->Encode(c));
+      std::vector<double> values;
+      std::vector<int64_t> lengths;
+      chain_inputs(chains, values, lengths);
+      finish(i, reasoner_->Forward(reps, values, lengths));
+    }
+  }
+  return out;
 }
 
 eval::EvalResult ChainsFormerModel::EvaluateParallel(

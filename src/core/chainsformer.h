@@ -1,6 +1,7 @@
 #ifndef CHAINSFORMER_CORE_CHAINSFORMER_H_
 #define CHAINSFORMER_CORE_CHAINSFORMER_H_
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -50,11 +51,23 @@ struct Explanation {
   std::vector<std::pair<RAChain, double>> weighted_chains;
 };
 
+/// One entry of a PredictOnChainSets() micro-batch result.
+struct BatchPrediction {
+  double value = 0.0;        // denormalized prediction
+  bool has_evidence = false; // false -> train-mean fallback was used
+};
+
 /// End-to-end ChainsFormer model (Fig. 3): Query Retrieval -> Hyperbolic
 /// Filter -> Chain Encoder -> Numerical Reasoner, trained per Algorithm 1.
 ///
 /// The dataset must outlive the model. All stochastic behaviour derives
 /// from config.seed.
+///
+/// Thread-safety: Train/Evaluate/Predict/Explain mutate internal caches and
+/// must be externally serialized. The serving surface — RetrieveChains() and
+/// PredictOnChainSets() — is const, touches no mutable state, and is safe to
+/// call from any number of threads once training (or LoadCheckpoint) has
+/// completed.
 class ChainsFormerModel {
  public:
   ChainsFormerModel(const kg::Dataset& dataset, const ChainsFormerConfig& config);
@@ -64,6 +77,10 @@ class ChainsFormerModel {
 
   /// Pre-trains the filter, then runs the regression training loop with
   /// early stopping on validation MAE.
+  ///
+  /// Precondition: the dataset has a non-empty train split. Postcondition:
+  /// the best-validation weights are restored and the model is ready for
+  /// Predict/Evaluate/SaveCheckpoint.
   TrainReport Train();
 
   /// Evaluates on arbitrary numeric triples (typically the test split).
@@ -78,7 +95,43 @@ class ChainsFormerModel {
                                     ThreadPool& pool);
 
   /// Predicts the (denormalized) value for a query.
+  ///
+  /// Precondition: the model is trained (Train() ran or LoadCheckpoint()
+  /// succeeded); calling before that predicts with random weights.
+  /// Postcondition: the result equals
+  /// PredictOnChainSets({query}, {&RetrieveChains(query)}) bit-for-bit when
+  /// reretrieve_each_epoch is off (the default).
   double Predict(const Query& query);
+
+  /// Retrieves + filters + (optionally) quality-prunes chains for a query
+  /// without touching the model's chain cache. Deterministic: the walk seed
+  /// derives only from config.seed and the query, so repeated calls return
+  /// identical Trees of Chains. Const and thread-safe; this is the retrieval
+  /// entry point for the serving path (src/serve), where each client thread
+  /// retrieves independently and caches externally.
+  TreeOfChains RetrieveChains(const Query& query) const;
+
+  /// Inference over a micro-batch of queries with pre-retrieved chain sets
+  /// (usually from RetrieveChains, possibly via the serve-side cache).
+  ///
+  /// Preconditions: the model is trained; `chain_sets[i]` is the chain set
+  /// for `queries[i]` (non-null; empty ToC is fine) and both spans have the
+  /// same length. Postcondition: entry i is bitwise-identical to
+  /// Predict(queries[i]) — when config.batched_encoder is on, all chains are
+  /// concatenated into one masked EncodeBatch pass, which DESIGN §6c
+  /// guarantees matches per-chain encoding bit-for-bit. Queries with an
+  /// empty chain set get the train-mean fallback and has_evidence = false.
+  /// Const and thread-safe (runs under NoGradGuard).
+  ///
+  /// With a non-null `pool` and more than one live query, the batch instead
+  /// fans out per-query forwards across the pool (the EvaluateParallel
+  /// pattern: each worker runs the exact Predict() compute over frozen
+  /// parameters, so the bitwise postcondition is unchanged). This is the
+  /// serving dispatcher's throughput path.
+  std::vector<BatchPrediction> PredictOnChainSets(
+      const std::vector<Query>& queries,
+      const std::vector<const TreeOfChains*>& chain_sets,
+      ThreadPool* pool = nullptr) const;
 
   /// Full reasoning trace for a query (Fig. 5 / Table V).
   Explanation Explain(const Query& query);
@@ -92,11 +145,27 @@ class ChainsFormerModel {
   /// binary checkpoint. Returns false on I/O failure.
   bool SaveCheckpoint(const std::string& path) const;
 
+  /// Stream form of SaveCheckpoint: writes the tensor section at the
+  /// stream's current position so it can be embedded in a container format
+  /// (serve::SaveModel). Returns false on I/O failure.
+  bool SaveCheckpoint(std::ostream& out) const;
+
   /// Loads a checkpoint produced by SaveCheckpoint from a model with an
   /// identical configuration; refreshes the filter snapshot and invalidates
-  /// chain caches. Returns false on I/O failure or shape mismatch.
+  /// chain caches. Postcondition on success: the model behaves as trained
+  /// (Predict/Evaluate use the restored weights). Returns false on I/O
+  /// failure or shape mismatch.
   bool LoadCheckpoint(const std::string& path);
 
+  /// Stream form of LoadCheckpoint (reads one tensor section in place).
+  bool LoadCheckpoint(std::istream& in);
+
+  /// Replaces the train-split normalization stats (indexed by AttributeId).
+  /// Checkpoint restore uses this so a loaded model denormalizes with the
+  /// stats of the *saving* process even if the local dataset split differs.
+  void OverrideTrainStats(std::vector<kg::AttributeStats> stats);
+
+  const kg::Dataset& dataset() const { return dataset_; }
   const ChainsFormerConfig& config() const { return config_; }
   const HyperbolicFilter& filter() const { return *filter_; }
   /// Chain-quality statistics (populated when config.use_chain_quality).

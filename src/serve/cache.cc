@@ -1,0 +1,104 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace chainsformer {
+namespace serve {
+namespace {
+
+uint64_t CacheKey(kg::EntityId entity, kg::AttributeId attribute) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(entity)) << 32) |
+         static_cast<uint32_t>(attribute);
+}
+
+/// splitmix64: decorrelates the (entity << 32 | attribute) key so shard
+/// assignment does not depend on attribute id bits alone.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardedChainCache::ShardedChainCache(size_t capacity, size_t shards)
+    : per_shard_capacity_(std::max<size_t>(1, (capacity + shards - 1) /
+                                                  std::max<size_t>(1, shards))),
+      shards_(std::max<size_t>(1, shards)) {
+  CF_CHECK(shards >= 1) << "ShardedChainCache: shards must be >= 1";
+}
+
+ShardedChainCache::Shard& ShardedChainCache::ShardFor(uint64_t key) {
+  return shards_[Mix(key) % shards_.size()];
+}
+
+bool ShardedChainCache::Get(kg::EntityId entity, kg::AttributeId attribute,
+                            core::TreeOfChains* out) {
+  static auto* hits =
+      metrics::MetricsRegistry::Global().GetCounter("serve.cache_hits");
+  static auto* misses =
+      metrics::MetricsRegistry::Global().GetCounter("serve.cache_misses");
+  const uint64_t key = CacheKey(entity, attribute);
+  const uint64_t gen = generation_.load(std::memory_order_acquire);
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      if (it->second->generation == gen) {
+        // Move to front (most-recently-used) and copy out.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        *out = shard.lru.front().chains;
+        hits->Increment();
+        return true;
+      }
+      // Stale generation: lazily evict.
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+    }
+  }
+  misses->Increment();
+  return false;
+}
+
+void ShardedChainCache::Put(kg::EntityId entity, kg::AttributeId attribute,
+                            core::TreeOfChains chains) {
+  const uint64_t key = CacheKey(entity, attribute);
+  const uint64_t gen = generation_.load(std::memory_order_acquire);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->chains = std::move(chains);
+    it->second->generation = gen;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  while (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+  }
+  shard.lru.push_front(Entry{key, gen, std::move(chains)});
+  shard.index[key] = shard.lru.begin();
+}
+
+void ShardedChainCache::Invalidate() {
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+size_t ShardedChainCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<Shard&>(shard).mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace serve
+}  // namespace chainsformer

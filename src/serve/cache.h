@@ -1,0 +1,86 @@
+#ifndef CHAINSFORMER_SERVE_CACHE_H_
+#define CHAINSFORMER_SERVE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ra_chain.h"
+#include "kg/knowledge_graph.h"
+
+namespace chainsformer {
+namespace serve {
+
+/// Sharded LRU cache of retrieved (and filtered) Trees of Chains, keyed by
+/// (entity, attribute). Retrieval is deterministic per query
+/// (ChainsFormerModel::RetrieveChains), so a hit returns exactly the chain
+/// set a fresh retrieval would produce — caching trades memory for the
+/// dominant random-walk cost without affecting results.
+///
+/// Thread-safety: fully thread-safe. Keys are hashed onto independent
+/// shards, each protected by its own mutex, so concurrent client threads
+/// rarely contend. Get() copies the value out under the shard lock
+/// (TreeOfChains is small: top_k chains of <= max_hops hops).
+///
+/// Invalidation: Invalidate() bumps a global generation counter and lazily
+/// discards entries written under an older generation, so a graph update
+/// can drop the whole cache in O(1) without stalling readers.
+///
+/// Metrics: serve.cache_hits / serve.cache_misses counters on every Get().
+class ShardedChainCache {
+ public:
+  /// `capacity`: max entries across all shards (rounded up to a multiple of
+  /// `shards`). `shards` must be >= 1; power of two recommended.
+  explicit ShardedChainCache(size_t capacity, size_t shards = 16);
+
+  ShardedChainCache(const ShardedChainCache&) = delete;
+  ShardedChainCache& operator=(const ShardedChainCache&) = delete;
+
+  /// Looks up the ToC for (entity, attribute). On hit copies it into `out`,
+  /// marks the entry most-recently-used and returns true; on miss returns
+  /// false and leaves `out` untouched.
+  bool Get(kg::EntityId entity, kg::AttributeId attribute,
+           core::TreeOfChains* out);
+
+  /// Inserts (or refreshes) the ToC for (entity, attribute), evicting the
+  /// shard's least-recently-used entry when the shard is full.
+  void Put(kg::EntityId entity, kg::AttributeId attribute,
+           core::TreeOfChains chains);
+
+  /// Logically drops every cached entry (generation bump; O(1), lock-free).
+  void Invalidate();
+
+  /// Generation counter; starts at 0 and increments per Invalidate().
+  uint64_t generation() const { return generation_.load(std::memory_order_relaxed); }
+
+  /// Entries currently resident (may include stale-generation entries not
+  /// yet lazily evicted). Intended for tests and stats output.
+  size_t size() const;
+
+ private:
+  struct Entry {
+    uint64_t key;
+    uint64_t generation;
+    core::TreeOfChains chains;
+  };
+  struct Shard {
+    std::mutex mu;
+    // LRU order: front = most recent. The map points into the list.
+    std::list<Entry> lru;
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+  };
+
+  Shard& ShardFor(uint64_t key);
+
+  const size_t per_shard_capacity_;
+  std::atomic<uint64_t> generation_{0};
+  std::vector<Shard> shards_;
+};
+
+}  // namespace serve
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_SERVE_CACHE_H_

@@ -1,0 +1,324 @@
+#include "serve/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace serve {
+namespace {
+
+using core::ChainsFormerConfig;
+
+constexpr char kMagic[4] = {'C', 'F', 'S', 'M'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WritePod(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::istream& in, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadPod(in, &len)) return false;
+  // 1 MiB sanity bound: a longer "name" means we are reading garbage.
+  if (len > (1u << 20)) return false;
+  s->resize(len);
+  in.read(s->data(), static_cast<std::streamsize>(len));
+  return in.good() || len == 0;
+}
+
+// --- Config block ----------------------------------------------------------
+// Every architecture-relevant field travels as a named entry so that a
+// checkpoint from a different build version fails with the offending key
+// instead of a silent misparse. Enums are stored as int64.
+
+enum : uint8_t { kKindInt = 0, kKindDouble = 1 };
+
+struct ConfigField {
+  const char* name;
+  uint8_t kind;
+  // kKindInt uses the int64 pair, kKindDouble the double pair; the unused
+  // pair is empty. Ints never round-trip through double (seed is uint64).
+  std::function<int64_t(const ChainsFormerConfig&)> get_int;
+  std::function<void(ChainsFormerConfig&, int64_t)> set_int;
+  std::function<double(const ChainsFormerConfig&)> get_double;
+  std::function<void(ChainsFormerConfig&, double)> set_double;
+};
+
+template <typename T, typename M>
+ConfigField IntField(const char* name, M T::*member) {
+  return {name, kKindInt,
+          [member](const ChainsFormerConfig& c) {
+            return static_cast<int64_t>(c.*member);
+          },
+          [member](ChainsFormerConfig& c, int64_t v) {
+            c.*member = static_cast<M>(v);
+          },
+          nullptr, nullptr};
+}
+
+template <typename T, typename M>
+ConfigField FloatField(const char* name, M T::*member) {
+  return {name, kKindDouble, nullptr, nullptr,
+          [member](const ChainsFormerConfig& c) {
+            return static_cast<double>(c.*member);
+          },
+          [member](ChainsFormerConfig& c, double v) {
+            c.*member = static_cast<M>(v);
+          }};
+}
+
+/// The saved subset of ChainsFormerConfig: everything that determines the
+/// parameter shapes, the retrieval distribution or the forward math.
+/// Execution knobs (kernel_threads, eval_threads, batched_encoder,
+/// check_mode, verbose, training schedule) deliberately stay load-side.
+const std::vector<ConfigField>& SavedFields() {
+  using C = ChainsFormerConfig;
+  static const std::vector<ConfigField> fields = {
+      IntField<C>("max_hops", &C::max_hops),
+      IntField<C>("num_walks", &C::num_walks),
+      IntField<C>("top_k", &C::top_k),
+      IntField<C>("same_attribute_only", &C::same_attribute_only),
+      IntField<C>("retrieval_strategy", &C::retrieval_strategy),
+      IntField<C>("hidden_dim", &C::hidden_dim),
+      IntField<C>("encoder_layers", &C::encoder_layers),
+      IntField<C>("reasoner_layers", &C::reasoner_layers),
+      IntField<C>("num_heads", &C::num_heads),
+      IntField<C>("filter_dim", &C::filter_dim),
+      IntField<C>("filter_space", &C::filter_space),
+      IntField<C>("encoder_type", &C::encoder_type),
+      IntField<C>("use_numerical_aware", &C::use_numerical_aware),
+      IntField<C>("numeric_encoding", &C::numeric_encoding),
+      IntField<C>("projection", &C::projection),
+      IntField<C>("use_chain_weighting", &C::use_chain_weighting),
+      IntField<C>("use_chain_quality", &C::use_chain_quality),
+      FloatField<C>("chain_quality_max_error", &C::chain_quality_max_error),
+      FloatField<C>("curvature", &C::curvature),
+      FloatField<C>("lambda", &C::lambda),
+      IntField<C>("seed", &C::seed),
+  };
+  return fields;
+}
+
+void WriteConfigBlock(std::ostream& out, const ChainsFormerConfig& config) {
+  const auto& fields = SavedFields();
+  WritePod(out, static_cast<uint32_t>(fields.size()));
+  for (const ConfigField& f : fields) {
+    WriteString(out, f.name);
+    WritePod(out, f.kind);
+    if (f.kind == kKindInt) {
+      WritePod(out, f.get_int(config));
+    } else {
+      WritePod(out, f.get_double(config));
+    }
+  }
+}
+
+bool ReadConfigBlock(std::istream& in, ChainsFormerConfig& config) {
+  uint32_t count = 0;
+  if (!ReadPod(in, &count) || count > 1024) return false;
+  std::map<std::string, const ConfigField*> by_name;
+  for (const ConfigField& f : SavedFields()) by_name[f.name] = &f;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    uint8_t kind = 0;
+    if (!ReadString(in, &name) || !ReadPod(in, &kind)) return false;
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      CF_LOG(Fatal) << "LoadModel: checkpoint config key \"" << name
+                    << "\" is unknown to this binary (format version skew)";
+    }
+    const ConfigField* f = it->second;
+    if (kind != f->kind) {
+      CF_LOG(Fatal) << "LoadModel: checkpoint config key \"" << name
+                    << "\" has the wrong value kind";
+    }
+    if (kind == kKindInt) {
+      int64_t v = 0;
+      if (!ReadPod(in, &v)) return false;
+      f->set_int(config, v);
+    } else {
+      double v = 0.0;
+      if (!ReadPod(in, &v)) return false;
+      f->set_double(config, v);
+    }
+  }
+  return true;
+}
+
+// --- Vocab block -----------------------------------------------------------
+
+void WriteVocabBlock(std::ostream& out, const kg::KnowledgeGraph& graph) {
+  WritePod(out, static_cast<int64_t>(graph.num_entities()));
+  WritePod(out, static_cast<int64_t>(graph.num_relation_ids()));
+  for (int64_t r = 0; r < graph.num_relation_ids(); ++r) {
+    WriteString(out, graph.RelationName(static_cast<kg::RelationId>(r)));
+  }
+  WritePod(out, static_cast<int64_t>(graph.num_attributes()));
+  for (int64_t a = 0; a < graph.num_attributes(); ++a) {
+    WriteString(out, graph.AttributeName(static_cast<kg::AttributeId>(a)));
+  }
+}
+
+bool ReadAndValidateVocabBlock(std::istream& in, const kg::KnowledgeGraph& graph) {
+  int64_t num_entities = 0;
+  if (!ReadPod(in, &num_entities)) return false;
+  if (num_entities != graph.num_entities()) {
+    CF_LOG(Fatal) << "LoadModel: checkpoint was trained on " << num_entities
+                  << " entities, dataset has " << graph.num_entities();
+  }
+  int64_t num_relations = 0;
+  if (!ReadPod(in, &num_relations)) return false;
+  if (num_relations != graph.num_relation_ids()) {
+    CF_LOG(Fatal) << "LoadModel: checkpoint has " << num_relations
+                  << " relation ids, dataset has " << graph.num_relation_ids();
+  }
+  for (int64_t r = 0; r < num_relations; ++r) {
+    std::string name;
+    if (!ReadString(in, &name)) return false;
+    const std::string& local = graph.RelationName(static_cast<kg::RelationId>(r));
+    if (name != local) {
+      CF_LOG(Fatal) << "LoadModel: relation id " << r << " is \"" << name
+                    << "\" in the checkpoint but \"" << local
+                    << "\" in the dataset";
+    }
+  }
+  int64_t num_attributes = 0;
+  if (!ReadPod(in, &num_attributes)) return false;
+  if (num_attributes != graph.num_attributes()) {
+    CF_LOG(Fatal) << "LoadModel: checkpoint has " << num_attributes
+                  << " attributes, dataset has " << graph.num_attributes();
+  }
+  for (int64_t a = 0; a < num_attributes; ++a) {
+    std::string name;
+    if (!ReadString(in, &name)) return false;
+    const std::string& local = graph.AttributeName(static_cast<kg::AttributeId>(a));
+    if (name != local) {
+      CF_LOG(Fatal) << "LoadModel: attribute id " << a << " is \"" << name
+                    << "\" in the checkpoint but \"" << local
+                    << "\" in the dataset";
+    }
+  }
+  return true;
+}
+
+// --- Stats block -----------------------------------------------------------
+
+void WriteStatsBlock(std::ostream& out,
+                     const std::vector<kg::AttributeStats>& stats) {
+  WritePod(out, static_cast<uint64_t>(stats.size()));
+  for (const kg::AttributeStats& s : stats) {
+    WritePod(out, s.count);
+    WritePod(out, s.min);
+    WritePod(out, s.max);
+    WritePod(out, s.mean);
+    WritePod(out, s.stddev);
+  }
+}
+
+bool ReadStatsBlock(std::istream& in, size_t expected,
+                    std::vector<kg::AttributeStats>& stats) {
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) return false;
+  if (count != expected) {
+    CF_LOG(Fatal) << "LoadModel: checkpoint has normalization stats for "
+                  << count << " attributes, dataset has " << expected;
+  }
+  stats.resize(count);
+  for (kg::AttributeStats& s : stats) {
+    if (!ReadPod(in, &s.count) || !ReadPod(in, &s.min) || !ReadPod(in, &s.max) ||
+        !ReadPod(in, &s.mean) || !ReadPod(in, &s.stddev)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SaveModel(const core::ChainsFormerModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) return false;
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WriteConfigBlock(out, model.config());
+  WriteVocabBlock(out, model.dataset().graph);
+  WriteStatsBlock(out, model.train_stats());
+  if (!model.SaveCheckpoint(out)) return false;
+  return out.good();
+}
+
+bool IsModelCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  return in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+}
+
+std::unique_ptr<core::ChainsFormerModel> LoadModel(
+    const kg::Dataset& dataset, const core::ChainsFormerConfig& base_config,
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    CF_LOG(Error) << "LoadModel: cannot open " << path;
+    return nullptr;
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    CF_LOG(Error) << "LoadModel: " << path << " is not a CFSM checkpoint";
+    return nullptr;
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version)) return nullptr;
+  if (version != kVersion) {
+    CF_LOG(Fatal) << "LoadModel: " << path << " has format version " << version
+                  << ", this binary reads version " << kVersion;
+  }
+
+  ChainsFormerConfig config = base_config;
+  if (!ReadConfigBlock(in, config)) {
+    CF_LOG(Error) << "LoadModel: " << path << " has a corrupt config block";
+    return nullptr;
+  }
+  if (!ReadAndValidateVocabBlock(in, dataset.graph)) {
+    CF_LOG(Error) << "LoadModel: " << path << " has a corrupt vocab block";
+    return nullptr;
+  }
+  std::vector<kg::AttributeStats> stats;
+  if (!ReadStatsBlock(in, static_cast<size_t>(dataset.graph.num_attributes()),
+                      stats)) {
+    CF_LOG(Error) << "LoadModel: " << path << " has a corrupt stats block";
+    return nullptr;
+  }
+
+  auto model = std::make_unique<core::ChainsFormerModel>(dataset, config);
+  model->OverrideTrainStats(std::move(stats));
+  if (!model->LoadCheckpoint(in)) {
+    CF_LOG(Fatal) << "LoadModel: tensor section of " << path
+                  << " does not match the model built from its own config "
+                  << "block (corrupt file or incompatible binary)";
+  }
+  return model;
+}
+
+}  // namespace serve
+}  // namespace chainsformer

@@ -1,0 +1,240 @@
+#include "serve/service.h"
+
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+#include "baselines/simple.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace chainsformer {
+namespace serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+metrics::Counter* RequestsCounter() {
+  static auto* c = metrics::MetricsRegistry::Global().GetCounter("serve.requests");
+  return c;
+}
+metrics::Counter* DegradedCounter() {
+  static auto* c = metrics::MetricsRegistry::Global().GetCounter("serve.degraded");
+  return c;
+}
+metrics::Histogram* BatchSizeHist() {
+  static auto* h =
+      metrics::MetricsRegistry::Global().GetHistogram("serve.batch_size");
+  return h;
+}
+metrics::Histogram* LatencyHist() {
+  static auto* h =
+      metrics::MetricsRegistry::Global().GetHistogram("serve.latency_us");
+  return h;
+}
+metrics::Counter* DedupCounter() {
+  static auto* c =
+      metrics::MetricsRegistry::Global().GetCounter("serve.batch_dedup");
+  return c;
+}
+
+}  // namespace
+
+InferenceService::InferenceService(const core::ChainsFormerModel& model,
+                                   const ServeOptions& options)
+    : model_(model),
+      options_(options),
+      cache_(options.cache_capacity > 0 ? options.cache_capacity : 1,
+             options.cache_shards) {
+  // Precompute the per-attribute train-mean fallback once (Predict on the
+  // baseline is not const, so it cannot be shared across client threads).
+  baselines::GlobalMeanBaseline baseline(model.dataset());
+  baseline.Train();
+  const int64_t num_attributes = model.dataset().graph.num_attributes();
+  fallback_values_.reserve(static_cast<size_t>(num_attributes));
+  for (int64_t a = 0; a < num_attributes; ++a) {
+    fallback_values_.push_back(
+        baseline.Predict(kg::EntityId{0}, static_cast<kg::AttributeId>(a)));
+  }
+  if (options.compute_threads != 1) {
+    // 0 (or negative) = one worker per hardware thread, mirroring the
+    // eval_threads convention.
+    compute_pool_ = std::make_unique<ThreadPool>(
+        options.compute_threads > 1 ? static_cast<size_t>(options.compute_threads)
+                                    : 0);
+  }
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+InferenceService::~InferenceService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+double InferenceService::Fallback(kg::AttributeId attribute) const {
+  const auto a = static_cast<size_t>(attribute);
+  return a < fallback_values_.size() ? fallback_values_[a] : 0.0;
+}
+
+ServeResponse InferenceService::Predict(const core::Query& query) {
+  CF_TRACE_SCOPE("serve.predict");
+  const Clock::time_point start = Clock::now();
+  const bool has_deadline = options_.deadline_ms > 0;
+  const Clock::time_point deadline =
+      start + std::chrono::milliseconds(has_deadline ? options_.deadline_ms : 0);
+  RequestsCounter()->Increment();
+
+  auto finish = [&](ServeResponse r) {
+    r.latency_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                       Clock::now() - start)
+                       .count();
+    LatencyHist()->Observe(static_cast<double>(r.latency_us));
+    if (r.degraded) DegradedCounter()->Increment();
+    return r;
+  };
+
+  // Retrieval runs on the client thread (it parallelizes across clients and
+  // is the part the LRU cache can skip entirely).
+  core::TreeOfChains chains;
+  const bool cache_enabled = options_.cache_capacity > 0;
+  if (!cache_enabled || !cache_.Get(query.entity, query.attribute, &chains)) {
+    CF_TRACE_SCOPE("serve.retrieve_miss");
+    chains = model_.RetrieveChains(query);
+    if (cache_enabled) cache_.Put(query.entity, query.attribute, chains);
+  }
+  if (chains.empty()) {
+    ServeResponse r;
+    r.value = Fallback(query.attribute);
+    r.degraded = true;
+    r.source = "empty_toc";
+    return finish(r);
+  }
+
+  auto pending = std::make_shared<Pending>();
+  pending->query = query;
+  pending->chains = std::move(chains);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (shutdown_) {
+      ServeResponse r;
+      r.value = Fallback(query.attribute);
+      r.degraded = true;
+      r.source = "shutdown";
+      return finish(r);
+    }
+    queue_.push_back(pending);
+  }
+  queue_cv_.notify_one();
+
+  std::unique_lock<std::mutex> lock(pending->mu);
+  if (has_deadline) {
+    pending->cv.wait_until(lock, deadline, [&] { return pending->done; });
+  } else {
+    pending->cv.wait(lock, [&] { return pending->done; });
+  }
+  if (!pending->done) {
+    // Deadline expired while queued or mid-batch. The dispatcher may still
+    // complete the request later (it holds its own reference), but this
+    // client answers now with the degraded fallback.
+    ServeResponse r;
+    r.value = Fallback(query.attribute);
+    r.degraded = true;
+    r.source = "deadline";
+    return finish(r);
+  }
+  return finish(pending->response);
+}
+
+void InferenceService::DispatchLoop() {
+  const auto window = std::chrono::microseconds(options_.batch_window_us);
+  const size_t max_batch =
+      options_.max_batch > 0 ? static_cast<size_t>(options_.max_batch) : 1;
+  while (true) {
+    std::vector<std::shared_ptr<Pending>> batch;
+    bool shutting_down = false;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (!queue_.empty() && options_.batch_window_us > 0 &&
+          queue_.size() < max_batch && !shutdown_) {
+        // Coalescing window: give concurrent clients a beat to join this
+        // micro-batch before dispatching.
+        queue_cv_.wait_for(lock, window, [&] {
+          return shutdown_ || queue_.size() >= max_batch;
+        });
+      }
+      while (!queue_.empty() && batch.size() < max_batch) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      shutting_down = shutdown_;
+      if (batch.empty() && shutting_down) return;
+    }
+    if (batch.empty()) continue;
+
+    if (shutting_down) {
+      // Drain without model work so the destructor never blocks on a
+      // long forward pass; waiting clients get the degraded fallback.
+      for (const auto& p : batch) {
+        std::lock_guard<std::mutex> lock(p->mu);
+        p->response.value = Fallback(p->query.attribute);
+        p->response.degraded = true;
+        p->response.source = "shutdown";
+        p->done = true;
+        p->cv.notify_all();
+      }
+      continue;
+    }
+
+    CF_TRACE_SCOPE("serve.batch");
+    // Coalesce duplicate requests: predictions are deterministic per
+    // (entity, attribute) — the bitwise batching invariance this service is
+    // built on — so N identical in-flight queries need exactly one forward
+    // pass. Under skewed (hot-key) traffic this is where batching beats
+    // single-request dispatch, which by construction cannot coalesce.
+    std::vector<core::Query> queries;
+    std::vector<const core::TreeOfChains*> chain_sets;
+    std::vector<size_t> slot(batch.size());
+    std::unordered_map<uint64_t, size_t> unique_index;
+    queries.reserve(batch.size());
+    chain_sets.reserve(batch.size());
+    unique_index.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const auto& p = batch[i];
+      const uint64_t key =
+          (static_cast<uint64_t>(static_cast<uint32_t>(p->query.entity)) << 32) |
+          static_cast<uint32_t>(p->query.attribute);
+      const auto [it, inserted] = unique_index.try_emplace(key, queries.size());
+      if (inserted) {
+        queries.push_back(p->query);
+        chain_sets.push_back(&p->chains);
+      }
+      slot[i] = it->second;
+    }
+    DedupCounter()->Increment(
+        static_cast<int64_t>(batch.size() - queries.size()));
+    BatchSizeHist()->Observe(static_cast<double>(batch.size()));
+    const std::vector<core::BatchPrediction> results =
+        model_.PredictOnChainSets(queries, chain_sets, compute_pool_.get());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const auto& p = batch[i];
+      const core::BatchPrediction& r = results[slot[i]];
+      std::lock_guard<std::mutex> lock(p->mu);
+      p->response.value = r.value;
+      p->response.degraded = !r.has_evidence;
+      p->response.source = r.has_evidence ? "model" : "empty_toc";
+      p->response.batch_size = static_cast<int>(batch.size());
+      p->done = true;
+      p->cv.notify_all();
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace chainsformer

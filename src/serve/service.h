@@ -1,0 +1,136 @@
+#ifndef CHAINSFORMER_SERVE_SERVICE_H_
+#define CHAINSFORMER_SERVE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/chainsformer.h"
+#include "serve/cache.h"
+
+namespace chainsformer {
+namespace serve {
+
+/// Tuning knobs of InferenceService. Defaults favor latency; raise
+/// batch_window_us under throughput-oriented load (bench/bench_serve sweeps
+/// the trade-off).
+struct ServeOptions {
+  /// How long the dispatcher waits after the first queued request for more
+  /// requests to coalesce into the same micro-batch. 0 = dispatch
+  /// immediately (still batches whatever is already queued).
+  int64_t batch_window_us = 200;
+  /// Upper bound on requests per micro-batch.
+  int max_batch = 32;
+  /// Per-request deadline. A request that cannot be answered by the model
+  /// within this budget degrades to the attribute-mean fallback instead of
+  /// blocking the client. <= 0 disables deadlines.
+  int64_t deadline_ms = 50;
+  /// Tree-of-Chains retrieval cache entries across all shards (0 disables
+  /// caching).
+  size_t cache_capacity = 4096;
+  size_t cache_shards = 16;
+  /// Worker threads the dispatcher fans a micro-batch's per-query forwards
+  /// across (PredictOnChainSets pool path). 1 = fully serial dispatch;
+  /// 0 = one per hardware thread. Batching only beats single-request
+  /// dispatch when this is > 1.
+  int compute_threads = 0;
+};
+
+/// One answered query.
+struct ServeResponse {
+  double value = 0.0;
+  /// True when the model did not produce this value: the query had no
+  /// retrievable chains, its deadline expired, or the service is shutting
+  /// down. The value then comes from the train-split attribute mean
+  /// (GlobalMeanBaseline semantics) — always answer, never crash.
+  bool degraded = false;
+  /// "model", "empty_toc", "deadline", or "shutdown".
+  std::string source;
+  /// Wall time spent inside Predict() for this request.
+  int64_t latency_us = 0;
+  /// Size of the micro-batch this request rode in (0 when degraded before
+  /// dispatch).
+  int batch_size = 0;
+};
+
+/// Batching inference front-end for a loaded ChainsFormerModel.
+///
+/// N client threads call Predict() concurrently. Each client thread
+/// retrieves the query's Tree of Chains itself (through the sharded LRU
+/// cache, so hot queries skip the random-walk cost), then parks the request
+/// on a queue; a single dispatcher thread groups queued requests into
+/// micro-batches and answers them with one PredictOnChainSets call. Two
+/// effects make the batch cheaper than dispatching its requests one at a
+/// time (DESIGN §6e): duplicate (entity, attribute) requests are coalesced
+/// into a single forward pass (sound because predictions are
+/// deterministic; counted by serve.batch_dedup), and the remaining unique
+/// queries fan out across a compute pool (ServeOptions::compute_threads)
+/// when hardware threads are available.
+///
+/// Results are bitwise-identical to calling ChainsFormerModel::Predict on
+/// the same query (DESIGN §6c batching invariance), regardless of which
+/// requests share a batch.
+///
+/// Precondition: `model` outlives the service and is trained; it must not
+/// be mutated (trained further) while the service is running.
+/// Thread-safety: Predict() may be called from any thread. The destructor
+/// drains in-flight requests (they complete degraded, tagged "shutdown").
+class InferenceService {
+ public:
+  InferenceService(const core::ChainsFormerModel& model,
+                   const ServeOptions& options);
+  ~InferenceService();
+
+  InferenceService(const InferenceService&) = delete;
+  InferenceService& operator=(const InferenceService&) = delete;
+
+  /// Answers one query. Blocks the calling thread until the micro-batch
+  /// containing the request completes or the deadline expires; always
+  /// returns a usable value (degraded fallback on any failure path).
+  ServeResponse Predict(const core::Query& query);
+
+  /// Drops every cached Tree of Chains (e.g. after a graph update).
+  void InvalidateCache() { cache_.Invalidate(); }
+
+  const ShardedChainCache& cache() const { return cache_; }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    core::Query query;
+    core::TreeOfChains chains;
+    ServeResponse response;
+    bool done = false;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  void DispatchLoop();
+  double Fallback(kg::AttributeId attribute) const;
+
+  const core::ChainsFormerModel& model_;
+  const ServeOptions options_;
+  ShardedChainCache cache_;
+  /// Train-mean fallback per attribute, precomputed so the degraded path
+  /// never touches shared mutable state.
+  std::vector<double> fallback_values_;
+
+  /// Pool for intra-batch parallelism; null when compute_threads == 1.
+  std::unique_ptr<ThreadPool> compute_pool_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Pending>> queue_;
+  bool shutdown_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace serve
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_SERVE_SERVICE_H_

@@ -3,6 +3,10 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.h"
 
 namespace chainsformer {
 namespace tensor {
@@ -12,20 +16,32 @@ constexpr char kMagic[4] = {'C', 'F', 'T', 'N'};
 constexpr uint32_t kVersion = 1;
 
 template <typename T>
-void WritePod(std::ofstream& out, const T& value) {
+void WritePod(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
 template <typename T>
-bool ReadPod(std::ifstream& in, T* value) {
+bool ReadPod(std::istream& in, T* value) {
   in.read(reinterpret_cast<char*>(value), sizeof(T));
   return in.good();
 }
 
+/// Bytes between the stream's current position and its end (seeks back).
+/// Used to validate payload lengths before reading them: an ifstream read
+/// that is cut short by EOF only *sometimes* fails fast, and a header whose
+/// count/shapes happen to match must not mask a truncated data section.
+int64_t RemainingBytes(std::istream& in) {
+  const std::istream::pos_type here = in.tellg();
+  if (here == std::istream::pos_type(-1)) return -1;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(here);
+  return static_cast<int64_t>(end - here);
+}
+
 }  // namespace
 
-bool SaveTensors(const std::string& path, const std::vector<Tensor>& tensors) {
-  std::ofstream out(path, std::ios::binary);
+bool SaveTensorsToStream(std::ostream& out, const std::vector<Tensor>& tensors) {
   if (!out.good()) return false;
   out.write(kMagic, sizeof(kMagic));
   WritePod(out, kVersion);
@@ -39,8 +55,12 @@ bool SaveTensors(const std::string& path, const std::vector<Tensor>& tensors) {
   return out.good();
 }
 
-bool LoadTensors(const std::string& path, std::vector<Tensor>& tensors) {
-  std::ifstream in(path, std::ios::binary);
+bool SaveTensors(const std::string& path, const std::vector<Tensor>& tensors) {
+  std::ofstream out(path, std::ios::binary);
+  return SaveTensorsToStream(out, tensors);
+}
+
+bool LoadTensorsFromStream(std::istream& in, std::vector<Tensor>& tensors) {
   if (!in.good()) return false;
   char magic[4];
   in.read(magic, sizeof(magic));
@@ -49,18 +69,37 @@ bool LoadTensors(const std::string& path, std::vector<Tensor>& tensors) {
   if (!ReadPod(in, &version) || version != kVersion) return false;
   uint64_t count = 0;
   if (!ReadPod(in, &count) || count != tensors.size()) return false;
-  for (Tensor& t : tensors) {
+  for (size_t i = 0; i < tensors.size(); ++i) {
+    Tensor& t = tensors[i];
     uint32_t rank = 0;
     if (!ReadPod(in, &rank) || rank != static_cast<uint32_t>(t.dim())) return false;
     for (int64_t expected : t.shape()) {
       int64_t d = 0;
       if (!ReadPod(in, &d) || d != expected) return false;
     }
+    const int64_t payload =
+        static_cast<int64_t>(t.data().size() * sizeof(float));
+    const int64_t remaining = RemainingBytes(in);
+    if (remaining >= 0 && remaining < payload) {
+      // A matching header with a short data section is a corrupt file, not a
+      // shape mismatch; fail loudly naming the tensor so the bad checkpoint
+      // is diagnosable (and so partial loads can never look like success).
+      CF_LOG(Fatal) << "LoadTensors: truncated payload for tensor " << i
+                    << " of " << tensors.size() << ": need " << payload
+                    << " bytes, stream has " << remaining;
+    }
     in.read(reinterpret_cast<char*>(t.data().data()),
-            static_cast<std::streamsize>(t.data().size() * sizeof(float)));
-    if (!in.good()) return false;
+            static_cast<std::streamsize>(payload));
+    if (!in.good() || in.gcount() != static_cast<std::streamsize>(payload)) {
+      return false;
+    }
   }
   return true;
+}
+
+bool LoadTensors(const std::string& path, std::vector<Tensor>& tensors) {
+  std::ifstream in(path, std::ios::binary);
+  return LoadTensorsFromStream(in, tensors);
 }
 
 }  // namespace tensor

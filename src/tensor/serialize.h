@@ -1,6 +1,7 @@
 #ifndef CHAINSFORMER_TENSOR_SERIALIZE_H_
 #define CHAINSFORMER_TENSOR_SERIALIZE_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -14,11 +15,27 @@ namespace tensor {
 /// int64 dims, raw float32 data. Returns false on I/O failure.
 bool SaveTensors(const std::string& path, const std::vector<Tensor>& tensors);
 
+/// Stream form of SaveTensors: appends the same "CFTN" section at the
+/// stream's current position, so a tensor block can be embedded inside a
+/// larger container format (serve::SaveModel). Returns false on I/O failure.
+bool SaveTensorsToStream(std::ostream& out, const std::vector<Tensor>& tensors);
+
 /// Loads a checkpoint into existing tensors *in place*: count and shapes
 /// must match exactly (this guards against loading a checkpoint produced by
 /// a differently-configured model). Returns false on I/O failure or any
 /// mismatch, leaving the tensors unspecified-but-valid.
+///
+/// Payload lengths are validated against the remaining stream size before
+/// each tensor is read: a file whose header parses but whose raw float data
+/// is cut short is corrupt beyond "wrong model shape", so it aborts through
+/// CF_LOG(Fatal) naming the truncated tensor index rather than returning
+/// false.
 bool LoadTensors(const std::string& path, std::vector<Tensor>& tensors);
+
+/// Stream form of LoadTensors: reads one "CFTN" section starting at the
+/// stream's current position (trailing bytes after the section are left
+/// unread, enabling embedding). Same mismatch/truncation semantics.
+bool LoadTensorsFromStream(std::istream& in, std::vector<Tensor>& tensors);
 
 }  // namespace tensor
 }  // namespace chainsformer

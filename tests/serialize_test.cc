@@ -53,6 +53,35 @@ TEST(SerializeTest, RejectsMissingOrCorruptFile) {
   std::remove(path.c_str());
 }
 
+// A file whose header (count + shapes) parses but whose raw float payload is
+// cut short must abort naming the corrupt tensor, not return partial data —
+// a truncated checkpoint that "loads" would serve garbage predictions.
+TEST(SerializeDeathTest, TruncatedPayloadAbortsNamingTensor) {
+  Rng rng(4);
+  std::vector<Tensor> original = {Tensor::Randn({2, 3}, rng),
+                                  Tensor::Randn({4, 4}, rng)};
+  const std::string path = "/tmp/cf_serialize_truncated.bin";
+  ASSERT_TRUE(SaveTensors(path, original));
+  // Chop the tail off the second tensor's payload; the header still matches.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<char> bytes(static_cast<size_t>(size));
+    ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+    f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size() - 8, f);
+    std::fclose(f);
+  }
+  std::vector<Tensor> loaded = {Tensor::Zeros({2, 3}), Tensor::Zeros({4, 4})};
+  EXPECT_DEATH(LoadTensors(path, loaded), "truncated payload for tensor 1 of 2");
+  std::remove(path.c_str());
+}
+
 TEST(SerializeTest, ModuleParametersRoundTrip) {
   Rng rng(3);
   nn::Mlp source({4, 8, 2}, rng);

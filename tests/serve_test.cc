@@ -1,0 +1,356 @@
+// Tests for src/serve: CFSM checkpoint round-trips, the sharded ToC cache,
+// and the batching InferenceService (deadlines, degradation, concurrency).
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/chainsformer.h"
+#include "kg/synthetic.h"
+#include "serve/cache.h"
+#include "serve/checkpoint.h"
+#include "serve/service.h"
+#include "util/metrics.h"
+
+namespace chainsformer {
+namespace serve {
+namespace {
+
+using core::ChainsFormerConfig;
+using core::ChainsFormerModel;
+using core::Query;
+using core::TreeOfChains;
+
+ChainsFormerConfig SmallConfig() {
+  ChainsFormerConfig config;
+  config.num_walks = 32;
+  config.top_k = 8;
+  config.hidden_dim = 16;
+  config.filter_dim = 8;
+  config.encoder_layers = 1;
+  config.reasoner_layers = 1;
+  config.num_heads = 2;
+  config.epochs = 2;
+  config.max_train_queries = 120;
+  config.filter_pretrain_queries = 60;
+  config.filter_pretrain_epochs = 1;
+  config.seed = 13;
+  config.verbose = false;
+  return config;
+}
+
+/// One trained model per test binary; training even the small synthetic
+/// model costs seconds, so every test shares it (read-only: the serving
+/// surface is const).
+struct Trained {
+  kg::Dataset dataset = kg::MakeYago15kLike({.scale = 0.08});
+  ChainsFormerConfig config = SmallConfig();
+  std::unique_ptr<ChainsFormerModel> model;
+
+  Trained() {
+    model = std::make_unique<ChainsFormerModel>(dataset, config);
+    model->Train();
+  }
+};
+
+Trained& Shared() {
+  static Trained* trained = new Trained();
+  return *trained;
+}
+
+/// Held-out (valid + test) queries, the round-trip acceptance set.
+std::vector<Query> HeldOutQueries(const kg::Dataset& ds, size_t at_least) {
+  std::vector<Query> queries;
+  for (const auto& t : ds.split.test) queries.push_back({t.entity, t.attribute});
+  for (const auto& t : ds.split.valid) queries.push_back({t.entity, t.attribute});
+  EXPECT_GE(queries.size(), at_least)
+      << "synthetic split too small for the acceptance criterion";
+  return queries;
+}
+
+// --- Checkpoint round-trip ---------------------------------------------------
+
+TEST(ServeCheckpointTest, RoundTripPredictsBitwiseIdentical) {
+  Trained& t = Shared();
+  const std::string path = "/tmp/cf_serve_roundtrip.cfsm";
+  ASSERT_TRUE(SaveModel(*t.model, path));
+  ASSERT_TRUE(IsModelCheckpoint(path));
+
+  // Load with a *default* base config: everything that matters must come
+  // from the checkpoint itself, as it would in a fresh serving process.
+  ChainsFormerConfig base;
+  base.verbose = false;
+  std::unique_ptr<ChainsFormerModel> loaded =
+      LoadModel(t.dataset, base, path);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->config().hidden_dim, t.config.hidden_dim);
+  EXPECT_EQ(loaded->config().seed, t.config.seed);
+
+  const std::vector<Query> queries = HeldOutQueries(t.dataset, 100);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const double original = t.model->Predict(queries[i]);
+    const double restored = loaded->Predict(queries[i]);
+    ASSERT_EQ(original, restored) << "held-out query " << i << " diverged";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServeCheckpointTest, LoadRejectsMissingAndForeignFiles) {
+  ChainsFormerConfig base;
+  base.verbose = false;
+  Trained& t = Shared();
+  EXPECT_EQ(LoadModel(t.dataset, base, "/tmp/cf_serve_nope.cfsm"), nullptr);
+  const std::string path = "/tmp/cf_serve_foreign.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a checkpoint", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(IsModelCheckpoint(path));
+  EXPECT_EQ(LoadModel(t.dataset, base, path), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(ServeCheckpointDeathTest, VocabMismatchAbortsNamed) {
+  Trained& t = Shared();
+  const std::string path = "/tmp/cf_serve_vocabmismatch.cfsm";
+  ASSERT_TRUE(SaveModel(*t.model, path));
+  // A dataset at a different scale has a different entity count.
+  const kg::Dataset other = kg::MakeYago15kLike({.scale = 0.03});
+  ChainsFormerConfig base;
+  base.verbose = false;
+  EXPECT_DEATH(LoadModel(other, base, path), "entities");
+  std::remove(path.c_str());
+}
+
+// --- Micro-batching invariance ----------------------------------------------
+
+TEST(ServeBatchingTest, PredictOnChainSetsMatchesPredictBitwise) {
+  Trained& t = Shared();
+  std::vector<Query> queries = HeldOutQueries(t.dataset, 100);
+  queries.resize(24);
+
+  std::vector<TreeOfChains> chains;
+  chains.reserve(queries.size());
+  for (const Query& q : queries) chains.push_back(t.model->RetrieveChains(q));
+  std::vector<const TreeOfChains*> chain_ptrs;
+  for (const TreeOfChains& c : chains) chain_ptrs.push_back(&c);
+
+  // The whole set rides ONE EncodeBatch pass; every entry must still equal
+  // the standalone Predict bit-for-bit (DESIGN §6c).
+  const std::vector<core::BatchPrediction> batched =
+      t.model->PredictOnChainSets(queries, chain_ptrs);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batched[i].value, t.model->Predict(queries[i]))
+        << "query " << i << " diverged in the micro-batch";
+  }
+}
+
+TEST(ServeBatchingTest, RetrieveChainsIsDeterministic) {
+  Trained& t = Shared();
+  const Query q = HeldOutQueries(t.dataset, 1).front();
+  const TreeOfChains a = t.model->RetrieveChains(q);
+  const TreeOfChains b = t.model->RetrieveChains(q);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].SamePattern(b[i]));
+    EXPECT_EQ(a[i].source_entity, b[i].source_entity);
+    EXPECT_EQ(a[i].source_value, b[i].source_value);
+  }
+}
+
+// --- Cache -------------------------------------------------------------------
+
+TEST(ShardedChainCacheTest, HitReturnsSameTreeOfChains) {
+  Trained& t = Shared();
+  const Query q = HeldOutQueries(t.dataset, 1).front();
+  const TreeOfChains original = t.model->RetrieveChains(q);
+
+  ShardedChainCache cache(/*capacity=*/64, /*shards=*/4);
+  TreeOfChains out;
+  EXPECT_FALSE(cache.Get(q.entity, q.attribute, &out));
+  cache.Put(q.entity, q.attribute, original);
+  ASSERT_TRUE(cache.Get(q.entity, q.attribute, &out));
+  ASSERT_EQ(out.size(), original.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(out[i].SamePattern(original[i]));
+    EXPECT_EQ(out[i].source_entity, original[i].source_entity);
+    EXPECT_EQ(out[i].source_value, original[i].source_value);
+  }
+}
+
+TEST(ShardedChainCacheTest, EvictsLeastRecentlyUsedPerShard) {
+  ShardedChainCache cache(/*capacity=*/2, /*shards=*/1);
+  TreeOfChains out;
+  cache.Put(1, 0, {});
+  cache.Put(2, 0, {});
+  EXPECT_TRUE(cache.Get(1, 0, &out));  // touch 1 -> 2 becomes LRU
+  cache.Put(3, 0, {});                 // evicts 2
+  EXPECT_TRUE(cache.Get(1, 0, &out));
+  EXPECT_FALSE(cache.Get(2, 0, &out));
+  EXPECT_TRUE(cache.Get(3, 0, &out));
+}
+
+TEST(ShardedChainCacheTest, InvalidateDropsEverything) {
+  ShardedChainCache cache(/*capacity=*/16, /*shards=*/2);
+  cache.Put(1, 0, {});
+  cache.Put(2, 1, {});
+  const uint64_t gen = cache.generation();
+  cache.Invalidate();
+  EXPECT_EQ(cache.generation(), gen + 1);
+  TreeOfChains out;
+  EXPECT_FALSE(cache.Get(1, 0, &out));
+  EXPECT_FALSE(cache.Get(2, 1, &out));
+}
+
+// --- Service -----------------------------------------------------------------
+
+TEST(InferenceServiceTest, AnswersMatchDirectPredictBitwise) {
+  Trained& t = Shared();
+  ServeOptions options;
+  options.batch_window_us = 0;  // dispatch immediately, single-threaded client
+  options.deadline_ms = 0;      // no deadline: the model must answer
+  InferenceService service(*t.model, options);
+  std::vector<Query> queries = HeldOutQueries(t.dataset, 100);
+  queries.resize(16);
+  for (const Query& q : queries) {
+    const ServeResponse r = service.Predict(q);
+    if (r.degraded) {
+      EXPECT_EQ(r.source, "empty_toc");
+      continue;
+    }
+    EXPECT_EQ(r.source, "model");
+    EXPECT_EQ(r.value, t.model->Predict(q));
+    EXPECT_GE(r.batch_size, 1);
+  }
+}
+
+TEST(InferenceServiceTest, DeadlineExpiryDegradesInsteadOfCrashing) {
+  Trained& t = Shared();
+  ServeOptions options;
+  // Force every deadline to lose the race: the dispatcher sits in a 300 ms
+  // coalescing window while the client only waits 1 ms.
+  options.batch_window_us = 300000;
+  options.max_batch = 64;
+  options.deadline_ms = 1;
+  InferenceService service(*t.model, options);
+  const Query q = HeldOutQueries(t.dataset, 1).front();
+  const ServeResponse r = service.Predict(q);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.source, "deadline");
+  // The fallback is the train-split attribute mean — a usable value.
+  const auto& stats = t.model->train_stats()[static_cast<size_t>(q.attribute)];
+  EXPECT_GE(r.value, stats.min - 1.0);
+  EXPECT_LE(r.value, stats.max + 1.0);
+}
+
+TEST(InferenceServiceTest, CacheHitsAccumulateOnRepeatedQueries) {
+  Trained& t = Shared();
+  ServeOptions options;
+  options.batch_window_us = 0;
+  options.deadline_ms = 0;
+  InferenceService service(*t.model, options);
+  const Query q = HeldOutQueries(t.dataset, 1).front();
+  const auto before =
+      metrics::MetricsRegistry::Global().Snapshot().CounterValue(
+          "serve.cache_hits");
+  const ServeResponse first = service.Predict(q);
+  for (int i = 0; i < 4; ++i) {
+    const ServeResponse again = service.Predict(q);
+    EXPECT_EQ(again.value, first.value) << "cache changed the answer";
+  }
+  const auto after =
+      metrics::MetricsRegistry::Global().Snapshot().CounterValue(
+          "serve.cache_hits");
+  EXPECT_GE(after - before, 4);
+}
+
+// Duplicate in-flight requests for the same (entity, attribute) coalesce
+// into one forward pass (serve.batch_dedup), and every copy still gets the
+// bitwise Predict answer — sound only because predictions are deterministic.
+TEST(InferenceServiceTest, DuplicateQueriesCoalesceInBatch) {
+  Trained& t = Shared();
+  ServeOptions options;
+  options.batch_window_us = 200000;  // wide window: both clients join one batch
+  options.max_batch = 8;
+  options.deadline_ms = 0;
+  InferenceService service(*t.model, options);
+  Query q;
+  for (const Query& candidate : HeldOutQueries(t.dataset, 8)) {
+    if (!t.model->RetrieveChains(candidate).empty()) {
+      q = candidate;
+      break;
+    }
+  }
+  const double expected = t.model->Predict(q);
+  const auto before =
+      metrics::MetricsRegistry::Global().Snapshot().CounterValue(
+          "serve.batch_dedup");
+  ServeResponse r1, r2;
+  std::thread first([&] { r1 = service.Predict(q); });
+  std::thread second([&] { r2 = service.Predict(q); });
+  first.join();
+  second.join();
+  EXPECT_EQ(r1.source, "model");
+  EXPECT_EQ(r1.value, expected);
+  EXPECT_EQ(r2.value, expected);
+  ASSERT_EQ(r1.batch_size, 2) << "clients missed the coalescing window";
+  const auto after =
+      metrics::MetricsRegistry::Global().Snapshot().CounterValue(
+          "serve.batch_dedup");
+  EXPECT_EQ(after - before, 1);
+}
+
+// Eight concurrent clients hammer the service; every request must complete
+// with a usable answer (model or degraded), and model answers must match the
+// direct Predict bit-for-bit regardless of batch composition. Runs under the
+// `threaded` ctest label so tools/run_sanitizers.sh covers it with Tsan.
+TEST(InferenceServiceTest, ConcurrentClientsStress) {
+  Trained& t = Shared();
+  ServeOptions options;
+  options.batch_window_us = 500;
+  options.max_batch = 16;
+  options.deadline_ms = 2000;  // generous: degradation is not the point here
+  InferenceService service(*t.model, options);
+
+  std::vector<Query> queries = HeldOutQueries(t.dataset, 100);
+  // ChainsFormerModel::Predict is not thread-safe (it feeds the chain
+  // cache), so the expected values are computed serially up front.
+  std::vector<double> expected;
+  expected.reserve(queries.size());
+  for (const Query& q : queries) expected.push_back(t.model->Predict(q));
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 25;
+  std::atomic<int> answered{0};
+  std::atomic<int> model_answers{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const size_t qi = (c * 37 + i * 11) % queries.size();
+        const ServeResponse r = service.Predict(queries[qi]);
+        ASSERT_FALSE(r.source.empty());
+        answered.fetch_add(1);
+        if (r.source == "model") {
+          model_answers.fetch_add(1);
+          ASSERT_EQ(r.value, expected[qi]);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(answered.load(), kClients * kRequestsPerClient);
+  EXPECT_GT(model_answers.load(), 0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace chainsformer

@@ -1,9 +1,11 @@
 // cf_lint — project-specific static lint for the ChainsFormer sources.
 //
 // Usage: cf_lint <dir> [<dir>...]
+//        cf_lint --docs <repo_root>
 //
-// Walks every .h/.cc file under the given directories and enforces the
-// repo's coding invariants that the compiler cannot:
+// In the default (source) mode, walks every .h/.cc file under the given
+// directories and enforces the repo's coding invariants that the compiler
+// cannot:
 //
 //   no-rand              libc rand()/srand() — all randomness must go through
 //                        util/rng.h so runs are seedable and reproducible.
@@ -19,6 +21,25 @@
 //   include-cycle        #include cycles among project headers (quoted
 //                        includes), found by DFS over the include graph.
 //
+// In --docs mode, checks the committed markdown (README.md, DESIGN.md,
+// docs/ARCHITECTURE.md, CHANGES.md) against the tree so the documentation
+// cannot rot:
+//
+//   stale-path           every `src/...`, `tools/...`, `bench/...`,
+//                        `tests/...`, `docs/...` path mentioned in a doc must
+//                        exist (supports `*` globs, `{h,cc}` brace lists and
+//                        extensionless module/target names).
+//   unknown-flag         every `--flag` mentioned must appear as a "flag"
+//                        string literal in the sources (FlagParser keys), or
+//                        be on the short external-tool allowlist (cmake,
+//                        ctest, …).
+//   unknown-env-var      every `CF_*` environment variable mentioned must
+//                        appear verbatim in the sources.
+//
+// --docs also prints a warn-only doc-coverage count for the public headers
+// of src/core and src/serve (top-level classes/structs missing a `///` doc
+// comment); warnings never affect the exit status.
+//
 // A finding on a line carrying the comment `// cf-lint: allow(<rule>)` is
 // suppressed; the suppression names exactly one rule and documents itself at
 // the offending site. Exit status is 1 if any finding survives, 0 otherwise,
@@ -31,6 +52,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -263,12 +285,311 @@ class Linter {
   bool io_error_ = false;
 };
 
+// --- Doc-drift checking (--docs mode) ---------------------------------------
+
+/// The committed markdown kept honest against the tree. Missing files are
+/// skipped (ARCHITECTURE.md predates some checkouts), present ones must be
+/// clean.
+constexpr const char* kDocFiles[] = {"README.md", "DESIGN.md",
+                                     "docs/ARCHITECTURE.md", "CHANGES.md"};
+
+/// Directory prefixes that mark a doc token as a repo path claim.
+constexpr const char* kPathPrefixes[] = {"src/",   "tools/", "bench/",
+                                         "tests/", "docs/",  "examples/"};
+
+/// Flags that legitimately belong to external tools (cmake, ctest, …), not
+/// to a ChainsFormer binary's FlagParser.
+const std::set<std::string>& ExternalFlags() {
+  static const std::set<std::string> flags = {
+      "build", "target", "output-on-failure", "parallel", "config",
+      "test-dir", "label-regex", "tests-regex", "gtest_filter",
+      "benchmark_filter", "version", "help",
+  };
+  return flags;
+}
+
+bool IsPathChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == '/' || c == '*' || c == '{' || c == '}' || c == ',' || c == '-';
+}
+
+/// Expands one level of `{a,b,c}` brace alternatives ("serialize.{h,cc}").
+std::vector<std::string> ExpandBraces(const std::string& token) {
+  const size_t open = token.find('{');
+  if (open == std::string::npos) return {token};
+  const size_t close = token.find('}', open);
+  if (close == std::string::npos) return {token};
+  std::vector<std::string> out;
+  std::string alt;
+  std::istringstream alts(token.substr(open + 1, close - open - 1));
+  while (std::getline(alts, alt, ',')) {
+    out.push_back(token.substr(0, open) + alt + token.substr(close + 1));
+  }
+  return out;
+}
+
+class DocsChecker {
+ public:
+  explicit DocsChecker(const fs::path& root) : root_(root) {
+    CollectTree();
+    CollectSources();
+  }
+
+  void CheckDoc(const std::string& doc_rel) {
+    std::ifstream in(root_ / doc_rel);
+    if (!in) return;  // absent docs are not drift
+    ++docs_checked_;
+    std::string line;
+    for (int lineno = 1; std::getline(in, line); ++lineno) {
+      CheckPaths(doc_rel, lineno, line);
+      CheckFlags(doc_rel, lineno, line);
+      CheckEnvVars(doc_rel, lineno, line);
+    }
+  }
+
+  /// Warn-only coverage of /// doc comments on top-level classes/structs in
+  /// the public core + serve headers. Never affects the exit status.
+  void ReportDocCoverage() {
+    int total = 0, documented = 0;
+    std::vector<std::string> missing;
+    for (const char* dir : {"src/core", "src/serve"}) {
+      std::error_code ec;
+      for (const auto& entry : fs::directory_iterator(root_ / dir, ec)) {
+        if (entry.path().extension() != ".h") continue;
+        std::ifstream in(entry.path());
+        std::vector<std::string> lines;
+        for (std::string l; std::getline(in, l);) lines.push_back(l);
+        for (size_t i = 0; i < lines.size(); ++i) {
+          const std::string& l = lines[i];
+          // Top-level definitions only (column 0, with a body on this or a
+          // later line; forward declarations end in ';' immediately).
+          if (l.rfind("class ", 0) != 0 && l.rfind("struct ", 0) != 0) continue;
+          if (l.find(';') != std::string::npos &&
+              l.find('{') == std::string::npos) {
+            continue;
+          }
+          ++total;
+          bool has_doc = false;
+          for (size_t back = i; back > 0; --back) {
+            const std::string& prev = lines[back - 1];
+            if (prev.rfind("///", 0) == 0) has_doc = true;
+            if (prev.rfind("//", 0) != 0) break;  // non-comment line above
+          }
+          if (has_doc) {
+            ++documented;
+          } else {
+            std::istringstream name(l);
+            std::string kw, id;
+            name >> kw >> id;
+            missing.push_back(fs::relative(entry.path(), root_).generic_string() +
+                              ": " + id);
+          }
+        }
+      }
+    }
+    std::cerr << "cf_lint docs: /// coverage " << documented << "/" << total
+              << " top-level types in src/core + src/serve headers\n";
+    for (const std::string& m : missing) {
+      std::cerr << "cf_lint docs: warning: undocumented type " << m << "\n";
+    }
+  }
+
+  int Report() const {
+    for (const Finding& f : findings_) {
+      std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+    }
+    if (!findings_.empty()) {
+      std::cerr << "cf_lint docs: " << findings_.size() << " finding(s)\n";
+      return 1;
+    }
+    std::cout << "cf_lint docs: " << docs_checked_ << " docs clean\n";
+    return 0;
+  }
+
+ private:
+  void CollectTree() {
+    for (const char* prefix : kPathPrefixes) {
+      const fs::path dir = root_ / std::string(prefix, strlen(prefix) - 1);
+      std::error_code ec;
+      if (!fs::is_directory(dir, ec)) continue;
+      tree_.insert(fs::relative(dir, root_).generic_string());
+      for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+        tree_.insert(fs::relative(entry.path(), root_).generic_string());
+      }
+    }
+  }
+
+  /// Concatenates every source file that can define a FlagParser key or read
+  /// a CF_* environment variable, for string-literal existence checks.
+  void CollectSources() {
+    for (const char* dir : {"src", "tools", "bench", "tests"}) {
+      std::error_code ec;
+      if (!fs::is_directory(root_ / dir, ec)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(root_ / dir)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext != ".h" && ext != ".cc" && ext != ".sh") continue;
+        std::ifstream in(entry.path());
+        std::ostringstream text;
+        text << in.rdbuf();
+        source_text_ += text.str();
+      }
+    }
+  }
+
+  bool MatchesGlob(const std::string& pattern) const {
+    // Translate the `*` glob (within one path segment) to a linear scan; the
+    // tree is small enough that regex machinery is not worth it.
+    const size_t star = pattern.find('*');
+    if (star == std::string::npos) return tree_.count(pattern) > 0;
+    const std::string prefix = pattern.substr(0, star);
+    const std::string suffix = pattern.substr(star + 1);
+    for (const std::string& p : tree_) {
+      if (p.size() < prefix.size() + suffix.size()) continue;
+      if (p.compare(0, prefix.size(), prefix) != 0) continue;
+      if (p.compare(p.size() - suffix.size(), suffix.size(), suffix) != 0)
+        continue;
+      // The starred span must not cross a directory boundary.
+      const std::string mid =
+          p.substr(prefix.size(), p.size() - prefix.size() - suffix.size());
+      if (mid.find('/') == std::string::npos) return true;
+    }
+    return false;
+  }
+
+  bool PathExists(const std::string& token) const {
+    for (const std::string& variant : ExpandBraces(token)) {
+      std::string t = variant;
+      while (!t.empty() && t.back() == '/') t.pop_back();
+      if (MatchesGlob(t)) continue;
+      // Extensionless module/target names ("src/baselines/simple",
+      // "bench/bench_serve") accept any file extension.
+      const bool has_ext =
+          t.find('.', t.find_last_of('/') + 1) != std::string::npos;
+      if (!has_ext && MatchesGlob(t + ".*")) continue;
+      return false;
+    }
+    return true;
+  }
+
+  void CheckPaths(const std::string& doc, int lineno, const std::string& line) {
+    for (const char* prefix : kPathPrefixes) {
+      const size_t plen = strlen(prefix);
+      size_t pos = line.find(prefix);
+      while (pos != std::string::npos) {
+        const bool boundary = pos == 0 || !IsPathChar(line[pos - 1]);
+        if (boundary) {
+          size_t end = pos;
+          while (end < line.size() && IsPathChar(line[end])) ++end;
+          std::string token = line.substr(pos, end - pos);
+          // Trailing sentence punctuation is not part of the path.
+          while (!token.empty() &&
+                 (token.back() == '.' || token.back() == ',' ||
+                  token.back() == '-')) {
+            token.pop_back();
+          }
+          if (token.size() > plen && !PathExists(token)) {
+            findings_.push_back({doc, lineno, "stale-path",
+                                 "path does not exist in the tree: " + token});
+          }
+          pos = line.find(prefix, end);
+        } else {
+          pos = line.find(prefix, pos + 1);
+        }
+      }
+    }
+  }
+
+  void CheckFlags(const std::string& doc, int lineno, const std::string& line) {
+    size_t pos = line.find("--");
+    while (pos != std::string::npos) {
+      const bool boundary = pos == 0 || (line[pos - 1] != '-');
+      size_t end = pos + 2;
+      while (end < line.size() &&
+             (std::islower(static_cast<unsigned char>(line[end])) ||
+              std::isdigit(static_cast<unsigned char>(line[end])) ||
+              line[end] == '-' || line[end] == '_')) {
+        ++end;
+      }
+      // A flag starts with a lowercase letter ("--trace-json"); anything else
+      // ("--", "---", em-dash art) is prose.
+      if (boundary && end > pos + 2 &&
+          std::islower(static_cast<unsigned char>(line[pos + 2]))) {
+        const std::string name = line.substr(pos + 2, end - pos - 2);
+        // Known if it is a FlagParser key ("docs") or a direct-argv literal
+        // ("--docs", the idiom of binaries that do not use FlagParser).
+        const bool known =
+            source_text_.find("\"" + name + "\"") != std::string::npos ||
+            source_text_.find("\"--" + name + "\"") != std::string::npos ||
+            ExternalFlags().count(name) > 0;
+        if (!known) {
+          findings_.push_back(
+              {doc, lineno, "unknown-flag",
+               "--" + name + " is not a FlagParser key in any source file"});
+        }
+      }
+      pos = line.find("--", end);
+    }
+  }
+
+  void CheckEnvVars(const std::string& doc, int lineno, const std::string& line) {
+    size_t pos = line.find("CF_");
+    while (pos != std::string::npos) {
+      const bool boundary =
+          pos == 0 || !(std::isalnum(static_cast<unsigned char>(line[pos - 1])) ||
+                        line[pos - 1] == '_');
+      size_t end = pos + 3;
+      while (end < line.size() &&
+             (std::isupper(static_cast<unsigned char>(line[end])) ||
+              std::isdigit(static_cast<unsigned char>(line[end])) ||
+              line[end] == '_')) {
+        ++end;
+      }
+      // Needs at least one character after CF_ (skips the literal "CF_*").
+      if (boundary && end > pos + 3) {
+        const std::string name = line.substr(pos, end - pos);
+        if (source_text_.find(name) == std::string::npos) {
+          findings_.push_back({doc, lineno, "unknown-env-var",
+                               name + " does not appear in any source file"});
+        }
+      }
+      pos = line.find("CF_", end);
+    }
+  }
+
+  fs::path root_;
+  std::set<std::string> tree_;
+  std::string source_text_;
+  std::vector<Finding> findings_;
+  int docs_checked_ = 0;
+};
+
+int DocsMain(const fs::path& root) {
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    std::cerr << "cf_lint: not a directory: " << root.string() << "\n";
+    return 2;
+  }
+  DocsChecker checker(root);
+  for (const char* doc : kDocFiles) checker.CheckDoc(doc);
+  checker.ReportDocCoverage();
+  return checker.Report();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: cf_lint <dir> [<dir>...]\n";
+    std::cerr << "usage: cf_lint <dir> [<dir>...] | cf_lint --docs <repo_root>\n";
     return 2;
+  }
+  if (std::string(argv[1]) == "--docs") {
+    if (argc != 3) {
+      std::cerr << "usage: cf_lint --docs <repo_root>\n";
+      return 2;
+    }
+    return DocsMain(argv[2]);
   }
   Linter linter;
   int files = 0;

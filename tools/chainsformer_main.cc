@@ -10,13 +10,14 @@
 //   chainsformer generate --dataset=yago --scale=0.15 \
 //       --triples=/tmp/t.tsv --numeric=/tmp/n.tsv
 //   chainsformer train --triples=/tmp/t.tsv --numeric=/tmp/n.tsv \
-//       --checkpoint=/tmp/model.cftn --epochs=12
+//       --checkpoint=/tmp/model.cfsm --epochs=12
 //   chainsformer eval --triples=/tmp/t.tsv --numeric=/tmp/n.tsv \
-//       --checkpoint=/tmp/model.cftn
+//       --checkpoint=/tmp/model.cfsm
 //   chainsformer explain --triples=/tmp/t.tsv --numeric=/tmp/n.tsv \
-//       --checkpoint=/tmp/model.cftn --entity=person_12 --attribute=birth
+//       --checkpoint=/tmp/model.cfsm --entity=person_12 --attribute=birth
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "core/chainsformer.h"
@@ -24,6 +25,7 @@
 #include "kg/analysis.h"
 #include "kg/loader.h"
 #include "kg/synthetic.h"
+#include "serve/checkpoint.h"
 #include "tensor/checks.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -143,7 +145,9 @@ int RunTrain(const FlagParser& flags) {
   }
   const std::string checkpoint = flags.GetString("checkpoint");
   if (!checkpoint.empty()) {
-    if (!model.SaveCheckpoint(checkpoint)) {
+    // Self-describing CFSM checkpoint: config + vocab + stats + tensors, so
+    // eval/serve do not need the training flags repeated.
+    if (!serve::SaveModel(model, checkpoint)) {
       std::fprintf(stderr, "failed to write checkpoint %s\n", checkpoint.c_str());
       return 1;
     }
@@ -156,19 +160,37 @@ int RunTrain(const FlagParser& flags) {
   return 0;
 }
 
+/// Builds a ready-to-predict model: from a --checkpoint when given (CFSM
+/// self-describing checkpoints carry their own config; legacy CFTN tensor
+/// dumps rely on the architecture flags matching training), otherwise by
+/// training from scratch. Returns nullptr on load failure.
+std::unique_ptr<core::ChainsFormerModel> LoadOrTrain(const FlagParser& flags,
+                                                     const kg::Dataset& ds) {
+  const std::string checkpoint = flags.GetString("checkpoint");
+  if (checkpoint.empty()) {
+    std::printf("no --checkpoint given; training from scratch\n");
+    auto model =
+        std::make_unique<core::ChainsFormerModel>(ds, ConfigFromFlags(flags));
+    model->Train();
+    return model;
+  }
+  if (serve::IsModelCheckpoint(checkpoint)) {
+    return serve::LoadModel(ds, ConfigFromFlags(flags), checkpoint);
+  }
+  auto model =
+      std::make_unique<core::ChainsFormerModel>(ds, ConfigFromFlags(flags));
+  if (!model->LoadCheckpoint(checkpoint)) {
+    std::fprintf(stderr, "failed to load checkpoint %s\n", checkpoint.c_str());
+    return nullptr;
+  }
+  return model;
+}
+
 int RunEval(const FlagParser& flags) {
   const kg::Dataset ds = LoadFromFlags(flags);
-  core::ChainsFormerModel model(ds, ConfigFromFlags(flags));
-  const std::string checkpoint = flags.GetString("checkpoint");
-  if (!checkpoint.empty()) {
-    if (!model.LoadCheckpoint(checkpoint)) {
-      std::fprintf(stderr, "failed to load checkpoint %s\n", checkpoint.c_str());
-      return 1;
-    }
-  } else {
-    std::printf("no --checkpoint given; training from scratch\n");
-    model.Train();
-  }
+  std::unique_ptr<core::ChainsFormerModel> model_ptr = LoadOrTrain(flags, ds);
+  if (!model_ptr) return 1;
+  core::ChainsFormerModel& model = *model_ptr;
   const auto result = FinalEvaluate(model, ds.split.test);
   eval::TextTable table({"attribute", "count", "MAE", "RMSE"});
   for (kg::AttributeId a = 0; a < ds.graph.num_attributes(); ++a) {
@@ -193,16 +215,9 @@ int RunExplain(const FlagParser& flags) {
     std::fprintf(stderr, "unknown --entity or --attribute\n");
     return 1;
   }
-  core::ChainsFormerModel model(ds, ConfigFromFlags(flags));
-  const std::string checkpoint = flags.GetString("checkpoint");
-  if (!checkpoint.empty()) {
-    if (!model.LoadCheckpoint(checkpoint)) {
-      std::fprintf(stderr, "failed to load checkpoint %s\n", checkpoint.c_str());
-      return 1;
-    }
-  } else {
-    model.Train();
-  }
+  std::unique_ptr<core::ChainsFormerModel> model_ptr = LoadOrTrain(flags, ds);
+  if (!model_ptr) return 1;
+  core::ChainsFormerModel& model = *model_ptr;
   const auto ex = model.Explain({entity, attribute});
   std::printf("%s(%s) = %.3f\n",
               ds.graph.AttributeName(attribute).c_str(),

@@ -1,0 +1,312 @@
+// ChainsFormer inference server.
+//
+// Loads a CFSM checkpoint (serve::SaveModel / `chainsformer train
+// --checkpoint=...`) and answers newline-delimited JSON queries, either from
+// stdin or over a TCP port. Requests from concurrent clients are coalesced
+// into micro-batches that ride one masked EncodeBatch pass each (DESIGN §6e).
+//
+// Request:  {"id": 7, "entity": "person_12", "attribute": "birth_year"}
+// Response: {"id": 7, "value": 1956.3, "degraded": false, "source": "model",
+//            "latency_us": 412, "batch_size": 5}
+//
+// Examples:
+//   chainsformer_serve --checkpoint=/tmp/model.cfsm \
+//       --triples=/tmp/t.tsv --numeric=/tmp/n.tsv --serve-threads=8 < q.ndjson
+//   chainsformer_serve --checkpoint=/tmp/model.cfsm \
+//       --triples=/tmp/t.tsv --numeric=/tmp/n.tsv --port=8471
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "kg/loader.h"
+#include "serve/checkpoint.h"
+#include "serve/service.h"
+#include "tensor/checks.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace chainsformer {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: chainsformer_serve --checkpoint=PATH --triples=PATH --numeric=PATH\n"
+      "  --serve-threads=N    client worker threads for stdin mode (default 4)\n"
+      "  --batch-window-us=N  micro-batch coalescing window (default 200)\n"
+      "  --deadline-ms=N      per-request deadline; 0 disables (default 50)\n"
+      "  --max-batch=N        requests per micro-batch cap (default 32)\n"
+      "  --cache-capacity=N   ToC cache entries; 0 disables (default 4096)\n"
+      "  --compute-threads=N  dispatcher pool for intra-batch parallelism;\n"
+      "                       1 = serial, 0 = hardware threads (default 0)\n"
+      "  --port=N             serve NDJSON over TCP instead of stdin\n"
+      "  --kernel-threads=N   dense kernel workers (default 1)\n"
+      "  --seed=N             must match training when the checkpoint is legacy\n"
+      "  observability: --metrics-json=PATH --trace-json=PATH --stats\n"
+      "                 --check-mode=off|shapes|full\n");
+  return 2;
+}
+
+// --- Minimal NDJSON request parsing ----------------------------------------
+// The request grammar is one flat JSON object per line with string or number
+// values; a full JSON parser would be dead weight here.
+
+/// Extracts `"key": <string-or-number>` from a flat JSON object line.
+/// Returns false if the key is absent.
+bool JsonField(const std::string& line, const std::string& key,
+               std::string* out) {
+  const std::string needle = "\"" + key + "\"";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  pos = line.find(':', pos + needle.size());
+  if (pos == std::string::npos) return false;
+  ++pos;
+  while (pos < line.size() && std::isspace(static_cast<unsigned char>(line[pos])))
+    ++pos;
+  if (pos >= line.size()) return false;
+  if (line[pos] == '"') {
+    const size_t end = line.find('"', pos + 1);
+    if (end == std::string::npos) return false;
+    *out = line.substr(pos + 1, end - pos - 1);
+    return true;
+  }
+  size_t end = pos;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  *out = line.substr(pos, end - pos);
+  while (!out->empty() && std::isspace(static_cast<unsigned char>(out->back())))
+    out->pop_back();
+  return !out->empty();
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Resolves one request line against the graph and answers it. Unknown
+/// entities/attributes come back as {"error": ...} instead of killing the
+/// connection.
+std::string HandleLine(const kg::Dataset& dataset, serve::InferenceService& service,
+                       const std::string& line) {
+  std::string id, entity_name, attribute_name;
+  const bool has_id = JsonField(line, "id", &id);
+  auto error = [&](const std::string& message) {
+    std::string r = "{";
+    if (has_id) r += "\"id\": " + id + ", ";
+    return r + "\"error\": \"" + EscapeJson(message) + "\"}";
+  };
+  if (!JsonField(line, "entity", &entity_name) ||
+      !JsonField(line, "attribute", &attribute_name)) {
+    return error("request needs \"entity\" and \"attribute\"");
+  }
+  const kg::EntityId entity = dataset.graph.FindEntity(entity_name);
+  if (entity < 0) return error("unknown entity: " + entity_name);
+  const kg::AttributeId attribute = dataset.graph.FindAttribute(attribute_name);
+  if (attribute < 0) return error("unknown attribute: " + attribute_name);
+
+  const serve::ServeResponse resp = service.Predict({entity, attribute});
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"value\": %.17g, \"degraded\": %s, \"source\": \"%s\", "
+                "\"latency_us\": %lld, \"batch_size\": %d}",
+                resp.value, resp.degraded ? "true" : "false",
+                resp.source.c_str(), static_cast<long long>(resp.latency_us),
+                resp.batch_size);
+  std::string r = "{";
+  if (has_id) r += "\"id\": " + id + ", ";
+  return r + buf;
+}
+
+// --- stdin mode ------------------------------------------------------------
+
+int ServeStdin(const kg::Dataset& dataset, serve::InferenceService& service,
+               int serve_threads) {
+  std::mutex queue_mu, out_mu;
+  std::condition_variable queue_cv;
+  std::deque<std::string> lines;
+  bool done = false;
+
+  auto worker = [&] {
+    while (true) {
+      std::string line;
+      {
+        std::unique_lock<std::mutex> lock(queue_mu);
+        queue_cv.wait(lock, [&] { return done || !lines.empty(); });
+        if (lines.empty()) return;  // done and drained
+        line = std::move(lines.front());
+        lines.pop_front();
+      }
+      if (line.empty()) continue;
+      const std::string response = HandleLine(dataset, service, line);
+      std::lock_guard<std::mutex> lock(out_mu);
+      std::printf("%s\n", response.c_str());
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(serve_threads));
+  for (int i = 0; i < serve_threads; ++i) workers.emplace_back(worker);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu);
+      lines.push_back(std::move(line));
+    }
+    queue_cv.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu);
+    done = true;
+  }
+  queue_cv.notify_all();
+  for (auto& w : workers) w.join();
+  std::fflush(stdout);
+  return 0;
+}
+
+// --- TCP mode --------------------------------------------------------------
+
+/// One thread per connection; batching happens across connections inside
+/// InferenceService. Intentionally minimal (no TLS, IPv4 only): the server
+/// is a benchmark/demo endpoint, not an internet-facing daemon.
+int ServeTcp(const kg::Dataset& dataset, serve::InferenceService& service,
+             int port) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 64) < 0) {
+    std::perror("bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "serving on 127.0.0.1:%d\n", port);
+  std::vector<std::thread> connections;
+  while (true) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) break;
+    connections.emplace_back([&dataset, &service, fd] {
+      std::string buffer;
+      char chunk[4096];
+      ssize_t n;
+      while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+        buffer.append(chunk, static_cast<size_t>(n));
+        size_t nl;
+        while ((nl = buffer.find('\n')) != std::string::npos) {
+          const std::string line = buffer.substr(0, nl);
+          buffer.erase(0, nl + 1);
+          if (line.empty()) continue;
+          const std::string response =
+              HandleLine(dataset, service, line) + "\n";
+          if (::write(fd, response.data(), response.size()) < 0) break;
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (auto& c : connections) c.join();
+  ::close(listener);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const std::string checkpoint = flags.GetString("checkpoint");
+  const std::string triples = flags.GetString("triples");
+  const std::string numeric = flags.GetString("numeric");
+  if (checkpoint.empty() || triples.empty() || numeric.empty()) return Usage();
+
+  const std::string metrics_json = flags.GetString("metrics-json");
+  const std::string trace_json = flags.GetString("trace-json");
+  const bool print_stats = flags.GetBool("stats", false);
+  if (!trace_json.empty()) trace::SetEnabled(true);
+  tensor::SetCheckMode(tensor::CheckModeFromString(flags.GetString(
+      "check-mode", tensor::CheckModeName(tensor::CheckModeFromEnv()))));
+
+  core::ChainsFormerConfig base_config;
+  base_config.kernel_threads = static_cast<int>(flags.GetInt("kernel-threads", 1));
+  base_config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  base_config.verbose = false;
+
+  const kg::Dataset dataset =
+      kg::LoadTsvDataset("serve", triples, numeric, base_config.seed);
+
+  std::unique_ptr<core::ChainsFormerModel> model;
+  if (serve::IsModelCheckpoint(checkpoint)) {
+    model = serve::LoadModel(dataset, base_config, checkpoint);
+  } else {
+    // Legacy raw-tensor checkpoint: shapes/seed must come from the flags.
+    std::fprintf(stderr,
+                 "%s is a legacy CFTN checkpoint; relying on --seed and "
+                 "default architecture flags matching training\n",
+                 checkpoint.c_str());
+    model = std::make_unique<core::ChainsFormerModel>(dataset, base_config);
+    if (!model->LoadCheckpoint(checkpoint)) model.reset();
+  }
+  if (!model) {
+    std::fprintf(stderr, "failed to load %s\n", checkpoint.c_str());
+    return 1;
+  }
+
+  serve::ServeOptions options;
+  options.batch_window_us = flags.GetInt("batch-window-us", 200);
+  options.max_batch = static_cast<int>(flags.GetInt("max-batch", 32));
+  options.deadline_ms = flags.GetInt("deadline-ms", 50);
+  options.cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache-capacity", 4096));
+  options.compute_threads =
+      static_cast<int>(flags.GetInt("compute-threads", 0));
+  serve::InferenceService service(*model, options);
+
+  const int serve_threads = static_cast<int>(flags.GetInt("serve-threads", 4));
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+
+  for (const std::string& key : flags.UnreadKeys()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
+  }
+
+  const int rc = port > 0 ? ServeTcp(dataset, service, port)
+                          : ServeStdin(dataset, service, serve_threads);
+
+  if (!metrics_json.empty() || print_stats) {
+    const metrics::MetricsSnapshot snap =
+        metrics::MetricsRegistry::Global().Snapshot();
+    if (!metrics_json.empty()) metrics::WriteJsonFile(metrics_json, snap);
+    if (print_stats) std::fprintf(stderr, "%s", metrics::SummaryTable(snap).c_str());
+  }
+  if (!trace_json.empty()) trace::WriteChromeTrace(trace_json);
+  return rc;
+}
+
+}  // namespace
+}  // namespace chainsformer
+
+int main(int argc, char** argv) { return chainsformer::Main(argc, argv); }
