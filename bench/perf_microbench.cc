@@ -15,6 +15,7 @@
 #include "core/hyperbolic_filter.h"
 #include "core/numerical_reasoner.h"
 #include "core/query_retrieval.h"
+#include "graph/runtime.h"
 #include "kg/synthetic.h"
 #include "tensor/checks.h"
 #include "tensor/kernels.h"
@@ -203,7 +204,7 @@ void BM_MetricsHistogramObserve(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricsHistogramObserve);
 
-void BM_EndToEndPredict(benchmark::State& state) {
+core::ChainsFormerModel* FrozenModel() {
   static core::ChainsFormerModel* model = [] {
     core::ChainsFormerConfig config;
     config.num_walks = 64;
@@ -216,12 +217,54 @@ void BM_EndToEndPredict(benchmark::State& state) {
     m->Train();
     return m;
   }();
+  return model;
+}
+
+/// First test-split query whose retrieval produces a non-empty Tree of
+/// Chains, so the compiled-vs-eager comparisons exercise the full forward.
+core::Query QueryWithChains(const core::ChainsFormerModel& model) {
+  for (const auto& t : Data().split.test) {
+    const core::Query q{t.entity, t.attribute};
+    if (!model.RetrieveChains(q).empty()) return q;
+  }
+  CF_CHECK(false) << "no test query retrieved any chains";
+  return SomeQuery();
+}
+
+void BM_EndToEndPredict(benchmark::State& state) {
+  core::ChainsFormerModel* model = FrozenModel();
   const auto q = SomeQuery();
   for (auto _ : state) {
     benchmark::DoNotOptimize(model->Predict(q));
   }
 }
 BENCHMARK(BM_EndToEndPredict);
+
+// Forward dispatch on a fixed chain set: the eager tape interpreter vs the
+// warmed static-graph plan (retrieval excluded from both, so the delta is
+// purely tape construction + allocation vs the fused arena program).
+void BM_EagerDispatch(benchmark::State& state) {
+  core::ChainsFormerModel* model = FrozenModel();
+  const core::Query q = QueryWithChains(*model);
+  const core::TreeOfChains chains = model->RetrieveChains(q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->PredictOnChainSets({q}, {&chains}));
+  }
+}
+BENCHMARK(BM_EagerDispatch);
+
+void BM_CompiledDispatch(benchmark::State& state) {
+  core::ChainsFormerModel* model = FrozenModel();
+  const core::Query q = QueryWithChains(*model);
+  const core::TreeOfChains chains = model->RetrieveChains(q);
+  static graph::StaticGraphRuntime* runtime =
+      new graph::StaticGraphRuntime(*model);
+  benchmark::DoNotOptimize(runtime->Predict(q, chains));  // trace + compile
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime->Predict(q, chains));
+  }
+}
+BENCHMARK(BM_CompiledDispatch);
 
 // Guardrail for "instrumentation stays free when off": measures the cost of
 // a disabled CF_TRACE_SCOPE and aborts if the median exceeds a generous
@@ -354,11 +397,63 @@ void VerifyCheckModeOffOverhead() {
       << "check-mode-off dispatch is no longer (nearly) free on the encoder";
 }
 
+// Guardrail for the static-graph subsystem: once a plan is traced, compiled
+// and warmed, dispatching through it must never be slower than the eager
+// tape interpreter on the same frozen model and chain set. The compiled path
+// exists purely to shed tape construction and per-op heap traffic, so if it
+// ever loses to eager the fusion or arena layout has regressed. Medians of
+// batched trials keep the comparison stable on noisy CI machines.
+void VerifyCompiledDispatchOverhead() {
+  core::ChainsFormerModel* model = FrozenModel();
+  if (!graph::StaticGraphRuntime::Supports(*model)) {
+    std::printf("compiled-dispatch guardrail skipped (encoder unsupported)\n");
+    return;
+  }
+  const core::Query q = QueryWithChains(*model);
+  const core::TreeOfChains chains = model->RetrieveChains(q);
+  graph::StaticGraphRuntime runtime(*model);
+
+  // First call traces, compiles and bitwise-verifies against eager; also
+  // re-check the values agree here so the timing below compares equal work.
+  const core::BatchPrediction compiled = runtime.Predict(q, chains);
+  const core::BatchPrediction eager =
+      model->PredictOnChainSets({q}, {&chains})[0];
+  CF_CHECK_EQ(compiled.value, eager.value)
+      << "compiled plan diverged from eager before timing";
+
+  constexpr int kTrials = 9;
+  constexpr int kIters = 50;
+  double eager_trials[kTrials];
+  double compiled_trials[kTrials];
+  for (int t = 0; t < kTrials; ++t) {
+    Stopwatch sw;
+    for (int i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(model->PredictOnChainSets({q}, {&chains}));
+    }
+    eager_trials[t] = static_cast<double>(sw.ElapsedMicros()) / kIters;
+    Stopwatch sw2;
+    for (int i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(runtime.Predict(q, chains));
+    }
+    compiled_trials[t] = static_cast<double>(sw2.ElapsedMicros()) / kIters;
+  }
+  std::sort(eager_trials, eager_trials + kTrials);
+  std::sort(compiled_trials, compiled_trials + kTrials);
+  const double eager_us = eager_trials[kTrials / 2];
+  const double compiled_us = compiled_trials[kTrials / 2];
+  std::printf(
+      "compiled dispatch: %.1f us/query vs eager %.1f us/query (%.2fx)\n",
+      compiled_us, eager_us, eager_us / compiled_us);
+  CF_CHECK_LE(compiled_us, eager_us)
+      << "warmed static-graph dispatch is slower than the eager interpreter";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   VerifyTracerDisabledOverhead();
   VerifyCheckModeOffOverhead();
+  VerifyCompiledDispatchOverhead();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

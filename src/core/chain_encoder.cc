@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "core/numeric_encoding.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -16,29 +17,14 @@ namespace ops = chainsformer::tensor;
 using tensor::Tensor;
 
 std::vector<float> EncodeFloat64Bits(double value) {
-  uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(value));
-  std::memcpy(&bits, &value, sizeof(bits));
   std::vector<float> out(64);
-  for (int i = 0; i < 64; ++i) {
-    // MSB (sign bit) first.
-    out[static_cast<size_t>(i)] =
-        static_cast<float>((bits >> (63 - i)) & 1ull);
-  }
+  EncodeFloat64BitsInto(value, out.data());
   return out;
 }
 
 std::vector<float> EncodeLogFeatures(double value) {
-  std::vector<float> out(64, 0.0f);
-  const double sign = value < 0.0 ? -1.0 : 1.0;
-  const double mag = std::log1p(std::fabs(value));
-  out[0] = static_cast<float>(sign);
-  out[1] = static_cast<float>(mag / 25.0);  // log1p(3.1e9) ≈ 21.9
-  for (int k = 0; k < 31; ++k) {
-    const double freq = std::pow(1.35, k) * 0.1;
-    out[static_cast<size_t>(2 + 2 * k)] = static_cast<float>(std::sin(freq * mag));
-    out[static_cast<size_t>(3 + 2 * k)] = static_cast<float>(std::cos(freq * mag));
-  }
+  std::vector<float> out(64);
+  EncodeLogFeaturesInto(value, out.data());
   return out;
 }
 

@@ -69,6 +69,25 @@ class ChainEncoder : public tensor::nn::Module {
   int64_t AttributeToken(kg::AttributeId a) const { return num_relation_ids_ + a; }
   int64_t EndToken() const { return num_relation_ids_ + num_attributes_; }
 
+  /// Architecture/sub-module read access for the static-graph compiler
+  /// (src/graph/plan.cc), which re-derives EncodeBatch's exact op sequence
+  /// from the frozen weights.
+  EncoderType encoder_type() const { return encoder_type_; }
+  bool use_numerical_aware() const { return use_numerical_aware_; }
+  NumericEncoding numeric_encoding() const { return numeric_encoding_; }
+  const tensor::nn::Embedding& token_embedding() const { return *token_emb_; }
+  const tensor::nn::Embedding& position_embedding() const {
+    return *position_emb_;
+  }
+  /// Valid only for EncoderType::kTransformer.
+  const tensor::nn::TransformerEncoder& transformer() const {
+    return *transformer_;
+  }
+  /// Affine-transfer MLPs (64 -> d*d and 64 -> d); valid only when
+  /// use_numerical_aware() is true.
+  const tensor::nn::Mlp& mlp_alpha() const { return *mlp_alpha_; }
+  const tensor::nn::Mlp& mlp_beta() const { return *mlp_beta_; }
+
  private:
   tensor::Tensor EncodeTokens(const RAChain& chain) const;
   /// Eq. 11 token sequence [a_p, r_l, ..., r_1, a_q, end] of a chain.

@@ -172,7 +172,17 @@ class ChainsFormerModel {
   const ChainQualityEvaluator& chain_quality() const { return quality_; }
   const QueryRetrieval& retrieval() const { return *retrieval_; }
   const std::vector<kg::AttributeStats>& train_stats() const { return train_stats_; }
+  /// Frozen Chain Encoder — read access for the static-graph compiler.
+  const ChainEncoder& encoder() const { return *encoder_; }
+  /// Frozen Numerical Reasoner — read access for the static-graph compiler.
+  const NumericalReasoner& reasoner() const { return *reasoner_; }
   int64_t NumParameters() const;
+
+  /// Fallback prediction (normalized) when a query has no chains: the
+  /// training mean of the attribute (0.5 when the attribute was unseen in
+  /// training). Exposed so the static-graph runtime reproduces the eager
+  /// empty-chain-set path exactly.
+  double FallbackNormalized(kg::AttributeId a) const;
 
  private:
   struct ForwardState {
@@ -198,10 +208,6 @@ class ChainsFormerModel {
   /// returned state). Touches no mutable model state, so it is safe to call
   /// concurrently under NoGradGuard.
   ForwardState ForwardOnChains(const TreeOfChains& chains) const;
-
-  /// Fallback prediction (normalized) when a query has no chains: the
-  /// training mean of the attribute.
-  double FallbackNormalized(kg::AttributeId a) const;
 
   double NormalizedTarget(const kg::NumericalTriple& t) const;
 

@@ -1,0 +1,34 @@
+#include "core/numeric_encoding.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+namespace chainsformer {
+namespace core {
+
+void EncodeFloat64BitsInto(double value, float* out64) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int i = 0; i < 64; ++i) {
+    // MSB (sign bit) first.
+    out64[i] = static_cast<float>((bits >> (63 - i)) & 1ull);
+  }
+}
+
+void EncodeLogFeaturesInto(double value, float* out64) {
+  for (int i = 0; i < 64; ++i) out64[i] = 0.0f;
+  const double sign = value < 0.0 ? -1.0 : 1.0;
+  const double mag = std::log1p(std::fabs(value));
+  out64[0] = static_cast<float>(sign);
+  out64[1] = static_cast<float>(mag / 25.0);  // log1p(3.1e9) ≈ 21.9
+  for (int k = 0; k < 31; ++k) {
+    const double freq = std::pow(1.35, k) * 0.1;
+    out64[2 + 2 * k] = static_cast<float>(std::sin(freq * mag));
+    out64[3 + 2 * k] = static_cast<float>(std::cos(freq * mag));
+  }
+}
+
+}  // namespace core
+}  // namespace chainsformer

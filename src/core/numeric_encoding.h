@@ -1,0 +1,22 @@
+#ifndef CHAINSFORMER_CORE_NUMERIC_ENCODING_H_
+#define CHAINSFORMER_CORE_NUMERIC_ENCODING_H_
+
+namespace chainsformer {
+namespace core {
+
+/// Buffer form of EncodeFloat64Bits (chain_encoder.h): writes the Eq. 14
+/// IEEE-754 bit stream of `value`, sign bit first, into out64[0..63].
+/// Allocation-free — this is the form the static-graph executor uses to fill
+/// its preallocated arena; the vector-returning wrapper delegates here, so
+/// both paths produce identical bits by construction.
+void EncodeFloat64BitsInto(double value, float* out64);
+
+/// Buffer form of EncodeLogFeatures (chain_encoder.h): sign, scaled log1p
+/// magnitude, and Fourier features thereof into out64[0..63]. Same contract
+/// as EncodeFloat64BitsInto.
+void EncodeLogFeaturesInto(double value, float* out64);
+
+}  // namespace core
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_CORE_NUMERIC_ENCODING_H_

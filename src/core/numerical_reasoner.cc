@@ -13,11 +13,7 @@ namespace core {
 namespace ops = chainsformer::tensor;
 using tensor::Tensor;
 
-namespace {
-// Length ids are clamped to this many buckets (hop counts beyond the bucket
-// range share the last embedding).
-constexpr int64_t kMaxLengthBuckets = 8;
-}  // namespace
+constexpr int64_t NumericalReasoner::kMaxLengthBuckets;
 
 NumericalReasoner::NumericalReasoner(const ChainsFormerConfig& config, Rng& rng)
     : dim_(config.hidden_dim),

@@ -46,6 +46,21 @@ class NumericalReasoner : public tensor::nn::Module {
                  const std::vector<double>& normalized_values,
                  const std::vector<int64_t>& lengths) const;
 
+  /// Number of rows in the length-embedding table; hop counts are clamped to
+  /// [0, kMaxLengthBuckets - 1] before lookup (Eq. 20).
+  static constexpr int64_t kMaxLengthBuckets = 8;
+
+  /// Architecture/sub-module read access for the static-graph compiler
+  /// (src/graph/plan.cc).
+  ProjectionMode projection() const { return projection_; }
+  bool use_chain_weighting() const { return use_chain_weighting_; }
+  const tensor::nn::Mlp& projection_mlp() const { return *projection_mlp_; }
+  const tensor::nn::Embedding& length_embedding() const { return *length_emb_; }
+  const tensor::nn::TransformerEncoder& treeformer() const {
+    return *treeformer_;
+  }
+  const tensor::nn::Mlp& weight_mlp() const { return *weight_mlp_; }
+
  private:
   int64_t dim_;
   ProjectionMode projection_;

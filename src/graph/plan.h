@@ -1,0 +1,126 @@
+#ifndef CHAINSFORMER_GRAPH_PLAN_H_
+#define CHAINSFORMER_GRAPH_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "graph/trace.h"
+#include "kg/knowledge_graph.h"
+#include "tensor/tensor.h"
+
+namespace chainsformer {
+namespace core {
+class ChainsFormerModel;
+}  // namespace core
+}  // namespace chainsformer
+
+namespace chainsformer {
+namespace graph {
+
+/// Executor instruction set (DESIGN §6f). Each step reads/writes fixed
+/// offsets in one preallocated float arena; weight operands are raw pointers
+/// into the frozen model's parameter storage (pinned by Plan::pinned). The
+/// fused kinds (kBiasGelu, kAddScalarMul, kResidualLayerNorm, kAdd3, kDot)
+/// collapse eager elementwise chains into one pass; the fusion rules keep
+/// the per-element float operation sequence identical, so results match the
+/// eager ops bit-for-bit.
+enum class StepKind : uint8_t {
+  kGatherTable,        // out rows from weight table w0 via host index array
+  kGatherRows,         // out rows from arena matrix in0 via host end-row ids
+  kAdd,                // out = in0 + in1 elementwise (m elements)
+  kMulEw,              // out = in0 * in1 elementwise (m elements)
+  kAddScalar,          // out = in0 + scalar (m elements)
+  kBiasAdd,            // rows m x n: out[i,j] = in0[i,j] + w0[j]
+  kBiasGelu,           // rows m x n: out[i,j] = Gelu(in0[i,j] + w0[j])
+  kGemm,               // out[m,n] = arena[in0][m,k] * w0[k,n] (zeroed first)
+  kBatchMatMul,        // extra batches of [m,k] x [k,n]; in0, in1 in arena
+  kScale,              // out = in0 * scalar (m elements)
+  kSoftmaxRows,        // m rows of n
+  kMaskedSoftmaxRows,  // m rows of n; mask row = arena[in1] + (r/extra)*n
+  kResidualLayerNorm,  // m rows of n: out = LN(in0 + in1; w0=gamma, w1=beta)
+  kSplitHeads,         // [m, k, extra*n] -> [m*extra, k, n]
+  kMergeHeads,         // [m*extra, k, n] -> [m, k, extra*n]
+  kPermute3,           // input dims (m, k, n); perm packed in extra
+  kSliceCols,          // m rows: out[i, 0..n) = in0[i*k + extra .. +n]
+  kAddScalarMul,       // out[i] = (in0[i] + scalar) * in1[i] (m elements)
+  kAdd3,               // out[i] = (in0[i] + in1[i]) + in2[i] (m elements)
+  kFill,               // out[0..m) = scalar
+  kDot,                // out[0] = float(sum_i double(float(in0[i]*in1[i])))
+};
+
+/// Host-side int64 index array a gather step reads (filled by the executor's
+/// binder from the request's chains before the steps run).
+enum class IndexArray : uint8_t { kTokens, kPositions, kEndRows, kLengths };
+
+/// One fused-kernel instruction. in0/in1/in2/out are float offsets into the
+/// executor arena (-1 = unused); w0/w1 point at frozen weights. m/k/n/extra
+/// are the kind-specific geometry documented on StepKind; `scalar` carries
+/// the attention scale, LayerNorm epsilon, or fill value.
+struct Step {
+  StepKind kind;
+  IndexArray index = IndexArray::kTokens;
+  int64_t in0 = -1;
+  int64_t in1 = -1;
+  int64_t in2 = -1;
+  int64_t out = -1;
+  const float* w0 = nullptr;
+  const float* w1 = nullptr;
+  int64_t m = 0;
+  int64_t k = 0;
+  int64_t n = 0;
+  int64_t extra = 0;
+  float scalar = 0.0f;
+};
+
+/// A compiled inference program for one (k, max_len) geometry bucket:
+/// the full PredictOnChainSets tensor compute for a single query with k
+/// chains padded to max_len tokens, flattened to a fixed step sequence over
+/// one liveness-packed arena. Produced by CompilePlan, executed by
+/// PlanExecutor, cached per bucket by StaticGraphRuntime.
+struct Plan {
+  // Geometry.
+  int64_t k = 0;        // chains per query (exact)
+  int64_t max_len = 0;  // padded token-sequence length (bucket)
+  int64_t dim = 0;      // hidden dim
+
+  // Binder facts (how the executor turns a chain set into inputs).
+  int64_t num_relation_ids = 0;
+  int64_t num_attributes = 0;
+  int64_t max_position = 0;    // position-embedding rows
+  int64_t length_buckets = 0;  // length-embedding rows (clamp bound)
+  core::NumericEncoding numeric_encoding = core::NumericEncoding::kFloat64Bits;
+  bool use_numerical_aware = false;
+  const std::vector<kg::AttributeStats>* train_stats = nullptr;
+
+  // Program.
+  std::vector<Step> steps;
+  int64_t arena_floats = 0;
+  int64_t mask_offset = -1;    // [k * max_len] key-padding mask
+  int64_t bits_offset = -1;    // [k * 64] numeric encodings (if affine)
+  int64_t vn_offset = -1;      // [k] normalized evidence values
+  int64_t result_offset = -1;  // normalized scalar prediction
+
+  // The op skeleton the eager path is expected to execute for this
+  // geometry, for cross-validation against a Tracer recording.
+  std::vector<TraceEvent> expected_events;
+
+  // Keeps the parameter storage behind every w0/w1 pointer alive.
+  std::vector<std::shared_ptr<tensor::TensorImpl>> pinned;
+};
+
+/// Compiles the frozen model's single-query batched-encoder forward for k
+/// chains padded to max_len tokens. Walks the model's module tree (the
+/// accessors on ChainEncoder / NumericalReasoner / the nn layers) and emits
+/// the exact eager op sequence with elementwise chains fused and every
+/// intermediate placed in one arena by liveness. Requires the Transformer
+/// encoder type. The caller is responsible for verifying the plan against
+/// an eager run before serving from it (StaticGraphRuntime does both).
+Plan CompilePlan(const core::ChainsFormerModel& model, int64_t k,
+                 int64_t max_len);
+
+}  // namespace graph
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_GRAPH_PLAN_H_

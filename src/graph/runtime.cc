@@ -1,0 +1,200 @@
+#include "graph/runtime.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "graph/trace.h"
+#include "tensor/op_observer.h"
+#include "util/logging.h"
+
+namespace chainsformer {
+namespace graph {
+namespace {
+
+// Plan-cache size backstop; beyond this, unseen buckets serve eagerly.
+constexpr size_t kMaxPlans = 256;
+
+// Token-length buckets are multiples of two: k stays exact (it changes the
+// reduction geometry), while padding the sequence length is bitwise-neutral
+// (GEMM strip invariance + exact-zero masked-softmax rows; DESIGN §6f).
+int64_t LengthBucket(int64_t max_tokens) { return ((max_tokens + 1) / 2) * 2; }
+
+int64_t MaxTokens(const core::TreeOfChains& chains) {
+  int64_t mx = 0;
+  for (const core::RAChain& c : chains) mx = std::max(mx, c.length() + 3);
+  return mx;
+}
+
+bool BitwiseEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+StaticGraphRuntime::StaticGraphRuntime(const core::ChainsFormerModel& model)
+    : model_(model) {
+  auto& reg = metrics::MetricsRegistry::Global();
+  hits_ = reg.GetCounter("plan.cache_hits");
+  misses_ = reg.GetCounter("plan.cache_misses");
+  verify_failures_ = reg.GetCounter("plan.verify_failures");
+  arena_bytes_ = reg.GetGauge("plan.arena_bytes");
+  CF_CHECK(Supports(model)) << "static graphs require the Transformer encoder";
+}
+
+bool StaticGraphRuntime::Supports(const core::ChainsFormerModel& model) {
+  return model.config().encoder_type == core::EncoderType::kTransformer;
+}
+
+core::BatchPrediction StaticGraphRuntime::Denormalized(
+    const core::Query& query, float normalized) const {
+  // Mirrors the eager finish: clamp in double, then denormalize with the
+  // query attribute's training stats.
+  CF_CHECK_LT(static_cast<size_t>(query.attribute),
+              model_.train_stats().size());
+  const kg::AttributeStats& s =
+      model_.train_stats()[static_cast<size_t>(query.attribute)];
+  const double clamped =
+      std::clamp(static_cast<double>(normalized), -0.1, 1.1);
+  core::BatchPrediction out;
+  out.value = s.Denormalize(clamped);
+  out.has_evidence = true;
+  return out;
+}
+
+core::BatchPrediction StaticGraphRuntime::RunCompiled(
+    Entry& entry, const core::Query& query,
+    const core::TreeOfChains& chains) const {
+  std::unique_ptr<PlanExecutor> ex;
+  {
+    std::lock_guard<std::mutex> lock(entry.mu);
+    if (!entry.idle.empty()) {
+      ex = std::move(entry.idle.back());
+      entry.idle.pop_back();
+    }
+  }
+  if (ex == nullptr) ex = std::make_unique<PlanExecutor>(entry.plan);
+  const float normalized = ex->RunNormalized(chains);
+  {
+    std::lock_guard<std::mutex> lock(entry.mu);
+    entry.idle.push_back(std::move(ex));
+  }
+  return Denormalized(query, normalized);
+}
+
+core::BatchPrediction StaticGraphRuntime::Predict(
+    const core::Query& query, const core::TreeOfChains& chains) const {
+  if (chains.empty()) {
+    // Eager empty-chain-set fallback, reproduced exactly.
+    CF_CHECK_LT(static_cast<size_t>(query.attribute),
+                model_.train_stats().size());
+    const kg::AttributeStats& s =
+        model_.train_stats()[static_cast<size_t>(query.attribute)];
+    core::BatchPrediction out;
+    out.value = s.Denormalize(
+        std::clamp(model_.FallbackNormalized(query.attribute), -0.1, 1.1));
+    out.has_evidence = false;
+    return out;
+  }
+
+  const int64_t k = static_cast<int64_t>(chains.size());
+  const int64_t max_tokens = MaxTokens(chains);
+  const int64_t bucket = LengthBucket(max_tokens);
+
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plans_.find({k, bucket});
+    if (it != plans_.end()) {
+      entry = it->second;
+    } else if (plans_.size() < kMaxPlans) {
+      entry = std::make_shared<Entry>();
+      plans_.emplace(std::make_pair(k, bucket), entry);
+    }
+  }
+  if (entry == nullptr) {
+    // Cache full: serve eagerly without compiling another plan.
+    misses_->Increment();
+    return model_.PredictOnChainSets({query}, {&chains})[0];
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (!entry->ready) {
+      // Bucket miss: trace one eager forward, compile, verify, then serve
+      // this request from the eager result (already computed for the gate).
+      misses_->Increment();
+      Tracer tracer;
+      std::vector<core::BatchPrediction> eager;
+      {
+        tensor::ScopedOpObserver scope(&tracer);
+        eager = model_.PredictOnChainSets({query}, {&chains});
+      }
+      auto plan =
+          std::make_shared<const Plan>(CompilePlan(model_, k, bucket));
+
+      bool ok = true;
+      if (model_.config().batched_encoder) {
+        // Cross-check the compiler's op skeleton against the recorded
+        // trace. The trace ran at the actual (unpadded) length, so compare
+        // against a same-length compilation when the bucket padded it.
+        const std::vector<TraceEvent>& expected =
+            max_tokens == bucket
+                ? plan->expected_events
+                : CompilePlan(model_, k, max_tokens).expected_events;
+        const std::vector<TraceEvent>& got = tracer.events();
+        if (expected.size() != got.size()) {
+          CF_LOG(Warning) << "static-graph trace skeleton mismatch: expected "
+                          << expected.size() << " ops, traced " << got.size();
+          ok = false;
+        } else {
+          for (size_t i = 0; i < expected.size(); ++i) {
+            if (expected[i] != got[i]) {
+              CF_LOG(Warning)
+                  << "static-graph trace mismatch at op " << i << ": expected "
+                  << FormatTraceEvent(expected[i]) << ", traced "
+                  << FormatTraceEvent(got[i]);
+              ok = false;
+              break;
+            }
+          }
+        }
+      }
+
+      if (ok) {
+        auto ex = std::make_unique<PlanExecutor>(plan);
+        const core::BatchPrediction compiled =
+            Denormalized(query, ex->RunNormalized(chains));
+        if (!BitwiseEqual(compiled.value, eager[0].value)) {
+          CF_LOG(Warning) << "static-graph verify failed for bucket (k=" << k
+                          << ", len=" << bucket << "): compiled "
+                          << compiled.value << " vs eager " << eager[0].value;
+          ok = false;
+        } else {
+          entry->plan = plan;
+          entry->idle.push_back(std::move(ex));
+          const int64_t total =
+              arena_bytes_total_.fetch_add(
+                  plan->arena_floats * static_cast<int64_t>(sizeof(float))) +
+              plan->arena_floats * static_cast<int64_t>(sizeof(float));
+          arena_bytes_->Set(static_cast<double>(total));
+        }
+      }
+      if (!ok) {
+        verify_failures_->Increment();
+        entry->eager_fallback = true;
+      }
+      entry->ready = true;
+      return eager[0];
+    }
+  }
+
+  if (entry->eager_fallback) {
+    return model_.PredictOnChainSets({query}, {&chains})[0];
+  }
+  hits_->Increment();
+  return RunCompiled(*entry, query, chains);
+}
+
+}  // namespace graph
+}  // namespace chainsformer

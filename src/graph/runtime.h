@@ -1,0 +1,81 @@
+#ifndef CHAINSFORMER_GRAPH_RUNTIME_H_
+#define CHAINSFORMER_GRAPH_RUNTIME_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/chainsformer.h"
+#include "graph/executor.h"
+#include "graph/plan.h"
+#include "util/metrics.h"
+
+namespace chainsformer {
+namespace graph {
+
+/// Serves single-query predictions from compiled static plans with a small
+/// per-geometry plan cache (DESIGN §6f).
+///
+/// Requests are bucketed by (k, padded max_len): k is exact, the token
+/// length rounds up to the next multiple of two so nearby lengths share a
+/// plan. The first request of a bucket traces one eager PredictOnChainSets
+/// forward, compiles the plan, cross-checks the compiler's op skeleton
+/// against the trace, and gates the bucket on the compiled result matching
+/// the eager prediction bit-for-bit; any mismatch pins the bucket to the
+/// eager path permanently (plan.verify_failures). Subsequent requests pop a
+/// warmed PlanExecutor from the bucket's idle pool and run allocation-free.
+///
+/// Counters: plan.cache_hits / plan.cache_misses / plan.verify_failures;
+/// gauge plan.arena_bytes totals the arena footprint of live plans.
+///
+/// Thread-safe: Predict may be called concurrently once the model is
+/// trained; the model must outlive the runtime.
+class StaticGraphRuntime {
+ public:
+  explicit StaticGraphRuntime(const core::ChainsFormerModel& model);
+
+  StaticGraphRuntime(const StaticGraphRuntime&) = delete;
+  StaticGraphRuntime& operator=(const StaticGraphRuntime&) = delete;
+
+  /// True when the model's geometry is supported (Transformer chain
+  /// encoder). Unsupported models must keep using the eager path.
+  static bool Supports(const core::ChainsFormerModel& model);
+
+  /// Bitwise equivalent of
+  /// model.PredictOnChainSets({query}, {&chains})[0]: same value, same
+  /// has_evidence, including the empty-chain-set fallback.
+  core::BatchPrediction Predict(const core::Query& query,
+                                const core::TreeOfChains& chains) const;
+
+ private:
+  struct Entry {
+    std::mutex mu;
+    bool ready = false;
+    bool eager_fallback = false;
+    std::shared_ptr<const Plan> plan;
+    std::vector<std::unique_ptr<PlanExecutor>> idle;
+  };
+
+  core::BatchPrediction RunCompiled(Entry& entry, const core::Query& query,
+                                    const core::TreeOfChains& chains) const;
+  core::BatchPrediction Denormalized(const core::Query& query,
+                                     float normalized) const;
+
+  const core::ChainsFormerModel& model_;
+  metrics::Counter* hits_;
+  metrics::Counter* misses_;
+  metrics::Counter* verify_failures_;
+  metrics::Gauge* arena_bytes_;
+  mutable std::atomic<int64_t> arena_bytes_total_{0};
+  mutable std::mutex mu_;
+  mutable std::map<std::pair<int64_t, int64_t>, std::shared_ptr<Entry>> plans_;
+};
+
+}  // namespace graph
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_GRAPH_RUNTIME_H_

@@ -1,0 +1,29 @@
+#include "graph/trace.h"
+
+#include <sstream>
+
+namespace chainsformer {
+namespace graph {
+
+void Tracer::OnOp(const char* op, const tensor::Tensor& out,
+                  std::initializer_list<const tensor::Tensor*> inputs) {
+  (void)inputs;
+  TraceEvent event;
+  event.op = op;
+  event.shape = out.shape();
+  events_.push_back(std::move(event));
+}
+
+std::string FormatTraceEvent(const TraceEvent& event) {
+  std::ostringstream os;
+  os << event.op << "[";
+  for (size_t i = 0; i < event.shape.size(); ++i) {
+    if (i > 0) os << ",";
+    os << event.shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace graph
+}  // namespace chainsformer

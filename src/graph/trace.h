@@ -1,0 +1,52 @@
+#ifndef CHAINSFORMER_GRAPH_TRACE_H_
+#define CHAINSFORMER_GRAPH_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/op_observer.h"
+#include "tensor/tensor.h"
+
+namespace chainsformer {
+namespace graph {
+
+/// One recorded op of an eager forward: the op-layer name (the string
+/// FinishOp reports, e.g. "MatMul") and the output shape. Deliberately
+/// minimal — the static-graph compiler derives the executable plan from the
+/// frozen model itself (plan.cc); the trace exists to *cross-check* that the
+/// compiler's op skeleton matches what the eager path actually ran
+/// (DESIGN §6f).
+struct TraceEvent {
+  std::string op;
+  std::vector<int64_t> shape;
+
+  bool operator==(const TraceEvent& other) const {
+    return op == other.op && shape == other.shape;
+  }
+  bool operator!=(const TraceEvent& other) const { return !(*this == other); }
+};
+
+/// OpObserver that appends a TraceEvent per op executed on the installing
+/// thread. Install with tensor::ScopedOpObserver around one eager
+/// PredictOnChainSets call to capture its full op sequence.
+class Tracer : public tensor::OpObserver {
+ public:
+  void OnOp(const char* op, const tensor::Tensor& out,
+            std::initializer_list<const tensor::Tensor*> inputs) override;
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Human-readable one-line render of an event ("MatMul[4,32]"), for
+/// mismatch diagnostics.
+std::string FormatTraceEvent(const TraceEvent& event);
+
+}  // namespace graph
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_GRAPH_TRACE_H_

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "baselines/simple.h"
+#include "graph/runtime.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -39,6 +40,11 @@ metrics::Counter* DedupCounter() {
       metrics::MetricsRegistry::Global().GetCounter("serve.batch_dedup");
   return c;
 }
+metrics::Counter* ImmediateDispatchCounter() {
+  static auto* c =
+      metrics::MetricsRegistry::Global().GetCounter("serve.immediate_dispatch");
+  return c;
+}
 
 }  // namespace
 
@@ -65,6 +71,9 @@ InferenceService::InferenceService(const core::ChainsFormerModel& model,
         options.compute_threads > 1 ? static_cast<size_t>(options.compute_threads)
                                     : 0);
   }
+  if (options.use_static_graph && graph::StaticGraphRuntime::Supports(model)) {
+    runtime_ = std::make_unique<graph::StaticGraphRuntime>(model);
+  }
   dispatcher_ = std::thread([this] { DispatchLoop(); });
 }
 
@@ -89,6 +98,10 @@ ServeResponse InferenceService::Predict(const core::Query& query) {
   const Clock::time_point deadline =
       start + std::chrono::milliseconds(has_deadline ? options_.deadline_ms : 0);
   RequestsCounter()->Increment();
+  // Visible to the dispatcher from here until the request joins the queue
+  // (or bails out): while any request is arriving, the coalescing window is
+  // worth opening.
+  arriving_.fetch_add(1);
 
   auto finish = [&](ServeResponse r) {
     r.latency_us = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -109,6 +122,7 @@ ServeResponse InferenceService::Predict(const core::Query& query) {
     if (cache_enabled) cache_.Put(query.entity, query.attribute, chains);
   }
   if (chains.empty()) {
+    arriving_.fetch_sub(1);
     ServeResponse r;
     r.value = Fallback(query.attribute);
     r.degraded = true;
@@ -121,6 +135,7 @@ ServeResponse InferenceService::Predict(const core::Query& query) {
   pending->chains = std::move(chains);
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
+    arriving_.fetch_sub(1);
     if (shutdown_) {
       ServeResponse r;
       r.value = Fallback(query.attribute);
@@ -163,11 +178,22 @@ void InferenceService::DispatchLoop() {
       queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
       if (!queue_.empty() && options_.batch_window_us > 0 &&
           queue_.size() < max_batch && !shutdown_) {
-        // Coalescing window: give concurrent clients a beat to join this
-        // micro-batch before dispatching.
-        queue_cv_.wait_for(lock, window, [&] {
-          return shutdown_ || queue_.size() >= max_batch;
-        });
+        if (arriving_.load() > 0) {
+          // Coalescing window: give the arriving clients a beat to join
+          // this micro-batch before dispatching. The window also closes as
+          // soon as the last arriving request has joined — anything not in
+          // flight yet is waiting on this very batch's answer and cannot
+          // arrive, so sleeping longer would add latency, not batch size.
+          queue_cv_.wait_for(lock, window, [&] {
+            return shutdown_ || queue_.size() >= max_batch ||
+                   arriving_.load() == 0;
+          });
+        } else {
+          // Nothing is on the way: waiting out the window would add pure
+          // latency without growing the batch (the uniform-workload
+          // regression) — dispatch what is queued right now.
+          ImmediateDispatchCounter()->Increment();
+        }
       }
       while (!queue_.empty() && batch.size() < max_batch) {
         batch.push_back(std::move(queue_.front()));
@@ -220,8 +246,27 @@ void InferenceService::DispatchLoop() {
     DedupCounter()->Increment(
         static_cast<int64_t>(batch.size() - queries.size()));
     BatchSizeHist()->Observe(static_cast<double>(batch.size()));
-    const std::vector<core::BatchPrediction> results =
-        model_.PredictOnChainSets(queries, chain_sets, compute_pool_.get());
+    std::vector<core::BatchPrediction> results;
+    if (runtime_ != nullptr) {
+      // Compiled-plan dispatch: per-query static executors, fanned across
+      // the compute pool like the eager pool path. Bitwise-identical to
+      // PredictOnChainSets (each bucket is verified on first use).
+      results.resize(queries.size());
+      auto run_one = [&](size_t qi) {
+        results[qi] = runtime_->Predict(queries[qi], *chain_sets[qi]);
+      };
+      if (compute_pool_ != nullptr && compute_pool_->num_threads() > 1 &&
+          queries.size() > 1) {
+        compute_pool_->ParallelFor(queries.size(), run_one);
+      } else {
+        // One worker (or one query) gains nothing from the pool hop — run
+        // inline on the dispatcher thread and skip the cross-thread wakeup.
+        for (size_t qi = 0; qi < queries.size(); ++qi) run_one(qi);
+      }
+    } else {
+      results =
+          model_.PredictOnChainSets(queries, chain_sets, compute_pool_.get());
+    }
     for (size_t i = 0; i < batch.size(); ++i) {
       const auto& p = batch[i];
       const core::BatchPrediction& r = results[slot[i]];

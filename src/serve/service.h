@@ -1,6 +1,7 @@
 #ifndef CHAINSFORMER_SERVE_SERVICE_H_
 #define CHAINSFORMER_SERVE_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -12,6 +13,12 @@
 
 #include "core/chainsformer.h"
 #include "serve/cache.h"
+
+namespace chainsformer {
+namespace graph {
+class StaticGraphRuntime;
+}  // namespace graph
+}  // namespace chainsformer
 
 namespace chainsformer {
 namespace serve {
@@ -39,6 +46,13 @@ struct ServeOptions {
   /// 0 = one per hardware thread. Batching only beats single-request
   /// dispatch when this is > 1.
   int compute_threads = 0;
+  /// Answer batches from compiled static plans (graph::StaticGraphRuntime,
+  /// DESIGN §6f) instead of the eager tape. Bitwise-identical results (each
+  /// geometry bucket is verified against an eager forward on first use and
+  /// falls back to eager on any mismatch); per-request dispatch runs
+  /// allocation-free once a bucket is warm. Ignored when the model's
+  /// geometry is unsupported (non-Transformer encoder).
+  bool use_static_graph = true;
 };
 
 /// One answered query.
@@ -122,6 +136,17 @@ class InferenceService {
 
   /// Pool for intra-batch parallelism; null when compute_threads == 1.
   std::unique_ptr<ThreadPool> compute_pool_;
+  /// Compiled-plan runtime; null when use_static_graph is off or the model
+  /// is unsupported (the dispatcher then uses the eager tape).
+  std::unique_ptr<graph::StaticGraphRuntime> runtime_;
+
+  /// Requests that have entered Predict() but not yet joined the queue
+  /// (they are retrieving chains on their client thread). The dispatcher
+  /// only opens the coalescing window when this is non-zero — with nothing
+  /// on the way, waiting batch_window_us would buy no batching and cost
+  /// pure latency (the uniform-workload regression; counted by
+  /// serve.immediate_dispatch).
+  std::atomic<int64_t> arriving_{0};
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

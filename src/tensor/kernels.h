@@ -1,8 +1,11 @@
 #ifndef CHAINSFORMER_TENSOR_KERNELS_H_
 #define CHAINSFORMER_TENSOR_KERNELS_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <functional>
+#include <limits>
 
 namespace chainsformer {
 namespace tensor {
@@ -64,6 +67,149 @@ int64_t CountNonFinite(const float* x, int64_t n);
 /// same per-index arithmetic regardless of partition) deterministic.
 void ParallelRanges(int64_t n, int64_t cost_per_item,
                     const std::function<void(int64_t, int64_t)>& fn);
+
+// ---- Shared scalar/row forward primitives (DESIGN §6f) ---------------------
+//
+// The exact per-element arithmetic of the forward-only ops that both the
+// eager path (tensor/ops.cc) and the compiled static-graph executor
+// (src/graph) run. Keeping one definition here is what makes a compiled plan
+// bitwise-identical to the eager forward *by construction*: both sides
+// compile the same inline code. All helpers are allocation-free and write
+// only through their output pointers, so they are safe inside ParallelRanges
+// partitions and inside the executor's preallocated arena alike.
+
+/// Exact GELU of one element: 0.5 x (1 + erf(x / sqrt(2))).
+inline float GeluScalar(float x) {
+  constexpr float kInvSqrt2 = 0.70710678118654752f;
+  return 0.5f * x * (1.0f + std::erf(x * kInvSqrt2));
+}
+
+/// Softmax over one row of n elements (max-shifted, double accumulator).
+inline void SoftmaxRow(const float* x, int64_t n, float* y) {
+  float mx = x[0];
+  for (int64_t j = 1; j < n; ++j) mx = std::max(mx, x[j]);
+  double z = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    y[j] = std::exp(x[j] - mx);
+    z += y[j];
+  }
+  const float invz = static_cast<float>(1.0 / z);
+  for (int64_t j = 0; j < n; ++j) y[j] *= invz;
+}
+
+/// Key-padding-masked softmax over one row: entries with m[j] == 0 get
+/// probability exactly 0; a fully masked row is defined as all-zero.
+inline void MaskedSoftmaxRow(const float* x, const float* m, int64_t n,
+                             float* y) {
+  float mx = -std::numeric_limits<float>::infinity();
+  for (int64_t j = 0; j < n; ++j) {
+    if (m[j] != 0.0f) mx = std::max(mx, x[j]);
+  }
+  if (mx == -std::numeric_limits<float>::infinity()) {
+    for (int64_t j = 0; j < n; ++j) y[j] = 0.0f;
+    return;
+  }
+  double z = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    if (m[j] != 0.0f) {
+      y[j] = std::exp(x[j] - mx);
+      z += y[j];
+    } else {
+      y[j] = 0.0f;
+    }
+  }
+  const float invz = static_cast<float>(1.0 / z);
+  for (int64_t j = 0; j < n; ++j) y[j] *= invz;
+}
+
+/// Layer normalization of one row with affine gamma/beta (double-precision
+/// mean/variance, matching LayerNormOp). When non-null, `xhat` receives the
+/// normalized row and `inv_std` the reciprocal standard deviation — the
+/// per-row statistics the eager backward pass caches; the executor passes
+/// nullptr.
+inline void LayerNormRow(const float* x, const float* gamma, const float* beta,
+                         int64_t n, float eps, float* out, float* xhat,
+                         float* inv_std) {
+  double mu = 0.0;
+  for (int64_t j = 0; j < n; ++j) mu += x[j];
+  mu /= n;
+  double var = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    const double d = x[j] - mu;
+    var += d * d;
+  }
+  var /= n;
+  const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
+  if (inv_std != nullptr) *inv_std = istd;
+  for (int64_t j = 0; j < n; ++j) {
+    const float xh = (x[j] - static_cast<float>(mu)) * istd;
+    if (xhat != nullptr) xhat[j] = xh;
+    out[j] = xh * gamma[j] + beta[j];
+  }
+}
+
+// ---- Fused elementwise chains (static-graph compile targets) ---------------
+//
+// Each fusion only removes intermediate buffer stores; every element still
+// goes through the identical float operation sequence, and a float round-trip
+// through memory is lossless, so fused results equal the unfused eager ops
+// bit-for-bit (DESIGN §6f).
+
+/// rows x n bias broadcast: y[i, j] = x[i, j] + bias[j] (Linear bias add).
+inline void BiasAddRows(const float* x, const float* bias, int64_t rows,
+                        int64_t n, float* y) {
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* xr = x + i * n;
+    float* yr = y + i * n;
+    for (int64_t j = 0; j < n; ++j) yr[j] = xr[j] + bias[j];
+  }
+}
+
+/// Fused Linear bias + GELU: y[i, j] = GeluScalar(x[i, j] + bias[j]).
+inline void BiasGeluRows(const float* x, const float* bias, int64_t rows,
+                         int64_t n, float* y) {
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* xr = x + i * n;
+    float* yr = y + i * n;
+    for (int64_t j = 0; j < n; ++j) yr[j] = GeluScalar(xr[j] + bias[j]);
+  }
+}
+
+/// Fused residual-add + LayerNorm prologue: out row = LN(x + r). The sum is
+/// recomputed in each of the three passes instead of being staged in a
+/// scratch buffer; float addition is deterministic, so all three passes see
+/// identical values.
+inline void ResidualLayerNormRow(const float* x, const float* r,
+                                 const float* gamma, const float* beta,
+                                 int64_t n, float eps, float* out) {
+  double mu = 0.0;
+  for (int64_t j = 0; j < n; ++j) mu += x[j] + r[j];
+  mu /= n;
+  double var = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    const double d = (x[j] + r[j]) - mu;
+    var += d * d;
+  }
+  var /= n;
+  const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
+  for (int64_t j = 0; j < n; ++j) {
+    const float xh = ((x[j] + r[j]) - static_cast<float>(mu)) * istd;
+    out[j] = xh * gamma[j] + beta[j];
+  }
+}
+
+/// Fused scale-projection epilogue (Eq. 18): out[i] = (raw[i] + s) * vn[i].
+inline void AddScalarMul(const float* raw, float s, const float* vn, int64_t n,
+                         float* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = (raw[i] + s) * vn[i];
+}
+
+/// Fused affine-transfer epilogue (Eq. 16): out = (a + b) + c elementwise,
+/// in the eager Add(Add(a, b), c) association order.
+inline void Add3(const float* a, const float* b, const float* c, int64_t n,
+                 float* out) {
+  for (int64_t i = 0; i < n; ++i) out[i] = (a[i] + b[i]) + c[i];
+}
 
 }  // namespace kernels
 }  // namespace tensor

@@ -59,6 +59,11 @@ class Linear : public Module {
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
 
+  /// Weight matrix [in, out] — read access for the static-graph compiler.
+  const Tensor& weight() const { return weight_; }
+  /// Bias vector [out]; undefined when constructed with bias = false.
+  const Tensor& bias() const { return bias_; }
+
  private:
   int64_t in_features_;
   int64_t out_features_;
@@ -73,6 +78,11 @@ class LayerNorm : public Module {
 
   Tensor Forward(const Tensor& x) const;
 
+  /// Scale parameter — read access for the static-graph compiler.
+  const Tensor& gamma() const { return gamma_; }
+  /// Shift parameter — read access for the static-graph compiler.
+  const Tensor& beta() const { return beta_; }
+
  private:
   Tensor gamma_;
   Tensor beta_;
@@ -86,6 +96,12 @@ class Mlp : public Module {
   Mlp(std::vector<int64_t> dims, Rng& rng);
 
   Tensor Forward(const Tensor& x) const;
+
+  /// The Linear stack (GELU between layers, linear final layer) — read
+  /// access for the static-graph compiler.
+  const std::vector<std::unique_ptr<Linear>>& layers() const {
+    return layers_;
+  }
 
  private:
   std::vector<std::unique_ptr<Linear>> layers_;
@@ -104,6 +120,15 @@ class MultiHeadAttention : public Module {
   /// treats them as a -inf score bias), so per-batch results match the
   /// rank-2 Forward run on each unpadded sequence bit-for-bit.
   Tensor Forward(const Tensor& x, const Tensor& mask) const;
+
+  int64_t num_heads() const { return num_heads_; }
+  int64_t head_dim() const { return head_dim_; }
+
+  /// Projection layers — read access for the static-graph compiler.
+  const Linear& q_proj() const { return *q_proj_; }
+  const Linear& k_proj() const { return *k_proj_; }
+  const Linear& v_proj() const { return *v_proj_; }
+  const Linear& out_proj() const { return *out_proj_; }
 
  private:
   int64_t dim_;
@@ -125,6 +150,13 @@ class TransformerEncoderLayer : public Module {
   /// Batched variant over [b, s, d] with a [b, s] key-padding mask.
   Tensor Forward(const Tensor& x, const Tensor& mask) const;
 
+  /// Sub-modules — read access for the static-graph compiler.
+  const MultiHeadAttention& attention() const { return *attention_; }
+  const Linear& ff1() const { return *ff1_; }
+  const Linear& ff2() const { return *ff2_; }
+  const LayerNorm& norm1() const { return *norm1_; }
+  const LayerNorm& norm2() const { return *norm2_; }
+
  private:
   std::unique_ptr<MultiHeadAttention> attention_;
   std::unique_ptr<Linear> ff1_;
@@ -143,6 +175,12 @@ class TransformerEncoder : public Module {
   /// Batched variant: encodes b padded sequences in one pass. `x` is
   /// [b, s, d]; `mask` is a [b, s] key-padding mask (1 = valid).
   Tensor Forward(const Tensor& x, const Tensor& mask) const;
+
+  /// Encoder layers in forward order — read access for the static-graph
+  /// compiler.
+  const std::vector<std::unique_ptr<TransformerEncoderLayer>>& layers() const {
+    return layers_;
+  }
 
  private:
   std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;

@@ -1,0 +1,23 @@
+#include "tensor/op_observer.h"
+
+namespace chainsformer {
+namespace tensor {
+namespace {
+
+thread_local OpObserver* g_op_observer = nullptr;
+
+}  // namespace
+
+OpObserver::~OpObserver() = default;
+
+OpObserver* CurrentOpObserver() { return g_op_observer; }
+
+ScopedOpObserver::ScopedOpObserver(OpObserver* observer)
+    : previous_(g_op_observer) {
+  g_op_observer = observer;
+}
+
+ScopedOpObserver::~ScopedOpObserver() { g_op_observer = previous_; }
+
+}  // namespace tensor
+}  // namespace chainsformer

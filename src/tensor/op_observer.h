@@ -1,0 +1,48 @@
+#ifndef CHAINSFORMER_TENSOR_OP_OBSERVER_H_
+#define CHAINSFORMER_TENSOR_OP_OBSERVER_H_
+
+#include <initializer_list>
+
+#include "tensor/tensor.h"
+
+namespace chainsformer {
+namespace tensor {
+
+/// Observer hook on the op layer's single return path (FinishOp in ops.cc).
+/// While installed on a thread, every tensor op executed by that thread
+/// reports its name, output, and inputs here — the hook the static-graph
+/// tracer (src/graph/trace.h) uses to record one eager forward. Observation
+/// is forward-only and read-only: it fires even under NoGradGuard and must
+/// not mutate the tensors it is shown.
+class OpObserver {
+ public:
+  virtual ~OpObserver();
+
+  /// Called after op `op` produced `out` from `inputs`. `inputs` may be
+  /// empty (ops taking vector arguments, e.g. Concat/Stack, pass none).
+  virtual void OnOp(const char* op, const Tensor& out,
+                    std::initializer_list<const Tensor*> inputs) = 0;
+};
+
+/// The observer installed on the current thread, or nullptr. Thread-local,
+/// so tracing one request never sees ops from concurrently served requests.
+OpObserver* CurrentOpObserver();
+
+/// RAII installer: sets the current thread's observer for the scope,
+/// restoring the previous one (usually nullptr) on destruction.
+class ScopedOpObserver {
+ public:
+  explicit ScopedOpObserver(OpObserver* observer);
+  ~ScopedOpObserver();
+
+  ScopedOpObserver(const ScopedOpObserver&) = delete;
+  ScopedOpObserver& operator=(const ScopedOpObserver&) = delete;
+
+ private:
+  OpObserver* previous_;
+};
+
+}  // namespace tensor
+}  // namespace chainsformer
+
+#endif  // CHAINSFORMER_TENSOR_OP_OBSERVER_H_

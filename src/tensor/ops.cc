@@ -8,6 +8,7 @@
 
 #include "tensor/checks.h"
 #include "tensor/kernels.h"
+#include "tensor/op_observer.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 
@@ -119,7 +120,9 @@ Tensor FinishOp(const char* op, const ImplPtr& out,
         out->data.data(), static_cast<int64_t>(out->data.size()));
     if (bad != 0) ReportPoison(op, out, bad, inputs);
   }
-  return Tensor::FromImpl(out);
+  Tensor result = Tensor::FromImpl(out);
+  if (OpObserver* obs = CurrentOpObserver()) obs->OnOp(op, result, inputs);
+  return result;
 }
 
 // Broadcast form of an elementwise binary op.
@@ -307,11 +310,10 @@ Tensor Relu(const Tensor& a) {
 Tensor Gelu(const Tensor& a) {
   constexpr float kInvSqrt2 = 0.70710678118654752f;
   constexpr float kInvSqrt2Pi = 0.39894228040143267f;
+  // Forward arithmetic is shared with the static-graph executor via
+  // kernels::GeluScalar so compiled plans match eager bit-for-bit.
   return EwUnary(
-      "Gelu", a,
-      [](float x) {
-        return 0.5f * x * (1.0f + std::erf(x * kInvSqrt2));
-      },
+      "Gelu", a, [](float x) { return kernels::GeluScalar(x); },
       [](float x, float) {
         const float phi = 0.5f * (1.0f + std::erf(x * kInvSqrt2));
         const float pdf = kInvSqrt2Pi * std::exp(-0.5f * x * x);
@@ -797,17 +799,7 @@ Tensor Softmax(const Tensor& a) {
     float* yd = out->data.data();
     kernels::ParallelRanges(rows, n, [=](int64_t r0, int64_t r1) {
       for (int64_t r = r0; r < r1; ++r) {
-        const float* x = xd + r * n;
-        float* y = yd + r * n;
-        float mx = x[0];
-        for (int64_t j = 1; j < n; ++j) mx = std::max(mx, x[j]);
-        double z = 0.0;
-        for (int64_t j = 0; j < n; ++j) {
-          y[j] = std::exp(x[j] - mx);
-          z += y[j];
-        }
-        const float invz = static_cast<float>(1.0 / z);
-        for (int64_t j = 0; j < n; ++j) y[j] *= invz;
+        kernels::SoftmaxRow(xd + r * n, n, yd + r * n);
       }
     });
   }
@@ -858,29 +850,8 @@ Tensor MaskedSoftmax(const Tensor& a, const Tensor& mask) {
     float* yd = out->data.data();
     kernels::ParallelRanges(rows, n, [=](int64_t r0, int64_t r1) {
       for (int64_t r = r0; r < r1; ++r) {
-        const float* x = xd + r * n;
-        const float* m = md + (r / group) * n;
-        float* y = yd + r * n;
-        float mx = -std::numeric_limits<float>::infinity();
-        for (int64_t j = 0; j < n; ++j) {
-          if (m[j] != 0.0f) mx = std::max(mx, x[j]);
-        }
-        if (mx == -std::numeric_limits<float>::infinity()) {
-          // Fully masked row: defined as all-zero (no key to attend to).
-          for (int64_t j = 0; j < n; ++j) y[j] = 0.0f;
-          continue;
-        }
-        double z = 0.0;
-        for (int64_t j = 0; j < n; ++j) {
-          if (m[j] != 0.0f) {
-            y[j] = std::exp(x[j] - mx);
-            z += y[j];
-          } else {
-            y[j] = 0.0f;
-          }
-        }
-        const float invz = static_cast<float>(1.0 / z);
-        for (int64_t j = 0; j < n; ++j) y[j] *= invz;
+        kernels::MaskedSoftmaxRow(xd + r * n, md + (r / group) * n, n,
+                                  yd + r * n);
       }
     });
   }
@@ -1008,23 +979,8 @@ Tensor LayerNormOp(const Tensor& a, const Tensor& gamma, const Tensor& beta,
     float* isd = inv_std->data();
     kernels::ParallelRanges(rows, 2 * n, [=](int64_t r0, int64_t r1) {
       for (int64_t r = r0; r < r1; ++r) {
-        const float* x = xd + r * n;
-        double mu = 0.0;
-        for (int64_t j = 0; j < n; ++j) mu += x[j];
-        mu /= n;
-        double var = 0.0;
-        for (int64_t j = 0; j < n; ++j) {
-          const double d = x[j] - mu;
-          var += d * d;
-        }
-        var /= n;
-        const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
-        isd[r] = istd;
-        for (int64_t j = 0; j < n; ++j) {
-          const float xh = (x[j] - static_cast<float>(mu)) * istd;
-          xhd[r * n + j] = xh;
-          od[r * n + j] = xh * gd[j] + bd[j];
-        }
+        kernels::LayerNormRow(xd + r * n, gd, bd, n, eps, od + r * n,
+                              xhd + r * n, isd + r);
       }
     });
   }

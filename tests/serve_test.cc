@@ -234,20 +234,36 @@ TEST(InferenceServiceTest, AnswersMatchDirectPredictBitwise) {
 TEST(InferenceServiceTest, DeadlineExpiryDegradesInsteadOfCrashing) {
   Trained& t = Shared();
   ServeOptions options;
-  // Force every deadline to lose the race: the dispatcher sits in a 300 ms
-  // coalescing window while the client only waits 1 ms.
-  options.batch_window_us = 300000;
-  options.max_batch = 64;
+  // Force deadlines to lose the race: single-request dispatch serializes one
+  // forward pass per queued request, so with a burst of concurrent clients
+  // the tail of the queue must wait many forward-passes — far longer than
+  // the 1 ms each client is willing to wait. (A coalescing window cannot
+  // stage this any more: the dispatcher answers an idle queue immediately.)
+  options.batch_window_us = 0;
+  options.max_batch = 1;
   options.deadline_ms = 1;
   InferenceService service(*t.model, options);
   const Query q = HeldOutQueries(t.dataset, 1).front();
-  const ServeResponse r = service.Predict(q);
-  EXPECT_TRUE(r.degraded);
-  EXPECT_EQ(r.source, "deadline");
-  // The fallback is the train-split attribute mean — a usable value.
+  constexpr int kClients = 16;
+  std::vector<ServeResponse> responses(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back(
+        [&service, &responses, &q, c] { responses[c] = service.Predict(q); });
+  }
+  for (auto& th : clients) th.join();
   const auto& stats = t.model->train_stats()[static_cast<size_t>(q.attribute)];
-  EXPECT_GE(r.value, stats.min - 1.0);
-  EXPECT_LE(r.value, stats.max + 1.0);
+  int degraded = 0;
+  for (const ServeResponse& r : responses) {
+    if (!r.degraded) continue;
+    ++degraded;
+    EXPECT_EQ(r.source, "deadline");
+    // The fallback is the train-split attribute mean — a usable value.
+    EXPECT_GE(r.value, stats.min - 1.0);
+    EXPECT_LE(r.value, stats.max + 1.0);
+  }
+  EXPECT_GT(degraded, 0);
 }
 
 TEST(InferenceServiceTest, CacheHitsAccumulateOnRepeatedQueries) {

@@ -20,6 +20,11 @@
 //                        bounds must be established nearby.
 //   include-cycle        #include cycles among project headers (quoted
 //                        includes), found by DFS over the include graph.
+//   graph-executor-tape-free
+//                        src/graph/executor* must not include tensor/ops.h
+//                        or tensor/nn.h — the compiled-plan executor is the
+//                        tape-free hot path (DESIGN §6f) and may only use
+//                        the shared tensor/kernels.h primitives.
 //
 // In --docs mode, checks the committed markdown (README.md, DESIGN.md,
 // docs/ARCHITECTURE.md, CHANGES.md) against the tree so the documentation
@@ -198,6 +203,13 @@ class Linter {
         findings_.push_back({display, lineno, rule, message});
       };
 
+      if (!inc.empty() && rel.rfind("graph/executor", 0) == 0 &&
+          (inc == "tensor/ops.h" || inc == "tensor/nn.h")) {
+        report("graph-executor-tape-free",
+               "the compiled-plan executor must stay off the tape layer; "
+               "replace " + inc + " with tensor/kernels.h primitives");
+      }
+
       if (FindWord(code, "rand") != std::string::npos &&
           code.find("rand()") != std::string::npos) {
         report("no-rand",
@@ -352,7 +364,7 @@ class DocsChecker {
   void ReportDocCoverage() {
     int total = 0, documented = 0;
     std::vector<std::string> missing;
-    for (const char* dir : {"src/core", "src/serve"}) {
+    for (const char* dir : {"src/core", "src/graph", "src/serve"}) {
       std::error_code ec;
       for (const auto& entry : fs::directory_iterator(root_ / dir, ec)) {
         if (entry.path().extension() != ".h") continue;
@@ -388,7 +400,8 @@ class DocsChecker {
       }
     }
     std::cerr << "cf_lint docs: /// coverage " << documented << "/" << total
-              << " top-level types in src/core + src/serve headers\n";
+              << " top-level types in src/core + src/graph + src/serve "
+                 "headers\n";
     for (const std::string& m : missing) {
       std::cerr << "cf_lint docs: warning: undocumented type " << m << "\n";
     }

@@ -54,6 +54,9 @@ int Usage() {
       "  --cache-capacity=N   ToC cache entries; 0 disables (default 4096)\n"
       "  --compute-threads=N  dispatcher pool for intra-batch parallelism;\n"
       "                       1 = serial, 0 = hardware threads (default 0)\n"
+      "  --static-graph=B     answer from compiled static plans, bitwise\n"
+      "                       identical to eager (default true; =false for\n"
+      "                       the eager tape; plan.* counters in --stats)\n"
       "  --port=N             serve NDJSON over TCP instead of stdin\n"
       "  --kernel-threads=N   dense kernel workers (default 1)\n"
       "  --seed=N             must match training when the checkpoint is legacy\n"
@@ -284,6 +287,7 @@ int Main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("cache-capacity", 4096));
   options.compute_threads =
       static_cast<int>(flags.GetInt("compute-threads", 0));
+  options.use_static_graph = flags.GetBool("static-graph", true);
   serve::InferenceService service(*model, options);
 
   const int serve_threads = static_cast<int>(flags.GetInt("serve-threads", 4));
