@@ -56,10 +56,18 @@ namespace {
 struct LoadResult {
   double throughput_qps = 0.0;
   double p50_us = 0.0;
+  double p90_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
   double mean_batch_size = 0.0;
   int degraded = 0;
+  // Mean per-request phase latencies from the request-tracing span fields
+  // (ServeResponse.*_us): where inside the service the time actually went.
+  double mean_cache_us = 0.0;
+  double mean_queue_us = 0.0;
+  double mean_window_us = 0.0;
+  double mean_compute_us = 0.0;
+  double mean_verify_us = 0.0;
 };
 
 double Percentile(std::vector<int64_t>& sorted, double p) {
@@ -93,6 +101,11 @@ LoadResult RunLoad(const core::ChainsFormerModel& model,
       static_cast<size_t>(client_threads));
   std::atomic<int64_t> batch_size_sum{0};
   std::atomic<int> degraded{0};
+  std::atomic<int64_t> cache_us_sum{0};
+  std::atomic<int64_t> queue_us_sum{0};
+  std::atomic<int64_t> window_us_sum{0};
+  std::atomic<int64_t> compute_us_sum{0};
+  std::atomic<int64_t> verify_us_sum{0};
   std::vector<std::thread> clients;
   clients.reserve(static_cast<size_t>(client_threads));
   Stopwatch wall;
@@ -112,6 +125,11 @@ LoadResult RunLoad(const core::ChainsFormerModel& model,
         lat.push_back(r.latency_us);
         batch_size_sum.fetch_add(r.batch_size, std::memory_order_relaxed);
         if (r.degraded) degraded.fetch_add(1, std::memory_order_relaxed);
+        cache_us_sum.fetch_add(r.cache_us, std::memory_order_relaxed);
+        queue_us_sum.fetch_add(r.queue_us, std::memory_order_relaxed);
+        window_us_sum.fetch_add(r.window_us, std::memory_order_relaxed);
+        compute_us_sum.fetch_add(r.compute_us, std::memory_order_relaxed);
+        verify_us_sum.fetch_add(r.verify_us, std::memory_order_relaxed);
       }
     });
   }
@@ -125,11 +143,18 @@ LoadResult RunLoad(const core::ChainsFormerModel& model,
   LoadResult result;
   result.throughput_qps = static_cast<double>(total) / wall_seconds;
   result.p50_us = Percentile(all, 0.50);
+  result.p90_us = Percentile(all, 0.90);
   result.p95_us = Percentile(all, 0.95);
   result.p99_us = Percentile(all, 0.99);
   result.mean_batch_size =
       static_cast<double>(batch_size_sum.load()) / static_cast<double>(total);
   result.degraded = degraded.load();
+  const double n = static_cast<double>(total);
+  result.mean_cache_us = static_cast<double>(cache_us_sum.load()) / n;
+  result.mean_queue_us = static_cast<double>(queue_us_sum.load()) / n;
+  result.mean_window_us = static_cast<double>(window_us_sum.load()) / n;
+  result.mean_compute_us = static_cast<double>(compute_us_sum.load()) / n;
+  result.mean_verify_us = static_cast<double>(verify_us_sum.load()) / n;
   return result;
 }
 
@@ -225,12 +250,13 @@ int Main(int argc, char** argv) {
     records.push_back(r);
     std::printf(
         "%-8s %-7s %-8s clients=%d window=%5lldus max_batch=%-3d  %8.0f q/s  "
-        "p50 %6.0fus  p95 %6.0fus  p99 %6.0fus  mean_batch %.2f  "
-        "coalesced %lld\n",
+        "p50 %6.0fus  p90 %6.0fus  p99 %6.0fus  mean_batch %.2f  "
+        "coalesced %lld  phases(q/w/c/v) %.0f/%.0f/%.0f/%.0fus\n",
         mode.c_str(), graph.c_str(), workload.c_str(), threads,
         static_cast<long long>(window_us), max_batch, r.load.throughput_qps,
-        r.load.p50_us, r.load.p95_us, r.load.p99_us, r.load.mean_batch_size,
-        static_cast<long long>(r.coalesced));
+        r.load.p50_us, r.load.p90_us, r.load.p99_us, r.load.mean_batch_size,
+        static_cast<long long>(r.coalesced), r.load.mean_queue_us,
+        r.load.mean_window_us, r.load.mean_compute_us, r.load.mean_verify_us);
     return r.load.throughput_qps;
   };
 
@@ -295,15 +321,21 @@ int Main(int argc, char** argv) {
                  "\"client_threads\": %d, "
                  "\"batch_window_us\": %lld, \"max_batch\": %d, "
                  "\"throughput_qps\": %.1f, \"p50_us\": %.0f, "
-                 "\"p95_us\": %.0f, \"p99_us\": %.0f, "
+                 "\"p90_us\": %.0f, \"p95_us\": %.0f, \"p99_us\": %.0f, "
                  "\"mean_batch_size\": %.2f, \"coalesced\": %lld, "
-                 "\"degraded\": %d}%s\n",
+                 "\"degraded\": %d, "
+                 "\"mean_cache_us\": %.1f, \"mean_queue_us\": %.1f, "
+                 "\"mean_window_us\": %.1f, \"mean_compute_us\": %.1f, "
+                 "\"mean_verify_us\": %.1f}%s\n",
                  r.mode.c_str(), r.graph.c_str(), r.workload.c_str(),
                  r.client_threads,
                  static_cast<long long>(r.batch_window_us), r.max_batch,
-                 r.load.throughput_qps, r.load.p50_us, r.load.p95_us,
-                 r.load.p99_us, r.load.mean_batch_size,
+                 r.load.throughput_qps, r.load.p50_us, r.load.p90_us,
+                 r.load.p95_us, r.load.p99_us, r.load.mean_batch_size,
                  static_cast<long long>(r.coalesced), r.load.degraded,
+                 r.load.mean_cache_us, r.load.mean_queue_us,
+                 r.load.mean_window_us, r.load.mean_compute_us,
+                 r.load.mean_verify_us,
                  i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

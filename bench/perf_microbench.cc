@@ -24,6 +24,7 @@
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/stopwatch.h"
+#include "util/telemetry.h"
 #include "util/trace.h"
 
 using namespace chainsformer;
@@ -203,6 +204,17 @@ void BM_MetricsHistogramObserve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MetricsHistogramObserve);
+
+void BM_WindowedHistogramObserve(benchmark::State& state) {
+  auto* hist =
+      telemetry::TelemetryRegistry::Global().GetHistogram("bench.windowed");
+  double v = 1.0;
+  for (auto _ : state) {
+    hist->Observe(v);
+    v = v < 1e6 ? v * 1.1 : 1.0;
+  }
+}
+BENCHMARK(BM_WindowedHistogramObserve);
 
 core::ChainsFormerModel* FrozenModel() {
   static core::ChainsFormerModel* model = [] {
@@ -448,12 +460,91 @@ void VerifyCompiledDispatchOverhead() {
       << "warmed static-graph dispatch is slower than the eager interpreter";
 }
 
+// Guardrail for the request-tracing/telemetry layer (ISSUE: steady-state
+// overhead <= 1%): one served request costs at most ~7 windowed histogram
+// observes and ~2 windowed counter increments (all fed an already-held
+// timestamp via the AtMs seam — the finish() path reads the clock once for
+// all nine), ~6 EmitSpan calls (no-ops while tracing is disabled, the steady
+// state), and ~10 steady-clock reads for the phase boundaries. Prices each
+// primitive at its median, sums the per-request bill, and aborts if it
+// exceeds 1% of a warmed compiled dispatch — the cheapest compute a request
+// can do, so the bound is conservative for real traffic.
+void VerifyServeTelemetryOverhead() {
+  constexpr double kMaxOverheadFraction = 0.01;
+  constexpr int kTrials = 7;
+  constexpr int kIters = 200'000;
+  auto median_ns = [&](auto&& body) {
+    double trials[kTrials];
+    for (int t = 0; t < kTrials; ++t) {
+      Stopwatch sw;
+      for (int i = 0; i < kIters; ++i) body(i);
+      trials[t] = static_cast<double>(sw.ElapsedMicros()) * 1e3 / kIters;
+    }
+    std::sort(trials, trials + kTrials);
+    return trials[kTrials / 2];
+  };
+
+  auto* hist =
+      telemetry::TelemetryRegistry::Global().GetHistogram("bench.overhead.h");
+  auto* counter =
+      telemetry::TelemetryRegistry::Global().GetCounter("bench.overhead.c");
+  const int64_t now_ms = telemetry::WindowedHistogram::NowMs();
+  const double observe_ns = median_ns(
+      [&](int i) { hist->ObserveAtMs(static_cast<double>(i & 1023), now_ms); });
+  const double increment_ns =
+      median_ns([&](int) { counter->IncrementAtMs(1, now_ms); });
+  trace::SetEnabled(false);
+  const double span_ns = median_ns([&](int) {
+    trace::EmitSpan("bench.overhead.span", 0, 1, /*trace_id=*/1);
+  });
+  const double clock_ns =
+      median_ns([&](int) { benchmark::DoNotOptimize(trace::NowNs()); });
+
+  const double per_request_ns = 7.0 * observe_ns + 2.0 * increment_ns +
+                                6.0 * span_ns + 10.0 * clock_ns;
+
+  // Price the cheapest possible request: a warmed compiled dispatch.
+  core::ChainsFormerModel* model = FrozenModel();
+  if (!graph::StaticGraphRuntime::Supports(*model)) {
+    std::printf("serve-telemetry guardrail skipped (encoder unsupported)\n");
+    return;
+  }
+  const core::Query q = QueryWithChains(*model);
+  const core::TreeOfChains chains = model->RetrieveChains(q);
+  graph::StaticGraphRuntime runtime(*model);
+  benchmark::DoNotOptimize(runtime.Predict(q, chains));  // trace + compile
+  constexpr int kDispatchTrials = 9;
+  constexpr int kDispatchIters = 50;
+  double dispatch_trials[kDispatchTrials];
+  for (int t = 0; t < kDispatchTrials; ++t) {
+    Stopwatch sw;
+    for (int i = 0; i < kDispatchIters; ++i) {
+      benchmark::DoNotOptimize(runtime.Predict(q, chains));
+    }
+    dispatch_trials[t] =
+        static_cast<double>(sw.ElapsedMicros()) / kDispatchIters;
+  }
+  std::sort(dispatch_trials, dispatch_trials + kDispatchTrials);
+  const double dispatch_ns = dispatch_trials[kDispatchTrials / 2] * 1e3;
+
+  const double fraction = per_request_ns / dispatch_ns;
+  std::printf(
+      "serve telemetry overhead: %.0f ns/request (observe %.1f, counter %.1f, "
+      "span-off %.2f, clock %.1f) = %.4f%% of a %.1f us compiled dispatch "
+      "(budget %.0f%%)\n",
+      per_request_ns, observe_ns, increment_ns, span_ns, clock_ns,
+      100.0 * fraction, dispatch_ns * 1e-3, 100.0 * kMaxOverheadFraction);
+  CF_CHECK_LE(fraction, kMaxOverheadFraction)
+      << "per-request telemetry is no longer (nearly) free";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   VerifyTracerDisabledOverhead();
   VerifyCheckModeOffOverhead();
   VerifyCompiledDispatchOverhead();
+  VerifyServeTelemetryOverhead();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -7,6 +7,7 @@
 #include "core/numeric_encoding.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/metric_names.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -126,10 +127,10 @@ Tensor ChainEncoder::EncodeTokens(const RAChain& chain) const {
 Tensor ChainEncoder::Encode(const RAChain& chain) const {
   // Stage 3 of the pipeline.
   static auto& reg = metrics::MetricsRegistry::Global();
-  static auto* stage_micros = reg.GetCounter("pipeline.encode.micros");
-  static auto* stage_calls = reg.GetCounter("pipeline.encode.calls");
-  static auto* chains_encoded = reg.GetCounter("encode.chains_encoded");
-  static auto* chain_length = reg.GetHistogram("encode.chain_length");
+  static auto* stage_micros = reg.GetCounter(metrics::names::kPipelineEncodeMicros);
+  static auto* stage_calls = reg.GetCounter(metrics::names::kPipelineEncodeCalls);
+  static auto* chains_encoded = reg.GetCounter(metrics::names::kEncodeChainsEncoded);
+  static auto* chain_length = reg.GetHistogram(metrics::names::kEncodeChainLength);
   CF_TRACE_SCOPE("encode");
   metrics::ScopedTimer timer(stage_micros, stage_calls);
   chains_encoded->Increment();
@@ -188,12 +189,12 @@ Tensor ChainEncoder::EncodeBatch(const TreeOfChains& chains) const {
   }
 
   static auto& reg = metrics::MetricsRegistry::Global();
-  static auto* stage_micros = reg.GetCounter("pipeline.encode.micros");
-  static auto* stage_calls = reg.GetCounter("pipeline.encode.calls");
-  static auto* chains_encoded = reg.GetCounter("encode.chains_encoded");
-  static auto* batched_passes = reg.GetCounter("encode.batched_passes");
-  static auto* chain_length = reg.GetHistogram("encode.chain_length");
-  static auto* pad_waste = reg.GetHistogram("encode.batch_pad_fraction_pct");
+  static auto* stage_micros = reg.GetCounter(metrics::names::kPipelineEncodeMicros);
+  static auto* stage_calls = reg.GetCounter(metrics::names::kPipelineEncodeCalls);
+  static auto* chains_encoded = reg.GetCounter(metrics::names::kEncodeChainsEncoded);
+  static auto* batched_passes = reg.GetCounter(metrics::names::kEncodeBatchedPasses);
+  static auto* chain_length = reg.GetHistogram(metrics::names::kEncodeChainLength);
+  static auto* pad_waste = reg.GetHistogram(metrics::names::kEncodeBatchPadFractionPct);
   CF_TRACE_SCOPE("encode");
   metrics::ScopedTimer timer(stage_micros, stage_calls);
   batched_passes->Increment();

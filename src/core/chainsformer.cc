@@ -9,6 +9,7 @@
 #include "tensor/ops.h"
 #include "tensor/serialize.h"
 #include "util/logging.h"
+#include "util/metric_names.h"
 #include "util/metrics.h"
 #include "util/stopwatch.h"
 #include "util/trace.h"
@@ -155,12 +156,12 @@ ChainsFormerModel::ForwardState ChainsFormerModel::ForwardOnChains(
 
 TrainReport ChainsFormerModel::Train() {
   static auto& metric_reg = metrics::MetricsRegistry::Global();
-  static auto* epochs_counter = metric_reg.GetCounter("train.epochs");
-  static auto* queries_counter = metric_reg.GetCounter("train.queries");
-  static auto* skipped_counter = metric_reg.GetCounter("train.queries_skipped");
-  static auto* last_loss_gauge = metric_reg.GetGauge("train.last_loss");
-  static auto* last_valid_gauge = metric_reg.GetGauge("train.last_valid_nmae");
-  static auto* epoch_millis_hist = metric_reg.GetHistogram("train.epoch_millis");
+  static auto* epochs_counter = metric_reg.GetCounter(metrics::names::kTrainEpochs);
+  static auto* queries_counter = metric_reg.GetCounter(metrics::names::kTrainQueries);
+  static auto* skipped_counter = metric_reg.GetCounter(metrics::names::kTrainQueriesSkipped);
+  static auto* last_loss_gauge = metric_reg.GetGauge(metrics::names::kTrainLastLoss);
+  static auto* last_valid_gauge = metric_reg.GetGauge(metrics::names::kTrainLastValidNmae);
+  static auto* epoch_millis_hist = metric_reg.GetHistogram(metrics::names::kTrainEpochMillis);
   CF_TRACE_SCOPE("train");
 
   TrainReport report;
@@ -530,9 +531,9 @@ std::vector<BatchPrediction> ChainsFormerModel::PredictOnChainSets(
 eval::EvalResult ChainsFormerModel::EvaluateParallel(
     const std::vector<kg::NumericalTriple>& queries, ThreadPool& pool) {
   static auto* eval_queries =
-      metrics::MetricsRegistry::Global().GetCounter("eval.queries");
+      metrics::MetricsRegistry::Global().GetCounter(metrics::names::kEvalQueries);
   static auto* eval_fallbacks =
-      metrics::MetricsRegistry::Global().GetCounter("eval.fallbacks");
+      metrics::MetricsRegistry::Global().GetCounter(metrics::names::kEvalFallbacks);
   CF_TRACE_SCOPE("evaluate_parallel");
   size_t limit = queries.size();
   if (config_.max_eval_queries > 0) {
@@ -587,9 +588,9 @@ eval::EvalResult ChainsFormerModel::Evaluate(
 
 double ChainsFormerModel::Predict(const Query& query) {
   static auto* eval_queries =
-      metrics::MetricsRegistry::Global().GetCounter("eval.queries");
+      metrics::MetricsRegistry::Global().GetCounter(metrics::names::kEvalQueries);
   static auto* eval_fallbacks =
-      metrics::MetricsRegistry::Global().GetCounter("eval.fallbacks");
+      metrics::MetricsRegistry::Global().GetCounter(metrics::names::kEvalFallbacks);
   CF_TRACE_SCOPE("predict");
   tensor::NoGradGuard no_grad;
   ForwardState state = Forward(query);

@@ -8,6 +8,7 @@
 #include "tensor/ops.h"
 #include "tensor/optim.h"
 #include "util/logging.h"
+#include "util/metric_names.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -97,13 +98,13 @@ TreeOfChains HyperbolicFilter::FilterTopK(const TreeOfChains& toc, int k,
   // better); the histograms record the positive distance s_c^H so bucket
   // boundaries line up with Eq. 3's geometry.
   static auto& reg = metrics::MetricsRegistry::Global();
-  static auto* stage_micros = reg.GetCounter("pipeline.filter.micros");
-  static auto* stage_calls = reg.GetCounter("pipeline.filter.calls");
-  static auto* chains_in = reg.GetCounter("filter.chains_in");
-  static auto* chains_kept = reg.GetCounter("filter.chains_kept");
-  static auto* chains_dropped = reg.GetCounter("filter.chains_dropped");
-  static auto* score_kept = reg.GetHistogram("filter.distance_kept");
-  static auto* score_dropped = reg.GetHistogram("filter.distance_dropped");
+  static auto* stage_micros = reg.GetCounter(metrics::names::kPipelineFilterMicros);
+  static auto* stage_calls = reg.GetCounter(metrics::names::kPipelineFilterCalls);
+  static auto* chains_in = reg.GetCounter(metrics::names::kFilterChainsIn);
+  static auto* chains_kept = reg.GetCounter(metrics::names::kFilterChainsKept);
+  static auto* chains_dropped = reg.GetCounter(metrics::names::kFilterChainsDropped);
+  static auto* score_kept = reg.GetHistogram(metrics::names::kFilterDistanceKept);
+  static auto* score_dropped = reg.GetHistogram(metrics::names::kFilterDistanceDropped);
   CF_TRACE_SCOPE("filter");
   metrics::ScopedTimer timer(stage_micros, stage_calls);
 

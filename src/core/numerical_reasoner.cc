@@ -4,6 +4,7 @@
 
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/metric_names.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -49,13 +50,13 @@ NumericalReasoner::Output NumericalReasoner::Forward(
     const std::vector<int64_t>& lengths) const {
   // Stages 4 (projection) and 5 (aggregation) of the pipeline.
   static auto& reg = metrics::MetricsRegistry::Global();
-  static auto* project_micros = reg.GetCounter("pipeline.project.micros");
-  static auto* project_calls = reg.GetCounter("pipeline.project.calls");
-  static auto* aggregate_micros = reg.GetCounter("pipeline.aggregate.micros");
-  static auto* aggregate_calls = reg.GetCounter("pipeline.aggregate.calls");
-  static auto* forwards = reg.GetCounter("reasoner.forwards");
+  static auto* project_micros = reg.GetCounter(metrics::names::kPipelineProjectMicros);
+  static auto* project_calls = reg.GetCounter(metrics::names::kPipelineProjectCalls);
+  static auto* aggregate_micros = reg.GetCounter(metrics::names::kPipelineAggregateMicros);
+  static auto* aggregate_calls = reg.GetCounter(metrics::names::kPipelineAggregateCalls);
+  static auto* forwards = reg.GetCounter(metrics::names::kReasonerForwards);
   static auto* chains_per_forward =
-      reg.GetHistogram("reasoner.chains_per_forward");
+      reg.GetHistogram(metrics::names::kReasonerChainsPerForward);
 
   CF_CHECK_EQ(chain_reps.dim(), 2);
   CF_CHECK_EQ(chain_reps.size(1), dim_);

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "util/logging.h"
+#include "util/metric_names.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -75,13 +76,13 @@ TreeOfChains QueryRetrieval::RetrieveImpl(const Query& query, Rng& rng,
   // Stage 1 of the pipeline. pipeline.retrieval.micros accumulates wall time
   // so the training loop can report per-stage epoch deltas.
   static auto& reg = metrics::MetricsRegistry::Global();
-  static auto* stage_micros = reg.GetCounter("pipeline.retrieval.micros");
-  static auto* stage_calls = reg.GetCounter("pipeline.retrieval.calls");
-  static auto* walks_taken = reg.GetCounter("retrieval.walks_taken");
-  static auto* walks_empty = reg.GetCounter("retrieval.walks_empty");
-  static auto* chains_generated = reg.GetCounter("retrieval.chains_generated");
-  static auto* duplicates = reg.GetCounter("retrieval.duplicates_suppressed");
-  static auto* toc_size = reg.GetHistogram("retrieval.toc_size");
+  static auto* stage_micros = reg.GetCounter(metrics::names::kPipelineRetrievalMicros);
+  static auto* stage_calls = reg.GetCounter(metrics::names::kPipelineRetrievalCalls);
+  static auto* walks_taken = reg.GetCounter(metrics::names::kRetrievalWalksTaken);
+  static auto* walks_empty = reg.GetCounter(metrics::names::kRetrievalWalksEmpty);
+  static auto* chains_generated = reg.GetCounter(metrics::names::kRetrievalChainsGenerated);
+  static auto* duplicates = reg.GetCounter(metrics::names::kRetrievalDuplicatesSuppressed);
+  static auto* toc_size = reg.GetHistogram(metrics::names::kRetrievalTocSize);
   CF_TRACE_SCOPE("retrieval");
   metrics::ScopedTimer timer(stage_micros, stage_calls);
 

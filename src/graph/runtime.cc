@@ -7,6 +7,8 @@
 #include "graph/trace.h"
 #include "tensor/op_observer.h"
 #include "util/logging.h"
+#include "util/metric_names.h"
+#include "util/trace.h"
 
 namespace chainsformer {
 namespace graph {
@@ -35,10 +37,11 @@ bool BitwiseEqual(double a, double b) {
 StaticGraphRuntime::StaticGraphRuntime(const core::ChainsFormerModel& model)
     : model_(model) {
   auto& reg = metrics::MetricsRegistry::Global();
-  hits_ = reg.GetCounter("plan.cache_hits");
-  misses_ = reg.GetCounter("plan.cache_misses");
-  verify_failures_ = reg.GetCounter("plan.verify_failures");
-  arena_bytes_ = reg.GetGauge("plan.arena_bytes");
+  hits_ = reg.GetCounter(metrics::names::kPlanCacheHits);
+  misses_ = reg.GetCounter(metrics::names::kPlanCacheMisses);
+  verify_failures_ = reg.GetCounter(metrics::names::kPlanVerifyFailures);
+  verify_micros_ = reg.GetCounter(metrics::names::kPlanVerifyMicros);
+  arena_bytes_ = reg.GetGauge(metrics::names::kPlanArenaBytes);
   CF_CHECK(Supports(model)) << "static graphs require the Transformer encoder";
 }
 
@@ -82,8 +85,36 @@ core::BatchPrediction StaticGraphRuntime::RunCompiled(
   return Denormalized(query, normalized);
 }
 
+std::vector<StaticGraphRuntime::BucketStats> StaticGraphRuntime::Stats()
+    const {
+  std::vector<std::pair<std::pair<int64_t, int64_t>, std::shared_ptr<Entry>>>
+      entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.assign(plans_.begin(), plans_.end());
+  }
+  std::vector<BucketStats> out;
+  out.reserve(entries.size());
+  for (const auto& [key, entry] : entries) {
+    BucketStats s;
+    s.k = key.first;
+    s.max_len = key.second;
+    std::lock_guard<std::mutex> lock(entry->mu);
+    s.ready = entry->ready;
+    s.eager_fallback = entry->eager_fallback;
+    s.idle_executors = static_cast<int64_t>(entry->idle.size());
+    if (entry->plan != nullptr) {
+      s.arena_bytes =
+          entry->plan->arena_floats * static_cast<int64_t>(sizeof(float));
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
 core::BatchPrediction StaticGraphRuntime::Predict(
-    const core::Query& query, const core::TreeOfChains& chains) const {
+    const core::Query& query, const core::TreeOfChains& chains,
+    PredictStats* stats) const {
   if (chains.empty()) {
     // Eager empty-chain-set fallback, reproduced exactly.
     CF_CHECK_LT(static_cast<size_t>(query.attribute),
@@ -124,6 +155,8 @@ core::BatchPrediction StaticGraphRuntime::Predict(
       // Bucket miss: trace one eager forward, compile, verify, then serve
       // this request from the eager result (already computed for the gate).
       misses_->Increment();
+      CF_TRACE_SCOPE("plan.verify");
+      const uint64_t gate_start_ns = trace::NowNs();
       Tracer tracer;
       std::vector<core::BatchPrediction> eager;
       {
@@ -185,6 +218,13 @@ core::BatchPrediction StaticGraphRuntime::Predict(
         entry->eager_fallback = true;
       }
       entry->ready = true;
+      const int64_t gate_us = static_cast<int64_t>(
+          (trace::NowNs() - gate_start_ns) / 1000);
+      verify_micros_->Increment(gate_us);
+      if (stats != nullptr) {
+        stats->verify_us = gate_us;
+        stats->bucket_miss = true;
+      }
       return eager[0];
     }
   }
@@ -193,6 +233,7 @@ core::BatchPrediction StaticGraphRuntime::Predict(
     return model_.PredictOnChainSets({query}, {&chains})[0];
   }
   hits_->Increment();
+  if (stats != nullptr) stats->compiled = true;
   return RunCompiled(*entry, query, chains);
 }
 

@@ -36,6 +36,24 @@ namespace graph {
 /// trained; the model must outlive the runtime.
 class StaticGraphRuntime {
  public:
+  /// Per-call timing facts Predict reports back to a caller that is
+  /// building a request trace (the serving layer's verify span).
+  struct PredictStats {
+    int64_t verify_us = 0;   // trace+compile+bitwise-verify gate, if it ran
+    bool compiled = false;   // served from a warmed compiled plan
+    bool bucket_miss = false;  // this call paid the bucket's first-use gate
+  };
+
+  /// Point-in-time facts about one cached plan bucket (admin endpoint).
+  struct BucketStats {
+    int64_t k = 0;
+    int64_t max_len = 0;
+    bool ready = false;
+    bool eager_fallback = false;
+    int64_t idle_executors = 0;
+    int64_t arena_bytes = 0;
+  };
+
   explicit StaticGraphRuntime(const core::ChainsFormerModel& model);
 
   StaticGraphRuntime(const StaticGraphRuntime&) = delete;
@@ -47,9 +65,14 @@ class StaticGraphRuntime {
 
   /// Bitwise equivalent of
   /// model.PredictOnChainSets({query}, {&chains})[0]: same value, same
-  /// has_evidence, including the empty-chain-set fallback.
+  /// has_evidence, including the empty-chain-set fallback. When `stats` is
+  /// non-null it is filled with this call's timing facts.
   core::BatchPrediction Predict(const core::Query& query,
-                                const core::TreeOfChains& chains) const;
+                                const core::TreeOfChains& chains,
+                                PredictStats* stats = nullptr) const;
+
+  /// Snapshot of every cached plan bucket, ordered by (k, max_len).
+  std::vector<BucketStats> Stats() const;
 
  private:
   struct Entry {
@@ -69,6 +92,7 @@ class StaticGraphRuntime {
   metrics::Counter* hits_;
   metrics::Counter* misses_;
   metrics::Counter* verify_failures_;
+  metrics::Counter* verify_micros_;
   metrics::Gauge* arena_bytes_;
   mutable std::atomic<int64_t> arena_bytes_total_{0};
   mutable std::mutex mu_;

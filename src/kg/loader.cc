@@ -5,6 +5,7 @@
 #include <string>
 
 #include "util/logging.h"
+#include "util/metric_names.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
 #include "util/trace.h"
@@ -34,10 +35,10 @@ bool SkipLine(const std::string& line) {
 Dataset LoadTsvDataset(const std::string& name, const std::string& triples_path,
                        const std::string& numeric_path, uint64_t split_seed) {
   static auto& reg = metrics::MetricsRegistry::Global();
-  static auto* load_micros = reg.GetCounter("kg.load.micros");
-  static auto* load_calls = reg.GetCounter("kg.load.calls");
-  static auto* triples_loaded = reg.GetCounter("kg.load.relational_triples");
-  static auto* numeric_loaded = reg.GetCounter("kg.load.numerical_triples");
+  static auto* load_micros = reg.GetCounter(metrics::names::kKgLoadMicros);
+  static auto* load_calls = reg.GetCounter(metrics::names::kKgLoadCalls);
+  static auto* triples_loaded = reg.GetCounter(metrics::names::kKgLoadRelationalTriples);
+  static auto* numeric_loaded = reg.GetCounter(metrics::names::kKgLoadNumericalTriples);
   CF_TRACE_SCOPE("kg.load");
   metrics::ScopedTimer timer(load_micros, load_calls);
 

@@ -1,0 +1,337 @@
+#include "serve/admin.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "graph/runtime.h"
+#include "serve/service.h"
+#include "util/logging.h"
+#include "util/metric_names.h"
+#include "util/metrics.h"
+#include "util/telemetry.h"
+
+namespace chainsformer {
+namespace serve {
+namespace {
+
+/// Formats a double compactly ("0" not "0.000000"), locale-independent.
+std::string Num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Prometheus metric name: cf_ prefix, dots to underscores.
+std::string PromName(const std::string& dotted) {
+  std::string out = "cf_";
+  out.reserve(dotted.size() + 3);
+  for (char c : dotted) out.push_back(c == '.' ? '_' : c);
+  return out;
+}
+
+double Rate(int64_t part, int64_t whole) {
+  return whole > 0 ? static_cast<double>(part) / static_cast<double>(whole)
+                   : 0.0;
+}
+
+/// Window-scoped SLO facts derived from the telemetry counters.
+struct SloView {
+  int64_t requests = 0;
+  double deadline_miss_rate = 0.0;
+  double degraded_rate = 0.0;
+  double degraded_deadline_rate = 0.0;
+  double degraded_empty_toc_rate = 0.0;
+  double degraded_shutdown_rate = 0.0;
+};
+
+SloView ComputeSlo(const telemetry::TelemetrySnapshot& window) {
+  SloView slo;
+  slo.requests = window.CounterSum(metrics::names::kSloRequests);
+  slo.deadline_miss_rate =
+      Rate(window.CounterSum(metrics::names::kSloDeadlineMiss), slo.requests);
+  slo.degraded_rate =
+      Rate(window.CounterSum(metrics::names::kSloDegraded), slo.requests);
+  slo.degraded_deadline_rate = Rate(
+      window.CounterSum(metrics::names::kSloDegradedDeadline), slo.requests);
+  slo.degraded_empty_toc_rate = Rate(
+      window.CounterSum(metrics::names::kSloDegradedEmptyToc), slo.requests);
+  slo.degraded_shutdown_rate = Rate(
+      window.CounterSum(metrics::names::kSloDegradedShutdown), slo.requests);
+  return slo;
+}
+
+}  // namespace
+
+std::string StatusJson(const InferenceService* service) {
+  const metrics::MetricsSnapshot cumulative =
+      metrics::MetricsRegistry::Global().Snapshot();
+  const telemetry::TelemetrySnapshot window =
+      telemetry::TelemetryRegistry::Global().Snapshot();
+  const SloView slo = ComputeSlo(window);
+
+  std::ostringstream os;
+  os << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : cumulative.counters) {
+    os << (first ? "" : ", ") << "\"" << name << "\": " << v;
+    first = false;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : cumulative.gauges) {
+    os << (first ? "" : ", ") << "\"" << name << "\": " << Num(v);
+    first = false;
+  }
+
+  os << "}, \"window\": {\"seconds\": " << Num(window.window_seconds)
+     << ", \"percentiles\": {";
+  first = true;
+  for (const auto& [name, p] : window.histograms) {
+    os << (first ? "" : ", ") << "\"" << name << "\": {\"count\": " << p.count
+       << ", \"p50\": " << Num(p.p50) << ", \"p90\": " << Num(p.p90)
+       << ", \"p99\": " << Num(p.p99) << "}";
+    first = false;
+  }
+  os << "}, \"counters\": {";
+  first = true;
+  for (const auto& [name, v] : window.counters) {
+    os << (first ? "" : ", ") << "\"" << name << "\": " << v;
+    first = false;
+  }
+  os << "}}";
+
+  const int64_t verify_failures =
+      cumulative.CounterValue(metrics::names::kPlanVerifyFailures);
+  os << ", \"slo\": {\"window_requests\": " << slo.requests
+     << ", \"deadline_miss_rate\": " << Num(slo.deadline_miss_rate)
+     << ", \"degraded_rate\": " << Num(slo.degraded_rate)
+     << ", \"degraded_by_cause\": {\"deadline\": "
+     << Num(slo.degraded_deadline_rate)
+     << ", \"empty_toc\": " << Num(slo.degraded_empty_toc_rate)
+     << ", \"shutdown\": " << Num(slo.degraded_shutdown_rate)
+     << "}, \"alerts\": {\"plan_verify_failures\": " << verify_failures
+     << ", \"firing\": " << (verify_failures > 0 ? "true" : "false") << "}}";
+
+  const int64_t cache_hits =
+      cumulative.CounterValue(metrics::names::kServeCacheHits);
+  const int64_t cache_misses =
+      cumulative.CounterValue(metrics::names::kServeCacheMisses);
+  os << ", \"cache\": {\"hits\": " << cache_hits
+     << ", \"misses\": " << cache_misses
+     << ", \"hit_rate\": " << Num(Rate(cache_hits, cache_hits + cache_misses))
+     << "}";
+
+  if (service != nullptr && service->static_runtime() != nullptr) {
+    os << ", \"plan_buckets\": [";
+    first = true;
+    for (const auto& b : service->static_runtime()->Stats()) {
+      os << (first ? "" : ", ") << "{\"k\": " << b.k
+         << ", \"max_len\": " << b.max_len
+         << ", \"ready\": " << (b.ready ? "true" : "false")
+         << ", \"eager_fallback\": " << (b.eager_fallback ? "true" : "false")
+         << ", \"idle_executors\": " << b.idle_executors
+         << ", \"arena_bytes\": " << b.arena_bytes << "}";
+      first = false;
+    }
+    os << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string PrometheusText(const InferenceService* service) {
+  const metrics::MetricsSnapshot cumulative =
+      metrics::MetricsRegistry::Global().Snapshot();
+  const telemetry::TelemetrySnapshot window =
+      telemetry::TelemetryRegistry::Global().Snapshot();
+  const SloView slo = ComputeSlo(window);
+
+  std::ostringstream os;
+  for (const auto& [name, v] : cumulative.counters) {
+    const std::string p = PromName(name);
+    os << "# TYPE " << p << " counter\n" << p << " " << v << "\n";
+  }
+  for (const auto& [name, v] : cumulative.gauges) {
+    const std::string p = PromName(name);
+    os << "# TYPE " << p << " gauge\n" << p << " " << Num(v) << "\n";
+  }
+  for (const auto& h : cumulative.histograms) {
+    const std::string p = PromName(h.name);
+    os << "# TYPE " << p << " histogram\n";
+    int64_t cum = 0;
+    for (const auto& b : h.buckets) {
+      cum += b.count;
+      os << p << "_bucket{le=\"";
+      if (std::isfinite(b.upper_bound)) {
+        os << Num(b.upper_bound);
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cum << "\n";
+    }
+    if (h.buckets.empty() || std::isfinite(h.buckets.back().upper_bound)) {
+      os << p << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    }
+    os << p << "_sum " << Num(h.sum) << "\n";
+    os << p << "_count " << h.count << "\n";
+  }
+
+  // Live sliding-window percentiles: gauges, since a window re-computes
+  // rather than accumulates.
+  for (const auto& [name, p] : window.histograms) {
+    const std::string base = "cf_window_" + PromName(name).substr(3);
+    os << "# TYPE " << base << "_p50 gauge\n"
+       << base << "_p50 " << Num(p.p50) << "\n";
+    os << "# TYPE " << base << "_p90 gauge\n"
+       << base << "_p90 " << Num(p.p90) << "\n";
+    os << "# TYPE " << base << "_p99 gauge\n"
+       << base << "_p99 " << Num(p.p99) << "\n";
+    os << "# TYPE " << base << "_window_count gauge\n"
+       << base << "_window_count " << p.count << "\n";
+  }
+  os << "# TYPE cf_slo_window_requests gauge\ncf_slo_window_requests "
+     << slo.requests << "\n";
+  os << "# TYPE cf_slo_deadline_miss_rate gauge\ncf_slo_deadline_miss_rate "
+     << Num(slo.deadline_miss_rate) << "\n";
+  os << "# TYPE cf_slo_degraded_rate gauge\ncf_slo_degraded_rate "
+     << Num(slo.degraded_rate) << "\n";
+  os << "# TYPE cf_slo_degraded_cause_rate gauge\n";
+  os << "cf_slo_degraded_cause_rate{cause=\"deadline\"} "
+     << Num(slo.degraded_deadline_rate) << "\n";
+  os << "cf_slo_degraded_cause_rate{cause=\"empty_toc\"} "
+     << Num(slo.degraded_empty_toc_rate) << "\n";
+  os << "cf_slo_degraded_cause_rate{cause=\"shutdown\"} "
+     << Num(slo.degraded_shutdown_rate) << "\n";
+
+  if (service != nullptr && service->static_runtime() != nullptr) {
+    const auto buckets = service->static_runtime()->Stats();
+    os << "# TYPE cf_plan_bucket_ready gauge\n";
+    os << "# TYPE cf_plan_bucket_eager_fallback gauge\n";
+    os << "# TYPE cf_plan_bucket_idle_executors gauge\n";
+    os << "# TYPE cf_plan_bucket_arena_bytes gauge\n";
+    for (const auto& b : buckets) {
+      const std::string labels =
+          "{k=\"" + std::to_string(b.k) + "\",max_len=\"" +
+          std::to_string(b.max_len) + "\"} ";
+      os << "cf_plan_bucket_ready" << labels << (b.ready ? 1 : 0) << "\n";
+      os << "cf_plan_bucket_eager_fallback" << labels
+         << (b.eager_fallback ? 1 : 0) << "\n";
+      os << "cf_plan_bucket_idle_executors" << labels << b.idle_executors
+         << "\n";
+      os << "cf_plan_bucket_arena_bytes" << labels << b.arena_bytes << "\n";
+    }
+  }
+  return os.str();
+}
+
+AdminServer::AdminServer(int port, const InferenceService* service)
+    : service_(service) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    CF_LOG(Error) << "admin: socket() failed: " << std::strerror(errno);
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 16) < 0) {
+    CF_LOG(Error) << "admin: cannot listen on 127.0.0.1:" << port << ": "
+                  << std::strerror(errno);
+    ::close(listener);
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+  } else {
+    port_ = port;
+  }
+  listen_fd_.store(listener);
+  thread_ = std::thread([this] { ServeLoop(); });
+}
+
+AdminServer::~AdminServer() {
+  // Closing the listener unblocks accept() in ServeLoop; shutdown() first
+  // so an accept already in progress returns instead of hanging.
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void AdminServer::ServeLoop() {
+  while (true) {
+    const int listener = listen_fd_.load();
+    if (listener < 0) return;
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) return;  // listener closed by destructor (or fatal error)
+
+    // Read just the request line; scrape clients send tiny requests.
+    char req[1024];
+    const ssize_t n = ::read(fd, req, sizeof(req) - 1);
+    std::string target = "/";
+    if (n > 0) {
+      req[n] = '\0';
+      // "GET /path HTTP/1.x"
+      const char* sp1 = std::strchr(req, ' ');
+      if (sp1 != nullptr) {
+        const char* sp2 = std::strchr(sp1 + 1, ' ');
+        if (sp2 != nullptr) target.assign(sp1 + 1, sp2);
+      }
+    }
+
+    std::string body, content_type = "text/plain; charset=utf-8";
+    int status = 200;
+    const char* status_text = "OK";
+    if (target == "/statusz") {
+      body = StatusJson(service_) + "\n";
+      content_type = "application/json";
+    } else if (target == "/metrics") {
+      body = PrometheusText(service_);
+      content_type = "text/plain; version=0.0.4; charset=utf-8";
+    } else if (target == "/healthz") {
+      body = "ok\n";
+    } else {
+      status = 404;
+      status_text = "Not Found";
+      body = "not found; try /statusz /metrics /healthz\n";
+    }
+
+    std::ostringstream os;
+    os << "HTTP/1.0 " << status << " " << status_text << "\r\n"
+       << "Content-Type: " << content_type << "\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: close\r\n\r\n"
+       << body;
+    const std::string response = os.str();
+    size_t off = 0;
+    while (off < response.size()) {
+      const ssize_t w =
+          ::write(fd, response.data() + off, response.size() - off);
+      if (w <= 0) break;
+      off += static_cast<size_t>(w);
+    }
+    ::close(fd);
+  }
+}
+
+}  // namespace serve
+}  // namespace chainsformer

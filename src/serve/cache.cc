@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/metric_names.h"
 #include "util/metrics.h"
 
 namespace chainsformer {
@@ -40,9 +41,9 @@ ShardedChainCache::Shard& ShardedChainCache::ShardFor(uint64_t key) {
 bool ShardedChainCache::Get(kg::EntityId entity, kg::AttributeId attribute,
                             core::TreeOfChains* out) {
   static auto* hits =
-      metrics::MetricsRegistry::Global().GetCounter("serve.cache_hits");
+      metrics::MetricsRegistry::Global().GetCounter(metrics::names::kServeCacheHits);
   static auto* misses =
-      metrics::MetricsRegistry::Global().GetCounter("serve.cache_misses");
+      metrics::MetricsRegistry::Global().GetCounter(metrics::names::kServeCacheMisses);
   const uint64_t key = CacheKey(entity, attribute);
   const uint64_t gen = generation_.load(std::memory_order_acquire);
   Shard& shard = ShardFor(key);

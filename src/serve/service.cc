@@ -1,13 +1,18 @@
 #include "serve/service.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <unordered_map>
 #include <utility>
 
 #include "baselines/simple.h"
 #include "graph/runtime.h"
 #include "util/logging.h"
+#include "util/metric_names.h"
 #include "util/metrics.h"
+#include "util/rng.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 
@@ -18,32 +23,98 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 metrics::Counter* RequestsCounter() {
-  static auto* c = metrics::MetricsRegistry::Global().GetCounter("serve.requests");
+  static auto* c = metrics::MetricsRegistry::Global().GetCounter(metrics::names::kServeRequests);
   return c;
 }
 metrics::Counter* DegradedCounter() {
-  static auto* c = metrics::MetricsRegistry::Global().GetCounter("serve.degraded");
+  static auto* c = metrics::MetricsRegistry::Global().GetCounter(metrics::names::kServeDegraded);
   return c;
 }
 metrics::Histogram* BatchSizeHist() {
   static auto* h =
-      metrics::MetricsRegistry::Global().GetHistogram("serve.batch_size");
+      metrics::MetricsRegistry::Global().GetHistogram(metrics::names::kServeBatchSize);
   return h;
 }
 metrics::Histogram* LatencyHist() {
   static auto* h =
-      metrics::MetricsRegistry::Global().GetHistogram("serve.latency_us");
+      metrics::MetricsRegistry::Global().GetHistogram(metrics::names::kServeLatencyUs);
   return h;
 }
 metrics::Counter* DedupCounter() {
   static auto* c =
-      metrics::MetricsRegistry::Global().GetCounter("serve.batch_dedup");
+      metrics::MetricsRegistry::Global().GetCounter(metrics::names::kServeBatchDedup);
   return c;
 }
 metrics::Counter* ImmediateDispatchCounter() {
   static auto* c =
-      metrics::MetricsRegistry::Global().GetCounter("serve.immediate_dispatch");
+      metrics::MetricsRegistry::Global().GetCounter(metrics::names::kServeImmediateDispatch);
   return c;
+}
+metrics::Counter* DegradedCauseCounter(const char* source) {
+  static auto* deadline = metrics::MetricsRegistry::Global().GetCounter(
+      metrics::names::kServeDegradedDeadline);
+  static auto* empty_toc = metrics::MetricsRegistry::Global().GetCounter(
+      metrics::names::kServeDegradedEmptyToc);
+  static auto* shutdown = metrics::MetricsRegistry::Global().GetCounter(
+      metrics::names::kServeDegradedShutdown);
+  if (std::strcmp(source, "deadline") == 0) return deadline;
+  if (std::strcmp(source, "empty_toc") == 0) return empty_toc;
+  return shutdown;
+}
+
+/// Live sliding-window telemetry: per-phase latency percentiles and SLO
+/// event counters the admin endpoint serves (util/telemetry.h). One struct
+/// of cached pointers so the hot path pays a handful of relaxed atomic
+/// increments, no registry lookups.
+struct ServeTelemetry {
+  telemetry::WindowedHistogram* total_us;
+  telemetry::WindowedHistogram* cache_us;
+  telemetry::WindowedHistogram* queue_us;
+  telemetry::WindowedHistogram* window_us;
+  telemetry::WindowedHistogram* compute_us;
+  telemetry::WindowedHistogram* verify_us;
+  telemetry::WindowedHistogram* serialize_us;  // observed by the CLI layer
+  telemetry::WindowedCounter* requests;
+  telemetry::WindowedCounter* deadline_miss;
+  telemetry::WindowedCounter* degraded;
+  telemetry::WindowedCounter* degraded_deadline;
+  telemetry::WindowedCounter* degraded_empty_toc;
+  telemetry::WindowedCounter* degraded_shutdown;
+};
+
+ServeTelemetry& Telemetry() {
+  static ServeTelemetry* t = [] {
+    auto& reg = telemetry::TelemetryRegistry::Global();
+    auto* out = new ServeTelemetry();
+    out->total_us = reg.GetHistogram(metrics::names::kServePhaseTotalUs);
+    out->cache_us = reg.GetHistogram(metrics::names::kServePhaseCacheUs);
+    out->queue_us = reg.GetHistogram(metrics::names::kServePhaseQueueUs);
+    out->window_us = reg.GetHistogram(metrics::names::kServePhaseWindowUs);
+    out->compute_us = reg.GetHistogram(metrics::names::kServePhaseComputeUs);
+    out->verify_us = reg.GetHistogram(metrics::names::kServePhaseVerifyUs);
+    out->serialize_us =
+        reg.GetHistogram(metrics::names::kServePhaseSerializeUs);
+    out->requests = reg.GetCounter(metrics::names::kSloRequests);
+    out->deadline_miss = reg.GetCounter(metrics::names::kSloDeadlineMiss);
+    out->degraded = reg.GetCounter(metrics::names::kSloDegraded);
+    out->degraded_deadline =
+        reg.GetCounter(metrics::names::kSloDegradedDeadline);
+    out->degraded_empty_toc =
+        reg.GetCounter(metrics::names::kSloDegradedEmptyToc);
+    out->degraded_shutdown =
+        reg.GetCounter(metrics::names::kSloDegradedShutdown);
+    return out;
+  }();
+  return *t;
+}
+
+/// SplitMix64 finalizer: bijective on 64-bit values, so distinct sequence
+/// numbers can never collide, yet ids look nothing like a counter.
+uint64_t MixTraceId(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
 }
 
 }  // namespace
@@ -74,6 +145,9 @@ InferenceService::InferenceService(const core::ChainsFormerModel& model,
   if (options.use_static_graph && graph::StaticGraphRuntime::Supports(model)) {
     runtime_ = std::make_unique<graph::StaticGraphRuntime>(model);
   }
+  // Trace-id seam: the salt comes from the model's deterministic RNG seed,
+  // so a replayed process assigns the same ids in the same request order.
+  trace_salt_ = Rng(static_cast<uint64_t>(model.config().seed)).Next();
   dispatcher_ = std::thread([this] { DispatchLoop(); });
 }
 
@@ -91,48 +165,109 @@ double InferenceService::Fallback(kg::AttributeId attribute) const {
   return a < fallback_values_.size() ? fallback_values_[a] : 0.0;
 }
 
-ServeResponse InferenceService::Predict(const core::Query& query) {
+ServeResponse InferenceService::Predict(const core::Query& query,
+                                        uint64_t trace_id) {
   CF_TRACE_SCOPE("serve.predict");
   const Clock::time_point start = Clock::now();
+  const uint64_t start_ns = trace::NowNs();
   const bool has_deadline = options_.deadline_ms > 0;
   const Clock::time_point deadline =
       start + std::chrono::milliseconds(has_deadline ? options_.deadline_ms : 0);
   RequestsCounter()->Increment();
+  if (trace_id == 0) {
+    // Salt ^ sequence through a bijective mixer: deterministic per process
+    // (RNG seam), unique per request. MixTraceId never maps two inputs to
+    // the same output, so forcing the rare zero to 1 is the only collision
+    // risk — and 1 is itself the image of exactly one other input.
+    trace_id = MixTraceId(trace_salt_ ^ trace_seq_.fetch_add(1));
+    if (trace_id == 0) trace_id = 1;
+  }
   // Visible to the dispatcher from here until the request joins the queue
   // (or bails out): while any request is arriving, the coalescing window is
   // worth opening.
   arriving_.fetch_add(1);
 
   auto finish = [&](ServeResponse r) {
-    r.latency_us = std::chrono::duration_cast<std::chrono::microseconds>(
-                       Clock::now() - start)
-                       .count();
+    r.trace_id = trace_id;
+    const uint64_t end_ns = trace::NowNs();
+    r.latency_us = static_cast<int64_t>((end_ns - start_ns) / 1000);
     LatencyHist()->Observe(static_cast<double>(r.latency_us));
-    if (r.degraded) DegradedCounter()->Increment();
+    // Windowed metrics reuse the end-of-request timestamp (telemetry::NowMs
+    // shares the tracer clock) so the nine updates below cost one clock read
+    // total, not one each — the guardrail in perf_microbench depends on it.
+    const int64_t now_ms = static_cast<int64_t>(end_ns / 1'000'000);
+    ServeTelemetry& live = Telemetry();
+    live.requests->IncrementAtMs(1, now_ms);
+    live.total_us->ObserveAtMs(static_cast<double>(r.latency_us), now_ms);
+    live.cache_us->ObserveAtMs(static_cast<double>(r.cache_us), now_ms);
+    if (r.batch_id >= 0) {
+      live.queue_us->ObserveAtMs(static_cast<double>(r.queue_us), now_ms);
+      live.window_us->ObserveAtMs(static_cast<double>(r.window_us), now_ms);
+      live.compute_us->ObserveAtMs(static_cast<double>(r.compute_us), now_ms);
+      if (r.verify_us > 0) {
+        live.verify_us->ObserveAtMs(static_cast<double>(r.verify_us), now_ms);
+      }
+    }
+    if (r.degraded) {
+      DegradedCounter()->Increment();
+      DegradedCauseCounter(r.source.c_str())->Increment();
+      live.degraded->IncrementAtMs(1, now_ms);
+      if (r.source == "deadline") {
+        live.deadline_miss->IncrementAtMs(1, now_ms);
+        live.degraded_deadline->IncrementAtMs(1, now_ms);
+      } else if (r.source == "empty_toc") {
+        live.degraded_empty_toc->IncrementAtMs(1, now_ms);
+      } else {
+        live.degraded_shutdown->IncrementAtMs(1, now_ms);
+      }
+    }
+    if (trace::Enabled()) {
+      trace::SpanAnnotations ann;
+      ann.trace_id = trace_id;
+      ann.batch_id = r.batch_id;
+      ann.batch_size = r.batch_size;
+      ann.dedup_collapsed = r.dedup_collapsed;
+      if (r.degraded) ann.cause = r.source == "deadline" ? "deadline"
+                                  : r.source == "empty_toc" ? "empty_toc"
+                                                            : "shutdown";
+      trace::EmitSpan("serve.request", start_ns, end_ns, ann);
+    }
     return r;
   };
 
   // Retrieval runs on the client thread (it parallelizes across clients and
   // is the part the LRU cache can skip entirely).
   core::TreeOfChains chains;
+  bool cache_hit = false;
   const bool cache_enabled = options_.cache_capacity > 0;
-  if (!cache_enabled || !cache_.Get(query.entity, query.attribute, &chains)) {
+  const uint64_t cache_start_ns = trace::NowNs();
+  if (cache_enabled && cache_.Get(query.entity, query.attribute, &chains)) {
+    cache_hit = true;
+  } else {
     CF_TRACE_SCOPE("serve.retrieve_miss");
     chains = model_.RetrieveChains(query);
     if (cache_enabled) cache_.Put(query.entity, query.attribute, chains);
   }
+  const uint64_t cache_end_ns = trace::NowNs();
+  const int64_t cache_us =
+      static_cast<int64_t>((cache_end_ns - cache_start_ns) / 1000);
+  trace::EmitSpan("serve.cache_lookup", cache_start_ns, cache_end_ns,
+                  trace_id);
   if (chains.empty()) {
     arriving_.fetch_sub(1);
     ServeResponse r;
     r.value = Fallback(query.attribute);
     r.degraded = true;
     r.source = "empty_toc";
+    r.cache_hit = cache_hit;
+    r.cache_us = cache_us;
     return finish(r);
   }
 
   auto pending = std::make_shared<Pending>();
   pending->query = query;
   pending->chains = std::move(chains);
+  pending->trace_id = trace_id;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     arriving_.fetch_sub(1);
@@ -141,8 +276,11 @@ ServeResponse InferenceService::Predict(const core::Query& query) {
       r.value = Fallback(query.attribute);
       r.degraded = true;
       r.source = "shutdown";
+      r.cache_hit = cache_hit;
+      r.cache_us = cache_us;
       return finish(r);
     }
+    pending->enqueue_ns = trace::NowNs();
     queue_.push_back(pending);
   }
   queue_cv_.notify_one();
@@ -161,8 +299,14 @@ ServeResponse InferenceService::Predict(const core::Query& query) {
     r.value = Fallback(query.attribute);
     r.degraded = true;
     r.source = "deadline";
+    r.cache_hit = cache_hit;
+    r.cache_us = cache_us;
+    r.queue_us =
+        static_cast<int64_t>((trace::NowNs() - pending->enqueue_ns) / 1000);
     return finish(r);
   }
+  pending->response.cache_hit = cache_hit;
+  pending->response.cache_us = cache_us;
   return finish(pending->response);
 }
 
@@ -173,9 +317,11 @@ void InferenceService::DispatchLoop() {
   while (true) {
     std::vector<std::shared_ptr<Pending>> batch;
     bool shutting_down = false;
+    uint64_t wake_ns = 0;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      wake_ns = trace::NowNs();
       if (!queue_.empty() && options_.batch_window_us > 0 &&
           queue_.size() < max_batch && !shutdown_) {
         if (arriving_.load() > 0) {
@@ -219,6 +365,8 @@ void InferenceService::DispatchLoop() {
     }
 
     CF_TRACE_SCOPE("serve.batch");
+    const int64_t batch_id = batch_seq_.fetch_add(1);
+    const uint64_t collect_ns = trace::NowNs();
     // Coalesce duplicate requests: predictions are deterministic per
     // (entity, attribute) — the bitwise batching invariance this service is
     // built on — so N identical in-flight queries need exactly one forward
@@ -227,6 +375,7 @@ void InferenceService::DispatchLoop() {
     std::vector<core::Query> queries;
     std::vector<const core::TreeOfChains*> chain_sets;
     std::vector<size_t> slot(batch.size());
+    std::vector<bool> collapsed(batch.size(), false);
     std::unordered_map<uint64_t, size_t> unique_index;
     queries.reserve(batch.size());
     chain_sets.reserve(batch.size());
@@ -240,6 +389,8 @@ void InferenceService::DispatchLoop() {
       if (inserted) {
         queries.push_back(p->query);
         chain_sets.push_back(&p->chains);
+      } else {
+        collapsed[i] = true;  // another request's forward answers this one
       }
       slot[i] = it->second;
     }
@@ -247,13 +398,16 @@ void InferenceService::DispatchLoop() {
         static_cast<int64_t>(batch.size() - queries.size()));
     BatchSizeHist()->Observe(static_cast<double>(batch.size()));
     std::vector<core::BatchPrediction> results;
+    std::vector<graph::StaticGraphRuntime::PredictStats> run_stats(
+        queries.size());
     if (runtime_ != nullptr) {
       // Compiled-plan dispatch: per-query static executors, fanned across
       // the compute pool like the eager pool path. Bitwise-identical to
       // PredictOnChainSets (each bucket is verified on first use).
       results.resize(queries.size());
       auto run_one = [&](size_t qi) {
-        results[qi] = runtime_->Predict(queries[qi], *chain_sets[qi]);
+        results[qi] =
+            runtime_->Predict(queries[qi], *chain_sets[qi], &run_stats[qi]);
       };
       if (compute_pool_ != nullptr && compute_pool_->num_threads() > 1 &&
           queries.size() > 1) {
@@ -267,14 +421,43 @@ void InferenceService::DispatchLoop() {
       results =
           model_.PredictOnChainSets(queries, chain_sets, compute_pool_.get());
     }
+    const uint64_t compute_end_ns = trace::NowNs();
+    const int64_t compute_us =
+        static_cast<int64_t>((compute_end_ns - collect_ns) / 1000);
+    const bool tracing = trace::Enabled();
     for (size_t i = 0; i < batch.size(); ++i) {
       const auto& p = batch[i];
       const core::BatchPrediction& r = results[slot[i]];
+      // Queue wait runs from enqueue to the dispatcher waking; requests
+      // that joined during the coalescing window spent their whole wait in
+      // the window instead.
+      const uint64_t queue_end_ns = std::max(p->enqueue_ns, wake_ns);
+      if (tracing) {
+        trace::SpanAnnotations ann;
+        ann.trace_id = p->trace_id;
+        ann.batch_id = batch_id;
+        ann.batch_size = static_cast<int>(batch.size());
+        ann.dedup_collapsed = collapsed[i];
+        trace::EmitSpan("serve.queue_wait", p->enqueue_ns, queue_end_ns,
+                        ann);
+        trace::EmitSpan("serve.batch_window", queue_end_ns, collect_ns, ann);
+        trace::EmitSpan("serve.compute", collect_ns, compute_end_ns, ann);
+      }
       std::lock_guard<std::mutex> lock(p->mu);
       p->response.value = r.value;
       p->response.degraded = !r.has_evidence;
       p->response.source = r.has_evidence ? "model" : "empty_toc";
       p->response.batch_size = static_cast<int>(batch.size());
+      p->response.batch_id = batch_id;
+      p->response.dedup_collapsed = collapsed[i];
+      p->response.queue_us =
+          static_cast<int64_t>((queue_end_ns - p->enqueue_ns) / 1000);
+      p->response.window_us = collect_ns > queue_end_ns
+                                  ? static_cast<int64_t>(
+                                        (collect_ns - queue_end_ns) / 1000)
+                                  : 0;
+      p->response.compute_us = compute_us;
+      p->response.verify_us = run_stats[slot[i]].verify_us;
       p->done = true;
       p->cv.notify_all();
     }

@@ -70,6 +70,28 @@ struct ServeResponse {
   /// Size of the micro-batch this request rode in (0 when degraded before
   /// dispatch).
   int batch_size = 0;
+
+  /// 64-bit id tying this response to its spans in the Chrome trace:
+  /// the client-supplied id, or one generated from the deterministic RNG
+  /// seam. Never 0.
+  uint64_t trace_id = 0;
+  /// Sequence number of the micro-batch that answered the request (-1 when
+  /// degraded before dispatch).
+  int64_t batch_id = -1;
+  /// True when a duplicate (entity, attribute) request in the same batch
+  /// did the forward pass for this one.
+  bool dedup_collapsed = false;
+  /// True when the Tree of Chains came out of the LRU cache.
+  bool cache_hit = false;
+
+  /// Per-phase breakdown of latency_us. queue/window/compute/verify are 0
+  /// for requests degraded before dispatch; verify_us > 0 only when this
+  /// request paid a plan bucket's first-use compile+verify gate.
+  int64_t cache_us = 0;    // ToC cache lookup + (on miss) retrieval
+  int64_t queue_us = 0;    // enqueue -> dispatcher wake
+  int64_t window_us = 0;   // coalescing-window share of the wait
+  int64_t compute_us = 0;  // forward pass of the owning micro-batch
+  int64_t verify_us = 0;   // static-plan trace+compile+verify gate
 };
 
 /// Batching inference front-end for a loaded ChainsFormerModel.
@@ -106,19 +128,28 @@ class InferenceService {
   /// Answers one query. Blocks the calling thread until the micro-batch
   /// containing the request completes or the deadline expires; always
   /// returns a usable value (degraded fallback on any failure path).
-  ServeResponse Predict(const core::Query& query);
+  /// `trace_id` ties the request's spans and response together; pass 0 to
+  /// have the service generate one from its deterministic RNG seam.
+  ServeResponse Predict(const core::Query& query, uint64_t trace_id = 0);
 
   /// Drops every cached Tree of Chains (e.g. after a graph update).
   void InvalidateCache() { cache_.Invalidate(); }
 
   const ShardedChainCache& cache() const { return cache_; }
   const ServeOptions& options() const { return options_; }
+  /// Compiled-plan runtime, or null when serving eagerly (admin endpoint
+  /// reads per-bucket plan stats through this).
+  const graph::StaticGraphRuntime* static_runtime() const {
+    return runtime_.get();
+  }
 
  private:
   struct Pending {
     core::Query query;
     core::TreeOfChains chains;
     ServeResponse response;
+    uint64_t trace_id = 0;
+    uint64_t enqueue_ns = 0;  // trace::NowNs() at queue join
     bool done = false;
     std::mutex mu;
     std::condition_variable cv;
@@ -147,6 +178,14 @@ class InferenceService {
   /// pure latency (the uniform-workload regression; counted by
   /// serve.immediate_dispatch).
   std::atomic<int64_t> arriving_{0};
+
+  /// Trace-id generation: a salt drawn from the deterministic RNG seam
+  /// (model seed) mixed with a per-request sequence number, so ids are
+  /// reproducible per process yet unique per request.
+  uint64_t trace_salt_ = 0;
+  std::atomic<uint64_t> trace_seq_{0};
+  /// Micro-batch sequence number (response/span annotation).
+  std::atomic<int64_t> batch_seq_{0};
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

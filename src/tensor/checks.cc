@@ -6,6 +6,7 @@
 #include "tensor/kernels.h"
 #include "tensor/tensor.h"
 #include "util/logging.h"
+#include "util/metric_names.h"
 #include "util/metrics.h"
 
 namespace chainsformer {
@@ -59,7 +60,7 @@ void DebugAssertFinite(const char* where, const Tensor& t) {
       kernels::CountNonFinite(d.data(), static_cast<int64_t>(d.size()));
   if (bad == 0) return;
   metrics::MetricsRegistry::Global()
-      .GetCounter("tape.poison_events")
+      .GetCounter(metrics::names::kTapePoisonEvents)
       ->Increment();
   CF_LOG(Fatal) << "numeric poison: " << where << " received " << bad
                 << " non-finite value(s) in input " << t.DebugString();
@@ -82,7 +83,7 @@ int DebugCheckRootsReceivedGrad(const std::vector<Tensor>& roots) {
   }
   if (leaked > 0) {
     metrics::MetricsRegistry::Global()
-        .GetCounter("tape.leaked_roots")
+        .GetCounter(metrics::names::kTapeLeakedRoots)
         ->Increment(leaked);
     static std::atomic<bool> warned{false};
     if (!warned.exchange(true)) {

@@ -14,6 +14,7 @@
 #include <immintrin.h>
 #endif
 
+#include "util/metric_names.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -290,14 +291,14 @@ void ParallelRanges(int64_t n, int64_t cost_per_item,
   // Dispatch-decision metrics for the kernel layer: how often a GEMM ran
   // inline vs. was sliced onto the pool, and how coarse the slices were.
   static auto* inline_dispatches =
-      metrics::MetricsRegistry::Global().GetCounter("kernels.dispatch_inline");
+      metrics::MetricsRegistry::Global().GetCounter(metrics::names::kKernelsDispatchInline);
   static auto* pooled_dispatches =
-      metrics::MetricsRegistry::Global().GetCounter("kernels.dispatch_pooled");
+      metrics::MetricsRegistry::Global().GetCounter(metrics::names::kKernelsDispatchPooled);
   static auto* tasks_dispatched =
-      metrics::MetricsRegistry::Global().GetCounter("kernels.tasks_dispatched");
+      metrics::MetricsRegistry::Global().GetCounter(metrics::names::kKernelsTasksDispatched);
   static auto* rows_per_dispatch =
       metrics::MetricsRegistry::Global().GetHistogram(
-          "kernels.rows_per_dispatch");
+          metrics::names::kKernelsRowsPerDispatch);
   if (n <= 0) return;
   const int64_t cost = std::max<int64_t>(cost_per_item, 1);
   const int threads = KernelThreads();

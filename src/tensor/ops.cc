@@ -10,6 +10,7 @@
 #include "tensor/kernels.h"
 #include "tensor/op_observer.h"
 #include "util/logging.h"
+#include "util/metric_names.h"
 #include "util/metrics.h"
 
 namespace chainsformer {
@@ -76,7 +77,7 @@ void Attach(const char* op, const ImplPtr& out,
 [[noreturn]] void ReportPoison(const char* op, const ImplPtr& out, int64_t bad,
                                std::initializer_list<const Tensor*> inputs) {
   metrics::MetricsRegistry::Global()
-      .GetCounter("tape.poison_events")
+      .GetCounter(metrics::names::kTapePoisonEvents)
       ->Increment();
   std::ostringstream os;
   int index = 0;

@@ -8,6 +8,7 @@
 
 #include "tensor/checks.h"
 #include "util/logging.h"
+#include "util/metric_names.h"
 #include "util/metrics.h"
 
 namespace chainsformer {
@@ -246,9 +247,9 @@ void Tensor::Backward() {
   // Checked sweep (kShapes / kFull). Cached counter pointers keep the
   // per-node overhead to plain loads; see util/metrics.h for the idiom.
   static auto* version_violations = metrics::MetricsRegistry::Global()
-                                        .GetCounter("tape.version_violations");
+                                        .GetCounter(metrics::names::kTapeVersionViolations);
   static auto* leaked_roots =
-      metrics::MetricsRegistry::Global().GetCounter("tape.leaked_roots");
+      metrics::MetricsRegistry::Global().GetCounter(metrics::names::kTapeLeakedRoots);
   std::vector<const char*> executed;
   executed.reserve(topo.size());
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {

@@ -1,0 +1,198 @@
+#include "util/telemetry.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/trace.h"
+
+namespace chainsformer {
+namespace telemetry {
+namespace {
+
+/// Percentile over merged pow2 buckets: find the bucket holding the target
+/// rank, then interpolate linearly between its bounds. The overflow bucket
+/// has no finite upper bound; report its lower bound (already "absurdly
+/// slow" territory for the latencies tracked here).
+double PercentileFromBuckets(
+    const int64_t (&buckets)[metrics::Histogram::kNumBuckets], int64_t total,
+    double p) {
+  if (total <= 0) return 0.0;
+  const double rank = p * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (int i = 0; i < metrics::Histogram::kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    const double lower =
+        i == 0 ? 0.0 : metrics::Histogram::UpperBound(i - 1);
+    if (i == metrics::Histogram::kNumBuckets - 1) return lower;
+    const double upper = metrics::Histogram::UpperBound(i);
+    const double into_bucket =
+        rank - static_cast<double>(cumulative - buckets[i]);
+    const double fraction =
+        std::clamp(into_bucket / static_cast<double>(buckets[i]), 0.0, 1.0);
+    return lower + fraction * (upper - lower);
+  }
+  return metrics::Histogram::UpperBound(metrics::Histogram::kNumBuckets - 2);
+}
+
+}  // namespace
+
+int64_t WindowedHistogram::NowMs() {
+  // Shares the tracer's steady-clock base so serve-path instrumentation can
+  // feed timestamps it already holds (trace::NowNs() / 1'000'000) into
+  // ObserveAtMs/IncrementAtMs without a second clock read — and without ever
+  // mixing wheel timebases.
+  return static_cast<int64_t>(trace::NowNs() / 1'000'000);
+}
+
+WindowedHistogram::WindowedHistogram(int num_slots, int64_t slot_millis)
+    : num_slots_(std::max(1, num_slots)),
+      slot_millis_(std::max<int64_t>(1, slot_millis)) {
+  slots_.reserve(static_cast<size_t>(num_slots_));
+  for (int i = 0; i < num_slots_; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+void WindowedHistogram::RotateSlot(Slot& slot, int64_t epoch) const {
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  if (slot.epoch.load(std::memory_order_relaxed) == epoch) return;
+  for (auto& b : slot.buckets) b.store(0, std::memory_order_relaxed);
+  slot.count.store(0, std::memory_order_relaxed);
+  slot.epoch.store(epoch, std::memory_order_release);
+}
+
+void WindowedHistogram::ObserveAtMs(double v, int64_t now_ms) {
+  const int64_t epoch = now_ms / slot_millis_;
+  Slot& slot = *slots_[static_cast<size_t>(epoch % num_slots_)];
+  if (slot.epoch.load(std::memory_order_acquire) != epoch) {
+    RotateSlot(slot, epoch);
+  }
+  slot.buckets[metrics::Histogram::BucketIndex(v)].fetch_add(
+      1, std::memory_order_relaxed);
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+WindowedPercentiles WindowedHistogram::SnapshotAtMs(int64_t now_ms) const {
+  const int64_t current_epoch = now_ms / slot_millis_;
+  const int64_t oldest_live = current_epoch - num_slots_ + 1;
+  int64_t merged[metrics::Histogram::kNumBuckets] = {};
+  WindowedPercentiles out;
+  for (const auto& slot : slots_) {
+    const int64_t epoch = slot->epoch.load(std::memory_order_acquire);
+    if (epoch < oldest_live || epoch > current_epoch) continue;
+    out.count += slot->count.load(std::memory_order_relaxed);
+    for (int i = 0; i < metrics::Histogram::kNumBuckets; ++i) {
+      merged[i] += slot->buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  // Merged bucket sums can momentarily exceed the count sum while another
+  // thread is mid-Observe; percentile ranks use the bucket total so the
+  // walk always terminates inside the table.
+  int64_t bucket_total = 0;
+  for (int i = 0; i < metrics::Histogram::kNumBuckets; ++i) {
+    bucket_total += merged[i];
+    if (merged[i] > 0) {
+      out.max_bound = i == metrics::Histogram::kNumBuckets - 1
+                          ? metrics::Histogram::UpperBound(i - 1)
+                          : metrics::Histogram::UpperBound(i);
+    }
+  }
+  out.count = std::max(out.count, bucket_total);
+  out.p50 = PercentileFromBuckets(merged, bucket_total, 0.50);
+  out.p90 = PercentileFromBuckets(merged, bucket_total, 0.90);
+  out.p99 = PercentileFromBuckets(merged, bucket_total, 0.99);
+  return out;
+}
+
+WindowedCounter::WindowedCounter(int num_slots, int64_t slot_millis)
+    : num_slots_(std::max(1, num_slots)),
+      slot_millis_(std::max<int64_t>(1, slot_millis)) {
+  slots_.reserve(static_cast<size_t>(num_slots_));
+  for (int i = 0; i < num_slots_; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+void WindowedCounter::IncrementAtMs(int64_t delta, int64_t now_ms) {
+  const int64_t epoch = now_ms / slot_millis_;
+  Slot& slot = *slots_[static_cast<size_t>(epoch % num_slots_)];
+  if (slot.epoch.load(std::memory_order_acquire) != epoch) {
+    std::lock_guard<std::mutex> lock(rotate_mu_);
+    if (slot.epoch.load(std::memory_order_relaxed) != epoch) {
+      slot.sum.store(0, std::memory_order_relaxed);
+      slot.epoch.store(epoch, std::memory_order_release);
+    }
+  }
+  slot.sum.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t WindowedCounter::SumAtMs(int64_t now_ms) const {
+  const int64_t current_epoch = now_ms / slot_millis_;
+  const int64_t oldest_live = current_epoch - num_slots_ + 1;
+  int64_t total = 0;
+  for (const auto& slot : slots_) {
+    const int64_t epoch = slot->epoch.load(std::memory_order_acquire);
+    if (epoch < oldest_live || epoch > current_epoch) continue;
+    total += slot->sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int64_t TelemetrySnapshot::CounterSum(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+TelemetryRegistry& TelemetryRegistry::Global() {
+  // Leaked intentionally, like metrics::MetricsRegistry::Global(): cached
+  // pointers in instrumented code must survive static teardown.
+  static TelemetryRegistry* registry = new TelemetryRegistry();
+  return *registry;
+}
+
+WindowedHistogram* TelemetryRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CF_CHECK(counters_.count(name) == 0)
+      << "windowed metric '" << name
+      << "' already registered with a different kind";
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<WindowedHistogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+WindowedCounter* TelemetryRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CF_CHECK(histograms_.count(name) == 0)
+      << "windowed metric '" << name
+      << "' already registered with a different kind";
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<WindowedCounter>()).first;
+  }
+  return it->second.get();
+}
+
+TelemetrySnapshot TelemetryRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TelemetrySnapshot snap;
+  const int64_t now_ms = WindowedHistogram::NowMs();
+  for (const auto& [name, h] : histograms_) {
+    snap.window_seconds = std::max(snap.window_seconds, h->WindowSeconds());
+    snap.histograms.emplace_back(name, h->SnapshotAtMs(now_ms));
+  }
+  for (const auto& [name, c] : counters_) {
+    snap.window_seconds = std::max(snap.window_seconds, c->WindowSeconds());
+    snap.counters.emplace_back(name, c->SumAtMs(now_ms));
+  }
+  return snap;
+}
+
+}  // namespace telemetry
+}  // namespace chainsformer

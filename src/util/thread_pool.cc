@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/metric_names.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -10,19 +11,19 @@ namespace {
 
 metrics::Counter* TasksScheduledCounter() {
   static auto* c =
-      metrics::MetricsRegistry::Global().GetCounter("threadpool.tasks_scheduled");
+      metrics::MetricsRegistry::Global().GetCounter(metrics::names::kThreadpoolTasksScheduled);
   return c;
 }
 
 metrics::Counter* InlineRunsCounter() {
   static auto* c =
-      metrics::MetricsRegistry::Global().GetCounter("threadpool.inline_runs");
+      metrics::MetricsRegistry::Global().GetCounter(metrics::names::kThreadpoolInlineRuns);
   return c;
 }
 
 metrics::Counter* RangeTasksCounter() {
   static auto* c =
-      metrics::MetricsRegistry::Global().GetCounter("threadpool.range_tasks");
+      metrics::MetricsRegistry::Global().GetCounter(metrics::names::kThreadpoolRangeTasks);
   return c;
 }
 

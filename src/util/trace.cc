@@ -26,6 +26,7 @@ struct Span {
   uint64_t start_ns;
   uint64_t end_ns;
   int depth;
+  SpanAnnotations ann;  // request-scoped facts (all-default for CF_TRACE_SCOPE)
 };
 
 /// One ring per traced thread. The owning thread appends under `mu`
@@ -48,17 +49,6 @@ struct Registry {
 Registry& GetRegistry() {
   static Registry* registry = new Registry();  // leaked: see metrics.cc
   return *registry;
-}
-
-uint64_t NowNs() {
-  // Steady-clock ticks relative to a process-global base, so Chrome's
-  // timeline starts near zero.
-  static const std::chrono::steady_clock::time_point base =
-      std::chrono::steady_clock::now();
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - base)
-          .count());
 }
 
 ThreadBuffer& LocalBuffer() {
@@ -86,7 +76,39 @@ std::string EscapeJson(const std::string& s) {
   return out;
 }
 
+/// Appends a completed span to the calling thread's ring buffer.
+void Record(const char* name, uint64_t start_ns, uint64_t end_ns, int depth,
+            const SpanAnnotations& ann) {
+  ThreadBuffer& buf = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.ring[buf.next] = {name, start_ns, end_ns, depth, ann};
+  buf.next = (buf.next + 1) % kRingCapacity;
+  if (buf.size < kRingCapacity) {
+    ++buf.size;
+  } else {
+    ++buf.dropped;  // overwrote the oldest span
+  }
+}
+
 }  // namespace
+
+uint64_t NowNs() {
+  // Steady-clock ticks relative to a process-global base, so Chrome's
+  // timeline starts near zero.
+  static const std::chrono::steady_clock::time_point base =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - base)
+          .count());
+}
+
+void EmitSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
+              const SpanAnnotations& ann) {
+  if (!Enabled()) return;
+  if (end_ns < start_ns) end_ns = start_ns;
+  Record(name, start_ns, end_ns, t_depth, ann);
+}
 
 namespace internal {
 
@@ -99,15 +121,7 @@ void BeginSpan(const char* name, uint64_t* start_ns, int* depth) {
 void EndSpan(const char* name, uint64_t start_ns, int depth) {
   const uint64_t end_ns = NowNs();
   t_depth = depth;  // robust even if enabling raced with scope entry
-  ThreadBuffer& buf = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buf.mu);
-  buf.ring[buf.next] = {name, start_ns, end_ns, depth};
-  buf.next = (buf.next + 1) % kRingCapacity;
-  if (buf.size < kRingCapacity) {
-    ++buf.size;
-  } else {
-    ++buf.dropped;  // overwrote the oldest span
-  }
+  Record(name, start_ns, end_ns, depth, SpanAnnotations{});
 }
 
 }  // namespace internal
@@ -187,8 +201,20 @@ std::string DrainChromeTraceJson() {
                   (d.span.end_ns - d.span.start_ns) / 1e3);
     os << "\n  {\"ph\": \"X\", \"pid\": 1, \"tid\": " << d.tid << ", \"name\": \""
        << EscapeJson(d.span.name) << "\", \"ts\": " << head
-       << ", \"dur\": " << dur << ", \"args\": {\"depth\": " << d.span.depth
-       << "}}";
+       << ", \"dur\": " << dur << ", \"args\": {\"depth\": " << d.span.depth;
+    const SpanAnnotations& ann = d.span.ann;
+    if (ann.trace_id != 0) {
+      // Stringified so a 64-bit id survives viewers that parse numbers as
+      // doubles (2^53 mantissa).
+      os << ", \"trace_id\": \"" << ann.trace_id << "\"";
+    }
+    if (ann.batch_id >= 0) os << ", \"batch_id\": " << ann.batch_id;
+    if (ann.batch_size > 0) os << ", \"batch_size\": " << ann.batch_size;
+    if (ann.dedup_collapsed) os << ", \"dedup_collapsed\": true";
+    if (ann.cause != nullptr) {
+      os << ", \"cause\": \"" << EscapeJson(ann.cause) << "\"";
+    }
+    os << "}}";
   }
   os << "\n]}\n";
   return os.str();

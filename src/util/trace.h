@@ -31,6 +31,37 @@ void BeginSpan(const char* name, uint64_t* start_ns, int* depth);
 void EndSpan(const char* name, uint64_t start_ns, int depth);
 }  // namespace internal
 
+/// Nanoseconds on the process-local steady clock (zero near process start;
+/// the same clock every span timestamp uses). Cheap enough to call
+/// unconditionally on the serve hot path.
+uint64_t NowNs();
+
+/// Request-scoped facts attached to a span emitted with EmitSpan. Fields at
+/// their defaults are omitted from the drained JSON. `cause` must be a
+/// string literal (it is stored, not copied).
+struct SpanAnnotations {
+  uint64_t trace_id = 0;       // owning request (0 = not request-scoped)
+  int64_t batch_id = -1;       // micro-batch the request rode in
+  int batch_size = 0;          // size of that micro-batch
+  bool dedup_collapsed = false;  // answered by another request's forward
+  const char* cause = nullptr;   // degradation cause ("deadline", ...)
+};
+
+/// Records a completed span from explicit timestamps taken with NowNs().
+/// Used where a scope cannot bracket the phase being traced — e.g. a
+/// request's queue-wait measured across threads. The annotations tag the
+/// span with the owning request so Perfetto can filter one request's whole
+/// timeline; `name` must be a string literal. No-op while tracing is
+/// disabled.
+void EmitSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
+              const SpanAnnotations& ann);
+inline void EmitSpan(const char* name, uint64_t start_ns, uint64_t end_ns,
+                     uint64_t trace_id = 0) {
+  SpanAnnotations ann;
+  ann.trace_id = trace_id;
+  EmitSpan(name, start_ns, end_ns, ann);
+}
+
 /// Turns span collection on/off process-wide. Already-buffered spans are
 /// kept; use Clear() to drop them.
 void SetEnabled(bool enabled);

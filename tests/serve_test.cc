@@ -11,11 +11,14 @@
 #include <gtest/gtest.h>
 
 #include "core/chainsformer.h"
+#include "graph/runtime.h"
 #include "kg/synthetic.h"
+#include "serve/admin.h"
 #include "serve/cache.h"
 #include "serve/checkpoint.h"
 #include "serve/service.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace chainsformer {
 namespace serve {
@@ -365,6 +368,145 @@ TEST(InferenceServiceTest, ConcurrentClientsStress) {
   for (auto& client : clients) client.join();
   EXPECT_EQ(answered.load(), kClients * kRequestsPerClient);
   EXPECT_GT(model_answers.load(), 0);
+}
+
+// --- Request tracing ---------------------------------------------------------
+
+/// Finds a held-out query with a non-empty Tree of Chains (so it reaches
+/// the dispatcher instead of degrading to empty_toc).
+Query RetrievableQuery(Trained& t) {
+  for (const Query& candidate : HeldOutQueries(t.dataset, 8)) {
+    if (!t.model->RetrieveChains(candidate).empty()) return candidate;
+  }
+  ADD_FAILURE() << "no retrievable held-out query";
+  return {};
+}
+
+// Duplicate (entity, attribute) requests share one forward pass, but each
+// response must carry its own trace id, the shared batch identity, and
+// per-request span timings; exactly one of the two is the dedup-collapsed
+// rider. The Chrome trace must contain both request timelines.
+TEST(InferenceServiceTest, TracePropagationUnderDedupCoalescing) {
+  Trained& t = Shared();
+  ServeOptions options;
+  options.batch_window_us = 200000;  // wide window: both clients join one batch
+  options.max_batch = 8;
+  options.deadline_ms = 0;
+  InferenceService service(*t.model, options);
+  const Query q = RetrievableQuery(t);
+  const double expected = t.model->Predict(q);
+
+  trace::SetEnabled(true);
+  trace::Clear();
+  constexpr uint64_t kTraceA = 0xA11CE;
+  constexpr uint64_t kTraceB = 0xB0B;
+  ServeResponse r1, r2;
+  std::thread first([&] { r1 = service.Predict(q, kTraceA); });
+  std::thread second([&] { r2 = service.Predict(q, kTraceB); });
+  first.join();
+  second.join();
+  const std::string trace_json = trace::DrainChromeTraceJson();
+  trace::SetEnabled(false);
+
+  // Client-supplied ids come back on the matching response.
+  EXPECT_EQ(r1.trace_id, kTraceA);
+  EXPECT_EQ(r2.trace_id, kTraceB);
+  EXPECT_EQ(r1.value, expected);
+  EXPECT_EQ(r2.value, expected);
+
+  // One batch, one forward: same batch id, exactly one collapsed rider.
+  ASSERT_EQ(r1.batch_size, 2) << "clients missed the coalescing window";
+  EXPECT_EQ(r2.batch_size, 2);
+  EXPECT_GE(r1.batch_id, 0);
+  EXPECT_EQ(r1.batch_id, r2.batch_id);
+  EXPECT_NE(r1.dedup_collapsed, r2.dedup_collapsed);
+
+  // Both requests get their own phase breakdown; the forward pass is shared
+  // so its cost is identical.
+  EXPECT_GE(r1.queue_us, 0);
+  EXPECT_GE(r2.queue_us, 0);
+  EXPECT_GT(r1.compute_us + r1.verify_us, 0);
+  EXPECT_EQ(r1.compute_us, r2.compute_us);
+  // Phases nest inside the request: none can exceed the total.
+  for (const ServeResponse* r : {&r1, &r2}) {
+    EXPECT_LE(r->compute_us, r->latency_us + 1000);
+    EXPECT_LE(r->queue_us + r->window_us, r->latency_us + 1000);
+  }
+
+  // Both timelines are in the Perfetto trace, per-request spans included.
+  EXPECT_NE(trace_json.find("\"trace_id\": \"" + std::to_string(kTraceA) +
+                            "\""),
+            std::string::npos);
+  EXPECT_NE(trace_json.find("\"trace_id\": \"" + std::to_string(kTraceB) +
+                            "\""),
+            std::string::npos);
+  for (const char* span :
+       {"serve.request", "serve.cache_lookup", "serve.queue_wait",
+        "serve.batch_window", "serve.compute"}) {
+    EXPECT_NE(trace_json.find(std::string("\"name\": \"") + span + "\""),
+              std::string::npos)
+        << "span " << span << " missing from the drained trace";
+  }
+  EXPECT_NE(trace_json.find("\"dedup_collapsed\": true"), std::string::npos);
+  EXPECT_NE(trace_json.find("\"batch_size\": 2"), std::string::npos);
+}
+
+// Without a client-supplied id the service generates distinct, nonzero,
+// deterministic ids from the RNG seam (same seed + same order = same ids).
+TEST(InferenceServiceTest, GeneratedTraceIdsAreDistinctAndDeterministic) {
+  Trained& t = Shared();
+  ServeOptions options;
+  options.batch_window_us = 0;
+  options.deadline_ms = 0;
+  std::vector<uint64_t> first_run, second_run;
+  const Query q = RetrievableQuery(t);
+  for (int run = 0; run < 2; ++run) {
+    InferenceService service(*t.model, options);
+    std::vector<uint64_t>& ids = run == 0 ? first_run : second_run;
+    for (int i = 0; i < 3; ++i) ids.push_back(service.Predict(q).trace_id);
+  }
+  EXPECT_NE(first_run[0], 0u);
+  EXPECT_NE(first_run[0], first_run[1]);
+  EXPECT_NE(first_run[1], first_run[2]);
+  EXPECT_EQ(first_run, second_run)
+      << "trace ids must be reproducible across identical runs (RNG seam)";
+}
+
+// The admin snapshot over a live service reports live percentiles, SLO
+// rates, cache hit rate, and per-bucket plan stats in both formats.
+TEST(InferenceServiceTest, AdminSnapshotsReflectLiveService) {
+  Trained& t = Shared();
+  ServeOptions options;
+  options.batch_window_us = 0;
+  options.deadline_ms = 0;
+  InferenceService service(*t.model, options);
+  const Query q = RetrievableQuery(t);
+  for (int i = 0; i < 4; ++i) service.Predict(q);
+
+  const std::string json = StatusJson(&service);
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "statusz must be one line";
+  for (const char* needle :
+       {"\"serve.phase.total_us\"", "\"p50\"", "\"p90\"", "\"p99\"",
+        "\"deadline_miss_rate\"", "\"degraded_by_cause\"", "\"hit_rate\"",
+        "\"plan_buckets\"", "\"plan_verify_failures\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos)
+        << needle << " missing from statusz JSON";
+  }
+  // The service answered 4 requests through one plan bucket.
+  ASSERT_NE(service.static_runtime(), nullptr);
+  EXPECT_FALSE(service.static_runtime()->Stats().empty());
+  EXPECT_NE(json.find("\"ready\": true"), std::string::npos);
+
+  const std::string prom = PrometheusText(&service);
+  for (const char* needle :
+       {"# TYPE cf_serve_requests counter",
+        "cf_window_serve_phase_total_us_p50",
+        "cf_window_serve_phase_total_us_p99", "cf_slo_deadline_miss_rate",
+        "cf_slo_degraded_cause_rate{cause=\"deadline\"}",
+        "cf_plan_bucket_ready"}) {
+    EXPECT_NE(prom.find(needle), std::string::npos)
+        << needle << " missing from Prometheus text";
+  }
 }
 
 }  // namespace

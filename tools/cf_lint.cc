@@ -234,6 +234,28 @@ class Linter {
            << kCheckWindow << " lines";
         report("unchecked-data-index", os.str());
       }
+
+      // Metric names must come from util/metric_names.h: a typo'd dotted
+      // literal silently registers a brand-new, forever-empty series that
+      // no test can catch. Flags Get{Counter,Gauge,Histogram}("...") on the
+      // metrics and telemetry registries alike.
+      for (const char* getter : {"GetCounter", "GetGauge", "GetHistogram"}) {
+        const size_t pos = FindWord(code, getter);
+        if (pos == std::string::npos) continue;
+        size_t i = pos + std::strlen(getter);
+        if (i >= code.size() || code[i] != '(') continue;
+        ++i;
+        while (i < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[i]))) {
+          ++i;
+        }
+        if (i < code.size() && code[i] == '"') {
+          report("metric-name-literal",
+                 std::string(getter) +
+                     " takes a string literal; name the metric through a "
+                     "util/metric_names.h constant instead");
+        }
+      }
     }
   }
 

@@ -5,9 +5,14 @@
 // stdin or over a TCP port. Requests from concurrent clients are coalesced
 // into micro-batches that ride one masked EncodeBatch pass each (DESIGN §6e).
 //
-// Request:  {"id": 7, "entity": "person_12", "attribute": "birth_year"}
-// Response: {"id": 7, "value": 1956.3, "degraded": false, "source": "model",
-//            "latency_us": 412, "batch_size": 5}
+// Request:  {"id": 7, "entity": "person_12", "attribute": "birth_year",
+//            "trace_id": 12345}        (trace_id optional; else generated)
+// Response: {"id": 7, "trace_id": "12345", "value": 1956.3,
+//            "degraded": false, "source": "model", "latency_us": 412,
+//            "batch_size": 5, "batch_id": 3, "dedup_collapsed": false,
+//            "cache_hit": true}
+// Admin:    {"cmd": "statusz"} on the main port, or GET /statusz, /metrics
+//           (Prometheus), /healthz on --admin-port.
 //
 // Examples:
 //   chainsformer_serve --checkpoint=/tmp/model.cfsm \
@@ -16,8 +21,11 @@
 //       --triples=/tmp/t.tsv --numeric=/tmp/n.tsv --port=8471
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <iostream>
@@ -32,12 +40,15 @@
 #include <unistd.h>
 
 #include "kg/loader.h"
+#include "serve/admin.h"
 #include "serve/checkpoint.h"
 #include "serve/service.h"
 #include "tensor/checks.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/metric_names.h"
 #include "util/metrics.h"
+#include "util/telemetry.h"
 #include "util/trace.h"
 
 namespace chainsformer {
@@ -61,7 +72,14 @@ int Usage() {
       "  --kernel-threads=N   dense kernel workers (default 1)\n"
       "  --seed=N             must match training when the checkpoint is legacy\n"
       "  observability: --metrics-json=PATH --trace-json=PATH --stats\n"
-      "                 --check-mode=off|shapes|full\n");
+      "                 --check-mode=off|shapes|full\n"
+      "  --admin-port=N       HTTP admin endpoint on 127.0.0.1 (GET /statusz\n"
+      "                       JSON, /metrics Prometheus, /healthz); the same\n"
+      "                       JSON answers {\"cmd\": \"statusz\"} on the main\n"
+      "                       port\n"
+      "  --access-log=PATH    NDJSON access log with per-request span\n"
+      "                       breakdown (trace id, batch, phase latencies)\n"
+      "  --access-log-every=N log every Nth request (default 1)\n");
   return 2;
 }
 
@@ -106,12 +124,90 @@ std::string EscapeJson(const std::string& s) {
   return out;
 }
 
+/// Sampled structured access log: one NDJSON line per logged request with
+/// the full span breakdown (--access-log / --access-log-every).
+class AccessLogger {
+ public:
+  bool Open(const std::string& path, int64_t every) {
+    every_ = every > 0 ? every : 1;
+    file_ = std::fopen(path.c_str(), "a");
+    if (file_ == nullptr) {
+      std::fprintf(stderr, "cannot open access log %s\n", path.c_str());
+      return false;
+    }
+    return true;
+  }
+  ~AccessLogger() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  bool enabled() const { return file_ != nullptr; }
+
+  void Log(const std::string& entity, const std::string& attribute,
+           const serve::ServeResponse& r, int64_t serialize_us) {
+    if (file_ == nullptr) return;
+    if (seq_.fetch_add(1) % every_ != 0) return;
+    const int64_t ts_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fprintf(
+        file_,
+        "{\"ts_ms\": %lld, \"trace_id\": \"%llu\", \"entity\": \"%s\", "
+        "\"attribute\": \"%s\", \"value\": %.17g, \"degraded\": %s, "
+        "\"source\": \"%s\", \"latency_us\": %lld, \"batch_id\": %lld, "
+        "\"batch_size\": %d, \"dedup_collapsed\": %s, \"cache_hit\": %s, "
+        "\"phases\": {\"cache_us\": %lld, \"queue_us\": %lld, "
+        "\"window_us\": %lld, \"compute_us\": %lld, \"verify_us\": %lld, "
+        "\"serialize_us\": %lld}}\n",
+        static_cast<long long>(ts_ms),
+        static_cast<unsigned long long>(r.trace_id),
+        EscapeJson(entity).c_str(), EscapeJson(attribute).c_str(), r.value,
+        r.degraded ? "true" : "false", r.source.c_str(),
+        static_cast<long long>(r.latency_us),
+        static_cast<long long>(r.batch_id), r.batch_size,
+        r.dedup_collapsed ? "true" : "false", r.cache_hit ? "true" : "false",
+        static_cast<long long>(r.cache_us),
+        static_cast<long long>(r.queue_us),
+        static_cast<long long>(r.window_us),
+        static_cast<long long>(r.compute_us),
+        static_cast<long long>(r.verify_us),
+        static_cast<long long>(serialize_us));
+    std::fflush(file_);  // survive an unclean kill; sampled, so cheap
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  int64_t every_ = 1;
+  std::atomic<int64_t> seq_{0};
+  std::mutex mu_;
+};
+
+/// Everything a request handler needs, threaded through both serve modes.
+struct ServeContext {
+  const kg::Dataset& dataset;
+  serve::InferenceService& service;
+  AccessLogger* access_log = nullptr;  // null = disabled
+};
+
+/// Parses a client-supplied trace id: decimal or 0x-prefixed hex. Returns 0
+/// (= "generate one for me") on absence or garbage.
+uint64_t ParseTraceId(const std::string& line) {
+  std::string raw;
+  if (!JsonField(line, "trace_id", &raw)) return 0;
+  return std::strtoull(raw.c_str(), nullptr, 0);
+}
+
 /// Resolves one request line against the graph and answers it. Unknown
 /// entities/attributes come back as {"error": ...} instead of killing the
-/// connection.
-std::string HandleLine(const kg::Dataset& dataset, serve::InferenceService& service,
-                       const std::string& line) {
-  std::string id, entity_name, attribute_name;
+/// connection. `{"cmd": "statusz"}` answers with the admin status document
+/// instead of a prediction.
+std::string HandleLine(const ServeContext& ctx, const std::string& line) {
+  std::string id, entity_name, attribute_name, cmd;
+  if (JsonField(line, "cmd", &cmd)) {
+    if (cmd == "statusz") return serve::StatusJson(&ctx.service);
+    return "{\"error\": \"unknown cmd: " + EscapeJson(cmd) + "\"}";
+  }
   const bool has_id = JsonField(line, "id", &id);
   auto error = [&](const std::string& message) {
     std::string r = "{";
@@ -122,28 +218,53 @@ std::string HandleLine(const kg::Dataset& dataset, serve::InferenceService& serv
       !JsonField(line, "attribute", &attribute_name)) {
     return error("request needs \"entity\" and \"attribute\"");
   }
-  const kg::EntityId entity = dataset.graph.FindEntity(entity_name);
+  const kg::EntityId entity = ctx.dataset.graph.FindEntity(entity_name);
   if (entity < 0) return error("unknown entity: " + entity_name);
-  const kg::AttributeId attribute = dataset.graph.FindAttribute(attribute_name);
+  const kg::AttributeId attribute =
+      ctx.dataset.graph.FindAttribute(attribute_name);
   if (attribute < 0) return error("unknown attribute: " + attribute_name);
 
-  const serve::ServeResponse resp = service.Predict({entity, attribute});
-  char buf[256];
+  const serve::ServeResponse resp =
+      ctx.service.Predict({entity, attribute}, ParseTraceId(line));
+
+  // Serialize phase: the last span of the request's timeline. The trace id
+  // is stringified in the response for the same 2^53 reason as in the
+  // Chrome trace.
+  const uint64_t ser_start_ns = trace::NowNs();
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
-                "\"value\": %.17g, \"degraded\": %s, \"source\": \"%s\", "
-                "\"latency_us\": %lld, \"batch_size\": %d}",
-                resp.value, resp.degraded ? "true" : "false",
-                resp.source.c_str(), static_cast<long long>(resp.latency_us),
-                resp.batch_size);
+                "\"trace_id\": \"%llu\", \"value\": %.17g, "
+                "\"degraded\": %s, \"source\": \"%s\", "
+                "\"latency_us\": %lld, \"batch_size\": %d, "
+                "\"batch_id\": %lld, \"dedup_collapsed\": %s, "
+                "\"cache_hit\": %s}",
+                static_cast<unsigned long long>(resp.trace_id), resp.value,
+                resp.degraded ? "true" : "false", resp.source.c_str(),
+                static_cast<long long>(resp.latency_us), resp.batch_size,
+                static_cast<long long>(resp.batch_id),
+                resp.dedup_collapsed ? "true" : "false",
+                resp.cache_hit ? "true" : "false");
   std::string r = "{";
   if (has_id) r += "\"id\": " + id + ", ";
-  return r + buf;
+  r += buf;
+  const uint64_t ser_end_ns = trace::NowNs();
+  trace::EmitSpan("serve.serialize", ser_start_ns, ser_end_ns, resp.trace_id);
+  static auto* serialize_hist =
+      telemetry::TelemetryRegistry::Global().GetHistogram(
+          metrics::names::kServePhaseSerializeUs);
+  const int64_t serialize_us =
+      static_cast<int64_t>((ser_end_ns - ser_start_ns) / 1000);
+  serialize_hist->ObserveAtMs(static_cast<double>(serialize_us),
+                              static_cast<int64_t>(ser_end_ns / 1'000'000));
+  if (ctx.access_log != nullptr && ctx.access_log->enabled()) {
+    ctx.access_log->Log(entity_name, attribute_name, resp, serialize_us);
+  }
+  return r;
 }
 
 // --- stdin mode ------------------------------------------------------------
 
-int ServeStdin(const kg::Dataset& dataset, serve::InferenceService& service,
-               int serve_threads) {
+int ServeStdin(const ServeContext& ctx, int serve_threads) {
   std::mutex queue_mu, out_mu;
   std::condition_variable queue_cv;
   std::deque<std::string> lines;
@@ -160,7 +281,7 @@ int ServeStdin(const kg::Dataset& dataset, serve::InferenceService& service,
         lines.pop_front();
       }
       if (line.empty()) continue;
-      const std::string response = HandleLine(dataset, service, line);
+      const std::string response = HandleLine(ctx, line);
       std::lock_guard<std::mutex> lock(out_mu);
       std::printf("%s\n", response.c_str());
     }
@@ -189,11 +310,24 @@ int ServeStdin(const kg::Dataset& dataset, serve::InferenceService& service,
 
 // --- TCP mode --------------------------------------------------------------
 
+/// Graceful-shutdown plumbing: SIGINT/SIGTERM close the listener (the only
+/// async-signal-safe call needed), which unblocks accept(); the main thread
+/// then drains connections, and Main's normal exit path flushes
+/// --metrics-json/--trace-json — telemetry from a killed server is not
+/// lost.
+volatile std::sig_atomic_t g_stop = 0;
+std::atomic<int> g_listener{-1};
+
+void HandleStopSignal(int) {
+  g_stop = 1;
+  const int fd = g_listener.exchange(-1);
+  if (fd >= 0) ::close(fd);
+}
+
 /// One thread per connection; batching happens across connections inside
 /// InferenceService. Intentionally minimal (no TLS, IPv4 only): the server
 /// is a benchmark/demo endpoint, not an internet-facing daemon.
-int ServeTcp(const kg::Dataset& dataset, serve::InferenceService& service,
-             int port) {
+int ServeTcp(const ServeContext& ctx, int port) {
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) {
     std::perror("socket");
@@ -211,12 +345,23 @@ int ServeTcp(const kg::Dataset& dataset, serve::InferenceService& service,
     ::close(listener);
     return 1;
   }
+  g_listener.store(listener);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
   std::fprintf(stderr, "serving on 127.0.0.1:%d\n", port);
   std::vector<std::thread> connections;
-  while (true) {
+  std::mutex conn_mu;
+  std::vector<int> conn_fds;  // slot -1 once the owning thread is done
+  while (g_stop == 0) {
     const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) break;
-    connections.emplace_back([&dataset, &service, fd] {
+    if (fd < 0) break;  // listener closed by the signal handler (or error)
+    size_t slot;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu);
+      slot = conn_fds.size();
+      conn_fds.push_back(fd);
+    }
+    connections.emplace_back([&ctx, &conn_mu, &conn_fds, fd, slot] {
       std::string buffer;
       char chunk[4096];
       ssize_t n;
@@ -227,16 +372,34 @@ int ServeTcp(const kg::Dataset& dataset, serve::InferenceService& service,
           const std::string line = buffer.substr(0, nl);
           buffer.erase(0, nl + 1);
           if (line.empty()) continue;
-          const std::string response =
-              HandleLine(dataset, service, line) + "\n";
+          const std::string response = HandleLine(ctx, line) + "\n";
           if (::write(fd, response.data(), response.size()) < 0) break;
         }
+      }
+      {
+        // Drop the slot before close so the shutdown sweep can never touch
+        // a recycled descriptor.
+        std::lock_guard<std::mutex> lock(conn_mu);
+        conn_fds[slot] = -1;
       }
       ::close(fd);
     });
   }
+  if (g_stop != 0) {
+    std::fprintf(stderr,
+                 "shutdown signal received; draining connections and "
+                 "flushing telemetry\n");
+  }
+  {
+    // Unblock any connection thread parked in read().
+    std::lock_guard<std::mutex> lock(conn_mu);
+    for (int fd : conn_fds) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
   for (auto& c : connections) c.join();
-  ::close(listener);
+  const int lf = g_listener.exchange(-1);
+  if (lf >= 0) ::close(lf);
   return 0;
 }
 
@@ -292,13 +455,32 @@ int Main(int argc, char** argv) {
 
   const int serve_threads = static_cast<int>(flags.GetInt("serve-threads", 4));
   const int port = static_cast<int>(flags.GetInt("port", 0));
+  const int admin_port = static_cast<int>(flags.GetInt("admin-port", -1));
+  const std::string access_log_path = flags.GetString("access-log");
+  const int64_t access_log_every = flags.GetInt("access-log-every", 1);
+
+  AccessLogger access_log;
+  if (!access_log_path.empty() &&
+      !access_log.Open(access_log_path, access_log_every)) {
+    return 1;
+  }
+  ServeContext ctx{dataset, service,
+                   access_log.enabled() ? &access_log : nullptr};
+
+  // Admin endpoint (--admin-port=0 binds an ephemeral port and prints it).
+  std::unique_ptr<serve::AdminServer> admin;
+  if (admin_port >= 0) {
+    admin = std::make_unique<serve::AdminServer>(admin_port, &service);
+    if (admin->port() < 0) return 1;
+    std::fprintf(stderr, "admin endpoint on 127.0.0.1:%d\n", admin->port());
+  }
 
   for (const std::string& key : flags.UnreadKeys()) {
     std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
   }
 
-  const int rc = port > 0 ? ServeTcp(dataset, service, port)
-                          : ServeStdin(dataset, service, serve_threads);
+  const int rc =
+      port > 0 ? ServeTcp(ctx, port) : ServeStdin(ctx, serve_threads);
 
   if (!metrics_json.empty() || print_stats) {
     const metrics::MetricsSnapshot snap =

@@ -2,9 +2,11 @@
 # Builds the Asan (address+undefined) and Tsan build types and runs the
 # test suites that exercise memory- and thread-hazardous paths under each:
 #
-#   - label `threaded`  — thread pool, threaded kernel dispatch, lock-free
-#                         metrics/tracer paths
-#   - label `sanitizer` — tape sanitizer behavior + death tests
+#   - label `threaded`      — thread pool, threaded kernel dispatch,
+#                             lock-free metrics/tracer paths
+#   - label `sanitizer`     — tape sanitizer behavior + death tests
+#   - label `observability` — windowed telemetry, request tracing, and the
+#                             admin endpoint (HTTP scrape round-trips)
 #
 # Usage: tools/run_sanitizers.sh [build-dir-prefix]
 #
@@ -24,8 +26,9 @@ run_config() {
     -DCMAKE_BUILD_TYPE="${build_type}" \
     -DCF_KERNELS_NATIVE_ARCH=OFF
   cmake --build "${build_dir}" -j
-  echo "=== ${name}: ctest -L 'threaded|sanitizer' ==="
-  ctest --test-dir "${build_dir}" -L 'threaded|sanitizer' --output-on-failure
+  echo "=== ${name}: ctest -L 'threaded|sanitizer|observability' ==="
+  ctest --test-dir "${build_dir}" -L 'threaded|sanitizer|observability' \
+    --output-on-failure
 }
 
 run_config asan Asan
