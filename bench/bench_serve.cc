@@ -4,8 +4,12 @@
 // and micro-batched (duplicate requests coalesce, unique forwards share a
 // dispatch, DESIGN §6e) — crossed with the dispatch backend: eager tape
 // interpretation vs the compiled static-graph plans (DESIGN §6f,
-// --static-graph, the shipping default). A batch-window sweep runs at the
-// highest client count. Each (mode, graph, clients) cell runs two workloads:
+// --static-graph, the shipping default). The batched-static cell is
+// additionally swept over the serving precision (fp64 / bf16 / int8,
+// DESIGN §6g) at every client count, and the summary records the WORST int8
+// vs fp64 cell — the acceptance bar is a win everywhere, not on average. A
+// batch-window sweep runs at the highest client count. Each (mode, graph,
+// clients) cell runs two workloads:
 //
 //   uniform — every request strides over the full working set. Measures raw
 //             dispatch overhead; on a single hardware thread batched and
@@ -43,6 +47,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "graph/quant.h"
 #include "serve/service.h"
 #include "util/flags.h"
 #include "util/metrics.h"
@@ -159,9 +164,10 @@ LoadResult RunLoad(const core::ChainsFormerModel& model,
 }
 
 struct Record {
-  std::string mode;      // "single" or "batched"
-  std::string graph;     // "eager" or "static" (compiled-plan dispatch)
-  std::string workload;  // "uniform" or "hotspot"
+  std::string mode;       // "single" or "batched"
+  std::string graph;      // "eager" or "static" (compiled-plan dispatch)
+  std::string workload;   // "uniform" or "hotspot"
+  std::string precision;  // "fp64", "bf16" or "int8" (DESIGN §6g)
   int client_threads = 0;
   int64_t batch_window_us = 0;
   int max_batch = 0;
@@ -217,22 +223,31 @@ int Main(int argc, char** argv) {
     working_set.push_back({t.entity, t.attribute});
   }
 
+  // Quantized weights for the reduced-precision cells (DESIGN §6g). Built
+  // once from the frozen model; mae_delta stays 0 (bench_quant records the
+  // calibrated drift), so the serve-time accuracy gate accepts the store.
+  const auto quant_store = std::make_shared<const graph::QuantStore>(
+      graph::BuildQuantStore(model));
+
   auto* dedup_counter =
       metrics::MetricsRegistry::Global().GetCounter("serve.batch_dedup");
   std::vector<Record> records;
   auto run = [&](const std::string& mode, const std::string& graph,
                  const std::string& workload, int threads, int64_t window_us,
-                 int max_batch) {
+                 int max_batch, const std::string& precision = "fp64") {
     serve::ServeOptions so;
     so.batch_window_us = window_us;
     so.max_batch = max_batch;
     so.deadline_ms = 0;  // throughput run: measure the model path, not timeouts
     so.compute_threads = compute_threads;
     so.use_static_graph = graph == "static";
+    graph::ParsePrecision(precision, &so.precision);
+    if (so.precision == graph::Precision::kInt8) so.quant = quant_store;
     Record r;
     r.mode = mode;
     r.graph = graph;
     r.workload = workload;
+    r.precision = precision;
     r.client_threads = threads;
     r.batch_window_us = window_us;
     r.max_batch = max_batch;
@@ -249,10 +264,12 @@ int Main(int argc, char** argv) {
     }
     records.push_back(r);
     std::printf(
-        "%-8s %-7s %-8s clients=%d window=%5lldus max_batch=%-3d  %8.0f q/s  "
+        "%-8s %-7s %-5s %-8s clients=%d window=%5lldus max_batch=%-3d  "
+        "%8.0f q/s  "
         "p50 %6.0fus  p90 %6.0fus  p99 %6.0fus  mean_batch %.2f  "
         "coalesced %lld  phases(q/w/c/v) %.0f/%.0f/%.0f/%.0fus\n",
-        mode.c_str(), graph.c_str(), workload.c_str(), threads,
+        mode.c_str(), graph.c_str(), precision.c_str(), workload.c_str(),
+        threads,
         static_cast<long long>(window_us), max_batch, r.load.throughput_qps,
         r.load.p50_us, r.load.p90_us, r.load.p99_us, r.load.mean_batch_size,
         static_cast<long long>(r.coalesced), r.load.mean_queue_us,
@@ -276,6 +293,15 @@ int Main(int argc, char** argv) {
         batched_uni_at_max = bu;
         single_hot_at_max = sh;
         batched_hot_at_max = bh;
+        // Reduced-precision dimension (DESIGN §6g): the same shipping cell
+        // (batched static dispatch) at bf16 and int8, so every client count
+        // records the quantization speedup on both workloads.
+        for (const char* precision : {"bf16", "int8"}) {
+          run("batched", graph, "uniform", threads, default_window, 32,
+              precision);
+          run("batched", graph, "hotspot", threads, default_window, 32,
+              precision);
+        }
       }
     }
   }
@@ -291,6 +317,38 @@ int Main(int argc, char** argv) {
               max_threads, batched_hot_at_max / single_hot_at_max);
   std::printf("batched vs single (static, uniform) at %d clients: %.2fx\n",
               max_threads, batched_uni_at_max / single_uni_at_max);
+
+  // int8 vs fp64 over the batched-static cells: the ISSUE acceptance bar is
+  // that int8 wins QPS and p50 at EVERY client count on BOTH workloads, so
+  // the recorded summary is the worst cell, not the best.
+  auto batched_static = [&](const std::string& precision,
+                            const std::string& workload,
+                            int threads) -> const Record* {
+    for (const Record& r : records) {
+      if (r.mode == "batched" && r.graph == "static" &&
+          r.precision == precision && r.workload == workload &&
+          r.client_threads == threads && r.batch_window_us == default_window) {
+        return &r;
+      }
+    }
+    return nullptr;
+  };
+  double int8_min_qps_ratio = 1e18, int8_max_p50_ratio = 0.0;
+  for (const int threads : client_thread_counts) {
+    for (const char* workload : {"uniform", "hotspot"}) {
+      const Record* fp64 = batched_static("fp64", workload, threads);
+      const Record* int8 = batched_static("int8", workload, threads);
+      if (fp64 == nullptr || int8 == nullptr) continue;
+      const double qps_ratio =
+          int8->load.throughput_qps / fp64->load.throughput_qps;
+      const double p50_ratio = int8->load.p50_us / fp64->load.p50_us;
+      std::printf("int8 vs fp64 (batched static, %s) at %d clients: "
+                  "%.2fx qps, %.2fx p50\n",
+                  workload, threads, qps_ratio, p50_ratio);
+      int8_min_qps_ratio = std::min(int8_min_qps_ratio, qps_ratio);
+      int8_max_p50_ratio = std::max(int8_max_p50_ratio, p50_ratio);
+    }
+  }
 
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -312,12 +370,16 @@ int Main(int argc, char** argv) {
   std::fprintf(f,
                "  \"batched_vs_single_uniform_at_%d_clients\": %.3f,\n",
                max_threads, batched_uni_at_max / single_uni_at_max);
+  std::fprintf(f, "  \"int8_vs_fp64_min_qps_ratio\": %.3f,\n",
+               int8_min_qps_ratio);
+  std::fprintf(f, "  \"int8_vs_fp64_max_p50_ratio\": %.3f,\n",
+               int8_max_p50_ratio);
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < records.size(); ++i) {
     const Record& r = records[i];
     std::fprintf(f,
                  "    {\"mode\": \"%s\", \"graph\": \"%s\", "
-                 "\"workload\": \"%s\", "
+                 "\"workload\": \"%s\", \"precision\": \"%s\", "
                  "\"client_threads\": %d, "
                  "\"batch_window_us\": %lld, \"max_batch\": %d, "
                  "\"throughput_qps\": %.1f, \"p50_us\": %.0f, "
@@ -328,7 +390,7 @@ int Main(int argc, char** argv) {
                  "\"mean_window_us\": %.1f, \"mean_compute_us\": %.1f, "
                  "\"mean_verify_us\": %.1f}%s\n",
                  r.mode.c_str(), r.graph.c_str(), r.workload.c_str(),
-                 r.client_threads,
+                 r.precision.c_str(), r.client_threads,
                  static_cast<long long>(r.batch_window_us), r.max_batch,
                  r.load.throughput_qps, r.load.p50_us, r.load.p90_us,
                  r.load.p95_us, r.load.p99_us, r.load.mean_batch_size,

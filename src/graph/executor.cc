@@ -20,6 +20,12 @@ PlanExecutor::PlanExecutor(std::shared_ptr<const Plan> plan)
   positions_.resize(static_cast<size_t>(plan_->k * plan_->max_len), 0);
   end_rows_.resize(static_cast<size_t>(plan_->k), 0);
   lengths_.resize(static_cast<size_t>(plan_->k), 0);
+  if (plan_->quant_rows > 0) {
+    qa_.resize(static_cast<size_t>(plan_->quant_qa_elems), 0);
+    qacc_.resize(static_cast<size_t>(plan_->quant_acc_elems), 0);
+    qrow_scale_.resize(static_cast<size_t>(plan_->quant_rows), 0.0f);
+    qrow_min_.resize(static_cast<size_t>(plan_->quant_rows), 0.0f);
+  }
 }
 
 const int64_t* PlanExecutor::IndexData(IndexArray which) const {
@@ -256,6 +262,30 @@ float PlanExecutor::RunNormalized(const core::TreeOfChains& chains) {
       case StepKind::kFill: {
         float* out = a + st.out;
         std::fill(out, out + st.m, st.scalar);
+        break;
+      }
+      case StepKind::kGemmInt8: {
+        const auto& pack = plan_->int8_packs[static_cast<size_t>(st.extra)];
+        kernels::QuantizeActivationRows(st.m, st.k, pack.k_padded, a + st.in0,
+                                        qa_.data(), qrow_scale_.data(),
+                                        qrow_min_.data());
+        kernels::Int8GemmI32Serial(st.m, pack, qa_.data(), qacc_.data());
+        break;
+      }
+      case StepKind::kDequantBias:
+      case StepKind::kDequantBiasGelu: {
+        const auto& pack = plan_->int8_packs[static_cast<size_t>(st.extra)];
+        kernels::DequantBiasRows(st.m, pack, qacc_.data(), qrow_scale_.data(),
+                                 qrow_min_.data(), st.w0,
+                                 st.kind == StepKind::kDequantBiasGelu,
+                                 a + st.out);
+        break;
+      }
+      case StepKind::kGemmBf16: {
+        const auto& pack = plan_->bf16_packs[static_cast<size_t>(st.extra)];
+        float* out = a + st.out;
+        std::fill(out, out + st.m * st.n, 0.0f);
+        kernels::Bf16GemmAccSerial(st.m, pack, a + st.in0, out);
         break;
       }
       case StepKind::kDot: {

@@ -49,6 +49,13 @@ class PlanExecutor {
   std::vector<int64_t> positions_;
   std::vector<int64_t> end_rows_;
   std::vector<int64_t> lengths_;
+  // Int8 working set (sized once from the plan's quant maxima; empty in
+  // fp64/bf16 plans): activation codes, int32 accumulators, and per-row
+  // dynamic-quantization facts handed from kGemmInt8 to the dequant step.
+  std::vector<uint8_t> qa_;
+  std::vector<int32_t> qacc_;
+  std::vector<float> qrow_scale_;
+  std::vector<float> qrow_min_;
 };
 
 }  // namespace graph

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <utility>
 
 #include "core/chain_encoder.h"
@@ -42,8 +43,24 @@ struct BufInfo {
 /// allocation and rewrites every id to a float offset in one shared arena.
 class Compiler {
  public:
-  Compiler(const core::ChainsFormerModel& model, int64_t k, int64_t max_len)
-      : model_(model), k_(k), len_(max_len) {}
+  Compiler(const core::ChainsFormerModel& model, int64_t k, int64_t max_len,
+           Precision precision, const QuantStore* store)
+      : model_(model), k_(k), len_(max_len), precision_(precision) {
+    plan_.precision = precision;
+    if (precision == Precision::kInt8) {
+      CF_CHECK(store != nullptr) << "int8 compilation requires a QuantStore";
+      const auto linears = QuantizableLinears(model);
+      CF_CHECK_EQ(linears.size(), store->linears.size())
+          << "quantization store does not match the model's Linear set";
+      for (size_t i = 0; i < linears.size(); ++i) {
+        const QuantizedLinear& q = store->linears[i];
+        CF_CHECK(q.name == linears[i].first)
+            << "quantization store row " << i << " is " << q.name
+            << ", model walk expects " << linears[i].first;
+        store_rows_[linears[i].second->weight().data().data()] = &q;
+      }
+    }
+  }
 
   Plan Build();
 
@@ -105,16 +122,55 @@ class Compiler {
   /// "MatMul"/"Add" expected events; a fused GELU changes only the step
   /// kind — the caller emits the "Gelu" event where the eager op actually
   /// fires (it may be separated from the Add by Reshape events at rank-3
-  /// call sites).
+  /// call sites). In a reduced-precision plan the same call site lowers to
+  /// the quantized step kinds instead; the expected-event skeleton is
+  /// identical, so the eager trace cross-check is precision-agnostic.
   int64_t LinearCore(const Linear& lin, int64_t in, int64_t rows,
                      bool fuse_gelu) {
     const int64_t in_f = lin.in_features(), out_f = lin.out_features();
     CF_CHECK(lin.bias().defined());
+    if (precision_ == Precision::kInt8) {
+      const int64_t pack = Int8PackIndex(lin);
+      // kGemmInt8 consumes the float input into the executor's uint8/int32
+      // scratch; the dequant step then materializes the float output. The
+      // output buffer's live interval starts at the dequant step, so the
+      // allocator may place it over the (already consumed) input — that is
+      // safe precisely because nothing reads the input after the GEMM.
+      const int64_t out_buf = NewBuf(rows * out_f);
+      Step& g = Push(StepKind::kGemmInt8);
+      g.in0 = in;
+      g.m = rows;
+      g.k = in_f;
+      g.n = out_f;
+      g.extra = pack;
+      Expect("MatMul", {rows, out_f});
+      Step& b = Push(fuse_gelu ? StepKind::kDequantBiasGelu
+                               : StepKind::kDequantBias);
+      b.out = out_buf;
+      b.w0 = Pin(lin.bias());
+      b.m = rows;
+      b.n = out_f;
+      b.extra = pack;
+      Expect("Add", {rows, out_f});
+      using tensor::kernels::Int8PaddedCols;
+      using tensor::kernels::Int8PaddedDepth;
+      plan_.quant_rows = std::max(plan_.quant_rows, rows);
+      plan_.quant_qa_elems =
+          std::max(plan_.quant_qa_elems, rows * Int8PaddedDepth(in_f));
+      plan_.quant_acc_elems =
+          std::max(plan_.quant_acc_elems, rows * Int8PaddedCols(out_f));
+      return out_buf;
+    }
     const int64_t gemm = NewBuf(rows * out_f);
-    Step& g = Push(StepKind::kGemm);
+    Step& g = Push(precision_ == Precision::kBf16 ? StepKind::kGemmBf16
+                                                  : StepKind::kGemm);
     g.in0 = in;
     g.out = gemm;
-    g.w0 = Pin(lin.weight());
+    if (precision_ == Precision::kBf16) {
+      g.extra = Bf16PackIndex(lin);
+    } else {
+      g.w0 = Pin(lin.weight());
+    }
     g.m = rows;
     g.k = in_f;
     g.n = out_f;
@@ -127,6 +183,38 @@ class Compiler {
     b.n = out_f;
     Expect("Add", {rows, out_f});
     return gemm;
+  }
+
+  /// Index into plan_.int8_packs for this Linear, packing its store row
+  /// into the interleaved kernel layout on first use.
+  int64_t Int8PackIndex(const Linear& lin) {
+    const float* wp = lin.weight().data().data();
+    auto it = pack_index_.find(wp);
+    if (it != pack_index_.end()) return it->second;
+    auto row = store_rows_.find(wp);
+    CF_CHECK(row != store_rows_.end())
+        << "Linear missing from the quantization store";
+    const QuantizedLinear& q = *row->second;
+    CF_CHECK_EQ(q.in, lin.in_features());
+    CF_CHECK_EQ(q.out, lin.out_features());
+    plan_.int8_packs.push_back(tensor::kernels::PackInt8Weights(
+        q.in, q.out, q.codes.data(), q.scale.data()));
+    const int64_t idx = static_cast<int64_t>(plan_.int8_packs.size()) - 1;
+    pack_index_[wp] = idx;
+    return idx;
+  }
+
+  /// Index into plan_.bf16_packs, rounding the frozen fp32 weights to
+  /// bfloat16 on first use (bf16 needs no checkpoint-side store).
+  int64_t Bf16PackIndex(const Linear& lin) {
+    const float* wp = lin.weight().data().data();
+    auto it = pack_index_.find(wp);
+    if (it != pack_index_.end()) return it->second;
+    plan_.bf16_packs.push_back(tensor::kernels::PackBf16Weights(
+        lin.in_features(), lin.out_features(), wp));
+    const int64_t idx = static_cast<int64_t>(plan_.bf16_packs.size()) - 1;
+    pack_index_[wp] = idx;
+    return idx;
   }
 
   /// Mlp::Forward over rank-2 rows: Linear stacks with GELU between layers.
@@ -310,6 +398,9 @@ class Compiler {
   const core::ChainsFormerModel& model_;
   const int64_t k_;
   const int64_t len_;
+  const Precision precision_;
+  std::map<const float*, const QuantizedLinear*> store_rows_;
+  std::map<const float*, int64_t> pack_index_;
   Plan plan_;
   std::vector<BufInfo> bufs_;
 };
@@ -573,9 +664,15 @@ void Compiler::AssignOffsets() {
 
 Plan CompilePlan(const core::ChainsFormerModel& model, int64_t k,
                  int64_t max_len) {
+  return CompilePlan(model, k, max_len, Precision::kFp64, nullptr);
+}
+
+Plan CompilePlan(const core::ChainsFormerModel& model, int64_t k,
+                 int64_t max_len, Precision precision,
+                 const QuantStore* store) {
   CF_CHECK_GT(k, 0);
   CF_CHECK_GT(max_len, 0);
-  return Compiler(model, k, max_len).Build();
+  return Compiler(model, k, max_len, precision, store).Build();
 }
 
 }  // namespace graph

@@ -6,8 +6,10 @@
 #include <vector>
 
 #include "core/config.h"
+#include "graph/quant.h"
 #include "graph/trace.h"
 #include "kg/knowledge_graph.h"
+#include "tensor/kernels.h"
 #include "tensor/tensor.h"
 
 namespace chainsformer {
@@ -48,6 +50,14 @@ enum class StepKind : uint8_t {
   kAdd3,               // out[i] = (in0[i] + in1[i]) + in2[i] (m elements)
   kFill,               // out[0..m) = scalar
   kDot,                // out[0] = float(sum_i double(float(in0[i]*in1[i])))
+  // Reduced-precision Linear lowering (DESIGN §6g). These replace the
+  // kGemm + kBiasAdd/kBiasGelu pair when the plan's precision is not kFp64;
+  // `extra` indexes Plan::int8_packs / bf16_packs.
+  kGemmInt8,           // quantize arena[in0][m,k] rows + int8 GEMM into the
+                       // executor's int32 scratch (out unused)
+  kDequantBias,        // arena[out][m,n] = dequant(scratch) + w0 bias
+  kDequantBiasGelu,    // same, with fused GELU
+  kGemmBf16,           // out[m,n] = arena[in0][m,k] * bf16(w)[k,n], fp32 acc
 };
 
 /// Host-side int64 index array a gather step reads (filled by the executor's
@@ -102,8 +112,21 @@ struct Plan {
   int64_t vn_offset = -1;      // [k] normalized evidence values
   int64_t result_offset = -1;  // normalized scalar prediction
 
+  // Reduced-precision state (empty / zero when precision == kFp64). Packs
+  // are indexed by Step::extra of the quantized step kinds; the scratch
+  // maxima size the executor's per-instance int8/int32 buffers (the arena
+  // itself stays float-only).
+  Precision precision = Precision::kFp64;
+  std::vector<tensor::kernels::Int8Pack> int8_packs;
+  std::vector<tensor::kernels::Bf16Pack> bf16_packs;
+  int64_t quant_rows = 0;       // max m over kGemmInt8 steps
+  int64_t quant_qa_elems = 0;   // max m * padded-k (uint8 activation codes)
+  int64_t quant_acc_elems = 0;  // max m * padded-n (int32 accumulators)
+
   // The op skeleton the eager path is expected to execute for this
-  // geometry, for cross-validation against a Tracer recording.
+  // geometry, for cross-validation against a Tracer recording. Identical
+  // in every precision mode: quantized lowering swaps step kinds, not the
+  // eager op sequence the plan mirrors.
   std::vector<TraceEvent> expected_events;
 
   // Keeps the parameter storage behind every w0/w1 pointer alive.
@@ -119,6 +142,15 @@ struct Plan {
 /// an eager run before serving from it (StaticGraphRuntime does both).
 Plan CompilePlan(const core::ChainsFormerModel& model, int64_t k,
                  int64_t max_len);
+
+/// Reduced-precision compilation: identical program shape, but every Linear
+/// kGemm lowers to the precision's step kinds. kInt8 requires a QuantStore
+/// whose rows came from BuildQuantStore on this model (matched against the
+/// QuantizableLinears walk by name and shape); kBf16 packs bf16 weights
+/// directly from the frozen fp32 parameters and ignores `store`.
+Plan CompilePlan(const core::ChainsFormerModel& model, int64_t k,
+                 int64_t max_len, Precision precision,
+                 const QuantStore* store);
 
 }  // namespace graph
 }  // namespace chainsformer

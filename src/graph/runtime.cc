@@ -1,8 +1,10 @@
 #include "graph/runtime.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <string>
+#include <utility>
 
 #include "graph/trace.h"
 #include "tensor/op_observer.h"
@@ -32,17 +34,42 @@ bool BitwiseEqual(double a, double b) {
   return std::memcmp(&a, &b, sizeof(double)) == 0;
 }
 
+// Default first-use parity tolerances (normalized prediction space). The
+// bf16 budget is tighter: bf16 only rounds weight storage to 8 mantissa
+// bits while int8 also quantizes activations dynamically.
+double DefaultTolerance(Precision p) {
+  switch (p) {
+    case Precision::kFp64:
+      return 0.0;
+    case Precision::kBf16:
+      return 0.01;
+    case Precision::kInt8:
+      return 0.05;
+  }
+  return 0.0;
+}
+
 }  // namespace
 
 StaticGraphRuntime::StaticGraphRuntime(const core::ChainsFormerModel& model)
-    : model_(model) {
+    : StaticGraphRuntime(model, RuntimeOptions{}) {}
+
+StaticGraphRuntime::StaticGraphRuntime(const core::ChainsFormerModel& model,
+                                       RuntimeOptions options)
+    : model_(model), options_(std::move(options)) {
+  tolerance_ = options_.verify_tolerance >= 0.0
+                   ? options_.verify_tolerance
+                   : DefaultTolerance(options_.precision);
   auto& reg = metrics::MetricsRegistry::Global();
   hits_ = reg.GetCounter(metrics::names::kPlanCacheHits);
   misses_ = reg.GetCounter(metrics::names::kPlanCacheMisses);
   verify_failures_ = reg.GetCounter(metrics::names::kPlanVerifyFailures);
   verify_micros_ = reg.GetCounter(metrics::names::kPlanVerifyMicros);
+  quant_fallbacks_ = reg.GetCounter(metrics::names::kPlanQuantFallbacks);
   arena_bytes_ = reg.GetGauge(metrics::names::kPlanArenaBytes);
   CF_CHECK(Supports(model)) << "static graphs require the Transformer encoder";
+  CF_CHECK(options_.precision != Precision::kInt8 || options_.quant != nullptr)
+      << "int8 serving requires the checkpoint's quantization store";
 }
 
 bool StaticGraphRuntime::Supports(const core::ChainsFormerModel& model) {
@@ -102,6 +129,9 @@ std::vector<StaticGraphRuntime::BucketStats> StaticGraphRuntime::Stats()
     std::lock_guard<std::mutex> lock(entry->mu);
     s.ready = entry->ready;
     s.eager_fallback = entry->eager_fallback;
+    s.precision = entry->eager_fallback ? PrecisionName(Precision::kFp64)
+                                        : PrecisionName(options_.precision);
+    s.verify_tolerance = tolerance_;
     s.idle_executors = static_cast<int64_t>(entry->idle.size());
     if (entry->plan != nullptr) {
       s.arena_bytes =
@@ -163,8 +193,9 @@ core::BatchPrediction StaticGraphRuntime::Predict(
         tensor::ScopedOpObserver scope(&tracer);
         eager = model_.PredictOnChainSets({query}, {&chains});
       }
-      auto plan =
-          std::make_shared<const Plan>(CompilePlan(model_, k, bucket));
+      auto plan = std::make_shared<const Plan>(CompilePlan(
+          model_, k, bucket, options_.precision, options_.quant.get()));
+      core::BatchPrediction serve_result = eager[0];
 
       bool ok = true;
       if (model_.config().batched_encoder) {
@@ -196,12 +227,43 @@ core::BatchPrediction StaticGraphRuntime::Predict(
 
       if (ok) {
         auto ex = std::make_unique<PlanExecutor>(plan);
-        const core::BatchPrediction compiled =
-            Denormalized(query, ex->RunNormalized(chains));
-        if (!BitwiseEqual(compiled.value, eager[0].value)) {
-          CF_LOG(Warning) << "static-graph verify failed for bucket (k=" << k
-                          << ", len=" << bucket << "): compiled "
-                          << compiled.value << " vs eager " << eager[0].value;
+        const float normalized = ex->RunNormalized(chains);
+        const core::BatchPrediction compiled = Denormalized(query, normalized);
+        bool pass;
+        if (options_.precision == Precision::kFp64) {
+          pass = BitwiseEqual(compiled.value, eager[0].value);
+          if (!pass) {
+            CF_LOG(Warning)
+                << "static-graph verify failed for bucket (k=" << k
+                << ", len=" << bucket << "): compiled " << compiled.value
+                << " vs eager " << eager[0].value;
+          }
+        } else {
+          // Tolerance-based parity gate, compared in normalized space so
+          // the budget is attribute-scale-free. A pass serves the compiled
+          // value now (warm and cold requests agree); a fail pins the
+          // bucket to the full-precision eager path.
+          const double compiled_norm =
+              std::clamp(static_cast<double>(normalized), -0.1, 1.1);
+          CF_CHECK_LT(static_cast<size_t>(query.attribute),
+                      model_.train_stats().size());
+          const double eager_norm =
+              model_.train_stats()[static_cast<size_t>(query.attribute)]
+                  .Normalize(eager[0].value);
+          pass = std::abs(compiled_norm - eager_norm) <= tolerance_;
+          if (pass) {
+            serve_result = compiled;
+          } else {
+            quant_fallbacks_->Increment();
+            CF_LOG(Warning)
+                << "static-graph " << PrecisionName(options_.precision)
+                << " parity gate failed for bucket (k=" << k
+                << ", len=" << bucket << "): |" << compiled_norm << " - "
+                << eager_norm << "| > " << tolerance_
+                << " (normalized); serving fp64 eager for this bucket";
+          }
+        }
+        if (!pass) {
           ok = false;
         } else {
           entry->plan = plan;
@@ -225,7 +287,7 @@ core::BatchPrediction StaticGraphRuntime::Predict(
         stats->verify_us = gate_us;
         stats->bucket_miss = true;
       }
-      return eager[0];
+      return serve_result;
     }
   }
 

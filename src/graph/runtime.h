@@ -17,6 +17,20 @@
 namespace chainsformer {
 namespace graph {
 
+/// Construction-time knobs for the runtime's reduced-precision serving
+/// modes (DESIGN §6g).
+struct RuntimeOptions {
+  Precision precision = Precision::kFp64;
+  // Maximum |normalized compiled - normalized eager| the first-use parity
+  // gate accepts in a quantized mode; a negative value selects the
+  // per-precision default (kInt8: 0.05, kBf16: 0.01). Ignored for kFp64,
+  // which keeps the bitwise gate.
+  double verify_tolerance = -1.0;
+  // Required when precision == kInt8: the checkpoint's quantized weights
+  // (rows must match this model's QuantizableLinears walk).
+  std::shared_ptr<const QuantStore> quant;
+};
+
 /// Serves single-query predictions from compiled static plans with a small
 /// per-geometry plan cache (DESIGN §6f).
 ///
@@ -52,9 +66,15 @@ class StaticGraphRuntime {
     bool eager_fallback = false;
     int64_t idle_executors = 0;
     int64_t arena_bytes = 0;
+    // Numeric mode actually serving this bucket ("fp64" for a bucket the
+    // parity gate pinned to the eager path) and the verify tolerance in use.
+    const char* precision = "fp64";
+    double verify_tolerance = 0.0;
   };
 
   explicit StaticGraphRuntime(const core::ChainsFormerModel& model);
+  StaticGraphRuntime(const core::ChainsFormerModel& model,
+                     RuntimeOptions options);
 
   StaticGraphRuntime(const StaticGraphRuntime&) = delete;
   StaticGraphRuntime& operator=(const StaticGraphRuntime&) = delete;
@@ -74,6 +94,9 @@ class StaticGraphRuntime {
   /// Snapshot of every cached plan bucket, ordered by (k, max_len).
   std::vector<BucketStats> Stats() const;
 
+  Precision precision() const { return options_.precision; }
+  double verify_tolerance() const { return tolerance_; }
+
  private:
   struct Entry {
     std::mutex mu;
@@ -89,10 +112,13 @@ class StaticGraphRuntime {
                                      float normalized) const;
 
   const core::ChainsFormerModel& model_;
+  const RuntimeOptions options_;
+  double tolerance_ = 0.0;
   metrics::Counter* hits_;
   metrics::Counter* misses_;
   metrics::Counter* verify_failures_;
   metrics::Counter* verify_micros_;
+  metrics::Counter* quant_fallbacks_;
   metrics::Gauge* arena_bytes_;
   mutable std::atomic<int64_t> arena_bytes_total_{0};
   mutable std::mutex mu_;

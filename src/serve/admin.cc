@@ -134,13 +134,25 @@ std::string StatusJson(const InferenceService* service) {
      << "}";
 
   if (service != nullptr && service->static_runtime() != nullptr) {
+    const graph::StaticGraphRuntime* rt = service->static_runtime();
+    os << ", \"precision\": {\"mode\": \""
+       << graph::PrecisionName(rt->precision())
+       << "\", \"requested\": \""
+       << graph::PrecisionName(service->options().precision)
+       << "\", \"verify_tolerance\": " << Num(rt->verify_tolerance())
+       << ", \"quant_error_budget\": "
+       << Num(service->options().quant_error_budget)
+       << ", \"quant_rejected\": "
+       << (service->quant_rejected() ? "true" : "false") << "}";
     os << ", \"plan_buckets\": [";
     first = true;
-    for (const auto& b : service->static_runtime()->Stats()) {
+    for (const auto& b : rt->Stats()) {
       os << (first ? "" : ", ") << "{\"k\": " << b.k
          << ", \"max_len\": " << b.max_len
          << ", \"ready\": " << (b.ready ? "true" : "false")
          << ", \"eager_fallback\": " << (b.eager_fallback ? "true" : "false")
+         << ", \"precision\": \"" << b.precision << "\""
+         << ", \"verify_tolerance\": " << Num(b.verify_tolerance)
          << ", \"idle_executors\": " << b.idle_executors
          << ", \"arena_bytes\": " << b.arena_bytes << "}";
       first = false;
@@ -216,11 +228,18 @@ std::string PrometheusText(const InferenceService* service) {
      << Num(slo.degraded_shutdown_rate) << "\n";
 
   if (service != nullptr && service->static_runtime() != nullptr) {
-    const auto buckets = service->static_runtime()->Stats();
+    const graph::StaticGraphRuntime* rt = service->static_runtime();
+    // One-hot serving-precision marker: dashboards join on the `precision`
+    // label to split QPS/latency series by numeric mode.
+    os << "# TYPE cf_plan_precision gauge\n";
+    os << "cf_plan_precision{precision=\""
+       << graph::PrecisionName(rt->precision()) << "\"} 1\n";
+    const auto buckets = rt->Stats();
     os << "# TYPE cf_plan_bucket_ready gauge\n";
     os << "# TYPE cf_plan_bucket_eager_fallback gauge\n";
     os << "# TYPE cf_plan_bucket_idle_executors gauge\n";
     os << "# TYPE cf_plan_bucket_arena_bytes gauge\n";
+    os << "# TYPE cf_plan_bucket_precision gauge\n";
     for (const auto& b : buckets) {
       const std::string labels =
           "{k=\"" + std::to_string(b.k) + "\",max_len=\"" +
@@ -231,6 +250,8 @@ std::string PrometheusText(const InferenceService* service) {
       os << "cf_plan_bucket_idle_executors" << labels << b.idle_executors
          << "\n";
       os << "cf_plan_bucket_arena_bytes" << labels << b.arena_bytes << "\n";
+      os << "cf_plan_bucket_precision{k=\"" << b.k << "\",max_len=\""
+         << b.max_len << "\",precision=\"" << b.precision << "\"} 1\n";
     }
   }
   return os.str();

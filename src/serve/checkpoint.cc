@@ -1,11 +1,14 @@
 #include "serve/checkpoint.h"
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <functional>
 #include <map>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/logging.h"
@@ -17,7 +20,13 @@ namespace {
 using core::ChainsFormerConfig;
 
 constexpr char kMagic[4] = {'C', 'F', 'S', 'M'};
+// Version 1: config + vocab + stats + tensors. Version 2 adds the optional
+// tagged-block section (currently only "quant_int8") between the stats
+// block and the tensor section; it is written only when a block is present
+// so quant-less checkpoints stay readable by version-1 binaries.
 constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionTagged = 2;
+constexpr char kQuantBlockName[] = "quant_int8";
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
@@ -252,16 +261,120 @@ bool ReadStatsBlock(std::istream& in, size_t expected,
   return true;
 }
 
+// --- Tagged-block section (format version 2) -------------------------------
+
+void WriteQuantBlockPayload(std::ostream& out, const graph::QuantStore& q) {
+  WritePod(out, q.mae_delta);
+  WritePod(out, q.calibration_queries);
+  WritePod(out, static_cast<uint32_t>(q.linears.size()));
+  for (const graph::QuantizedLinear& l : q.linears) {
+    WriteString(out, l.name);
+    WritePod(out, l.in);
+    WritePod(out, l.out);
+    out.write(reinterpret_cast<const char*>(l.scale.data()),
+              static_cast<std::streamsize>(l.scale.size() * sizeof(float)));
+    out.write(reinterpret_cast<const char*>(l.codes.data()),
+              static_cast<std::streamsize>(l.codes.size()));
+  }
+}
+
+/// Parses a "quant_int8" payload, aborting with the block name on anything
+/// malformed: a corrupt scale array must never reach the serve path, where
+/// it would silently dequantize to garbage.
+graph::QuantStore ParseQuantBlock(std::istream& in, const std::string& path) {
+  graph::QuantStore q;
+  uint32_t count = 0;
+  if (!ReadPod(in, &q.mae_delta) || !ReadPod(in, &q.calibration_queries) ||
+      !ReadPod(in, &count) || count > (1u << 16)) {
+    CF_LOG(Fatal) << "LoadModel: " << path
+                  << " has a truncated quant_int8 block";
+  }
+  if (!std::isfinite(q.mae_delta) || q.mae_delta < 0.0) {
+    CF_LOG(Fatal) << "LoadModel: quant_int8 block of " << path
+                  << " records a non-finite or negative calibration error";
+  }
+  q.linears.resize(count);
+  for (graph::QuantizedLinear& l : q.linears) {
+    if (!ReadString(in, &l.name) || !ReadPod(in, &l.in) ||
+        !ReadPod(in, &l.out) || l.in <= 0 || l.out <= 0 ||
+        l.in > (1 << 20) || l.out > (1 << 20) ||
+        l.in * l.out > (int64_t{1} << 28)) {
+      CF_LOG(Fatal) << "LoadModel: quant_int8 block of " << path
+                    << " has a corrupt linear header";
+    }
+    l.scale.resize(static_cast<size_t>(l.out));
+    in.read(reinterpret_cast<char*>(l.scale.data()),
+            static_cast<std::streamsize>(l.scale.size() * sizeof(float)));
+    l.codes.resize(static_cast<size_t>(l.in * l.out));
+    in.read(reinterpret_cast<char*>(l.codes.data()),
+            static_cast<std::streamsize>(l.codes.size()));
+    if (!in.good()) {
+      CF_LOG(Fatal) << "LoadModel: quant_int8 block of " << path
+                    << " is truncated inside " << l.name;
+    }
+    for (float s : l.scale) {
+      if (!std::isfinite(s) || s < 0.0f) {
+        CF_LOG(Fatal) << "LoadModel: quant_int8 block of " << path
+                      << " has a corrupt scale array for " << l.name;
+      }
+    }
+  }
+  return q;
+}
+
+void WriteTaggedBlocks(std::ostream& out, const graph::QuantStore& quant) {
+  WritePod(out, static_cast<uint32_t>(1));  // block count
+  std::ostringstream payload(std::ios::binary);
+  WriteQuantBlockPayload(payload, quant);
+  const std::string bytes = payload.str();
+  WriteString(out, kQuantBlockName);
+  WritePod(out, static_cast<uint64_t>(bytes.size()));
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Reads the version-2 tagged-block section. Unrecognized block names are
+/// skipped over by their recorded length so future writers stay readable.
+bool ReadTaggedBlocks(std::istream& in, const std::string& path,
+                      graph::QuantStore* quant_out) {
+  uint32_t count = 0;
+  if (!ReadPod(in, &count) || count > 64) return false;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    uint64_t len = 0;
+    if (!ReadString(in, &name) || !ReadPod(in, &len) ||
+        len > (uint64_t{1} << 30)) {
+      return false;
+    }
+    if (name == kQuantBlockName && quant_out != nullptr) {
+      std::string bytes(static_cast<size_t>(len), '\0');
+      in.read(bytes.data(), static_cast<std::streamsize>(len));
+      if (!in.good()) return false;
+      std::istringstream payload(bytes, std::ios::binary);
+      *quant_out = ParseQuantBlock(payload, path);
+    } else {
+      in.seekg(static_cast<std::streamoff>(len), std::ios::cur);
+      if (!in.good()) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 bool SaveModel(const core::ChainsFormerModel& model, const std::string& path) {
+  return SaveModel(model, nullptr, path);
+}
+
+bool SaveModel(const core::ChainsFormerModel& model,
+               const graph::QuantStore* quant, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out.good()) return false;
   out.write(kMagic, sizeof(kMagic));
-  WritePod(out, kVersion);
+  WritePod(out, quant != nullptr ? kVersionTagged : kVersion);
   WriteConfigBlock(out, model.config());
   WriteVocabBlock(out, model.dataset().graph);
   WriteStatsBlock(out, model.train_stats());
+  if (quant != nullptr) WriteTaggedBlocks(out, *quant);
   if (!model.SaveCheckpoint(out)) return false;
   return out.good();
 }
@@ -275,7 +388,8 @@ bool IsModelCheckpoint(const std::string& path) {
 
 std::unique_ptr<core::ChainsFormerModel> LoadModel(
     const kg::Dataset& dataset, const core::ChainsFormerConfig& base_config,
-    const std::string& path) {
+    const std::string& path, graph::QuantStore* quant_out) {
+  if (quant_out != nullptr) *quant_out = graph::QuantStore{};
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
     CF_LOG(Error) << "LoadModel: cannot open " << path;
@@ -289,9 +403,10 @@ std::unique_ptr<core::ChainsFormerModel> LoadModel(
   }
   uint32_t version = 0;
   if (!ReadPod(in, &version)) return nullptr;
-  if (version != kVersion) {
+  if (version < kVersion || version > kVersionTagged) {
     CF_LOG(Fatal) << "LoadModel: " << path << " has format version " << version
-                  << ", this binary reads version " << kVersion;
+                  << ", this binary reads versions " << kVersion << ".."
+                  << kVersionTagged;
   }
 
   ChainsFormerConfig config = base_config;
@@ -307,6 +422,11 @@ std::unique_ptr<core::ChainsFormerModel> LoadModel(
   if (!ReadStatsBlock(in, static_cast<size_t>(dataset.graph.num_attributes()),
                       stats)) {
     CF_LOG(Error) << "LoadModel: " << path << " has a corrupt stats block";
+    return nullptr;
+  }
+  if (version >= kVersionTagged && !ReadTaggedBlocks(in, path, quant_out)) {
+    CF_LOG(Error) << "LoadModel: " << path
+                  << " has a corrupt tagged-block section";
     return nullptr;
   }
 

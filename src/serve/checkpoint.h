@@ -6,6 +6,7 @@
 
 #include "core/chainsformer.h"
 #include "core/config.h"
+#include "graph/quant.h"
 #include "kg/dataset.h"
 
 namespace chainsformer {
@@ -25,12 +26,27 @@ namespace serve {
 ///      predictions match the saving process bit-for-bit;
 /// followed by one embedded "CFTN" tensor section holding all live
 /// parameters (filter + encoder + reasoner, ChainsFormerModel order).
+///
+/// Format version 2 (written only when a quantization store is attached)
+/// inserts a tagged-block section between the stats block and the tensor
+/// section: uint32 block count, then per block a name string, a uint64
+/// payload byte length, and the payload. Readers skip blocks whose name
+/// they do not recognize, so the section is forward-extensible; a version-1
+/// file is byte-identical to what this code always wrote, so checkpoints
+/// without quantized weights remain readable by older binaries.
 
 /// Writes `model` (config + vocab + stats + all trainable parameters) to
 /// `path`. Precondition: the model is trained (weights are saved as-is
 /// either way, but an untrained checkpoint predicts noise). Returns false
 /// on I/O failure.
 bool SaveModel(const core::ChainsFormerModel& model, const std::string& path);
+
+/// As above, additionally embedding `quant` (per-output-channel int8
+/// weights + calibration facts) as the optional "quant_int8" block. A null
+/// `quant` writes a plain version-1 checkpoint, bit-identical to the
+/// two-argument overload.
+bool SaveModel(const core::ChainsFormerModel& model,
+               const graph::QuantStore* quant, const std::string& path);
 
 /// Reconstructs a trained model from a CFSM checkpoint.
 ///
@@ -45,9 +61,14 @@ bool SaveModel(const core::ChainsFormerModel& model, const std::string& path);
 /// wrong magic; aborts through CF_LOG(Fatal) naming the mismatch when the
 /// file parses but disagrees with the dataset or binary (unknown config
 /// key, vocab size/name mismatch, tensor shape mismatch, truncation).
+/// When `quant_out` is non-null and the checkpoint carries a "quant_int8"
+/// block, the block is validated (aborting via CF_LOG(Fatal) on corrupt
+/// shapes or non-finite scales) and copied into *quant_out; a checkpoint
+/// without the block leaves *quant_out empty, which callers should treat
+/// as "serve full precision". Passing nullptr skips the block unparsed.
 std::unique_ptr<core::ChainsFormerModel> LoadModel(
     const kg::Dataset& dataset, const core::ChainsFormerConfig& base_config,
-    const std::string& path);
+    const std::string& path, graph::QuantStore* quant_out = nullptr);
 
 /// True iff `path` starts with the CFSM magic. Lets callers route legacy
 /// raw-tensor ("CFTN") checkpoints to ChainsFormerModel::LoadCheckpoint.

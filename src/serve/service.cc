@@ -143,7 +143,35 @@ InferenceService::InferenceService(const core::ChainsFormerModel& model,
                                     : 0);
   }
   if (options.use_static_graph && graph::StaticGraphRuntime::Supports(model)) {
-    runtime_ = std::make_unique<graph::StaticGraphRuntime>(model);
+    graph::RuntimeOptions ropts;
+    ropts.precision = options.precision;
+    ropts.verify_tolerance = options.verify_tolerance;
+    if (options.precision == graph::Precision::kInt8) {
+      // Hard accuracy gate (DESIGN §6g): int8 serving needs quantized
+      // weights whose recorded calibration error fits the budget. Anything
+      // else falls back to full precision with a named counter — the
+      // operator asked for speed, but never at the price of silently
+      // exceeding the accuracy budget.
+      if (options.quant == nullptr || options.quant->linears.empty()) {
+        quant_rejected_ = true;
+        CF_LOG(Warning) << "serve: int8 requested but the checkpoint has no "
+                        << "quant_int8 block; serving fp64";
+      } else if (options.quant->mae_delta > options.quant_error_budget) {
+        quant_rejected_ = true;
+        CF_LOG(Warning) << "serve: int8 calibration error "
+                        << options.quant->mae_delta << " exceeds the budget "
+                        << options.quant_error_budget << "; serving fp64";
+      } else {
+        ropts.quant = options.quant;
+      }
+      if (quant_rejected_) {
+        metrics::MetricsRegistry::Global()
+            .GetCounter(metrics::names::kServeQuantRejected)
+            ->Increment();
+        ropts.precision = graph::Precision::kFp64;
+      }
+    }
+    runtime_ = std::make_unique<graph::StaticGraphRuntime>(model, ropts);
   }
   // Trace-id seam: the salt comes from the model's deterministic RNG seed,
   // so a replayed process assigns the same ids in the same request order.
@@ -458,6 +486,9 @@ void InferenceService::DispatchLoop() {
                                   : 0;
       p->response.compute_us = compute_us;
       p->response.verify_us = run_stats[slot[i]].verify_us;
+      if (runtime_ != nullptr && r.has_evidence) {
+        p->response.precision = graph::PrecisionName(runtime_->precision());
+      }
       p->done = true;
       p->cv.notify_all();
     }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/chainsformer.h"
+#include "graph/quant.h"
 #include "serve/cache.h"
 
 namespace chainsformer {
@@ -53,6 +54,21 @@ struct ServeOptions {
   /// allocation-free once a bucket is warm. Ignored when the model's
   /// geometry is unsupported (non-Transformer encoder).
   bool use_static_graph = true;
+  /// Numeric mode of the static-graph Linear steps (DESIGN §6g). kBf16 and
+  /// kInt8 require use_static_graph; kInt8 additionally requires `quant`.
+  graph::Precision precision = graph::Precision::kFp64;
+  /// First-use parity tolerance forwarded to the runtime; negative selects
+  /// the per-precision default.
+  double verify_tolerance = -1.0;
+  /// Accuracy gate for int8 serving: when the checkpoint's recorded
+  /// calibration error (quant->mae_delta, normalized space) exceeds this
+  /// budget — or no quantized weights were loaded at all — the service
+  /// refuses int8, increments serve.quant_rejected, and serves fp64
+  /// instead. Speed never silently buys wrong answers.
+  double quant_error_budget = 0.05;
+  /// Quantized weights from the checkpoint's "quant_int8" block (null when
+  /// the checkpoint has none).
+  std::shared_ptr<const graph::QuantStore> quant;
 };
 
 /// One answered query.
@@ -83,6 +99,9 @@ struct ServeResponse {
   bool dedup_collapsed = false;
   /// True when the Tree of Chains came out of the LRU cache.
   bool cache_hit = false;
+  /// Numeric mode that computed this value: the runtime's serving
+  /// precision, or "fp64" for eager/degraded answers.
+  const char* precision = "fp64";
 
   /// Per-phase breakdown of latency_us. queue/window/compute/verify are 0
   /// for requests degraded before dispatch; verify_us > 0 only when this
@@ -142,6 +161,9 @@ class InferenceService {
   const graph::StaticGraphRuntime* static_runtime() const {
     return runtime_.get();
   }
+  /// True when int8 was requested but the accuracy gate refused it (no
+  /// quantized weights, or calibration error over quant_error_budget).
+  bool quant_rejected() const { return quant_rejected_; }
 
  private:
   struct Pending {
@@ -170,6 +192,7 @@ class InferenceService {
   /// Compiled-plan runtime; null when use_static_graph is off or the model
   /// is unsupported (the dispatcher then uses the eager tape).
   std::unique_ptr<graph::StaticGraphRuntime> runtime_;
+  bool quant_rejected_ = false;
 
   /// Requests that have entered Predict() but not yet joined the queue
   /// (they are retrieving chains on their client thread). The dispatcher

@@ -4,8 +4,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <limits>
+#include <vector>
 
 namespace chainsformer {
 namespace tensor {
@@ -67,6 +69,153 @@ int64_t CountNonFinite(const float* x, int64_t n);
 /// same per-index arithmetic regardless of partition) deterministic.
 void ParallelRanges(int64_t n, int64_t cost_per_item,
                     const std::function<void(int64_t, int64_t)>& fn);
+
+// ---- Reduced-precision weight storage + GEMM paths (DESIGN §6g) ------------
+//
+// Inference-only weight formats for the static-graph serve path. Weights are
+// frozen at serve time, so they can be stored once in a reduced format and
+// streamed through a cheaper inner loop; activations stay float32 and are
+// quantized per row on the fly (int8 path) or untouched (bf16 path). The
+// accuracy-sensitive ops — Poincaré distance, LayerNorm, softmax — never go
+// through these kernels.
+//
+// Determinism: the int8 path accumulates in exact int32 arithmetic and the
+// dequantization applies one fixed per-element float expression, so results
+// are bitwise identical across thread counts AND across the scalar/AVX2/VNNI
+// dispatch. The bf16 path widens the stored weights back to float32 (exact)
+// and reuses the strip-invariant float GEMM, so it inherits the float
+// kernels' thread-count invariance.
+
+/// Depth chunk of the int8 dot-product kernels: one vpdpbusd / maddubs step
+/// consumes 4 activation bytes per output lane, so packed operands pad k up
+/// to a multiple of 4 and the inner loops never need a k tail.
+inline constexpr int64_t kInt8KChunk = 4;
+
+/// Column-group width of the interleaved weight layout: one 256-bit weight
+/// tile holds kInt8KChunk depth values for 8 adjacent output columns, so n
+/// pads up to a multiple of 8 (zero columns) and the SIMD cores never need a
+/// column tail.
+inline constexpr int64_t kInt8ColGroup = 8;
+
+/// k rounded up to the int8 dot-product chunk.
+inline int64_t Int8PaddedDepth(int64_t k) {
+  return (k + kInt8KChunk - 1) / kInt8KChunk * kInt8KChunk;
+}
+
+/// n rounded up to the int8 column-group width. The int32 accumulator buffer
+/// handed to Int8GemmI32* must be [m, Int8PaddedCols(n)] — padding columns
+/// are written (zeros) and ignored by the dequant epilogue.
+inline int64_t Int8PaddedCols(int64_t n) {
+  return (n + kInt8ColGroup - 1) / kInt8ColGroup * kInt8ColGroup;
+}
+
+/// Packed right-hand operand of the int8 GEMM: the weight matrix B[k, n] in
+/// the dot-product-interleaved layout [n_padded/8][k_padded/4][8 cols][4 k]
+/// (zero-padded in both k and n), so one 32-byte tile feeds one vpdpbusd that
+/// accumulates 8 output columns at once — no horizontal reductions anywhere.
+/// Element (kk, j) lives at
+///   data[((j/8) * (k_padded/4) + kk/4) * 32 + (j%8) * 4 + kk%4].
+/// Plus the per-output-channel symmetric scales and the precomputed
+/// row-offset correction term used by the dequant epilogue.
+struct Int8Pack {
+  int64_t k = 0;         // logical depth (input features)
+  int64_t n = 0;         // logical output features
+  int64_t k_padded = 0;  // k rounded up to kInt8KChunk
+  int64_t n_padded = 0;  // n rounded up to kInt8ColGroup
+  std::vector<int8_t> data;       // interleaved tiles, see above
+  std::vector<float> scale;       // [n] per-output-channel scale s_w
+  std::vector<float> offset_dot;  // [n] s_w[j] * sum_k q[k, j]
+};
+
+/// bf16 weight storage: B[k, n] row-major with each float32 rounded to
+/// bfloat16 (round-to-nearest-even). Half the bytes of the float32 operand;
+/// widened back to exact float32 panels inside the GEMM.
+struct Bf16Pack {
+  int64_t k = 0;
+  int64_t n = 0;
+  std::vector<uint16_t> data;  // [k, n] row-major bf16
+};
+
+/// float32 -> bf16 with round-to-nearest-even (the top 16 bits of the float,
+/// rounded). NaN payloads collapse to a canonical quiet NaN.
+inline uint16_t Bf16FromFloat(float x) {
+  uint32_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  if ((bits & 0x7F800000u) == 0x7F800000u && (bits & 0x007FFFFFu) != 0) {
+    return 0x7FC0;  // quiet NaN
+  }
+  bits += 0x7FFFu + ((bits >> 16) & 1u);
+  return static_cast<uint16_t>(bits >> 16);
+}
+
+/// bf16 -> float32 (exact: bf16 is a prefix of the float32 encoding).
+inline float FloatFromBf16(uint16_t h) {
+  const uint32_t bits = static_cast<uint32_t>(h) << 16;
+  float x;
+  std::memcpy(&x, &bits, sizeof(x));
+  return x;
+}
+
+/// True when the int8 GEMM dispatches to a SIMD dot-product kernel (AVX2
+/// maddubs or VNNI vpdpbusd) instead of the portable scalar reference. The
+/// perf_microbench speedup guardrail gates on this.
+bool Int8GemmAccelerated();
+
+/// Per-output-channel symmetric weight quantization: for each column j of
+/// B[k, n], scale[j] = maxabs(B[:, j]) / 127 and q = round(B / scale[j])
+/// clamped to [-127, 127] (round-to-nearest-even; -128 is never produced, so
+/// maddubs pair sums cannot saturate). An all-zero column gets scale 0 and
+/// all-zero codes.
+void QuantizeWeightsInt8(int64_t k, int64_t n, const float* b, int8_t* q,
+                         float* scale);
+
+/// Builds the packed GEMM operand from the [k, n] int8 codes + scales (the
+/// checkpoint payload): interleaves into the tiled layout and precomputes the
+/// offset-correction dot products.
+Int8Pack PackInt8Weights(int64_t k, int64_t n, const int8_t* q,
+                         const float* scale);
+
+/// Rounds a float32 weight matrix to bf16 storage.
+Bf16Pack PackBf16Weights(int64_t k, int64_t n, const float* b);
+
+/// Dynamic per-row activation quantization to unsigned 7-bit affine codes:
+/// for each row i of A[m, k], row_min[i] = min(row), row_scale[i] =
+/// (max - min) / 127, q = round((x - min) / row_scale) in [0, 127]
+/// (round-to-nearest-even). q is written [m, k_padded] with the k padding
+/// zero-filled. 7-bit codes keep every maddubs pair sum inside int16 range.
+/// A constant row gets row_scale 0 and all-zero codes; the dequant offset
+/// term reconstructs it exactly up to weight quantization.
+void QuantizeActivationRows(int64_t m, int64_t k, int64_t k_padded,
+                            const float* a, uint8_t* q, float* row_scale,
+                            float* row_min);
+
+/// acc[m, n_padded] = qa[m, k_padded] . b (exact int32 dot products;
+/// overwrites acc, including the zero padding columns). Serial /
+/// row-partitioned-threaded / portable-scalar variants, all bitwise
+/// identical.
+void Int8GemmI32Serial(int64_t m, const Int8Pack& b, const uint8_t* qa,
+                       int32_t* acc);
+void Int8GemmI32(int64_t m, const Int8Pack& b, const uint8_t* qa,
+                 int32_t* acc);
+void Int8GemmI32Reference(int64_t m, const Int8Pack& b, const uint8_t* qa,
+                          int32_t* acc);
+
+/// Dequantize + bias (+ optional exact GELU), the epilogue fused against the
+/// int8 GEMM (acc rows are n_padded wide; c rows are the logical n):
+///   c[i, j] = fmaf(acc[i, j], row_scale[i] * b.scale[j],
+///                  fmaf(row_min[i], b.offset_dot[j], bias[j]))
+/// with GeluScalar applied afterwards when `gelu` is set. One fixed
+/// per-element expression — deterministic for any partition.
+void DequantBiasRows(int64_t m, const Int8Pack& b, const int32_t* acc,
+                     const float* row_scale, const float* row_min,
+                     const float* bias, bool gelu, float* c);
+
+/// C[m, n] += A[m, k] * widen(b): the bf16 storage GEMM. Widens B panels to
+/// exact float32 scratch and runs the same strip kernels as GemmAcc, so the
+/// result equals the float GEMM over the rounded weights bit-for-bit and is
+/// thread-count invariant.
+void Bf16GemmAccSerial(int64_t m, const Bf16Pack& b, const float* a, float* c);
+void Bf16GemmAcc(int64_t m, const Bf16Pack& b, const float* a, float* c);
 
 // ---- Shared scalar/row forward primitives (DESIGN §6f) ---------------------
 //

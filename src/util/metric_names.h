@@ -88,6 +88,7 @@ inline constexpr char kTrainQueriesSkipped[] = "train.queries_skipped";
 inline constexpr char kPlanArenaBytes[] = "plan.arena_bytes";
 inline constexpr char kPlanCacheHits[] = "plan.cache_hits";
 inline constexpr char kPlanCacheMisses[] = "plan.cache_misses";
+inline constexpr char kPlanQuantFallbacks[] = "plan.quant_fallbacks";
 inline constexpr char kPlanVerifyFailures[] = "plan.verify_failures";
 inline constexpr char kPlanVerifyMicros[] = "plan.verify_micros";
 
@@ -102,6 +103,7 @@ inline constexpr char kServeDegradedEmptyToc[] = "serve.degraded.empty_toc";
 inline constexpr char kServeDegradedShutdown[] = "serve.degraded.shutdown";
 inline constexpr char kServeImmediateDispatch[] = "serve.immediate_dispatch";
 inline constexpr char kServeLatencyUs[] = "serve.latency_us";
+inline constexpr char kServeQuantRejected[] = "serve.quant_rejected";
 inline constexpr char kServeRequests[] = "serve.requests";
 
 // --- per-request phase latencies (sliding-window percentiles; the admin

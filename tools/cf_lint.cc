@@ -25,6 +25,12 @@
 //                        or tensor/nn.h — the compiled-plan executor is the
 //                        tape-free hot path (DESIGN §6f) and may only use
 //                        the shared tensor/kernels.h primitives.
+//   raw-intrinsics-outside-kernels
+//                        <immintrin.h> includes or _mm_*/_mm256_*/_mm512_*
+//                        intrinsic calls anywhere but src/tensor/kernels.cc —
+//                        all SIMD lives behind the kernels API so the scalar
+//                        fallbacks and the runtime CPU dispatch remain the
+//                        single portability seam (DESIGN §6g).
 //
 // In --docs mode, checks the committed markdown (README.md, DESIGN.md,
 // docs/ARCHITECTURE.md, CHANGES.md) against the tree so the documentation
@@ -208,6 +214,32 @@ class Linter {
         report("graph-executor-tape-free",
                "the compiled-plan executor must stay off the tape layer; "
                "replace " + inc + " with tensor/kernels.h primitives");
+      }
+
+      // SIMD containment: vector intrinsics outside the kernels TU would
+      // fork the portability seam — every new user would need its own scalar
+      // fallback and CPU dispatch. The immintrin.h include is an angle
+      // include, so QuotedInclude() above does not see it.
+      if (rel != "tensor/kernels.cc") {
+        bool raw_simd = code.find("immintrin.h") != std::string::npos;
+        for (const char* prefix : {"_mm_", "_mm256_", "_mm512_"}) {
+          if (raw_simd) break;
+          size_t pos = code.find(prefix);
+          while (pos != std::string::npos) {
+            const char before = pos > 0 ? code[pos - 1] : ' ';
+            if (!std::isalnum(static_cast<unsigned char>(before)) &&
+                before != '_') {
+              raw_simd = true;
+              break;
+            }
+            pos = code.find(prefix, pos + 1);
+          }
+        }
+        if (raw_simd) {
+          report("raw-intrinsics-outside-kernels",
+                 "raw SIMD intrinsics belong in tensor/kernels.cc behind the "
+                 "dispatched kernels API");
+        }
       }
 
       if (FindWord(code, "rand") != std::string::npos &&

@@ -19,9 +19,11 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/chainsformer.h"
 #include "eval/table.h"
+#include "graph/quant.h"
 #include "kg/analysis.h"
 #include "kg/loader.h"
 #include "kg/synthetic.h"
@@ -52,6 +54,10 @@ int Usage() {
                "  generate: --dataset=yago|fb --scale=F\n"
                "  train:    --checkpoint=PATH --epochs=N --hidden-dim=N\n"
                "            --num-walks=N --top-k=N --max-hops=N --lr=F\n"
+               "            --quantize (add int8 weights + calibration error to\n"
+               "              the checkpoint for --precision=int8 serving)\n"
+               "            --calibration-queries=N (held-out queries used to\n"
+               "              measure the int8 accuracy drift; default 200)\n"
                "  eval:     --checkpoint=PATH\n"
                "  explain:  --checkpoint=PATH --entity=NAME --attribute=NAME\n");
   return 2;
@@ -145,9 +151,31 @@ int RunTrain(const FlagParser& flags) {
   }
   const std::string checkpoint = flags.GetString("checkpoint");
   if (!checkpoint.empty()) {
+    const graph::QuantStore* quant = nullptr;
+    graph::QuantStore store;
+    if (flags.GetBool("quantize", false)) {
+      // Quantize the frozen weights and measure the int8 serving drift on
+      // held-out validation queries, so the checkpoint carries the evidence
+      // the serve-time accuracy gate (ServeOptions::quant_error_budget)
+      // checks.
+      store = graph::BuildQuantStore(model);
+      const int64_t want = flags.GetInt("calibration-queries", 200);
+      std::vector<core::Query> calib;
+      for (const auto& t : ds.split.valid) {
+        if (static_cast<int64_t>(calib.size()) >= want) break;
+        calib.push_back(core::Query{t.entity, t.attribute});
+      }
+      graph::CalibrateQuantStore(model, calib, &store);
+      std::printf(
+          "quantized %zu linears; int8 calibration MAE delta %.6f over %lld "
+          "queries\n",
+          store.linears.size(), store.mae_delta,
+          static_cast<long long>(store.calibration_queries));
+      quant = &store;
+    }
     // Self-describing CFSM checkpoint: config + vocab + stats + tensors, so
     // eval/serve do not need the training flags repeated.
-    if (!serve::SaveModel(model, checkpoint)) {
+    if (!serve::SaveModel(model, quant, checkpoint)) {
       std::fprintf(stderr, "failed to write checkpoint %s\n", checkpoint.c_str());
       return 1;
     }

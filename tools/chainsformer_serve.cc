@@ -39,6 +39,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "graph/quant.h"
+#include "graph/runtime.h"
 #include "kg/loader.h"
 #include "serve/admin.h"
 #include "serve/checkpoint.h"
@@ -68,6 +70,16 @@ int Usage() {
       "  --static-graph=B     answer from compiled static plans, bitwise\n"
       "                       identical to eager (default true; =false for\n"
       "                       the eager tape; plan.* counters in --stats)\n"
+      "  --precision=M        static-graph Linear precision: fp64 (default;\n"
+      "                       fp32 accepted as alias), bf16, or int8 (needs\n"
+      "                       a checkpoint saved with --quantize)\n"
+      "  --quant-error-budget=X  max recorded int8 calibration error\n"
+      "                       (normalized MAE vs fp64) the server accepts;\n"
+      "                       over budget falls back to fp64 and increments\n"
+      "                       serve.quant_rejected (default 0.05)\n"
+      "  --verify-tolerance=X first-use parity tolerance for quantized\n"
+      "                       buckets; negative = per-precision default\n"
+      "                       (int8 0.05, bf16 0.01)\n"
       "  --port=N             serve NDJSON over TCP instead of stdin\n"
       "  --kernel-threads=N   dense kernel workers (default 1)\n"
       "  --seed=N             must match training when the checkpoint is legacy\n"
@@ -235,11 +247,13 @@ std::string HandleLine(const ServeContext& ctx, const std::string& line) {
   std::snprintf(buf, sizeof(buf),
                 "\"trace_id\": \"%llu\", \"value\": %.17g, "
                 "\"degraded\": %s, \"source\": \"%s\", "
+                "\"precision\": \"%s\", "
                 "\"latency_us\": %lld, \"batch_size\": %d, "
                 "\"batch_id\": %lld, \"dedup_collapsed\": %s, "
                 "\"cache_hit\": %s}",
                 static_cast<unsigned long long>(resp.trace_id), resp.value,
                 resp.degraded ? "true" : "false", resp.source.c_str(),
+                resp.precision,
                 static_cast<long long>(resp.latency_us), resp.batch_size,
                 static_cast<long long>(resp.batch_id),
                 resp.dedup_collapsed ? "true" : "false",
@@ -426,8 +440,9 @@ int Main(int argc, char** argv) {
       kg::LoadTsvDataset("serve", triples, numeric, base_config.seed);
 
   std::unique_ptr<core::ChainsFormerModel> model;
+  auto quant = std::make_shared<graph::QuantStore>();
   if (serve::IsModelCheckpoint(checkpoint)) {
-    model = serve::LoadModel(dataset, base_config, checkpoint);
+    model = serve::LoadModel(dataset, base_config, checkpoint, quant.get());
   } else {
     // Legacy raw-tensor checkpoint: shapes/seed must come from the flags.
     std::fprintf(stderr,
@@ -451,7 +466,24 @@ int Main(int argc, char** argv) {
   options.compute_threads =
       static_cast<int>(flags.GetInt("compute-threads", 0));
   options.use_static_graph = flags.GetBool("static-graph", true);
+  const std::string precision_flag = flags.GetString("precision", "fp64");
+  if (!graph::ParsePrecision(precision_flag, &options.precision)) {
+    std::fprintf(stderr, "unknown --precision=%s (fp64|fp32|bf16|int8)\n",
+                 precision_flag.c_str());
+    return Usage();
+  }
+  options.quant_error_budget =
+      flags.GetDouble("quant-error-budget", options.quant_error_budget);
+  options.verify_tolerance =
+      flags.GetDouble("verify-tolerance", options.verify_tolerance);
+  if (!quant->linears.empty()) options.quant = quant;
   serve::InferenceService service(*model, options);
+  if (service.static_runtime() != nullptr) {
+    std::fprintf(stderr, "static-graph precision: %s%s\n",
+                 graph::PrecisionName(service.static_runtime()->precision()),
+                 service.quant_rejected() ? " (int8 rejected by accuracy gate)"
+                                          : "");
+  }
 
   const int serve_threads = static_cast<int>(flags.GetInt("serve-threads", 4));
   const int port = static_cast<int>(flags.GetInt("port", 0));

@@ -7,6 +7,8 @@
 #   - label `sanitizer`     — tape sanitizer behavior + death tests
 #   - label `observability` — windowed telemetry, request tracing, and the
 #                             admin endpoint (HTTP scrape round-trips)
+#   - label `quantized`     — int8/bf16 kernels, quantized plan compilation,
+#                             and the checkpoint quant block (DESIGN §6g)
 #
 # Usage: tools/run_sanitizers.sh [build-dir-prefix]
 #
@@ -26,8 +28,8 @@ run_config() {
     -DCMAKE_BUILD_TYPE="${build_type}" \
     -DCF_KERNELS_NATIVE_ARCH=OFF
   cmake --build "${build_dir}" -j
-  echo "=== ${name}: ctest -L 'threaded|sanitizer|observability' ==="
-  ctest --test-dir "${build_dir}" -L 'threaded|sanitizer|observability' \
+  echo "=== ${name}: ctest -L 'threaded|sanitizer|observability|quantized' ==="
+  ctest --test-dir "${build_dir}" -L 'threaded|sanitizer|observability|quantized' \
     --output-on-failure
 }
 
