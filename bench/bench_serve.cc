@@ -152,14 +152,14 @@ LoadResult RunLoad(const core::ChainsFormerModel& model,
   result.p95_us = Percentile(all, 0.95);
   result.p99_us = Percentile(all, 0.99);
   result.mean_batch_size =
-      static_cast<double>(batch_size_sum.load()) / static_cast<double>(total);
-  result.degraded = degraded.load();
+      static_cast<double>(batch_size_sum.load(std::memory_order_relaxed)) / static_cast<double>(total);
+  result.degraded = degraded.load(std::memory_order_relaxed);
   const double n = static_cast<double>(total);
-  result.mean_cache_us = static_cast<double>(cache_us_sum.load()) / n;
-  result.mean_queue_us = static_cast<double>(queue_us_sum.load()) / n;
-  result.mean_window_us = static_cast<double>(window_us_sum.load()) / n;
-  result.mean_compute_us = static_cast<double>(compute_us_sum.load()) / n;
-  result.mean_verify_us = static_cast<double>(verify_us_sum.load()) / n;
+  result.mean_cache_us = static_cast<double>(cache_us_sum.load(std::memory_order_relaxed)) / n;
+  result.mean_queue_us = static_cast<double>(queue_us_sum.load(std::memory_order_relaxed)) / n;
+  result.mean_window_us = static_cast<double>(window_us_sum.load(std::memory_order_relaxed)) / n;
+  result.mean_compute_us = static_cast<double>(compute_us_sum.load(std::memory_order_relaxed)) / n;
+  result.mean_verify_us = static_cast<double>(verify_us_sum.load(std::memory_order_relaxed)) / n;
   return result;
 }
 

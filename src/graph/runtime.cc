@@ -96,17 +96,20 @@ core::BatchPrediction StaticGraphRuntime::RunCompiled(
     Entry& entry, const core::Query& query,
     const core::TreeOfChains& chains) const {
   std::unique_ptr<PlanExecutor> ex;
+  std::shared_ptr<const Plan> plan;
   {
-    std::lock_guard<std::mutex> lock(entry.mu);
+    cf::MutexLock lock(entry.mu);
     if (!entry.idle.empty()) {
       ex = std::move(entry.idle.back());
       entry.idle.pop_back();
+    } else {
+      plan = entry.plan;
     }
   }
-  if (ex == nullptr) ex = std::make_unique<PlanExecutor>(entry.plan);
+  if (ex == nullptr) ex = std::make_unique<PlanExecutor>(plan);
   const float normalized = ex->RunNormalized(chains);
   {
-    std::lock_guard<std::mutex> lock(entry.mu);
+    cf::MutexLock lock(entry.mu);
     entry.idle.push_back(std::move(ex));
   }
   return Denormalized(query, normalized);
@@ -117,7 +120,7 @@ std::vector<StaticGraphRuntime::BucketStats> StaticGraphRuntime::Stats()
   std::vector<std::pair<std::pair<int64_t, int64_t>, std::shared_ptr<Entry>>>
       entries;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    cf::MutexLock lock(mu_);
     entries.assign(plans_.begin(), plans_.end());
   }
   std::vector<BucketStats> out;
@@ -126,7 +129,7 @@ std::vector<StaticGraphRuntime::BucketStats> StaticGraphRuntime::Stats()
     BucketStats s;
     s.k = key.first;
     s.max_len = key.second;
-    std::lock_guard<std::mutex> lock(entry->mu);
+    cf::MutexLock lock(entry->mu);
     s.ready = entry->ready;
     s.eager_fallback = entry->eager_fallback;
     s.precision = entry->eager_fallback ? PrecisionName(Precision::kFp64)
@@ -164,7 +167,7 @@ core::BatchPrediction StaticGraphRuntime::Predict(
 
   std::shared_ptr<Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    cf::MutexLock lock(mu_);
     auto it = plans_.find({k, bucket});
     if (it != plans_.end()) {
       entry = it->second;
@@ -179,8 +182,10 @@ core::BatchPrediction StaticGraphRuntime::Predict(
     return model_.PredictOnChainSets({query}, {&chains})[0];
   }
 
+  bool eager_fallback = false;
   {
-    std::lock_guard<std::mutex> lock(entry->mu);
+    cf::MutexLock lock(entry->mu);
+    eager_fallback = entry->eager_fallback;
     if (!entry->ready) {
       // Bucket miss: trace one eager forward, compile, verify, then serve
       // this request from the eager result (already computed for the gate).
@@ -270,7 +275,8 @@ core::BatchPrediction StaticGraphRuntime::Predict(
           entry->idle.push_back(std::move(ex));
           const int64_t total =
               arena_bytes_total_.fetch_add(
-                  plan->arena_floats * static_cast<int64_t>(sizeof(float))) +
+                  plan->arena_floats * static_cast<int64_t>(sizeof(float)),
+                  std::memory_order_relaxed) +
               plan->arena_floats * static_cast<int64_t>(sizeof(float));
           arena_bytes_->Set(static_cast<double>(total));
         }
@@ -291,7 +297,9 @@ core::BatchPrediction StaticGraphRuntime::Predict(
     }
   }
 
-  if (entry->eager_fallback) {
+  // Checked outside the lock so fallen-back buckets serve eagerly in
+  // parallel (the flag is monotonic once ready).
+  if (eager_fallback) {
     return model_.PredictOnChainSets({query}, {&chains})[0];
   }
   hits_->Increment();

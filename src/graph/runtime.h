@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -13,6 +12,7 @@
 #include "graph/executor.h"
 #include "graph/plan.h"
 #include "util/metrics.h"
+#include "util/sync.h"
 
 namespace chainsformer {
 namespace graph {
@@ -99,11 +99,11 @@ class StaticGraphRuntime {
 
  private:
   struct Entry {
-    std::mutex mu;
-    bool ready = false;
-    bool eager_fallback = false;
-    std::shared_ptr<const Plan> plan;
-    std::vector<std::unique_ptr<PlanExecutor>> idle;
+    cf::Mutex mu{"graph.plan_bucket"};
+    bool ready CF_GUARDED_BY(mu) = false;
+    bool eager_fallback CF_GUARDED_BY(mu) = false;
+    std::shared_ptr<const Plan> plan CF_GUARDED_BY(mu);
+    std::vector<std::unique_ptr<PlanExecutor>> idle CF_GUARDED_BY(mu);
   };
 
   core::BatchPrediction RunCompiled(Entry& entry, const core::Query& query,
@@ -121,8 +121,9 @@ class StaticGraphRuntime {
   metrics::Counter* quant_fallbacks_;
   metrics::Gauge* arena_bytes_;
   mutable std::atomic<int64_t> arena_bytes_total_{0};
-  mutable std::mutex mu_;
-  mutable std::map<std::pair<int64_t, int64_t>, std::shared_ptr<Entry>> plans_;
+  mutable cf::Mutex mu_{"graph.plan_cache"};
+  mutable std::map<std::pair<int64_t, int64_t>, std::shared_ptr<Entry>> plans_
+      CF_GUARDED_BY(mu_);
 };
 
 }  // namespace graph

@@ -283,14 +283,14 @@ AdminServer::AdminServer(int port, const InferenceService* service)
   } else {
     port_ = port;
   }
-  listen_fd_.store(listener);
+  listen_fd_.store(listener, std::memory_order_seq_cst);
   thread_ = std::thread([this] { ServeLoop(); });
 }
 
 AdminServer::~AdminServer() {
   // Closing the listener unblocks accept() in ServeLoop; shutdown() first
   // so an accept already in progress returns instead of hanging.
-  const int fd = listen_fd_.exchange(-1);
+  const int fd = listen_fd_.exchange(-1, std::memory_order_seq_cst);
   if (fd >= 0) {
     ::shutdown(fd, SHUT_RDWR);
     ::close(fd);
@@ -300,7 +300,7 @@ AdminServer::~AdminServer() {
 
 void AdminServer::ServeLoop() {
   while (true) {
-    const int listener = listen_fd_.load();
+    const int listener = listen_fd_.load(std::memory_order_seq_cst);
     if (listener < 0) return;
     const int fd = ::accept(listener, nullptr, nullptr);
     if (fd < 0) return;  // listener closed by destructor (or fatal error)

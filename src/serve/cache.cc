@@ -48,7 +48,7 @@ bool ShardedChainCache::Get(kg::EntityId entity, kg::AttributeId attribute,
   const uint64_t gen = generation_.load(std::memory_order_acquire);
   Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    cf::MutexLock lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       if (it->second->generation == gen) {
@@ -72,7 +72,7 @@ void ShardedChainCache::Put(kg::EntityId entity, kg::AttributeId attribute,
   const uint64_t key = CacheKey(entity, attribute);
   const uint64_t gen = generation_.load(std::memory_order_acquire);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  cf::MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     it->second->chains = std::move(chains);
@@ -95,7 +95,7 @@ void ShardedChainCache::Invalidate() {
 size_t ShardedChainCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(const_cast<Shard&>(shard).mu);
+    cf::MutexLock lock(shard.mu);
     total += shard.lru.size();
   }
   return total;

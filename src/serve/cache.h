@@ -4,12 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/ra_chain.h"
 #include "kg/knowledge_graph.h"
+#include "util/sync.h"
 
 namespace chainsformer {
 namespace serve {
@@ -67,10 +67,13 @@ class ShardedChainCache {
     core::TreeOfChains chains;
   };
   struct Shard {
-    std::mutex mu;
+    // One lock-order site for all shards: at most one shard lock is ever
+    // held at a time (size() visits them one by one).
+    mutable cf::Mutex mu{"serve.cache_shard"};
     // LRU order: front = most recent. The map points into the list.
-    std::list<Entry> lru;
-    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+    std::list<Entry> lru CF_GUARDED_BY(mu);
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index
+        CF_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(uint64_t key);

@@ -181,10 +181,10 @@ InferenceService::InferenceService(const core::ChainsFormerModel& model,
 
 InferenceService::~InferenceService() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    cf::MutexLock lock(queue_mu_);
     shutdown_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
@@ -207,13 +207,13 @@ ServeResponse InferenceService::Predict(const core::Query& query,
     // (RNG seam), unique per request. MixTraceId never maps two inputs to
     // the same output, so forcing the rare zero to 1 is the only collision
     // risk — and 1 is itself the image of exactly one other input.
-    trace_id = MixTraceId(trace_salt_ ^ trace_seq_.fetch_add(1));
+    trace_id = MixTraceId(trace_salt_ ^ trace_seq_.fetch_add(1, std::memory_order_relaxed));
     if (trace_id == 0) trace_id = 1;
   }
   // Visible to the dispatcher from here until the request joins the queue
   // (or bails out): while any request is arriving, the coalescing window is
   // worth opening.
-  arriving_.fetch_add(1);
+  arriving_.fetch_add(1, std::memory_order_relaxed);
 
   auto finish = [&](ServeResponse r) {
     r.trace_id = trace_id;
@@ -282,7 +282,7 @@ ServeResponse InferenceService::Predict(const core::Query& query,
   trace::EmitSpan("serve.cache_lookup", cache_start_ns, cache_end_ns,
                   trace_id);
   if (chains.empty()) {
-    arriving_.fetch_sub(1);
+    arriving_.fetch_sub(1, std::memory_order_relaxed);
     ServeResponse r;
     r.value = Fallback(query.attribute);
     r.degraded = true;
@@ -297,8 +297,8 @@ ServeResponse InferenceService::Predict(const core::Query& query,
   pending->chains = std::move(chains);
   pending->trace_id = trace_id;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    arriving_.fetch_sub(1);
+    cf::MutexLock lock(queue_mu_);
+    arriving_.fetch_sub(1, std::memory_order_relaxed);
     if (shutdown_) {
       ServeResponse r;
       r.value = Fallback(query.attribute);
@@ -311,13 +311,15 @@ ServeResponse InferenceService::Predict(const core::Query& query,
     pending->enqueue_ns = trace::NowNs();
     queue_.push_back(pending);
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
 
-  std::unique_lock<std::mutex> lock(pending->mu);
+  cf::MutexLock lock(pending->mu);
   if (has_deadline) {
-    pending->cv.wait_until(lock, deadline, [&] { return pending->done; });
+    pending->cv.WaitUntil(pending->mu, deadline,
+                          [&]() CF_REQUIRES(pending->mu) { return pending->done; });
   } else {
-    pending->cv.wait(lock, [&] { return pending->done; });
+    pending->cv.Wait(pending->mu,
+                     [&]() CF_REQUIRES(pending->mu) { return pending->done; });
   }
   if (!pending->done) {
     // Deadline expired while queued or mid-batch. The dispatcher may still
@@ -347,20 +349,22 @@ void InferenceService::DispatchLoop() {
     bool shutting_down = false;
     uint64_t wake_ns = 0;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      cf::MutexLock lock(queue_mu_);
+      queue_cv_.Wait(queue_mu_, [&]() CF_REQUIRES(queue_mu_) {
+        return shutdown_ || !queue_.empty();
+      });
       wake_ns = trace::NowNs();
       if (!queue_.empty() && options_.batch_window_us > 0 &&
           queue_.size() < max_batch && !shutdown_) {
-        if (arriving_.load() > 0) {
+        if (arriving_.load(std::memory_order_relaxed) > 0) {
           // Coalescing window: give the arriving clients a beat to join
           // this micro-batch before dispatching. The window also closes as
           // soon as the last arriving request has joined — anything not in
           // flight yet is waiting on this very batch's answer and cannot
           // arrive, so sleeping longer would add latency, not batch size.
-          queue_cv_.wait_for(lock, window, [&] {
+          queue_cv_.WaitFor(queue_mu_, window, [&]() CF_REQUIRES(queue_mu_) {
             return shutdown_ || queue_.size() >= max_batch ||
-                   arriving_.load() == 0;
+                   arriving_.load(std::memory_order_relaxed) == 0;
           });
         } else {
           // Nothing is on the way: waiting out the window would add pure
@@ -382,18 +386,18 @@ void InferenceService::DispatchLoop() {
       // Drain without model work so the destructor never blocks on a
       // long forward pass; waiting clients get the degraded fallback.
       for (const auto& p : batch) {
-        std::lock_guard<std::mutex> lock(p->mu);
+        cf::MutexLock lock(p->mu);
         p->response.value = Fallback(p->query.attribute);
         p->response.degraded = true;
         p->response.source = "shutdown";
         p->done = true;
-        p->cv.notify_all();
+        p->cv.NotifyAll();
       }
       continue;
     }
 
     CF_TRACE_SCOPE("serve.batch");
-    const int64_t batch_id = batch_seq_.fetch_add(1);
+    const int64_t batch_id = batch_seq_.fetch_add(1, std::memory_order_relaxed);
     const uint64_t collect_ns = trace::NowNs();
     // Coalesce duplicate requests: predictions are deterministic per
     // (entity, attribute) — the bitwise batching invariance this service is
@@ -471,7 +475,7 @@ void InferenceService::DispatchLoop() {
         trace::EmitSpan("serve.batch_window", queue_end_ns, collect_ns, ann);
         trace::EmitSpan("serve.compute", collect_ns, compute_end_ns, ann);
       }
-      std::lock_guard<std::mutex> lock(p->mu);
+      cf::MutexLock lock(p->mu);
       p->response.value = r.value;
       p->response.degraded = !r.has_evidence;
       p->response.source = r.has_evidence ? "model" : "empty_toc";
@@ -490,7 +494,7 @@ void InferenceService::DispatchLoop() {
         p->response.precision = graph::PrecisionName(runtime_->precision());
       }
       p->done = true;
-      p->cv.notify_all();
+      p->cv.NotifyAll();
     }
   }
 }

@@ -2,11 +2,9 @@
 #define CHAINSFORMER_SERVE_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,6 +12,7 @@
 #include "core/chainsformer.h"
 #include "graph/quant.h"
 #include "serve/cache.h"
+#include "util/sync.h"
 
 namespace chainsformer {
 namespace graph {
@@ -167,14 +166,16 @@ class InferenceService {
 
  private:
   struct Pending {
+    // Filled by the client thread before the request is published to the
+    // queue; immutable afterwards (the queue handoff is the barrier).
     core::Query query;
     core::TreeOfChains chains;
-    ServeResponse response;
     uint64_t trace_id = 0;
     uint64_t enqueue_ns = 0;  // trace::NowNs() at queue join
-    bool done = false;
-    std::mutex mu;
-    std::condition_variable cv;
+    cf::Mutex mu{"serve.pending"};
+    cf::CondVar cv;
+    ServeResponse response CF_GUARDED_BY(mu);
+    bool done CF_GUARDED_BY(mu) = false;
   };
 
   void DispatchLoop();
@@ -210,10 +211,10 @@ class InferenceService {
   /// Micro-batch sequence number (response/span annotation).
   std::atomic<int64_t> batch_seq_{0};
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<std::shared_ptr<Pending>> queue_;
-  bool shutdown_ = false;
+  cf::Mutex queue_mu_{"serve.queue"};
+  cf::CondVar queue_cv_;
+  std::deque<std::shared_ptr<Pending>> queue_ CF_GUARDED_BY(queue_mu_);
+  bool shutdown_ CF_GUARDED_BY(queue_mu_) = false;
   std::thread dispatcher_;
 };
 

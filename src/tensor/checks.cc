@@ -86,7 +86,7 @@ int DebugCheckRootsReceivedGrad(const std::vector<Tensor>& roots) {
         .GetCounter(metrics::names::kTapeLeakedRoots)
         ->Increment(leaked);
     static std::atomic<bool> warned{false};
-    if (!warned.exchange(true)) {
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
       CF_LOG(Warning)
           << "tape sanitizer: " << leaked << " of " << roots.size()
           << " requires_grad roots never received a gradient this step "

@@ -5,7 +5,6 @@
 #include <cmath>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -15,6 +14,7 @@
 #endif
 
 #include "util/metric_names.h"
+#include "util/sync.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -35,12 +35,12 @@ constexpr int64_t kKC = 128;
 // that dominate chain encoding at d=32 never pay dispatch overhead.
 constexpr int64_t kGrainWork = 1 << 18;
 
-std::mutex g_pool_mu;
-int g_threads = 1;
-std::unique_ptr<ThreadPool> g_pool;
+cf::Mutex g_pool_mu{"kernels.pool_config"};
+int g_threads CF_GUARDED_BY(g_pool_mu) = 1;
+std::unique_ptr<ThreadPool> g_pool CF_GUARDED_BY(g_pool_mu);
 
 ThreadPool* Pool() {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  cf::MutexLock lock(g_pool_mu);
   if (!g_pool || g_pool->num_threads() != static_cast<size_t>(g_threads)) {
     g_pool = std::make_unique<ThreadPool>(static_cast<size_t>(g_threads));
   }
@@ -599,12 +599,12 @@ void SetKernelThreads(int n) {
   if (n <= 0) {
     n = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
   }
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  cf::MutexLock lock(g_pool_mu);
   g_threads = n;
 }
 
 int KernelThreads() {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  cf::MutexLock lock(g_pool_mu);
   return g_threads;
 }
 

@@ -318,7 +318,7 @@ void Tensor::Backward() {
     if (leaked > 0) {
       leaked_roots->Increment(leaked);
       static std::atomic<bool> warned{false};
-      if (!warned.exchange(true)) {
+      if (!warned.exchange(true, std::memory_order_relaxed)) {
         CF_LOG(Warning)
             << "tape sanitizer: " << leaked << " requires_grad leaf root(s) "
             << "on this tape received an all-zero gradient (counted in "

@@ -6,8 +6,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
-#include <mutex>
 #include <utility>
+
+#include "util/sync.h"
 
 namespace chainsformer {
 namespace {
@@ -45,8 +46,11 @@ LogLevel& MutableMinLogLevel() {
   return level;
 }
 
-std::mutex& SinkMutex() {
-  static std::mutex* mu = new std::mutex();  // leaked: usable at teardown
+cf::Mutex& SinkMutex() {
+  // Leaked: usable at teardown. Rank 100: the sink lock is the innermost
+  // lock in the process — any subsystem may log while holding its own
+  // mutexes, and the sink never calls back out (DESIGN §6h).
+  static cf::Mutex* mu = new cf::Mutex("log.sink", 100);
   return *mu;
 }
 
@@ -85,7 +89,7 @@ LogLevel MinLogLevel() { return MutableMinLogLevel(); }
 void SetMinLogLevel(LogLevel level) { MutableMinLogLevel() = level; }
 
 void SetLogSink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  cf::MutexLock lock(SinkMutex());
   MutableSink() = std::move(sink);
 }
 
@@ -103,7 +107,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ >= MinLogLevel() || level_ == LogLevel::kFatal) {
-    std::lock_guard<std::mutex> lock(SinkMutex());
+    cf::MutexLock lock(SinkMutex());
     const LogSink& sink = MutableSink();
     if (sink) {
       sink(level_, header_ + stream_.str());

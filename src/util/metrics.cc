@@ -89,7 +89,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  cf::MutexLock lock(mu_);
   CF_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0)
       << "metric '" << name << "' already registered with a different kind";
   auto it = counters_.find(name);
@@ -101,7 +101,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  cf::MutexLock lock(mu_);
   CF_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0)
       << "metric '" << name << "' already registered with a different kind";
   auto it = gauges_.find(name);
@@ -112,7 +112,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  cf::MutexLock lock(mu_);
   CF_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0)
       << "metric '" << name << "' already registered with a different kind";
   auto it = histograms_.find(name);
@@ -125,7 +125,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  cf::MutexLock lock(mu_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {

@@ -6,12 +6,12 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "util/stopwatch.h"
+#include "util/sync.h"
 
 namespace chainsformer {
 namespace metrics {
@@ -136,10 +136,11 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable cf::Mutex mu_{"metrics.registry"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_ CF_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ CF_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      CF_GUARDED_BY(mu_);
 };
 
 /// Serializes a snapshot as {"counters": {...}, "gauges": {...},

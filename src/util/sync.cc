@@ -1,0 +1,206 @@
+#include "util/sync.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cf {
+namespace {
+
+// Default: validate in debug trees (Debug/Tsan/Asan carry no NDEBUG), stay
+// out of the way in release. CF_SYNC_VALIDATE=0/1 overrides either way.
+bool InitialValidationState() {
+  const char* env = std::getenv("CF_SYNC_VALIDATE");
+  if (env != nullptr && *env != '\0') return std::strcmp(env, "0") != 0;
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+/// One acquisition a thread currently holds.
+struct Held {
+  const void* mu;
+  int node;  // interned site id
+  int rank;
+  const char* name;
+};
+
+/// The per-thread held-lock set, in acquisition order ("acquisition stack").
+std::vector<Held>& HeldStack() {
+  thread_local std::vector<Held>* stack = new std::vector<Held>();
+  return *stack;
+}
+
+/// Process-global lock-order graph over interned site names. An edge a -> b
+/// records "b was acquired while a was held", together with the acquiring
+/// thread's held stack at the moment the edge was first seen (the evidence
+/// printed when a cycle closes).
+struct OrderGraph {
+  std::mutex mu;  // cf-lint: allow(naked-mutex-outside-sync)
+  std::map<std::string, int> ids;
+  std::vector<std::string> names;                 // id -> name
+  std::map<int, std::set<int>> edges;             // from -> to
+  std::map<std::pair<int, int>, std::string> edge_stacks;
+};
+
+OrderGraph& Graph() {
+  static OrderGraph* g = new OrderGraph();  // leaked: see metrics.cc
+  return *g;
+}
+
+/// "a -> b -> c" over the current thread's held stack plus the lock being
+/// acquired — the validator's notion of an acquisition stack.
+std::string DescribeStack(const std::vector<Held>& held, const char* acquiring) {
+  std::ostringstream os;
+  for (const Held& h : held) os << "'" << h.name << "' -> ";
+  os << "'" << acquiring << "'";
+  return os.str();
+}
+
+/// True when `to` can reach `target` in the edge set (DFS; the graph is a
+/// handful of nodes, recursion depth is bounded by its size).
+bool Reaches(const OrderGraph& g, int from, int target,
+             std::set<int>& visited) {
+  if (from == target) return true;
+  if (!visited.insert(from).second) return false;
+  auto it = g.edges.find(from);
+  if (it == g.edges.end()) return false;
+  for (int next : it->second) {
+    if (Reaches(g, next, target, visited)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+namespace sync_internal {
+
+std::atomic<bool> g_validation_enabled{InitialValidationState()};
+
+void OnAcquire(const void* mu, const char* name, int rank, SiteId* site) {
+  std::vector<Held>& held = HeldStack();
+  OrderGraph& g = Graph();
+
+  int node = site->id.load(std::memory_order_relaxed);
+  // Fatal diagnostics are built under the graph mutex but logged after
+  // releasing it: CF_LOG takes the (cf::Mutex) logging sink lock, which
+  // would re-enter the validator.
+  std::string fatal;
+  {
+    std::lock_guard<std::mutex> lock(g.mu);  // cf-lint: allow(naked-mutex-outside-sync)
+    if (node < 0) {
+      auto [it, inserted] = g.ids.try_emplace(name, static_cast<int>(g.names.size()));
+      if (inserted) g.names.push_back(name);
+      node = it->second;
+      site->id.store(node, std::memory_order_relaxed);
+    }
+    for (const Held& h : held) {
+      if (h.node == node) {
+        // Same site already held: with distinct instances (e.g. two cache
+        // shards) the acquisition order between them is unconstrained, so
+        // this is the two-lock cycle in its tightest form; with the same
+        // instance it is a guaranteed self-deadlock.
+        std::ostringstream os;
+        os << "sync: lock-order violation: acquiring '" << name
+           << "' while already holding '" << h.name
+           << "' (same lock-order site" << (h.mu == mu ? ", same instance" : "")
+           << "); acquisition stack: " << DescribeStack(held, name);
+        fatal = os.str();
+        break;
+      }
+      if (h.rank != 0 && rank != 0 && rank <= h.rank) {
+        std::ostringstream os;
+        os << "sync: lock-order rank violation: acquiring '" << name
+           << "' (rank " << rank << ") while holding '" << h.name << "' (rank "
+           << h.rank << "); ranked mutexes must be acquired in increasing "
+           << "rank order; acquisition stack: " << DescribeStack(held, name);
+        fatal = os.str();
+        break;
+      }
+      const std::pair<int, int> edge{h.node, node};
+      if (g.edges[h.node].insert(node).second) {
+        g.edge_stacks[edge] = DescribeStack(held, name);
+        // New edge h.node -> node: a cycle exists iff node already reached
+        // h.node through previously recorded acquisitions.
+        std::set<int> visited;
+        if (Reaches(g, node, h.node, visited)) {
+          const auto back = g.edge_stacks.find({node, h.node});
+          std::ostringstream os;
+          os << "sync: lock-order cycle (potential deadlock) between '"
+             << h.name << "' and '" << name << "': this thread acquires '"
+             << name << "' while holding '" << h.name
+             << "' [acquisition stack: " << DescribeStack(held, name) << "]"
+             << ", but the reverse order was recorded earlier";
+          if (back != g.edge_stacks.end()) {
+            os << " [acquisition stack: " << back->second << "]";
+          } else {
+            os << " (through intermediate locks)";
+          }
+          fatal = os.str();
+        }
+      }
+      if (!fatal.empty()) break;
+    }
+  }
+  if (!fatal.empty()) {
+    // Logging itself takes the sink mutex; if THAT acquisition is the one
+    // being diagnosed, re-entering CF_LOG would recurse forever. Fall back
+    // to bare stderr for the nested report.
+    thread_local bool reporting = false;
+    if (reporting) {
+      std::fprintf(stderr, "%s\n", fatal.c_str());
+      std::abort();
+    }
+    reporting = true;
+    CF_LOG(Fatal) << fatal;
+  }
+  held.push_back(Held{mu, node, rank, name});
+}
+
+void OnRelease(const void* mu) {
+  std::vector<Held>& held = HeldStack();
+  // Locks usually release LIFO; scan from the back so out-of-order unlocks
+  // (hand-over-hand patterns) still find their entry. A miss means the
+  // acquisition predates validation being enabled — ignore it.
+  for (size_t i = held.size(); i > 0; --i) {
+    if (held[i - 1].mu == mu) {
+      held.erase(held.begin() + static_cast<long>(i - 1));
+      return;
+    }
+  }
+}
+
+}  // namespace sync_internal
+
+void SetDeadlockValidation(bool enabled) {
+  sync_internal::g_validation_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool DeadlockValidationEnabled() { return sync_internal::ValidationEnabled(); }
+
+void ResetLockOrderGraphForTesting() {
+  OrderGraph& g = Graph();
+  std::lock_guard<std::mutex> lock(g.mu);  // cf-lint: allow(naked-mutex-outside-sync)
+  g.edges.clear();
+  g.edge_stacks.clear();
+}
+
+int LockOrderEdgeCountForTesting() {
+  OrderGraph& g = Graph();
+  std::lock_guard<std::mutex> lock(g.mu);  // cf-lint: allow(naked-mutex-outside-sync)
+  int n = 0;
+  for (const auto& [from, tos] : g.edges) n += static_cast<int>(tos.size());
+  return n;
+}
+
+}  // namespace cf

@@ -1,0 +1,250 @@
+#ifndef CHAINSFORMER_UTIL_SYNC_H_
+#define CHAINSFORMER_UTIL_SYNC_H_
+
+// Annotated synchronization primitives for the whole codebase (DESIGN §6h).
+//
+// Every mutex in src/ is a cf::Mutex and every mutex-protected member
+// carries CF_GUARDED_BY, so the locking protocol is machine-checked two
+// ways:
+//
+//   1. Statically: under Clang the CF_* macros expand to the thread-safety
+//      capability attributes, and the `thread_safety` check target compiles
+//      src/ with -Wthread-safety -Werror=thread-safety — an access to a
+//      guarded member without its mutex is a build failure, not a latent
+//      race. Under GCC the macros are no-ops and the wrappers compile down
+//      to std::mutex.
+//
+//   2. Dynamically: each cf::Mutex registers a name (and optional rank)
+//      with a process-global lock-order validator. When validation is on,
+//      acquisitions record per-thread held-lock sets into a lock-order
+//      graph; the first cycle (a potential deadlock) aborts naming both
+//      mutexes and the two acquisition stacks — the same fail-loud contract
+//      as the tape sanitizer (DESIGN §6d). Two gates: the CF_SYNC_VALIDATOR
+//      compile gate (hooks in debug trees, compiled out to a bare
+//      std::mutex under NDEBUG — the perf_microbench guardrail pins release
+//      lock()/unlock() at <= 1% over raw) and, within hooks-compiled-in
+//      TUs, a runtime flag (CF_SYNC_VALIDATE=0/1 env or
+//      SetDeadlockValidation) defaulting on outside NDEBUG.
+//
+// Naming: mutexes protecting the same logical resource share a name
+// ("serve.cache_shard" for every cache shard), so the lock-order graph is
+// over acquisition *sites*, not instances. Ranks are optional: a nonzero
+// rank asserts the mutex is only acquired while every held nonzero-ranked
+// mutex has a strictly smaller rank (an immediate, deterministic ordering
+// check that does not wait for a cycle to close).
+
+#include <atomic>
+#include <condition_variable>  // cf-lint: allow(naked-mutex-outside-sync)
+#include <mutex>               // cf-lint: allow(naked-mutex-outside-sync)
+#include <utility>
+
+// --- Clang thread-safety capability attributes (no-op elsewhere) ------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CF_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef CF_THREAD_ANNOTATION
+#define CF_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define CF_CAPABILITY(x) CF_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII type that acquires a capability for its lifetime.
+#define CF_SCOPED_CAPABILITY CF_THREAD_ANNOTATION(scoped_lockable)
+/// Member may only be read/written while holding `x`.
+#define CF_GUARDED_BY(x) CF_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee may only be accessed while holding `x` (the pointer itself is free).
+#define CF_PT_GUARDED_BY(x) CF_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Declares static acquisition order between mutex members.
+#define CF_ACQUIRED_BEFORE(...) CF_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define CF_ACQUIRED_AFTER(...) CF_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// Caller must hold the listed capabilities.
+#define CF_REQUIRES(...) CF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the listed capabilities and does not release them.
+#define CF_ACQUIRE(...) CF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the listed capabilities.
+#define CF_RELEASE(...) CF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define CF_TRY_ACQUIRE(...) CF_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Caller must NOT hold the listed capabilities (deadlock guard).
+#define CF_EXCLUDES(...) CF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the given capability.
+#define CF_RETURN_CAPABILITY(x) CF_THREAD_ANNOTATION(lock_returned(x))
+/// Opts a function body out of the static analysis (condition-variable
+/// predicates and lock-juggling internals; the dynamic validator still sees
+/// every acquisition).
+#define CF_NO_THREAD_SAFETY_ANALYSIS \
+  CF_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// --- Lock-order validator compile gate --------------------------------------
+//
+// CF_SYNC_VALIDATOR=1 compiles the validator hooks into lock()/unlock();
+// CF_SYNC_VALIDATOR=0 compiles them out, leaving cf::Mutex a bare std::mutex
+// (the perf_microbench guardrail pins that at <= 1% over raw — even a
+// perfectly predicted flag check costs more). Default: hooks in debug trees
+// (Debug/Asan/Tsan carry no NDEBUG), bare mutex in release. sync_test forces
+// the hooks on via a target compile definition so the lock-order death tests
+// run in every build type. Within a hooks-compiled-in TU the runtime flag
+// below still gates the work, so CF_SYNC_VALIDATE / SetDeadlockValidation
+// can turn validation off without rebuilding.
+#if !defined(CF_SYNC_VALIDATOR)
+#ifdef NDEBUG
+#define CF_SYNC_VALIDATOR 0
+#else
+#define CF_SYNC_VALIDATOR 1
+#endif
+#endif
+
+namespace cf {
+
+namespace sync_internal {
+
+/// Validator on/off flag. Defined in sync.cc with the env/NDEBUG default;
+/// zero-initialized false until that dynamic initializer runs, so pre-main
+/// acquisitions simply skip validation.
+extern std::atomic<bool> g_validation_enabled;
+
+/// True when the lock-order validator is active. Inline on purpose: this
+/// sits on every lock()/unlock(), and a relaxed load + predicted branch is
+/// what keeps the disabled path within the 1% perf_microbench budget (an
+/// out-of-line call here costs more than the check it guards).
+inline bool ValidationEnabled() {
+  return g_validation_enabled.load(std::memory_order_relaxed);
+}
+
+/// Validator hooks called by Mutex around the underlying acquisition.
+/// `site` interns `name` on first use and caches the node id. Atomic:
+/// concurrent first acquisitions of one mutex read the cache while the
+/// interning thread writes it (interning is idempotent, so relaxed is
+/// enough — at worst both threads intern the same name to the same id).
+struct SiteId {
+  std::atomic<int> id{-1};  // interned graph node; -1 until first acquisition
+};
+void OnAcquire(const void* mu, const char* name, int rank, SiteId* site);
+void OnRelease(const void* mu);
+
+}  // namespace sync_internal
+
+/// Turns the lock-order validator on/off process-wide (tests and tools;
+/// normal builds follow the NDEBUG / CF_SYNC_VALIDATE default described in
+/// the header comment).
+void SetDeadlockValidation(bool enabled);
+/// Current validator state (after env/default resolution).
+bool DeadlockValidationEnabled();
+
+/// Drops every recorded lock-order edge (test isolation; not for production
+/// use — forgetting history weakens cycle detection).
+void ResetLockOrderGraphForTesting();
+/// Number of distinct lock-order edges recorded so far.
+int LockOrderEdgeCountForTesting();
+
+/// Annotated std::mutex wrapper. The name keys the lock-order graph (share
+/// one name across instances protecting the same kind of resource); the
+/// optional rank asserts a static acquisition order (see header comment).
+class CF_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const char* name = "mutex", int rank = 0)
+      : name_(name), rank_(rank) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CF_ACQUIRE() {
+#if CF_SYNC_VALIDATOR
+    if (sync_internal::ValidationEnabled()) {
+      sync_internal::OnAcquire(this, name_, rank_, &site_);
+    }
+#endif
+    mu_.lock();
+  }
+
+  void unlock() CF_RELEASE() {
+    mu_.unlock();
+#if CF_SYNC_VALIDATOR
+    if (sync_internal::ValidationEnabled()) {
+      sync_internal::OnRelease(this);
+    }
+#endif
+  }
+
+  bool try_lock() CF_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if CF_SYNC_VALIDATOR
+    // A successful try_lock held no one up, but it still participates in
+    // the ordering protocol: record it like a blocking acquisition.
+    if (sync_internal::ValidationEnabled()) {
+      sync_internal::OnAcquire(this, name_, rank_, &site_);
+    }
+#endif
+    return true;
+  }
+
+  const char* name() const { return name_; }
+  int rank() const { return rank_; }
+
+ private:
+  // The one wrapped raw mutex in the codebase.
+  std::mutex mu_;  // cf-lint: allow(naked-mutex-outside-sync)
+  const char* name_;
+  const int rank_;
+  sync_internal::SiteId site_;
+};
+
+/// RAII lock for a cf::Mutex (the std::lock_guard of this layer).
+class CF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CF_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CF_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with cf::Mutex. Waits go through
+/// std::condition_variable_any directly on the Mutex, so every re-lock on
+/// wakeup passes through the validator like any other acquisition.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until `pred()` is true. Caller holds `mu`; the predicate runs
+  /// with `mu` held.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) CF_REQUIRES(mu)
+      CF_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  /// Like Wait with a relative timeout; returns pred() at exit.
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout,
+               Pred pred) CF_REQUIRES(mu) CF_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(mu, timeout, std::move(pred));
+  }
+
+  /// Like Wait with an absolute deadline; returns pred() at exit.
+  template <typename Clock, typename Duration, typename Pred>
+  bool WaitUntil(Mutex& mu,
+                 const std::chrono::time_point<Clock, Duration>& deadline,
+                 Pred pred) CF_REQUIRES(mu) CF_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_until(mu, deadline, std::move(pred));
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // _any so waits relock through cf::Mutex (and thus the validator).
+  std::condition_variable_any cv_;  // cf-lint: allow(naked-mutex-outside-sync)
+};
+
+}  // namespace cf
+
+#endif  // CHAINSFORMER_UTIL_SYNC_H_

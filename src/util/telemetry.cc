@@ -56,7 +56,7 @@ WindowedHistogram::WindowedHistogram(int num_slots, int64_t slot_millis)
 }
 
 void WindowedHistogram::RotateSlot(Slot& slot, int64_t epoch) const {
-  std::lock_guard<std::mutex> lock(rotate_mu_);
+  cf::MutexLock lock(rotate_mu_);
   if (slot.epoch.load(std::memory_order_relaxed) == epoch) return;
   for (auto& b : slot.buckets) b.store(0, std::memory_order_relaxed);
   slot.count.store(0, std::memory_order_relaxed);
@@ -119,7 +119,7 @@ void WindowedCounter::IncrementAtMs(int64_t delta, int64_t now_ms) {
   const int64_t epoch = now_ms / slot_millis_;
   Slot& slot = *slots_[static_cast<size_t>(epoch % num_slots_)];
   if (slot.epoch.load(std::memory_order_acquire) != epoch) {
-    std::lock_guard<std::mutex> lock(rotate_mu_);
+    cf::MutexLock lock(rotate_mu_);
     if (slot.epoch.load(std::memory_order_relaxed) != epoch) {
       slot.sum.store(0, std::memory_order_relaxed);
       slot.epoch.store(epoch, std::memory_order_release);
@@ -155,7 +155,7 @@ TelemetryRegistry& TelemetryRegistry::Global() {
 }
 
 WindowedHistogram* TelemetryRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  cf::MutexLock lock(mu_);
   CF_CHECK(counters_.count(name) == 0)
       << "windowed metric '" << name
       << "' already registered with a different kind";
@@ -168,7 +168,7 @@ WindowedHistogram* TelemetryRegistry::GetHistogram(const std::string& name) {
 }
 
 WindowedCounter* TelemetryRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  cf::MutexLock lock(mu_);
   CF_CHECK(histograms_.count(name) == 0)
       << "windowed metric '" << name
       << "' already registered with a different kind";
@@ -180,7 +180,7 @@ WindowedCounter* TelemetryRegistry::GetCounter(const std::string& name) {
 }
 
 TelemetrySnapshot TelemetryRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  cf::MutexLock lock(mu_);
   TelemetrySnapshot snap;
   const int64_t now_ms = WindowedHistogram::NowMs();
   for (const auto& [name, h] : histograms_) {

@@ -5,12 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "util/metrics.h"
+#include "util/sync.h"
 
 namespace chainsformer {
 namespace telemetry {
@@ -90,8 +90,12 @@ class WindowedHistogram {
 
   const int num_slots_;
   const int64_t slot_millis_;
-  mutable std::mutex rotate_mu_;
-  mutable std::vector<std::unique_ptr<Slot>> slots_;
+  // Serializes slot *rotation* only; the slots themselves are atomics that
+  // readers and writers touch without the mutex, so slots_ carries no
+  // CF_GUARDED_BY (the pointer vector is immutable after construction).
+  mutable cf::Mutex rotate_mu_{"telemetry.window_rotate"};
+  // Pointer vector is immutable after construction; the slots are atomics.
+  mutable std::vector<std::unique_ptr<Slot>> slots_;  // cf-lint: allow(unannotated-guarded-member)
 };
 
 /// Event counter over the same sliding window (time wheel of per-slot
@@ -126,8 +130,10 @@ class WindowedCounter {
 
   const int num_slots_;
   const int64_t slot_millis_;
-  mutable std::mutex rotate_mu_;
-  mutable std::vector<std::unique_ptr<Slot>> slots_;
+  // Rotation-only mutex; see WindowedHistogram::rotate_mu_.
+  mutable cf::Mutex rotate_mu_{"telemetry.window_rotate"};
+  // Pointer vector is immutable after construction; the slots are atomics.
+  mutable std::vector<std::unique_ptr<Slot>> slots_;  // cf-lint: allow(unannotated-guarded-member)
 };
 
 /// Point-in-time view of every registered windowed metric, sorted by name.
@@ -158,9 +164,11 @@ class TelemetryRegistry {
   TelemetrySnapshot Snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<WindowedHistogram>> histograms_;
-  std::map<std::string, std::unique_ptr<WindowedCounter>> counters_;
+  mutable cf::Mutex mu_{"telemetry.registry"};
+  std::map<std::string, std::unique_ptr<WindowedHistogram>> histograms_
+      CF_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<WindowedCounter>> counters_
+      CF_GUARDED_BY(mu_);
 };
 
 }  // namespace telemetry

@@ -41,26 +41,26 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    cf::MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Schedule(std::function<void()> fn) {
   TasksScheduledCounter()->Increment();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    cf::MutexLock lock(mu_);
     queue_.push(std::move(fn));
     ++pending_;
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  cf::MutexLock lock(mu_);
+  done_cv_.Wait(mu_, [this]() CF_REQUIRES(mu_) { return pending_ == 0; });
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -99,8 +99,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      cf::MutexLock lock(mu_);
+      work_cv_.Wait(mu_, [this]() CF_REQUIRES(mu_) {
+        return shutdown_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -110,9 +112,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      cf::MutexLock lock(mu_);
       --pending_;
-      if (pending_ == 0) done_cv_.notify_all();
+      if (pending_ == 0) done_cv_.NotifyAll();
     }
   }
 }

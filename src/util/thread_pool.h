@@ -1,13 +1,13 @@
 #ifndef CHAINSFORMER_UTIL_THREAD_POOL_H_
 #define CHAINSFORMER_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace chainsformer {
 
@@ -51,12 +51,12 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  size_t pending_ = 0;
-  bool shutdown_ = false;
+  cf::Mutex mu_{"threadpool.mu"};
+  std::queue<std::function<void()>> queue_ CF_GUARDED_BY(mu_);
+  size_t pending_ CF_GUARDED_BY(mu_) = 0;
+  bool shutdown_ CF_GUARDED_BY(mu_) = false;
+  cf::CondVar work_cv_;
+  cf::CondVar done_cv_;
 };
 
 }  // namespace chainsformer

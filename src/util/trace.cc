@@ -6,11 +6,11 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/sync.h"
 
 namespace chainsformer {
 namespace trace {
@@ -33,17 +33,24 @@ struct Span {
 /// (uncontended except while a drain is in progress); the registry keeps a
 /// shared_ptr so spans survive the owning thread's exit.
 struct ThreadBuffer {
-  std::mutex mu;
-  std::vector<Span> ring;
-  size_t next = 0;      // next write slot
-  size_t size = 0;      // valid spans (<= kRingCapacity)
-  uint64_t dropped = 0; // spans overwritten by wraparound
-  int tid = 0;          // stable display id (registration order)
+  // Clang exempts constructors from the guarded-member analysis: the buffer
+  // is not shared until it is registered.
+  ThreadBuffer() { ring.resize(kRingCapacity); }
+
+  // Rank 30 > registry rank 20: drains hold the registry lock across each
+  // buffer lock, so buffers are inner (DESIGN §6h).
+  cf::Mutex mu{"trace.thread_buffer", 30};
+  std::vector<Span> ring CF_GUARDED_BY(mu);
+  size_t next CF_GUARDED_BY(mu) = 0;       // next write slot
+  size_t size CF_GUARDED_BY(mu) = 0;       // valid spans (<= kRingCapacity)
+  uint64_t dropped CF_GUARDED_BY(mu) = 0;  // spans overwritten by wraparound
+  // Written once before the buffer is published to the registry.
+  int tid = 0;  // cf-lint: allow(unannotated-guarded-member) immutable
 };
 
 struct Registry {
-  std::mutex mu;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  cf::Mutex mu{"trace.registry", 20};
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers CF_GUARDED_BY(mu);
 };
 
 Registry& GetRegistry() {
@@ -54,9 +61,8 @@ Registry& GetRegistry() {
 ThreadBuffer& LocalBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
     auto b = std::make_shared<ThreadBuffer>();
-    b->ring.resize(kRingCapacity);
     Registry& reg = GetRegistry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    cf::MutexLock lock(reg.mu);
     b->tid = static_cast<int>(reg.buffers.size());
     reg.buffers.push_back(b);
     return b;
@@ -80,7 +86,7 @@ std::string EscapeJson(const std::string& s) {
 void Record(const char* name, uint64_t start_ns, uint64_t end_ns, int depth,
             const SpanAnnotations& ann) {
   ThreadBuffer& buf = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buf.mu);
+  cf::MutexLock lock(buf.mu);
   buf.ring[buf.next] = {name, start_ns, end_ns, depth, ann};
   buf.next = (buf.next + 1) % kRingCapacity;
   if (buf.size < kRingCapacity) {
@@ -132,10 +138,10 @@ void SetEnabled(bool enabled) {
 
 size_t BufferedSpans() {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  cf::MutexLock lock(reg.mu);
   size_t total = 0;
   for (const auto& b : reg.buffers) {
-    std::lock_guard<std::mutex> buf_lock(b->mu);
+    cf::MutexLock buf_lock(b->mu);
     total += b->size;
   }
   return total;
@@ -143,10 +149,10 @@ size_t BufferedSpans() {
 
 uint64_t DroppedSpans() {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  cf::MutexLock lock(reg.mu);
   uint64_t total = 0;
   for (const auto& b : reg.buffers) {
-    std::lock_guard<std::mutex> buf_lock(b->mu);
+    cf::MutexLock buf_lock(b->mu);
     total += b->dropped;
   }
   return total;
@@ -154,9 +160,9 @@ uint64_t DroppedSpans() {
 
 void Clear() {
   Registry& reg = GetRegistry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  cf::MutexLock lock(reg.mu);
   for (const auto& b : reg.buffers) {
-    std::lock_guard<std::mutex> buf_lock(b->mu);
+    cf::MutexLock buf_lock(b->mu);
     b->next = 0;
     b->size = 0;
     b->dropped = 0;
@@ -171,9 +177,9 @@ std::string DrainChromeTraceJson() {
   std::vector<Drained> spans;
   {
     Registry& reg = GetRegistry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    cf::MutexLock lock(reg.mu);
     for (const auto& b : reg.buffers) {
-      std::lock_guard<std::mutex> buf_lock(b->mu);
+      cf::MutexLock buf_lock(b->mu);
       // Oldest-first: the ring's oldest entry sits at `next` once wrapped.
       const size_t start = b->size == kRingCapacity ? b->next : 0;
       for (size_t i = 0; i < b->size; ++i) {

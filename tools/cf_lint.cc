@@ -2,6 +2,7 @@
 //
 // Usage: cf_lint <dir> [<dir>...]
 //        cf_lint --docs <repo_root>
+//        cf_lint --suppressions-baseline <baseline_file> <dir> [<dir>...]
 //
 // In the default (source) mode, walks every .h/.cc file under the given
 // directories and enforces the repo's coding invariants that the compiler
@@ -31,6 +32,27 @@
 //                        all SIMD lives behind the kernels API so the scalar
 //                        fallbacks and the runtime CPU dispatch remain the
 //                        single portability seam (DESIGN §6g).
+//   naked-mutex-outside-sync
+//                        std::mutex / std::lock_guard / std::unique_lock /
+//                        std::condition_variable (and their <mutex> /
+//                        <condition_variable> includes) anywhere but inside
+//                        util/sync.* suppressions — all locking goes through
+//                        cf::Mutex so every acquisition is annotated for the
+//                        Clang thread-safety analysis and hooked into the
+//                        lock-order validator (DESIGN §6h).
+//   unannotated-guarded-member
+//                        member/variable declarations following a cf::Mutex
+//                        member (until the first blank line, brace or access
+//                        specifier) must carry CF_GUARDED_BY; atomics,
+//                        cf::CondVar, cf::Mutex and std::thread members are
+//                        exempt. Keeps the "every guarded member is
+//                        annotated" invariant from rotting as structs grow.
+//   implicit-seqcst-atomic
+//                        atomic .load/.store/.exchange/.fetch_*/
+//                        .compare_exchange_* calls must spell an explicit
+//                        std::memory_order — the seq_cst default hides the
+//                        cost and the intent on hot paths (metrics and
+//                        telemetry are documented as relaxed).
 //
 // In --docs mode, checks the committed markdown (README.md, DESIGN.md,
 // docs/ARCHITECTURE.md, CHANGES.md) against the tree so the documentation
@@ -168,6 +190,31 @@ std::string QuotedInclude(const std::string& line) {
   return line.substr(open + 1, close - open - 1);
 }
 
+/// Leading/trailing-whitespace trim.
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Raw standard-library synchronization tokens banned outside util/sync.*
+/// (suppressions inside sync.{h,cc} document the one legitimate home).
+constexpr const char* kNakedMutexTokens[] = {
+    "std::mutex",       "std::recursive_mutex", "std::timed_mutex",
+    "std::shared_mutex", "std::lock_guard",     "std::unique_lock",
+    "std::scoped_lock", "std::condition_variable",
+    "<mutex>",          "<condition_variable>", "<shared_mutex>",
+};
+
+/// Atomic member functions whose one-argument form defaults to seq_cst.
+constexpr const char* kAtomicOps[] = {
+    "load(",       "store(",     "exchange(",
+    "fetch_add(",  "fetch_sub(", "fetch_and(",
+    "fetch_or(",   "fetch_xor(", "compare_exchange_weak(",
+    "compare_exchange_strong(",
+};
+
 class Linter {
  public:
   void LintFile(const fs::path& path, const fs::path& root) {
@@ -267,6 +314,50 @@ class Linter {
         report("unchecked-data-index", os.str());
       }
 
+      // Locking goes through the annotated cf::Mutex layer (DESIGN §6h); a
+      // raw std::mutex is invisible to both the Clang thread-safety check
+      // and the lock-order validator.
+      for (const char* token : kNakedMutexTokens) {
+        if (code.find(token) != std::string::npos) {
+          report("naked-mutex-outside-sync",
+                 std::string(token) +
+                     " outside util/sync.*; use cf::Mutex / cf::MutexLock / "
+                     "cf::CondVar so the acquisition is annotated and "
+                     "order-validated");
+          break;
+        }
+      }
+
+      // Atomic ops must spell their memory order: the statement (this line
+      // through the terminating ';', a few lines of lookahead for wrapped
+      // calls) must mention std::memory_order_*.
+      for (const char* op : kAtomicOps) {
+        size_t pos = code.find(op);
+        bool hit = false;
+        while (pos != std::string::npos && !hit) {
+          const char before = pos > 0 ? code[pos - 1] : ' ';
+          if (before == '.' || before == '>') {
+            std::string stmt = code;
+            for (size_t m = n + 1;
+                 m < lines.size() && m <= n + 3 &&
+                 stmt.find(';') == std::string::npos;
+                 ++m) {
+              stmt += CodePart(lines[m]);
+            }
+            if (stmt.find("memory_order") == std::string::npos) hit = true;
+          }
+          pos = code.find(op, pos + 1);
+        }
+        if (hit) {
+          report("implicit-seqcst-atomic",
+                 std::string("atomic ") + op +
+                     "...) without an explicit std::memory_order — the "
+                     "seq_cst default hides intent; spell the order (relaxed "
+                     "for counters, acquire/release for handoffs)");
+          break;
+        }
+      }
+
       // Metric names must come from util/metric_names.h: a typo'd dotted
       // literal silently registers a brand-new, forever-empty series that
       // no test can catch. Flags Get{Counter,Gauge,Histogram}("...") on the
@@ -287,6 +378,77 @@ class Linter {
                      " takes a string literal; name the metric through a "
                      "util/metric_names.h constant instead");
         }
+      }
+    }
+
+    CheckGuardedMembers(lines, rel, display);
+  }
+
+  /// unannotated-guarded-member: declarations following a `cf::Mutex name...;`
+  /// member, up to the first blank line / closing brace / access specifier /
+  /// non-declaration statement, must carry CF_GUARDED_BY. Atomics (their own
+  /// synchronization), cf::CondVar / cf::Mutex (lock machinery) and
+  /// std::thread (joined, not guarded) are exempt — anything else sitting
+  /// next to a mutex is presumed protected by it, and an unannotated
+  /// protected member is invisible to the Clang thread-safety analysis.
+  void CheckGuardedMembers(const std::vector<std::string>& lines,
+                           const std::string& rel, const std::string& display) {
+    if (rel == "util/sync.h" || rel == "util/sync.cc") return;
+    for (size_t n = 0; n < lines.size(); ++n) {
+      const std::string code = CodePart(lines[n]);
+      const size_t pos = FindWord(code, "cf::Mutex");
+      if (pos == std::string::npos) continue;
+      // Only value declarations open a guarded block; pointers/references,
+      // heap news and function signatures do not declare adjacent members.
+      if (code.find("cf::Mutex*") != std::string::npos ||
+          code.find("cf::Mutex&") != std::string::npos ||
+          code.find("new cf::Mutex") != std::string::npos ||
+          code.find(';') == std::string::npos) {
+        continue;
+      }
+      std::string stmt;
+      bool suppressed = false;
+      int stmt_line = 0;
+      for (size_t m = n + 1; m < lines.size(); ++m) {
+        const std::string& raw = lines[m];
+        std::string codem = Trim(CodePart(raw));
+        if (stmt.empty()) {
+          if (codem.empty()) {
+            if (Trim(raw).empty()) break;  // blank line ends the block
+            continue;                      // comment-only line
+          }
+          if (codem[0] == '}' || codem.rfind("public", 0) == 0 ||
+              codem.rfind("private", 0) == 0 ||
+              codem.rfind("protected", 0) == 0 ||
+              codem.rfind("return", 0) == 0) {
+            break;
+          }
+          stmt_line = static_cast<int>(m) + 1;
+        }
+        stmt += (stmt.empty() ? "" : " ") + codem;
+        suppressed =
+            suppressed || Suppressed(raw, "unannotated-guarded-member");
+        if (codem.find(';') == std::string::npos) continue;  // wrapped decl
+        const bool exempt = stmt.find("CF_GUARDED_BY") != std::string::npos ||
+                            stmt.find("CF_PT_GUARDED_BY") != std::string::npos ||
+                            stmt.find("std::atomic") != std::string::npos ||
+                            stmt.find("cf::CondVar") != std::string::npos ||
+                            stmt.find("cf::Mutex") != std::string::npos ||
+                            stmt.find("std::thread") != std::string::npos ||
+                            stmt.rfind("using ", 0) == 0 ||
+                            stmt.rfind("static ", 0) == 0;
+        // A parenthesis in an unannotated statement means a function
+        // declaration or executable code — the member block is over.
+        if (!exempt && stmt.find('(') != std::string::npos) break;
+        if (!exempt && !suppressed) {
+          findings_.push_back(
+              {display, stmt_line, "unannotated-guarded-member",
+               "member declared next to a cf::Mutex without CF_GUARDED_BY; "
+               "annotate it (or justify with a suppression) so the "
+               "thread-safety analysis can see the protocol"});
+        }
+        stmt.clear();
+        suppressed = false;
       }
     }
   }
@@ -632,6 +794,86 @@ class DocsChecker {
   int docs_checked_ = 0;
 };
 
+// --- Suppressions-baseline checking (--suppressions-baseline mode) ----------
+
+/// Counts `// cf-lint: allow(<rule>)` suppressions per rule across the .h/.cc
+/// files under `roots` and compares against a checked-in baseline (lines of
+/// `<rule> <count>`, `#` comments allowed). A count above baseline fails:
+/// new suppressions must be paid for by an explicit baseline edit in the same
+/// change, so the escape hatch stays reviewed. Counts below baseline are
+/// reported as a nudge to ratchet the file down.
+int SuppressionsMain(const fs::path& baseline_path,
+                     const std::vector<fs::path>& roots) {
+  std::map<std::string, int> counts;
+  int files = 0;
+  for (const fs::path& root : roots) {
+    std::error_code ec;
+    if (!fs::is_directory(root, ec)) {
+      std::cerr << "cf_lint: not a directory: " << root.string() << "\n";
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path& p = entry.path();
+      if (p.extension() != ".h" && p.extension() != ".cc") continue;
+      std::ifstream in(p);
+      if (!in) {
+        std::cerr << "cf_lint: cannot read " << p.string() << "\n";
+        return 2;
+      }
+      ++files;
+      for (std::string line; std::getline(in, line);) {
+        size_t pos = line.find("cf-lint: allow(");
+        while (pos != std::string::npos) {
+          const size_t open = line.find('(', pos);
+          const size_t close = line.find(')', open);
+          if (close == std::string::npos) break;
+          ++counts[line.substr(open + 1, close - open - 1)];
+          pos = line.find("cf-lint: allow(", close);
+        }
+      }
+    }
+  }
+
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::cerr << "cf_lint: cannot read baseline " << baseline_path.string()
+              << "\n";
+    return 2;
+  }
+  std::map<std::string, int> baseline;
+  for (std::string line; std::getline(in, line);) {
+    const std::string t = Trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    std::istringstream fields(t);
+    std::string rule;
+    int count = 0;
+    if (fields >> rule >> count) baseline[rule] = count;
+  }
+
+  int failures = 0;
+  for (const auto& [rule, count] : counts) {
+    const auto it = baseline.find(rule);
+    const int allowed = it == baseline.end() ? 0 : it->second;
+    if (count > allowed) {
+      std::cerr << "cf_lint: suppression count for [" << rule << "] grew: "
+                << count << " > baseline " << allowed
+                << " — remove the new cf-lint: allow(" << rule
+                << ") or deliberately raise " << baseline_path.string()
+                << "\n";
+      ++failures;
+    } else if (count < allowed) {
+      std::cout << "cf_lint: suppressions for [" << rule << "] shrank to "
+                << count << " (baseline " << allowed
+                << "); consider ratcheting the baseline down\n";
+    }
+  }
+  if (failures > 0) return 1;
+  std::cout << "cf_lint: suppressions within baseline across " << files
+            << " files\n";
+  return 0;
+}
+
 int DocsMain(const fs::path& root) {
   std::error_code ec;
   if (!fs::is_directory(root, ec)) {
@@ -648,7 +890,9 @@ int DocsMain(const fs::path& root) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: cf_lint <dir> [<dir>...] | cf_lint --docs <repo_root>\n";
+    std::cerr << "usage: cf_lint <dir> [<dir>...] | cf_lint --docs "
+                 "<repo_root> | cf_lint --suppressions-baseline "
+                 "<baseline_file> <dir> [<dir>...]\n";
     return 2;
   }
   if (std::string(argv[1]) == "--docs") {
@@ -657,6 +901,16 @@ int main(int argc, char** argv) {
       return 2;
     }
     return DocsMain(argv[2]);
+  }
+  if (std::string(argv[1]) == "--suppressions-baseline") {
+    if (argc < 4) {
+      std::cerr << "usage: cf_lint --suppressions-baseline <baseline_file> "
+                   "<dir> [<dir>...]\n";
+      return 2;
+    }
+    std::vector<fs::path> roots;
+    for (int i = 3; i < argc; ++i) roots.emplace_back(argv[i]);
+    return SuppressionsMain(argv[2], roots);
   }
   Linter linter;
   int files = 0;

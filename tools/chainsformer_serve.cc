@@ -22,14 +22,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <iostream>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -52,6 +50,7 @@
 #include "util/metrics.h"
 #include "util/telemetry.h"
 #include "util/trace.h"
+#include "util/sync.h"
 
 namespace chainsformer {
 namespace {
@@ -157,12 +156,12 @@ class AccessLogger {
   void Log(const std::string& entity, const std::string& attribute,
            const serve::ServeResponse& r, int64_t serialize_us) {
     if (file_ == nullptr) return;
-    if (seq_.fetch_add(1) % every_ != 0) return;
+    if (seq_.fetch_add(1, std::memory_order_relaxed) % every_ != 0) return;
     const int64_t ts_ms =
         std::chrono::duration_cast<std::chrono::milliseconds>(
             std::chrono::system_clock::now().time_since_epoch())
             .count();
-    std::lock_guard<std::mutex> lock(mu_);
+    cf::MutexLock lock(mu_);
     std::fprintf(
         file_,
         "{\"ts_ms\": %lld, \"trace_id\": \"%llu\", \"entity\": \"%s\", "
@@ -192,7 +191,7 @@ class AccessLogger {
   std::FILE* file_ = nullptr;
   int64_t every_ = 1;
   std::atomic<int64_t> seq_{0};
-  std::mutex mu_;
+  cf::Mutex mu_{"tools.request_log"};
 };
 
 /// Everything a request handler needs, threaded through both serve modes.
@@ -279,24 +278,26 @@ std::string HandleLine(const ServeContext& ctx, const std::string& line) {
 // --- stdin mode ------------------------------------------------------------
 
 int ServeStdin(const ServeContext& ctx, int serve_threads) {
-  std::mutex queue_mu, out_mu;
-  std::condition_variable queue_cv;
-  std::deque<std::string> lines;
-  bool done = false;
+  cf::Mutex queue_mu{"tools.stdin_queue"};
+  cf::Mutex out_mu{"tools.stdout"};
+  cf::CondVar queue_cv;
+  // Locals of ServeStdin, protected by queue_mu via lexical scope.
+  std::deque<std::string> lines;  // cf-lint: allow(unannotated-guarded-member)
+  bool done = false;              // cf-lint: allow(unannotated-guarded-member)
 
   auto worker = [&] {
     while (true) {
       std::string line;
       {
-        std::unique_lock<std::mutex> lock(queue_mu);
-        queue_cv.wait(lock, [&] { return done || !lines.empty(); });
+        cf::MutexLock lock(queue_mu);
+        queue_cv.Wait(queue_mu, [&] { return done || !lines.empty(); });
         if (lines.empty()) return;  // done and drained
         line = std::move(lines.front());
         lines.pop_front();
       }
       if (line.empty()) continue;
       const std::string response = HandleLine(ctx, line);
-      std::lock_guard<std::mutex> lock(out_mu);
+      cf::MutexLock lock(out_mu);
       std::printf("%s\n", response.c_str());
     }
   };
@@ -307,16 +308,16 @@ int ServeStdin(const ServeContext& ctx, int serve_threads) {
   std::string line;
   while (std::getline(std::cin, line)) {
     {
-      std::lock_guard<std::mutex> lock(queue_mu);
+      cf::MutexLock lock(queue_mu);
       lines.push_back(std::move(line));
     }
-    queue_cv.notify_one();
+    queue_cv.NotifyOne();
   }
   {
-    std::lock_guard<std::mutex> lock(queue_mu);
+    cf::MutexLock lock(queue_mu);
     done = true;
   }
-  queue_cv.notify_all();
+  queue_cv.NotifyAll();
   for (auto& w : workers) w.join();
   std::fflush(stdout);
   return 0;
@@ -334,7 +335,7 @@ std::atomic<int> g_listener{-1};
 
 void HandleStopSignal(int) {
   g_stop = 1;
-  const int fd = g_listener.exchange(-1);
+  const int fd = g_listener.exchange(-1, std::memory_order_seq_cst);
   if (fd >= 0) ::close(fd);
 }
 
@@ -359,19 +360,19 @@ int ServeTcp(const ServeContext& ctx, int port) {
     ::close(listener);
     return 1;
   }
-  g_listener.store(listener);
+  g_listener.store(listener, std::memory_order_seq_cst);
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
   std::fprintf(stderr, "serving on 127.0.0.1:%d\n", port);
   std::vector<std::thread> connections;
-  std::mutex conn_mu;
-  std::vector<int> conn_fds;  // slot -1 once the owning thread is done
+  cf::Mutex conn_mu{"tools.connections"};
+  std::vector<int> conn_fds;  // cf-lint: allow(unannotated-guarded-member) local, slot -1 when done
   while (g_stop == 0) {
     const int fd = ::accept(listener, nullptr, nullptr);
     if (fd < 0) break;  // listener closed by the signal handler (or error)
     size_t slot;
     {
-      std::lock_guard<std::mutex> lock(conn_mu);
+      cf::MutexLock lock(conn_mu);
       slot = conn_fds.size();
       conn_fds.push_back(fd);
     }
@@ -393,7 +394,7 @@ int ServeTcp(const ServeContext& ctx, int port) {
       {
         // Drop the slot before close so the shutdown sweep can never touch
         // a recycled descriptor.
-        std::lock_guard<std::mutex> lock(conn_mu);
+        cf::MutexLock lock(conn_mu);
         conn_fds[slot] = -1;
       }
       ::close(fd);
@@ -406,13 +407,13 @@ int ServeTcp(const ServeContext& ctx, int port) {
   }
   {
     // Unblock any connection thread parked in read().
-    std::lock_guard<std::mutex> lock(conn_mu);
+    cf::MutexLock lock(conn_mu);
     for (int fd : conn_fds) {
       if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
     }
   }
   for (auto& c : connections) c.join();
-  const int lf = g_listener.exchange(-1);
+  const int lf = g_listener.exchange(-1, std::memory_order_seq_cst);
   if (lf >= 0) ::close(lf);
   return 0;
 }

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Compile-time race check: build every TU under src/ with Clang's
+# -Wthread-safety analysis promoted to an error. The CF_* macros in
+# util/sync.h expand to capability attributes only under Clang, so this
+# script is the enforcement point for the annotations (under GCC they are
+# no-ops and the regular build proves nothing about locking).
+#
+# Usage: check_thread_safety.sh <repo_root>
+#
+# Exit codes: 0 clean, 1 findings, 77 skipped (no clang++ on PATH — ctest
+# maps 77 to SKIP via SKIP_RETURN_CODE). Set CF_CLANGXX to point at a
+# specific clang++ binary.
+
+set -u
+
+root="${1:?usage: check_thread_safety.sh <repo_root>}"
+clangxx="${CF_CLANGXX:-clang++}"
+
+if ! command -v "$clangxx" >/dev/null 2>&1; then
+  echo "thread_safety: no clang++ found (set CF_CLANGXX to override); skipping" >&2
+  exit 77
+fi
+
+if ! "$clangxx" --version 2>/dev/null | grep -qi clang; then
+  echo "thread_safety: $clangxx is not clang; skipping" >&2
+  exit 77
+fi
+
+status=0
+checked=0
+while IFS= read -r tu; do
+  checked=$((checked + 1))
+  # -fsyntax-only: the analysis is a frontend pass; no codegen needed.
+  if ! "$clangxx" -std=c++20 -fsyntax-only \
+      -I "$root/src" \
+      -Wthread-safety -Werror=thread-safety \
+      "$tu"; then
+    status=1
+  fi
+done < <(find "$root/src" -name '*.cc' | sort)
+
+if [ "$status" -ne 0 ]; then
+  echo "thread_safety: findings in the $checked TUs above" >&2
+  exit 1
+fi
+echo "thread_safety: $checked TUs clean under -Wthread-safety"
+exit 0

@@ -3,12 +3,17 @@
 # test suites that exercise memory- and thread-hazardous paths under each:
 #
 #   - label `threaded`      — thread pool, threaded kernel dispatch,
-#                             lock-free metrics/tracer paths
+#                             lock-free metrics/tracer paths, lock-order
+#                             validator tests
 #   - label `sanitizer`     — tape sanitizer behavior + death tests
 #   - label `observability` — windowed telemetry, request tracing, and the
 #                             admin endpoint (HTTP scrape round-trips)
 #   - label `quantized`     — int8/bf16 kernels, quantized plan compilation,
 #                             and the checkpoint quant block (DESIGN §6g)
+#   - label `lint`          — cf_lint source/docs/suppression checks and the
+#                             clang -Wthread-safety target; build-type
+#                             independent and cheap, included so sanitizer CI
+#                             also catches lint/docs-drift regressions
 #
 # Usage: tools/run_sanitizers.sh [build-dir-prefix]
 #
@@ -28,8 +33,9 @@ run_config() {
     -DCMAKE_BUILD_TYPE="${build_type}" \
     -DCF_KERNELS_NATIVE_ARCH=OFF
   cmake --build "${build_dir}" -j
-  echo "=== ${name}: ctest -L 'threaded|sanitizer|observability|quantized' ==="
-  ctest --test-dir "${build_dir}" -L 'threaded|sanitizer|observability|quantized' \
+  echo "=== ${name}: ctest -L 'threaded|sanitizer|observability|quantized|lint' ==="
+  ctest --test-dir "${build_dir}" \
+    -L 'threaded|sanitizer|observability|quantized|lint' \
     --output-on-failure
 }
 
