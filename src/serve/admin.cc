@@ -9,16 +9,12 @@
 #include <string>
 #include <vector>
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include "graph/runtime.h"
 #include "serve/service.h"
 #include "util/logging.h"
 #include "util/metric_names.h"
 #include "util/metrics.h"
+#include "util/net.h"
 #include "util/telemetry.h"
 
 namespace chainsformer {
@@ -259,30 +255,14 @@ std::string PrometheusText(const InferenceService* service) {
 
 AdminServer::AdminServer(int port, const InferenceService* service)
     : service_(service) {
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int listener = net::ListenTcp(port, 16);
   if (listener < 0) {
-    CF_LOG(Error) << "admin: socket() failed: " << std::strerror(errno);
-    return;
-  }
-  const int one = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listener, 16) < 0) {
     CF_LOG(Error) << "admin: cannot listen on 127.0.0.1:" << port << ": "
                   << std::strerror(errno);
-    ::close(listener);
     return;
   }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
-    port_ = static_cast<int>(ntohs(addr.sin_port));
-  } else {
-    port_ = port;
-  }
+  const int bound = net::BoundPort(listener);
+  port_ = bound >= 0 ? bound : port;
   listen_fd_.store(listener, std::memory_order_seq_cst);
   thread_ = std::thread([this] { ServeLoop(); });
 }
@@ -292,8 +272,8 @@ AdminServer::~AdminServer() {
   // so an accept already in progress returns instead of hanging.
   const int fd = listen_fd_.exchange(-1, std::memory_order_seq_cst);
   if (fd >= 0) {
-    ::shutdown(fd, SHUT_RDWR);
-    ::close(fd);
+    net::ShutdownFd(fd);
+    net::CloseFd(fd);
   }
   if (thread_.joinable()) thread_.join();
 }
@@ -302,12 +282,12 @@ void AdminServer::ServeLoop() {
   while (true) {
     const int listener = listen_fd_.load(std::memory_order_seq_cst);
     if (listener < 0) return;
-    const int fd = ::accept(listener, nullptr, nullptr);
+    const int fd = net::AcceptConn(listener);
     if (fd < 0) return;  // listener closed by destructor (or fatal error)
 
     // Read just the request line; scrape clients send tiny requests.
     char req[1024];
-    const ssize_t n = ::read(fd, req, sizeof(req) - 1);
+    const ssize_t n = net::ReadSome(fd, req, sizeof(req) - 1);
     std::string target = "/";
     if (n > 0) {
       req[n] = '\0';
@@ -343,14 +323,8 @@ void AdminServer::ServeLoop() {
        << "Connection: close\r\n\r\n"
        << body;
     const std::string response = os.str();
-    size_t off = 0;
-    while (off < response.size()) {
-      const ssize_t w =
-          ::write(fd, response.data() + off, response.size() - off);
-      if (w <= 0) break;
-      off += static_cast<size_t>(w);
-    }
-    ::close(fd);
+    net::WriteAll(fd, response.data(), response.size());
+    net::CloseFd(fd);
   }
 }
 

@@ -92,17 +92,27 @@ inline constexpr char kPlanQuantFallbacks[] = "plan.quant_fallbacks";
 inline constexpr char kPlanVerifyFailures[] = "plan.verify_failures";
 inline constexpr char kPlanVerifyMicros[] = "plan.verify_micros";
 
+// --- router (entity-sharded fan-out front-end) -----------------------------
+inline constexpr char kRouterDegraded[] = "router.degraded";
+inline constexpr char kRouterFanoutBatches[] = "router.fanout_batches";
+inline constexpr char kRouterHealthProbes[] = "router.health_probes";
+inline constexpr char kRouterRequests[] = "router.requests";
+inline constexpr char kRouterRerouted[] = "router.rerouted";
+inline constexpr char kRouterShardErrors[] = "router.shard_errors";
+
 // --- serving ---------------------------------------------------------------
 inline constexpr char kServeBatchDedup[] = "serve.batch_dedup";
 inline constexpr char kServeBatchSize[] = "serve.batch_size";
 inline constexpr char kServeCacheHits[] = "serve.cache_hits";
 inline constexpr char kServeCacheMisses[] = "serve.cache_misses";
+inline constexpr char kServeConnsAccepted[] = "serve.conns_accepted";
 inline constexpr char kServeDegraded[] = "serve.degraded";
 inline constexpr char kServeDegradedDeadline[] = "serve.degraded.deadline";
 inline constexpr char kServeDegradedEmptyToc[] = "serve.degraded.empty_toc";
 inline constexpr char kServeDegradedShutdown[] = "serve.degraded.shutdown";
 inline constexpr char kServeImmediateDispatch[] = "serve.immediate_dispatch";
 inline constexpr char kServeLatencyUs[] = "serve.latency_us";
+inline constexpr char kServeMisrouted[] = "serve.misrouted";
 inline constexpr char kServeQuantRejected[] = "serve.quant_rejected";
 inline constexpr char kServeRequests[] = "serve.requests";
 
@@ -123,6 +133,7 @@ inline constexpr char kSloDegradedDeadline[] = "slo.degraded.deadline";
 inline constexpr char kSloDegradedEmptyToc[] = "slo.degraded.empty_toc";
 inline constexpr char kSloDegradedShutdown[] = "slo.degraded.shutdown";
 inline constexpr char kSloRequests[] = "slo.requests";
+inline constexpr char kSloShardDown[] = "slo.shard_down";
 
 }  // namespace names
 }  // namespace metrics

@@ -53,4 +53,43 @@ bool StartsWith(const std::string& s, const std::string& prefix) {
   return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
 }
 
+bool JsonField(const std::string& line, const std::string& key,
+               std::string* out) {
+  const std::string needle = "\"" + key + "\"";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  pos = line.find(':', pos + needle.size());
+  if (pos == std::string::npos) return false;
+  ++pos;
+  while (pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[pos]))) {
+    ++pos;
+  }
+  if (pos >= line.size()) return false;
+  if (line[pos] == '"') {
+    const size_t end = line.find('"', pos + 1);
+    if (end == std::string::npos) return false;
+    *out = line.substr(pos + 1, end - pos - 1);
+    return true;
+  }
+  size_t end = pos;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  *out = line.substr(pos, end - pos);
+  while (!out->empty() &&
+         std::isspace(static_cast<unsigned char>(out->back()))) {
+    out->pop_back();
+  }
+  return !out->empty();
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
 }  // namespace chainsformer

@@ -22,6 +22,19 @@ std::string FormatMetric(double v, int precision = 3);
 /// True if `s` starts with `prefix`.
 bool StartsWith(const std::string& s, const std::string& prefix);
 
+/// Extracts `"key": <string-or-number>` from a flat one-line JSON object —
+/// the NDJSON request/response grammar shared by the serve tool, the router
+/// and the shard protocol (a full JSON parser would be dead weight for flat
+/// objects). String values come back without their quotes, numbers/booleans
+/// as the raw token. Returns false when the key is absent or the value is
+/// empty. Not a validator: nested objects and escaped quotes inside string
+/// values are out of grammar.
+bool JsonField(const std::string& line, const std::string& key,
+               std::string* out);
+
+/// Escapes `"` and `\` so `s` can be embedded in a JSON string literal.
+std::string EscapeJson(const std::string& s);
+
 }  // namespace chainsformer
 
 #endif  // CHAINSFORMER_UTIL_STRING_UTIL_H_

@@ -35,12 +35,6 @@ struct Held {
   const char* name;
 };
 
-/// The per-thread held-lock set, in acquisition order ("acquisition stack").
-std::vector<Held>& HeldStack() {
-  thread_local std::vector<Held>* stack = new std::vector<Held>();
-  return *stack;
-}
-
 /// Process-global lock-order graph over interned site names. An edge a -> b
 /// records "b was acquired while a was held", together with the acquiring
 /// thread's held stack at the moment the edge was first seen (the evidence
@@ -51,11 +45,28 @@ struct OrderGraph {
   std::vector<std::string> names;                 // id -> name
   std::map<int, std::set<int>> edges;             // from -> to
   std::map<std::pair<int, int>, std::string> edge_stacks;
+  std::vector<std::vector<Held>*> stacks;         // every thread's HeldStack
 };
 
 OrderGraph& Graph() {
   static OrderGraph* g = new OrderGraph();  // leaked: see metrics.cc
   return *g;
+}
+
+/// The per-thread held-lock set, in acquisition order ("acquisition stack").
+/// Heap-allocated and never freed: the stack must outlive any thread_local
+/// destructor that still releases a cf::Mutex on this thread. Parked in the
+/// (equally immortal) order graph so the memory stays reachable — one stack
+/// per thread ever created, not a per-thread leak report.
+std::vector<Held>& HeldStack() {
+  thread_local std::vector<Held>* stack = [] {
+    auto* s = new std::vector<Held>();
+    OrderGraph& g = Graph();
+    std::lock_guard<std::mutex> lock(g.mu);  // cf-lint: allow(naked-mutex-outside-sync)
+    g.stacks.push_back(s);
+    return s;
+  }();
+  return *stack;
 }
 
 /// "a -> b -> c" over the current thread's held stack plus the lock being

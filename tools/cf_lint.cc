@@ -53,10 +53,17 @@
 //                        std::memory_order — the seq_cst default hides the
 //                        cost and the intent on hot paths (metrics and
 //                        telemetry are documented as relaxed).
+//   blocking-io-outside-net
+//                        global-scope ::read/::write/::recv/::send/::accept/
+//                        ::connect calls anywhere but util/net.cc — all
+//                        socket I/O goes through the util/net helpers so the
+//                        serving layers stay nonblocking state machines
+//                        (DESIGN §6i) instead of regressing into
+//                        thread-per-connection blocking loops.
 //
 // In --docs mode, checks the committed markdown (README.md, DESIGN.md,
-// docs/ARCHITECTURE.md, CHANGES.md) against the tree so the documentation
-// cannot rot:
+// docs/ARCHITECTURE.md, docs/OPERATIONS.md, CHANGES.md) against the tree so
+// the documentation cannot rot:
 //
 //   stale-path           every `src/...`, `tools/...`, `bench/...`,
 //                        `tests/...`, `docs/...` path mentioned in a doc must
@@ -68,6 +75,12 @@
 //                        ctest, …).
 //   unknown-env-var      every `CF_*` environment variable mentioned must
 //                        appear verbatim in the sources.
+//   stale-metric         every dotted metric-style token under a subsystem
+//                        prefix from src/util/metric_names.h (serve., slo.,
+//                        router., plan., …) must be a constant there, a
+//                        prefix of one, or a dotted literal still present in
+//                        the sources — renaming a metric without updating
+//                        the runbook (docs/OPERATIONS.md) fails the check.
 //
 // --docs also prints a warn-only doc-coverage count for the public headers
 // of src/core and src/serve (top-level classes/structs missing a `///` doc
@@ -207,6 +220,12 @@ constexpr const char* kNakedMutexTokens[] = {
     "<mutex>",          "<condition_variable>", "<shared_mutex>",
 };
 
+/// Blocking I/O syscalls whose global-scope spellings are confined to
+/// util/net.cc (the sanctioned socket-helper TU).
+constexpr const char* kBlockingIoCalls[] = {
+    "::read(", "::write(", "::recv(", "::send(", "::accept(", "::connect(",
+};
+
 /// Atomic member functions whose one-argument form defaults to seq_cst.
 constexpr const char* kAtomicOps[] = {
     "load(",       "store(",     "exchange(",
@@ -312,6 +331,34 @@ class Linter {
         os << "raw .data()[...] indexing with no CF_CHECK in the preceding "
            << kCheckWindow << " lines";
         report("unchecked-data-index", os.str());
+      }
+
+      // Socket I/O goes through util/net (DESIGN §6i): a blocking ::read
+      // in serving code is exactly how the pre-PR-10 listener ended up
+      // unable to accept while one connection dribbled a request in.
+      if (rel != "util/net.cc") {
+        for (const char* call : kBlockingIoCalls) {
+          size_t pos = code.find(call);
+          bool hit = false;
+          while (pos != std::string::npos && !hit) {
+            // Global-scope spelling only: "std::read(" has an identifier
+            // before the "::" and is someone else's function.
+            const char before = pos > 0 ? code[pos - 1] : ' ';
+            if (!std::isalnum(static_cast<unsigned char>(before)) &&
+                before != '_' && before != ':') {
+              hit = true;
+            }
+            pos = code.find(call, pos + 1);
+          }
+          if (hit) {
+            report("blocking-io-outside-net",
+                   std::string(call) +
+                       "...) outside util/net.cc; use the util/net.h "
+                       "helpers so socket I/O stays behind the nonblocking "
+                       "seam");
+            break;
+          }
+        }
       }
 
       // Locking goes through the annotated cf::Mutex layer (DESIGN §6h); a
@@ -519,7 +566,8 @@ class Linter {
 /// skipped (ARCHITECTURE.md predates some checkouts), present ones must be
 /// clean.
 constexpr const char* kDocFiles[] = {"README.md", "DESIGN.md",
-                                     "docs/ARCHITECTURE.md", "CHANGES.md"};
+                                     "docs/ARCHITECTURE.md",
+                                     "docs/OPERATIONS.md", "CHANGES.md"};
 
 /// Directory prefixes that mark a doc token as a repo path claim.
 constexpr const char* kPathPrefixes[] = {"src/",   "tools/", "bench/",
@@ -561,6 +609,7 @@ class DocsChecker {
   explicit DocsChecker(const fs::path& root) : root_(root) {
     CollectTree();
     CollectSources();
+    CollectMetricNames();
   }
 
   void CheckDoc(const std::string& doc_rel) {
@@ -572,6 +621,7 @@ class DocsChecker {
       CheckPaths(doc_rel, lineno, line);
       CheckFlags(doc_rel, lineno, line);
       CheckEnvVars(doc_rel, lineno, line);
+      CheckMetricNames(doc_rel, lineno, line);
     }
   }
 
@@ -663,6 +713,29 @@ class DocsChecker {
         std::ostringstream text;
         text << in.rdbuf();
         source_text_ += text.str();
+      }
+    }
+  }
+
+  /// Parses the dotted string literals out of src/util/metric_names.h —
+  /// the single source of truth for metric names. Docs are checked against
+  /// this set, so renaming a metric without updating the runbook fails the
+  /// docs test instead of leaving operators grepping for a dead series.
+  void CollectMetricNames() {
+    std::ifstream in(root_ / "src/util/metric_names.h");
+    if (!in) return;  // no registry, no metric checking
+    for (std::string line; std::getline(in, line);) {
+      size_t open = line.find('"');
+      while (open != std::string::npos) {
+        const size_t close = line.find('"', open + 1);
+        if (close == std::string::npos) break;
+        const std::string name = line.substr(open + 1, close - open - 1);
+        const size_t dot = name.find('.');
+        if (dot != std::string::npos && dot > 0) {
+          metric_names_.insert(name);
+          metric_prefixes_.insert(name.substr(0, dot));
+        }
+        open = line.find('"', close + 1);
       }
     }
   }
@@ -762,6 +835,61 @@ class DocsChecker {
     }
   }
 
+  /// stale-metric: a dotted token whose first segment matches a metric
+  /// subsystem prefix (serve., slo., router., plan., ...) must either be a
+  /// name from src/util/metric_names.h, a prefix of one (docs legitimately
+  /// say "the serve.phase histograms"), or a dotted string literal that
+  /// still exists in the sources (cf::Mutex site names share the dotted
+  /// namespace). Renaming a metric without touching the runbook fails here.
+  void CheckMetricNames(const std::string& doc, int lineno,
+                        const std::string& line) {
+    auto is_token_char = [](char c) {
+      return std::islower(static_cast<unsigned char>(c)) ||
+             std::isdigit(static_cast<unsigned char>(c)) || c == '_' ||
+             c == '.';
+    };
+    for (size_t pos = 0; pos < line.size();) {
+      if (!is_token_char(line[pos])) {
+        ++pos;
+        continue;
+      }
+      const bool boundary =
+          pos == 0 ||
+          (!std::isalnum(static_cast<unsigned char>(line[pos - 1])) &&
+           line[pos - 1] != '_' && line[pos - 1] != '.' &&
+           line[pos - 1] != '/' && line[pos - 1] != '-');
+      size_t end = pos;
+      while (end < line.size() && is_token_char(line[end])) ++end;
+      std::string token = line.substr(pos, end - pos);
+      pos = end;
+      if (!boundary) continue;
+      // Trailing sentence punctuation is not part of the name.
+      while (!token.empty() && token.back() == '.') token.pop_back();
+      const size_t dot = token.find('.');
+      if (dot == std::string::npos || dot == 0) continue;
+      if (metric_prefixes_.count(token.substr(0, dot)) == 0) continue;
+      // Path-like tokens ("serve.cc") are the stale-path rule's business.
+      const std::string last = token.substr(token.find_last_of('.') + 1);
+      if (last == "h" || last == "cc" || last == "md" || last == "json" ||
+          last == "sh" || last == "tsv" || last == "cfsm") {
+        continue;
+      }
+      if (metric_names_.count(token) > 0) continue;
+      const auto at_or_after = metric_names_.lower_bound(token);
+      if (at_or_after != metric_names_.end() &&
+          at_or_after->compare(0, token.size(), token) == 0) {
+        continue;  // prefix of a real name ("serve.phase")
+      }
+      if (source_text_.find("\"" + token) != std::string::npos) {
+        continue;  // a live dotted literal (mutex site names etc.)
+      }
+      findings_.push_back(
+          {doc, lineno, "stale-metric",
+           token + " is not a metric in src/util/metric_names.h (nor a "
+                   "dotted literal in the sources)"});
+    }
+  }
+
   void CheckEnvVars(const std::string& doc, int lineno, const std::string& line) {
     size_t pos = line.find("CF_");
     while (pos != std::string::npos) {
@@ -790,6 +918,8 @@ class DocsChecker {
   fs::path root_;
   std::set<std::string> tree_;
   std::string source_text_;
+  std::set<std::string> metric_names_;     // full names from metric_names.h
+  std::set<std::string> metric_prefixes_;  // their first dotted segments
   std::vector<Finding> findings_;
   int docs_checked_ = 0;
 };

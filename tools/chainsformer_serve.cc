@@ -11,14 +11,23 @@
 //            "degraded": false, "source": "model", "latency_us": 412,
 //            "batch_size": 5, "batch_id": 3, "dedup_collapsed": false,
 //            "cache_hit": true}
-// Admin:    {"cmd": "statusz"} on the main port, or GET /statusz, /metrics
-//           (Prometheus), /healthz on --admin-port.
+// Admin:    {"cmd": "statusz"} / {"cmd": "healthz"} on the main port, or
+//           GET /statusz, /metrics (Prometheus), /healthz on --admin-port.
+//
+// Three roles (docs/OPERATIONS.md has the topology runbook):
+//   * single process (default): load the model, answer everything;
+//   * shard (--shards=N --shard-index=I): same, but tag responses with the
+//     shard index and count requests this shard does not own on the
+//     consistent-hash ring (serve.misrouted);
+//   * router (--router=host:port,host:port,...): no model at all — hash each
+//     entity to its owning shard, forward, merge, degrade when shards die.
 //
 // Examples:
 //   chainsformer_serve --checkpoint=/tmp/model.cfsm \
 //       --triples=/tmp/t.tsv --numeric=/tmp/n.tsv --serve-threads=8 < q.ndjson
 //   chainsformer_serve --checkpoint=/tmp/model.cfsm \
 //       --triples=/tmp/t.tsv --numeric=/tmp/n.tsv --port=8471
+//   chainsformer_serve --router=127.0.0.1:8471,127.0.0.1:8472 --port=8470
 
 #include <atomic>
 #include <chrono>
@@ -28,26 +37,26 @@
 #include <cstring>
 #include <deque>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
-
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
 #include "graph/quant.h"
 #include "graph/runtime.h"
 #include "kg/loader.h"
 #include "serve/admin.h"
+#include "serve/async_server.h"
 #include "serve/checkpoint.h"
+#include "serve/router.h"
 #include "serve/service.h"
 #include "tensor/checks.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/metric_names.h"
 #include "util/metrics.h"
+#include "util/net.h"
+#include "util/string_util.h"
 #include "util/telemetry.h"
 #include "util/trace.h"
 #include "util/sync.h"
@@ -80,6 +89,12 @@ int Usage() {
       "                       buckets; negative = per-precision default\n"
       "                       (int8 0.05, bf16 0.01)\n"
       "  --port=N             serve NDJSON over TCP instead of stdin\n"
+      "  --shards=N           entity-sharded mode: total shard count\n"
+      "  --shard-index=I      ... and this process's slice [0, N)\n"
+      "  --router=H:P,H:P,... run as a fan-out router over the listed shard\n"
+      "                       servers (no checkpoint loaded); needs --port\n"
+      "  --forward-timeout-ms=N  router per-shard attempt budget (default 250)\n"
+      "  --health-period-ms=N router shard-probe cadence; 0 off (default 250)\n"
       "  --kernel-threads=N   dense kernel workers (default 1)\n"
       "  --seed=N             must match training when the checkpoint is legacy\n"
       "  observability: --metrics-json=PATH --trace-json=PATH --stats\n"
@@ -94,46 +109,9 @@ int Usage() {
   return 2;
 }
 
-// --- Minimal NDJSON request parsing ----------------------------------------
-// The request grammar is one flat JSON object per line with string or number
-// values; a full JSON parser would be dead weight here.
-
-/// Extracts `"key": <string-or-number>` from a flat JSON object line.
-/// Returns false if the key is absent.
-bool JsonField(const std::string& line, const std::string& key,
-               std::string* out) {
-  const std::string needle = "\"" + key + "\"";
-  size_t pos = line.find(needle);
-  if (pos == std::string::npos) return false;
-  pos = line.find(':', pos + needle.size());
-  if (pos == std::string::npos) return false;
-  ++pos;
-  while (pos < line.size() && std::isspace(static_cast<unsigned char>(line[pos])))
-    ++pos;
-  if (pos >= line.size()) return false;
-  if (line[pos] == '"') {
-    const size_t end = line.find('"', pos + 1);
-    if (end == std::string::npos) return false;
-    *out = line.substr(pos + 1, end - pos - 1);
-    return true;
-  }
-  size_t end = pos;
-  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
-  *out = line.substr(pos, end - pos);
-  while (!out->empty() && std::isspace(static_cast<unsigned char>(out->back())))
-    out->pop_back();
-  return !out->empty();
-}
-
-std::string EscapeJson(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
+// NDJSON request parsing rides the shared flat-object helpers
+// (chainsformer::JsonField / EscapeJson in util/string_util.h) — the same
+// grammar the router and the shard protocol speak.
 
 /// Sampled structured access log: one NDJSON line per logged request with
 /// the full span breakdown (--access-log / --access-log-every).
@@ -199,6 +177,10 @@ struct ServeContext {
   const kg::Dataset& dataset;
   serve::InferenceService& service;
   AccessLogger* access_log = nullptr;  // null = disabled
+  /// Sharded mode (--shards/--shard-index): the ring this shard shares with
+  /// its router, its own index, and the shard count. null ring = unsharded.
+  const serve::HashRing* ring = nullptr;
+  int shard_index = -1;
 };
 
 /// Parses a client-supplied trace id: decimal or 0x-prefixed hex. Returns 0
@@ -217,6 +199,17 @@ std::string HandleLine(const ServeContext& ctx, const std::string& line) {
   std::string id, entity_name, attribute_name, cmd;
   if (JsonField(line, "cmd", &cmd)) {
     if (cmd == "statusz") return serve::StatusJson(&ctx.service);
+    if (cmd == "healthz") {
+      // The router's liveness probe on the main port: proves the full
+      // request path (listener → worker → this handler), not just that the
+      // admin thread is alive.
+      std::string r = "{\"ok\": true";
+      if (ctx.ring != nullptr) {
+        r += ", \"shard_index\": " + std::to_string(ctx.shard_index) +
+             ", \"shards\": " + std::to_string(ctx.ring->num_shards());
+      }
+      return r + "}";
+    }
     return "{\"error\": \"unknown cmd: " + EscapeJson(cmd) + "\"}";
   }
   const bool has_id = JsonField(line, "id", &id);
@@ -234,6 +227,15 @@ std::string HandleLine(const ServeContext& ctx, const std::string& line) {
   const kg::AttributeId attribute =
       ctx.dataset.graph.FindAttribute(attribute_name);
   if (attribute < 0) return error("unknown attribute: " + attribute_name);
+
+  if (ctx.ring != nullptr && ctx.ring->Owner(entity_name) != ctx.shard_index) {
+    // Still answered (every shard holds the full model — only the cache
+    // working set is partitioned), but counted: a nonzero serve.misrouted
+    // rate means the router and shard disagree on the ring geometry.
+    static auto* misrouted = metrics::MetricsRegistry::Global().GetCounter(
+        metrics::names::kServeMisrouted);
+    misrouted->Increment();
+  }
 
   const serve::ServeResponse resp =
       ctx.service.Predict({entity, attribute}, ParseTraceId(line));
@@ -259,6 +261,9 @@ std::string HandleLine(const ServeContext& ctx, const std::string& line) {
                 resp.cache_hit ? "true" : "false");
   std::string r = "{";
   if (has_id) r += "\"id\": " + id + ", ";
+  if (ctx.ring != nullptr) {
+    r += "\"shard\": " + std::to_string(ctx.shard_index) + ", ";
+  }
   r += buf;
   const uint64_t ser_end_ns = trace::NowNs();
   trace::EmitSpan("serve.serialize", ser_start_ns, ser_end_ns, resp.trace_id);
@@ -325,101 +330,132 @@ int ServeStdin(const ServeContext& ctx, int serve_threads) {
 
 // --- TCP mode --------------------------------------------------------------
 
-/// Graceful-shutdown plumbing: SIGINT/SIGTERM close the listener (the only
-/// async-signal-safe call needed), which unblocks accept(); the main thread
-/// then drains connections, and Main's normal exit path flushes
-/// --metrics-json/--trace-json — telemetry from a killed server is not
-/// lost.
+/// Graceful-shutdown plumbing (self-pipe idiom): SIGINT/SIGTERM write one
+/// byte to a pipe (net::SignalSafeWriteByte, the only async-signal-safe
+/// step needed); the main thread wakes from net::WaitReadable, shuts the
+/// async server down (in-flight requests finish, tail responses flush), and
+/// Main's normal exit path flushes --metrics-json/--trace-json — telemetry
+/// from a killed server is not lost.
 volatile std::sig_atomic_t g_stop = 0;
-std::atomic<int> g_listener{-1};
+std::atomic<int> g_stop_pipe{-1};
 
 void HandleStopSignal(int) {
   g_stop = 1;
-  const int fd = g_listener.exchange(-1, std::memory_order_seq_cst);
-  if (fd >= 0) ::close(fd);
+  const int fd = g_stop_pipe.load(std::memory_order_seq_cst);
+  if (fd >= 0) net::SignalSafeWriteByte(fd);
 }
 
-/// One thread per connection; batching happens across connections inside
-/// InferenceService. Intentionally minimal (no TLS, IPv4 only): the server
-/// is a benchmark/demo endpoint, not an internet-facing daemon.
-int ServeTcp(const ServeContext& ctx, int port) {
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::perror("socket");
+/// Serves `handler` over the epoll front-end until SIGINT/SIGTERM. The
+/// reactor accepts while every other connection is mid-read — the old
+/// thread-per-connection loop could not (its accept() queued behind a slow
+/// client dribbling a request body; router_test pins the interleaving
+/// regression). Intentionally minimal (no TLS, IPv4 loopback only): a
+/// benchmark/demo endpoint, not an internet-facing daemon.
+int RunTcp(int port, int workers, const char* role,
+           serve::AsyncNdjsonServer::Handler handler) {
+  serve::AsyncNdjsonServer::Options options;
+  options.port = port;
+  options.workers = workers;
+  serve::AsyncNdjsonServer server(options, std::move(handler));
+  if (server.port() < 0) {
+    std::fprintf(stderr, "cannot listen on 127.0.0.1:%d\n", port);
     return 1;
   }
-  const int one = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listener, 64) < 0) {
-    std::perror("bind/listen");
-    ::close(listener);
+  int pipe_fds[2];
+  if (!net::MakePipe(pipe_fds)) {
+    std::perror("pipe");
     return 1;
   }
-  g_listener.store(listener, std::memory_order_seq_cst);
+  g_stop_pipe.store(pipe_fds[1], std::memory_order_seq_cst);
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
-  std::fprintf(stderr, "serving on 127.0.0.1:%d\n", port);
-  std::vector<std::thread> connections;
-  cf::Mutex conn_mu{"tools.connections"};
-  std::vector<int> conn_fds;  // cf-lint: allow(unannotated-guarded-member) local, slot -1 when done
-  while (g_stop == 0) {
-    const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) break;  // listener closed by the signal handler (or error)
-    size_t slot;
-    {
-      cf::MutexLock lock(conn_mu);
-      slot = conn_fds.size();
-      conn_fds.push_back(fd);
-    }
-    connections.emplace_back([&ctx, &conn_mu, &conn_fds, fd, slot] {
-      std::string buffer;
-      char chunk[4096];
-      ssize_t n;
-      while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
-        buffer.append(chunk, static_cast<size_t>(n));
-        size_t nl;
-        while ((nl = buffer.find('\n')) != std::string::npos) {
-          const std::string line = buffer.substr(0, nl);
-          buffer.erase(0, nl + 1);
-          if (line.empty()) continue;
-          const std::string response = HandleLine(ctx, line) + "\n";
-          if (::write(fd, response.data(), response.size()) < 0) break;
-        }
-      }
-      {
-        // Drop the slot before close so the shutdown sweep can never touch
-        // a recycled descriptor.
-        cf::MutexLock lock(conn_mu);
-        conn_fds[slot] = -1;
-      }
-      ::close(fd);
-    });
+  std::fprintf(stderr, "%s on 127.0.0.1:%d\n", role, server.port());
+  // 1s poll rounds close the race of a signal landing before the handler
+  // was armed; the pipe byte ends the wait immediately in the normal case.
+  while (g_stop == 0 && !net::WaitReadable(pipe_fds[0], 1000)) {
   }
-  if (g_stop != 0) {
-    std::fprintf(stderr,
-                 "shutdown signal received; draining connections and "
-                 "flushing telemetry\n");
-  }
-  {
-    // Unblock any connection thread parked in read().
-    cf::MutexLock lock(conn_mu);
-    for (int fd : conn_fds) {
-      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
-    }
-  }
-  for (auto& c : connections) c.join();
-  const int lf = g_listener.exchange(-1, std::memory_order_seq_cst);
-  if (lf >= 0) ::close(lf);
+  std::fprintf(stderr,
+               "shutdown signal received; draining connections and "
+               "flushing telemetry\n");
+  g_stop_pipe.store(-1, std::memory_order_seq_cst);
+  server.Shutdown();
+  net::CloseFd(pipe_fds[0]);
+  net::CloseFd(pipe_fds[1]);
   return 0;
+}
+
+// --- Router mode -----------------------------------------------------------
+
+/// `--router=H:P,H:P,...`: pure fan-out front-end — no checkpoint, no
+/// dataset. Each request line forwards to the shard owning its entity on
+/// the consistent-hash ring; down shards reroute (tagged) or, with the
+/// whole fleet gone, degrade answer-shaped (see serve/router.h).
+int RouterMain(FlagParser& flags, const std::string& spec) {
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  if (port <= 0) {
+    std::fprintf(stderr, "--router needs --port\n");
+    return Usage();
+  }
+  serve::RouterOptions options;
+  options.forward_timeout_ms =
+      static_cast<int>(flags.GetInt("forward-timeout-ms", 250));
+  options.health_period_ms =
+      static_cast<int>(flags.GetInt("health-period-ms", 250));
+  std::vector<std::unique_ptr<serve::ShardBackend>> backends;
+  for (const std::string& raw : Split(spec, ',')) {
+    const std::string addr = Strip(raw);
+    const size_t colon = addr.rfind(':');
+    const int shard_port =
+        colon == std::string::npos
+            ? 0
+            : std::atoi(addr.substr(colon + 1).c_str());
+    if (colon == std::string::npos || shard_port <= 0) {
+      std::fprintf(stderr, "bad shard address (want host:port): %s\n",
+                   addr.c_str());
+      return 2;
+    }
+    backends.push_back(std::make_unique<serve::TcpShardBackend>(
+        addr.substr(0, colon), shard_port));
+  }
+  const int serve_threads = static_cast<int>(flags.GetInt("serve-threads", 4));
+  const std::string metrics_json = flags.GetString("metrics-json");
+  const bool print_stats = flags.GetBool("stats", false);
+  const int admin_port = static_cast<int>(flags.GetInt("admin-port", -1));
+
+  serve::Router router(std::move(backends), options);
+  router.CheckNow();  // mark dead shards down before the first request
+  std::unique_ptr<serve::AdminServer> admin;
+  if (admin_port >= 0) {
+    // No service behind a router: /statusz still reports the router
+    // process's counters and window; {"cmd": "statusz"} on the main port
+    // adds the per-shard health table.
+    admin = std::make_unique<serve::AdminServer>(admin_port, nullptr);
+    if (admin->port() < 0) return 1;
+    std::fprintf(stderr, "admin endpoint on 127.0.0.1:%d\n", admin->port());
+  }
+  for (const std::string& key : flags.UnreadKeys()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", key.c_str());
+  }
+  const int rc =
+      RunTcp(port, serve_threads, "routing",
+             [&router](const std::string& line) {
+               return router.HandleLine(line);
+             });
+  if (!metrics_json.empty() || print_stats) {
+    const metrics::MetricsSnapshot snap =
+        metrics::MetricsRegistry::Global().Snapshot();
+    if (!metrics_json.empty()) metrics::WriteJsonFile(metrics_json, snap);
+    if (print_stats) {
+      std::fprintf(stderr, "%s", metrics::SummaryTable(snap).c_str());
+    }
+  }
+  return rc;
 }
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
+  const std::string router_spec = flags.GetString("router");
+  if (!router_spec.empty()) return RouterMain(flags, router_spec);
   const std::string checkpoint = flags.GetString("checkpoint");
   const std::string triples = flags.GetString("triples");
   const std::string numeric = flags.GetString("numeric");
@@ -500,6 +536,22 @@ int Main(int argc, char** argv) {
   ServeContext ctx{dataset, service,
                    access_log.enabled() ? &access_log : nullptr};
 
+  // Sharded mode: the ring must be built with the same shard count (and
+  // default vnode count) the router uses, or serve.misrouted lights up.
+  const int shards = static_cast<int>(flags.GetInt("shards", 0));
+  const int shard_index = static_cast<int>(flags.GetInt("shard-index", -1));
+  std::unique_ptr<serve::HashRing> ring;
+  if (shards > 0 || shard_index >= 0) {
+    if (shards <= 0 || shard_index < 0 || shard_index >= shards) {
+      std::fprintf(stderr,
+                   "--shards=N and --shard-index in [0, N) go together\n");
+      return Usage();
+    }
+    ring = std::make_unique<serve::HashRing>(shards);
+    ctx.ring = ring.get();
+    ctx.shard_index = shard_index;
+  }
+
   // Admin endpoint (--admin-port=0 binds an ephemeral port and prints it).
   std::unique_ptr<serve::AdminServer> admin;
   if (admin_port >= 0) {
@@ -513,7 +565,11 @@ int Main(int argc, char** argv) {
   }
 
   const int rc =
-      port > 0 ? ServeTcp(ctx, port) : ServeStdin(ctx, serve_threads);
+      port > 0 ? RunTcp(port, serve_threads, "serving",
+                        [&ctx](const std::string& line) {
+                          return HandleLine(ctx, line);
+                        })
+               : ServeStdin(ctx, serve_threads);
 
   if (!metrics_json.empty() || print_stats) {
     const metrics::MetricsSnapshot snap =
